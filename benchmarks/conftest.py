@@ -1,0 +1,16 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one of the paper's tables/figures, prints
+the reproduced artifact next to the paper's numbers, and asserts the
+reproduction targets (shape, not absolute cycles).  Heavyweight
+state-space explorations run once per benchmark via
+``benchmark.pedantic``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark *fn* with a single round (for expensive explorations)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

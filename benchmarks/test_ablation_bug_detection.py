@@ -1,0 +1,66 @@
+"""Ablation A2: which checker catches which seeded bug.
+
+DESIGN.md calls out the tightness argument: every class of wDRF
+violation (missing lock barriers, unsynchronized context handoff,
+non-transactional page-table update, missing barrier or TLBI on unmap,
+EL2 overwrite, raw kernel reads of user memory) must be rejected by the
+matching condition checker — and *only* break the conditions it should.
+"""
+
+from conftest import run_once
+
+from repro.sekvm import kcore_buggy_cases
+from repro.vrm import WDRFCondition, verify_wdrf
+
+#: Which conditions each seeded bug must break.
+EXPECTED_FAILURES = {
+    "gen_vmid[no-barriers]": {
+        WDRFCondition.DRF_KERNEL,
+        WDRFCondition.NO_BARRIER_MISUSE,
+    },
+    "vcpu_switch[no-barriers]": {
+        WDRFCondition.DRF_KERNEL,
+        WDRFCondition.NO_BARRIER_MISUSE,
+    },
+    "set_s2pt[4lvl][non-transactional]": {
+        WDRFCondition.TRANSACTIONAL_PAGE_TABLE,
+    },
+    "clear_s2pt[4lvl][no-barrier]": {
+        WDRFCondition.SEQUENTIAL_TLB_INVALIDATION,
+    },
+    "clear_s2pt[4lvl][no-tlbi]": {
+        WDRFCondition.SEQUENTIAL_TLB_INVALIDATION,
+    },
+    "set_el2_pt[overwrite]": {
+        WDRFCondition.WRITE_ONCE_KERNEL_MAPPING,
+    },
+    "snapshot[raw-read]": {
+        WDRFCondition.WEAK_MEMORY_ISOLATION,
+    },
+}
+
+
+def run_detection():
+    results = {}
+    for case in kcore_buggy_cases(s2_levels=4):
+        report = verify_wdrf(case.spec)
+        failed = {
+            cond
+            for cond, result in report.results.items()
+            if not result.holds
+        }
+        results[case.name] = failed
+    return results
+
+
+def test_bug_detection_matrix(benchmark):
+    results = run_once(benchmark, run_detection)
+    print()
+    print(f"{'seeded bug':<38} {'conditions violated'}")
+    for name, failed in results.items():
+        print(f"{name:<38} {', '.join(sorted(c.value for c in failed))}")
+        expected = EXPECTED_FAILURES[name]
+        assert expected <= failed, (
+            f"{name}: expected {expected} to fail, got {failed}"
+        )
+    assert set(results) == set(EXPECTED_FAILURES)

@@ -1,0 +1,22 @@
+"""Section 2's Examples 1-7 as an exploration benchmark.
+
+Regenerates the paper's bug demonstrations: each buggy kernel shape
+exhibits an outcome on the Promising Arm model that the SC model
+forbids, and each wDRF-conforming fix eliminates it.  Benchmarks the
+full corpus exploration (the cost of "model checking" the examples).
+"""
+
+from conftest import run_once
+
+from repro.litmus import corpus_report, full_corpus, run_corpus
+
+
+def test_examples_and_classic_corpus(benchmark):
+    outcomes = run_once(benchmark, run_corpus)
+    print()
+    print(corpus_report(outcomes))
+    assert all(o.passed for o in outcomes), corpus_report(outcomes)
+    rm_bugs = [o for o in outcomes if o.test.exposes_rm_bug]
+    assert len(rm_bugs) >= 8
+    total_states = sum(o.rm.states_explored for o in outcomes)
+    print(f"total relaxed-model states explored: {total_states}")

@@ -1,0 +1,62 @@
+"""Figure 9: multi-VM scalability, 1..32 VMs on the m400 (Linux 4.18).
+
+Reproduction targets: per-VM performance is flat while the machine has
+spare cores (8 cores / 2-vCPU VMs -> up to 4 VMs), then decays roughly
+proportionally with oversubscription; KVM and SeKVM decay together with
+SeKVM no more than 10% behind at any VM count; the 1-VM points match
+Figure 8.
+"""
+
+from repro.perf import (
+    Hypervisor,
+    M400,
+    SimConfig,
+    VM_COUNTS,
+    format_figure9,
+    normalized_performance,
+    run_figure9,
+    simulate_scaling,
+    workload_by_name,
+)
+
+
+def test_figure9_multi_vm_scaling(benchmark):
+    points = benchmark(run_figure9)
+    print()
+    print(format_figure9(points))
+
+    table = {
+        (p.workload, p.hypervisor, p.vms): p.normalized_perf for p in points
+    }
+
+    worst_gap, worst_at = 0.0, None
+    for (workload, hyp, n), perf in table.items():
+        if hyp != "SeKVM":
+            continue
+        gap = 1 - perf / table[(workload, "KVM", n)]
+        if gap > worst_gap:
+            worst_gap, worst_at = gap, (workload, n)
+    print(f"\nworst SeKVM-vs-KVM gap: {worst_gap:.1%} at {worst_at}")
+    assert worst_gap < 0.10
+
+    for workload in ("Apache", "Kernbench", "Redis"):
+        for hyp in ("KVM", "SeKVM"):
+            # Flat while undersubscribed...
+            assert table[(workload, hyp, 2)] == (
+                table[(workload, hyp, 1)]
+            ) or abs(
+                table[(workload, hyp, 2)] - table[(workload, hyp, 1)]
+            ) < 0.05
+            # ...then decaying with oversubscription.
+            assert table[(workload, hyp, 32)] < table[(workload, hyp, 8)]
+            ratio = table[(workload, hyp, 32)] / table[(workload, hyp, 8)]
+            assert 0.15 < ratio < 0.45   # ~4x fewer cycles per VM
+
+    # 1-VM points line up with Figure 8 (the paper notes they coincide).
+    cfg = SimConfig(machine=M400, hypervisor=Hypervisor.KVM)
+    for name in ("Apache", "Redis"):
+        workload = workload_by_name(name)
+        assert abs(
+            simulate_scaling(workload, cfg, 1)
+            - normalized_performance(workload, cfg, vcpus=2)
+        ) < 0.06

@@ -1,0 +1,47 @@
+"""Extension benchmark: model fuzzing throughput.
+
+Sweeps seeded random programs through three oracles — SC ⊆ Promising
+containment, operational/axiomatic agreement on eligible programs, and
+exploration completeness — and reports programs-per-second.  This is the
+repository's continuous confidence check that the hardware models stay
+pinned to each other and to the architecture.
+"""
+
+from conftest import run_once
+
+from repro.litmus.generate import GeneratorConfig, random_program
+from repro.memory import explore_promising, explore_sc
+from repro.memory.axiomatic import axiomatic_outcomes, eligible
+
+N_PROGRAMS = 60
+
+
+def fuzz_sweep():
+    cfg = GeneratorConfig(n_threads=2, min_ops=2, max_ops=3)
+    containment_checks = agreement_checks = 0
+    for seed in range(N_PROGRAMS):
+        program = random_program(seed, cfg)
+        sc = explore_sc(program)
+        rm = explore_promising(program)
+        assert sc.complete and rm.complete, program.name
+        assert sc.behaviors <= rm.behaviors, program.name
+        containment_checks += 1
+        if eligible(program):
+            ax = axiomatic_outcomes(program)
+            op = explore_promising(
+                program, observe_locs=sorted(program.initial_memory)
+            )
+            assert ax == {(b.registers, b.memory) for b in op.behaviors}, (
+                program.name
+            )
+            agreement_checks += 1
+    return containment_checks, agreement_checks
+
+
+def test_model_fuzzing(benchmark):
+    containment, agreement = run_once(benchmark, fuzz_sweep)
+    print()
+    print(f"SC ⊆ RM containment held on {containment} random programs")
+    print(f"operational == axiomatic on {agreement} eligible programs")
+    assert containment == N_PROGRAMS
+    assert agreement >= 20

@@ -1,0 +1,66 @@
+"""Ablation A3: model agreement (the executable wDRF theorem).
+
+Across the litmus corpus and the KCore primitive programs:
+
+* SC behaviors are always a subset of Promising Arm behaviors (the
+  relaxed model only adds outcomes);
+* for programs satisfying the wDRF conditions, the sets coincide on
+  kernel observables (Theorems 1/2/4);
+* for the Section-2 buggy shapes, the relaxed model strictly exceeds SC
+  (the theorem's preconditions are necessary in practice).
+"""
+
+from conftest import run_once
+
+from repro.litmus import classic_corpus, extended_corpus, run_litmus
+from repro.memory import compare_models, explore_promising
+from repro.memory.axiomatic import axiomatic_outcomes, eligible
+from repro.sekvm import kcore_buggy_cases, kcore_verified_cases
+from repro.vrm import check_theorem4
+
+
+def agreement_sweep():
+    subset_checks = 0
+    axiomatic_matches = 0
+    for test in classic_corpus() + extended_corpus():
+        cmp = compare_models(test.program, observe_locs=[])
+        assert cmp.sc.behaviors <= cmp.rm.behaviors, test.name
+        subset_checks += 1
+        if eligible(test.program):
+            ax = axiomatic_outcomes(test.program)
+            op = explore_promising(
+                test.program,
+                observe_locs=sorted(test.program.initial_memory),
+            )
+            assert ax == {(b.registers, b.memory) for b in op.behaviors}, (
+                test.name
+            )
+            axiomatic_matches += 1
+    assert axiomatic_matches >= 18
+    verified, buggy = [], []
+    for case in kcore_verified_cases(4):
+        result = check_theorem4(case.spec.program)
+        verified.append((case.name, result))
+    for case in kcore_buggy_cases(4):
+        result = check_theorem4(case.spec.program)
+        buggy.append((case.name, result))
+    return subset_checks, verified, buggy
+
+
+def test_model_agreement(benchmark):
+    subset_checks, verified, buggy = run_once(benchmark, agreement_sweep)
+    print()
+    print(f"SC ⊆ RM confirmed on {subset_checks} classic litmus programs")
+    for name, result in verified:
+        print(f"  wDRF-conforming {name:<44} containment "
+              f"{'holds' if result.holds else 'FAILS'}")
+        assert result.verified, f"{name}: {result.describe()}"
+    strict = 0
+    for name, result in buggy:
+        marker = "RM ⊋ SC" if not result.holds else "RM = SC"
+        print(f"  seeded-bug      {name:<44} {marker}")
+        if not result.holds:
+            strict += 1
+    # The concurrency bugs must show strict excess; static-only bugs
+    # (EL2 overwrite, missing TLBI with different observables) may not.
+    assert strict >= 4

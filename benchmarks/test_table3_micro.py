@@ -1,0 +1,49 @@
+"""Table 3: microbenchmark cycle counts, KVM vs SeKVM on m400/Seattle.
+
+Reproduction targets (shapes from the paper):
+
+* SeKVM costs more than KVM for every operation on every machine;
+* the overhead is much larger on the tiny-TLB m400 (~1.8-2.3x) than on
+  Seattle (~1.2-1.3x), because KServ's 4 KB stage-2 mappings thrash the
+  small TLB;
+* simulated absolute cycles land within 25% of the paper's Table 3.
+"""
+
+from repro.perf import (
+    PAPER_TABLE3,
+    describe_table2,
+    format_table3,
+    overhead_ratio,
+    run_table3,
+)
+
+OPERATIONS = ("Hypercall", "I/O Kernel", "I/O User", "Virtual IPI")
+
+
+def test_table3_microbenchmarks(benchmark):
+    cells = benchmark(run_table3)
+    print()
+    print(describe_table2())
+    print()
+    print(format_table3(cells))
+
+    assert len(cells) == 16
+    for cell in cells:
+        assert 0.75 <= cell.ratio_to_paper <= 1.25, cell
+
+    for op in OPERATIONS:
+        by_hyp = {
+            (c.machine, c.hypervisor): c.cycles
+            for c in cells
+            if c.operation == op
+        }
+        for machine in ("m400", "seattle"):
+            assert by_hyp[(machine, "SeKVM")] > by_hyp[(machine, "KVM")]
+        m400_ratio = overhead_ratio(cells, op, "m400")
+        seattle_ratio = overhead_ratio(cells, op, "seattle")
+        print(f"{op:<12} SeKVM/KVM: m400 {m400_ratio:.2f}x, "
+              f"seattle {seattle_ratio:.2f}x "
+              f"(paper: "
+              f"{PAPER_TABLE3[(op, 'm400', 'SeKVM')] / PAPER_TABLE3[(op, 'm400', 'KVM')]:.2f}x / "
+              f"{PAPER_TABLE3[(op, 'seattle', 'SeKVM')] / PAPER_TABLE3[(op, 'seattle', 'KVM')]:.2f}x)")
+        assert m400_ratio > seattle_ratio

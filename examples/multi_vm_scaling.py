@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Multi-VM scalability demo (the Figure 9 experiment, Section 6).
+
+Simulates 1..32 two-vCPU VMs running the application benchmarks on the
+8-core m400 model under unmodified KVM and SeKVM, printing per-VM
+performance normalized to one native instance — and verifying the
+paper's scalability-parity claim: SeKVM tracks KVM within ~10% at every
+VM count.
+
+Run: ``python examples/multi_vm_scaling.py``
+"""
+
+from repro.perf import (
+    VM_COUNTS,
+    format_figure9,
+    format_table3,
+    run_figure9,
+    run_table3,
+)
+
+
+def main() -> None:
+    print("Microbenchmark costs feeding the scaling model (Table 3):")
+    print(format_table3(run_table3()))
+    print()
+
+    points = run_figure9()
+    print(format_figure9(points))
+    print()
+
+    table = {(p.workload, p.hypervisor, p.vms): p.normalized_perf for p in points}
+    worst_gap = 0.0
+    worst_at = None
+    for (workload, hyp, n), perf in table.items():
+        if hyp != "SeKVM":
+            continue
+        gap = 1.0 - perf / table[(workload, "KVM", n)]
+        if gap > worst_gap:
+            worst_gap, worst_at = gap, (workload, n)
+    print(f"worst SeKVM-vs-KVM gap: {worst_gap:.1%} "
+          f"(at {worst_at[0]}, {worst_at[1]} VMs)")
+    print("Paper: 'even when running 32 concurrent VMs, SeKVM has no worse")
+    print("than 10% overhead compared to unmodified KVM'.")
+
+
+if __name__ == "__main__":
+    main()

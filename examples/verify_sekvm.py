@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Verify SeKVM: run the full wDRF verification suite (Section 5).
+
+Checks every concurrency-relevant KCore primitive against all six wDRF
+conditions, for the original configuration and — with ``--all`` — for
+the full verified matrix of Section 5.6 (Linux 4.18..5.5 × {3,4}-level
+stage 2 tables).  Also runs the seeded-bug variants, which must all be
+rejected, and the SeKVM security property checks (confidentiality,
+integrity, attack battery).
+
+Run: ``python examples/verify_sekvm.py [--all]``
+"""
+
+import sys
+
+from repro.sekvm import (
+    all_attacks_refused,
+    check_vm_confidentiality,
+    check_vm_integrity,
+    default_version,
+    run_attack_battery,
+    verify_all_versions,
+    verify_sekvm,
+)
+
+
+def main() -> None:
+    sweep_all = "--all" in sys.argv
+
+    print("wDRF verification of SeKVM's KCore primitives")
+    print("=" * 72)
+    if sweep_all:
+        outcomes = verify_all_versions(include_buggy=False)
+    else:
+        outcomes = [verify_sekvm(default_version(), include_buggy=True)]
+    for outcome in outcomes:
+        print(outcome.describe())
+        print()
+
+    verified = all(o.all_verified for o in outcomes)
+    expected = all(o.all_as_expected for o in outcomes)
+    print(f"all verified primitives pass: {verified}")
+    print(f"all outcomes as expected (incl. seeded bugs rejected): {expected}")
+    print()
+
+    print("SeKVM security guarantees (functional model)")
+    print("=" * 72)
+    print(f"VM confidentiality (noninterference): "
+          f"{check_vm_confidentiality()}")
+    print(f"VM integrity under attack battery:    {check_vm_integrity()}")
+    for attack in run_attack_battery():
+        status = "SUCCEEDED (BAD)" if attack.succeeded else "refused"
+        print(f"  {attack.name:<28} {status}")
+    print(f"all attacks refused: {all_attacks_refused()}")
+    print()
+    print("Per Theorem 4, because the wDRF conditions verify, these")
+    print("SC-model guarantees extend to Arm relaxed memory hardware.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Verify YOUR kernel code: a lock-free SPSC ring buffer, end to end.
+
+The paper's framework is not SeKVM-specific — any kernel fragment
+expressed in the IR can be checked.  This example builds something the
+paper never verified: a single-producer/single-consumer ring buffer
+(the shape of virtio queues and kernel log buffers), instruments it
+with push/pull ownership, and runs the full battery:
+
+1. explore it on SC vs Promising Arm (the buggy variant loses data);
+2. check DRF-Kernel and No-Barrier-Misuse;
+3. check the wDRF theorem (RM ⊆ SC);
+4. render a trace of the relaxed failure.
+
+Run: ``python examples/verify_your_own_kernel.py``
+"""
+
+from repro.ir import MemSpace, Reg, ThreadBuilder, build_program
+from repro.memory import compare_models, explain_outcome
+from repro.memory.semantics import PROMISING_ARM
+from repro.vrm import check_drf_kernel, check_no_barrier_misuse, check_theorem2
+
+HEAD, TAIL = 0x10, 0x11            # published indices (sync variables)
+SLOT0, SLOT1 = 0x20, 0x21          # the ring's two slots
+ITEMS = (7, 9)                     # what the producer sends
+
+
+def ring_buffer_program(correct: bool):
+    """Producer fills both slots; consumer drains them."""
+    producer = ThreadBuilder(0, name="producer")
+    for i, value in enumerate(ITEMS):
+        slot = SLOT0 + (i & 1)
+        producer.pull(slot)
+        producer.store(slot, value)
+        producer.push(slot)
+        producer.store(HEAD, i + 1, release=correct, space=MemSpace.SYNC)
+
+    consumer = ThreadBuilder(1, name="consumer")
+    for i in range(len(ITEMS)):
+        slot = SLOT0 + (i & 1)
+        consumer.spin_until_eq("h", HEAD, i + 1, acquire=correct)
+        consumer.pull(slot)
+        consumer.load(f"got{i}", slot)
+        consumer.push(slot)
+        consumer.store(TAIL, i + 1, release=correct, space=MemSpace.SYNC)
+
+    return build_program(
+        [producer, consumer],
+        observed={1: [f"got{i}" for i in range(len(ITEMS))]},
+        initial_memory={HEAD: 0, TAIL: 0, SLOT0: 0, SLOT1: 0},
+        spaces={HEAD: MemSpace.SYNC, TAIL: MemSpace.SYNC},
+        name=f"spsc-ring[{'rel-acq' if correct else 'plain'}]",
+    )
+
+
+def main() -> None:
+    print("A kernel module the paper never verified: an SPSC ring buffer")
+    print("=" * 72)
+
+    for correct in (False, True):
+        program = ring_buffer_program(correct)
+        print(f"\n--- {program.name} ---")
+        comparison = compare_models(program)
+        print(comparison.describe())
+        drf = check_drf_kernel(program, shared_locs=[SLOT0, SLOT1])
+        nbm = check_no_barrier_misuse(program, shared_locs=[SLOT0, SLOT1])
+        theorem = check_theorem2(program)
+        print(f"DRF-Kernel: {'ok' if drf.holds else 'VIOLATED'}   "
+              f"No-Barrier-Misuse: {'ok' if nbm.holds else 'VIOLATED'}   "
+              f"RM⊆SC: {'ok' if theorem.holds else 'FAILS'}")
+        verdict = (
+            "VERIFIED — release/acquire publication makes every slot "
+            "handoff sound on Arm"
+            if drf.verified and nbm.verified and theorem.verified
+            else "REJECTED — this code would lose data on Arm hardware"
+        )
+        print(verdict)
+
+    print("\nHow the plain variant loses data on relaxed hardware:")
+    buggy = ring_buffer_program(correct=False)
+    trace = explain_outcome(buggy, PROMISING_ARM, t1_got0=0)
+    if trace is not None:
+        print(trace.render())
+        print("\nThe HEAD publication was promised ahead of the slot write;")
+        print("the consumer legitimately observed it and read an empty slot.")
+
+
+if __name__ == "__main__":
+    main()

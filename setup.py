@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+``pip install -e .`` works on offline machines whose pip/setuptools lack
+the ``wheel`` package required by the PEP-517 editable path.
+"""
+
+from setuptools import setup
+
+setup()

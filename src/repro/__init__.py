@@ -1,0 +1,38 @@
+"""VRM: executable reproduction of "Formal Verification of a
+Multiprocessor Hypervisor on Arm Relaxed Memory Hardware" (SOSP 2021).
+
+Top-level convenience re-exports; see the subpackages for the full API:
+
+* :mod:`repro.ir` — the kernel IR.
+* :mod:`repro.memory` — SC / Promising Arm / push-pull models.
+* :mod:`repro.mmu` — page tables, walkers, TLBs, SMMU.
+* :mod:`repro.vrm` — the wDRF conditions and theorem checks.
+* :mod:`repro.litmus` — litmus corpus incl. the paper's Examples 1-7.
+* :mod:`repro.sekvm` — the SeKVM hypervisor model.
+* :mod:`repro.perf` — the evaluation (discrete-event) substrate.
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ExecutionError,
+    ExplorationBudgetExceeded,
+    HypercallError,
+    KernelPanic,
+    ProgramError,
+    ReproError,
+    SecurityViolation,
+    VerificationError,
+)
+
+__all__ = [
+    "__version__",
+    "ExecutionError",
+    "ExplorationBudgetExceeded",
+    "HypercallError",
+    "KernelPanic",
+    "ProgramError",
+    "ReproError",
+    "SecurityViolation",
+    "VerificationError",
+]

@@ -1,0 +1,338 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands map one-to-one onto the library's entry points:
+
+* ``litmus``        — run the litmus corpus (classic / paper / all).
+* ``show``          — print a litmus program's IR listing.
+* ``explain``       — find and render a relaxed execution reaching an
+  outcome (``python -m repro explain LB t0_r0=1 t1_r1=1``).
+* ``verify-sekvm``  — the Section 5 verification (optionally all 16
+  versions and/or the seeded-bug suite).
+* ``verify-locks``  — the synchronization-primitive sweep.
+* ``table1`` / ``table3`` / ``figure8`` / ``figure9`` — regenerate the
+  evaluation artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    from repro.litmus import (
+        classic_corpus,
+        corpus_report,
+        full_corpus,
+        paper_examples,
+        run_corpus,
+    )
+
+    corpus = {
+        "classic": classic_corpus,
+        "paper": paper_examples,
+        "all": full_corpus,
+    }[args.corpus]()
+    outcomes = run_corpus(corpus)
+    print(corpus_report(outcomes))
+    return 0 if all(o.passed for o in outcomes) else 1
+
+
+def _find_test(name: str):
+    from repro.litmus import full_corpus
+
+    for test in full_corpus():
+        if test.name.lower() == name.lower():
+            return test
+    matches = [t for t in full_corpus() if name.lower() in t.name.lower()]
+    if len(matches) == 1:
+        return matches[0]
+    available = ", ".join(t.name for t in full_corpus())
+    raise SystemExit(f"unknown litmus test {name!r}; available: {available}")
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    from repro.ir import format_program
+
+    test = _find_test(args.name)
+    print(format_program(test.program))
+    condition = ", ".join(f"{k}={v}" for k, v in test.condition.items())
+    print(f"postcondition: {condition}")
+    print(f"allowed on SC: {test.allowed_sc}; on relaxed Arm: {test.allowed_rm}")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from repro.memory import explain_outcome
+    from repro.memory.semantics import ModelConfig
+
+    test = _find_test(args.name)
+    constraints = {}
+    for item in args.constraints or []:
+        key, _, value = item.partition("=")
+        constraints[key] = int(value, 0)
+    if not constraints:
+        constraints = dict(test.condition)
+    cfg = ModelConfig(relaxed=not args.sc,
+                      max_promises_per_thread=test.max_promises)
+    trace = explain_outcome(test.program, cfg, **constraints)
+    if trace is None:
+        model = "SC" if args.sc else "Promising Arm"
+        print(f"outcome unreachable on the {model} model")
+        return 1
+    print(trace.render())
+    return 0
+
+
+def _cmd_verify_sekvm(args: argparse.Namespace) -> int:
+    from repro.sekvm import verify_all_versions, verify_sekvm
+
+    if args.all_versions:
+        outcomes = verify_all_versions(include_buggy=args.buggy)
+    else:
+        outcomes = [verify_sekvm(include_buggy=args.buggy)]
+    ok = True
+    for outcome in outcomes:
+        print(outcome.describe())
+        ok &= outcome.all_as_expected
+    return 0 if ok else 1
+
+
+def _cmd_verify_locks(args: argparse.Namespace) -> int:
+    from repro.sync import verify_all
+
+    ok = True
+    for result in verify_all(n_cpus=args.cpus):
+        print(result.describe())
+        ok &= result.as_expected
+    return 0 if ok else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.report import format_table1, loc_table
+
+    print(format_table1(loc_table()))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.perf import format_table3, run_table3
+
+    print(format_table3(run_table3(linux=args.linux)))
+    return 0
+
+
+def _cmd_figure8(args: argparse.Namespace) -> int:
+    from repro.perf import format_figure8, run_figure8
+    from repro.report import grouped_bars
+
+    results = run_figure8()
+    print(format_figure8(results))
+    if args.chart:
+        groups = {}
+        for r in results:
+            if r.linux != "4.18":
+                continue
+            groups.setdefault(f"{r.workload}/{r.machine}", {})[
+                r.hypervisor
+            ] = r.normalized_perf
+        print()
+        print(grouped_bars(groups, ("KVM", "SeKVM"),
+                           title="Figure 8 (normalized to native, 4.18)"))
+    return 0
+
+
+def _cmd_figure9(args: argparse.Namespace) -> int:
+    from repro.perf import VM_COUNTS, format_figure9, run_figure9
+    from repro.report import series_chart
+
+    points = run_figure9()
+    print(format_figure9(points))
+    if args.chart:
+        table = {
+            (p.workload, p.hypervisor, p.vms): p.normalized_perf
+            for p in points
+        }
+        for workload in sorted({p.workload for p in points}):
+            series = {
+                hyp: [table[(workload, hyp, n)] for n in VM_COUNTS]
+                for hyp in ("KVM", "SeKVM")
+            }
+            print()
+            print(series_chart(list(VM_COUNTS), series,
+                               title=f"Figure 9: {workload} (m400)"))
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.litmus.generate import GeneratorConfig, random_program
+    from repro.memory import explore_promising, explore_sc
+    from repro.memory.axiomatic import axiomatic_outcomes, eligible
+
+    cfg = GeneratorConfig(n_threads=2, min_ops=2, max_ops=3)
+    agreement = 0
+    for seed in range(args.start, args.start + args.count):
+        program = random_program(seed, cfg)
+        sc = explore_sc(program)
+        rm = explore_promising(program)
+        if not sc.behaviors <= rm.behaviors:
+            print(f"seed {seed}: SC ⊄ RM — model bug!")
+            return 1
+        if eligible(program):
+            ax = axiomatic_outcomes(program)
+            op = explore_promising(
+                program, observe_locs=sorted(program.initial_memory)
+            )
+            if ax != {(b.registers, b.memory) for b in op.behaviors}:
+                print(f"seed {seed}: axiomatic/operational disagreement!")
+                return 1
+            agreement += 1
+    print(f"{args.count} random programs: SC ⊆ RM held everywhere; "
+          f"axiomatic agreement on {agreement} eligible programs")
+    return 0
+
+
+def _cmd_repair(args: argparse.Namespace) -> int:
+    from repro.vrm.repair import repair_barriers
+
+    test = _find_test(args.name)
+    result = repair_barriers(test.program, max_fixes=args.max_fixes)
+    print(result.describe(test.program))
+    return 0
+
+
+def _cmd_contention(args: argparse.Namespace) -> int:
+    from repro.perf.contention import format_contention, run_contention_study
+
+    print(format_contention(run_contention_study()))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate the complete reproduction report in one shot."""
+    from repro.litmus import corpus_report, run_corpus
+    from repro.perf import (
+        format_figure8,
+        format_figure9,
+        format_table3,
+        run_figure8,
+        run_figure9,
+        run_table3,
+    )
+    from repro.perf.contention import format_contention, run_contention_study
+    from repro.report import format_table1, loc_table
+    from repro.sekvm import verify_sekvm
+    from repro.sync import verify_all
+
+    banner = "=" * 72
+    print(banner)
+    print("VRM reproduction — complete report")
+    print(banner)
+
+    print("\n[1/7] Table 1 — verification effort breakdown")
+    print(format_table1(loc_table()))
+
+    print("\n[2/7] Table 3 — microbenchmarks (cycles)")
+    print(format_table3(run_table3()))
+
+    print("\n[3/7] Figure 8 — single-VM application performance")
+    print(format_figure8(run_figure8()))
+
+    print("\n[4/7] Figure 9 — multi-VM scalability")
+    print(format_figure9(run_figure9()))
+
+    print("\n[5/7] Litmus corpus (Examples 1-7 + classics)")
+    print(corpus_report(run_corpus()))
+
+    print("\n[6/7] SeKVM wDRF verification (original configuration)")
+    print(verify_sekvm(include_buggy=True).describe())
+
+    print("\n[7/7] Synchronization-primitive sweep + lock contention")
+    for result in verify_all():
+        print("  " + result.describe())
+    print(format_contention(run_contention_study()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "VRM reproduction: verify concurrent kernel code on relaxed "
+            "memory and regenerate the paper's evaluation"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("litmus", help="run the litmus corpus")
+    p.add_argument("--corpus", choices=("classic", "paper", "all"),
+                   default="all")
+    p.set_defaults(fn=_cmd_litmus)
+
+    p = sub.add_parser("show", help="print a litmus program listing")
+    p.add_argument("name")
+    p.set_defaults(fn=_cmd_show)
+
+    p = sub.add_parser("explain", help="render an execution reaching an outcome")
+    p.add_argument("name")
+    p.add_argument("constraints", nargs="*",
+                   help="t<tid>_<reg>=<value> (default: the test's condition)")
+    p.add_argument("--sc", action="store_true",
+                   help="search the SC model instead of Promising Arm")
+    p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser("verify-sekvm", help="run the wDRF verification of SeKVM")
+    p.add_argument("--all-versions", action="store_true")
+    p.add_argument("--buggy", action="store_true",
+                   help="include the seeded-bug variants")
+    p.set_defaults(fn=_cmd_verify_sekvm)
+
+    p = sub.add_parser("verify-locks", help="verify synchronization primitives")
+    p.add_argument("--cpus", type=int, default=2)
+    p.set_defaults(fn=_cmd_verify_locks)
+
+    p = sub.add_parser("table1", help="regenerate table1")
+    p.set_defaults(fn=_cmd_table1)
+
+    for name, fn in (
+        ("figure8", _cmd_figure8),
+        ("figure9", _cmd_figure9),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        p.add_argument("--chart", action="store_true",
+                       help="also render an ASCII chart")
+        p.set_defaults(fn=fn)
+
+    p = sub.add_parser("table3", help="regenerate table3")
+    p.add_argument("--linux", default="4.18")
+    p.set_defaults(fn=_cmd_table3)
+
+    p = sub.add_parser("fuzz", help="fuzz the memory models against each other")
+    p.add_argument("--count", type=int, default=50)
+    p.add_argument("--start", type=int, default=0)
+    p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser("contention", help="lock-contention study")
+    p.set_defaults(fn=_cmd_contention)
+
+    p = sub.add_parser(
+        "repair", help="find the minimal barrier fix for a litmus program"
+    )
+    p.add_argument("name")
+    p.add_argument("--max-fixes", type=int, default=2)
+    p.set_defaults(fn=_cmd_repair)
+
+    p = sub.add_parser("report", help="regenerate the complete report")
+    p.set_defaults(fn=_cmd_report)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the VRM reproduction.
+
+Every failure mode in the library raises a subclass of :class:`ReproError`
+so callers can catch library-level errors distinctly from programming
+mistakes (``TypeError`` etc.).  The memory-model executors additionally use
+:class:`KernelPanic` to represent a *modeled* panic (e.g. an invalid
+push/pull in the push/pull Promising model, or an explicit ``Panic``
+instruction): a modeled panic is an *observable behavior*, not a Python
+error, but exposing it as an exception lets single-run APIs surface it
+naturally while the exploration engines catch and record it.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ProgramError(ReproError):
+    """A kernel IR program is malformed (unknown label, bad operand...)."""
+
+
+class ExecutionError(ReproError):
+    """An executor was driven into an invalid configuration.
+
+    This indicates a bug in the caller or in the library, never a modeled
+    hardware behavior.
+    """
+
+
+class ExplorationBudgetExceeded(ReproError):
+    """A state-space exploration exceeded its configured budget.
+
+    Checkers that require exhaustiveness treat this as "unknown" rather
+    than silently reporting success.
+    """
+
+
+class KernelPanic(ReproError):
+    """A *modeled* panic inside an executed kernel program.
+
+    Raised by the ``Panic`` instruction and by push/pull ownership
+    violations in the push/pull Promising model.  The exploration engines
+    convert this into a recorded behavior; single-run entry points let it
+    propagate.
+    """
+
+    def __init__(self, reason: str, cpu: int | None = None):
+        self.reason = reason
+        self.cpu = cpu
+        where = f" on CPU {cpu}" if cpu is not None else ""
+        super().__init__(f"kernel panic{where}: {reason}")
+
+
+class VerificationError(ReproError):
+    """A verification entry point was invoked on unsupported input."""
+
+
+class SecurityViolation(ReproError):
+    """A SeKVM security invariant (confidentiality/integrity) was broken.
+
+    Raised by the security checkers in :mod:`repro.sekvm.security` when an
+    adversarial scenario manages to read or write protected VM state; the
+    test suite asserts these are *never* raised for the verified KCore and
+    *always* raised for the seeded-vulnerable variants.
+    """
+
+
+class HypercallError(ReproError):
+    """A KCore hypercall rejected its arguments.
+
+    This is the modeled equivalent of KCore returning an error code to
+    KServ: it is the *correct* behavior when KServ asks for something the
+    security policy forbids (e.g. mapping a page it does not own).
+    """

@@ -1,0 +1,91 @@
+"""Kernel IR: the Arm-flavored assembly every model and checker consumes.
+
+Public surface:
+
+* :mod:`repro.ir.expr` — operand expressions (:class:`Reg`, :class:`Imm`).
+* :mod:`repro.ir.instructions` — the instruction set.
+* :mod:`repro.ir.program` — :class:`Thread`, :class:`Program`, :class:`MMUConfig`.
+* :mod:`repro.ir.builder` — fluent assembler.
+* :mod:`repro.ir.dependencies` — static data/address/control/barrier analysis.
+"""
+
+from repro.ir.expr import BinOp, Expr, Imm, Reg, coerce
+from repro.ir.instructions import (
+    Barrier,
+    BarrierKind,
+    BranchIfNonZero,
+    BranchIfZero,
+    CompareAndSwap,
+    FetchAndInc,
+    Instruction,
+    Jump,
+    Label,
+    Load,
+    LoadExclusive,
+    MemSpace,
+    Mov,
+    Nop,
+    OracleRead,
+    Panic,
+    PTKind,
+    Pull,
+    Push,
+    Store,
+    StoreExclusive,
+    TLBInvalidate,
+    VLoad,
+    VStore,
+    is_memory_access,
+    is_pt_store,
+)
+from repro.ir.program import MMUConfig, Program, Thread, make_program
+from repro.ir.builder import ThreadBuilder, build_program
+from repro.ir.pretty import format_instruction, format_program, format_thread
+from repro.ir.transform import merge_programs, rename_registers, sequence_threads, unroll_loops
+
+__all__ = [
+    "BinOp",
+    "Expr",
+    "Imm",
+    "Reg",
+    "coerce",
+    "Barrier",
+    "BarrierKind",
+    "BranchIfNonZero",
+    "BranchIfZero",
+    "CompareAndSwap",
+    "FetchAndInc",
+    "Instruction",
+    "Jump",
+    "Label",
+    "Load",
+    "LoadExclusive",
+    "MemSpace",
+    "Mov",
+    "Nop",
+    "OracleRead",
+    "Panic",
+    "PTKind",
+    "Pull",
+    "Push",
+    "Store",
+    "StoreExclusive",
+    "TLBInvalidate",
+    "VLoad",
+    "VStore",
+    "is_memory_access",
+    "is_pt_store",
+    "MMUConfig",
+    "Program",
+    "Thread",
+    "make_program",
+    "ThreadBuilder",
+    "build_program",
+    "format_instruction",
+    "format_program",
+    "format_thread",
+    "merge_programs",
+    "rename_registers",
+    "sequence_threads",
+    "unroll_loops",
+]

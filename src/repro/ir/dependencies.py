@@ -1,0 +1,277 @@
+"""Static dependency analysis over kernel IR threads.
+
+The Promising Arm model preserves program order between instructions
+related by data dependencies, address dependencies, coherence (same
+location), or barriers (Section 4, "The formal model for Armv8").  The
+executors enforce these *dynamically* through views; this module computes
+the same relations *statically* for straight-line code, which the
+No-Barrier-Misuse checker and the test suite use to reason about which
+reorderings an implementation permits.
+
+Static analysis is necessarily approximate in two ways: register
+dependencies are exact (the IR is in SSA-ish style per fragment), but
+same-location analysis only resolves addresses that are immediate
+expressions.  Callers that need exact coherence information use the
+dynamic executors instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.expr import Expr, Imm
+from repro.ir.instructions import (
+    Barrier,
+    BarrierKind,
+    BranchIfNonZero,
+    BranchIfZero,
+    CompareAndSwap,
+    FetchAndInc,
+    Instruction,
+    Load,
+    LoadExclusive,
+    Mov,
+    OracleRead,
+    Store,
+    StoreExclusive,
+    VLoad,
+    VStore,
+)
+from repro.ir.program import Thread
+
+
+def written_register(instr: Instruction) -> Optional[str]:
+    """The register *instr* writes, if any."""
+    if isinstance(
+        instr,
+        (Load, LoadExclusive, FetchAndInc, CompareAndSwap, VLoad, Mov,
+         OracleRead),
+    ):
+        return instr.dst
+    if isinstance(instr, StoreExclusive):
+        return instr.status
+    return None
+
+
+def address_registers(instr: Instruction) -> FrozenSet[str]:
+    """Registers feeding *instr*'s address operand."""
+    if isinstance(
+        instr,
+        (Load, LoadExclusive, FetchAndInc, CompareAndSwap, OracleRead),
+    ):
+        return instr.addr.registers()
+    if isinstance(instr, StoreExclusive):
+        return instr.addr.registers()
+    if isinstance(instr, Store):
+        return instr.addr.registers()
+    if isinstance(instr, VLoad):
+        return instr.vaddr.registers()
+    if isinstance(instr, VStore):
+        return instr.vaddr.registers()
+    return frozenset()
+
+
+def value_registers(instr: Instruction) -> FrozenSet[str]:
+    """Registers feeding *instr*'s data (value/condition) operand."""
+    if isinstance(instr, (Store, StoreExclusive, VStore)):
+        return instr.value.registers()
+    if isinstance(instr, CompareAndSwap):
+        return instr.expected.registers() | instr.desired.registers()
+    if isinstance(instr, Mov):
+        return instr.src.registers()
+    if isinstance(instr, (BranchIfZero, BranchIfNonZero)):
+        return instr.cond.registers()
+    return frozenset()
+
+
+def static_location(instr: Instruction) -> Optional[int]:
+    """The concrete location accessed, when statically known."""
+    addr: Optional[Expr] = None
+    if isinstance(instr, (Load, FetchAndInc)):
+        addr = instr.addr
+    elif isinstance(instr, Store):
+        addr = instr.addr
+    if isinstance(addr, Imm):
+        return addr.value
+    return None
+
+
+def _reaching_writers(thread: Thread) -> List[Dict[str, int]]:
+    """For each instruction index, map register -> index of last writer.
+
+    Straight-line approximation: branches are treated as fallthrough for
+    reachability, which over-approximates dependencies (safe for the
+    checkers, which only use dependencies to *justify* orderings).
+    """
+    out: List[Dict[str, int]] = []
+    current: Dict[str, int] = {}
+    for idx, instr in enumerate(thread.instrs):
+        out.append(dict(current))
+        reg = written_register(instr)
+        if reg is not None:
+            current[reg] = idx
+    return out
+
+
+def data_dependencies(thread: Thread) -> Set[Tuple[int, int]]:
+    """Pairs ``(i, j)`` where instruction ``j``'s data operand uses a
+    register last written by instruction ``i``."""
+    writers = _reaching_writers(thread)
+    deps: Set[Tuple[int, int]] = set()
+    for j, instr in enumerate(thread.instrs):
+        for reg in value_registers(instr):
+            i = writers[j].get(reg)
+            if i is not None:
+                deps.add((i, j))
+    return deps
+
+
+def address_dependencies(thread: Thread) -> Set[Tuple[int, int]]:
+    """Pairs ``(i, j)`` where ``j``'s address uses a register written by ``i``."""
+    writers = _reaching_writers(thread)
+    deps: Set[Tuple[int, int]] = set()
+    for j, instr in enumerate(thread.instrs):
+        for reg in address_registers(instr):
+            i = writers[j].get(reg)
+            if i is not None:
+                deps.add((i, j))
+    return deps
+
+
+def control_dependencies(thread: Thread) -> Set[Tuple[int, int]]:
+    """Pairs ``(b, j)`` where ``j`` follows a conditional branch ``b``.
+
+    Every instruction after a conditional branch is control-dependent on
+    it (the Arm notion: the branch outcome gates whether/where ``j``
+    executes).  Arm only enforces control dependencies for *stores* (and
+    for loads when an ISB intervenes); consumers apply that filter.
+    """
+    deps: Set[Tuple[int, int]] = set()
+    branch_indices: List[int] = []
+    for idx, instr in enumerate(thread.instrs):
+        for b in branch_indices:
+            deps.add((b, idx))
+        if isinstance(instr, (BranchIfZero, BranchIfNonZero)):
+            branch_indices.append(idx)
+    return deps
+
+
+def barrier_ordered_pairs(thread: Thread) -> Set[Tuple[int, int]]:
+    """Pairs ``(i, j)`` of memory accesses ordered by an intervening
+    barrier (or by acquire/release semantics on the accesses themselves).
+
+    Implements the Armv8 ordering strength of each barrier flavor:
+
+    * ``DMB SY`` orders all prior accesses with all later accesses.
+    * ``DMB LD`` orders prior *loads* with all later accesses.
+    * ``DMB ST`` orders prior *stores* with later *stores*.
+    * an acquire load is ordered before all later accesses;
+    * a release store is ordered after all prior accesses.
+    """
+    instrs = thread.instrs
+    n = len(instrs)
+
+    def is_load(k: int) -> bool:
+        return isinstance(
+            instrs[k],
+            (Load, LoadExclusive, VLoad, FetchAndInc, CompareAndSwap),
+        )
+
+    def is_store(k: int) -> bool:
+        return isinstance(
+            instrs[k],
+            (Store, StoreExclusive, VStore, FetchAndInc, CompareAndSwap),
+        )
+
+    def is_access(k: int) -> bool:
+        return is_load(k) or is_store(k)
+
+    ordered: Set[Tuple[int, int]] = set()
+    for b, instr in enumerate(instrs):
+        if isinstance(instr, Barrier) and instr.kind is not BarrierKind.ISB:
+            for i in range(b):
+                if not is_access(i):
+                    continue
+                for j in range(b + 1, n):
+                    if not is_access(j):
+                        continue
+                    if instr.kind is BarrierKind.FULL:
+                        ordered.add((i, j))
+                    elif instr.kind is BarrierKind.LD and is_load(i):
+                        ordered.add((i, j))
+                    elif instr.kind is BarrierKind.ST and is_store(i) and is_store(j):
+                        ordered.add((i, j))
+    for k, instr in enumerate(instrs):
+        if isinstance(
+            instr, (Load, LoadExclusive, FetchAndInc, CompareAndSwap)
+        ) and getattr(instr, "acquire", False):
+            for j in range(k + 1, n):
+                if is_access(j):
+                    ordered.add((k, j))
+        if isinstance(
+            instr, (Store, StoreExclusive, FetchAndInc, CompareAndSwap)
+        ) and getattr(instr, "release", False):
+            for i in range(k):
+                if is_access(i):
+                    ordered.add((i, k))
+    return ordered
+
+
+def coherence_pairs(thread: Thread) -> Set[Tuple[int, int]]:
+    """Pairs of accesses to the same *statically known* location."""
+    locs: Dict[int, int] = {}
+    pairs: Set[Tuple[int, int]] = set()
+    seen: List[Tuple[int, int]] = []  # (index, loc)
+    for idx, instr in enumerate(thread.instrs):
+        loc = static_location(instr)
+        if loc is None:
+            continue
+        for prev_idx, prev_loc in seen:
+            if prev_loc == loc:
+                pairs.add((prev_idx, idx))
+        seen.append((idx, loc))
+    return pairs
+
+
+def preserved_program_order(thread: Thread) -> Set[Tuple[int, int]]:
+    """The union of all statically known ordering constraints.
+
+    This is the (approximate) "preserved program order" of the Armv8
+    model for the thread: any pair *not* in this relation's transitive
+    closure may appear reordered to other CPUs.
+    """
+    ppo = set()
+    ppo |= data_dependencies(thread)
+    ppo |= address_dependencies(thread)
+    ppo |= barrier_ordered_pairs(thread)
+    ppo |= coherence_pairs(thread)
+    # Control dependencies order stores only (Arm; loads need ISB).
+    for b, j in control_dependencies(thread):
+        if isinstance(thread.instrs[j], (Store, VStore)):
+            ppo.add((b, j))
+    return ppo
+
+
+def may_reorder(thread: Thread, i: int, j: int) -> bool:
+    """Whether accesses ``i < j`` may be observed out of order.
+
+    True iff ``(i, j)`` is not in the transitive closure of the preserved
+    program order.  Only meaningful for straight-line threads.
+    """
+    if i >= j:
+        return False
+    ppo = preserved_program_order(thread)
+    # Transitive closure restricted to what we need: reachability i -> j.
+    frontier = {i}
+    seen = {i}
+    while frontier:
+        nxt = set()
+        for a in frontier:
+            for (x, y) in ppo:
+                if x == a and y not in seen:
+                    if y == j:
+                        return False
+                    nxt.add(y)
+                    seen.add(y)
+        frontier = nxt
+    return True

@@ -1,0 +1,177 @@
+"""Operand expressions for the kernel IR.
+
+Expressions are tiny trees over registers and immediates.  They exist for
+one reason beyond computing values: **dependency tracking**.  The Armv8
+memory model (and therefore the Promising Arm model the paper builds on)
+preserves program order between instructions linked by *data* dependencies
+(a register written by one instruction feeds the value operand of another)
+and *address* dependencies (it feeds the address operand).  Keeping
+operands symbolic until execution lets the executors compute, per access,
+the set of registers its address and value depend on.
+
+Expressions are immutable and hashable so instruction objects (and thus
+whole programs) can be shared freely between explorations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Tuple, Union
+
+from repro.errors import ProgramError
+
+#: A register file maps register names to integer values.
+RegFile = Dict[str, int]
+
+ExprLike = Union["Expr", int, str]
+
+
+class Expr:
+    """Base class for operand expressions."""
+
+
+    def eval(self, regs: RegFile) -> int:
+        raise NotImplementedError
+
+    def registers(self) -> FrozenSet[str]:
+        """Registers this expression reads (the dependency footprint)."""
+        raise NotImplementedError
+
+    # Small operator sugar so builders can write ``Reg("r0") + 8``.
+    def __add__(self, other: ExprLike) -> "BinOp":
+        return BinOp("+", self, coerce(other))
+
+    def __radd__(self, other: ExprLike) -> "BinOp":
+        return BinOp("+", coerce(other), self)
+
+    def __sub__(self, other: ExprLike) -> "BinOp":
+        return BinOp("-", self, coerce(other))
+
+    def __rsub__(self, other: ExprLike) -> "BinOp":
+        return BinOp("-", coerce(other), self)
+
+    def __mul__(self, other: ExprLike) -> "BinOp":
+        return BinOp("*", self, coerce(other))
+
+    def __rmul__(self, other: ExprLike) -> "BinOp":
+        return BinOp("*", coerce(other), self)
+
+    # Comparisons build 0/1-valued expressions.  ``==`` stays structural
+    # equality (dataclass semantics); use ``.eq()``/``.ne()`` for the
+    # value-level comparison operands.
+    def __lt__(self, other: ExprLike) -> "BinOp":
+        return BinOp("<", self, coerce(other))
+
+    def __le__(self, other: ExprLike) -> "BinOp":
+        return BinOp("<=", self, coerce(other))
+
+    def __gt__(self, other: ExprLike) -> "BinOp":
+        return BinOp("<", coerce(other), self)
+
+    def __ge__(self, other: ExprLike) -> "BinOp":
+        return BinOp("<=", coerce(other), self)
+
+    def eq(self, other: ExprLike) -> "BinOp":
+        return BinOp("==", self, coerce(other))
+
+    def ne(self, other: ExprLike) -> "BinOp":
+        return BinOp("!=", self, coerce(other))
+
+
+@dataclass(frozen=True, slots=True)
+class Imm(Expr):
+    """An immediate (constant) operand."""
+
+    value: int
+
+
+    def eval(self, regs: RegFile) -> int:
+        return self.value
+
+    def registers(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class Reg(Expr):
+    """A register operand."""
+
+    name: str
+
+
+    def eval(self, regs: RegFile) -> int:
+        try:
+            return regs[self.name]
+        except KeyError:
+            raise ProgramError(f"read of unwritten register {self.name!r}") from None
+
+    def registers(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    ">>": lambda a, b: a >> b,
+    "<<": lambda a, b: a << b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    """A binary arithmetic/comparison operand expression."""
+
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise ProgramError(f"unknown operator {self.op!r}")
+
+    def eval(self, regs: RegFile) -> int:
+        return _OPS[self.op](self.lhs.eval(regs), self.rhs.eval(regs))
+
+    def registers(self) -> FrozenSet[str]:
+        return self.lhs.registers() | self.rhs.registers()
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.op} {self.rhs!r})"
+
+
+def coerce(value: ExprLike) -> Expr:
+    """Coerce an int (immediate), str (register name), or Expr to an Expr."""
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):  # bool is an int subclass; normalize
+        return Imm(int(value))
+    if isinstance(value, int):
+        return Imm(value)
+    if isinstance(value, str):
+        return Reg(value)
+    raise ProgramError(f"cannot use {value!r} as an operand expression")
+
+
+def registers_of(*exprs: Expr) -> Tuple[str, ...]:
+    """The sorted union of registers read by *exprs* (stable for hashing)."""
+    out: FrozenSet[str] = frozenset()
+    for expr in exprs:
+        out |= expr.registers()
+    return tuple(sorted(out))

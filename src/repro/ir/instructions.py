@@ -1,0 +1,335 @@
+"""Instruction set of the kernel IR.
+
+The IR is a small, Arm-flavored assembly sufficient to express the kernel
+fragments the paper reasons about: plain and acquire/release memory
+accesses, atomic fetch-and-increment (the ticket lock's ``LDADD``),
+barriers (``DMB SY/LD/ST``, ``ISB``), conditional branches, page-table
+stores with level/kind metadata, TLB invalidation, virtual-memory accesses
+that go through the modeled MMU walker, the logical ``push``/``pull``
+ownership primitives of the push/pull Promising model (Section 4.1), data
+oracle reads (Section 5.3), and an explicit ``panic``.
+
+Instructions are immutable dataclasses; a program is a tuple of threads,
+each a tuple of instructions (see :mod:`repro.ir.program`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ProgramError
+from repro.ir.expr import Expr, coerce
+
+
+class BarrierKind(enum.Enum):
+    """The barrier flavors distinguished by the Promising Arm model."""
+
+    FULL = "dmb sy"   # orders prior reads+writes with later reads+writes
+    LD = "dmb ld"     # orders prior reads with later reads+writes
+    ST = "dmb st"     # orders prior writes with later writes
+    ISB = "isb"       # orders later loads after resolved control deps
+
+
+class PTKind(enum.Enum):
+    """Which page table a page-table store targets.
+
+    The wDRF conditions treat the kernel's own page table (EL2 for KCore)
+    differently from the guest-facing stage 2 and SMMU tables, so stores
+    carry this classification.
+    """
+
+    KERNEL = "kernel"   # KCore's own (EL2) page table — Write-Once applies
+    STAGE2 = "stage2"   # stage 2 tables for KServ/VMs — Transactional applies
+    SMMU = "smmu"       # SMMU tables for DMA — Transactional applies
+
+
+class MemSpace(enum.Enum):
+    """Coarse classification of the location an access targets.
+
+    Used by the Memory-Isolation checker: kernel code must not read USER
+    locations except through a data oracle, and user threads must not be
+    able to write KERNEL locations.
+    """
+
+    KERNEL = "kernel"
+    USER = "user"
+    SYNC = "sync"       # lock words & ownership variables (exempt from DRF)
+    PT = "pt"           # page-table memory (read by MMU walkers)
+
+
+class Instruction:
+    """Base class: every IR instruction."""
+
+
+
+@dataclass(frozen=True, slots=True)
+class Label(Instruction):
+    """A branch target.  Pseudo-instruction; executes as a no-op."""
+
+    name: str
+
+
+
+@dataclass(frozen=True, slots=True)
+class Nop(Instruction):
+    """Does nothing.  Useful as a placeholder in generated code."""
+
+
+
+@dataclass(frozen=True, slots=True)
+class Mov(Instruction):
+    """``dst := src`` — register arithmetic, no memory access."""
+
+    dst: str
+    src: Expr
+
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Instruction):
+    """``dst := [addr]`` — a physical-address load.
+
+    ``acquire=True`` models Arm's ``LDAR``: the load carries a barrier
+    ordering all later accesses after it.  ``space`` classifies the target
+    location for the isolation checker.
+    """
+
+    dst: str
+    addr: Expr
+    acquire: bool = False
+    space: MemSpace = MemSpace.KERNEL
+
+
+
+@dataclass(frozen=True, slots=True)
+class Store(Instruction):
+    """``[addr] := value`` — a physical-address store.
+
+    ``release=True`` models Arm's ``STLR``: the store is ordered after all
+    program-order-earlier accesses.  Page-table stores set ``pt_kind`` and
+    ``pt_level`` so the Write-Once and Transactional checkers can find
+    them; they are otherwise ordinary stores (MMU walkers read the same
+    memory).
+    """
+
+    addr: Expr
+    value: Expr
+    release: bool = False
+    space: MemSpace = MemSpace.KERNEL
+    pt_kind: Optional[PTKind] = None
+    pt_level: Optional[int] = None
+
+
+
+@dataclass(frozen=True, slots=True)
+class FetchAndInc(Instruction):
+    """``dst := [addr]; [addr] += amount`` — atomic read-modify-write.
+
+    Models Arm's ``LDADD`` (or an ``LDXR``/``STXR`` loop): the read and
+    write are adjacent in the location's coherence order.  ``acquire`` and
+    ``release`` give it ``LDADDA``/``LDADDL`` semantics.
+    """
+
+    dst: str
+    addr: Expr
+    amount: int = 1
+    acquire: bool = False
+    release: bool = False
+    space: MemSpace = MemSpace.SYNC
+
+
+
+@dataclass(frozen=True, slots=True)
+class LoadExclusive(Instruction):
+    """``dst := [addr]`` and arm the exclusive monitor (``LDXR``/``LDAXR``).
+
+    The paired :class:`StoreExclusive` succeeds only if no other write
+    to the location intervened — Arm's LL/SC primitive, the pre-LSE way
+    to build atomics (the ticket lock's original implementation).
+    """
+
+    dst: str
+    addr: Expr
+    acquire: bool = False
+    space: MemSpace = MemSpace.SYNC
+
+
+@dataclass(frozen=True, slots=True)
+class StoreExclusive(Instruction):
+    """``status := try([addr] := value)`` (``STXR``/``STLXR``).
+
+    ``status`` receives 0 on success, 1 on failure (monitor lost).  The
+    store only happens on success and is adjacent in coherence order to
+    the monitored load's read.
+    """
+
+    status: str
+    addr: Expr
+    value: Expr
+    release: bool = False
+    space: MemSpace = MemSpace.SYNC
+
+
+@dataclass(frozen=True, slots=True)
+class CompareAndSwap(Instruction):
+    """``dst := [addr]; if dst == expected: [addr] := desired`` — atomic.
+
+    Models Arm's ``CAS``/``CASA``/``CASL``/``CASAL``: returns the old
+    value in ``dst`` (the swap succeeded iff ``dst == expected``); the
+    read and (conditional) write are adjacent in coherence order.
+    """
+
+    dst: str
+    addr: Expr
+    expected: Expr
+    desired: Expr
+    acquire: bool = False
+    release: bool = False
+    space: MemSpace = MemSpace.SYNC
+
+
+@dataclass(frozen=True, slots=True)
+class Barrier(Instruction):
+    """An explicit memory barrier (``DMB SY``/``LD``/``ST`` or ``ISB``)."""
+
+    kind: BarrierKind
+
+
+
+@dataclass(frozen=True, slots=True)
+class BranchIfZero(Instruction):
+    """``if cond == 0: goto target`` — introduces a control dependency."""
+
+    cond: Expr
+    target: str
+
+
+
+@dataclass(frozen=True, slots=True)
+class BranchIfNonZero(Instruction):
+    """``if cond != 0: goto target`` — introduces a control dependency."""
+
+    cond: Expr
+    target: str
+
+
+
+@dataclass(frozen=True, slots=True)
+class Jump(Instruction):
+    """Unconditional ``goto target``."""
+
+    target: str
+
+
+
+@dataclass(frozen=True, slots=True)
+class VLoad(Instruction):
+    """``dst := [translate(vaddr)]`` — a load through the MMU.
+
+    Translation consults the per-CPU TLB and, on a miss, performs a
+    hardware page-table walk whose reads go through the (relaxed) memory
+    system.  A failed translation records a page fault.  Used to model
+    user/VM accesses racing with kernel page-table updates (Examples 4-6).
+    """
+
+    dst: str
+    vaddr: Expr
+    space: MemSpace = MemSpace.USER
+
+
+
+@dataclass(frozen=True, slots=True)
+class VStore(Instruction):
+    """``[translate(vaddr)] := value`` — a store through the MMU."""
+
+    vaddr: Expr
+    value: Expr
+    space: MemSpace = MemSpace.USER
+
+
+
+@dataclass(frozen=True, slots=True)
+class TLBInvalidate(Instruction):
+    """Broadcast TLB invalidation (``TLBI VAE1IS`` / ``TLBI ALL``).
+
+    ``vaddr=None`` invalidates everything.  Whether the invalidation also
+    forces page-table walkers to observe program-order-earlier page-table
+    stores depends on barrier placement — exactly the distinction the
+    Sequential-TLB-Invalidation condition is about (see
+    :mod:`repro.mmu.tlb`).
+    """
+
+    vaddr: Optional[Expr] = None
+
+
+
+@dataclass(frozen=True, slots=True)
+class Pull(Instruction):
+    """Logical acquisition of ownership of shared locations (Section 4.1).
+
+    A no-op on hardware; in the push/pull Promising model it panics if any
+    of the locations is currently owned by another CPU, and grants this
+    CPU exclusive access until the matching :class:`Push`.
+    """
+
+    locs: Tuple[Expr, ...]
+
+
+
+@dataclass(frozen=True, slots=True)
+class Push(Instruction):
+    """Logical release of ownership of shared locations (Section 4.1)."""
+
+    locs: Tuple[Expr, ...]
+
+
+
+@dataclass(frozen=True, slots=True)
+class OracleRead(Instruction):
+    """``dst := oracle()`` — a data-oracle read of user memory (§5.3).
+
+    SeKVM's proofs model kernel reads of VM/KServ memory as draws from a
+    data oracle, making the kernel's verified behavior independent of the
+    concrete user program.  The executors return an unconstrained
+    (explored) or oracle-scripted value instead of reading memory.
+    """
+
+    dst: str
+    addr: Expr
+    choices: Tuple[int, ...] = (0, 1)
+
+
+
+@dataclass(frozen=True, slots=True)
+class Panic(Instruction):
+    """Explicit kernel panic (e.g. ``gen_vmid`` overflow in Figure 1)."""
+
+    reason: str = "panic"
+
+
+
+def is_memory_access(instr: Instruction) -> bool:
+    """True for instructions that read or write the memory system."""
+    return isinstance(
+        instr, (Load, Store, FetchAndInc, CompareAndSwap, VLoad, VStore)
+    )
+
+
+def is_pt_store(instr: Instruction) -> bool:
+    """True for stores tagged as page-table updates."""
+    return isinstance(instr, Store) and instr.pt_kind is not None
+
+
+def validate_instruction(instr: Instruction) -> None:
+    """Raise :class:`ProgramError` if *instr* is structurally invalid."""
+    if isinstance(instr, Store) and instr.pt_level is not None:
+        if instr.pt_kind is None:
+            raise ProgramError("Store has pt_level but no pt_kind")
+        if instr.pt_level < 0:
+            raise ProgramError("negative page-table level")
+    if isinstance(instr, FetchAndInc) and instr.amount == 0:
+        raise ProgramError("FetchAndInc with amount 0 is not an RMW")
+    if isinstance(instr, (Pull, Push)) and not instr.locs:
+        raise ProgramError("Pull/Push must name at least one location")

@@ -1,0 +1,132 @@
+"""Human-readable rendering of kernel IR instructions and programs.
+
+Used by the execution tracer, the examples, and anywhere a checker
+reports a violation location: assembly-flavored one-liners like
+``r0 := [0x100] (acquire)`` instead of dataclass reprs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.expr import Expr, Imm
+from repro.ir.instructions import (
+    Barrier,
+    BranchIfNonZero,
+    BranchIfZero,
+    CompareAndSwap,
+    FetchAndInc,
+    Instruction,
+    Jump,
+    Label,
+    Load,
+    LoadExclusive,
+    Mov,
+    Nop,
+    OracleRead,
+    Panic,
+    Pull,
+    Push,
+    Store,
+    StoreExclusive,
+    TLBInvalidate,
+    VLoad,
+    VStore,
+)
+from repro.ir.program import Program, Thread
+
+
+def _addr(expr: Expr) -> str:
+    if isinstance(expr, Imm):
+        return f"[{expr.value:#x}]"
+    return f"[{expr!r}]"
+
+
+def format_instruction(instr: Instruction) -> str:
+    """One-line assembly-style rendering of *instr*."""
+    if isinstance(instr, Label):
+        return f"{instr.name}:"
+    if isinstance(instr, Nop):
+        return "nop"
+    if isinstance(instr, Mov):
+        return f"{instr.dst} := {instr.src!r}"
+    if isinstance(instr, Load):
+        suffix = " (acquire)" if instr.acquire else ""
+        return f"{instr.dst} := {_addr(instr.addr)}{suffix}"
+    if isinstance(instr, LoadExclusive):
+        suffix = " (acquire)" if instr.acquire else ""
+        return f"{instr.dst} := ldxr{_addr(instr.addr)}{suffix}"
+    if isinstance(instr, StoreExclusive):
+        suffix = " (release)" if instr.release else ""
+        return f"{instr.status} := stxr{_addr(instr.addr)}, {instr.value!r}{suffix}"
+    if isinstance(instr, Store):
+        suffix = " (release)" if instr.release else ""
+        tag = f" ; {instr.pt_kind.value}-pt L{instr.pt_level}" if instr.pt_kind else ""
+        return f"{_addr(instr.addr)} := {instr.value!r}{suffix}{tag}"
+    if isinstance(instr, FetchAndInc):
+        flags = "".join(
+            s for s, on in ((" acquire", instr.acquire), (" release", instr.release)) if on
+        )
+        return (
+            f"{instr.dst} := fetch_and_add{_addr(instr.addr)}, "
+            f"{instr.amount}{flags}"
+        )
+    if isinstance(instr, CompareAndSwap):
+        flags = "".join(
+            s for s, on in ((" acquire", instr.acquire), (" release", instr.release)) if on
+        )
+        return (
+            f"{instr.dst} := cas{_addr(instr.addr)} "
+            f"{instr.expected!r} -> {instr.desired!r}{flags}"
+        )
+    if isinstance(instr, Barrier):
+        return instr.kind.value
+    if isinstance(instr, BranchIfZero):
+        return f"cbz {instr.cond!r}, {instr.target}"
+    if isinstance(instr, BranchIfNonZero):
+        return f"cbnz {instr.cond!r}, {instr.target}"
+    if isinstance(instr, Jump):
+        return f"b {instr.target}"
+    if isinstance(instr, VLoad):
+        return f"{instr.dst} := *translate({instr.vaddr!r})"
+    if isinstance(instr, VStore):
+        return f"*translate({instr.vaddr!r}) := {instr.value!r}"
+    if isinstance(instr, TLBInvalidate):
+        target = "all" if instr.vaddr is None else repr(instr.vaddr)
+        return f"tlbi {target}"
+    if isinstance(instr, Pull):
+        locs = ", ".join(_addr(e) for e in instr.locs)
+        return f"pull {locs}"
+    if isinstance(instr, Push):
+        locs = ", ".join(_addr(e) for e in instr.locs)
+        return f"push {locs}"
+    if isinstance(instr, OracleRead):
+        return f"{instr.dst} := oracle({_addr(instr.addr)})"
+    if isinstance(instr, Panic):
+        return f"panic({instr.reason!r})"
+    return repr(instr)
+
+
+def format_thread(thread: Thread) -> str:
+    """Multi-line listing of one thread."""
+    header = (
+        f"thread {thread.tid} ({thread.name or 'unnamed'}, "
+        f"{'kernel' if thread.is_kernel else 'user'}):"
+    )
+    lines: List[str] = [header]
+    for pc, instr in enumerate(thread.instrs):
+        lines.append(f"  {pc:>3}: {format_instruction(instr)}")
+    return "\n".join(lines)
+
+
+def format_program(program: Program) -> str:
+    """Full program listing with initial memory."""
+    lines = [f"program {program.name!r}:"]
+    if program.initial_memory:
+        init = ", ".join(
+            f"[{loc:#x}]={val}" for loc, val in sorted(program.initial_memory.items())
+        )
+        lines.append(f"  init: {init}")
+    for thread in program.threads:
+        lines.append(format_thread(thread))
+    return "\n".join(lines)

@@ -1,0 +1,155 @@
+"""Threads and programs of the kernel IR.
+
+A :class:`Program` is the unit every executor and checker consumes: a set
+of :class:`Thread` instruction streams, initial memory, a classification
+of locations into kernel/user/sync/page-table spaces, and (optionally) an
+MMU configuration describing page-table roots for virtual accesses.
+
+Threads are marked kernel or user.  The wDRF conditions only constrain
+*kernel* threads; user threads model VMs/user programs and may contain
+arbitrary racy code (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ProgramError
+from repro.ir.instructions import (
+    BranchIfNonZero,
+    BranchIfZero,
+    Instruction,
+    Jump,
+    Label,
+    validate_instruction,
+)
+from repro.ir.instructions import MemSpace
+
+
+@dataclass(frozen=True)
+class Thread:
+    """A single CPU's instruction stream.
+
+    ``observed`` names the registers whose final values are part of the
+    thread's observable behavior (the ``r0``/``r1`` of the paper's litmus
+    examples).
+    """
+
+    tid: int
+    instrs: Tuple[Instruction, ...]
+    name: str = ""
+    is_kernel: bool = True
+    observed: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for instr in self.instrs:
+            validate_instruction(instr)
+
+    def labels(self) -> Dict[str, int]:
+        """Map each label name to its instruction index."""
+        out: Dict[str, int] = {}
+        for idx, instr in enumerate(self.instrs):
+            if isinstance(instr, Label):
+                if instr.name in out:
+                    raise ProgramError(
+                        f"duplicate label {instr.name!r} in thread {self.tid}"
+                    )
+                out[instr.name] = idx
+        return out
+
+    def validate(self) -> None:
+        """Check that all branch targets resolve."""
+        labels = self.labels()
+        for instr in self.instrs:
+            if isinstance(instr, (BranchIfZero, BranchIfNonZero, Jump)):
+                if instr.target not in labels:
+                    raise ProgramError(
+                        f"branch to unknown label {instr.target!r} "
+                        f"in thread {self.tid}"
+                    )
+
+
+@dataclass(frozen=True)
+class MMUConfig:
+    """Where virtual-memory translation finds its page tables.
+
+    ``root`` is the physical location of the (single, shared) translation
+    table root used by user threads' ``VLoad``/``VStore``; ``levels`` is
+    the table depth (the paper verifies both 3- and 4-level stage 2
+    tables); ``va_bits_per_level`` is how many VA bits each level indexes.
+
+    The concrete walk semantics live in :mod:`repro.mmu.walker`; this is
+    only the configuration carried by a program.
+    """
+
+    root: int
+    levels: int = 2
+    va_bits_per_level: int = 4
+    page_bits: int = 4
+
+    def __post_init__(self) -> None:
+        if self.levels < 1:
+            raise ProgramError("page table must have at least one level")
+        if self.va_bits_per_level < 1 or self.page_bits < 1:
+            raise ProgramError("va_bits_per_level and page_bits must be >= 1")
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete multiprocessor kernel program.
+
+    ``initial_memory`` gives initial values for locations (unlisted
+    locations read as 0).  ``spaces`` classifies locations for the
+    Memory-Isolation checker; unlisted locations default to
+    ``MemSpace.KERNEL``.  ``name`` is used in reports.
+    """
+
+    threads: Tuple[Thread, ...]
+    initial_memory: Mapping[int, int] = field(default_factory=dict)
+    spaces: Mapping[int, MemSpace] = field(default_factory=dict)
+    mmu: Optional[MMUConfig] = None
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        tids = [t.tid for t in self.threads]
+        if len(set(tids)) != len(tids):
+            raise ProgramError("duplicate thread ids")
+        for thread in self.threads:
+            thread.validate()
+
+    def thread(self, tid: int) -> Thread:
+        for t in self.threads:
+            if t.tid == tid:
+                return t
+        raise ProgramError(f"no thread with tid {tid}")
+
+    def kernel_threads(self) -> Tuple[Thread, ...]:
+        return tuple(t for t in self.threads if t.is_kernel)
+
+    def user_threads(self) -> Tuple[Thread, ...]:
+        return tuple(t for t in self.threads if not t.is_kernel)
+
+    def space_of(self, loc: int) -> MemSpace:
+        """The memory-space classification of a location."""
+        return self.spaces.get(loc, MemSpace.KERNEL)
+
+    def initial_value(self, loc: int) -> int:
+        return self.initial_memory.get(loc, 0)
+
+
+def make_program(
+    threads: Sequence[Thread],
+    initial_memory: Optional[Mapping[int, int]] = None,
+    spaces: Optional[Mapping[int, MemSpace]] = None,
+    mmu: Optional[MMUConfig] = None,
+    name: str = "program",
+) -> Program:
+    """Convenience constructor that freezes the mappings."""
+    return Program(
+        threads=tuple(threads),
+        initial_memory=dict(initial_memory or {}),
+        spaces=dict(spaces or {}),
+        mmu=mmu,
+        name=name,
+    )

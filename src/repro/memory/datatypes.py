@@ -1,0 +1,143 @@
+"""Core data types of the memory-model substrate.
+
+The executors implement the *single-global-timeline* formulation of the
+Promising Arm model (Pulte et al., PLDI 2019, the model Section 4 of the
+paper builds on): memory is one append-only list of messages; a message's
+timestamp is its position in that list; per-thread *views* are scalar
+timestamps (the thread's knowledge frontier into the timeline).  This is
+sound for Armv8 because Armv8 is multicopy-atomic — all CPUs agree on one
+order of writes, and relaxed behavior comes from threads *reading stale*
+messages and *promising* writes ahead of their program-order turn.
+
+Everything here is immutable so whole machine states can be hashed for
+the exploration engines' duplicate detection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, NamedTuple, Optional, Tuple
+
+
+class Message(NamedTuple):
+    """One write in the global timeline.
+
+    ``ts`` is 1-based (timestamp 0 is the implicit initialization write of
+    every location).  ``promised`` is True while the write is an
+    unfulfilled promise: it is visible to other threads (that is the point
+    of promises) but its own thread must still execute the store that
+    fulfills it before the execution can terminate.
+    """
+
+    ts: int
+    loc: int
+    val: int
+    tid: int
+    promised: bool = False
+
+
+class Fault(NamedTuple):
+    """A translation fault taken by a thread's virtual access."""
+
+    tid: int
+    vaddr: int
+
+
+class Behavior(NamedTuple):
+    """One observable outcome of a program execution (Section 4).
+
+    Per the paper, observable behavior is (1) the execution results of the
+    kernel program — final registers and final shared-memory contents —
+    and (2) the results of user memory accesses through shared page
+    tables, which our executors surface as the user threads' observed
+    registers and recorded page faults.  A modeled panic is also
+    observable (and is what the DRF checkers look for).
+    """
+
+    registers: Tuple[Tuple[int, str, int], ...]   # (tid, reg, value)
+    memory: Tuple[Tuple[int, int], ...]           # (loc, final value)
+    faults: Tuple[Fault, ...]
+    panic: Optional[str] = None
+
+    def pretty(self) -> str:
+        regs = ", ".join(f"t{t}.{r}={v}" for t, r, v in self.registers)
+        mem = ", ".join(f"[{hex(l)}]={v}" for l, v in self.memory)
+        parts = [p for p in (regs, mem) if p]
+        if self.faults:
+            parts.append(
+                "faults: " + ", ".join(f"t{f.tid}@{hex(f.vaddr)}" for f in self.faults)
+            )
+        if self.panic is not None:
+            parts.append(f"PANIC({self.panic})")
+        return "{" + "; ".join(parts) + "}"
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """The outcome of exhaustively exploring a program under a model.
+
+    ``terminal_states`` is only populated when the exploration was asked
+    to keep them (the Write-Once and Memory-Isolation checkers audit the
+    full message timelines of terminal states).
+    """
+
+    behaviors: FrozenSet[Behavior]
+    complete: bool
+    states_explored: int
+    cut_paths: int
+    terminal_states: Tuple = ()
+
+    @property
+    def panics(self) -> FrozenSet[str]:
+        """The distinct panic reasons reachable in the exploration."""
+        return frozenset(
+            b.panic for b in self.behaviors if b.panic is not None
+        )
+
+    @property
+    def panic_free(self) -> bool:
+        return not self.panics
+
+    def register_outcomes(self) -> FrozenSet[Tuple[Tuple[int, str, int], ...]]:
+        """Just the register components (litmus-test "postconditions")."""
+        return frozenset(b.registers for b in self.behaviors)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [
+            f"{len(self.behaviors)} behaviors "
+            f"({'complete' if self.complete else 'INCOMPLETE'}, "
+            f"{self.states_explored} states, {self.cut_paths} cut paths)"
+        ]
+        for b in sorted(self.behaviors):
+            lines.append("  " + b.pretty())
+        return "\n".join(lines)
+
+
+def last_write_ts(memory: Tuple[Message, ...], loc: int, upto: int) -> int:
+    """Timestamp of the last write to *loc* at or before time *upto*.
+
+    Returns 0 (the initialization write) when no explicit write qualifies.
+    ``upto`` may exceed ``len(memory)``; it is clamped.
+    """
+    upto = min(upto, len(memory))
+    for ts in range(upto, 0, -1):
+        if memory[ts - 1].loc == loc:
+            return ts
+    return 0
+
+
+def latest_write_ts(memory: Tuple[Message, ...], loc: int) -> int:
+    """Timestamp of the globally latest write to *loc* (0 = init)."""
+    return last_write_ts(memory, loc, len(memory))
+
+
+def value_at(
+    memory: Tuple[Message, ...], loc: int, ts: int, init: int
+) -> int:
+    """The value of the write to *loc* at timestamp *ts* (0 = initial)."""
+    if ts == 0:
+        return init
+    msg = memory[ts - 1]
+    if msg.loc != loc:
+        raise ValueError(f"message at ts {ts} is for loc {msg.loc}, not {loc}")
+    return msg.val

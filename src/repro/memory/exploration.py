@@ -1,0 +1,151 @@
+"""Exhaustive state-space exploration of kernel programs under a model.
+
+The explorer drives :mod:`repro.memory.semantics` to a fixpoint with a
+depth-first search over all scheduler interleavings, read choices, walker
+choices, oracle draws, and promise certificates, deduplicating identical
+machine states.  Spin loops terminate the search naturally: spinning
+without observing a new message revisits an identical state.
+
+The result records whether the exploration was *complete* — no path was
+cut by the memory-growth or state-count budget — which the verification
+checkers require before claiming a condition holds.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import ExplorationBudgetExceeded
+from repro.ir.program import Program
+from repro.memory.datatypes import (
+    Behavior,
+    ExplorationResult,
+    latest_write_ts,
+    value_at,
+)
+from repro.memory.semantics import (
+    ModelConfig,
+    ProgramCache,
+    execute_instruction,
+    promise_steps,
+)
+from repro.memory.state import ExecState, initial_state, tget
+
+
+def behavior_of(
+    cache: ProgramCache,
+    state: ExecState,
+    observe_locs: Sequence[int],
+) -> Behavior:
+    """Project a terminal machine state onto its observable behavior."""
+    registers: List[Tuple[int, str, int]] = []
+    for tidx, thread in enumerate(cache.threads):
+        ctx = state.threads[tidx]
+        for reg in thread.observed:
+            registers.append((thread.tid, reg, tget(ctx.regs, reg, None)))
+    memory: List[Tuple[int, int]] = []
+    for loc in observe_locs:
+        ts = latest_write_ts(state.memory, loc)
+        memory.append((loc, value_at(state.memory, loc, ts, cache.init_value(loc))))
+    return Behavior(
+        registers=tuple(registers),
+        memory=tuple(memory),
+        faults=tuple(sorted(state.faults)),
+        panic=state.panic,
+    )
+
+
+def _is_terminal(state: ExecState) -> bool:
+    return state.panic is not None or all(t.halted for t in state.threads)
+
+
+def _is_valid_terminal(state: ExecState) -> bool:
+    """Panic states are always observable; normal termination requires all
+    promises fulfilled (an unfulfillable promise is not an execution)."""
+    if state.panic is not None:
+        return True
+    return not any(t.promises for t in state.threads)
+
+
+def explore(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]] = None,
+    keep_terminal_states: bool = False,
+) -> ExplorationResult:
+    """Enumerate every observable behavior of *program* under *cfg*.
+
+    ``observe_locs`` selects the shared locations whose final values are
+    part of the behavior; it defaults to all locations with declared
+    initial values.  ``keep_terminal_states`` retains the full terminal
+    machine states (message timelines included) for auditing checkers.
+    """
+    cache = ProgramCache(program)
+    if observe_locs is None:
+        observe_locs = sorted(cache.initial_memory)
+    start = initial_state(len(program.threads), cfg.initial_ownership)
+
+    behaviors: Set[Behavior] = set()
+    terminal_states: List[ExecState] = []
+    visited: Set[ExecState] = {start}
+    stack: List[ExecState] = [start]
+    states_explored = 0
+    cut_paths = 0
+    complete = True
+
+    while stack:
+        state = stack.pop()
+        states_explored += 1
+        if states_explored > cfg.max_states:
+            complete = False
+            break
+
+        if _is_terminal(state):
+            if _is_valid_terminal(state):
+                behaviors.add(behavior_of(cache, state, observe_locs))
+                if keep_terminal_states:
+                    terminal_states.append(state)
+            continue
+
+        successors: List[ExecState] = []
+        for tidx in range(len(program.threads)):
+            successors.extend(execute_instruction(cache, state, tidx, cfg))
+            successors.extend(promise_steps(cache, state, tidx, cfg))
+
+        if not successors:
+            # Deadlock: some thread blocked forever (e.g. an RMW stuck
+            # behind an unfulfillable promise).  Not a valid execution.
+            cut_paths += 1
+            continue
+
+        for succ in successors:
+            if len(succ.memory) > cfg.max_memory:
+                cut_paths += 1
+                complete = False
+                continue
+            if succ not in visited:
+                visited.add(succ)
+                stack.append(succ)
+
+    return ExplorationResult(
+        behaviors=frozenset(behaviors),
+        complete=complete,
+        states_explored=states_explored,
+        cut_paths=cut_paths,
+        terminal_states=tuple(terminal_states),
+    )
+
+
+def explore_or_raise(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]] = None,
+) -> ExplorationResult:
+    """Like :func:`explore` but refuses incomplete explorations."""
+    result = explore(program, cfg, observe_locs)
+    if not result.complete:
+        raise ExplorationBudgetExceeded(
+            f"exploration of {program.name!r} exceeded its budget "
+            f"({result.states_explored} states, {result.cut_paths} cut paths)"
+        )
+    return result

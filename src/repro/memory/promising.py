@@ -1,0 +1,30 @@
+"""The Promising Arm relaxed hardware model (facade).
+
+This is the bottom layer of VRM's multi-layer hardware model: the
+operational model proven equivalent to the Armv8 axiomatic specification,
+extended here with the system features (MMU walkers, TLBs) the paper's
+framework adds on top of the user-level model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.program import Program
+from repro.memory.datatypes import ExplorationResult
+from repro.memory.exploration import explore
+from repro.memory.semantics import PROMISING_ARM, ModelConfig
+
+
+def explore_promising(
+    program: Program,
+    observe_locs: Optional[Sequence[int]] = None,
+    **overrides,
+) -> ExplorationResult:
+    """All observable behaviors of *program* on the Promising Arm model."""
+    cfg = (
+        PROMISING_ARM
+        if not overrides
+        else ModelConfig(relaxed=True, **overrides)
+    )
+    return explore(program, cfg, observe_locs)

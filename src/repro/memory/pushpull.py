@@ -1,0 +1,61 @@
+"""The push/pull Promising hardware model (facade).
+
+Section 4.1's instrumented model: ``Pull``/``Push`` pseudo-instructions
+acquire and release logical ownership of shared locations, and the model
+panics on (i) pulling an owned location, (ii) pushing an unowned one,
+(iii) accessing a registered shared location without owning it, and
+(iv) a pull whose preceding push is not covered by this CPU's barrier
+frontier — the operational reading of "push/pull promises must be
+fulfilled by barriers".
+
+A program satisfies DRF-Kernel and No-Barrier-Misuse iff its push/pull
+exploration on the *relaxed* base model is panic-free.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.ir.program import Program
+from repro.memory.datatypes import ExplorationResult
+from repro.memory.exploration import explore
+from repro.memory.semantics import ModelConfig
+
+
+def pushpull_config(
+    relaxed: bool = True,
+    owned_access_required: Iterable[int] = (),
+    initial_ownership: Iterable[Tuple[int, int]] = (),
+    **overrides,
+) -> ModelConfig:
+    """Build a push/pull model configuration.
+
+    ``owned_access_required`` are the shared-data locations kernel code
+    may only touch while owning (the critical-section footprints);
+    ``initial_ownership`` is ``(loc, tid)`` pairs held at program start.
+    """
+    return ModelConfig(
+        relaxed=relaxed,
+        pushpull=True,
+        owned_access_required=frozenset(owned_access_required),
+        initial_ownership=tuple(sorted(initial_ownership)),
+        **overrides,
+    )
+
+
+def explore_pushpull(
+    program: Program,
+    owned_access_required: Iterable[int] = (),
+    initial_ownership: Iterable[Tuple[int, int]] = (),
+    relaxed: bool = True,
+    observe_locs: Optional[Sequence[int]] = None,
+    **overrides,
+) -> ExplorationResult:
+    """Explore *program* on the push/pull Promising model."""
+    cfg = pushpull_config(
+        relaxed=relaxed,
+        owned_access_required=owned_access_required,
+        initial_ownership=initial_ownership,
+        **overrides,
+    )
+    return explore(program, cfg, observe_locs)

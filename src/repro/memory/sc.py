@@ -1,0 +1,25 @@
+"""The sequentially consistent hardware model (facade).
+
+SC is the model on which the bulk of SeKVM's security proofs were carried
+out; VRM's job is to show when SC results transfer to relaxed hardware.
+This module wraps the shared executor with the SC configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.program import Program
+from repro.memory.datatypes import ExplorationResult
+from repro.memory.exploration import explore
+from repro.memory.semantics import SC, ModelConfig
+
+
+def explore_sc(
+    program: Program,
+    observe_locs: Optional[Sequence[int]] = None,
+    **overrides,
+) -> ExplorationResult:
+    """All observable behaviors of *program* on the SC model."""
+    cfg = SC if not overrides else ModelConfig(relaxed=False, **overrides)
+    return explore(program, cfg, observe_locs)

@@ -1,0 +1,948 @@
+"""The step relation shared by the SC, Promising Arm, and push/pull models.
+
+One executor implements all three hardware models of the paper:
+
+* **SC** (``relaxed=False``): threads interleave; every read returns the
+  globally latest write; there are no promises; MMU walkers read the
+  latest page-table contents.  This is the model the bulk of SeKVM's
+  proofs are carried out on.
+* **Promising Arm** (``relaxed=True``): the operational relaxed model of
+  Section 4 — reads may return stale messages subject to per-location
+  coherence, dependency views, and barrier floors; stores may be
+  *promised* ahead of program order subject to thread-local
+  certification; MMU walkers read stale page-table entries unless a
+  barrier-ordered TLBI has raised the walker floor.
+* **push/pull Promising** (``pushpull=True`` on top of either): adds the
+  ownership discipline of Section 4.1 — ``Pull`` panics on a location
+  that is owned or whose last ``Push`` is not yet covered by this CPU's
+  barrier frontier (the "fulfilled by barriers" requirement encoding
+  No-Barrier-Misuse), ``Push`` panics without ownership, and plain kernel
+  accesses to registered shared locations panic unless owned.
+
+The functions here generate *all* successor states of a configuration;
+:mod:`repro.memory.exploration` drives them to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecutionError, ProgramError
+from repro.ir.expr import Expr
+from repro.ir.instructions import (
+    Barrier,
+    BarrierKind,
+    BranchIfNonZero,
+    BranchIfZero,
+    CompareAndSwap,
+    FetchAndInc,
+    Instruction,
+    Jump,
+    Label,
+    Load,
+    LoadExclusive,
+    StoreExclusive,
+    MemSpace,
+    Mov,
+    Nop,
+    OracleRead,
+    Panic,
+    Pull,
+    Push,
+    Store,
+    TLBInvalidate,
+    VLoad,
+    VStore,
+)
+from repro.ir.program import Program, Thread
+from repro.memory.datatypes import (
+    Fault,
+    Message,
+    last_write_ts,
+    latest_write_ts,
+    value_at,
+)
+from repro.memory.state import (
+    ExecState,
+    ThreadCtx,
+    tdel,
+    tget,
+    tset,
+)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Which hardware model to run and with what exploration budgets.
+
+    ``owned_access_required`` lists shared-data locations whose kernel
+    accesses must happen under push/pull ownership (the instrumented
+    critical-section footprints); accesses outside ownership panic, which
+    is how the DRF-Kernel check becomes panic-freedom.
+    ``initial_ownership`` seeds the ownership map (e.g. a vCPU context
+    starts owned by the CPU currently running the vCPU).
+    """
+
+    relaxed: bool = True
+    pushpull: bool = False
+    max_promises_per_thread: int = 1
+    promise_depth: int = 3
+    cert_max_states: int = 4000
+    max_memory: int = 64
+    max_states: int = 400_000
+    owned_access_required: FrozenSet[int] = frozenset()
+    initial_ownership: Tuple[Tuple[int, int], ...] = ()
+    oracle_sequences: Tuple[Tuple[int, ...], ...] = ()
+
+    @property
+    def check_barrier_fulfillment(self) -> bool:
+        return self.relaxed and self.pushpull
+
+
+#: Shorthand configurations for the three models of the paper.
+SC = ModelConfig(relaxed=False)
+PROMISING_ARM = ModelConfig(relaxed=True)
+PUSH_PULL_SC = ModelConfig(relaxed=False, pushpull=True)
+PUSH_PULL_PROMISING = ModelConfig(relaxed=True, pushpull=True)
+
+
+class ProgramCache:
+    """Per-program precomputation shared by every exploration state."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.threads: Tuple[Thread, ...] = program.threads
+        self.labels: List[Dict[str, int]] = [t.labels() for t in program.threads]
+        self.initial_memory = dict(program.initial_memory)
+
+    def init_value(self, loc: int) -> int:
+        return self.initial_memory.get(loc, 0)
+
+    def instr_at(self, tidx: int, pc: int) -> Instruction:
+        return self.threads[tidx].instrs[pc]
+
+    def thread_len(self, tidx: int) -> int:
+        return len(self.threads[tidx].instrs)
+
+    def label_index(self, tidx: int, name: str) -> int:
+        try:
+            return self.labels[tidx][name]
+        except KeyError:
+            raise ProgramError(
+                f"unknown label {name!r} in thread {self.threads[tidx].tid}"
+            ) from None
+
+
+# ---------------------------------------------------------------------------
+# small helpers
+# ---------------------------------------------------------------------------
+
+def _regs_dict(ctx: ThreadCtx) -> Dict[str, int]:
+    return dict(ctx.regs)
+
+
+def _dep_view(ctx: ThreadCtx, expr: Expr) -> int:
+    """The dependency view (max register view) feeding *expr*."""
+    view = 0
+    for reg in expr.registers():
+        view = max(view, tget(ctx.rv, reg, 0))
+    return view
+
+
+def _advance(cache: ProgramCache, tidx: int, ctx: ThreadCtx, pc: int) -> ThreadCtx:
+    halted = pc >= cache.thread_len(tidx)
+    return ctx._replace(pc=pc, halted=halted)
+
+
+def _own_promise_ts(ctx: ThreadCtx) -> FrozenSet[int]:
+    return frozenset(ctx.promises)
+
+
+def _read_candidates(
+    state: ExecState,
+    cache: ProgramCache,
+    cfg: ModelConfig,
+    ctx: ThreadCtx,
+    loc: int,
+    addr_dep: int,
+) -> List[Tuple[int, int]]:
+    """Messages a thread's read of *loc* may return, as (ts, value).
+
+    SC: only the latest write.  Promising: any write at or after the floor
+    ``max(coh[loc], last-write-before(max(addr_dep, vrn)))`` — stale reads
+    within coherence, the essence of relaxed behavior on multicopy-atomic
+    Arm.  A thread never reads its own unfulfilled promise.
+    """
+    init = cache.init_value(loc)
+    own = _own_promise_ts(ctx)
+    if not cfg.relaxed:
+        ts = latest_write_ts(state.memory, loc)
+        if ts in own:
+            return []  # blocked: own promise is the latest write (SC: none)
+        return [(ts, value_at(state.memory, loc, ts, init))]
+    view_floor = max(addr_dep, ctx.vrn)
+    floor = max(tget(ctx.coh, loc, 0), last_write_ts(state.memory, loc, view_floor))
+    out: List[Tuple[int, int]] = []
+    if floor == 0:
+        out.append((0, init))
+    for ts in range(max(floor, 1), len(state.memory) + 1):
+        msg = state.memory[ts - 1]
+        if msg.loc == loc and ts not in own:
+            out.append((ts, msg.val))
+    return out
+
+
+def _walker_candidates(
+    state: ExecState,
+    cache: ProgramCache,
+    cfg: ModelConfig,
+    loc: int,
+    cpu_tidx: int,
+) -> List[Tuple[int, int]]:
+    """Values an MMU walker read of page-table location *loc* may see.
+
+    The walker is an independent hardware agent: it has no thread views
+    and may read stale entries, bounded below only by the global walker
+    floor raised by barrier-ordered TLB invalidations.  It never observes
+    its own CPU's unfulfilled promises (the CPU's page-table store has not
+    architecturally happened for its own walker until fulfilled).
+    """
+    init = cache.init_value(loc)
+    if not cfg.relaxed:
+        ts = latest_write_ts(state.memory, loc)
+        return [(ts, value_at(state.memory, loc, ts, init))]
+    own = _own_promise_ts(state.threads[cpu_tidx])
+    floor = last_write_ts(state.memory, loc, state.walker_floor)
+    out: List[Tuple[int, int]] = []
+    if floor == 0:
+        out.append((0, init))
+    for ts in range(max(floor, 1), len(state.memory) + 1):
+        msg = state.memory[ts - 1]
+        if msg.loc == loc and ts not in own:
+            out.append((ts, msg.val))
+    return out
+
+
+def _panic_state(state: ExecState, reason: str) -> ExecState:
+    return state._replace(panic=reason)
+
+
+def _ownership_check(
+    state: ExecState,
+    cfg: ModelConfig,
+    thread: Thread,
+    space: MemSpace,
+    loc: int,
+    is_write: bool,
+) -> Optional[str]:
+    """Push/pull access discipline; returns a panic reason or None.
+
+    Only kernel threads' data accesses are checked: synchronization
+    variables, page-table memory, and user memory are exactly the
+    exemptions the wDRF conditions carve out of DRF-Kernel.
+    """
+    if not cfg.pushpull or not thread.is_kernel:
+        return None
+    if space is not MemSpace.KERNEL:
+        return None
+    owner = tget(state.ownership, loc, None)
+    if owner is not None and owner != thread.tid:
+        return (
+            f"DRF violation: CPU {thread.tid} accessed location {loc:#x} "
+            f"owned by CPU {owner}"
+        )
+    if loc in cfg.owned_access_required and owner != thread.tid:
+        return (
+            f"DRF violation: CPU {thread.tid} accessed shared location "
+            f"{loc:#x} without pulling it"
+        )
+    return None
+
+
+# ---------------------------------------------------------------------------
+# instruction execution
+# ---------------------------------------------------------------------------
+
+def execute_instruction(
+    cache: ProgramCache,
+    state: ExecState,
+    tidx: int,
+    cfg: ModelConfig,
+) -> List[ExecState]:
+    """All successor states from thread *tidx* executing its next
+    instruction (one state per nondeterministic choice)."""
+    ctx = state.threads[tidx]
+    if ctx.halted or state.panic is not None:
+        return []
+    if ctx.pc >= cache.thread_len(tidx):
+        # Normalize an (initially) empty or exhausted thread to halted.
+        return [state.with_thread(tidx, ctx._replace(halted=True))]
+    thread = cache.threads[tidx]
+    instr = cache.instr_at(tidx, ctx.pc)
+    regs = _regs_dict(ctx)
+
+    if isinstance(instr, (Label, Nop)):
+        return [state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
+
+    if isinstance(instr, Mov):
+        value = instr.src.eval(regs)
+        new = ctx._replace(
+            regs=tset(ctx.regs, instr.dst, value),
+            rv=tset(ctx.rv, instr.dst, _dep_view(ctx, instr.src)),
+        )
+        return [state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1))]
+
+    if isinstance(instr, Load):
+        return _exec_load(cache, state, tidx, cfg, instr, regs)
+
+    if isinstance(instr, Store):
+        return _exec_store(cache, state, tidx, cfg, instr, regs)
+
+    if isinstance(instr, FetchAndInc):
+        return _exec_faa(cache, state, tidx, cfg, instr, regs)
+
+    if isinstance(instr, CompareAndSwap):
+        return _exec_cas(cache, state, tidx, cfg, instr, regs)
+
+    if isinstance(instr, LoadExclusive):
+        return _exec_ldxr(cache, state, tidx, cfg, instr, regs)
+
+    if isinstance(instr, StoreExclusive):
+        return _exec_stxr(cache, state, tidx, cfg, instr, regs)
+
+    if isinstance(instr, Barrier):
+        new = _apply_barrier(ctx, instr.kind)
+        return [state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1))]
+
+    if isinstance(instr, (BranchIfZero, BranchIfNonZero)):
+        cond = instr.cond.eval(regs)
+        taken = (cond == 0) if isinstance(instr, BranchIfZero) else (cond != 0)
+        target = cache.label_index(tidx, instr.target) if taken else ctx.pc + 1
+        new = ctx._replace(vctrl=max(ctx.vctrl, _dep_view(ctx, instr.cond)))
+        return [state.with_thread(tidx, _advance(cache, tidx, new, target))]
+
+    if isinstance(instr, Jump):
+        target = cache.label_index(tidx, instr.target)
+        return [state.with_thread(tidx, _advance(cache, tidx, ctx, target))]
+
+    if isinstance(instr, VLoad):
+        return _exec_virtual(cache, state, tidx, cfg, instr, regs, is_store=False)
+
+    if isinstance(instr, VStore):
+        return _exec_virtual(cache, state, tidx, cfg, instr, regs, is_store=True)
+
+    if isinstance(instr, TLBInvalidate):
+        return _exec_tlbi(cache, state, tidx, cfg, instr, regs)
+
+    if isinstance(instr, Pull):
+        return _exec_pull(cache, state, tidx, cfg, instr, regs)
+
+    if isinstance(instr, Push):
+        return _exec_push(cache, state, tidx, cfg, instr, regs)
+
+    if isinstance(instr, OracleRead):
+        out = []
+        adep = _dep_view(ctx, instr.addr)
+        for choice in instr.choices:
+            new = ctx._replace(
+                regs=tset(ctx.regs, instr.dst, choice),
+                rv=tset(ctx.rv, instr.dst, adep),
+            )
+            out.append(state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1)))
+        return out
+
+    if isinstance(instr, Panic):
+        return [_panic_state(state, instr.reason)]
+
+    raise ExecutionError(f"unhandled instruction {instr!r}")
+
+
+def _exec_load(cache, state, tidx, cfg, instr: Load, regs) -> List[ExecState]:
+    ctx = state.threads[tidx]
+    thread = cache.threads[tidx]
+    loc = instr.addr.eval(regs)
+    reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=False)
+    if reason is not None:
+        return [_panic_state(state, reason)]
+    adep = _dep_view(ctx, instr.addr)
+    out: List[ExecState] = []
+    for ts, val in _read_candidates(state, cache, cfg, ctx, loc, adep):
+        new = ctx._replace(
+            regs=tset(ctx.regs, instr.dst, val),
+            rv=tset(ctx.rv, instr.dst, max(adep, ts)),
+            coh=tset(ctx.coh, loc, max(tget(ctx.coh, loc, 0), ts)),
+            vro=max(ctx.vro, ts),
+        )
+        if instr.acquire:
+            new = new._replace(vrn=max(new.vrn, ts), vwn=max(new.vwn, ts))
+        out.append(state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1)))
+    return out
+
+
+def _store_floor(ctx: ThreadCtx, loc: int, dep: int, release: bool) -> int:
+    floor = max(tget(ctx.coh, loc, 0), ctx.vwn, dep, ctx.vctrl)
+    if release:
+        floor = max(floor, ctx.vro, ctx.vwo)
+    return floor
+
+
+def _exec_store(cache, state, tidx, cfg, instr: Store, regs) -> List[ExecState]:
+    ctx = state.threads[tidx]
+    thread = cache.threads[tidx]
+    loc = instr.addr.eval(regs)
+    val = instr.value.eval(regs)
+    reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=True)
+    if reason is not None:
+        return [_panic_state(state, reason)]
+    dep = max(_dep_view(ctx, instr.addr), _dep_view(ctx, instr.value))
+    floor = _store_floor(ctx, loc, dep, instr.release)
+    out: List[ExecState] = []
+
+    # Option 1: append a fresh message at the end of the timeline.
+    ts = len(state.memory) + 1
+    new_state = state.append_message(Message(ts, loc, val, thread.tid, False))
+    new_ctx = ctx._replace(
+        coh=tset(ctx.coh, loc, ts),
+        vwo=max(ctx.vwo, ts),
+    )
+    out.append(
+        new_state.with_thread(tidx, _advance(cache, tidx, new_ctx, ctx.pc + 1))
+    )
+
+    # Option 2: fulfill one of this thread's outstanding promises.
+    if not instr.release:
+        for p in ctx.promises:
+            msg = state.memory[p - 1]
+            if msg.loc == loc and msg.val == val and p > floor:
+                fulfilled = state.fulfill(p)
+                new_ctx = ctx._replace(
+                    coh=tset(ctx.coh, loc, max(tget(ctx.coh, loc, 0), p)),
+                    vwo=max(ctx.vwo, p),
+                    promises=tuple(q for q in ctx.promises if q != p),
+                )
+                succ = fulfilled.with_thread(
+                    tidx, _advance(cache, tidx, new_ctx, ctx.pc + 1)
+                )
+                if not (succ.threads[tidx].halted and succ.threads[tidx].promises):
+                    out.append(succ)
+    # Halting with unfulfilled promises is not a valid execution.
+    out = [
+        s
+        for s in out
+        if not (s.threads[tidx].halted and s.threads[tidx].promises)
+    ]
+    return out
+
+
+def _exec_faa(cache, state, tidx, cfg, instr: FetchAndInc, regs) -> List[ExecState]:
+    ctx = state.threads[tidx]
+    thread = cache.threads[tidx]
+    loc = instr.addr.eval(regs)
+    reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=True)
+    if reason is not None:
+        return [_panic_state(state, reason)]
+    adep = _dep_view(ctx, instr.addr)
+    ts_last = latest_write_ts(state.memory, loc)
+    if ts_last in _own_promise_ts(ctx):
+        return []  # blocked behind own unfulfilled promise
+    old = value_at(state.memory, loc, ts_last, cache.init_value(loc))
+    ts_new = len(state.memory) + 1
+    new_state = state.append_message(
+        Message(ts_new, loc, old + instr.amount, thread.tid, False)
+    )
+    new_ctx = ctx._replace(
+        regs=tset(ctx.regs, instr.dst, old),
+        rv=tset(ctx.rv, instr.dst, max(adep, ts_last)),
+        coh=tset(ctx.coh, loc, ts_new),
+        vro=max(ctx.vro, ts_last),
+        vwo=max(ctx.vwo, ts_new),
+    )
+    if instr.acquire:
+        new_ctx = new_ctx._replace(
+            vrn=max(new_ctx.vrn, ts_last), vwn=max(new_ctx.vwn, ts_last)
+        )
+    succ = new_state.with_thread(tidx, _advance(cache, tidx, new_ctx, ctx.pc + 1))
+    if succ.threads[tidx].halted and succ.threads[tidx].promises:
+        return []
+    return [succ]
+
+
+def _exec_cas(
+    cache, state, tidx, cfg, instr: CompareAndSwap, regs
+) -> List[ExecState]:
+    """Atomic compare-and-swap: reads the coherence-latest value and,
+    on a match, appends the new value adjacently (like the RMW)."""
+    ctx = state.threads[tidx]
+    thread = cache.threads[tidx]
+    loc = instr.addr.eval(regs)
+    reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=True)
+    if reason is not None:
+        return [_panic_state(state, reason)]
+    adep = _dep_view(ctx, instr.addr)
+    vdep = max(_dep_view(ctx, instr.expected), _dep_view(ctx, instr.desired))
+    ts_last = latest_write_ts(state.memory, loc)
+    if ts_last in _own_promise_ts(ctx):
+        return []  # blocked behind own unfulfilled promise
+    old = value_at(state.memory, loc, ts_last, cache.init_value(loc))
+    expected = instr.expected.eval(regs)
+    desired = instr.desired.eval(regs)
+
+    new_ctx = ctx._replace(
+        regs=tset(ctx.regs, instr.dst, old),
+        rv=tset(ctx.rv, instr.dst, max(adep, vdep, ts_last)),
+        vro=max(ctx.vro, ts_last),
+        coh=tset(ctx.coh, loc, max(tget(ctx.coh, loc, 0), ts_last)),
+    )
+    new_state = state
+    if old == expected:
+        ts_new = len(state.memory) + 1
+        new_state = state.append_message(
+            Message(ts_new, loc, desired, thread.tid, False)
+        )
+        new_ctx = new_ctx._replace(
+            coh=tset(new_ctx.coh, loc, ts_new),
+            vwo=max(new_ctx.vwo, ts_new),
+        )
+    if instr.acquire:
+        new_ctx = new_ctx._replace(
+            vrn=max(new_ctx.vrn, ts_last), vwn=max(new_ctx.vwn, ts_last)
+        )
+    succ = new_state.with_thread(tidx, _advance(cache, tidx, new_ctx, ctx.pc + 1))
+    if succ.threads[tidx].halted and succ.threads[tidx].promises:
+        return []
+    return [succ]
+
+
+def _exec_ldxr(
+    cache, state, tidx, cfg, instr: LoadExclusive, regs
+) -> List[ExecState]:
+    """Load-exclusive: an ordinary (possibly stale) read that also arms
+    the exclusive monitor with the observed write's timestamp."""
+    ctx = state.threads[tidx]
+    thread = cache.threads[tidx]
+    loc = instr.addr.eval(regs)
+    reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=False)
+    if reason is not None:
+        return [_panic_state(state, reason)]
+    adep = _dep_view(ctx, instr.addr)
+    out: List[ExecState] = []
+    for ts, val in _read_candidates(state, cache, cfg, ctx, loc, adep):
+        new = ctx._replace(
+            regs=tset(ctx.regs, instr.dst, val),
+            rv=tset(ctx.rv, instr.dst, max(adep, ts)),
+            coh=tset(ctx.coh, loc, max(tget(ctx.coh, loc, 0), ts)),
+            vro=max(ctx.vro, ts),
+            monitor=(loc, ts),
+        )
+        if instr.acquire:
+            new = new._replace(vrn=max(new.vrn, ts), vwn=max(new.vwn, ts))
+        out.append(state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1)))
+    return out
+
+
+def _exec_stxr(
+    cache, state, tidx, cfg, instr: StoreExclusive, regs
+) -> List[ExecState]:
+    """Store-exclusive: succeeds (status 0) only if the monitored write
+    is still the coherence-latest for the location — i.e. no intervening
+    write — making the LL/SC pair atomic."""
+    ctx = state.threads[tidx]
+    thread = cache.threads[tidx]
+    loc = instr.addr.eval(regs)
+    reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=True)
+    if reason is not None:
+        return [_panic_state(state, reason)]
+    val = instr.value.eval(regs)
+    monitored = ctx.monitor if ctx.monitor and ctx.monitor[0] == loc else None
+    success = (
+        monitored is not None
+        and latest_write_ts(state.memory, loc) == monitored[1]
+    )
+    if success:
+        ts_new = len(state.memory) + 1
+        new_state = state.append_message(
+            Message(ts_new, loc, val, thread.tid, False)
+        )
+        new_ctx = ctx._replace(
+            regs=tset(ctx.regs, instr.status, 0),
+            rv=tset(ctx.rv, instr.status, 0),
+            coh=tset(ctx.coh, loc, ts_new),
+            vwo=max(ctx.vwo, ts_new),
+            monitor=(),
+        )
+    else:
+        new_state = state
+        new_ctx = ctx._replace(
+            regs=tset(ctx.regs, instr.status, 1),
+            rv=tset(ctx.rv, instr.status, 0),
+            monitor=(),
+        )
+    succ = new_state.with_thread(tidx, _advance(cache, tidx, new_ctx, ctx.pc + 1))
+    if succ.threads[tidx].halted and succ.threads[tidx].promises:
+        return []
+    return [succ]
+
+
+def _apply_barrier(ctx: ThreadCtx, kind: BarrierKind) -> ThreadCtx:
+    if kind is BarrierKind.FULL:
+        frontier = max(ctx.vro, ctx.vwo)
+        return ctx._replace(vrn=max(ctx.vrn, frontier), vwn=max(ctx.vwn, frontier))
+    if kind is BarrierKind.LD:
+        return ctx._replace(vrn=max(ctx.vrn, ctx.vro), vwn=max(ctx.vwn, ctx.vro))
+    if kind is BarrierKind.ST:
+        return ctx._replace(vwn=max(ctx.vwn, ctx.vwo))
+    if kind is BarrierKind.ISB:
+        return ctx._replace(vrn=max(ctx.vrn, ctx.vctrl))
+    raise ExecutionError(f"unknown barrier kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# virtual memory (MMU walker + TLB)
+# ---------------------------------------------------------------------------
+
+def _translations(
+    cache: ProgramCache,
+    state: ExecState,
+    tidx: int,
+    cfg: ModelConfig,
+    vpn: int,
+) -> List[Tuple[Optional[int], ExecState]]:
+    """All translation outcomes for *vpn* on thread *tidx*'s CPU.
+
+    Returns ``(ppage, state)`` pairs; ``ppage=None`` is a translation
+    fault.  Outcomes include a TLB hit (if an entry exists) and every
+    combination of stale/fresh walker reads; a successful walk refills
+    the TLB.
+    """
+    mmu = cache.program.mmu
+    if mmu is None:
+        raise ExecutionError("virtual access in a program with no MMUConfig")
+    thread = cache.threads[tidx]
+    results: List[Tuple[Optional[int], ExecState]] = []
+
+    cached = tget(state.tlb, (thread.tid, vpn), None)
+    if cached is not None:
+        results.append((cached, state))
+
+    # Hardware walk (also models eviction: taken even when an entry exists).
+    mask = (1 << mmu.va_bits_per_level) - 1
+
+    def walk(level: int, table_loc: int, st: ExecState) -> None:
+        shift = mmu.va_bits_per_level * (mmu.levels - 1 - level)
+        entry_loc = table_loc + ((vpn >> shift) & mask)
+        for _ts, entry in _walker_candidates(st, cache, cfg, entry_loc, tidx):
+            if entry == 0:
+                results.append((None, st))
+            elif level + 1 == mmu.levels:
+                refilled = st._replace(
+                    tlb=tset(st.tlb, (thread.tid, vpn), entry)
+                )
+                results.append((entry, refilled))
+            else:
+                walk(level + 1, entry, st)
+
+    walk(0, mmu.root, state)
+    # Deduplicate identical outcomes (stale choices often coincide).
+    seen = set()
+    unique: List[Tuple[Optional[int], ExecState]] = []
+    for ppage, st in results:
+        key = (ppage, st)
+        if key not in seen:
+            seen.add(key)
+            unique.append((ppage, st))
+    return unique
+
+
+def _exec_virtual(
+    cache, state, tidx, cfg, instr, regs, is_store: bool
+) -> List[ExecState]:
+    ctx = state.threads[tidx]
+    thread = cache.threads[tidx]
+    vpn = instr.vaddr.eval(regs)
+    out: List[ExecState] = []
+    for ppage, st in _translations(cache, state, tidx, cfg, vpn):
+        if ppage is None:
+            faulted = st._replace(faults=st.faults + (Fault(thread.tid, vpn),))
+            halted_ctx = st.threads[tidx]._replace(halted=True)
+            if halted_ctx.promises:
+                continue  # faulting with unfulfilled promises: invalid
+            out.append(faulted.with_thread(tidx, halted_ctx))
+            continue
+        if is_store:
+            phys = Store(
+                addr=_const(ppage), value=instr.value, space=instr.space
+            )
+            out.extend(_exec_store(cache, st, tidx, cfg, phys, regs))
+        else:
+            phys = Load(dst=instr.dst, addr=_const(ppage), space=instr.space)
+            out.extend(_exec_load(cache, st, tidx, cfg, phys, regs))
+    return out
+
+
+def _const(value: int):
+    from repro.ir.expr import Imm
+
+    return Imm(value)
+
+
+def _exec_tlbi(cache, state, tidx, cfg, instr: TLBInvalidate, regs) -> List[ExecState]:
+    ctx = state.threads[tidx]
+    vpn = instr.vaddr.eval(regs) if instr.vaddr is not None else None
+    tlb = tuple(
+        ((cpu, entry_vpn), ppage)
+        for (cpu, entry_vpn), ppage in state.tlb
+        if vpn is not None and entry_vpn != vpn
+    )
+    # A TLBI forces walkers to observe every prior store that this CPU has
+    # *ordered* (covered by its write frontier).  Without a barrier between
+    # the page-table store and the TLBI, vwn does not cover the store and
+    # walkers may keep reading the stale entry — Example 6.
+    floor = max(state.walker_floor, ctx.vwn) if cfg.relaxed else state.walker_floor
+    new_state = state._replace(tlb=tlb, walker_floor=floor)
+    return [new_state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
+
+
+# ---------------------------------------------------------------------------
+# push/pull ownership primitives
+# ---------------------------------------------------------------------------
+
+def _owner_releases_without_access(
+    cache: ProgramCache, state: ExecState, owner_idx: int, loc: int
+) -> bool:
+    """Will the current owner push *loc* without touching it again?
+
+    Structural scan of the owner's remaining instruction stream: if a
+    ``Push`` covering *loc* appears before any (potential) access to
+    *loc*, the owner has logically finished with the location — its push
+    promise is already implied, and an early transfer to a puller that
+    observed the (promoted) unlock write is architecturally sound.
+    Unknown (register-dependent) addresses are conservatively treated as
+    accesses.
+    """
+    from repro.ir.expr import Imm
+
+    ctx = state.threads[owner_idx]
+    for instr in cache.threads[owner_idx].instrs[ctx.pc:]:
+        if isinstance(instr, Push):
+            for expr in instr.locs:
+                if isinstance(expr, Imm) and expr.value == loc:
+                    return True
+        elif isinstance(instr, (Load, Store, FetchAndInc)):
+            addr = instr.addr
+            if not isinstance(addr, Imm) or addr.value == loc:
+                return False
+        elif isinstance(instr, (VLoad, VStore)):
+            return False  # translated target unknown: conservative
+    return False
+
+
+def _exec_pull(cache, state, tidx, cfg, instr: Pull, regs) -> List[ExecState]:
+    ctx = state.threads[tidx]
+    thread = cache.threads[tidx]
+    if not cfg.pushpull:
+        return [state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
+    ownership = state.ownership
+    pending = state.pending_release
+    push_ts = state.push_ts
+    for expr in instr.locs:
+        loc = expr.eval(regs)
+        owner = tget(ownership, loc, None)
+        if owner is not None:
+            # The owner may have *promised* its push: its unlock write
+            # became visible (and was legitimately observed by this
+            # puller) before the Push pseudo-instruction executed.  That
+            # is sound exactly when the owner will push the location
+            # without accessing it again.
+            owner_idx = next(
+                i for i, t in enumerate(cache.threads) if t.tid == owner
+            )
+            if owner == thread.tid or not _owner_releases_without_access(
+                cache, state, owner_idx, loc
+            ):
+                return [
+                    _panic_state(
+                        state,
+                        f"push/pull violation: CPU {thread.tid} pulled "
+                        f"location {loc:#x} owned by CPU {owner}",
+                    )
+                ]
+            frontier = tget(state.threads[owner_idx].coh, loc, 0)
+            if cfg.check_barrier_fulfillment and ctx.vrn < frontier:
+                return [
+                    _panic_state(
+                        state,
+                        f"No-Barrier-Misuse violation: CPU {thread.tid} "
+                        f"pulled location {loc:#x} without a barrier "
+                        f"covering the owner's accesses",
+                    )
+                ]
+            pending = tset(pending, loc, owner)
+            ownership = tset(ownership, loc, thread.tid)
+            continue
+        if cfg.check_barrier_fulfillment and ctx.vrn < tget(push_ts, loc, 0):
+            return [
+                _panic_state(
+                    state,
+                    f"No-Barrier-Misuse violation: CPU {thread.tid} pulled "
+                    f"location {loc:#x} without a barrier covering its last push",
+                )
+            ]
+        ownership = tset(ownership, loc, thread.tid)
+    new_state = state._replace(ownership=ownership, pending_release=pending)
+    return [new_state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
+
+
+def _exec_push(cache, state, tidx, cfg, instr: Push, regs) -> List[ExecState]:
+    ctx = state.threads[tidx]
+    thread = cache.threads[tidx]
+    if not cfg.pushpull:
+        return [state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
+    ownership = state.ownership
+    push_ts = state.push_ts
+    pending = state.pending_release
+    for expr in instr.locs:
+        loc = expr.eval(regs)
+        if tget(pending, loc, None) == thread.tid:
+            # This push was promised early and the location has already
+            # been transferred to the next owner; the pseudo-instruction
+            # is now a no-op fulfillment.
+            pending = tdel(pending, loc)
+            continue
+        owner = tget(ownership, loc, None)
+        if owner != thread.tid:
+            return [
+                _panic_state(
+                    state,
+                    f"push/pull violation: CPU {thread.tid} pushed location "
+                    f"{loc:#x} it does not own (owner: {owner})",
+                )
+            ]
+        ownership = tdel(ownership, loc)
+        # Record the pusher's coherence frontier on the location: the
+        # next pull's barrier frontier must cover everything the pusher
+        # did to it ("the pull promise is fulfilled by a barrier" that
+        # observed the push).  Using the per-location frontier (rather
+        # than the global timeline length) keeps unrelated concurrent
+        # writes from falsely failing correctly-fenced unlocks.
+        push_ts = tset(push_ts, loc, tget(ctx.coh, loc, 0))
+    new_state = state._replace(
+        ownership=ownership, push_ts=push_ts, pending_release=pending
+    )
+    return [new_state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
+
+
+# ---------------------------------------------------------------------------
+# promises
+# ---------------------------------------------------------------------------
+
+def collect_promise_candidates(
+    cache: ProgramCache,
+    state: ExecState,
+    tidx: int,
+    cfg: ModelConfig,
+) -> FrozenSet[Tuple[int, int]]:
+    """(loc, value) pairs of stores thread *tidx* could perform soon.
+
+    A bounded thread-local lookahead: run only this thread forward (with
+    every read choice) and record the first ``promise_depth`` stores along
+    each path.  Release stores are never promisable (Arm's STLR is ordered
+    after all program-order-earlier accesses, so promoting it early is
+    architecturally impossible).
+    """
+    candidates: set = set()
+    local_cfg = replace(cfg, pushpull=False)  # lookahead ignores ownership
+    stack: List[Tuple[ExecState, int]] = [(state, 0)]
+    seen = {state}
+    budget = cfg.cert_max_states
+    while stack and budget > 0:
+        st, depth = stack.pop()
+        budget -= 1
+        ctx = st.threads[tidx]
+        if (
+            ctx.halted
+            or st.panic is not None
+            or depth >= cfg.promise_depth
+            or ctx.pc >= cache.thread_len(tidx)
+        ):
+            continue
+        instr = cache.instr_at(tidx, ctx.pc)
+        is_plain_store = isinstance(instr, Store) and not instr.release
+        if is_plain_store:
+            regs = _regs_dict(ctx)
+            try:
+                loc = instr.addr.eval(regs)
+                val = instr.value.eval(regs)
+                candidates.add((loc, val))
+            except Exception:
+                pass
+        next_depth = depth + (1 if is_plain_store else 0)
+        for succ in execute_instruction(cache, st, tidx, local_cfg):
+            if len(succ.memory) > cfg.max_memory:
+                continue
+            if succ not in seen:
+                seen.add(succ)
+                stack.append((succ, next_depth))
+    return frozenset(candidates)
+
+
+def certify(
+    cache: ProgramCache,
+    state: ExecState,
+    tidx: int,
+    cfg: ModelConfig,
+) -> bool:
+    """Can thread *tidx*, running alone, fulfill all its promises?
+
+    This is the certification step of the Promising model: a promise may
+    only be made if the thread can, in isolation against the current
+    memory, reach a configuration with no outstanding promises.
+    """
+    local_cfg = replace(cfg, pushpull=False)
+    stack = [state]
+    seen = {state}
+    budget = cfg.cert_max_states
+    while stack and budget > 0:
+        st = stack.pop()
+        budget -= 1
+        ctx = st.threads[tidx]
+        if not ctx.promises:
+            return True
+        if ctx.halted or st.panic is not None:
+            continue
+        for succ in execute_instruction(cache, st, tidx, local_cfg):
+            if len(succ.memory) > cfg.max_memory:
+                continue
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return False
+
+
+def promise_steps(
+    cache: ProgramCache,
+    state: ExecState,
+    tidx: int,
+    cfg: ModelConfig,
+) -> List[ExecState]:
+    """Successor states where thread *tidx* promises a future store."""
+    ctx = state.threads[tidx]
+    if (
+        not cfg.relaxed
+        or ctx.halted
+        or state.panic is not None
+        or len(ctx.promises) >= cfg.max_promises_per_thread
+        or len(state.memory) >= cfg.max_memory
+    ):
+        return []
+    thread = cache.threads[tidx]
+    out: List[ExecState] = []
+    for loc, val in collect_promise_candidates(cache, state, tidx, cfg):
+        ts = len(state.memory) + 1
+        promised = state.append_message(Message(ts, loc, val, thread.tid, True))
+        promised = promised.with_thread(
+            tidx, ctx._replace(promises=ctx.promises + (ts,))
+        )
+        if certify(cache, promised, tidx, cfg):
+            out.append(promised)
+    return out

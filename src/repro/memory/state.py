@@ -1,0 +1,146 @@
+"""Immutable machine states for the exploration engines.
+
+A :class:`ExecState` captures everything the step relation needs: the
+global message timeline, per-thread contexts (program counter, registers,
+views, outstanding promises), per-CPU TLBs, the global walker floor, and
+the push/pull ownership map.  States are plain nested tuples so they hash
+and compare fast; functional updates go through small helpers.
+
+Mapping-like fields (registers, views-per-register, coherence-per-
+location, ownership) are stored as sorted tuples of pairs, updated with
+:func:`tset`.  The constant-factor cost is acceptable at litmus scale and
+buys trivially correct duplicate detection.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Tuple
+
+from repro.memory.datatypes import Fault, Message
+
+Pairs = Tuple[Tuple, ...]
+
+
+def tget(pairs: Pairs, key, default=0):
+    """Look up *key* in a sorted pair-tuple mapping."""
+    for k, v in pairs:
+        if k == key:
+            return v
+    return default
+
+
+def tset(pairs: Pairs, key, value) -> Pairs:
+    """Return a new sorted pair-tuple with *key* set to *value*."""
+    out = [(k, v) for k, v in pairs if k != key]
+    out.append((key, value))
+    out.sort()
+    return tuple(out)
+
+
+def tdel(pairs: Pairs, key) -> Pairs:
+    """Return a new pair-tuple with *key* removed (no-op if absent)."""
+    return tuple((k, v) for k, v in pairs if k != key)
+
+
+class ThreadCtx(NamedTuple):
+    """One CPU's execution context.
+
+    Views (all scalar timestamps into the global timeline):
+
+    * ``coh`` — per-location coherence: the timestamp of the last write to
+      that location this thread has read or written; later reads of the
+      location may not go behind it.
+    * ``vrn`` — floor for new reads: raised by acquire loads and DMB; a
+      read of ``loc`` must not return a write older than the last write to
+      ``loc`` at or before ``vrn``.
+    * ``vwn`` — floor for new writes: a store's timestamp must exceed it.
+    * ``vro``/``vwo`` — the maximum timestamp among past reads/writes, the
+      inputs DMB LD / DMB ST promote into the floors.
+    * ``vctrl`` — control frontier: join of the dependency views of all
+      executed branch conditions; orders later *stores* (and, after ISB,
+      later loads) after the reads feeding those branches.
+
+    ``rv`` maps registers to dependency views — the timestamp knowledge
+    carried by the value in the register, which is what makes data and
+    address dependencies order-preserving.
+    """
+
+    pc: int
+    halted: bool
+    regs: Pairs              # (name, value)
+    rv: Pairs                # (name, view ts)
+    coh: Pairs               # (loc, ts)
+    vrn: int
+    vwn: int
+    vro: int
+    vwo: int
+    vctrl: int
+    promises: Tuple[int, ...]  # timestamps of own unfulfilled promises
+    monitor: Tuple = ()        # (loc, ts) armed by LoadExclusive, or ()
+
+
+class ExecState(NamedTuple):
+    """A complete machine configuration."""
+
+    memory: Tuple[Message, ...]
+    threads: Tuple[ThreadCtx, ...]
+    tlb: Pairs               # ((cpu, vpn), ppage)
+    walker_floor: int        # raised by barrier-ordered TLBI (scalar, global)
+    ownership: Pairs         # (loc, tid) — push/pull ownership map
+    push_ts: Pairs           # (loc, ts of last Push) — barrier-fulfillment
+    faults: Tuple[Fault, ...]
+    panic: Optional[str]
+    pending_release: Pairs = ()   # (loc, old owner): push promised early
+
+    def thread(self, idx: int) -> ThreadCtx:
+        return self.threads[idx]
+
+    def with_thread(self, idx: int, ctx: ThreadCtx) -> "ExecState":
+        threads = self.threads[:idx] + (ctx,) + self.threads[idx + 1:]
+        return self._replace(threads=threads)
+
+    def append_message(self, msg: Message) -> "ExecState":
+        return self._replace(memory=self.memory + (msg,))
+
+    def fulfill(self, ts: int) -> "ExecState":
+        """Mark the promise at *ts* fulfilled."""
+        msg = self.memory[ts - 1]
+        memory = (
+            self.memory[: ts - 1]
+            + (msg._replace(promised=False),)
+            + self.memory[ts:]
+        )
+        return self._replace(memory=memory)
+
+
+def initial_thread_ctx() -> ThreadCtx:
+    return ThreadCtx(
+        pc=0,
+        halted=False,
+        regs=(),
+        rv=(),
+        coh=(),
+        vrn=0,
+        vwn=0,
+        vro=0,
+        vwo=0,
+        vctrl=0,
+        promises=(),
+        monitor=(),
+    )
+
+
+def initial_state(
+    n_threads: int, initial_ownership: Tuple[Tuple[int, int], ...] = ()
+) -> ExecState:
+    return ExecState(
+        memory=(),
+        threads=tuple(initial_thread_ctx() for _ in range(n_threads)),
+        tlb=(),
+        walker_floor=0,
+        ownership=tuple(sorted(initial_ownership)),
+        push_ts=(),
+        faults=(),
+        panic=None,
+        pending_release=(),
+    )

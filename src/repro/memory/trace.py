@@ -1,0 +1,185 @@
+"""Execution tracing: find and explain a concrete relaxed execution.
+
+When a checker or a behavior comparison reports an RM-only outcome, the
+natural next question is *how* the hardware gets there.  This module
+searches the Promising Arm state space for an execution reaching a
+given behavior and renders it in the style of the paper's Figure 3: the
+global promise list (the message timeline) plus each CPU's step
+sequence with read-from / fulfill annotations.
+
+The traced search re-runs the same step relation as the main explorer
+but keeps the path of :class:`TraceEvent` records, reconstructed by
+diffing consecutive machine states (new messages, promise fulfillment,
+program-counter movement, register updates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.program import Program
+from repro.memory.behaviors import admits
+from repro.memory.datatypes import Behavior
+from repro.memory.exploration import _is_terminal, _is_valid_terminal, behavior_of
+from repro.memory.semantics import (
+    ModelConfig,
+    ProgramCache,
+    execute_instruction,
+    promise_steps,
+)
+from repro.memory.state import ExecState, initial_state, tget
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One step of an execution, reconstructed from a state diff."""
+
+    tid: int
+    kind: str            # "exec" | "promise" | "fulfill"
+    instruction: str
+    new_message: Optional[str] = None
+    read_note: Optional[str] = None
+
+    def render(self) -> str:
+        parts = [f"CPU {self.tid}: {self.kind:<8} {self.instruction}"]
+        if self.new_message:
+            parts.append(f"-> {self.new_message}")
+        if self.read_note:
+            parts.append(f"[{self.read_note}]")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class ExecutionTrace:
+    """A full execution: events plus the final state."""
+
+    program_name: str
+    events: Tuple[TraceEvent, ...]
+    final_state: ExecState
+    behavior: Behavior
+
+    def render(self) -> str:
+        lines = [f"execution of {self.program_name!r}:"]
+        for i, event in enumerate(self.events):
+            lines.append(f"  {i + 1:>3}. {event.render()}")
+        lines.append("  promise list (global timeline):")
+        for msg in self.final_state.memory:
+            lines.append(
+                f"    ({msg.ts}) CPU {msg.tid}: [{msg.loc:#x}] := {msg.val}"
+            )
+        lines.append(f"  outcome: {self.behavior.pretty()}")
+        return "\n".join(lines)
+
+
+def _diff_event(
+    cache: ProgramCache, before: ExecState, after: ExecState, tid_idx: int
+) -> TraceEvent:
+    """Reconstruct what thread *tid_idx* did between two states."""
+    from repro.ir.pretty import format_instruction
+
+    thread = cache.threads[tid_idx]
+    ctx_before = before.threads[tid_idx]
+    ctx_after = after.threads[tid_idx]
+    if ctx_before.pc < cache.thread_len(tid_idx):
+        instr = format_instruction(cache.instr_at(tid_idx, ctx_before.pc))
+    else:
+        instr = "<halted>"
+
+    new_message = None
+    kind = "exec"
+    if len(after.memory) > len(before.memory):
+        msg = after.memory[-1]
+        flavor = "promise" if msg.promised else "write"
+        new_message = f"({msg.ts}) [{msg.loc:#x}] := {msg.val} ({flavor})"
+        if msg.promised:
+            kind = "promise"
+            instr = "<promise a future store>"
+    else:
+        # A promise may have been fulfilled: a message flipped state.
+        for m_before, m_after in zip(before.memory, after.memory):
+            if m_before.promised and not m_after.promised:
+                kind = "fulfill"
+                new_message = (
+                    f"fulfills ({m_after.ts}) [{m_after.loc:#x}] := {m_after.val}"
+                )
+                break
+
+    read_note = None
+    regs_before = dict(ctx_before.regs)
+    for reg, value in ctx_after.regs:
+        if regs_before.get(reg) != value:
+            ts = tget(ctx_after.rv, reg, 0)
+            read_note = f"{reg} := {value} (view ts {ts})"
+            break
+    return TraceEvent(
+        tid=thread.tid,
+        kind=kind,
+        instruction=instr,
+        new_message=new_message,
+        read_note=read_note,
+    )
+
+
+def find_execution(
+    program: Program,
+    cfg: ModelConfig,
+    predicate: Callable[[Behavior], bool],
+    observe_locs: Optional[Sequence[int]] = None,
+) -> Optional[ExecutionTrace]:
+    """DFS for a terminal behavior satisfying *predicate*; returns its
+    trace, or None if unreachable within the budget."""
+    cache = ProgramCache(program)
+    if observe_locs is None:
+        observe_locs = sorted(cache.initial_memory)
+    start = initial_state(len(program.threads), cfg.initial_ownership)
+    stack: List[Tuple[ExecState, Tuple[TraceEvent, ...]]] = [(start, ())]
+    visited: Set[ExecState] = {start}
+    budget = cfg.max_states
+
+    while stack and budget > 0:
+        state, path = stack.pop()
+        budget -= 1
+        if _is_terminal(state):
+            if _is_valid_terminal(state):
+                behavior = behavior_of(cache, state, observe_locs)
+                if predicate(behavior):
+                    return ExecutionTrace(
+                        program_name=program.name,
+                        events=path,
+                        final_state=state,
+                        behavior=behavior,
+                    )
+            continue
+        for tidx in range(len(program.threads)):
+            for succ in execute_instruction(cache, state, tidx, cfg):
+                if succ not in visited and len(succ.memory) <= cfg.max_memory:
+                    visited.add(succ)
+                    event = _diff_event(cache, state, succ, tidx)
+                    stack.append((succ, path + (event,)))
+            for succ in promise_steps(cache, state, tidx, cfg):
+                if succ not in visited and len(succ.memory) <= cfg.max_memory:
+                    visited.add(succ)
+                    event = _diff_event(cache, state, succ, tidx)
+                    stack.append((succ, path + (event,)))
+    return None
+
+
+def explain_outcome(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]] = None,
+    **register_values: int,
+) -> Optional[ExecutionTrace]:
+    """Find an execution whose registers match ``t{tid}_{reg}=value``
+    constraints (the :func:`repro.memory.behaviors.admits` convention)."""
+    wanted = {}
+    for key, value in register_values.items():
+        tid_part, _, reg = key.partition("_")
+        wanted[(int(tid_part[1:]), reg)] = value
+
+    def predicate(behavior: Behavior) -> bool:
+        assignment = {(t, r): v for t, r, v in behavior.registers}
+        return all(assignment.get(k) == v for k, v in wanted.items())
+
+    return find_execution(program, cfg, predicate, observe_locs)

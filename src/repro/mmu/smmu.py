@@ -1,0 +1,85 @@
+"""SMMU (Arm's I/O MMU) model for DMA protection.
+
+SeKVM uses SMMU page tables so DMA-capable devices assigned to a VM or
+to KServ can only reach memory their owner is allowed to touch
+(Section 5.3): KCore's memory is never mapped into any SMMU table, so
+device DMA cannot read or write hypervisor state.
+
+The model is deliberately structural: each device has an SMMU context
+(a :class:`MultiLevelPageTable` plus an SMMU TLB), DMA reads/writes
+translate through it, and KCore is the only agent allowed to mutate the
+tables (through ``set_spt``/``clear_spt`` in :mod:`repro.sekvm.smmupt`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import SecurityViolation
+from repro.mmu.pagetable import MultiLevelPageTable
+from repro.mmu.tlb import TLB
+
+
+@dataclass
+class DMAResult:
+    """Outcome of a device DMA access."""
+
+    ok: bool
+    ppage: Optional[int] = None
+
+    @property
+    def faulted(self) -> bool:
+        return not self.ok
+
+
+class SMMUContext:
+    """One device's translation context behind the SMMU."""
+
+    def __init__(self, device_id: int, levels: int = 4, tlb_entries: int = 32):
+        self.device_id = device_id
+        self.pagetable = MultiLevelPageTable(
+            levels=levels, name=f"smmu-dev{device_id}"
+        )
+        self.tlb = TLB(tlb_entries, name=f"smmu-tlb-dev{device_id}")
+
+    def translate(self, iova: int) -> DMAResult:
+        cached = self.tlb.lookup(self.device_id, iova)
+        if cached is not None:
+            return DMAResult(ok=True, ppage=cached)
+        ppage = self.pagetable.walk(iova)
+        if ppage is None:
+            return DMAResult(ok=False)
+        self.tlb.insert(self.device_id, iova, ppage)
+        return DMAResult(ok=True, ppage=ppage)
+
+    def invalidate_tlb(self, iova: Optional[int] = None) -> None:
+        self.tlb.invalidate(asid=self.device_id, vpn=iova)
+
+
+class SMMU:
+    """The system SMMU: contexts for all DMA-capable devices.
+
+    ``enabled`` is the hardware enable bit KCore proves is always set as
+    a system invariant; with the SMMU disabled, DMA would bypass
+    translation entirely, which is exactly the configuration SeKVM's
+    proofs exclude.
+    """
+
+    def __init__(self, levels: int = 4):
+        self.levels = levels
+        self.enabled = True
+        self.contexts: Dict[int, SMMUContext] = {}
+
+    def context(self, device_id: int) -> SMMUContext:
+        if device_id not in self.contexts:
+            self.contexts[device_id] = SMMUContext(device_id, levels=self.levels)
+        return self.contexts[device_id]
+
+    def dma_access(self, device_id: int, iova: int) -> DMAResult:
+        """Translate a device access; raises if the SMMU is off."""
+        if not self.enabled:
+            raise SecurityViolation(
+                "SMMU disabled: DMA would bypass translation"
+            )
+        return self.context(device_id).translate(iova)

@@ -1,0 +1,86 @@
+"""Standalone TLB model.
+
+The exploration executor embeds TLB state directly (it must be part of
+the hashed machine state); this class is the reference model used by the
+SeKVM functional layer and the performance simulator's cost accounting.
+It is a finite, set-associative translation cache with broadcast
+invalidation — the structure whose *capacity* differences between the
+m400 (tiny TLB) and Seattle machines drive the paper's Table 3 results.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """An LRU translation cache of bounded capacity.
+
+    ``entries`` is the total capacity; lookups are keyed by
+    ``(asid, vpn)`` so multiple address spaces (KServ vs each VM's stage 2
+    context) contend for the same physical structure, as on hardware.
+    """
+
+    def __init__(self, entries: int, name: str = "tlb"):
+        if entries < 1:
+            raise ValueError("TLB needs at least one entry")
+        self.capacity = entries
+        self.name = name
+        self._entries: "OrderedDict[Tuple[int, int], int]" = OrderedDict()
+        self.stats = TLBStats()
+
+    def lookup(self, asid: int, vpn: int) -> Optional[int]:
+        key = (asid, vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return self._entries[key]
+        self.stats.misses += 1
+        return None
+
+    def insert(self, asid: int, vpn: int, ppage: int) -> None:
+        key = (asid, vpn)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = ppage
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, asid: Optional[int] = None, vpn: Optional[int] = None) -> int:
+        """Invalidate entries; None means "all" on that axis.
+
+        Returns the number of entries dropped.
+        """
+        victims = [
+            key
+            for key in self._entries
+            if (asid is None or key[0] == asid)
+            and (vpn is None or key[1] == vpn)
+        ]
+        for key in victims:
+            del self._entries[key]
+        self.stats.invalidations += len(victims)
+        return len(victims)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._entries

@@ -1,0 +1,75 @@
+"""Pure page-table walks over memory snapshots.
+
+The exploration executor embeds its own walker (it must interleave walker
+reads with the relaxed memory system); this module provides the *pure*
+walk used by the Transactional-Page-Table checker: given a read function
+over a memory snapshot, compute the translation outcome.  The checker
+calls it once per subset of reordered page-table writes (Section 3,
+condition 4: under arbitrary reordering, any walk must see the pre-state
+result, the post-state result, or a fault).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.ir.program import MMUConfig
+
+
+class WalkStatus(enum.Enum):
+    OK = "ok"
+    FAULT = "fault"
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of one translation attempt."""
+
+    status: WalkStatus
+    ppage: Optional[int] = None
+
+    @staticmethod
+    def ok(ppage: int) -> "WalkResult":
+        return WalkResult(WalkStatus.OK, ppage)
+
+    @staticmethod
+    def fault() -> "WalkResult":
+        return WalkResult(WalkStatus.FAULT)
+
+    @property
+    def is_fault(self) -> bool:
+        return self.status is WalkStatus.FAULT
+
+
+def walk(
+    read: Callable[[int], int],
+    mmu: MMUConfig,
+    vpn: int,
+) -> WalkResult:
+    """Translate *vpn* by walking tables through *read*.
+
+    ``read(loc)`` returns the current value of a page-table entry
+    location; entry value 0 faults the walk.
+    """
+    mask = (1 << mmu.va_bits_per_level) - 1
+    table = mmu.root
+    for level in range(mmu.levels):
+        shift = mmu.va_bits_per_level * (mmu.levels - 1 - level)
+        entry = read(table + ((vpn >> shift) & mask))
+        if entry == 0:
+            return WalkResult.fault()
+        if level + 1 == mmu.levels:
+            return WalkResult.ok(entry)
+        table = entry
+    return WalkResult.fault()
+
+
+def walk_memory(
+    memory: Mapping[int, int],
+    mmu: MMUConfig,
+    vpn: int,
+) -> WalkResult:
+    """Walk over a plain dict snapshot (missing locations read 0)."""
+    return walk(lambda loc: memory.get(loc, 0), mmu, vpn)

@@ -1,0 +1,92 @@
+"""Evaluation substrate: machines, operation simulation, workloads,
+and the Table-3 / Figure-8 / Figure-9 harnesses."""
+
+from repro.perf.machine import M400, MACHINES, MODERN, SEATTLE, MachineModel
+from repro.perf.hypersim import (
+    CpuSimulator,
+    Fixed,
+    Hypervisor,
+    Mem,
+    SimConfig,
+    Space,
+    simulate_operation,
+)
+from repro.perf.workloads import (
+    APP_WORKLOADS,
+    MICROBENCHMARKS,
+    AppWorkload,
+    Microbenchmark,
+    describe_table2,
+    describe_table4,
+    workload_by_name,
+)
+from repro.perf.microbench import (
+    MicrobenchCell,
+    PAPER_TABLE3,
+    format_table3,
+    overhead_ratio,
+    run_table3,
+)
+from repro.perf.appbench import (
+    AppBenchResult,
+    event_costs,
+    format_figure8,
+    normalized_performance,
+    run_figure8,
+    sekvm_vs_kvm_overhead,
+)
+from repro.perf.events import MultiVMSimulator, VCpuTask
+from repro.perf.scaling import (
+    ScalingPoint,
+    VM_COUNTS,
+    format_figure9,
+    run_figure9,
+    simulate_scaling,
+)
+from repro.perf.native import NativeRun, run_native
+from repro.perf.contention import ContentionPoint, format_contention, run_contention_study
+
+__all__ = [
+    "M400",
+    "MACHINES",
+    "MODERN",
+    "SEATTLE",
+    "MachineModel",
+    "CpuSimulator",
+    "Fixed",
+    "Hypervisor",
+    "Mem",
+    "SimConfig",
+    "Space",
+    "simulate_operation",
+    "APP_WORKLOADS",
+    "MICROBENCHMARKS",
+    "AppWorkload",
+    "Microbenchmark",
+    "describe_table2",
+    "describe_table4",
+    "workload_by_name",
+    "MicrobenchCell",
+    "PAPER_TABLE3",
+    "format_table3",
+    "overhead_ratio",
+    "run_table3",
+    "AppBenchResult",
+    "event_costs",
+    "format_figure8",
+    "normalized_performance",
+    "run_figure8",
+    "sekvm_vs_kvm_overhead",
+    "MultiVMSimulator",
+    "VCpuTask",
+    "ScalingPoint",
+    "VM_COUNTS",
+    "format_figure9",
+    "run_figure9",
+    "simulate_scaling",
+    "NativeRun",
+    "run_native",
+    "ContentionPoint",
+    "format_contention",
+    "run_contention_study",
+]

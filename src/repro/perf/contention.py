@@ -1,0 +1,102 @@
+"""Lock-contention study (the paper's Section 6 conclusion).
+
+"These results indicate that the use of locks in SeKVM to protect shared
+memory accesses and make its proofs tractable ... do not adversely
+affect SeKVM's performance scalability."  The microbenchmark and
+application results show this indirectly; this study measures it
+directly on the functional model: drive N concurrent VMs through their
+lifecycle with the vCPU scheduler and count how often KCore's locks are
+actually contended.
+
+The structural reason contention stays negligible: the global VM lock
+only serializes VMID allocation and vCPU claim/release (rare, O(1)
+critical sections); stage 2 page-table locks are per-principal, so VMs
+never contend with each other on the hot fault path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.sekvm.hypervisor import SeKVMSystem, make_image
+from repro.sekvm.scheduler import VCpuScheduler
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """Lock statistics for one VM count."""
+
+    vms: int
+    vm_lock_acquisitions: int
+    vm_lock_contended: int
+    s2pt_acquisitions: int
+    s2pt_contended: int
+
+    @property
+    def vm_lock_contention_rate(self) -> float:
+        if not self.vm_lock_acquisitions:
+            return 0.0
+        return self.vm_lock_contended / self.vm_lock_acquisitions
+
+    @property
+    def s2pt_contention_rate(self) -> float:
+        if not self.s2pt_acquisitions:
+            return 0.0
+        return self.s2pt_contended / self.s2pt_acquisitions
+
+
+def run_contention_study(
+    vm_counts: Tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    rounds: int = 10,
+    writes_per_vm: int = 4,
+) -> List[ContentionPoint]:
+    """Boot N VMs, schedule them over 8 CPUs, run guest work, tear down;
+    report per-lock acquisition/contention counts."""
+    points: List[ContentionPoint] = []
+    for n_vms in vm_counts:
+        system = SeKVMSystem(total_pages=64 + 16 * n_vms, cpus=8)
+        image, _ = make_image(1, 2)
+        vmids = [system.boot_vm(image, vcpus=2) for _ in range(n_vms)]
+        scheduler = VCpuScheduler(system.kcore, cpus=8)
+        for vmid in vmids:
+            scheduler.enqueue(vmid, 0)
+            scheduler.enqueue(vmid, 1)
+        scheduler.run_rounds(rounds)
+        scheduler.idle()
+        for vmid in vmids:
+            system.run_guest_work(
+                vmid, 0, cpu=vmid % 8,
+                writes={0x10 + i: i for i in range(writes_per_vm)},
+            )
+        for vmid in vmids:
+            system.teardown_vm(vmid)
+        kcore = system.kcore
+        s2_locks = [kcore.kserv_s2pt.lock] + [
+            vm.s2pt.lock for vm in kcore.vms.values()
+        ]
+        points.append(
+            ContentionPoint(
+                vms=n_vms,
+                vm_lock_acquisitions=kcore.vm_lock.acquisitions,
+                vm_lock_contended=kcore.vm_lock.contended,
+                s2pt_acquisitions=sum(l.acquisitions for l in s2_locks),
+                s2pt_contended=sum(l.contended for l in s2_locks),
+            )
+        )
+    return points
+
+
+def format_contention(points: List[ContentionPoint]) -> str:
+    lines = [
+        "Lock contention under multi-VM load (functional model)",
+        f"{'VMs':>4} {'vm-lock acq':>12} {'contended':>10} "
+        f"{'s2pt acq':>9} {'contended':>10}",
+    ]
+    for p in points:
+        lines.append(
+            f"{p.vms:>4} {p.vm_lock_acquisitions:>12} "
+            f"{p.vm_lock_contended:>10} {p.s2pt_acquisitions:>9} "
+            f"{p.s2pt_contended:>10}"
+        )
+    return "\n".join(lines)

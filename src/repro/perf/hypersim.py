@@ -1,0 +1,344 @@
+"""Operation-level simulation of unmodified KVM vs SeKVM (Section 6).
+
+The simulator executes a hypervisor *operation* (one microbenchmark
+iteration, or one virtualization event inside an application workload)
+as a sequence of phases — fixed-cost hardware events (traps, world
+switches, exception returns) and memory phases that stream a working set
+through the machine's TLB.  Costs differ between hypervisors for
+structural reasons only:
+
+* **SeKVM** interposes KCore on every transition (EL2 entry/exit plus
+  s2page ownership checks), and runs KServ/QEMU under a stage 2 page
+  table with 4 KB mappings — so their TLB misses pay nested-walk refill
+  costs and their working sets occupy one entry per small page.
+* **Unmodified KVM** runs the host with huge-page mappings (fewer TLB
+  entries per working set) and host-only walks.
+
+Because the TLB persists across iterations and the guest's own working
+set contends for it, machines with tiny TLBs (m400) re-miss the handler
+footprint on every operation while large-TLB machines (Seattle) keep it
+resident — reproducing the paper's m400-vs-Seattle overhead gap without
+hand-coding any ratio.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.mmu.tlb import TLB
+from repro.perf.machine import MachineModel
+
+
+class Hypervisor(enum.Enum):
+    KVM = "KVM"
+    SEKVM = "SeKVM"
+
+
+class Space(enum.Enum):
+    """Which address space a memory phase runs in."""
+
+    VM = "vm"           # guest: nested translation under both hypervisors
+    HOST = "host"       # KVM host / SeKVM's KServ
+    QEMU = "qemu"       # userspace device emulation (inside host/KServ)
+    KCORE = "kcore"     # SeKVM's EL2 core: own write-once table
+
+
+#: Huge-page collapse factor: a 2 MB mapping covers 512 small pages; we
+#: use a conservative factor for mixed handler footprints.
+HUGE_PAGE_FACTOR = 8
+
+
+@dataclass(frozen=True)
+class Fixed:
+    """A fixed-cost phase (trap, world switch, ...)."""
+
+    cycles: int
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory phase: *accesses* spread over *pages* in *space*.
+
+    ``cold_ratio`` controls locality: one access in ``cold_ratio`` walks
+    the cold tail of the working set; the rest hit a few hot pages.
+    """
+
+    space: Space
+    pages: int
+    accesses: int
+    label: str = ""
+    cold_ratio: int = 16
+
+
+Phase = Union[Fixed, Mem]
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """One simulated configuration."""
+
+    machine: MachineModel
+    hypervisor: Hypervisor
+    s2_levels: int = 4
+    linux: str = "4.18"
+
+    def version_factor(self) -> float:
+        """Small efficiency delta across the verified Linux versions.
+
+        The paper measures 4.18 and 5.4 and finds no substantial
+        difference; intermediate versions interpolate the same small
+        host-side improvements.
+        """
+        factors = {
+            "4.18": 1.0,
+            "4.20": 0.995,
+            "5.0": 0.990,
+            "5.1": 0.985,
+            "5.2": 0.980,
+            "5.3": 0.975,
+            "5.4": 0.970,
+            "5.5": 0.968,
+        }
+        return factors.get(self.linux, 1.0)
+
+
+class CpuSimulator:
+    """Per-CPU simulation state: the TLB and cycle accounting."""
+
+    #: ASIDs for the spaces (guest contexts get 100+vmid from callers).
+    _ASIDS = {Space.VM: 0, Space.HOST: 1, Space.QEMU: 2, Space.KCORE: 3}
+    #: Page-number bases keeping spaces disjoint in the TLB.
+    _BASES = {Space.VM: 0x10000, Space.HOST: 0x20000, Space.QEMU: 0x30000,
+              Space.KCORE: 0x40000}
+
+    def __init__(self, cfg: SimConfig):
+        self.cfg = cfg
+        self.machine = cfg.machine
+        self.tlb = TLB(cfg.machine.tlb_entries, name=f"{cfg.machine.name}-tlb")
+        self.cycles = 0
+        self._cold_cursor: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _miss_cost(self, space: Space) -> int:
+        m = self.machine
+        if space is Space.VM:
+            return m.nested_miss_cost(self.cfg.s2_levels)
+        if space is Space.KCORE:
+            # KCore's EL2 table is write-once with all memory mapped at
+            # boot using block mappings: single-level refill.
+            return m.mem_latency
+        if self.cfg.hypervisor is Hypervisor.SEKVM:
+            # KServ/QEMU run under stage 2 with 4 KB pages.
+            return m.nested_miss_cost(self.cfg.s2_levels)
+        return m.host_miss_cost()
+
+    def _effective_pages(self, space: Space, pages: int) -> int:
+        if space in (Space.HOST, Space.QEMU) and self.cfg.hypervisor is Hypervisor.KVM:
+            # Host huge pages: the working set needs far fewer entries.
+            return max(1, pages // HUGE_PAGE_FACTOR)
+        return pages
+
+    def run_phase(self, phase: Phase) -> None:
+        if isinstance(phase, Fixed):
+            self.cycles += phase.cycles
+            return
+        pages = self._effective_pages(phase.space, phase.pages)
+        asid = self._ASIDS[phase.space]
+        base = self._BASES[phase.space]
+        miss_cost = self._miss_cost(phase.space)
+        per_access = 1  # pipeline-hidden hit cost
+        hot = min(4, pages)
+        cold_cursor = self._cold_cursor.get(asid, 0)
+        for i in range(phase.accesses):
+            if i % phase.cold_ratio != phase.cold_ratio - 1:
+                # Handler code/data exhibit strong locality: most
+                # references hit a few hot pages.
+                vpn = base + (i % hot)
+            else:
+                vpn = base + (cold_cursor % pages)
+                cold_cursor += 1
+            if self.tlb.lookup(asid, vpn) is None:
+                self.tlb.insert(asid, vpn, vpn)
+                self.cycles += miss_cost
+            self.cycles += per_access
+        self._cold_cursor[asid] = cold_cursor
+
+    def run_phases(self, phases: Sequence[Phase]) -> None:
+        for phase in phases:
+            self.run_phase(phase)
+
+
+# ---------------------------------------------------------------------------
+# operation definitions (Table 2)
+# ---------------------------------------------------------------------------
+
+def _vm_exit_entry(cfg: SimConfig) -> List[Phase]:
+    """Trap from the VM down to the hypervisor handler context."""
+    m = cfg.machine
+    phases: List[Phase] = [Fixed(m.trap_to_el2, "trap")]
+    if cfg.hypervisor is Hypervisor.SEKVM:
+        phases += [
+            Fixed(m.kcore_entry, "kcore-entry"),
+            Fixed(m.kcore_check, "s2page-checks"),
+            Mem(Space.KCORE, pages=4, accesses=12, label="kcore-state"),
+            Fixed(m.world_switch_regs, "save-vm-context"),
+            Fixed(m.kcore_exit, "exit-to-kserv"),
+        ]
+    else:
+        phases += [Fixed(m.world_switch_regs, "save-vm-context")]
+    return phases
+
+
+def _vm_exit_return(cfg: SimConfig) -> List[Phase]:
+    """Return from the handler back into the VM."""
+    m = cfg.machine
+    phases: List[Phase] = []
+    if cfg.hypervisor is Hypervisor.SEKVM:
+        phases += [
+            Fixed(m.kcore_entry, "kcore-entry"),
+            Fixed(m.kcore_check, "s2page-checks"),
+            Mem(Space.KCORE, pages=4, accesses=12, label="kcore-state"),
+            Fixed(m.world_switch_regs, "restore-vm-context"),
+            Fixed(m.kcore_exit, "kcore-exit"),
+        ]
+    else:
+        phases += [Fixed(m.world_switch_regs, "restore-vm-context")]
+    phases.append(Fixed(m.eret, "eret"))
+    return phases
+
+
+def _handler(cfg: SimConfig, extra_accesses: int = 0) -> List[Phase]:
+    m = cfg.machine
+    if cfg.hypervisor is Hypervisor.SEKVM:
+        return [
+            Mem(
+                Space.HOST,
+                pages=m.kserv_handler_pages,
+                accesses=m.kserv_handler_accesses + extra_accesses,
+                label="kserv-handler",
+            )
+        ]
+    return [
+        Mem(
+            Space.HOST,
+            pages=m.kvm_handler_pages,
+            accesses=m.kvm_handler_accesses + extra_accesses,
+            label="kvm-handler",
+        )
+    ]
+
+
+def hypercall_phases(cfg: SimConfig) -> List[Phase]:
+    """Table 2 'Hypercall': VM -> hypervisor -> VM, no work."""
+    return _vm_exit_entry(cfg) + _handler(cfg) + _vm_exit_return(cfg)
+
+
+def io_kernel_phases(cfg: SimConfig) -> List[Phase]:
+    """Table 2 'I/O Kernel': trap to the in-kernel emulated GIC."""
+    m = cfg.machine
+    policy: List[Phase] = (
+        [Fixed(m.kcore_io_check, "kcore-io-policy")]
+        if cfg.hypervisor is Hypervisor.SEKVM
+        else []
+    )
+    return (
+        _vm_exit_entry(cfg)
+        + policy
+        + _handler(cfg, extra_accesses=24)
+        + [Fixed(m.gic_emulate, "vgic-emulation")]
+        + _vm_exit_return(cfg)
+    )
+
+
+def io_user_phases(cfg: SimConfig) -> List[Phase]:
+    """Table 2 'I/O User': out to QEMU (emulated UART) and back."""
+    m = cfg.machine
+    policy: List[Phase] = (
+        [Fixed(m.kcore_io_check, "kcore-io-policy")] * 2
+        if cfg.hypervisor is Hypervisor.SEKVM
+        else []
+    )
+    return (
+        _vm_exit_entry(cfg)
+        + policy
+        + _handler(cfg, extra_accesses=16)
+        + [
+            Fixed(m.qemu_roundtrip, "kernel<->user"),
+            Mem(Space.QEMU, pages=m.qemu_pages, accesses=m.qemu_accesses,
+                label="qemu-uart"),
+        ]
+        + _handler(cfg, extra_accesses=8)
+        + _vm_exit_return(cfg)
+    )
+
+
+def virtual_ipi_phases(cfg: SimConfig) -> List[Phase]:
+    """Table 2 'Virtual IPI': sender exit + delivery + receiver inject."""
+    m = cfg.machine
+    sender = (
+        _vm_exit_entry(cfg)
+        + _handler(cfg, extra_accesses=16)
+        + [Fixed(m.gic_emulate, "vgic-send")]
+        + _vm_exit_return(cfg)
+    )
+    receiver = (
+        [Fixed(m.ipi_hw, "physical-ipi")]
+        + _vm_exit_entry(cfg)
+        + _handler(cfg, extra_accesses=8)
+        + [Fixed(m.gic_emulate, "vgic-inject")]
+        + _vm_exit_return(cfg)
+    )
+    return sender + receiver
+
+
+OPERATIONS = {
+    "Hypercall": hypercall_phases,
+    "I/O Kernel": io_kernel_phases,
+    "I/O User": io_user_phases,
+    "Virtual IPI": virtual_ipi_phases,
+}
+
+#: Guest work between operations: keeps the guest's working set hot in
+#: the TLB, contending with the handler footprints (the m400 mechanism).
+GUEST_TOUCH = Mem(Space.VM, pages=18, accesses=36, label="guest-work")
+
+
+def simulate_operation(
+    cfg: SimConfig,
+    operation: str,
+    iterations: int = 50,
+    warmup: int = 5,
+) -> float:
+    """Average per-iteration cycles of *operation*, steady state.
+
+    Matches the methodology of the KVM unit tests: run the operation in
+    a loop with guest work in between and report the mean cost.
+    """
+    try:
+        build = OPERATIONS[operation]
+    except KeyError:
+        raise ReproError(f"unknown microbenchmark {operation!r}") from None
+    sim = CpuSimulator(cfg)
+    phases = build(cfg)
+    for _ in range(warmup):
+        sim.run_phase(GUEST_TOUCH)
+        sim.run_phases(phases)
+    start = sim.cycles
+    for _ in range(iterations):
+        sim.run_phase(GUEST_TOUCH)
+        sim.run_phases(phases)
+    # Subtract the guest-touch cost measured in isolation (steady state),
+    # so the result is the operation's cost alone.
+    iso = CpuSimulator(cfg)
+    for _ in range(warmup):
+        iso.run_phase(GUEST_TOUCH)
+    iso_start = iso.cycles
+    for _ in range(iterations):
+        iso.run_phase(GUEST_TOUCH)
+    guest_cost = (iso.cycles - iso_start) / iterations
+    total = (sim.cycles - start) / iterations
+    return (total - guest_cost) * cfg.version_factor()

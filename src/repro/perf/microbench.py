@@ -1,0 +1,114 @@
+"""Table 3 harness: microbenchmark cycle counts, KVM vs SeKVM.
+
+Reproduces the paper's Table 3 — the four Table-2 operations measured in
+cycles on both machines for unmodified KVM and SeKVM (Linux 4.18).
+Paper values are embedded for side-by-side reporting; the reproduction
+target is the *shape*: KVM < SeKVM everywhere, a roughly 1.8-2.3x gap on
+the tiny-TLB m400 and 1.2-1.3x on Seattle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.perf.hypersim import Hypervisor, SimConfig, simulate_operation
+from repro.perf.machine import M400, SEATTLE, MachineModel
+
+#: Table 3 of the paper (cycles), for comparison columns.
+PAPER_TABLE3: Dict[Tuple[str, str, str], int] = {
+    ("Hypercall", "m400", "KVM"): 2275,
+    ("Hypercall", "m400", "SeKVM"): 4695,
+    ("Hypercall", "seattle", "KVM"): 2896,
+    ("Hypercall", "seattle", "SeKVM"): 3720,
+    ("I/O Kernel", "m400", "KVM"): 3144,
+    ("I/O Kernel", "m400", "SeKVM"): 7235,
+    ("I/O Kernel", "seattle", "KVM"): 3831,
+    ("I/O Kernel", "seattle", "SeKVM"): 4864,
+    ("I/O User", "m400", "KVM"): 7864,
+    ("I/O User", "m400", "SeKVM"): 15501,
+    ("I/O User", "seattle", "KVM"): 9288,
+    ("I/O User", "seattle", "SeKVM"): 10903,
+    ("Virtual IPI", "m400", "KVM"): 7915,
+    ("Virtual IPI", "m400", "SeKVM"): 13900,
+    ("Virtual IPI", "seattle", "KVM"): 8816,
+    ("Virtual IPI", "seattle", "SeKVM"): 10699,
+}
+
+OPERATIONS = ("Hypercall", "I/O Kernel", "I/O User", "Virtual IPI")
+
+
+@dataclass(frozen=True)
+class MicrobenchCell:
+    operation: str
+    machine: str
+    hypervisor: str
+    cycles: float
+    paper_cycles: int
+
+    @property
+    def ratio_to_paper(self) -> float:
+        return self.cycles / self.paper_cycles
+
+
+def run_table3(
+    linux: str = "4.18", s2_levels: int = 4, iterations: int = 50
+) -> List[MicrobenchCell]:
+    """Simulate every cell of Table 3."""
+    cells: List[MicrobenchCell] = []
+    for machine in (M400, SEATTLE):
+        for hypervisor in (Hypervisor.KVM, Hypervisor.SEKVM):
+            cfg = SimConfig(
+                machine=machine,
+                hypervisor=hypervisor,
+                s2_levels=s2_levels,
+                linux=linux,
+            )
+            for operation in OPERATIONS:
+                cycles = simulate_operation(cfg, operation, iterations=iterations)
+                cells.append(
+                    MicrobenchCell(
+                        operation=operation,
+                        machine=machine.name,
+                        hypervisor=hypervisor.value,
+                        cycles=cycles,
+                        paper_cycles=PAPER_TABLE3[
+                            (operation, machine.name, hypervisor.value)
+                        ],
+                    )
+                )
+    return cells
+
+
+def overhead_ratio(
+    cells: List[MicrobenchCell], operation: str, machine: str
+) -> float:
+    """SeKVM/KVM cycle ratio for one (operation, machine) pair."""
+    by_hyp = {
+        c.hypervisor: c.cycles
+        for c in cells
+        if c.operation == operation and c.machine == machine
+    }
+    return by_hyp["SeKVM"] / by_hyp["KVM"]
+
+
+def format_table3(cells: List[MicrobenchCell]) -> str:
+    lines = [
+        "Table 3. Microbenchmark performance (cycles) — simulated vs paper",
+        f"{'Benchmark':<12} {'machine':<8} {'KVM sim':>9} {'KVM paper':>10} "
+        f"{'SeKVM sim':>10} {'SeKVM paper':>12}",
+    ]
+    for machine in ("m400", "seattle"):
+        for operation in OPERATIONS:
+            row = {
+                c.hypervisor: c
+                for c in cells
+                if c.operation == operation and c.machine == machine
+            }
+            kvm, sekvm = row["KVM"], row["SeKVM"]
+            lines.append(
+                f"{operation:<12} {machine:<8} {kvm.cycles:>9.0f} "
+                f"{kvm.paper_cycles:>10} {sekvm.cycles:>10.0f} "
+                f"{sekvm.paper_cycles:>12}"
+            )
+    return "\n".join(lines)

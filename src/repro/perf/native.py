@@ -1,0 +1,39 @@
+"""Native-execution baseline.
+
+The paper normalizes every application result to native execution on
+the same hardware (host capped to the VM's CPU/RAM configuration, no
+full-disk encryption).  In the simulation, native execution is the
+degenerate configuration with no exits, no stage 2, and no backend
+contention; this module makes that explicit so harnesses normalize
+against a named baseline rather than an implicit constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.perf.machine import MachineModel
+from repro.perf.workloads import AppWorkload
+
+
+@dataclass(frozen=True)
+class NativeRun:
+    """One native execution of a workload."""
+
+    workload: str
+    machine: str
+    seconds: float
+
+    @property
+    def normalized_perf(self) -> float:
+        return 1.0
+
+
+def run_native(workload: AppWorkload, machine: MachineModel) -> NativeRun:
+    """Native execution: the workload's nominal runtime, by definition
+    of the normalization (native == 1.0)."""
+    return NativeRun(
+        workload=workload.name,
+        machine=machine.name,
+        seconds=workload.native_seconds,
+    )

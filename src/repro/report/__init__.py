@@ -1,0 +1,27 @@
+"""Reporting: LoC inventory (Table 1 analogue) and table rendering."""
+
+from repro.report.loc import (
+    COMPONENTS,
+    LocRow,
+    PAPER_TABLE1,
+    condition_to_security_ratio,
+    count_loc,
+    format_table1,
+    loc_table,
+)
+from repro.report.tables import render_table
+from repro.report.charts import grouped_bars, hbar_chart, series_chart
+
+__all__ = [
+    "COMPONENTS",
+    "LocRow",
+    "PAPER_TABLE1",
+    "condition_to_security_ratio",
+    "count_loc",
+    "format_table1",
+    "loc_table",
+    "render_table",
+    "grouped_bars",
+    "hbar_chart",
+    "series_chart",
+]

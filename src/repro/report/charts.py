@@ -1,0 +1,104 @@
+"""ASCII chart rendering for the evaluation figures.
+
+The paper's Figures 8 and 9 are bar/line charts; the CLI renders their
+reproduced data as monospace charts so the shapes (per-workload bars,
+per-VM-count decay, KVM/SeKVM tracking) are visible without a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+
+def hbar_chart(
+    rows: Sequence[Tuple[str, float]],
+    width: int = 50,
+    max_value: float = 1.0,
+    unit: str = "",
+    title: str = "",
+) -> str:
+    """Horizontal bars, one per labelled value."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max((len(label) for label, _ in rows), default=0)
+    for label, value in rows:
+        filled = int(round(width * min(value, max_value) / max_value))
+        bar = "█" * filled + "·" * (width - filled)
+        lines.append(f"{label:<{label_width}} |{bar}| {value:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def grouped_bars(
+    groups: Mapping[str, Mapping[str, float]],
+    series_order: Sequence[str],
+    width: int = 40,
+    max_value: float = 1.0,
+    title: str = "",
+) -> str:
+    """Per-group bars for multiple series (e.g. KVM vs SeKVM per app)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        (len(f"{g} {s}") for g in groups for s in series_order), default=0
+    )
+    for group, series in groups.items():
+        for name in series_order:
+            if name not in series:
+                continue
+            value = series[name]
+            filled = int(round(width * min(value, max_value) / max_value))
+            bar = "█" * filled + "·" * (width - filled)
+            lines.append(
+                f"{group + ' ' + name:<{label_width}} |{bar}| {value:.2f}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def series_chart(
+    x_values: Sequence[int],
+    series: Mapping[str, Sequence[float]],
+    height: int = 12,
+    max_value: float = 1.0,
+    title: str = "",
+) -> str:
+    """A small scatter/line chart: one glyph per series.
+
+    X positions are spread evenly (the paper's VM counts are log-spaced
+    powers of two, so even spacing matches its axis).
+    """
+    glyphs = "oxv*+#"
+    width = max(len(x_values) * 6, 24)
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, values) in enumerate(series.items()):
+        glyph = glyphs[idx % len(glyphs)]
+        for i, value in enumerate(values):
+            x = int(i * (width - 1) / max(1, len(x_values) - 1))
+            y = height - 1 - int(
+                round((height - 1) * min(value, max_value) / max_value)
+            )
+            grid[y][x] = glyph
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for row_idx, row in enumerate(grid):
+        level = max_value * (height - 1 - row_idx) / (height - 1)
+        lines.append(f"{level:>5.2f} |" + "".join(row))
+    axis = "      +" + "-" * width
+    lines.append(axis)
+    labels = [" "] * width
+    for i, x_val in enumerate(x_values):
+        x = int(i * (width - 1) / max(1, len(x_values) - 1))
+        text = str(x_val)
+        for j, ch in enumerate(text):
+            if x + j < width:
+                labels[x + j] = ch
+    lines.append("       " + "".join(labels))
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(f"       {legend}")
+    return "\n".join(lines)

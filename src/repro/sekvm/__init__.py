@@ -1,0 +1,105 @@
+"""SeKVM: the verified KVM retrofit (KCore + KServ) and its verification.
+
+The functional model (``kcore``/``kserv``/``hypervisor``/``security``)
+carries the security-property checks; ``ir_programs``/``verify`` carry
+the wDRF verification of the concurrency-relevant primitives.
+"""
+
+from repro.sekvm.locks import LockAddrs, TicketLock, emit_acquire, emit_release
+from repro.sekvm.physmem import PhysicalMemory
+from repro.sekvm.s2page import (
+    KCORE,
+    KSERV,
+    Owner,
+    OwnerKind,
+    S2PageDB,
+    vm_owner,
+)
+from repro.sekvm.el2pt import EL2PageTable
+from repro.sekvm.s2pt import S2PTOperation, Stage2PageTable
+from repro.sekvm.smmupt import SMMUPageTableManager
+from repro.sekvm.vcpu import VCpuContext, VCpuState
+from repro.sekvm.vm import MAX_VM, VM, VMState, image_digest
+from repro.sekvm.kcore import KCore, KCoreStats
+from repro.sekvm.vgic import VGic, VGicDistributor
+from repro.sekvm.hypercalls import HVC, HvcResult, HvcStatus, HypercallInterface
+from repro.sekvm.snapshot import SealedSnapshot, SnapshotManager
+from repro.sekvm.scheduler import SchedulerStats, VCpuScheduler
+from repro.sekvm.audit import SystemAudit, audit_system
+from repro.sekvm.kserv import KServ
+from repro.sekvm.hypervisor import SeKVMSystem, make_image
+from repro.sekvm.security import (
+    AttackResult,
+    all_attacks_refused,
+    check_vm_confidentiality,
+    check_vm_integrity,
+    run_attack_battery,
+)
+from repro.sekvm.versions import KVMVersion, all_versions, default_version
+from repro.sekvm.ir_programs import (
+    PrimitiveCase,
+    kcore_buggy_cases,
+    kcore_verified_cases,
+)
+from repro.sekvm.verify import (
+    CaseOutcome,
+    VersionOutcome,
+    verify_all_versions,
+    verify_sekvm,
+)
+
+__all__ = [
+    "LockAddrs",
+    "TicketLock",
+    "emit_acquire",
+    "emit_release",
+    "PhysicalMemory",
+    "KCORE",
+    "KSERV",
+    "Owner",
+    "OwnerKind",
+    "S2PageDB",
+    "vm_owner",
+    "EL2PageTable",
+    "S2PTOperation",
+    "Stage2PageTable",
+    "SMMUPageTableManager",
+    "VCpuContext",
+    "VCpuState",
+    "MAX_VM",
+    "VM",
+    "VMState",
+    "image_digest",
+    "KCore",
+    "KCoreStats",
+    "VGic",
+    "VGicDistributor",
+    "HVC",
+    "HvcResult",
+    "HvcStatus",
+    "HypercallInterface",
+    "SealedSnapshot",
+    "SnapshotManager",
+    "SchedulerStats",
+    "VCpuScheduler",
+    "SystemAudit",
+    "audit_system",
+    "KServ",
+    "SeKVMSystem",
+    "make_image",
+    "AttackResult",
+    "all_attacks_refused",
+    "check_vm_confidentiality",
+    "check_vm_integrity",
+    "run_attack_battery",
+    "KVMVersion",
+    "all_versions",
+    "default_version",
+    "PrimitiveCase",
+    "kcore_buggy_cases",
+    "kcore_verified_cases",
+    "CaseOutcome",
+    "VersionOutcome",
+    "verify_all_versions",
+    "verify_sekvm",
+]

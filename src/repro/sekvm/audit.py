@@ -1,0 +1,112 @@
+"""Runtime wDRF audit of a live SeKVM system.
+
+The IR-level checkers verify KCore's *code*; this module audits a
+running functional system's *history*: every page-table operation ever
+performed (stage 2, SMMU, EL2) is replayed through the same condition
+audits — write-once for the kernel table, transactional discipline for
+guest tables, barrier+TLBI on every unmap.  Any scenario the test suite
+or the stateful fuzzer drives through the system can therefore be
+checked after the fact, which is how implementation drift (a new
+hypercall forgetting an invalidation) gets caught without re-deriving
+IR programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.sekvm.hypervisor import SeKVMSystem
+from repro.vrm.conditions import ConditionResult, WDRFCondition
+from repro.vrm.transactional import audit_operation_writes
+from repro.vrm.write_once import audit_write_log
+
+
+@dataclass
+class SystemAudit:
+    """Aggregated audit results for one system's history."""
+
+    results: List[ConditionResult] = field(default_factory=list)
+    operations_audited: int = 0
+
+    @property
+    def holds(self) -> bool:
+        return all(r.holds for r in self.results)
+
+    @property
+    def violations(self) -> Tuple[str, ...]:
+        out: List[str] = []
+        for result in self.results:
+            out.extend(result.violations)
+        return tuple(out)
+
+    def describe(self) -> str:
+        status = "CLEAN" if self.holds else "VIOLATIONS FOUND"
+        lines = [
+            f"system audit: {self.operations_audited} operations — {status}"
+        ]
+        for violation in self.violations:
+            lines.append(f"  {violation}")
+        return "\n".join(lines)
+
+
+def _audit_pt_manager(audit: SystemAudit, name: str, operations) -> None:
+    for op in operations:
+        audit.operations_audited += 1
+        result = audit_operation_writes(op.writes, op.kind)
+        if not result.holds:
+            audit.results.append(
+                ConditionResult(
+                    condition=WDRFCondition.TRANSACTIONAL_PAGE_TABLE,
+                    holds=False,
+                    exhaustive=True,
+                    violations=tuple(
+                        f"{name}: {v}" for v in result.violations
+                    ),
+                )
+            )
+        if op.kind == "unmap" and not (op.tlbi and op.barrier_before_tlbi):
+            audit.results.append(
+                ConditionResult(
+                    condition=WDRFCondition.SEQUENTIAL_TLB_INVALIDATION,
+                    holds=False,
+                    exhaustive=True,
+                    violations=(
+                        f"{name}: unmap of vpn {op.vpn:#x} without "
+                        f"{'barrier' if op.tlbi else 'TLBI'}",
+                    ),
+                )
+            )
+
+
+def audit_system(system: SeKVMSystem) -> SystemAudit:
+    """Audit every page-table operation the system ever performed."""
+    audit = SystemAudit()
+    kcore = system.kcore
+
+    # Write-Once-Kernel-Mapping over the EL2 table's full history.
+    el2 = audit_write_log(kcore.el2pt.write_log, subject="EL2 page table")
+    audit.operations_audited += len(kcore.el2pt.write_log)
+    if not el2.holds:
+        audit.results.append(el2)
+
+    # Transactional + Sequential-TLB discipline over guest tables.
+    _audit_pt_manager(audit, "kserv-s2pt", kcore.kserv_s2pt.operations)
+    for vmid, vm in kcore.vms.items():
+        _audit_pt_manager(audit, f"vm{vmid}-s2pt", vm.s2pt.operations)
+    for device_id, manager in kcore.smmu_managers.items():
+        _audit_pt_manager(audit, f"smmu-dev{device_id}", manager.operations)
+
+    # A clean audit still records the positive result.
+    if not audit.results:
+        audit.results.append(
+            ConditionResult(
+                condition=WDRFCondition.TRANSACTIONAL_PAGE_TABLE,
+                holds=True,
+                exhaustive=True,
+                evidence=(
+                    f"{audit.operations_audited} operations audited clean",
+                ),
+            )
+        )
+    return audit

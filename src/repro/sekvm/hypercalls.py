@@ -1,0 +1,180 @@
+"""The hypercall ABI: the complete KServ -> KCore trap surface.
+
+SeKVM's security argument rests on KCore exposing a *narrow, numbered*
+interface — KServ cannot call arbitrary KCore functions, only issue
+``HVC`` with a hypercall number and register arguments.  This module
+makes that boundary explicit: a dispatch table from numbers to handlers,
+argument validation, and errno-style results (a malicious KServ gets an
+error code, never an exception escaping EL2 — except modeled panics,
+which are KCore's own invariant violations).
+
+The numbers and grouping follow SeKVM's hypercall inventory: VM
+lifecycle, vCPU control, stage 2 / SMMU page management, interrupts,
+and the boot-time ``remap_pfn`` path.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HypercallError, KernelPanic, SecurityViolation
+from repro.sekvm.kcore import KCore
+from repro.sekvm.s2page import KSERV, vm_owner
+
+
+class HVC(enum.IntEnum):
+    """Hypercall numbers (the guest/host-visible ABI)."""
+
+    # VM lifecycle
+    GEN_VMID = 0x10
+    REGISTER_VCPU = 0x11
+    BOOT_VM = 0x12
+    TEARDOWN_VM = 0x13
+    # vCPU control
+    RUN_VCPU = 0x20
+    STOP_VCPU = 0x21
+    # stage 2 page management
+    MAP_PFN_KSERV = 0x30
+    UNMAP_PFN_KSERV = 0x31
+    GRANT_VM_PAGE = 0x32
+    # SMMU
+    SMMU_MAP = 0x40
+    SMMU_UNMAP = 0x41
+    # interrupts
+    SEND_VIPI = 0x50
+    INJECT_IRQ = 0x51
+
+
+class HvcStatus(enum.IntEnum):
+    """errno-style results returned to KServ."""
+
+    OK = 0
+    EINVAL = 22          # malformed arguments
+    EPERM = 1            # policy refused (ownership, authentication...)
+    ENOENT = 2           # no such VM/vCPU/mapping
+
+
+@dataclass(frozen=True)
+class HvcResult:
+    """One hypercall's outcome: status plus an optional return value."""
+
+    status: HvcStatus
+    value: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.status is HvcStatus.OK
+
+
+class HypercallInterface:
+    """The EL2 trap handler: dispatches numbered hypercalls to KCore.
+
+    ``SecurityViolation`` and ``KernelPanic`` deliberately propagate —
+    the first must be impossible for verified KCore (tests assert it),
+    the second is KCore's own panic and stops the machine.
+    """
+
+    def __init__(self, kcore: KCore):
+        self.kcore = kcore
+        self.calls: List[Tuple[HVC, Tuple[int, ...]]] = []
+        self._handlers: Dict[HVC, Callable[..., int]] = {
+            HVC.GEN_VMID: self._gen_vmid,
+            HVC.REGISTER_VCPU: self._register_vcpu,
+            HVC.BOOT_VM: self._boot_vm,
+            HVC.TEARDOWN_VM: self._teardown_vm,
+            HVC.RUN_VCPU: self._run_vcpu,
+            HVC.STOP_VCPU: self._stop_vcpu,
+            HVC.MAP_PFN_KSERV: self._map_pfn_kserv,
+            HVC.UNMAP_PFN_KSERV: self._unmap_pfn_kserv,
+            HVC.GRANT_VM_PAGE: self._grant_vm_page,
+            HVC.SMMU_MAP: self._smmu_map,
+            HVC.SMMU_UNMAP: self._smmu_unmap,
+            HVC.SEND_VIPI: self._send_vipi,
+            HVC.INJECT_IRQ: self._inject_irq,
+        }
+        # Boot images are passed out of band (registers can't carry a
+        # page list); KServ stages them here before HVC.BOOT_VM.
+        self.staged_images: Dict[int, Tuple[Sequence[int], str]] = {}
+
+    # ------------------------------------------------------------------
+    def hvc(self, cpu: int, number: int, *args: int) -> HvcResult:
+        """Issue one hypercall from *cpu*."""
+        try:
+            call = HVC(number)
+        except ValueError:
+            return HvcResult(HvcStatus.EINVAL)
+        self.calls.append((call, tuple(args)))
+        handler = self._handlers[call]
+        try:
+            value = handler(cpu, *args)
+        except TypeError:
+            return HvcResult(HvcStatus.EINVAL)
+        except HypercallError as exc:
+            status = (
+                HvcStatus.ENOENT
+                if "no VM" in str(exc) or "not mapped" in str(exc)
+                else HvcStatus.EPERM
+            )
+            return HvcResult(status)
+        return HvcResult(HvcStatus.OK, value if value is not None else 0)
+
+    # ------------------------------------------------------------------
+    def _gen_vmid(self, cpu: int) -> int:
+        return self.kcore.gen_vmid(cpu)
+
+    def _register_vcpu(self, cpu: int, vmid: int, vcpu_id: int) -> int:
+        self.kcore.register_vcpu(cpu, vmid, vcpu_id)
+        return 0
+
+    def _boot_vm(self, cpu: int, vmid: int) -> int:
+        if vmid not in self.staged_images:
+            raise HypercallError(f"no VM image staged for vmid {vmid}")
+        pfns, digest = self.staged_images.pop(vmid)
+        self.kcore.boot_vm(cpu, vmid, pfns, digest)
+        return 0
+
+    def _teardown_vm(self, cpu: int, vmid: int) -> int:
+        return self.kcore.teardown_vm(cpu, vmid)
+
+    def _run_vcpu(self, cpu: int, vmid: int, vcpu_id: int) -> int:
+        self.kcore.run_vcpu(cpu, vmid, vcpu_id)
+        return 0
+
+    def _stop_vcpu(self, cpu: int, vmid: int, vcpu_id: int) -> int:
+        self.kcore.stop_vcpu(cpu, vmid, vcpu_id)
+        return 0
+
+    def _map_pfn_kserv(self, cpu: int, vpn: int, pfn: int) -> int:
+        self.kcore.map_pfn_kserv(cpu, vpn, pfn)
+        return 0
+
+    def _unmap_pfn_kserv(self, cpu: int, vpn: int) -> int:
+        self.kcore.unmap_pfn_kserv(cpu, vpn)
+        return 0
+
+    def _grant_vm_page(self, cpu: int, vmid: int, vpn: int, pfn: int) -> int:
+        self.kcore.grant_vm_page(cpu, vmid, vpn, pfn)
+        return 0
+
+    def _smmu_map(
+        self, cpu: int, device_id: int, iova: int, pfn: int, owner_vmid: int
+    ) -> int:
+        owner = KSERV if owner_vmid < 0 else vm_owner(owner_vmid)
+        self.kcore.smmu_map(cpu, device_id, iova, pfn, owner)
+        return 0
+
+    def _smmu_unmap(self, cpu: int, device_id: int, iova: int) -> int:
+        self.kcore.smmu_unmap(cpu, device_id, iova)
+        return 0
+
+    def _send_vipi(
+        self, cpu: int, vmid: int, sender_vcpu: int, target_vcpu: int
+    ) -> int:
+        self.kcore.send_vipi(cpu, vmid, sender_vcpu, target_vcpu)
+        return 0
+
+    def _inject_irq(self, cpu: int, vmid: int, intid: int, target: int) -> int:
+        self.kcore.inject_device_irq(cpu, vmid, intid, target)
+        return 0

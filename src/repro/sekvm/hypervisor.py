@@ -1,0 +1,94 @@
+"""Whole-system composition: machine + KCore + KServ (+ VMs).
+
+:class:`SeKVMSystem` wires the pieces together for a given verified KVM
+version and machine size, and provides the scenario helpers the security
+checks and examples drive: boot VMs with authenticated images, run guest
+work on vCPUs, exercise DMA, tear down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HypercallError
+from repro.mmu.smmu import SMMU
+from repro.sekvm.kcore import KCore
+from repro.sekvm.kserv import KServ
+from repro.sekvm.physmem import PhysicalMemory
+from repro.sekvm.s2page import vm_owner
+from repro.sekvm.versions import KVMVersion, default_version
+from repro.sekvm.vm import image_digest
+
+
+class SeKVMSystem:
+    """A booted SeKVM machine."""
+
+    def __init__(
+        self,
+        total_pages: int = 256,
+        cpus: int = 8,
+        version: Optional[KVMVersion] = None,
+        kcore_reserved: int = 16,
+    ):
+        self.version = version or default_version()
+        self.cpus = cpus
+        self.memory = PhysicalMemory(total_pages)
+        self.smmu = SMMU(levels=self.version.s2_levels)
+        # KCore reserves the top pages for its own state & page pools.
+        reserved = range(total_pages - kcore_reserved, total_pages)
+        self.kcore = KCore(
+            memory=self.memory,
+            s2_levels=self.version.s2_levels,
+            va_bits_per_level=self.version.va_bits_per_level,
+            kcore_reserved_pages=reserved,
+            smmu=self.smmu,
+        )
+        self.kserv = KServ(self.kcore)
+
+    # ------------------------------------------------------------------
+    def boot_vm(
+        self,
+        image: Sequence[int],
+        vcpus: int = 1,
+        cpu: int = 0,
+    ) -> int:
+        """Create, authenticate, and boot a VM; returns the vmid."""
+        return self.kserv.create_and_boot_vm(cpu, image, vcpus=vcpus)
+
+    def run_guest_work(
+        self, vmid: int, vcpu_id: int, cpu: int, writes: Dict[int, int]
+    ) -> None:
+        """Run a vCPU on *cpu* and perform guest memory writes."""
+        self.kcore.run_vcpu(cpu, vmid, vcpu_id)
+        try:
+            for vpn, value in writes.items():
+                if not self.kcore.vms[vmid].s2pt.is_mapped(vpn):
+                    # Guest touches a new page: stage-2 fault -> KServ
+                    # allocates and asks KCore to donate+map.
+                    pfn = self.kserv.alloc_page()
+                    self.kcore.grant_vm_page(cpu, vmid, vpn, pfn)
+                self.kcore.vm_write(vmid, vpn, value)
+        finally:
+            self.kcore.stop_vcpu(cpu, vmid, vcpu_id)
+
+    def guest_read(self, vmid: int, vpn: int) -> int:
+        return self.kcore.vm_read(vmid, vpn)
+
+    def teardown_vm(self, vmid: int, cpu: int = 0) -> int:
+        return self.kcore.teardown_vm(cpu, vmid)
+
+    # ------------------------------------------------------------------
+    def kcore_pages(self) -> List[int]:
+        from repro.sekvm.s2page import KCORE
+
+        return list(self.kcore.s2page.pages_owned_by(KCORE))
+
+    def vm_pages(self, vmid: int) -> List[int]:
+        return list(self.kcore.s2page.pages_owned_by(vm_owner(vmid)))
+
+
+def make_image(*contents: int) -> Tuple[List[int], str]:
+    """A VM image (page contents) and its measurement."""
+    image = list(contents)
+    return image, image_digest(image)

@@ -1,0 +1,373 @@
+"""KCore's concurrency-relevant primitives, compiled to the kernel IR.
+
+The paper proves "SeKVM satisfies the wDRF conditions" over the KCore
+implementation; our analogue expresses each synchronization-relevant
+KCore primitive as a kernel IR program and packages it with the
+verification inputs (:class:`~repro.vrm.verifier.WDRFSpec`) the checkers
+need.  Buggy variants (missing barriers, missing TLBI, non-transactional
+page-table updates, overwriting EL2 entries, raw user reads) exist for
+every primitive so the test and benchmark suites can show the checkers
+*reject* non-conforming code — the tightness half of the argument.
+
+Program inventory (all parameterized by stage-2 table depth where
+relevant, matching the 3-/4-level verification of Section 5.6):
+
+* ``gen_vmid_program``    — Figure 1/7: VMID allocation under the ticket lock.
+* ``vcpu_switch_program`` — Figure 2 / §5.2: the ACTIVE/INACTIVE protocol.
+* ``set_s2pt_program``    — §5.4: transactional stage-2 map + racing walk.
+* ``clear_s2pt_program``  — §5.5: unmap + barrier + TLBI + racing walk.
+* ``set_el2_pt_program``  — §5.1: write-once EL2 mapping.
+* ``snapshot_program``    — §5.3: KCore reading VM memory (oracle-masked).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir import MemSpace, PTKind, Reg, ThreadBuilder, build_program
+from repro.ir.program import Program
+from repro.mmu.pagetable import PageTableLayout
+from repro.sekvm.locks import LockAddrs, emit_acquire, emit_release
+from repro.vrm.verifier import WDRFSpec
+
+# Shared-location map for the lock-protected fragments.
+VM_LOCK = LockAddrs(ticket=0x10, now=0x11)
+NEXT_VMID_LOC = 0x20
+VCPU_CTX_LOC = 0x30
+VCPU_STATE_LOC = 0x31
+DONE_FLAG_LOC = 0x500
+
+
+@dataclass(frozen=True)
+class PrimitiveCase:
+    """One verification subject: a primitive's program + its spec."""
+
+    name: str
+    spec: WDRFSpec
+    should_verify: bool          # False for the seeded-bug variants
+    paper_ref: str = ""
+
+    @property
+    def program(self) -> Program:
+        return self.spec.program
+
+
+# ---------------------------------------------------------------------------
+# gen_vmid (Figure 1 / Figure 7 / Example 2)
+# ---------------------------------------------------------------------------
+
+def gen_vmid_program(correct: bool = True, n_cpus: int = 2) -> Program:
+    threads = []
+    for tid in range(n_cpus):
+        b = ThreadBuilder(tid, name=f"cpu{tid}-gen_vmid")
+        emit_acquire(b, VM_LOCK, protects=[NEXT_VMID_LOC], correct=correct)
+        b.load("vmid", NEXT_VMID_LOC)
+        b.store(NEXT_VMID_LOC, Reg("vmid") + 1)
+        emit_release(b, VM_LOCK, protects=[NEXT_VMID_LOC], correct=correct)
+        threads.append(b)
+    init = dict(VM_LOCK.initial_memory())
+    init[NEXT_VMID_LOC] = 0
+    return build_program(
+        threads,
+        observed={tid: ["vmid"] for tid in range(n_cpus)},
+        initial_memory=init,
+        spaces={
+            VM_LOCK.ticket: MemSpace.SYNC,
+            VM_LOCK.now: MemSpace.SYNC,
+            NEXT_VMID_LOC: MemSpace.KERNEL,
+        },
+        name=f"kcore.gen_vmid[{'verified' if correct else 'no-barriers'}]",
+    )
+
+
+def gen_vmid_case(correct: bool = True) -> PrimitiveCase:
+    return PrimitiveCase(
+        name=f"gen_vmid[{'verified' if correct else 'no-barriers'}]",
+        spec=WDRFSpec(
+            program=gen_vmid_program(correct),
+            shared_locs=(NEXT_VMID_LOC,),
+        ),
+        should_verify=correct,
+        paper_ref="Figure 1/7, Example 2, Section 5.2",
+    )
+
+
+# ---------------------------------------------------------------------------
+# vCPU context switch (Figure 2 / Section 5.2)
+# ---------------------------------------------------------------------------
+
+def vcpu_switch_program(correct: bool = True) -> Program:
+    """CPU 0 stops running a vCPU (save + INACTIVE); CPU 1 claims it.
+
+    The push/pull primitives sit where Section 5.2 places them: the push
+    before setting INACTIVE, the pull after observing INACTIVE (claiming
+    with ACTIVE).
+    """
+    t0 = ThreadBuilder(0, name="cpu0-save_vm")
+    t0.store(VCPU_CTX_LOC, 42)                      # save the vCPU context
+    t0.push(VCPU_CTX_LOC)
+    t0.store(VCPU_STATE_LOC, 0, release=correct, space=MemSpace.SYNC)
+
+    t1 = ThreadBuilder(1, name="cpu1-restore_vm")
+    t1.spin_until_eq("s", VCPU_STATE_LOC, 0, acquire=correct)
+    t1.store(VCPU_STATE_LOC, 1, space=MemSpace.SYNC)
+    t1.pull(VCPU_CTX_LOC)
+    t1.load("restored", VCPU_CTX_LOC)               # restore the context
+    return build_program(
+        [t0, t1],
+        observed={1: ["restored"]},
+        initial_memory={VCPU_CTX_LOC: 0, VCPU_STATE_LOC: 1},
+        spaces={
+            VCPU_CTX_LOC: MemSpace.KERNEL,
+            VCPU_STATE_LOC: MemSpace.SYNC,
+        },
+        name=f"kcore.vcpu_switch[{'verified' if correct else 'no-barriers'}]",
+    )
+
+
+def vcpu_switch_case(correct: bool = True) -> PrimitiveCase:
+    return PrimitiveCase(
+        name=f"vcpu_switch[{'verified' if correct else 'no-barriers'}]",
+        spec=WDRFSpec(
+            program=vcpu_switch_program(correct),
+            shared_locs=(VCPU_CTX_LOC,),
+            initial_ownership=((VCPU_CTX_LOC, 0),),
+        ),
+        should_verify=correct,
+        paper_ref="Figure 2, Example 3, Section 5.2",
+    )
+
+
+# ---------------------------------------------------------------------------
+# set_s2pt (Section 5.4) — transactional stage 2 mapping
+# ---------------------------------------------------------------------------
+
+def _stage2_layout(levels: int) -> PageTableLayout:
+    # Two VA bits per level keeps the probe space exhaustively walkable
+    # while exercising the full multi-level structure.
+    return PageTableLayout(base=0x1000, levels=levels, va_bits_per_level=2)
+
+
+SECRET_PAGE = 0x400
+SECRET_VALUE = 0x5EC
+
+
+def set_s2pt_program(levels: int = 4, transactional: bool = True) -> Program:
+    """KCore maps a new guest page while the guest keeps accessing.
+
+    The verified form emits the walk-allocate-set writes of
+    ``set_s2pt``; the buggy form first unmaps an intermediate entry and
+    then writes a leaf beneath it (Example 5's shape).
+    """
+    layout = _stage2_layout(levels)
+    pre_vpn = 1                       # an existing mapping (shares tables)
+    layout.map(pre_vpn, 0x200)
+    init = layout.initial_memory()
+    init[SECRET_PAGE] = SECRET_VALUE
+    init[0x200] = 7
+
+    t0 = ThreadBuilder(0, name="cpu0-set_s2pt")
+    if transactional:
+        new_vpn = (1 << (2 * (levels - 1)))   # distinct top-level slot
+        writes = layout.plan_map(new_vpn, SECRET_PAGE)
+        for loc, value, level in writes:
+            t0.pt_store(loc, value, kind=PTKind.STAGE2, level=level)
+        victim_vpn = new_vpn
+    else:
+        path = layout.entry_path(pre_vpn)
+        t0.pt_store(path[0], 0, kind=PTKind.STAGE2, level=0)
+        t0.pt_store(path[-1], SECRET_PAGE, kind=PTKind.STAGE2, level=levels - 1)
+        victim_vpn = pre_vpn
+    t1 = ThreadBuilder(1, name="vm-vcpu", is_kernel=False)
+    t1.vload("g0", victim_vpn)
+    return build_program(
+        [t0, t1],
+        observed={1: ["g0"]},
+        initial_memory=init,
+        spaces={loc: MemSpace.PT for loc in init if loc >= 0x1000},
+        mmu=layout.mmu_config(),
+        name=(
+            f"kcore.set_s2pt[{levels}lvl]"
+            f"[{'verified' if transactional else 'non-transactional'}]"
+        ),
+    )
+
+
+def set_s2pt_case(levels: int = 4, transactional: bool = True) -> PrimitiveCase:
+    program = set_s2pt_program(levels, transactional)
+    probe_space = 1 << (2 * levels)
+    return PrimitiveCase(
+        name=(
+            f"set_s2pt[{levels}lvl]"
+            f"[{'verified' if transactional else 'non-transactional'}]"
+        ),
+        spec=WDRFSpec(
+            program=program,
+            probe_vpns=tuple(range(probe_space)),
+        ),
+        should_verify=transactional,
+        paper_ref="Section 5.4, Example 5",
+    )
+
+
+# ---------------------------------------------------------------------------
+# clear_s2pt (Section 5.5) — unmap + barrier + TLBI
+# ---------------------------------------------------------------------------
+
+def clear_s2pt_program(
+    levels: int = 4, with_barrier: bool = True, with_tlbi: bool = True
+) -> Program:
+    """KCore unmaps a guest page, invalidates, and signals completion;
+    the guest must not reach the old frame after the signal."""
+    layout = _stage2_layout(levels)
+    vpn = 2
+    layout.map(vpn, SECRET_PAGE)
+    init = layout.initial_memory()
+    init[SECRET_PAGE] = SECRET_VALUE
+    init[DONE_FLAG_LOC] = 0
+
+    t0 = ThreadBuilder(0, name="cpu0-clear_s2pt")
+    leaf = layout.leaf_entry(vpn)
+    t0.pt_store(leaf, 0, kind=PTKind.STAGE2, level=levels - 1)
+    if with_barrier:
+        t0.barrier("full")
+    if with_tlbi:
+        t0.tlbi(vpn)
+    t0.store(DONE_FLAG_LOC, 1, release=True, space=MemSpace.SYNC)
+
+    t1 = ThreadBuilder(1, name="vm-vcpu", is_kernel=False)
+    t1.spin_until_eq("d", DONE_FLAG_LOC, 1, acquire=True)
+    t1.vload("g0", vpn)
+    kind = (
+        "verified" if (with_barrier and with_tlbi)
+        else ("no-barrier" if with_tlbi else "no-tlbi")
+    )
+    return build_program(
+        [t0, t1],
+        observed={1: ["g0"]},
+        initial_memory=init,
+        spaces={DONE_FLAG_LOC: MemSpace.SYNC},
+        mmu=layout.mmu_config(),
+        name=f"kcore.clear_s2pt[{levels}lvl][{kind}]",
+    )
+
+
+def clear_s2pt_case(
+    levels: int = 4, with_barrier: bool = True, with_tlbi: bool = True
+) -> PrimitiveCase:
+    program = clear_s2pt_program(levels, with_barrier, with_tlbi)
+    return PrimitiveCase(
+        name=program.name.replace("kcore.", ""),
+        spec=WDRFSpec(
+            program=program,
+            probe_vpns=tuple(range(1 << (2 * levels))),
+        ),
+        should_verify=with_barrier and with_tlbi,
+        paper_ref="Section 5.5, Example 6",
+    )
+
+
+# ---------------------------------------------------------------------------
+# set_el2_pt (Section 5.1) — write-once kernel mapping
+# ---------------------------------------------------------------------------
+
+EL2_PT_BASE = 0x2000
+
+
+def set_el2_pt_program(write_once: bool = True) -> Program:
+    """remap_pfn's EL2 mapping: one store per fresh entry.
+
+    The buggy variant overwrites an existing mapping, which the
+    Write-Once audit must reject (and which would otherwise require the
+    TLB maintenance the kernel page table never performs).
+    """
+    entry_free = EL2_PT_BASE + 1
+    entry_used = EL2_PT_BASE + 2
+    t0 = ThreadBuilder(0, name="cpu0-set_el2_pt")
+    target = entry_free if write_once else entry_used
+    t0.pt_store(target, 0x300, kind=PTKind.KERNEL, level=0)
+    init = {entry_free: 0, entry_used: 0x111}
+    return build_program(
+        [t0],
+        initial_memory=init,
+        spaces={entry_free: MemSpace.PT, entry_used: MemSpace.PT},
+        name=f"kcore.set_el2_pt[{'verified' if write_once else 'overwrite'}]",
+    )
+
+
+def set_el2_pt_case(write_once: bool = True) -> PrimitiveCase:
+    program = set_el2_pt_program(write_once)
+    return PrimitiveCase(
+        name=f"set_el2_pt[{'verified' if write_once else 'overwrite'}]",
+        spec=WDRFSpec(program=program),
+        should_verify=write_once,
+        paper_ref="Section 5.1",
+    )
+
+
+# ---------------------------------------------------------------------------
+# VM snapshot read (Section 5.3) — Weak-Memory-Isolation
+# ---------------------------------------------------------------------------
+
+VM_MEM_LOC = 0x600
+
+
+def snapshot_program(use_oracle: bool = True) -> Program:
+    """KCore reads VM memory for a snapshot while the VM writes it.
+
+    The verified form draws from the data oracle; the raw form reads the
+    VM's memory directly, which Weak-Memory-Isolation rejects.
+    """
+    t0 = ThreadBuilder(0, name="cpu0-snapshot")
+    if use_oracle:
+        t0.oracle_read("snap", VM_MEM_LOC, choices=(0, 1, 2))
+    else:
+        t0.load("snap", VM_MEM_LOC, space=MemSpace.USER)
+    t1 = ThreadBuilder(1, name="vm-vcpu", is_kernel=False)
+    t1.store(VM_MEM_LOC, 2, space=MemSpace.USER)
+    return build_program(
+        [t0, t1],
+        observed={0: ["snap"]},
+        initial_memory={VM_MEM_LOC: 0},
+        spaces={VM_MEM_LOC: MemSpace.USER},
+        name=f"kcore.snapshot[{'oracle' if use_oracle else 'raw-read'}]",
+    )
+
+
+def snapshot_case(use_oracle: bool = True) -> PrimitiveCase:
+    return PrimitiveCase(
+        name=f"snapshot[{'oracle' if use_oracle else 'raw-read'}]",
+        spec=WDRFSpec(program=snapshot_program(use_oracle)),
+        should_verify=use_oracle,
+        paper_ref="Section 5.3",
+    )
+
+
+# ---------------------------------------------------------------------------
+# suites
+# ---------------------------------------------------------------------------
+
+def kcore_verified_cases(s2_levels: int = 4) -> List[PrimitiveCase]:
+    """The verified KCore primitive suite for one stage-2 depth."""
+    return [
+        gen_vmid_case(correct=True),
+        vcpu_switch_case(correct=True),
+        set_s2pt_case(levels=s2_levels, transactional=True),
+        clear_s2pt_case(levels=s2_levels, with_barrier=True, with_tlbi=True),
+        set_el2_pt_case(write_once=True),
+        snapshot_case(use_oracle=True),
+    ]
+
+
+def kcore_buggy_cases(s2_levels: int = 4) -> List[PrimitiveCase]:
+    """Seeded-bug variants; every one must FAIL verification."""
+    return [
+        gen_vmid_case(correct=False),
+        vcpu_switch_case(correct=False),
+        set_s2pt_case(levels=s2_levels, transactional=False),
+        clear_s2pt_case(levels=s2_levels, with_barrier=False, with_tlbi=True),
+        clear_s2pt_case(levels=s2_levels, with_barrier=True, with_tlbi=False),
+        set_el2_pt_case(write_once=False),
+        snapshot_case(use_oracle=False),
+    ]

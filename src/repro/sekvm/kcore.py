@@ -1,0 +1,364 @@
+"""KCore: SeKVM's verified core (Section 5).
+
+KCore is the only code running at EL2.  It owns the s2page ownership
+database, its own EL2 page table, every stage 2 and SMMU page table, and
+the vCPU contexts; KServ (the untrusted bulk of KVM) can only affect the
+system through the hypercall surface implemented here.  Each handler
+performs the exact checks the paper's proofs rely on:
+
+* pages are mapped only into their owner's tables, never KCore's pages
+  (:class:`~repro.sekvm.s2page.S2PageDB`);
+* VM images are authenticated before a VM may run (``remap_pfn`` +
+  measurement, §5.1);
+* vCPU contexts follow the ACTIVE/INACTIVE protocol (§5.2);
+* VM pages return to KServ only after scrubbing (§5.3);
+* KCore reads of VM/KServ memory go through the data oracle interface,
+  so nothing KCore does depends on user memory contents (§5.3).
+
+The class also keeps counters (hypercalls, page-table ops, lock
+acquisitions) that the performance simulator uses for its cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HypercallError, KernelPanic, SecurityViolation
+from repro.mmu.smmu import SMMU
+from repro.sekvm.el2pt import EL2PageTable
+from repro.sekvm.locks import TicketLock
+from repro.sekvm.physmem import PhysicalMemory
+from repro.sekvm.s2page import KCORE, KSERV, Owner, S2PageDB, vm_owner
+from repro.sekvm.s2pt import Stage2PageTable
+from repro.sekvm.smmupt import SMMUPageTableManager
+from repro.sekvm.vcpu import VCpuContext
+from repro.sekvm.vgic import VGic, VGicDistributor
+from repro.sekvm.vm import MAX_VM, VM, VMState, image_digest
+from repro.vrm.oracle import DataOracle
+
+
+@dataclass
+class KCoreStats:
+    """Operation counters consumed by the performance simulator."""
+
+    hypercalls: int = 0
+    s2pt_maps: int = 0
+    s2pt_unmaps: int = 0
+    smmu_maps: int = 0
+    smmu_unmaps: int = 0
+    vcpu_switches: int = 0
+    pages_donated: int = 0
+    pages_reclaimed: int = 0
+    virtual_ipis: int = 0
+    device_irqs: int = 0
+
+
+class KCore:
+    """The trusted computing base of SeKVM."""
+
+    def __init__(
+        self,
+        memory: PhysicalMemory,
+        s2_levels: int = 4,
+        va_bits_per_level: int = 9,
+        kcore_reserved_pages: Sequence[int] = (),
+        smmu: Optional[SMMU] = None,
+    ):
+        self.memory = memory
+        self.s2_levels = s2_levels
+        self.va_bits_per_level = va_bits_per_level
+        self.s2page = S2PageDB(memory.total_pages)
+        self.el2pt = EL2PageTable(linear_pages=memory.total_pages)
+        self.el2pt.boot()
+        self.smmu = smmu if smmu is not None else SMMU(levels=s2_levels)
+        self.vm_lock = TicketLock(name="vm-lock")
+        self.next_vmid = 0
+        self.vms: Dict[int, VM] = {}
+        self.kserv_s2pt = Stage2PageTable(
+            "kserv", levels=s2_levels, va_bits_per_level=va_bits_per_level
+        )
+        self.smmu_managers: Dict[int, SMMUPageTableManager] = {}
+        self.vgic = VGicDistributor()
+        self.oracle = DataOracle(values=(0,))
+        self.oracle_reads: List[Tuple[str, int]] = []
+        self.stats = KCoreStats()
+        for pfn in kcore_reserved_pages:
+            self.s2page.reserve_for_kcore(pfn)
+
+    # ------------------------------------------------------------------
+    # VM lifecycle hypercalls
+    # ------------------------------------------------------------------
+    def gen_vmid(self, cpu: int) -> int:
+        """Allocate the next unused VMID (Figure 1, fixed lock)."""
+        self.stats.hypercalls += 1
+        self.vm_lock.acquire(cpu)
+        try:
+            vmid = self.next_vmid
+            if vmid >= MAX_VM:
+                raise KernelPanic("gen_vmid: VMID space exhausted", cpu=cpu)
+            self.next_vmid += 1
+        finally:
+            self.vm_lock.release(cpu)
+        self.vms[vmid] = VM(
+            vmid=vmid,
+            s2pt=Stage2PageTable(
+                f"vm{vmid}",
+                levels=self.s2_levels,
+                va_bits_per_level=self.va_bits_per_level,
+            ),
+        )
+        return vmid
+
+    def register_vcpu(self, cpu: int, vmid: int, vcpu_id: int) -> None:
+        self.stats.hypercalls += 1
+        self._vm(vmid).add_vcpu(vcpu_id)
+
+    def boot_vm(
+        self,
+        cpu: int,
+        vmid: int,
+        image_pfns: Sequence[int],
+        expected_digest: str,
+    ) -> None:
+        """Authenticated VM boot (§5.1).
+
+        KServ must own the image pages; KCore takes them (donation),
+        remaps them to a contiguous EL2 region, measures the image
+        through those mappings, and refuses to mark the VM runnable on a
+        measurement mismatch (returning the pages scrubbed).
+        """
+        self.stats.hypercalls += 1
+        vm = self._vm(vmid)
+        if vm.state is not VMState.CREATED:
+            raise HypercallError(f"VM {vmid} already booted")
+        for pfn in image_pfns:
+            self.s2page.donate_to_vm(pfn, vmid)
+            vm.pages.append(pfn)
+            self.stats.pages_donated += 1
+        base_va = self.el2pt.remap_pfn(image_pfns)
+        contents = []
+        for offset in range(len(image_pfns)):
+            pfn = self.el2pt.translate(base_va + offset)
+            assert pfn is not None
+            contents.append(self.memory.read(pfn))
+        measured = image_digest(contents)
+        if measured != expected_digest:
+            for pfn in image_pfns:
+                self.memory.scrub(pfn)
+                self.s2page.reclaim(pfn, scrubbed=True)
+            vm.pages.clear()
+            raise HypercallError(
+                f"VM {vmid}: image authentication failed"
+            )
+        vm.expected_digest = expected_digest
+        vm.mark_verified()
+        # Bring up the VM's virtual interrupt controller.
+        self.vgic.create(vmid, n_vcpus=max(1, len(vm.vcpus)))
+        # Install the verified image in the VM's stage 2 address space.
+        for vpn, pfn in enumerate(image_pfns):
+            self._map_vm_page(cpu, vm, vpn, pfn)
+
+    def teardown_vm(self, cpu: int, vmid: int) -> int:
+        """Power off a VM, scrub and reclaim every page; returns count."""
+        self.stats.hypercalls += 1
+        vm = self._vm(vmid)
+        vm.power_off()
+        reclaimed = 0
+        for vpn, _pfn in list(vm.s2pt.pagetable.mappings()):
+            self._unmap_vm_page(cpu, vm, vpn)
+        for pfn in vm.pages:
+            self.memory.scrub(pfn)
+            self.s2page.reclaim(pfn, scrubbed=True)
+            reclaimed += 1
+            self.stats.pages_reclaimed += 1
+        vm.pages.clear()
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # vCPU context switching (§5.2)
+    # ------------------------------------------------------------------
+    def run_vcpu(self, cpu: int, vmid: int, vcpu_id: int) -> VCpuContext:
+        self.stats.hypercalls += 1
+        vm = self._vm(vmid)
+        vm.mark_running()
+        ctx = vm.vcpu(vcpu_id)
+        self.vm_lock.acquire(cpu)
+        try:
+            ctx.activate(cpu)
+        finally:
+            self.vm_lock.release(cpu)
+        self.stats.vcpu_switches += 1
+        return ctx
+
+    def stop_vcpu(self, cpu: int, vmid: int, vcpu_id: int) -> None:
+        self.stats.hypercalls += 1
+        ctx = self._vm(vmid).vcpu(vcpu_id)
+        ctx.deactivate(cpu)
+        self.stats.vcpu_switches += 1
+
+    # ------------------------------------------------------------------
+    # stage 2 fault handling / page mapping
+    # ------------------------------------------------------------------
+    def map_pfn_kserv(self, cpu: int, vpn: int, pfn: int) -> None:
+        """KServ stage-2 fault: map a KServ-owned page at *vpn*."""
+        self.stats.hypercalls += 1
+        self.s2page.assert_mappable(pfn, KSERV)
+        self.kserv_s2pt.set_s2pt(cpu, vpn, pfn)
+        self.s2page.note_mapped(pfn)
+        self.stats.s2pt_maps += 1
+
+    def unmap_pfn_kserv(self, cpu: int, vpn: int) -> None:
+        self.stats.hypercalls += 1
+        pfn = self.kserv_s2pt.translate(vpn)
+        if pfn is None:
+            raise HypercallError(f"KServ vpn {vpn:#x} not mapped")
+        self.kserv_s2pt.clear_s2pt(cpu, vpn)
+        self.s2page.note_unmapped(pfn)
+        self.stats.s2pt_unmaps += 1
+
+    def grant_vm_page(self, cpu: int, vmid: int, vpn: int, pfn: int) -> None:
+        """Donate a KServ page to a VM and map it (VM stage-2 fault path).
+
+        The page is scrubbed at donation so KServ data never leaks into
+        the VM and, conversely, the VM starts from a clean page.
+        """
+        self.stats.hypercalls += 1
+        vm = self._vm(vmid)
+        self.memory.scrub(pfn)
+        self.s2page.donate_to_vm(pfn, vmid)
+        vm.pages.append(pfn)
+        self.stats.pages_donated += 1
+        self._map_vm_page(cpu, vm, vpn, pfn)
+
+    def _map_vm_page(self, cpu: int, vm: VM, vpn: int, pfn: int) -> None:
+        self.s2page.assert_mappable(pfn, vm_owner(vm.vmid))
+        vm.s2pt.set_s2pt(cpu, vpn, pfn)
+        self.s2page.note_mapped(pfn)
+        self.stats.s2pt_maps += 1
+
+    def _unmap_vm_page(self, cpu: int, vm: VM, vpn: int) -> None:
+        pfn = vm.s2pt.translate(vpn)
+        if pfn is None:
+            raise HypercallError(f"VM {vm.vmid} vpn {vpn:#x} not mapped")
+        vm.s2pt.clear_s2pt(cpu, vpn)
+        self.s2page.note_unmapped(pfn)
+        self.stats.s2pt_unmaps += 1
+
+    def share_vm_page(self, cpu: int, vmid: int, vpn: int) -> int:
+        """A VM volunteers one of its pages for sharing with KServ.
+
+        The virtio model: guests explicitly designate ring/buffer pages;
+        only then may KServ map them (``assert_mappable`` honors the
+        shared flag).  Everything else stays exclusively VM-owned.
+        Returns the shared pfn.
+        """
+        self.stats.hypercalls += 1
+        vm = self._vm(vmid)
+        pfn = vm.s2pt.translate(vpn)
+        if pfn is None:
+            raise HypercallError(f"VM {vmid} vpn {vpn:#x} not mapped")
+        self.s2page.mark_shared(pfn)
+        return pfn
+
+    # ------------------------------------------------------------------
+    # virtual interrupts (Table 2's I/O Kernel / Virtual IPI paths)
+    # ------------------------------------------------------------------
+    def send_vipi(
+        self, cpu: int, vmid: int, sender_vcpu: int, target_vcpu: int,
+        intid: int = 0,
+    ) -> None:
+        """A guest vCPU's SGI, mediated by KCore (same-VM only)."""
+        self.stats.hypercalls += 1
+        self._vm(vmid)  # the VM must exist
+        self.vgic.send_ipi(vmid, sender_vcpu, vmid, target_vcpu, intid)
+        self.stats.virtual_ipis += 1
+
+    def inject_device_irq(
+        self, cpu: int, vmid: int, intid: int, target_vcpu: int = 0
+    ) -> None:
+        """KServ's device emulation raises a device interrupt line."""
+        self.stats.hypercalls += 1
+        self.vgic.for_vm(vmid).inject_spi(intid, target_vcpu)
+        self.stats.device_irqs += 1
+
+    # ------------------------------------------------------------------
+    # SMMU (DMA) management
+    # ------------------------------------------------------------------
+    def smmu_manager(self, device_id: int) -> SMMUPageTableManager:
+        if device_id not in self.smmu_managers:
+            self.smmu_managers[device_id] = SMMUPageTableManager(
+                self.smmu, device_id
+            )
+        return self.smmu_managers[device_id]
+
+    def smmu_map(
+        self, cpu: int, device_id: int, iova: int, pfn: int, owner: Owner
+    ) -> None:
+        """Map a page for device DMA; the page must belong to the
+        device's assigned owner and never to KCore."""
+        self.stats.hypercalls += 1
+        self.s2page.assert_mappable(pfn, owner)
+        self.smmu_manager(device_id).set_spt(cpu, iova, pfn)
+        self.s2page.note_mapped(pfn)
+        self.stats.smmu_maps += 1
+
+    def smmu_unmap(self, cpu: int, device_id: int, iova: int) -> None:
+        self.stats.hypercalls += 1
+        manager = self.smmu_manager(device_id)
+        pfn = manager.translate(iova)
+        if pfn is None:
+            raise HypercallError(
+                f"device {device_id} iova {iova:#x} not mapped"
+            )
+        manager.clear_spt(cpu, iova)
+        self.s2page.note_unmapped(pfn)
+        self.stats.smmu_unmaps += 1
+
+    # ------------------------------------------------------------------
+    # mediated memory access
+    # ------------------------------------------------------------------
+    def kserv_read(self, vpn: int) -> int:
+        """A KServ load: translated by its stage 2 table; faults
+        (HypercallError) if unmapped — the hardware enforcement that
+        KServ only reaches memory KCore mapped for it."""
+        pfn = self.kserv_s2pt.translate(vpn)
+        if pfn is None:
+            raise HypercallError(f"KServ stage-2 fault at vpn {vpn:#x}")
+        return self.memory.read(pfn)
+
+    def kserv_write(self, vpn: int, value: int) -> None:
+        pfn = self.kserv_s2pt.translate(vpn)
+        if pfn is None:
+            raise HypercallError(f"KServ stage-2 fault at vpn {vpn:#x}")
+        self.memory.write(pfn, value)
+
+    def vm_read(self, vmid: int, vpn: int) -> int:
+        pfn = self._vm(vmid).s2pt.translate(vpn)
+        if pfn is None:
+            raise HypercallError(f"VM {vmid} stage-2 fault at vpn {vpn:#x}")
+        return self.memory.read(pfn)
+
+    def vm_write(self, vmid: int, vpn: int, value: int) -> None:
+        pfn = self._vm(vmid).s2pt.translate(vpn)
+        if pfn is None:
+            raise HypercallError(f"VM {vmid} stage-2 fault at vpn {vpn:#x}")
+        self.memory.write(pfn, value)
+
+    def kcore_read_user(self, what: str) -> int:
+        """KCore reading VM/KServ memory — through the data oracle (§5.3).
+
+        The verified KCore never lets user memory contents influence its
+        control flow directly; reads are modeled as oracle draws, and the
+        draw log is what the Weak-Memory-Isolation audit inspects.
+        """
+        value = self.oracle.draw()
+        self.oracle_reads.append((what, value))
+        return value
+
+    # ------------------------------------------------------------------
+    def _vm(self, vmid: int) -> VM:
+        try:
+            return self.vms[vmid]
+        except KeyError:
+            raise HypercallError(f"no VM with vmid {vmid}") from None

@@ -1,0 +1,119 @@
+"""KCore's ticket lock (Figure 7) — functional form and IR emitters.
+
+KCore uses Linux's arm64 ticket lock: ``acquire`` atomically takes a
+ticket (``LDADDA`` — fetch-and-increment with acquire) and spins on
+``now`` with load-acquire; ``release`` bumps ``now`` with store-release.
+The push/pull instrumentation points sit exactly where Figure 7 places
+them: ``pull`` after the spin loop, ``push`` before the releasing store.
+
+The IR emitters also expose the *buggy* variant (no acquire/release) so
+the test and benchmark suites can demonstrate that the DRF-Kernel and
+No-Barrier-Misuse checkers reject it (Example 2).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+from repro.ir.builder import ThreadBuilder
+from repro.ir.expr import ExprLike, Reg
+from repro.ir.instructions import MemSpace
+
+
+@dataclass(frozen=True)
+class LockAddrs:
+    """Shared-memory locations of one ticket lock instance."""
+
+    ticket: int
+    now: int
+
+    def initial_memory(self) -> dict:
+        return {self.ticket: 0, self.now: 0}
+
+
+def emit_acquire(
+    b: ThreadBuilder,
+    lock: LockAddrs,
+    protects: Sequence[ExprLike] = (),
+    correct: bool = True,
+    ticket_reg: str = "my_ticket",
+    now_reg: str = "now",
+) -> ThreadBuilder:
+    """Emit ``acquire_lock()`` and pull the protected locations.
+
+    ``correct=False`` drops the acquire semantics (Example 2's bug).
+    """
+    b.faa(ticket_reg, lock.ticket, acquire=correct)
+    b.spin_until_eq(now_reg, lock.now, ticket_reg, acquire=correct)
+    if protects:
+        b.pull(*protects)
+    return b
+
+
+def emit_release(
+    b: ThreadBuilder,
+    lock: LockAddrs,
+    protects: Sequence[ExprLike] = (),
+    correct: bool = True,
+    scratch_reg: str = "_rel_t",
+) -> ThreadBuilder:
+    """Emit ``release_lock()`` after pushing the protected locations."""
+    if protects:
+        b.push(*protects)
+    b.load(scratch_reg, lock.now, space=MemSpace.SYNC)
+    b.store(lock.now, Reg(scratch_reg) + 1, release=correct,
+            space=MemSpace.SYNC)
+    return b
+
+
+class TicketLock:
+    """Functional ticket lock for the (sequential) SeKVM model.
+
+    The functional model executes hypercalls atomically, so this lock's
+    job is bookkeeping, invariant checking, and contention *accounting*
+    (the performance simulator reads ``acquisitions``/``contended`` to
+    model lock behavior under multi-VM load).  It still enforces the
+    ticket discipline so double-release bugs surface.
+    """
+
+    def __init__(self, name: str = "lock"):
+        self.name = name
+        self._ticket = 0
+        self._now = 0
+        self._holder: int | None = None
+        self.acquisitions = 0
+        self.contended = 0
+
+    @property
+    def held(self) -> bool:
+        return self._holder is not None
+
+    def acquire(self, cpu: int) -> None:
+        if self._holder == cpu:
+            raise RuntimeError(f"{self.name}: CPU {cpu} re-acquired (not reentrant)")
+        if self._holder is not None:
+            self.contended += 1
+        my_ticket = self._ticket
+        self._ticket += 1
+        # Sequential model: the lock is available by the time we run.
+        assert my_ticket >= self._now
+        self._now = my_ticket
+        self._holder = cpu
+        self.acquisitions += 1
+
+    def release(self, cpu: int) -> None:
+        if self._holder != cpu:
+            raise RuntimeError(
+                f"{self.name}: CPU {cpu} released a lock held by {self._holder}"
+            )
+        self._holder = None
+        self._now += 1
+
+    def __enter__(self):  # pragma: no cover - convenience
+        self.acquire(cpu=-1)
+        return self
+
+    def __exit__(self, *exc):  # pragma: no cover - convenience
+        self.release(cpu=-1)

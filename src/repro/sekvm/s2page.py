@@ -1,0 +1,179 @@
+"""The ``s2page`` ownership database (Section 5.3).
+
+KCore tracks the owner of every 4 KB physical page: KCore itself, KServ,
+or a VM.  A page has exactly one owner at any time; KCore checks that it
+is *not* the owner before mapping a page into any stage 2 or SMMU table,
+which is the invariant that keeps hypervisor memory unreachable from
+VMs, KServ, and DMA.
+
+Ownership transfers model the SeKVM protocols: KServ donates pages to a
+VM at boot or on stage-2 fault; a VM's pages return to KServ only after
+scrubbing when the VM is torn down.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import HypercallError, SecurityViolation
+
+
+class OwnerKind(enum.Enum):
+    KCORE = "kcore"
+    KSERV = "kserv"
+    VM = "vm"
+
+
+@dataclass(frozen=True)
+class Owner:
+    """A page owner: KCore, KServ, or a specific VM."""
+
+    kind: OwnerKind
+    vmid: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.kind is OwnerKind.VM) != (self.vmid is not None):
+            raise ValueError("VM owners carry a vmid; others must not")
+
+    def __str__(self) -> str:
+        return f"VM{self.vmid}" if self.kind is OwnerKind.VM else self.kind.value
+
+
+KCORE = Owner(OwnerKind.KCORE)
+KSERV = Owner(OwnerKind.KSERV)
+
+
+def vm_owner(vmid: int) -> Owner:
+    return Owner(OwnerKind.VM, vmid)
+
+
+@dataclass
+class S2PageEntry:
+    """Per-page metadata: owner, map count, and share flag."""
+
+    owner: Owner
+    mapped_count: int = 0
+    shared: bool = False
+
+
+class S2PageDB:
+    """The per-page ownership table, with transfer auditing.
+
+    Invariants enforced on every operation:
+
+    * a page has exactly one owner;
+    * KCore-owned pages are never mapped into stage 2 / SMMU tables
+      (:meth:`assert_mappable`);
+    * ownership transfers follow the SeKVM protocols (KServ -> VM at
+      donation; VM -> KServ only through :meth:`reclaim`, which requires
+      the page to be scrubbed).
+    """
+
+    def __init__(self, total_pages: int):
+        if total_pages <= 0:
+            raise ValueError("need at least one physical page")
+        self.total_pages = total_pages
+        self._entries: List[S2PageEntry] = [
+            S2PageEntry(owner=KSERV) for _ in range(total_pages)
+        ]
+        self.transfers: List[Tuple[int, Owner, Owner]] = []
+
+    def _entry(self, pfn: int) -> S2PageEntry:
+        if not 0 <= pfn < self.total_pages:
+            raise HypercallError(f"pfn {pfn:#x} out of range")
+        return self._entries[pfn]
+
+    # ------------------------------------------------------------------
+    def owner_of(self, pfn: int) -> Owner:
+        return self._entry(pfn).owner
+
+    def pages_owned_by(self, owner: Owner) -> Iterator[int]:
+        for pfn, entry in enumerate(self._entries):
+            if entry.owner == owner:
+                yield pfn
+
+    def assert_mappable(self, pfn: int, for_owner: Owner) -> None:
+        """KCore's pre-map check: never map KCore pages anywhere, and
+        only map pages into tables of their actual owner."""
+        entry = self._entry(pfn)
+        if entry.owner == KCORE:
+            raise SecurityViolation(
+                f"attempt to map KCore-owned page {pfn:#x} into a "
+                f"{for_owner} table"
+            )
+        if entry.owner != for_owner and not entry.shared:
+            raise HypercallError(
+                f"page {pfn:#x} owned by {entry.owner}, not {for_owner}"
+            )
+
+    # ------------------------------------------------------------------
+    def reserve_for_kcore(self, pfn: int) -> None:
+        """Claim a page for KCore (boot-time pools, page tables)."""
+        entry = self._entry(pfn)
+        if entry.mapped_count:
+            raise HypercallError(
+                f"page {pfn:#x} still mapped {entry.mapped_count} times"
+            )
+        self.transfers.append((pfn, entry.owner, KCORE))
+        entry.owner = KCORE
+        entry.shared = False
+
+    def donate_to_vm(self, pfn: int, vmid: int) -> None:
+        """KServ donates one of its pages to a VM."""
+        entry = self._entry(pfn)
+        if entry.owner != KSERV:
+            raise HypercallError(
+                f"cannot donate page {pfn:#x} owned by {entry.owner}"
+            )
+        if entry.mapped_count:
+            raise HypercallError(
+                f"page {pfn:#x} must be unmapped from KServ before donation"
+            )
+        new_owner = vm_owner(vmid)
+        self.transfers.append((pfn, entry.owner, new_owner))
+        entry.owner = new_owner
+
+    def reclaim(self, pfn: int, scrubbed: bool) -> None:
+        """Return a VM page to KServ; requires scrubbing (confidentiality)."""
+        entry = self._entry(pfn)
+        if entry.owner.kind is not OwnerKind.VM:
+            raise HypercallError(
+                f"page {pfn:#x} is not VM-owned ({entry.owner})"
+            )
+        if not scrubbed:
+            raise SecurityViolation(
+                f"reclaiming VM page {pfn:#x} without scrubbing leaks VM data"
+            )
+        if entry.mapped_count:
+            raise HypercallError(f"page {pfn:#x} still mapped")
+        self.transfers.append((pfn, entry.owner, KSERV))
+        entry.owner = KSERV
+        entry.shared = False
+
+    def mark_shared(self, pfn: int) -> None:
+        """A VM explicitly shares a page with KServ (e.g. virtio rings)."""
+        entry = self._entry(pfn)
+        if entry.owner.kind is not OwnerKind.VM:
+            raise HypercallError("only VM pages can be shared with KServ")
+        entry.shared = True
+
+    # ------------------------------------------------------------------
+    def note_mapped(self, pfn: int) -> None:
+        self._entry(pfn).mapped_count += 1
+
+    def note_unmapped(self, pfn: int) -> None:
+        entry = self._entry(pfn)
+        if entry.mapped_count <= 0:
+            raise HypercallError(f"unbalanced unmap of page {pfn:#x}")
+        entry.mapped_count -= 1
+
+    def audit_exclusive_ownership(self) -> None:
+        """Invariant check used by tests: every page has one owner and
+        KCore pages are unmapped."""
+        for pfn, entry in enumerate(self._entries):
+            if entry.owner == KCORE and entry.mapped_count:
+                raise SecurityViolation(
+                    f"KCore page {pfn:#x} is mapped into a guest-visible table"
+                )

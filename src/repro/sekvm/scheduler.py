@@ -1,0 +1,107 @@
+"""KServ's vCPU scheduler.
+
+Scheduling is untrusted in SeKVM: KServ decides *which* vCPU runs
+*where*, but every placement goes through KCore's ``run_vcpu`` /
+``stop_vcpu`` hypercalls, so the ACTIVE/INACTIVE context protocol (§5.2)
+is enforced regardless of scheduling decisions — including migrations
+between physical CPUs, the case Example 3 is about.
+
+The model is a round-robin multiplexer: a global ready queue of vCPUs,
+``tick()`` preempts every physical CPU and places the next ready vCPU.
+Guest register state is saved/restored through the protocol, so the
+tests can verify context integrity across arbitrary migration patterns.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.errors import HypercallError
+from repro.sekvm.kcore import KCore
+
+#: A schedulable entity.
+VCpuId = Tuple[int, int]          # (vmid, vcpu_id)
+
+
+@dataclass
+class SchedulerStats:
+    placements: int = 0
+    preemptions: int = 0
+    migrations: int = 0
+
+
+class VCpuScheduler:
+    """Round-robin vCPU scheduler over the machine's physical CPUs."""
+
+    def __init__(self, kcore: KCore, cpus: int):
+        if cpus < 1:
+            raise HypercallError("need at least one physical CPU")
+        self.kcore = kcore
+        self.cpus = cpus
+        self.ready: Deque[VCpuId] = deque()
+        self.running: Dict[int, VCpuId] = {}       # cpu -> vcpu
+        self._last_cpu: Dict[VCpuId, int] = {}
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------
+    def enqueue(self, vmid: int, vcpu_id: int) -> None:
+        """Make a vCPU schedulable."""
+        key = (vmid, vcpu_id)
+        if key in self.ready or key in self.running.values():
+            raise HypercallError(f"vCPU {key} already scheduled")
+        self.ready.append(key)
+
+    def remove(self, vmid: int, vcpu_id: int) -> None:
+        """Deschedule a vCPU (stopping it first if running)."""
+        key = (vmid, vcpu_id)
+        for cpu, current in list(self.running.items()):
+            if current == key:
+                self._stop(cpu)
+        if key in self.ready:
+            self.ready.remove(key)
+
+    # ------------------------------------------------------------------
+    def _stop(self, cpu: int) -> None:
+        vmid, vcpu_id = self.running.pop(cpu)
+        self.kcore.stop_vcpu(cpu, vmid, vcpu_id)
+        self.ready.append((vmid, vcpu_id))
+        self.stats.preemptions += 1
+
+    def _place(self, cpu: int) -> Optional[VCpuId]:
+        if not self.ready:
+            return None
+        key = self.ready.popleft()
+        vmid, vcpu_id = key
+        self.kcore.run_vcpu(cpu, vmid, vcpu_id)
+        self.running[cpu] = key
+        last = self._last_cpu.get(key)
+        if last is not None and last != cpu:
+            self.stats.migrations += 1
+        self._last_cpu[key] = cpu
+        self.stats.placements += 1
+        return key
+
+    def tick(self) -> None:
+        """One scheduling round: preempt everything, place round-robin."""
+        for cpu in sorted(self.running):
+            self._stop(cpu)
+        for cpu in range(self.cpus):
+            if self._place(cpu) is None:
+                break
+
+    def run_rounds(self, rounds: int) -> None:
+        for _ in range(rounds):
+            self.tick()
+
+    def idle(self) -> None:
+        """Stop everything (e.g. before system shutdown)."""
+        for cpu in sorted(self.running):
+            self._stop(cpu)
+
+    def where(self, vmid: int, vcpu_id: int) -> Optional[int]:
+        for cpu, key in self.running.items():
+            if key == (vmid, vcpu_id):
+                return cpu
+        return None

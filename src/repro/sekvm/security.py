@@ -1,0 +1,184 @@
+"""VM confidentiality and integrity checks (the SeKVM guarantees, §5).
+
+The paper's end-to-end guarantee — KCore protects the confidentiality
+and integrity of VM data against an arbitrary KServ and other VMs — is
+reproduced as executable property checks:
+
+* **Confidentiality** (:func:`check_vm_confidentiality`): a
+  noninterference experiment.  Run the same adversarial KServ scenario
+  twice with different VM secrets; everything KServ observes (its page
+  reads, hypercall outcomes, stolen values) must be identical.  Any
+  difference is a channel from VM memory to KServ.
+* **Integrity** (:func:`check_vm_integrity`): after a battery of KServ
+  attacks (mapping VM/KCore pages, DMA into VM memory, image tampering,
+  unscrubbed reclaim), the VM's memory must be exactly what the VM wrote.
+* **Attack battery** (:func:`run_attack_battery`): each attack must be
+  *refused* by the verified KCore; the suite returns which succeeded, so
+  tests can assert none did (and that seeded-vulnerable variants fail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HypercallError, SecurityViolation
+from repro.sekvm.hypervisor import SeKVMSystem, make_image
+from repro.sekvm.s2page import KSERV
+from repro.sekvm.versions import KVMVersion
+
+
+@dataclass
+class AttackResult:
+    name: str
+    succeeded: bool
+    detail: str = ""
+
+
+def _adversarial_scenario(system: SeKVMSystem, secret: int) -> List[Tuple[str, int]]:
+    """One full adversarial run; returns KServ's observation trace."""
+    cpu = 0
+    image, _ = make_image(101, 102, 103)
+    vmid = system.boot_vm(image, vcpus=2, cpu=cpu)
+    # The guest writes its secret into its own memory.
+    system.run_guest_work(vmid, vcpu_id=0, cpu=cpu, writes={0x10: secret})
+    # KServ probes: direct maps of VM pages, KCore pages, DMA, reads of
+    # its own memory (the legitimate channel).
+    for pfn in system.vm_pages(vmid):
+        system.kserv.try_map_foreign_page(cpu, pfn)
+    for pfn in system.kcore_pages()[:4]:
+        system.kserv.try_map_foreign_page(cpu, pfn)
+    for pfn in system.vm_pages(vmid)[:2]:
+        system.kserv.try_dma_attack(cpu, device_id=1, pfn=pfn)
+    own = system.kserv.alloc_page()
+    vpn = system.kserv.map_and_write(cpu, own, 0xAB)
+    system.kserv.read(vpn)
+    # Teardown returns pages to KServ — scrubbed.
+    system.teardown_vm(vmid, cpu=cpu)
+    for pfn in system.vm_pages(vmid):
+        system.kserv.try_map_foreign_page(cpu, pfn)
+    return list(system.kserv.observations)
+
+
+def check_vm_confidentiality(
+    version: Optional[KVMVersion] = None,
+    secrets: Tuple[int, int] = (0x5EC, 0x7E57),
+) -> bool:
+    """Noninterference: KServ's trace is independent of VM secrets."""
+    traces = []
+    for secret in secrets:
+        system = SeKVMSystem(version=version)
+        traces.append(_adversarial_scenario(system, secret))
+    if traces[0] != traces[1]:
+        raise SecurityViolation(
+            "KServ observations depend on VM secret: "
+            f"{traces[0]} vs {traces[1]}"
+        )
+    return True
+
+
+def check_vm_integrity(version: Optional[KVMVersion] = None) -> bool:
+    """VM memory reflects only the VM's own writes, despite attacks."""
+    cpu = 0
+    system = SeKVMSystem(version=version)
+    image, _ = make_image(7, 8, 9)
+    vmid = system.boot_vm(image, vcpus=1, cpu=cpu)
+    system.run_guest_work(vmid, vcpu_id=0, cpu=cpu, writes={0x20: 1234})
+    # Attack: KServ tries to remap / DMA / overwrite VM pages.
+    for pfn in system.vm_pages(vmid):
+        system.kserv.try_map_foreign_page(cpu, pfn)
+        system.kserv.try_dma_attack(cpu, device_id=2, pfn=pfn)
+    # The image pages and the guest write must be intact.
+    for vpn, expected in ((0, 7), (1, 8), (2, 9), (0x20, 1234)):
+        actual = system.guest_read(vmid, vpn)
+        if actual != expected:
+            raise SecurityViolation(
+                f"VM {vmid} page {vpn:#x} corrupted: {actual} != {expected}"
+            )
+    return True
+
+
+def run_attack_battery(
+    version: Optional[KVMVersion] = None,
+) -> List[AttackResult]:
+    """Run every modeled KServ attack; each must be refused."""
+    cpu = 0
+    results: List[AttackResult] = []
+
+    # --- map a VM page into KServ -------------------------------------
+    system = SeKVMSystem(version=version)
+    image, _ = make_image(1, 2)
+    vmid = system.boot_vm(image, cpu=cpu)
+    vm_pfn = system.vm_pages(vmid)[0]
+    results.append(
+        AttackResult(
+            name="map-vm-page-into-kserv",
+            succeeded=system.kserv.try_map_foreign_page(cpu, vm_pfn),
+        )
+    )
+
+    # --- map a KCore page into KServ ----------------------------------
+    kcore_pfn = system.kcore_pages()[0]
+    results.append(
+        AttackResult(
+            name="map-kcore-page-into-kserv",
+            succeeded=system.kserv.try_map_foreign_page(cpu, kcore_pfn),
+        )
+    )
+
+    # --- DMA into VM memory -------------------------------------------
+    results.append(
+        AttackResult(
+            name="dma-into-vm-page",
+            succeeded=system.kserv.try_dma_attack(cpu, device_id=3, pfn=vm_pfn),
+        )
+    )
+
+    # --- boot a tampered image ----------------------------------------
+    system2 = SeKVMSystem(version=version)
+    tampered_ok = True
+    try:
+        system2.kserv.create_and_boot_vm(
+            cpu, image=[11, 12, 13], tamper={1: 999}
+        )
+    except HypercallError:
+        tampered_ok = False
+    results.append(
+        AttackResult(name="boot-tampered-image", succeeded=tampered_ok)
+    )
+
+    # --- reclaim a VM page without scrubbing --------------------------
+    system3 = SeKVMSystem(version=version)
+    image3, _ = make_image(42)
+    vmid3 = system3.boot_vm(image3, cpu=cpu)
+    pfn3 = system3.vm_pages(vmid3)[0]
+    unscrubbed = True
+    try:
+        system3.kcore.s2page.note_unmapped(pfn3)  # simulate unmap
+        system3.kcore.s2page.reclaim(pfn3, scrubbed=False)
+    except SecurityViolation:
+        unscrubbed = False
+    results.append(
+        AttackResult(name="reclaim-without-scrub", succeeded=unscrubbed)
+    )
+
+    # --- double donation (ownership confusion) ------------------------
+    system4 = SeKVMSystem(version=version)
+    image4, _ = make_image(5)
+    vmid4 = system4.boot_vm(image4, cpu=cpu)
+    vmid5 = system4.boot_vm(image4, cpu=cpu)
+    stolen_pfn = system4.vm_pages(vmid4)[0]
+    double = True
+    try:
+        system4.kcore.s2page.donate_to_vm(stolen_pfn, vmid5)
+    except HypercallError:
+        double = False
+    results.append(
+        AttackResult(name="double-donate-vm-page", succeeded=double)
+    )
+
+    return results
+
+
+def all_attacks_refused(version: Optional[KVMVersion] = None) -> bool:
+    return not any(r.succeeded for r in run_attack_battery(version))

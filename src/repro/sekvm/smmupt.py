@@ -1,0 +1,85 @@
+"""SMMU page-table management: ``set_spt`` / ``clear_spt`` (§5.4-5.5).
+
+Identical discipline to the stage 2 primitives — KCore allocates from a
+pool reserved for the SMMU, only writes empty entries on map, performs a
+single write plus ``barrier; smmu-tlbi`` on unmap — so the transactional
+and sequential-invalidation proofs carry over unchanged, as the paper
+notes.  The implementation shares the audited machinery and differs only
+in the invalidation target (the SMMU TLB) and the backing pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import HypercallError
+from repro.mmu.smmu import SMMU, SMMUContext
+from repro.mmu.pagetable import PTWrite
+from repro.sekvm.locks import TicketLock
+from repro.sekvm.s2pt import S2PTOperation
+
+
+class SMMUPageTableManager:
+    """KCore's interface to one device's SMMU page table."""
+
+    def __init__(self, smmu: SMMU, device_id: int, pool_pages: int = 1024):
+        self.smmu = smmu
+        self.device_id = device_id
+        self.context: SMMUContext = smmu.context(device_id)
+        self.lock = TicketLock(name=f"spt-lock-dev{device_id}")
+        self.operations: List[S2PTOperation] = []
+        self.smmu_tlb_invalidations = 0
+        self._pool_pages = pool_pages
+
+    def set_spt(self, cpu: int, iova: int, pfn: int) -> S2PTOperation:
+        """Map ``iova -> pfn`` for the device; empty entries only."""
+        self.lock.acquire(cpu)
+        try:
+            pt = self.context.pagetable
+            mark = len(pt.write_log)
+            if pt.is_mapped(iova):
+                raise HypercallError(
+                    f"set_spt(dev {self.device_id}): iova {iova:#x} "
+                    f"already mapped"
+                )
+            pt.map(iova, pfn, overwrite=False)
+            op = S2PTOperation(
+                kind="map",
+                vpn=iova,
+                writes=tuple(pt.write_log[mark:]),
+                barrier_before_tlbi=True,
+                tlbi=False,
+            )
+            self.operations.append(op)
+            return op
+        finally:
+            self.lock.release(cpu)
+
+    def clear_spt(self, cpu: int, iova: int) -> S2PTOperation:
+        """Unmap ``iova``: one write, then ``barrier; smmu-tlbi``."""
+        self.lock.acquire(cpu)
+        try:
+            pt = self.context.pagetable
+            mark = len(pt.write_log)
+            if not pt.unmap(iova):
+                raise HypercallError(
+                    f"clear_spt(dev {self.device_id}): iova {iova:#x} "
+                    f"not mapped"
+                )
+            self.context.invalidate_tlb(iova)
+            self.smmu_tlb_invalidations += 1
+            op = S2PTOperation(
+                kind="unmap",
+                vpn=iova,
+                writes=tuple(pt.write_log[mark:]),
+                barrier_before_tlbi=True,
+                tlbi=True,
+            )
+            self.operations.append(op)
+            return op
+        finally:
+            self.lock.release(cpu)
+
+    def translate(self, iova: int) -> Optional[int]:
+        return self.context.pagetable.walk(iova)

@@ -1,0 +1,126 @@
+"""VM snapshots: the feature that motivates Weak-Memory-Isolation (§4.3).
+
+"The KVM hypervisor reads a VM's memory to create a VM snapshot" — the
+one place the verified kernel legitimately touches VM memory, which is
+why the strong Memory-Isolation condition is too strong for real systems
+and Theorem 4's weakened form exists.
+
+The model implements the SeKVM-style protocol:
+
+* KCore reads the VM's pages and produces a snapshot *sealed* under a
+  per-VM key (an XOR stream stands in for authenticated encryption —
+  the structural point is that KServ stores ciphertext it cannot read).
+* The proof-facing accounting records every read through the data-oracle
+  interface (`kcore.oracle_reads`), so the Weak-Memory-Isolation audit
+  sees exactly the declassification the proofs model.
+* Restore verifies the seal, rebuilds the pages from KServ-donated
+  frames, and reinstalls the stage 2 mappings.
+
+Security content exercised by the tests: a snapshot in KServ's hands is
+independent of the VM's secrets (sealed), restores to exactly the saved
+state, and refuses tampered blobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import HypercallError, SecurityViolation
+from repro.sekvm.kcore import KCore
+from repro.sekvm.vm import VMState
+
+
+def _keystream(key: int, index: int) -> int:
+    """A deterministic keyed stream (stand-in for AEAD encryption)."""
+    digest = hashlib.sha256(f"{key}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def _seal_tag(key: int, payload: Sequence[Tuple[int, int]]) -> str:
+    h = hashlib.sha256(f"seal:{key}".encode())
+    for vpn, word in payload:
+        h.update(vpn.to_bytes(8, "little"))
+        h.update(word.to_bytes(8, "little", signed=False))
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class SealedSnapshot:
+    """What KServ gets to store: ciphertext pages plus an integrity tag."""
+
+    vmid: int
+    generation: int
+    pages: Tuple[Tuple[int, int], ...]     # (vpn, sealed word)
+    tag: str
+
+
+class SnapshotManager:
+    """KCore's snapshot/restore service."""
+
+    def __init__(self, kcore: KCore):
+        self.kcore = kcore
+        self._keys: Dict[int, int] = {}
+        self._generations: Dict[int, int] = {}
+
+    def _key_for(self, vmid: int) -> int:
+        if vmid not in self._keys:
+            # Derived at VM creation in real SeKVM; any per-VM secret
+            # unknown to KServ works for the model.
+            self._keys[vmid] = int(
+                hashlib.sha256(f"vmkey:{vmid}".encode()).hexdigest()[:12], 16
+            )
+        return self._keys[vmid]
+
+    # ------------------------------------------------------------------
+    def snapshot_vm(self, cpu: int, vmid: int) -> SealedSnapshot:
+        """Produce a sealed snapshot of every mapped VM page."""
+        vm = self.kcore.vms.get(vmid)
+        if vm is None:
+            raise HypercallError(f"no VM with vmid {vmid}")
+        key = self._key_for(vmid)
+        generation = self._generations.get(vmid, 0) + 1
+        self._generations[vmid] = generation
+        sealed: List[Tuple[int, int]] = []
+        for vpn, pfn in sorted(vm.s2pt.pagetable.mappings()):
+            word = self.kcore.memory.read(pfn)
+            # Proof-facing accounting: this is a kernel read of user
+            # memory, modeled as an oracle draw (Weak-Memory-Isolation).
+            self.kcore.oracle_reads.append((f"snapshot:vm{vmid}:{vpn:#x}", word))
+            sealed.append((vpn, word ^ _keystream(key, vpn)))
+        payload = tuple(sealed)
+        return SealedSnapshot(
+            vmid=vmid,
+            generation=generation,
+            pages=payload,
+            tag=_seal_tag(key, payload),
+        )
+
+    def restore_vm(
+        self, cpu: int, snapshot: SealedSnapshot, pfn_source
+    ) -> int:
+        """Restore a snapshot into its VM; returns pages restored.
+
+        ``pfn_source()`` supplies KServ-owned frames for pages not
+        currently mapped (a teardown/restore cycle).  The seal is
+        verified before anything is written.
+        """
+        vm = self.kcore.vms.get(snapshot.vmid)
+        if vm is None:
+            raise HypercallError(f"no VM with vmid {snapshot.vmid}")
+        key = self._key_for(snapshot.vmid)
+        if _seal_tag(key, snapshot.pages) != snapshot.tag:
+            raise SecurityViolation(
+                f"snapshot for VM {snapshot.vmid} failed integrity check"
+            )
+        if vm.state is VMState.POWERED_OFF:
+            raise HypercallError("cannot restore into a powered-off VM")
+        restored = 0
+        for vpn, sealed_word in snapshot.pages:
+            word = sealed_word ^ _keystream(key, vpn)
+            if not vm.s2pt.is_mapped(vpn):
+                self.kcore.grant_vm_page(cpu, snapshot.vmid, vpn, pfn_source())
+            self.kcore.vm_write(snapshot.vmid, vpn, word)
+            restored += 1
+        return restored

@@ -1,0 +1,77 @@
+"""vCPU contexts and the ACTIVE/INACTIVE ownership protocol (§5.2).
+
+A vCPU context is not lock-protected: a state variable serializes access
+(the Example 3 shape).  A physical CPU may only restore a context whose
+state is INACTIVE, must set it ACTIVE before touching it, and sets it
+back to INACTIVE only after saving — with release/acquire semantics on
+the state variable so the protocol is sound on relaxed hardware.  The
+functional model enforces the protocol and panics (KernelPanic) on
+violations, mirroring ``restore_vm``'s ``panic()`` in Figure 2.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import KernelPanic
+
+
+class VCpuState(enum.Enum):
+    INACTIVE = 0
+    ACTIVE = 1
+
+
+@dataclass
+class VCpuContext:
+    """One virtual CPU's register context and run state."""
+
+    vmid: int
+    vcpu_id: int
+    state: VCpuState = VCpuState.INACTIVE
+    regs: Dict[str, int] = field(default_factory=dict)
+    running_on: Optional[int] = None   # physical CPU, when ACTIVE
+    generation: int = 0                # bumped on every save (staleness probe)
+
+    def activate(self, cpu: int) -> None:
+        """restore_vm()'s check-and-claim (Figure 2, lines 12-14)."""
+        if self.state is not VCpuState.INACTIVE:
+            raise KernelPanic(
+                f"restore_vm: vCPU {self.vmid}/{self.vcpu_id} is not "
+                f"INACTIVE (held by CPU {self.running_on})",
+                cpu=cpu,
+            )
+        self.state = VCpuState.ACTIVE
+        self.running_on = cpu
+
+    def deactivate(self, cpu: int) -> None:
+        """save_vm()'s release of the context."""
+        if self.state is not VCpuState.ACTIVE or self.running_on != cpu:
+            raise KernelPanic(
+                f"save_vm: vCPU {self.vmid}/{self.vcpu_id} not active "
+                f"on CPU {cpu}",
+                cpu=cpu,
+            )
+        self.generation += 1
+        self.state = VCpuState.INACTIVE
+        self.running_on = None
+
+    def write_reg(self, cpu: int, reg: str, value: int) -> None:
+        """Guest register mutation; only legal while this CPU holds it."""
+        if self.state is not VCpuState.ACTIVE or self.running_on != cpu:
+            raise KernelPanic(
+                f"vCPU {self.vmid}/{self.vcpu_id} context touched by CPU "
+                f"{cpu} without ownership",
+                cpu=cpu,
+            )
+        self.regs[reg] = value
+
+    def read_reg(self, cpu: int, reg: str) -> int:
+        if self.state is not VCpuState.ACTIVE or self.running_on != cpu:
+            raise KernelPanic(
+                f"vCPU {self.vmid}/{self.vcpu_id} context read by CPU "
+                f"{cpu} without ownership",
+                cpu=cpu,
+            )
+        return self.regs.get(reg, 0)

@@ -1,0 +1,142 @@
+"""Virtual GIC: emulated interrupt controller and virtual IPIs.
+
+The evaluation's "I/O Kernel" and "Virtual IPI" microbenchmarks exercise
+the in-kernel emulated interrupt controller (Table 2); SeKVM routes
+those traps through KCore, which must enforce that interrupt state is a
+per-VM resource — a vCPU can only IPI vCPUs of its *own* VM, and KServ
+can only inject the interrupt lines of devices it legitimately emulates.
+
+This functional model keeps per-vCPU pending sets and list registers,
+supports SGIs (software-generated interrupts, the IPI mechanism), SPIs
+(device interrupts injected by KServ's emulation), and delivers on
+vCPU entry — enough structure for the security tests (no cross-VM
+injection) and the scheduler/performance layer (IPI latency counting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import HypercallError, SecurityViolation
+
+#: Interrupt id ranges, matching the GIC architecture's split.
+SGI_RANGE = range(0, 16)      # software-generated (IPIs)
+PPI_RANGE = range(16, 32)     # per-CPU peripherals (timers)
+SPI_RANGE = range(32, 1020)   # shared peripherals (devices)
+
+
+@dataclass
+class VGicVCpuState:
+    """Per-vCPU virtual interrupt state."""
+
+    vmid: int
+    vcpu_id: int
+    pending: Set[int] = field(default_factory=set)
+    active: Set[int] = field(default_factory=set)
+    delivered_count: int = 0
+
+
+class VGic:
+    """One VM's virtual interrupt controller, owned by KCore."""
+
+    def __init__(self, vmid: int, n_vcpus: int):
+        if n_vcpus < 1:
+            raise HypercallError("a VM needs at least one vCPU")
+        self.vmid = vmid
+        self.vcpus: Dict[int, VGicVCpuState] = {
+            vcpu_id: VGicVCpuState(vmid=vmid, vcpu_id=vcpu_id)
+            for vcpu_id in range(n_vcpus)
+        }
+        self.sgi_sent = 0
+        self.spi_injected = 0
+
+    def _vcpu(self, vcpu_id: int) -> VGicVCpuState:
+        try:
+            return self.vcpus[vcpu_id]
+        except KeyError:
+            raise HypercallError(
+                f"VM {self.vmid}: no vCPU {vcpu_id} on its vGIC"
+            ) from None
+
+    # ------------------------------------------------------------------
+    def send_sgi(
+        self, sender_vmid: int, sender_vcpu: int, target_vcpu: int, intid: int
+    ) -> None:
+        """A guest vCPU sends a virtual IPI.
+
+        KCore's mediation: the sender must belong to this vGIC's VM —
+        cross-VM SGIs are an isolation violation, not an error return.
+        """
+        if intid not in SGI_RANGE:
+            raise HypercallError(f"SGI intid {intid} out of range")
+        if sender_vmid != self.vmid:
+            raise SecurityViolation(
+                f"VM {sender_vmid} attempted an IPI into VM {self.vmid}"
+            )
+        self._vcpu(sender_vcpu)  # sender must exist too
+        self._vcpu(target_vcpu).pending.add(intid)
+        self.sgi_sent += 1
+
+    def inject_spi(self, intid: int, target_vcpu: int = 0) -> None:
+        """KServ's device emulation injects a device interrupt."""
+        if intid not in SPI_RANGE:
+            raise HypercallError(f"SPI intid {intid} out of range")
+        self._vcpu(target_vcpu).pending.add(intid)
+        self.spi_injected += 1
+
+    # ------------------------------------------------------------------
+    def deliver(self, vcpu_id: int) -> List[int]:
+        """vCPU entry: pending interrupts become active and are returned
+        in priority (ascending intid) order."""
+        state = self._vcpu(vcpu_id)
+        delivered = sorted(state.pending)
+        state.active |= state.pending
+        state.pending.clear()
+        state.delivered_count += len(delivered)
+        return delivered
+
+    def eoi(self, vcpu_id: int, intid: int) -> None:
+        """End-of-interrupt from the guest."""
+        state = self._vcpu(vcpu_id)
+        if intid not in state.active:
+            raise HypercallError(
+                f"EOI for inactive interrupt {intid} on vCPU {vcpu_id}"
+            )
+        state.active.discard(intid)
+
+    def has_pending(self, vcpu_id: int) -> bool:
+        return bool(self._vcpu(vcpu_id).pending)
+
+
+class VGicDistributor:
+    """System-wide registry: one vGIC per VM, mediated by KCore."""
+
+    def __init__(self):
+        self._vgics: Dict[int, VGic] = {}
+
+    def create(self, vmid: int, n_vcpus: int) -> VGic:
+        if vmid in self._vgics:
+            raise HypercallError(f"VM {vmid} already has a vGIC")
+        vgic = VGic(vmid, n_vcpus)
+        self._vgics[vmid] = vgic
+        return vgic
+
+    def for_vm(self, vmid: int) -> VGic:
+        try:
+            return self._vgics[vmid]
+        except KeyError:
+            raise HypercallError(f"VM {vmid} has no vGIC") from None
+
+    def send_ipi(
+        self, sender_vmid: int, sender_vcpu: int,
+        target_vmid: int, target_vcpu: int, intid: int = 0,
+    ) -> None:
+        """The full IPI path with the isolation check at the boundary."""
+        if sender_vmid != target_vmid:
+            raise SecurityViolation(
+                f"VM {sender_vmid} attempted an IPI into VM {target_vmid}"
+            )
+        self.for_vm(target_vmid).send_sgi(
+            sender_vmid, sender_vcpu, target_vcpu, intid
+        )

@@ -1,0 +1,93 @@
+"""VM lifecycle: creation, authenticated boot, run, teardown (§5.1, §5.3).
+
+A VM's identity is its VMID (allocated by ``gen_vmid`` under the VM
+lock).  Secure boot follows SeKVM: KServ loads the (possibly
+discontiguous) VM image into pages it owns, donates them, KCore remaps
+them to a contiguous EL2 region (``remap_pfn``) and hashes the contents
+with the integrated crypto library — modeled here with SHA-256 standing
+in for Ed25519 signature verification — refusing to run unauthenticated
+images.  Teardown scrubs and reclaims every page (confidentiality).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import HypercallError
+from repro.sekvm.s2pt import Stage2PageTable
+from repro.sekvm.vcpu import VCpuContext
+
+MAX_VM = 64
+
+
+class VMState(enum.Enum):
+    CREATED = "created"
+    VERIFIED = "verified"
+    RUNNING = "running"
+    POWERED_OFF = "powered-off"
+
+
+def image_digest(page_contents: Sequence[int]) -> str:
+    """The boot-image measurement (SHA-256 over page contents).
+
+    Stands in for SeKVM's Ed25519 VM-image authentication: same role
+    (KCore refuses to boot an image whose measurement does not match),
+    different primitive, since no signing infrastructure exists here.
+    """
+    h = hashlib.sha256()
+    for content in page_contents:
+        h.update(int(content).to_bytes(16, "little", signed=True))
+    return h.hexdigest()
+
+
+@dataclass
+class VM:
+    """One virtual machine's KCore-side bookkeeping."""
+
+    vmid: int
+    s2pt: Stage2PageTable
+    expected_digest: Optional[str] = None
+    state: VMState = VMState.CREATED
+    vcpus: Dict[int, VCpuContext] = field(default_factory=dict)
+    pages: List[int] = field(default_factory=list)   # donated pfns
+
+    def add_vcpu(self, vcpu_id: int) -> VCpuContext:
+        if self.state not in (VMState.CREATED, VMState.VERIFIED):
+            raise HypercallError(
+                f"VM {self.vmid}: cannot add vCPUs in state {self.state.value}"
+            )
+        if vcpu_id in self.vcpus:
+            raise HypercallError(
+                f"VM {self.vmid}: vCPU {vcpu_id} already registered"
+            )
+        ctx = VCpuContext(vmid=self.vmid, vcpu_id=vcpu_id)
+        self.vcpus[vcpu_id] = ctx
+        return ctx
+
+    def vcpu(self, vcpu_id: int) -> VCpuContext:
+        try:
+            return self.vcpus[vcpu_id]
+        except KeyError:
+            raise HypercallError(
+                f"VM {self.vmid}: no vCPU {vcpu_id}"
+            ) from None
+
+    def mark_verified(self) -> None:
+        if self.state is not VMState.CREATED:
+            raise HypercallError(
+                f"VM {self.vmid}: boot verification in state {self.state.value}"
+            )
+        self.state = VMState.VERIFIED
+
+    def mark_running(self) -> None:
+        if self.state not in (VMState.VERIFIED, VMState.RUNNING):
+            raise HypercallError(
+                f"VM {self.vmid}: cannot run unverified VM"
+            )
+        self.state = VMState.RUNNING
+
+    def power_off(self) -> None:
+        self.state = VMState.POWERED_OFF

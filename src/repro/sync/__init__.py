@@ -1,0 +1,35 @@
+"""Synchronization-primitive library and push-button verification."""
+
+from repro.sync.primitives import (
+    SyncPrimitive,
+    all_primitives,
+    clh_lock,
+    dmb_tas_lock,
+    llsc_lock,
+    tas_lock,
+    ticket_lock,
+    ttas_lock,
+)
+from repro.sync.verify import (
+    COUNTER_LOC,
+    SyncVerification,
+    counter_harness,
+    verify_all,
+    verify_primitive,
+)
+
+__all__ = [
+    "SyncPrimitive",
+    "all_primitives",
+    "clh_lock",
+    "dmb_tas_lock",
+    "llsc_lock",
+    "tas_lock",
+    "ticket_lock",
+    "ttas_lock",
+    "COUNTER_LOC",
+    "SyncVerification",
+    "counter_harness",
+    "verify_all",
+    "verify_primitive",
+]

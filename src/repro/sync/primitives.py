@@ -1,0 +1,258 @@
+"""A library of synchronization primitives as IR emitters.
+
+The paper verifies one lock (Linux's ticket lock, Figure 7); its
+related-work section points at VSync's push-button verification of many
+primitives on weak memory models.  This module provides that breadth:
+several lock algorithms, each in a *correct* (barriered) and a *broken*
+(barrier-free) variant, all expressed against the same emitter
+interface so the wDRF checkers and the mutual-exclusion harness in
+:mod:`repro.sync.verify` can sweep them uniformly.
+
+Primitives:
+
+* ``ticket_lock``   — Figure 7: LDADDA ticket + load-acquire spin +
+  store-release unlock (what KCore uses).
+* ``tas_lock``      — test-and-set: CASA spin + store-release unlock.
+* ``ttas_lock``     — test-and-test-and-set: plain-read spin, then CASA,
+  store-release unlock.
+* ``dmb_tas_lock``  — plain CAS guarded by explicit ``DMB SY`` barriers
+  (the "fence everything" style) — also correct, proving the checkers
+  accept barrier placement that differs from acquire/release.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.ir.builder import ThreadBuilder
+from repro.ir.expr import ExprLike, Reg
+from repro.ir.instructions import MemSpace
+
+
+@dataclass(frozen=True)
+class SyncPrimitive:
+    """One synchronization algorithm, parameterized by correctness.
+
+    ``emit_acquire``/``emit_release`` write the algorithm into a thread
+    builder; ``protects`` are the shared locations to pull/push at the
+    critical-section boundary (the push/pull instrumentation points).
+    """
+
+    name: str
+    sync_locs: Tuple[Tuple[int, int], ...]      # (location, initial value)
+    emit_acquire: Callable[[ThreadBuilder, Sequence[ExprLike]], None]
+    emit_release: Callable[[ThreadBuilder, Sequence[ExprLike]], None]
+    correct: bool
+
+    def initial_memory(self) -> Dict[int, int]:
+        return dict(self.sync_locs)
+
+    def sync_spaces(self) -> Dict[int, MemSpace]:
+        return {loc: MemSpace.SYNC for loc, _ in self.sync_locs}
+
+
+# Default lock-word locations (shared by all primitives; one lock each).
+TICKET_LOC, NOW_LOC, FLAG_LOC = 0x10, 0x11, 0x12
+
+
+def ticket_lock(correct: bool = True) -> SyncPrimitive:
+    """Linux's arm64 ticket lock (Figure 7)."""
+
+    def acquire(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        b.faa("my_ticket", TICKET_LOC, acquire=correct)
+        b.spin_until_eq("now", NOW_LOC, "my_ticket", acquire=correct)
+        if protects:
+            b.pull(*protects)
+
+    def release(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        if protects:
+            b.push(*protects)
+        b.load("_t", NOW_LOC, space=MemSpace.SYNC)
+        b.store(NOW_LOC, Reg("_t") + 1, release=correct,
+                space=MemSpace.SYNC)
+
+    return SyncPrimitive(
+        name=f"ticket-lock[{'acq-rel' if correct else 'no-barriers'}]",
+        sync_locs=((TICKET_LOC, 0), (NOW_LOC, 0)),
+        emit_acquire=acquire,
+        emit_release=release,
+        correct=correct,
+    )
+
+
+def tas_lock(correct: bool = True) -> SyncPrimitive:
+    """Test-and-set spinlock on a CAS loop."""
+
+    def acquire(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        loop = b.fresh_label("tas")
+        b.label(loop)
+        b.cas("old", FLAG_LOC, 0, 1, acquire=correct)
+        b.bnz(Reg("old"), loop)
+        if protects:
+            b.pull(*protects)
+
+    def release(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        if protects:
+            b.push(*protects)
+        b.store(FLAG_LOC, 0, release=correct, space=MemSpace.SYNC)
+
+    return SyncPrimitive(
+        name=f"tas-lock[{'acq-rel' if correct else 'no-barriers'}]",
+        sync_locs=((FLAG_LOC, 0),),
+        emit_acquire=acquire,
+        emit_release=release,
+        correct=correct,
+    )
+
+
+def ttas_lock(correct: bool = True) -> SyncPrimitive:
+    """Test-and-test-and-set: spin on a plain read before the CAS."""
+
+    def acquire(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        retry = b.fresh_label("ttas")
+        b.label(retry)
+        b.spin_until_eq("seen", FLAG_LOC, 0, acquire=False)
+        b.cas("old", FLAG_LOC, 0, 1, acquire=correct)
+        b.bnz(Reg("old"), retry)
+        if protects:
+            b.pull(*protects)
+
+    def release(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        if protects:
+            b.push(*protects)
+        b.store(FLAG_LOC, 0, release=correct, space=MemSpace.SYNC)
+
+    return SyncPrimitive(
+        name=f"ttas-lock[{'acq-rel' if correct else 'no-barriers'}]",
+        sync_locs=((FLAG_LOC, 0),),
+        emit_acquire=acquire,
+        emit_release=release,
+        correct=correct,
+    )
+
+
+def dmb_tas_lock() -> SyncPrimitive:
+    """Plain CAS with explicit DMB SY fences — the pre-v8.1 style.
+
+    Demonstrates that the checkers accept full barriers wherever
+    acquire/release would stand (the conditions are about ordering, not
+    one specific instruction encoding).
+    """
+
+    def acquire(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        loop = b.fresh_label("dmbtas")
+        b.label(loop)
+        b.cas("old", FLAG_LOC, 0, 1, acquire=False)
+        b.bnz(Reg("old"), loop)
+        b.barrier("full")
+        if protects:
+            b.pull(*protects)
+
+    def release(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        if protects:
+            b.push(*protects)
+        b.barrier("full")
+        b.store(FLAG_LOC, 0, space=MemSpace.SYNC)
+
+    return SyncPrimitive(
+        name="dmb-tas-lock[dmb-sy]",
+        sync_locs=((FLAG_LOC, 0),),
+        emit_acquire=acquire,
+        emit_release=release,
+        correct=True,
+    )
+
+
+def llsc_lock(correct: bool = True) -> SyncPrimitive:
+    """Spinlock built on LDXR/STXR (the pre-LSE Linux idiom).
+
+    Acquire: load-exclusive the flag (with acquire), retry while held,
+    store-exclusive 1, retry on monitor loss.  Release: store-release 0.
+    """
+
+    def acquire(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        retry = b.fresh_label("llsc")
+        b.label(retry)
+        b.ldxr("seen", FLAG_LOC, acquire=correct)
+        b.bnz(Reg("seen"), retry)          # held: retry
+        b.stxr("status", FLAG_LOC, 1)
+        b.bnz(Reg("status"), retry)        # monitor lost: retry
+        if protects:
+            b.pull(*protects)
+
+    def release(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        if protects:
+            b.push(*protects)
+        b.store(FLAG_LOC, 0, release=correct, space=MemSpace.SYNC)
+
+    return SyncPrimitive(
+        name=f"llsc-lock[{'acq-rel' if correct else 'no-barriers'}]",
+        sync_locs=((FLAG_LOC, 0),),
+        emit_acquire=acquire,
+        emit_release=release,
+        correct=correct,
+    )
+
+
+#: CLH lock locations: a tail pointer plus one queue node per CPU and a
+#: free dummy node (node value 0 = released, 1 = held).
+CLH_TAIL, CLH_DUMMY, CLH_NODE0, CLH_NODE1 = 0x18, 0x19, 0x1A, 0x1B
+_CLH_NODES = (CLH_NODE0, CLH_NODE1)
+
+
+def clh_lock(correct: bool = True) -> SyncPrimitive:
+    """CLH queue lock: swap yourself onto the tail, spin on your
+    predecessor's node (the queue-lock family CertiKOS verified).
+
+    The tail swap is a CAS retry loop; publishing the node must be
+    release-ordered (the flag write precedes the link) and the
+    predecessor spin acquire-ordered — dropping either is the broken
+    variant.
+    """
+
+    def acquire(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        node = _CLH_NODES[b.tid % len(_CLH_NODES)]
+        b.store(node, 1, release=correct, space=MemSpace.SYNC)
+        retry = b.fresh_label("clhswap")
+        b.label(retry)
+        b.load("pred", CLH_TAIL, space=MemSpace.SYNC)
+        b.cas("got", CLH_TAIL, Reg("pred"), node, release=correct)
+        b.bnz(Reg("got") - Reg("pred"), retry)
+        b.spin_until_eq("pflag", Reg("pred"), 0, acquire=correct)
+        if protects:
+            b.pull(*protects)
+
+    def release(b: ThreadBuilder, protects: Sequence[ExprLike]) -> None:
+        node = _CLH_NODES[b.tid % len(_CLH_NODES)]
+        if protects:
+            b.push(*protects)
+        b.store(node, 0, release=correct, space=MemSpace.SYNC)
+
+    return SyncPrimitive(
+        name=f"clh-lock[{'acq-rel' if correct else 'no-barriers'}]",
+        sync_locs=(
+            (CLH_TAIL, CLH_DUMMY),
+            (CLH_DUMMY, 0),
+            (CLH_NODE0, 0),
+            (CLH_NODE1, 0),
+        ),
+        emit_acquire=acquire,
+        emit_release=release,
+        correct=correct,
+    )
+
+
+def all_primitives() -> List[SyncPrimitive]:
+    """Every primitive in both variants (correct first)."""
+    return [
+        ticket_lock(True),
+        tas_lock(True),
+        ttas_lock(True),
+        llsc_lock(True),
+        dmb_tas_lock(),
+        ticket_lock(False),
+        tas_lock(False),
+        ttas_lock(False),
+        llsc_lock(False),
+    ]

@@ -1,0 +1,120 @@
+"""Push-button verification of synchronization primitives on relaxed
+memory (the VSync-style sweep enabled by VRM's machinery).
+
+Each primitive is dropped into the standard *protected counter* harness:
+``n`` CPUs acquire, increment a shared counter, release.  Verification
+then asks four questions:
+
+1. **DRF-Kernel** — does the ownership discipline hold on the push/pull
+   Promising model (no CPU touches the counter without owning it)?
+2. **No-Barrier-Misuse** — is every ownership transfer covered by
+   barriers (statically and dynamically)?
+3. **Theorem 2** — are the harness's relaxed behaviors contained in its
+   SC behaviors?
+4. **Mutual exclusion, directly** — on the relaxed model, is the final
+   counter always exactly ``n`` (no lost updates)?
+
+A correct primitive answers yes to all four; a barrier-free variant
+fails all of them — including losing counter updates on real relaxed
+semantics, which is the concrete bug the abstractions are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ir import Reg, ThreadBuilder, build_program
+from repro.ir.program import Program
+from repro.memory import explore_promising
+from repro.sync.primitives import SyncPrimitive, all_primitives
+from repro.vrm import (
+    ConditionResult,
+    check_drf_kernel,
+    check_no_barrier_misuse,
+    check_theorem2,
+)
+from repro.vrm.theorem import TheoremResult
+
+COUNTER_LOC = 0x20
+
+
+def counter_harness(prim: SyncPrimitive, n_cpus: int = 2) -> Program:
+    """The protected-counter program for one primitive."""
+    threads = []
+    for tid in range(n_cpus):
+        b = ThreadBuilder(tid, name=f"cpu{tid}")
+        prim.emit_acquire(b, [COUNTER_LOC])
+        b.load("v", COUNTER_LOC)
+        b.store(COUNTER_LOC, Reg("v") + 1)
+        prim.emit_release(b, [COUNTER_LOC])
+        threads.append(b)
+    init = prim.initial_memory()
+    init[COUNTER_LOC] = 0
+    return build_program(
+        threads,
+        observed={tid: ["v"] for tid in range(n_cpus)},
+        initial_memory=init,
+        spaces=prim.sync_spaces(),
+        name=f"counter[{prim.name}]",
+    )
+
+
+@dataclass(frozen=True)
+class SyncVerification:
+    """Verification verdicts for one primitive."""
+
+    primitive: SyncPrimitive
+    drf: ConditionResult
+    barrier: ConditionResult
+    theorem: TheoremResult
+    mutual_exclusion: bool
+    exhaustive: bool
+
+    @property
+    def verified(self) -> bool:
+        return (
+            self.drf.verified
+            and self.barrier.verified
+            and self.theorem.verified
+            and self.mutual_exclusion
+            and self.exhaustive
+        )
+
+    @property
+    def as_expected(self) -> bool:
+        return self.verified == self.primitive.correct
+
+    def describe(self) -> str:
+        return (
+            f"{self.primitive.name:<32} "
+            f"DRF={'ok' if self.drf.holds else 'FAIL'} "
+            f"barriers={'ok' if self.barrier.holds else 'FAIL'} "
+            f"RM⊆SC={'ok' if self.theorem.holds else 'FAIL'} "
+            f"mutex={'ok' if self.mutual_exclusion else 'FAIL'} "
+            f"-> {'VERIFIED' if self.verified else 'REJECTED'}"
+        )
+
+
+def verify_primitive(prim: SyncPrimitive, n_cpus: int = 2) -> SyncVerification:
+    """Run the full verification battery on one primitive."""
+    program = counter_harness(prim, n_cpus)
+    drf = check_drf_kernel(program, shared_locs=[COUNTER_LOC])
+    barrier = check_no_barrier_misuse(program, shared_locs=[COUNTER_LOC])
+    theorem = check_theorem2(program)
+    rm = explore_promising(program, observe_locs=[COUNTER_LOC])
+    finals = {dict(b.memory)[COUNTER_LOC] for b in rm.behaviors}
+    mutual_exclusion = finals == {n_cpus}
+    return SyncVerification(
+        primitive=prim,
+        drf=drf,
+        barrier=barrier,
+        theorem=theorem,
+        mutual_exclusion=mutual_exclusion,
+        exhaustive=rm.complete and drf.exhaustive and theorem.exhaustive,
+    )
+
+
+def verify_all(n_cpus: int = 2) -> List[SyncVerification]:
+    """Sweep the whole primitive library."""
+    return [verify_primitive(p, n_cpus) for p in all_primitives()]

@@ -1,0 +1,166 @@
+"""Condition 2 — No-Barrier-Misuse (Sections 3 and 4.1).
+
+Barriers must guard critical sections and synchronization methods: the
+paper's operational reading is that every *pull* promise is fulfilled by
+a load barrier and every *push* promise by a store barrier, so a
+critical section's body can never be reordered with the synchronization
+that protects it.
+
+Two complementary checks implement this:
+
+* **Dynamic** (:func:`check_no_barrier_misuse_dynamic`): explore the
+  instrumented program on the push/pull Promising model; the executor
+  panics on any ``Pull`` whose preceding ``Push`` is not covered by the
+  pulling CPU's barrier frontier — exactly "the pull promise was not
+  fulfilled by a barrier".  This catches missing acquire loads *and*
+  missing release stores (a promoted sync write lands before the push
+  point, so the puller's frontier cannot cover it).
+* **Static** (:func:`check_no_barrier_misuse_static`): a structural scan
+  that each ``Pull`` is dominated by an acquire (or full barrier) since
+  the last synchronization read and each ``Push`` is post-dominated by a
+  release (or full barrier) before the next synchronization write —
+  Figure 7's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.ir.instructions import (
+    Barrier,
+    BarrierKind,
+    CompareAndSwap,
+    FetchAndInc,
+    Load,
+    LoadExclusive,
+    MemSpace,
+    Pull,
+    Push,
+    Store,
+    StoreExclusive,
+)
+from repro.ir.program import Program, Thread
+from repro.memory.exploration import explore
+from repro.memory.pushpull import pushpull_config
+from repro.vrm.conditions import ConditionResult, WDRFCondition
+
+
+def _static_thread_violations(thread: Thread) -> List[str]:
+    """Scan one thread for pulls/pushes not guarded by barriers.
+
+    The scan is linear over the instruction stream (loops appear as the
+    same instructions; a barrier inside the loop body guards re-entry).
+    """
+    violations: List[str] = []
+    # A pull with no preceding synchronization read orders against
+    # nothing (the location's last push, if any, predates this thread's
+    # execution) — matching the dynamic rule's push_ts=0 base case.
+    covered_by_acquire = True
+    for idx, instr in enumerate(thread.instrs):
+        if isinstance(instr, Barrier) and instr.kind in (
+            BarrierKind.FULL,
+            BarrierKind.LD,
+        ):
+            covered_by_acquire = True
+        elif isinstance(
+            instr, (Load, LoadExclusive, FetchAndInc, CompareAndSwap)
+        ) and instr.space is MemSpace.SYNC:
+            covered_by_acquire = bool(getattr(instr, "acquire", False))
+        elif isinstance(instr, Pull):
+            if not covered_by_acquire:
+                violations.append(
+                    f"thread {thread.tid} pc {idx}: pull not preceded by an "
+                    f"acquire/load barrier since the last synchronization read"
+                )
+        elif isinstance(instr, Push):
+            # Look forward for the synchronization write that publishes
+            # the push; it must be a release store or preceded by a
+            # barrier ordering prior writes.
+            ok = False
+            for later in thread.instrs[idx + 1:]:
+                if isinstance(later, Barrier) and later.kind in (
+                    BarrierKind.FULL,
+                    BarrierKind.ST,
+                ):
+                    ok = True
+                    break
+                if isinstance(
+                    later, (Store, StoreExclusive, FetchAndInc, CompareAndSwap)
+                ) and getattr(later, "space", None) is MemSpace.SYNC:
+                    ok = bool(getattr(later, "release", False))
+                    break
+            else:
+                # No publishing write at all: nothing to reorder against.
+                ok = True
+            if not ok:
+                violations.append(
+                    f"thread {thread.tid} pc {idx}: push not followed by a "
+                    f"release/store barrier before its synchronization write"
+                )
+    return violations
+
+
+def check_no_barrier_misuse_static(program: Program) -> ConditionResult:
+    """Structural barrier-placement check over all kernel threads."""
+    violations: List[str] = []
+    for thread in program.kernel_threads():
+        violations.extend(_static_thread_violations(thread))
+    return ConditionResult(
+        condition=WDRFCondition.NO_BARRIER_MISUSE,
+        holds=not violations,
+        exhaustive=True,
+        evidence=(
+            f"scanned {len(program.kernel_threads())} kernel threads for "
+            f"pull/push barrier guards",
+        ),
+        violations=tuple(violations),
+    )
+
+
+def check_no_barrier_misuse_dynamic(
+    program: Program,
+    shared_locs: Iterable[int] = (),
+    initial_ownership: Iterable[Tuple[int, int]] = (),
+    **overrides,
+) -> ConditionResult:
+    """Exploration-based check: no pull may outrun its barrier."""
+    cfg = pushpull_config(
+        relaxed=True,
+        owned_access_required=frozenset(shared_locs),
+        initial_ownership=tuple(initial_ownership),
+        **overrides,
+    )
+    result = explore(program, cfg, observe_locs=[])
+    misuse = tuple(
+        reason for reason in result.panics if "No-Barrier-Misuse" in reason
+    )
+    return ConditionResult(
+        condition=WDRFCondition.NO_BARRIER_MISUSE,
+        holds=not misuse,
+        exhaustive=result.complete,
+        evidence=(
+            f"explored {result.states_explored} states; pull barrier-"
+            f"fulfillment enforced dynamically",
+        ),
+        violations=misuse,
+    )
+
+
+def check_no_barrier_misuse(
+    program: Program,
+    shared_locs: Iterable[int] = (),
+    initial_ownership: Iterable[Tuple[int, int]] = (),
+    **overrides,
+) -> ConditionResult:
+    """Combined static + dynamic No-Barrier-Misuse check."""
+    static = check_no_barrier_misuse_static(program)
+    dynamic = check_no_barrier_misuse_dynamic(
+        program, shared_locs, initial_ownership, **overrides
+    )
+    return ConditionResult(
+        condition=WDRFCondition.NO_BARRIER_MISUSE,
+        holds=static.holds and dynamic.holds,
+        exhaustive=static.exhaustive and dynamic.exhaustive,
+        evidence=static.evidence + dynamic.evidence,
+        violations=static.violations + dynamic.violations,
+    )

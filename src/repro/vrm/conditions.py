@@ -1,0 +1,121 @@
+"""The six wDRF conditions and the result/report types (Section 3).
+
+Every checker in this package returns a :class:`ConditionResult`: whether
+the condition *holds*, whether the check was *exhaustive* (exploration
+budgets not exceeded — only an exhaustive pass counts as verified), and
+human-readable evidence.  :class:`WDRFReport` aggregates one result per
+condition, the shape the SeKVM verification pipeline and Table-1-style
+reporting consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+class WDRFCondition(enum.Enum):
+    """The six conditions of Section 3 (plus the weakened sixth)."""
+
+    DRF_KERNEL = "DRF-Kernel"
+    NO_BARRIER_MISUSE = "No-Barrier-Misuse"
+    WRITE_ONCE_KERNEL_MAPPING = "Write-Once-Kernel-Mapping"
+    TRANSACTIONAL_PAGE_TABLE = "Transactional-Page-Table"
+    SEQUENTIAL_TLB_INVALIDATION = "Sequential-TLB-Invalidation"
+    MEMORY_ISOLATION = "Memory-Isolation"
+    WEAK_MEMORY_ISOLATION = "Weak-Memory-Isolation"
+
+
+@dataclass(frozen=True)
+class ConditionResult:
+    """Outcome of checking one wDRF condition on one program/system."""
+
+    condition: WDRFCondition
+    holds: bool
+    exhaustive: bool
+    evidence: Tuple[str, ...] = ()
+    violations: Tuple[str, ...] = ()
+
+    @property
+    def verified(self) -> bool:
+        """Holds *and* the check covered the whole (bounded) state space."""
+        return self.holds and self.exhaustive
+
+    def describe(self) -> str:
+        status = (
+            "VERIFIED" if self.verified
+            else ("holds (non-exhaustive)" if self.holds else "VIOLATED")
+        )
+        lines = [f"{self.condition.value}: {status}"]
+        for item in self.evidence:
+            lines.append(f"  evidence: {item}")
+        for item in self.violations:
+            lines.append(f"  violation: {item}")
+        return "\n".join(lines)
+
+
+@dataclass
+class WDRFReport:
+    """Aggregated verification report for a kernel program or system.
+
+    ``weakened`` selects which flavor of the sixth condition the report
+    requires (Section 4.3): the strong Memory-Isolation or the weak one
+    SeKVM actually satisfies.
+    """
+
+    subject: str
+    results: Dict[WDRFCondition, ConditionResult] = field(default_factory=dict)
+    weakened: bool = True
+
+    def add(self, result: ConditionResult) -> None:
+        self.results[result.condition] = result
+
+    def required_conditions(self) -> List[WDRFCondition]:
+        isolation = (
+            WDRFCondition.WEAK_MEMORY_ISOLATION
+            if self.weakened
+            else WDRFCondition.MEMORY_ISOLATION
+        )
+        return [
+            WDRFCondition.DRF_KERNEL,
+            WDRFCondition.NO_BARRIER_MISUSE,
+            WDRFCondition.WRITE_ONCE_KERNEL_MAPPING,
+            WDRFCondition.TRANSACTIONAL_PAGE_TABLE,
+            WDRFCondition.SEQUENTIAL_TLB_INVALIDATION,
+            isolation,
+        ]
+
+    @property
+    def all_hold(self) -> bool:
+        return all(
+            c in self.results and self.results[c].holds
+            for c in self.required_conditions()
+        )
+
+    @property
+    def all_verified(self) -> bool:
+        return all(
+            c in self.results and self.results[c].verified
+            for c in self.required_conditions()
+        )
+
+    def describe(self) -> str:
+        header = (
+            f"wDRF verification of {self.subject!r} "
+            f"({'weakened' if self.weakened else 'strong'} conditions)"
+        )
+        lines = [header, "=" * len(header)]
+        for cond in self.required_conditions():
+            result = self.results.get(cond)
+            if result is None:
+                lines.append(f"{cond.value}: NOT CHECKED")
+            else:
+                lines.append(result.describe())
+        verdict = (
+            "all wDRF conditions verified: SC proofs extend to Arm RM hardware"
+            if self.all_verified
+            else "wDRF conditions NOT established"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""Condition 1 — DRF-Kernel, via push/pull panic-freedom (Section 4.1).
+
+A kernel program satisfies DRF-Kernel iff all of its shared-memory
+accesses (outside synchronization implementations and page-table
+management) are protected by synchronization.  Following the paper, the
+check instruments critical sections with ``Pull``/``Push`` primitives and
+explores the program on the *push/pull Promising* model: the condition
+holds iff no execution panics on an ownership violation.
+
+Running the check on the relaxed base model (rather than SC) is what
+makes it meaningful: the conditions "must themselves hold on RM hardware"
+(Section 3), and indeed a lock whose barriers are missing lets two CPUs
+enter the critical section simultaneously *only* under relaxed execution,
+which the ownership discipline then catches.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from repro.ir.instructions import Pull, Push
+from repro.ir.program import Program
+from repro.memory.exploration import explore
+from repro.memory.pushpull import pushpull_config
+from repro.vrm.conditions import ConditionResult, WDRFCondition
+
+
+def _has_pushpull_instrumentation(program: Program) -> bool:
+    for thread in program.kernel_threads():
+        for instr in thread.instrs:
+            if isinstance(instr, (Pull, Push)):
+                return True
+    return False
+
+
+def check_drf_kernel(
+    program: Program,
+    shared_locs: Iterable[int],
+    initial_ownership: Iterable[Tuple[int, int]] = (),
+    **overrides,
+) -> ConditionResult:
+    """Check DRF-Kernel for an instrumented kernel program.
+
+    ``shared_locs`` are the kernel's shared-data locations (critical
+    section footprints): any access to them outside ownership panics.
+    ``initial_ownership`` seeds locations already held (e.g. a vCPU
+    context owned by the CPU currently running that vCPU).
+    """
+    shared = frozenset(shared_locs)
+    evidence = []
+    if shared and not _has_pushpull_instrumentation(program):
+        return ConditionResult(
+            condition=WDRFCondition.DRF_KERNEL,
+            holds=False,
+            exhaustive=True,
+            violations=(
+                "program declares shared locations but has no push/pull "
+                "instrumentation: shared accesses cannot be protected",
+            ),
+        )
+    cfg = pushpull_config(
+        relaxed=True,
+        owned_access_required=shared,
+        initial_ownership=tuple(initial_ownership),
+        **overrides,
+    )
+    result = explore(program, cfg, observe_locs=[])
+    drf_panics = tuple(
+        reason
+        for reason in result.panics
+        if "DRF violation" in reason or "push/pull violation" in reason
+    )
+    evidence.append(
+        f"explored {result.states_explored} states on the push/pull "
+        f"Promising model; {len(result.behaviors)} behaviors"
+    )
+    return ConditionResult(
+        condition=WDRFCondition.DRF_KERNEL,
+        holds=not drf_panics,
+        exhaustive=result.complete,
+        evidence=tuple(evidence),
+        violations=drf_panics,
+    )

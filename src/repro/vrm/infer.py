@@ -1,0 +1,91 @@
+"""Specification inference: derive a WDRFSpec from a program's own
+instrumentation.
+
+The push/pull instrumentation already names the shared-data footprint
+(every location a ``Pull``/``Push`` covers), kernel page-table stores
+carry their kind tags, and the MMU configuration bounds the probe
+space.  For most programs the verification inputs are therefore
+derivable — ``verify_program(program)`` is the one-argument entry point
+a downstream user reaches for first.
+
+``initial_ownership`` cannot be inferred (it is a fact about the state
+the fragment starts in, e.g. "CPU 0 is currently running this vCPU"),
+so it stays an explicit parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, Tuple
+
+from repro.errors import VerificationError
+from repro.ir.expr import Imm
+from repro.ir.instructions import Pull, Push
+from repro.ir.program import Program
+from repro.vrm.conditions import WDRFReport
+from repro.vrm.verifier import WDRFSpec, verify_wdrf
+from repro.vrm.write_once import kernel_pt_locations
+
+
+def inferred_shared_locs(program: Program) -> Tuple[int, ...]:
+    """The union of all statically-known pulled/pushed locations."""
+    locs: Set[int] = set()
+    for thread in program.kernel_threads():
+        for instr in thread.instrs:
+            if isinstance(instr, (Pull, Push)):
+                for expr in instr.locs:
+                    if isinstance(expr, Imm):
+                        locs.add(expr.value)
+                    else:
+                        raise VerificationError(
+                            "cannot infer shared locations from a "
+                            "register-addressed pull/push; pass shared_locs "
+                            "explicitly"
+                        )
+    return tuple(sorted(locs))
+
+
+def inferred_probe_vpns(program: Program) -> Optional[Tuple[int, ...]]:
+    """The exhaustive probe space, when the MMU config makes it small."""
+    if program.mmu is None:
+        return None
+    total_bits = program.mmu.levels * program.mmu.va_bits_per_level
+    if total_bits > 12:
+        raise VerificationError(
+            "virtual address space too large to probe exhaustively; "
+            "pass probe_vpns explicitly"
+        )
+    return tuple(range(1 << total_bits))
+
+
+def infer_spec(
+    program: Program,
+    initial_ownership: Iterable[Tuple[int, int]] = (),
+    weakened: bool = True,
+    **model_overrides,
+) -> WDRFSpec:
+    """Build a :class:`WDRFSpec` from the program's instrumentation."""
+    return WDRFSpec(
+        program=program,
+        shared_locs=inferred_shared_locs(program),
+        initial_ownership=tuple(initial_ownership),
+        kernel_pt_locs=tuple(sorted(kernel_pt_locations(program))) or None,
+        probe_vpns=inferred_probe_vpns(program),
+        weakened=weakened,
+        model_overrides=tuple(model_overrides.items()),
+    )
+
+
+def verify_program(
+    program: Program,
+    initial_ownership: Iterable[Tuple[int, int]] = (),
+    weakened: bool = True,
+    **model_overrides,
+) -> WDRFReport:
+    """One-argument wDRF verification: infer the spec, run all checks."""
+    spec = infer_spec(
+        program,
+        initial_ownership=initial_ownership,
+        weakened=weakened,
+        **model_overrides,
+    )
+    return verify_wdrf(spec)

@@ -1,0 +1,138 @@
+"""Condition 6 — Memory-Isolation and Weak-Memory-Isolation (§3, §4.3, §5.3).
+
+The strong condition: user programs cannot modify kernel memory, and the
+kernel never reads user memory.  The weak condition keeps the first half
+but allows kernel reads of user memory when the kernel's verification
+does not depend on user implementations — operationally, when every such
+read is masked by a data oracle.
+
+Checks:
+
+* **Static** — scan kernel threads for reads of USER-space locations
+  (strong fails on any; weak requires them to be ``OracleRead``), and
+  user threads for statically-addressed writes to KERNEL-space locations.
+* **Dynamic** — explore the program and audit terminal message timelines:
+  any message to a kernel-space location authored by a user thread is a
+  violation (this catches dynamically computed addresses the static scan
+  cannot see).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.ir.expr import Imm
+from repro.ir.instructions import (
+    FetchAndInc,
+    Load,
+    MemSpace,
+    OracleRead,
+    Store,
+    VLoad,
+    VStore,
+)
+from repro.ir.program import Program
+from repro.memory.exploration import explore
+from repro.memory.semantics import ModelConfig
+from repro.vrm.conditions import ConditionResult, WDRFCondition
+
+
+def _static_violations(program: Program, weak: bool) -> List[str]:
+    violations: List[str] = []
+    for thread in program.kernel_threads():
+        for idx, instr in enumerate(thread.instrs):
+            if isinstance(instr, (Load, VLoad)) and instr.space is MemSpace.USER:
+                if weak:
+                    violations.append(
+                        f"kernel thread {thread.tid} pc {idx}: raw read of "
+                        f"user memory (must be oracle-masked under "
+                        f"Weak-Memory-Isolation)"
+                    )
+                else:
+                    violations.append(
+                        f"kernel thread {thread.tid} pc {idx}: read of user "
+                        f"memory (forbidden by Memory-Isolation)"
+                    )
+    kernel_locs = {
+        loc for loc, space in program.spaces.items()
+        if space in (MemSpace.KERNEL, MemSpace.SYNC)
+    }
+    for thread in program.user_threads():
+        for idx, instr in enumerate(thread.instrs):
+            target: Optional[int] = None
+            if isinstance(instr, (Store, FetchAndInc)) and isinstance(
+                instr.addr, Imm
+            ):
+                target = instr.addr.value
+            if target is not None and target in kernel_locs:
+                violations.append(
+                    f"user thread {thread.tid} pc {idx}: write to kernel "
+                    f"location {target:#x}"
+                )
+    return violations
+
+
+def _dynamic_violations(program: Program, **overrides) -> Tuple[List[str], bool]:
+    kernel_locs = {
+        loc for loc, space in program.spaces.items()
+        if space in (MemSpace.KERNEL, MemSpace.SYNC, MemSpace.PT)
+    }
+    user_tids = {t.tid for t in program.user_threads()}
+    if not kernel_locs or not user_tids:
+        return [], True
+    cfg = ModelConfig(relaxed=True, **overrides)
+    result = explore(program, cfg, observe_locs=[], keep_terminal_states=True)
+    violations: Set[str] = set()
+    for state in result.terminal_states:
+        for msg in state.memory:
+            if msg.tid in user_tids and msg.loc in kernel_locs:
+                violations.add(
+                    f"user CPU {msg.tid} wrote kernel location {msg.loc:#x} "
+                    f"(value {msg.val:#x})"
+                )
+    return sorted(violations), result.complete
+
+
+def check_memory_isolation(
+    program: Program, weak: bool = False, dynamic: bool = True, **overrides
+) -> ConditionResult:
+    """Check condition 6 (strong by default; ``weak=True`` for §4.3).
+
+    The weak variant passes when all kernel reads of user memory go
+    through data oracles (``OracleRead``); apply
+    :func:`repro.vrm.oracle.mask_user_reads` first if the program still
+    contains raw reads that the proofs model as oracle draws.
+    """
+    condition = (
+        WDRFCondition.WEAK_MEMORY_ISOLATION
+        if weak
+        else WDRFCondition.MEMORY_ISOLATION
+    )
+    violations = _static_violations(program, weak)
+    exhaustive = True
+    evidence = [
+        f"scanned {len(program.kernel_threads())} kernel and "
+        f"{len(program.user_threads())} user threads"
+    ]
+    if dynamic:
+        dyn, complete = _dynamic_violations(program, **overrides)
+        violations.extend(dyn)
+        exhaustive = complete
+        evidence.append("audited terminal timelines for user writes to kernel memory")
+    oracle_reads = sum(
+        1
+        for thread in program.kernel_threads()
+        for instr in thread.instrs
+        if isinstance(instr, OracleRead)
+    )
+    if weak and oracle_reads:
+        evidence.append(
+            f"{oracle_reads} kernel reads of user memory are oracle-masked"
+        )
+    return ConditionResult(
+        condition=condition,
+        holds=not violations,
+        exhaustive=exhaustive,
+        evidence=tuple(evidence),
+        violations=tuple(violations),
+    )

@@ -1,0 +1,101 @@
+"""Data oracles (Section 5.3).
+
+SeKVM's proofs model every kernel read of VM/KServ memory as a draw from
+a *data oracle* — a random-number generator masking the expected
+information flow — so the verified kernel behavior is independent of any
+concrete user program.  Section 4.3's Theorem 4 then only needs some SC
+user program Q' that reproduces the user memory an RM execution produced,
+and a suitable oracle always exists.
+
+:class:`DataOracle` is the scripted form (used by the SeKVM functional
+model); :func:`mask_user_reads` is the program transformation replacing
+kernel loads of user memory with :class:`~repro.ir.instructions.OracleRead`,
+which the executors explore over all oracle choices.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.ir.instructions import Load, MemSpace, OracleRead
+from repro.ir.program import Program, Thread
+
+
+class DataOracle:
+    """A scripted source of values masking user-memory reads.
+
+    Deterministic and replayable: tests construct oracles with known
+    sequences to demonstrate that *some* oracle reproduces any concrete
+    user memory (the existence argument behind Theorem 4).  When the
+    script runs out it repeats its last value (an infinite tail), so a
+    finite script denotes a total oracle.
+    """
+
+    def __init__(self, values: Sequence[int] = (0,)):
+        if not values:
+            raise ValueError("an oracle needs at least one value")
+        self._values: Tuple[int, ...] = tuple(values)
+        self._index = 0
+        self.draws: List[int] = []
+
+    def draw(self) -> int:
+        idx = min(self._index, len(self._values) - 1)
+        value = self._values[idx]
+        self._index += 1
+        self.draws.append(value)
+        return value
+
+    def reset(self) -> None:
+        self._index = 0
+        self.draws.clear()
+
+    @staticmethod
+    def replaying(memory_reads: Iterable[int]) -> "DataOracle":
+        """The oracle that reproduces a concrete sequence of user-memory
+        read results — the Q'-construction of Theorem 4."""
+        return DataOracle(tuple(memory_reads) or (0,))
+
+
+def mask_user_reads(
+    program: Program, choices: Tuple[int, ...] = (0, 1)
+) -> Program:
+    """Replace kernel loads of user memory with oracle reads.
+
+    The transformed program's kernel behavior is independent of user
+    threads by construction; exploring it enumerates every oracle, so
+    its SC behavior set over-approximates the original kernel's behavior
+    under *any* user program on *any* hardware model.
+    """
+    new_threads = []
+    replaced = 0
+    for thread in program.threads:
+        if not thread.is_kernel:
+            new_threads.append(thread)
+            continue
+        instrs = []
+        for instr in thread.instrs:
+            if isinstance(instr, Load) and instr.space is MemSpace.USER:
+                instrs.append(
+                    OracleRead(dst=instr.dst, addr=instr.addr, choices=choices)
+                )
+                replaced += 1
+            else:
+                instrs.append(instr)
+        new_threads.append(
+            Thread(
+                tid=thread.tid,
+                instrs=tuple(instrs),
+                name=thread.name,
+                is_kernel=thread.is_kernel,
+                observed=thread.observed,
+            )
+        )
+    return Program(
+        threads=tuple(new_threads),
+        initial_memory=program.initial_memory,
+        spaces=program.spaces,
+        mmu=program.mmu,
+        name=f"{program.name}[oracle-masked]",
+    )

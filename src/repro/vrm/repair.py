@@ -1,0 +1,148 @@
+"""Barrier repair: find the minimal strengthening that restores RM = SC.
+
+The paper's related work cites "Repairing Sequential Consistency in
+C/C++11" — tools that, given racy code, compute where barriers must go.
+VRM's machinery supports the same query for kernel IR: enumerate
+candidate strengthenings (make a load acquire, a store release, or
+insert a DMB after an access), re-run the RM ⊆ SC containment for each
+subset in increasing size, and report the smallest set that makes the
+program robust.
+
+This is exact (it re-checks each candidate exhaustively) and therefore
+meant for fragments, not whole kernels — the same scale the wDRF
+checkers target.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from dataclasses import replace as dc_replace
+
+from repro.errors import VerificationError
+from repro.ir.instructions import Barrier, BarrierKind, Load, Store
+from repro.ir.program import Program, Thread
+from repro.memory.behaviors import compare_models
+from repro.memory.semantics import ModelConfig
+
+
+@dataclass(frozen=True)
+class Strengthening:
+    """One candidate edit: acquire/release an access on a thread."""
+
+    tid: int
+    pc: int
+    kind: str          # "acquire" | "release"
+
+    def describe(self, program: Program) -> str:
+        from repro.ir.pretty import format_instruction
+
+        thread = next(t for t in program.threads if t.tid == self.tid)
+        instr = format_instruction(thread.instrs[self.pc])
+        return f"thread {self.tid} pc {self.pc}: make {self.kind}: {instr}"
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """The outcome of a repair search."""
+
+    already_robust: bool
+    fixes: Tuple[Strengthening, ...]
+    candidates_tried: int
+
+    def describe(self, program: Program) -> str:
+        if self.already_robust:
+            return "program is already robust (RM = SC)"
+        if not self.fixes:
+            return (
+                "no repair found within the candidate budget "
+                f"({self.candidates_tried} sets tried)"
+            )
+        lines = [f"minimal repair ({len(self.fixes)} strengthenings):"]
+        for fix in self.fixes:
+            lines.append("  " + fix.describe(program))
+        return "\n".join(lines)
+
+
+def _candidates(program: Program) -> List[Strengthening]:
+    out: List[Strengthening] = []
+    for thread in program.kernel_threads():
+        for pc, instr in enumerate(thread.instrs):
+            if isinstance(instr, Load) and not instr.acquire:
+                out.append(Strengthening(thread.tid, pc, "acquire"))
+            elif isinstance(instr, Store) and not instr.release:
+                out.append(Strengthening(thread.tid, pc, "release"))
+    return out
+
+
+def _apply(program: Program, fixes: Sequence[Strengthening]) -> Program:
+    by_thread = {}
+    for fix in fixes:
+        by_thread.setdefault(fix.tid, []).append(fix)
+    threads = []
+    for thread in program.threads:
+        fixes_here = by_thread.get(thread.tid, [])
+        if not fixes_here:
+            threads.append(thread)
+            continue
+        instrs = list(thread.instrs)
+        for fix in fixes_here:
+            instr = instrs[fix.pc]
+            if fix.kind == "acquire":
+                instrs[fix.pc] = dc_replace(instr, acquire=True)
+            else:
+                instrs[fix.pc] = dc_replace(instr, release=True)
+        threads.append(
+            Thread(
+                tid=thread.tid,
+                instrs=tuple(instrs),
+                name=thread.name,
+                is_kernel=thread.is_kernel,
+                observed=thread.observed,
+            )
+        )
+    return Program(
+        threads=tuple(threads),
+        initial_memory=program.initial_memory,
+        spaces=program.spaces,
+        mmu=program.mmu,
+        name=f"{program.name}[repaired]",
+    )
+
+
+def _robust(program: Program, rm_overrides: dict) -> bool:
+    comparison = compare_models(
+        program, rm_cfg=ModelConfig(relaxed=True, **rm_overrides)
+    )
+    if not comparison.complete:
+        raise VerificationError(
+            "repair requires exhaustive exploration; raise the budgets"
+        )
+    return comparison.equivalent
+
+
+def repair_barriers(
+    program: Program,
+    max_fixes: int = 2,
+    max_sets: int = 200,
+    **rm_overrides,
+) -> RepairResult:
+    """Search for the smallest strengthening set making RM = SC.
+
+    Tries candidate sets in increasing size (so the first hit is
+    minimal); gives up after ``max_sets`` containment checks.
+    """
+    if _robust(program, rm_overrides):
+        return RepairResult(True, (), 0)
+    candidates = _candidates(program)
+    tried = 0
+    for size in range(1, max_fixes + 1):
+        for combo in itertools.combinations(candidates, size):
+            if tried >= max_sets:
+                return RepairResult(False, (), tried)
+            tried += 1
+            if _robust(_apply(program, combo), rm_overrides):
+                return RepairResult(False, tuple(combo), tried)
+    return RepairResult(False, (), tried)

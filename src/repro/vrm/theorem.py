@@ -1,0 +1,198 @@
+"""Executable forms of the paper's Theorems 1, 2 and 4 (Section 4).
+
+The Coq theorems say: for a kernel program satisfying the (weakened)
+wDRF conditions, every observable behavior on the Promising Arm model is
+also observable on an SC model.  Here the theorems become *decidable
+checks on bounded programs*: exhaustively enumerate both behavior sets
+and test containment.  The test suite runs these checks on every wDRF-
+conforming kernel fragment (they must pass) and on the Section 2 buggy
+examples (they must fail) — the executable analogue of the proof plus
+its tightness.
+
+* :func:`check_theorem2` — the solely-running kernel program: full
+  behavior containment, no user threads allowed.
+* :func:`check_theorem1` — kernel + user threads: containment of the
+  *kernel-observable* projection (kernel registers and memory, user
+  page-table access results, panics).  User threads may freely exhibit
+  RM behavior among themselves.
+* :func:`check_theorem4` — the weakened conditions: kernel reads of user
+  memory are oracle-masked first (the Q'-existence argument), then the
+  Theorem-1 containment is checked on the masked program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, FrozenSet, Optional, Sequence, Set, Tuple
+
+from repro.errors import VerificationError
+from repro.ir.instructions import MemSpace, VLoad
+from repro.ir.program import Program
+from repro.memory.behaviors import BehaviorComparison, compare_models
+from repro.memory.datatypes import Behavior
+from repro.memory.semantics import ModelConfig
+
+
+@dataclass(frozen=True)
+class TheoremResult:
+    """Outcome of an executable theorem check."""
+
+    theorem: str
+    holds: bool
+    exhaustive: bool
+    rm_only_behaviors: Tuple[Behavior, ...]
+    detail: str = ""
+
+    @property
+    def verified(self) -> bool:
+        return self.holds and self.exhaustive
+
+    def describe(self) -> str:
+        status = (
+            "HOLDS" if self.verified
+            else ("holds (non-exhaustive)" if self.holds else "FAILS")
+        )
+        lines = [f"{self.theorem}: {status}"]
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        for b in self.rm_only_behaviors:
+            lines.append(f"  RM-only: {b.pretty()}")
+        return "\n".join(lines)
+
+
+def _vload_registers(program: Program) -> Set[Tuple[int, str]]:
+    """(tid, reg) pairs written by user-thread virtual loads.
+
+    These register results *are* "user memory access results via shared
+    page tables" and stay observable under Theorem 1; other user
+    registers reflect the user program's own (possibly racy) execution
+    and are projected away.
+    """
+    out: Set[Tuple[int, str]] = set()
+    for thread in program.user_threads():
+        for instr in thread.instrs:
+            if isinstance(instr, VLoad):
+                out.add((thread.tid, instr.dst))
+    return out
+
+
+def kernel_projection(program: Program) -> Callable[[Behavior], Behavior]:
+    """Project a behavior onto its kernel-observable part.
+
+    User-thread registers (other than page-table access results) and
+    USER-space memory contents are projected away: user programs may
+    freely exhibit relaxed behavior among themselves (Section 4.2), and
+    the kernel's observables must not depend on them.
+    """
+    kernel_tids = {t.tid for t in program.kernel_threads()}
+    pt_regs = _vload_registers(program)
+    from repro.ir.instructions import MemSpace
+
+    def project(behavior: Behavior) -> Behavior:
+        registers = tuple(
+            (tid, reg, val)
+            for tid, reg, val in behavior.registers
+            if tid in kernel_tids or (tid, reg) in pt_regs
+        )
+        memory = tuple(
+            (loc, val)
+            for loc, val in behavior.memory
+            if program.space_of(loc) is not MemSpace.USER
+        )
+        return Behavior(
+            registers=registers,
+            memory=memory,
+            faults=behavior.faults,
+            panic=behavior.panic,
+        )
+
+    return project
+
+
+def _containment(
+    program: Program,
+    project: Optional[Callable[[Behavior], Behavior]],
+    theorem: str,
+    observe_locs: Optional[Sequence[int]] = None,
+    **rm_overrides,
+) -> TheoremResult:
+    comparison = compare_models(
+        program,
+        rm_cfg=ModelConfig(relaxed=True, **rm_overrides),
+        observe_locs=observe_locs,
+    )
+    if project is None:
+        rm_only = comparison.rm_only
+    else:
+        sc_set = {project(b) for b in comparison.sc.behaviors}
+        rm_set = {project(b) for b in comparison.rm.behaviors}
+        rm_only = frozenset(rm_set - sc_set)
+    return TheoremResult(
+        theorem=theorem,
+        holds=not rm_only,
+        exhaustive=comparison.complete,
+        rm_only_behaviors=tuple(sorted(rm_only)),
+        detail=(
+            f"SC: {len(comparison.sc.behaviors)} behaviors, "
+            f"RM: {len(comparison.rm.behaviors)} behaviors "
+            f"({comparison.rm.states_explored} states explored)"
+        ),
+    )
+
+
+def check_theorem2(
+    program: Program,
+    observe_locs: Optional[Sequence[int]] = None,
+    **rm_overrides,
+) -> TheoremResult:
+    """Theorem 2: a solely-running kernel program has identical execution
+    results on the Promising Arm and SC models."""
+    if program.user_threads():
+        raise VerificationError(
+            "Theorem 2 applies to kernel programs running solely; "
+            "use check_theorem1/check_theorem4 for full systems"
+        )
+    return _containment(
+        program, None, "Theorem 2 (solely-running kernel)",
+        observe_locs=observe_locs, **rm_overrides,
+    )
+
+
+def check_theorem1(
+    program: Program,
+    observe_locs: Optional[Sequence[int]] = None,
+    **rm_overrides,
+) -> TheoremResult:
+    """Theorem 1: every kernel-observable RM behavior is SC-observable."""
+    return _containment(
+        program,
+        kernel_projection(program),
+        "Theorem 1 (wDRF theorem)",
+        observe_locs=observe_locs,
+        **rm_overrides,
+    )
+
+
+def check_theorem4(
+    program: Program,
+    oracle_choices: Tuple[int, ...] = (0, 1),
+    observe_locs: Optional[Sequence[int]] = None,
+    **rm_overrides,
+) -> TheoremResult:
+    """Theorem 4: the weakened-wDRF containment, after oracle masking.
+
+    Kernel reads of user memory are replaced by data-oracle draws (the
+    Q'-existence construction of Section 4.3); containment is then
+    checked on the masked program's kernel observables.
+    """
+    from repro.vrm.oracle import mask_user_reads
+
+    masked = mask_user_reads(program, choices=oracle_choices)
+    result = _containment(
+        masked,
+        kernel_projection(masked),
+        "Theorem 4 (weakened wDRF theorem)",
+        observe_locs=observe_locs,
+        **rm_overrides,
+    )
+    return result

@@ -1,0 +1,94 @@
+"""Condition 5 — Sequential-TLB-Invalidation (Sections 3 and 5.5).
+
+A page-table *unmap or remap* (a store over a possibly non-empty entry)
+must be followed by a TLB invalidation, with a barrier between the store
+and the invalidation.  Stores into previously-empty entries need no
+invalidation — there is nothing stale to cache — which is why
+``set_s2pt`` (which refuses to overwrite) needs none and ``clear_s2pt``
+ends with ``barrier; tlbi``.
+
+The check is structural per kernel thread: for every page-table store
+that may overwrite a non-empty entry (decided against the program's
+initial memory plus earlier stores in the same thread), scan forward for
+a full/store barrier followed by a covering ``TLBInvalidate`` before the
+thread ends or the next page-table store to the same table kind begins a
+new operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.ir.expr import Imm
+from repro.ir.instructions import (
+    Barrier,
+    BarrierKind,
+    PTKind,
+    Store,
+    TLBInvalidate,
+)
+from repro.ir.program import Program, Thread
+from repro.vrm.conditions import ConditionResult, WDRFCondition
+
+
+def _may_overwrite(
+    program: Program, seen_values: Dict[int, int], instr: Store
+) -> bool:
+    """Could this PT store overwrite a non-empty entry?
+
+    Conservative: unknown (non-immediate) addresses count as overwrites.
+    """
+    if not isinstance(instr.addr, Imm):
+        return True
+    loc = instr.addr.value
+    current = seen_values.get(loc, program.initial_value(loc))
+    return current != 0
+
+
+def _tlbi_follows_with_barrier(thread: Thread, idx: int) -> bool:
+    """Is instruction *idx*'s store followed by ``barrier ... tlbi``?"""
+    barrier_seen = False
+    for instr in thread.instrs[idx + 1:]:
+        if isinstance(instr, Barrier) and instr.kind in (
+            BarrierKind.FULL,
+            BarrierKind.ST,
+        ):
+            barrier_seen = True
+        elif isinstance(instr, TLBInvalidate):
+            return barrier_seen
+    return False
+
+
+def check_sequential_tlb_invalidation(
+    program: Program,
+    pt_kinds: Tuple[PTKind, ...] = (PTKind.STAGE2, PTKind.SMMU, PTKind.KERNEL),
+) -> ConditionResult:
+    """Check condition 5 over every kernel thread of *program*."""
+    violations: List[str] = []
+    checked = 0
+    for thread in program.kernel_threads():
+        seen_values: Dict[int, int] = {}
+        for idx, instr in enumerate(thread.instrs):
+            if not isinstance(instr, Store) or instr.pt_kind not in pt_kinds:
+                continue
+            checked += 1
+            if _may_overwrite(program, seen_values, instr):
+                if not _tlbi_follows_with_barrier(thread, idx):
+                    loc = (
+                        f"{instr.addr.value:#x}"
+                        if isinstance(instr.addr, Imm)
+                        else "<dynamic>"
+                    )
+                    violations.append(
+                        f"thread {thread.tid} pc {idx}: unmap/remap of PT "
+                        f"entry {loc} not followed by barrier + TLBI"
+                    )
+            if isinstance(instr.addr, Imm) and isinstance(instr.value, Imm):
+                seen_values[instr.addr.value] = instr.value.value
+    return ConditionResult(
+        condition=WDRFCondition.SEQUENTIAL_TLB_INVALIDATION,
+        holds=not violations,
+        exhaustive=True,
+        evidence=(f"checked {checked} page-table stores",),
+        violations=tuple(violations),
+    )

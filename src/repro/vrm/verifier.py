@@ -1,0 +1,99 @@
+"""The one-call wDRF verification pipeline.
+
+:class:`WDRFSpec` bundles everything the six condition checkers need for
+one kernel program (or one compiled KCore primitive pair):
+
+* the instrumented program itself,
+* the shared-data footprint (locations requiring ownership),
+* seed ownership,
+* the kernel-page-table locations,
+* the probe addresses for the transactional check.
+
+:func:`verify_wdrf` runs all six checks and returns a
+:class:`~repro.vrm.conditions.WDRFReport`; :func:`verify_and_check_theorem`
+additionally validates the end-to-end guarantee (RM ⊆ SC) — which must
+follow when the report verifies, and is how the test suite exercises the
+soundness of the whole framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.ir.program import Program
+from repro.vrm.barrier_misuse import check_no_barrier_misuse
+from repro.vrm.conditions import ConditionResult, WDRFCondition, WDRFReport
+from repro.vrm.drf_kernel import check_drf_kernel
+from repro.vrm.isolation import check_memory_isolation
+from repro.vrm.theorem import TheoremResult, check_theorem1, check_theorem4
+from repro.vrm.tlb_sequential import check_sequential_tlb_invalidation
+from repro.vrm.transactional import check_program_transactional
+from repro.vrm.write_once import check_write_once
+
+
+@dataclass(frozen=True)
+class WDRFSpec:
+    """Verification inputs for one kernel program."""
+
+    program: Program
+    shared_locs: Tuple[int, ...] = ()
+    initial_ownership: Tuple[Tuple[int, int], ...] = ()
+    kernel_pt_locs: Optional[Tuple[int, ...]] = None
+    probe_vpns: Optional[Tuple[int, ...]] = None
+    weakened: bool = True
+    model_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def overrides(self) -> Dict[str, object]:
+        return dict(self.model_overrides)
+
+
+def verify_wdrf(spec: WDRFSpec) -> WDRFReport:
+    """Run all six wDRF condition checks for *spec*."""
+    report = WDRFReport(subject=spec.program.name, weakened=spec.weakened)
+    overrides = spec.overrides()
+    report.add(
+        check_drf_kernel(
+            spec.program,
+            spec.shared_locs,
+            spec.initial_ownership,
+            **overrides,
+        )
+    )
+    report.add(
+        check_no_barrier_misuse(
+            spec.program,
+            spec.shared_locs,
+            spec.initial_ownership,
+            **overrides,
+        )
+    )
+    report.add(
+        check_write_once(spec.program, spec.kernel_pt_locs, **overrides)
+    )
+    report.add(
+        check_program_transactional(spec.program, spec.probe_vpns)
+    )
+    report.add(check_sequential_tlb_invalidation(spec.program))
+    report.add(
+        check_memory_isolation(spec.program, weak=spec.weakened, **overrides)
+    )
+    return report
+
+
+def verify_and_check_theorem(
+    spec: WDRFSpec,
+) -> Tuple[WDRFReport, TheoremResult]:
+    """Verify the conditions *and* the guarantee they are meant to imply.
+
+    Returns the condition report and the Theorem 1/4 containment result;
+    soundness of the framework means: if the report verifies, the
+    containment holds.
+    """
+    report = verify_wdrf(spec)
+    overrides = spec.overrides()
+    if spec.weakened:
+        theorem = check_theorem4(spec.program, **overrides)
+    else:
+        theorem = check_theorem1(spec.program, **overrides)
+    return report, theorem

@@ -1,0 +1,122 @@
+"""Condition 3 — Write-Once-Kernel-Mapping (Sections 3 and 5.1).
+
+If the kernel's own page table is shared, only *empty* entries may ever
+be written: each kernel virtual address maps to at most one physical
+address for the whole execution, which removes the kernel's own address
+translation (and TLB) from the proof entirely (Section 4.1).
+
+Checks:
+
+* **IR-level** (:func:`check_write_once`): explore the program and audit
+  every terminal message timeline — a second write to a kernel-page-table
+  location, or a first write over a non-empty initial entry, violates the
+  condition.  Because the timeline is append-only, terminal memories
+  contain the complete write history.
+* **Functional-model** (:func:`audit_write_log`): audit a
+  :class:`~repro.mmu.pagetable.MultiLevelPageTable` write log, the form
+  used for SeKVM's EL2 table (``set_el2_pt``/``remap_pfn``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.ir.expr import Imm
+from repro.ir.instructions import PTKind, Store
+from repro.ir.program import Program
+from repro.memory.exploration import explore
+from repro.memory.semantics import ModelConfig
+from repro.mmu.pagetable import PTWrite
+from repro.vrm.conditions import ConditionResult, WDRFCondition
+
+
+def kernel_pt_locations(program: Program) -> Set[int]:
+    """Statically known locations targeted by kernel-PT stores."""
+    locs: Set[int] = set()
+    for thread in program.threads:
+        for instr in thread.instrs:
+            if (
+                isinstance(instr, Store)
+                and instr.pt_kind is PTKind.KERNEL
+                and isinstance(instr.addr, Imm)
+            ):
+                locs.add(instr.addr.value)
+    return locs
+
+
+def check_write_once(
+    program: Program,
+    kernel_pt_locs: Optional[Iterable[int]] = None,
+    relaxed: bool = True,
+    **overrides,
+) -> ConditionResult:
+    """Audit all executions: kernel PT entries are written at most once,
+    and only when previously empty."""
+    if kernel_pt_locs is None:
+        locs = kernel_pt_locations(program)
+    else:
+        locs = set(kernel_pt_locs)
+    if not locs:
+        return ConditionResult(
+            condition=WDRFCondition.WRITE_ONCE_KERNEL_MAPPING,
+            holds=True,
+            exhaustive=True,
+            evidence=("program never writes the kernel page table",),
+        )
+    cfg = ModelConfig(relaxed=relaxed, **overrides)
+    result = explore(program, cfg, observe_locs=[], keep_terminal_states=True)
+    violations: List[str] = []
+    for state in result.terminal_states:
+        writes_per_loc: dict = {}
+        for msg in state.memory:
+            if msg.loc in locs:
+                writes_per_loc.setdefault(msg.loc, []).append(msg)
+        for loc, msgs in writes_per_loc.items():
+            init = program.initial_value(loc)
+            if init != 0:
+                violations.append(
+                    f"kernel PT entry {loc:#x} (initially {init:#x}) "
+                    f"overwritten by CPU {msgs[0].tid}"
+                )
+            if len(msgs) > 1:
+                violations.append(
+                    f"kernel PT entry {loc:#x} written {len(msgs)} times "
+                    f"(CPUs {sorted({m.tid for m in msgs})})"
+                )
+    unique = tuple(sorted(set(violations)))
+    return ConditionResult(
+        condition=WDRFCondition.WRITE_ONCE_KERNEL_MAPPING,
+        holds=not unique,
+        exhaustive=result.complete,
+        evidence=(
+            f"audited {len(result.terminal_states)} terminal timelines over "
+            f"{len(locs)} kernel PT entries",
+        ),
+        violations=unique,
+    )
+
+
+def audit_write_log(
+    write_log: Sequence[PTWrite], subject: str = "EL2 page table"
+) -> ConditionResult:
+    """Audit a functional page table's write log for write-once-ness."""
+    violations: List[str] = []
+    written: Set[int] = set()
+    for write in write_log:
+        if write.old != 0:
+            violations.append(
+                f"{subject}: entry {write.loc:#x} overwritten "
+                f"({write.old:#x} -> {write.new:#x})"
+            )
+        if write.loc in written:
+            violations.append(
+                f"{subject}: entry {write.loc:#x} written more than once"
+            )
+        written.add(write.loc)
+    return ConditionResult(
+        condition=WDRFCondition.WRITE_ONCE_KERNEL_MAPPING,
+        holds=not violations,
+        exhaustive=True,
+        evidence=(f"audited {len(write_log)} writes to the {subject}",),
+        violations=tuple(violations),
+    )

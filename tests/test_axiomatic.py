@@ -1,0 +1,106 @@
+"""Cross-validation of the axiomatic and operational Armv8 models.
+
+The paper's hardware-model soundness rests on the proven equivalence of
+Promising Arm and the Armv8 axiomatic model.  These tests reproduce a
+slice of that result empirically: on every eligible program — the whole
+straight-line litmus corpus plus randomized programs — the two
+implementations must produce *identical behavior sets* (registers and
+final memory, not just postconditions).
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import Reg, ThreadBuilder, build_program
+from repro.litmus import classic_corpus, extended_corpus
+from repro.litmus.generate import GeneratorConfig, random_program
+from repro.memory import explore_promising
+from repro.memory.axiomatic import axiomatic_outcomes, eligible
+
+ELIGIBLE = [
+    t for t in classic_corpus() + extended_corpus() if eligible(t.program)
+]
+
+
+def operational_outcomes(program):
+    result = explore_promising(
+        program, observe_locs=sorted(program.initial_memory)
+    )
+    assert result.complete
+    return {(b.registers, b.memory) for b in result.behaviors}
+
+
+@pytest.mark.parametrize("test", ELIGIBLE, ids=[t.name for t in ELIGIBLE])
+def test_corpus_agreement(test):
+    ax = axiomatic_outcomes(test.program)
+    op = operational_outcomes(test.program)
+    assert ax == op, (
+        f"{test.name}: axiomatic-only {sorted(ax - op)[:3]}, "
+        f"operational-only {sorted(op - ax)[:3]}"
+    )
+
+
+def test_corpus_covers_enough_shapes():
+    assert len(ELIGIBLE) >= 18
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_random_program_agreement(seed):
+    """Fuzz the equivalence on random straight-line programs."""
+    cfg = GeneratorConfig(n_threads=2, min_ops=2, max_ops=3, n_locations=2)
+    program = random_program(seed, cfg)
+    if not eligible(program):
+        pytest.skip("generated program uses atomics")
+    assert axiomatic_outcomes(program) == operational_outcomes(program)
+
+
+class TestEligibility:
+    def test_branches_ineligible(self):
+        b = ThreadBuilder(0)
+        lbl = b.fresh_label("l")
+        b.label(lbl).load("r0", 0x10).bnz(Reg("r0"), lbl)
+        program = build_program([b], initial_memory={0x10: 0})
+        assert not eligible(program)
+        with pytest.raises(VerificationError):
+            axiomatic_outcomes(program)
+
+    def test_atomics_ineligible(self):
+        b = ThreadBuilder(0)
+        b.faa("r0", 0x10)
+        program = build_program([b], initial_memory={0x10: 0})
+        assert not eligible(program)
+
+    def test_plain_loads_eligible(self):
+        b = ThreadBuilder(0)
+        b.load("r0", 0x10).store(0x20, "r0").barrier("full").mov("r1", 2)
+        program = build_program([b], initial_memory={0x10: 0, 0x20: 0})
+        assert eligible(program)
+
+
+class TestAxiomaticDirect:
+    def test_single_thread_deterministic(self):
+        b = ThreadBuilder(0)
+        b.store(0x10, 5).load("r0", 0x10)
+        program = build_program([b], observed={0: ["r0"]},
+                                initial_memory={0x10: 0})
+        outcomes = axiomatic_outcomes(program)
+        assert len(outcomes) == 1
+        registers, memory = next(iter(outcomes))
+        assert registers == ((0, "r0", 5),)
+        assert memory == ((0x10, 5),)
+
+    def test_internal_axiom_forbids_coherence_violation(self):
+        # CoRR shape: r0=new, r1=old must be absent.
+        t0 = ThreadBuilder(0)
+        t0.store(0x10, 1)
+        t1 = ThreadBuilder(1)
+        t1.load("r0", 0x10).load("r1", 0x10)
+        program = build_program(
+            [t0, t1], observed={1: ["r0", "r1"]},
+            initial_memory={0x10: 0},
+        )
+        for registers, _memory in axiomatic_outcomes(program):
+            assignment = {(t, r): v for t, r, v in registers}
+            assert not (
+                assignment[(1, "r0")] == 1 and assignment[(1, "r1")] == 0
+            )

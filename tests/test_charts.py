@@ -1,0 +1,63 @@
+"""Tests for ASCII chart rendering and the --chart CLI paths."""
+
+import pytest
+
+from repro.cli import main
+from repro.report import grouped_bars, hbar_chart, series_chart
+
+
+class TestHBar:
+    def test_full_and_empty_bars(self):
+        text = hbar_chart([("a", 1.0), ("b", 0.0)], width=10)
+        lines = text.splitlines()
+        assert "█" * 10 in lines[0]
+        assert "·" * 10 in lines[1]
+
+    def test_title_and_values(self):
+        text = hbar_chart([("x", 0.5)], title="T", unit="x")
+        assert text.startswith("T")
+        assert "0.50x" in text
+
+    def test_clamps_above_max(self):
+        text = hbar_chart([("x", 2.0)], width=10, max_value=1.0)
+        assert "█" * 10 in text
+
+
+class TestGroupedBars:
+    def test_series_order_and_groups(self):
+        groups = {"app": {"KVM": 0.9, "SeKVM": 0.8}}
+        text = grouped_bars(groups, ("KVM", "SeKVM"))
+        assert text.index("KVM") < text.index("SeKVM")
+        assert "0.90" in text and "0.80" in text
+
+    def test_missing_series_skipped(self):
+        groups = {"app": {"KVM": 0.9}}
+        text = grouped_bars(groups, ("KVM", "SeKVM"))
+        assert "SeKVM" not in text
+
+
+class TestSeriesChart:
+    def test_axis_labels_and_legend(self):
+        text = series_chart([1, 2, 4], {"KVM": [0.9, 0.9, 0.5]})
+        assert "o=KVM" in text
+        assert "1" in text and "4" in text
+
+    def test_values_placed_high_to_low(self):
+        text = series_chart([1, 2], {"s": [1.0, 0.0]}, height=5)
+        lines = text.splitlines()
+        top_row = next(l for l in lines if l.startswith(" 1.00"))
+        bottom_row = next(l for l in lines if l.startswith(" 0.00"))
+        assert "o" in top_row
+        assert "o" in bottom_row
+
+
+class TestCliCharts:
+    def test_figure8_chart(self, capsys):
+        assert main(["figure8", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out
+
+    def test_figure9_chart(self, capsys):
+        assert main(["figure9", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "x=SeKVM" in out

@@ -1,0 +1,79 @@
+"""Meta-tests: the documentation references real code.
+
+Docs drift silently; these tests resolve every ``repro.x.y`` dotted
+reference in the markdown files against the live package, check that
+every file path the docs mention exists, and that the examples the
+README lists are the examples that ship.
+"""
+
+import importlib
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[1]
+DOCS = [
+    ROOT / "README.md",
+    ROOT / "DESIGN.md",
+    ROOT / "EXPERIMENTS.md",
+    ROOT / "docs" / "MODEL.md",
+    ROOT / "docs" / "VERIFICATION.md",
+    ROOT / "docs" / "API.md",
+]
+
+MODULE_REF = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
+PATH_REF = re.compile(
+    r"`((?:src|tests|benchmarks|examples|docs)/[A-Za-z0-9_/.-]+\.(?:py|md))`"
+)
+
+
+def _doc_text():
+    return {doc: doc.read_text(encoding="utf-8") for doc in DOCS}
+
+
+class TestDocsConsistency:
+    def test_all_docs_exist(self):
+        for doc in DOCS:
+            assert doc.is_file(), doc
+
+    @pytest.mark.parametrize("doc", DOCS, ids=[d.name for d in DOCS])
+    def test_module_references_resolve(self, doc):
+        text = doc.read_text(encoding="utf-8")
+        for ref in MODULE_REF.findall(text):
+            module_path = ref
+            attr = None
+            try:
+                importlib.import_module(module_path)
+                continue
+            except ImportError:
+                module_path, _, attr = ref.rpartition(".")
+            module = importlib.import_module(module_path)
+            assert hasattr(module, attr), f"{doc.name}: {ref} does not exist"
+
+    @pytest.mark.parametrize("doc", DOCS, ids=[d.name for d in DOCS])
+    def test_file_references_exist(self, doc):
+        text = doc.read_text(encoding="utf-8")
+        for ref in PATH_REF.findall(text):
+            assert (ROOT / ref).exists(), f"{doc.name}: missing {ref}"
+
+    def test_readme_lists_every_example(self):
+        readme = (ROOT / "README.md").read_text(encoding="utf-8")
+        for example in sorted((ROOT / "examples").glob("*.py")):
+            assert example.name in readme, (
+                f"README does not mention examples/{example.name}"
+            )
+
+    def test_design_lists_every_benchmark(self):
+        design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for bench in sorted((ROOT / "benchmarks").glob("test_*.py")):
+            assert bench.name in design, (
+                f"DESIGN.md experiment index misses benchmarks/{bench.name}"
+            )
+
+    def test_experiments_references_real_benchmarks(self):
+        experiments = (ROOT / "EXPERIMENTS.md").read_text(encoding="utf-8")
+        mentioned = re.findall(r"benchmarks/(test_[a-z0-9_]+\.py)", experiments)
+        assert mentioned
+        for name in mentioned:
+            assert (ROOT / "benchmarks" / name).is_file(), name

@@ -1,0 +1,107 @@
+"""Edge cases of the exploration machinery: budgets, deadlocks,
+invalid terminals, and the exhaustiveness discipline."""
+
+import pytest
+
+from repro.errors import ExplorationBudgetExceeded
+from repro.ir import Reg, ThreadBuilder, build_program
+from repro.memory import (
+    ModelConfig,
+    explore,
+    explore_or_raise,
+    explore_promising,
+)
+
+X, Y = 0x10, 0x20
+
+
+class TestBudgets:
+    def test_memory_budget_cut_marks_incomplete(self):
+        # A loop that stores each iteration grows the timeline without
+        # bound; the memory budget must cut it and flag incompleteness.
+        b = ThreadBuilder(0)
+        top = b.fresh_label("top")
+        b.label(top)
+        b.faa("t", X)
+        b.jump(top)
+        program = build_program([b], initial_memory={X: 0})
+        result = explore(program, ModelConfig(relaxed=False, max_memory=8))
+        assert not result.complete
+        assert result.cut_paths > 0
+
+    def test_explore_or_raise_on_budget(self):
+        b = ThreadBuilder(0)
+        top = b.fresh_label("top")
+        b.label(top)
+        b.faa("t", X)
+        b.jump(top)
+        program = build_program([b], initial_memory={X: 0})
+        with pytest.raises(ExplorationBudgetExceeded):
+            explore_or_raise(program, ModelConfig(relaxed=False, max_memory=8))
+
+    def test_explore_or_raise_passes_when_complete(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1)
+        program = build_program([b], initial_memory={X: 0})
+        result = explore_or_raise(program, ModelConfig(relaxed=False))
+        assert result.complete
+
+    def test_state_budget_cut(self):
+        threads = []
+        for tid in range(3):
+            b = ThreadBuilder(tid)
+            b.store(X, tid).store(Y, tid).load("a", X).load("b", Y)
+            threads.append(b)
+        program = build_program(threads, initial_memory={X: 0, Y: 0})
+        result = explore(program, ModelConfig(relaxed=True, max_states=5))
+        assert not result.complete
+
+
+class TestInvalidTerminals:
+    def test_unfulfillable_promise_paths_discarded(self):
+        # With a promise budget but no consumer, paths where a promise is
+        # made but the thread cannot fulfill it must not leak behaviors.
+        b = ThreadBuilder(0)
+        b.store(X, 1)
+        program = build_program([b], observed={0: []},
+                                initial_memory={X: 0})
+        result = explore_promising(program, observe_locs=[X])
+        # Exactly one final memory value: 1.  (A leaked unfulfilled
+        # promise would show up as an extra behavior.)
+        finals = {dict(beh.memory)[X] for beh in result.behaviors}
+        assert finals == {1}
+
+    def test_empty_program_single_behavior(self):
+        b = ThreadBuilder(0)
+        program = build_program([b], initial_memory={X: 7})
+        result = explore_promising(program, observe_locs=[X])
+        assert len(result.behaviors) == 1
+        (behavior,) = result.behaviors
+        assert dict(behavior.memory)[X] == 7
+
+    def test_observed_register_never_written_is_none(self):
+        b = ThreadBuilder(0)
+        b.nop()
+        thread = b.build(observed=("ghost",))
+        from repro.ir.program import make_program
+
+        program = make_program([thread])
+        result = explore_promising(program)
+        (behavior,) = result.behaviors
+        assert behavior.registers == ((0, "ghost", None),)
+
+
+class TestDeterminism:
+    def test_exploration_is_deterministic(self):
+        t0 = ThreadBuilder(0)
+        t0.store(X, 1).load("r0", Y)
+        t1 = ThreadBuilder(1)
+        t1.store(Y, 1).load("r1", X)
+        program = build_program(
+            [t0, t1], observed={0: ["r0"], 1: ["r1"]},
+            initial_memory={X: 0, Y: 0},
+        )
+        a = explore_promising(program)
+        b = explore_promising(program)
+        assert a.behaviors == b.behaviors
+        assert a.states_explored == b.states_explored

@@ -1,0 +1,114 @@
+"""Tests for the numbered hypercall ABI (the EL2 trap surface)."""
+
+import pytest
+
+from repro.errors import SecurityViolation
+from repro.sekvm import SeKVMSystem, make_image
+from repro.sekvm.hypercalls import HVC, HvcStatus, HypercallInterface
+from repro.sekvm.vm import image_digest
+
+
+@pytest.fixture
+def iface():
+    system = SeKVMSystem(total_pages=128)
+    return system, HypercallInterface(system.kcore)
+
+
+def boot_via_abi(system, iface, contents):
+    cpu = 0
+    result = iface.hvc(cpu, HVC.GEN_VMID)
+    assert result.ok
+    vmid = result.value
+    assert iface.hvc(cpu, HVC.REGISTER_VCPU, vmid, 0).ok
+    pfns = []
+    for content in contents:
+        pfn = system.kserv.alloc_page()
+        vpn = system.kserv.map_and_write(cpu, pfn, content)
+        assert iface.hvc(cpu, HVC.UNMAP_PFN_KSERV, vpn).ok
+        pfns.append(pfn)
+    iface.staged_images[vmid] = (pfns, image_digest(contents))
+    assert iface.hvc(cpu, HVC.BOOT_VM, vmid).ok
+    return vmid
+
+
+class TestDispatch:
+    def test_unknown_number_einval(self, iface):
+        _, hc = iface
+        assert hc.hvc(0, 0x999).status is HvcStatus.EINVAL
+
+    def test_wrong_arity_einval(self, iface):
+        _, hc = iface
+        assert hc.hvc(0, HVC.RUN_VCPU, 1).status is HvcStatus.EINVAL
+
+    def test_calls_are_recorded(self, iface):
+        _, hc = iface
+        hc.hvc(0, HVC.GEN_VMID)
+        assert hc.calls == [(HVC.GEN_VMID, ())]
+
+
+class TestLifecycleViaABI:
+    def test_full_boot_and_run(self, iface):
+        system, hc = iface
+        vmid = boot_via_abi(system, hc, [5, 6])
+        assert hc.hvc(1, HVC.RUN_VCPU, vmid, 0).ok
+        assert hc.hvc(1, HVC.STOP_VCPU, vmid, 0).ok
+        assert system.guest_read(vmid, 0) == 5
+
+    def test_boot_without_staged_image_refused(self, iface):
+        system, hc = iface
+        vmid = hc.hvc(0, HVC.GEN_VMID).value
+        result = hc.hvc(0, HVC.BOOT_VM, vmid)
+        assert not result.ok
+
+    def test_run_unknown_vm_enoent(self, iface):
+        _, hc = iface
+        assert hc.hvc(0, HVC.RUN_VCPU, 42, 0).status is HvcStatus.ENOENT
+
+    def test_teardown_returns_page_count(self, iface):
+        system, hc = iface
+        vmid = boot_via_abi(system, hc, [1, 2, 3])
+        result = hc.hvc(0, HVC.TEARDOWN_VM, vmid)
+        assert result.ok and result.value == 3
+
+
+class TestPolicyViaABI:
+    def test_mapping_foreign_page_eperm(self, iface):
+        system, hc = iface
+        vmid = boot_via_abi(system, hc, [1])
+        vm_pfn = system.vm_pages(vmid)[0]
+        result = hc.hvc(0, HVC.MAP_PFN_KSERV, 0x99, vm_pfn)
+        assert result.status is HvcStatus.EPERM
+
+    def test_kcore_page_map_is_security_violation(self, iface):
+        system, hc = iface
+        kcore_pfn = system.kcore_pages()[0]
+        # KCore pages trip the SecurityViolation invariant, which is
+        # NOT converted to an errno: verified KCore must make this
+        # unreachable, and the model surfaces it loudly.
+        with pytest.raises(SecurityViolation):
+            hc.hvc(0, HVC.MAP_PFN_KSERV, 0x99, kcore_pfn)
+
+    def test_vipi_via_abi(self, iface):
+        system, hc = iface
+        vmid = boot_via_abi(system, hc, [1])
+        assert hc.hvc(0, HVC.SEND_VIPI, vmid, 0, 0).ok
+        assert system.kcore.vgic.for_vm(vmid).has_pending(0)
+
+    def test_register_vcpu_frozen_once_running(self, iface):
+        system, hc = iface
+        vmid = boot_via_abi(system, hc, [1])
+        assert hc.hvc(1, HVC.RUN_VCPU, vmid, 0).ok  # state -> RUNNING
+        result = hc.hvc(0, HVC.REGISTER_VCPU, vmid, 1)
+        assert result.status is HvcStatus.EPERM
+
+    def test_smmu_map_unmap_via_abi(self, iface):
+        system, hc = iface
+        pfn = system.kserv.alloc_page()
+        assert hc.hvc(0, HVC.SMMU_MAP, 7, 0x40, pfn, -1).ok
+        assert system.smmu.dma_access(7, 0x40).ok
+        assert hc.hvc(0, HVC.SMMU_UNMAP, 7, 0x40).ok
+        assert system.smmu.dma_access(7, 0x40).faulted
+
+    def test_smmu_unmap_missing_enoent(self, iface):
+        _, hc = iface
+        assert hc.hvc(0, HVC.SMMU_UNMAP, 7, 0x80).status is HvcStatus.ENOENT

@@ -1,0 +1,149 @@
+"""Unit tests for static dependency analysis (repro.ir.dependencies)."""
+
+from repro.ir import Reg, ThreadBuilder
+from repro.ir.dependencies import (
+    address_dependencies,
+    address_registers,
+    barrier_ordered_pairs,
+    coherence_pairs,
+    control_dependencies,
+    data_dependencies,
+    may_reorder,
+    preserved_program_order,
+    static_location,
+    value_registers,
+    written_register,
+)
+
+X, Y = 0x100, 0x200
+
+
+def thread_of(builder: ThreadBuilder):
+    return builder.build()
+
+
+class TestOperandAnalysis:
+    def test_written_register(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X).store(Y, 1).mov("r1", 2).faa("r2", X)
+        t = thread_of(b)
+        assert written_register(t.instrs[0]) == "r0"
+        assert written_register(t.instrs[1]) is None
+        assert written_register(t.instrs[2]) == "r1"
+        assert written_register(t.instrs[3]) == "r2"
+
+    def test_address_and_value_registers(self):
+        b = ThreadBuilder(0)
+        b.load("r0", Reg("base") + 4).store(Reg("addr"), Reg("val"))
+        t = thread_of(b)
+        assert address_registers(t.instrs[0]) == frozenset({"base"})
+        assert address_registers(t.instrs[1]) == frozenset({"addr"})
+        assert value_registers(t.instrs[1]) == frozenset({"val"})
+
+    def test_static_location(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X).load("r1", Reg("r0"))
+        t = thread_of(b)
+        assert static_location(t.instrs[0]) == X
+        assert static_location(t.instrs[1]) is None
+
+
+class TestDependencyRelations:
+    def test_data_dependency_load_to_store(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X).store(Y, "r0")
+        assert (0, 1) in data_dependencies(thread_of(b))
+
+    def test_address_dependency(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X).load("r1", Reg("r0") + Y)
+        assert (0, 1) in address_dependencies(thread_of(b))
+
+    def test_no_false_dependency(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X).store(Y, 1)
+        t = thread_of(b)
+        assert data_dependencies(t) == set()
+        assert (0, 1) not in address_dependencies(t)
+
+    def test_control_dependency_covers_following(self):
+        b = ThreadBuilder(0)
+        skip = b.fresh_label("skip")
+        b.load("r0", X).bz(Reg("r0"), skip).store(Y, 1).label(skip)
+        deps = control_dependencies(thread_of(b))
+        assert (1, 2) in deps  # branch -> store
+
+    def test_coherence_same_location(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1).load("r0", X).store(Y, 2)
+        pairs = coherence_pairs(thread_of(b))
+        assert (0, 1) in pairs
+        assert (0, 2) not in pairs
+
+
+class TestBarrierOrdering:
+    def test_full_barrier_orders_everything(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1).barrier("full").load("r0", Y)
+        assert (0, 2) in barrier_ordered_pairs(thread_of(b))
+
+    def test_st_barrier_orders_stores_only(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1).load("r0", X).barrier("st").store(Y, 1).load("r1", Y)
+        pairs = barrier_ordered_pairs(thread_of(b))
+        assert (0, 3) in pairs       # store -> store
+        assert (1, 3) not in pairs   # load not ordered by dmb st
+        assert (0, 4) not in pairs   # store -> load not ordered
+
+    def test_ld_barrier_orders_prior_loads(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X).store(Y, 1).barrier("ld").store(X, 2)
+        pairs = barrier_ordered_pairs(thread_of(b))
+        assert (0, 3) in pairs       # load ordered before later store
+        assert (1, 3) not in pairs   # prior store unordered by dmb ld
+
+    def test_acquire_load_orders_later(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X, acquire=True).store(Y, 1)
+        assert (0, 1) in barrier_ordered_pairs(thread_of(b))
+
+    def test_release_store_ordered_after_prior(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1).store(Y, 1, release=True)
+        assert (0, 1) in barrier_ordered_pairs(thread_of(b))
+
+
+class TestPPOAndReorder:
+    def test_plain_independent_accesses_may_reorder(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X).store(Y, 1)
+        assert may_reorder(thread_of(b), 0, 1)
+
+    def test_dependent_accesses_cannot_reorder(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X).store(Y, "r0")
+        assert not may_reorder(thread_of(b), 0, 1)
+
+    def test_barrier_blocks_reorder(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1).barrier("full").store(Y, 1)
+        assert not may_reorder(thread_of(b), 0, 2)
+
+    def test_transitive_ppo(self):
+        # load -> (data) -> mov -> (data) -> store: closed transitively.
+        b = ThreadBuilder(0)
+        b.load("r0", X).mov("r1", Reg("r0") + 1).store(Y, "r1")
+        assert not may_reorder(thread_of(b), 0, 2)
+
+    def test_ctrl_dependency_orders_store_not_load(self):
+        b = ThreadBuilder(0)
+        skip = b.fresh_label("skip")
+        b.load("r0", X).bz(Reg("r0"), skip).store(Y, 1).label(skip)
+        t = thread_of(b)
+        ppo = preserved_program_order(t)
+        assert (1, 2) in ppo  # branch orders the store
+        b2 = ThreadBuilder(0)
+        skip2 = b2.fresh_label("skip")
+        b2.load("r0", X).bz(Reg("r0"), skip2).load("r1", Y).label(skip2)
+        t2 = thread_of(b2)
+        assert (1, 2) not in preserved_program_order(t2)  # loads unordered

@@ -1,0 +1,110 @@
+"""Unit tests for operand expressions (repro.ir.expr)."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.ir.expr import BinOp, Imm, Reg, coerce, registers_of
+
+
+class TestImm:
+    def test_eval_constant(self):
+        assert Imm(42).eval({}) == 42
+
+    def test_no_registers(self):
+        assert Imm(7).registers() == frozenset()
+
+    def test_repr(self):
+        assert repr(Imm(3)) == "#3"
+
+
+class TestReg:
+    def test_eval_reads_regfile(self):
+        assert Reg("r0").eval({"r0": 9}) == 9
+
+    def test_unwritten_register_raises(self):
+        with pytest.raises(ProgramError):
+            Reg("r9").eval({"r0": 1})
+
+    def test_registers(self):
+        assert Reg("r1").registers() == frozenset({"r1"})
+
+
+class TestBinOp:
+    def test_add(self):
+        expr = Reg("a") + 3
+        assert expr.eval({"a": 4}) == 7
+
+    def test_sub_and_rsub(self):
+        assert (Reg("a") - 1).eval({"a": 5}) == 4
+        assert (10 - Reg("a")).eval({"a": 4}) == 6
+
+    def test_mul(self):
+        assert (Reg("a") * 3).eval({"a": 2}) == 6
+
+    def test_comparison_lt(self):
+        expr = Reg("a") < 5
+        assert expr.eval({"a": 3}) == 1
+        assert expr.eval({"a": 7}) == 0
+
+    def test_comparison_ge(self):
+        expr = Reg("a") >= 5
+        assert expr.eval({"a": 5}) == 1
+        assert expr.eval({"a": 4}) == 0
+
+    def test_value_equality_via_eq_method(self):
+        expr = Reg("a").eq(2)
+        assert expr.eval({"a": 2}) == 1
+        assert expr.eval({"a": 3}) == 0
+
+    def test_value_inequality_via_ne_method(self):
+        expr = Reg("a").ne(2)
+        assert expr.eval({"a": 2}) == 0
+        assert expr.eval({"a": 3}) == 1
+
+    def test_python_eq_stays_structural(self):
+        # ``==`` must NOT build an expression: dataclass equality.
+        assert (Reg("a") == Reg("a")) is True
+        assert (Reg("a") == Reg("b")) is False
+
+    def test_registers_union(self):
+        expr = Reg("a") + Reg("b") * 2
+        assert expr.registers() == frozenset({"a", "b"})
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ProgramError):
+            BinOp("**", Imm(1), Imm(2))
+
+    def test_nested_expression(self):
+        expr = (Reg("a") + 1) * (Reg("b") - 1)
+        assert expr.eval({"a": 2, "b": 4}) == 9
+
+    def test_bitwise_ops(self):
+        assert BinOp("&", Imm(6), Imm(3)).eval({}) == 2
+        assert BinOp("|", Imm(4), Imm(1)).eval({}) == 5
+        assert BinOp(">>", Imm(8), Imm(2)).eval({}) == 2
+        assert BinOp("<<", Imm(1), Imm(3)).eval({}) == 8
+        assert BinOp("%", Imm(7), Imm(3)).eval({}) == 1
+        assert BinOp("//", Imm(7), Imm(2)).eval({}) == 3
+
+
+class TestCoerce:
+    def test_int_becomes_imm(self):
+        assert coerce(5) == Imm(5)
+
+    def test_bool_normalized_to_imm(self):
+        assert coerce(True) == Imm(1)
+
+    def test_str_becomes_reg(self):
+        assert coerce("r0") == Reg("r0")
+
+    def test_expr_passthrough(self):
+        expr = Reg("x") + 1
+        assert coerce(expr) is expr
+
+    def test_bad_operand_rejected(self):
+        with pytest.raises(ProgramError):
+            coerce(3.14)
+
+
+def test_registers_of_sorted_union():
+    assert registers_of(Reg("b") + Reg("a"), Imm(1)) == ("a", "b")

@@ -1,0 +1,179 @@
+"""Unit tests for threads, programs, and instruction validation."""
+
+import pytest
+
+from repro.errors import ProgramError
+from repro.ir import (
+    BarrierKind,
+    FetchAndInc,
+    Imm,
+    Label,
+    Load,
+    MemSpace,
+    MMUConfig,
+    Program,
+    PTKind,
+    Pull,
+    Store,
+    Thread,
+    ThreadBuilder,
+    build_program,
+    is_memory_access,
+    is_pt_store,
+    make_program,
+)
+from repro.ir.instructions import Barrier, Jump, Mov, Nop, validate_instruction
+
+
+def simple_thread(tid=0, instrs=(), **kw):
+    return Thread(tid=tid, instrs=tuple(instrs), **kw)
+
+
+class TestThread:
+    def test_labels_resolved(self):
+        t = simple_thread(instrs=[Label("a"), Nop(), Label("b")])
+        assert t.labels() == {"a": 0, "b": 2}
+
+    def test_duplicate_label_rejected(self):
+        t = simple_thread(instrs=[Label("a"), Label("a")])
+        with pytest.raises(ProgramError):
+            t.labels()
+
+    def test_unknown_branch_target_rejected(self):
+        t = simple_thread(instrs=[Jump("nowhere")])
+        with pytest.raises(ProgramError):
+            t.validate()
+
+    def test_valid_branch_passes(self):
+        t = simple_thread(instrs=[Label("top"), Jump("top")])
+        t.validate()
+
+
+class TestProgram:
+    def test_duplicate_tids_rejected(self):
+        with pytest.raises(ProgramError):
+            Program(threads=(simple_thread(0), simple_thread(0)))
+
+    def test_thread_lookup(self):
+        p = make_program([simple_thread(0), simple_thread(1)])
+        assert p.thread(1).tid == 1
+        with pytest.raises(ProgramError):
+            p.thread(7)
+
+    def test_kernel_user_partition(self):
+        k = simple_thread(0, is_kernel=True)
+        u = simple_thread(1, is_kernel=False)
+        p = make_program([k, u])
+        assert [t.tid for t in p.kernel_threads()] == [0]
+        assert [t.tid for t in p.user_threads()] == [1]
+
+    def test_space_defaults_to_kernel(self):
+        p = make_program([simple_thread(0)], spaces={5: MemSpace.USER})
+        assert p.space_of(5) is MemSpace.USER
+        assert p.space_of(6) is MemSpace.KERNEL
+
+    def test_initial_value_defaults_to_zero(self):
+        p = make_program([simple_thread(0)], initial_memory={1: 9})
+        assert p.initial_value(1) == 9
+        assert p.initial_value(2) == 0
+
+
+class TestMMUConfig:
+    def test_rejects_zero_levels(self):
+        with pytest.raises(ProgramError):
+            MMUConfig(root=0x1000, levels=0)
+
+    def test_rejects_bad_bits(self):
+        with pytest.raises(ProgramError):
+            MMUConfig(root=0x1000, va_bits_per_level=0)
+
+
+class TestInstructionValidation:
+    def test_pt_level_requires_pt_kind(self):
+        bad = Store(Imm(1), Imm(2), pt_level=1)
+        with pytest.raises(ProgramError):
+            validate_instruction(bad)
+
+    def test_negative_pt_level_rejected(self):
+        bad = Store(Imm(1), Imm(2), pt_kind=PTKind.STAGE2, pt_level=-1)
+        with pytest.raises(ProgramError):
+            validate_instruction(bad)
+
+    def test_faa_amount_zero_rejected(self):
+        with pytest.raises(ProgramError):
+            validate_instruction(FetchAndInc("r0", Imm(1), amount=0))
+
+    def test_empty_pull_rejected(self):
+        with pytest.raises(ProgramError):
+            validate_instruction(Pull(locs=()))
+
+    def test_thread_construction_validates(self):
+        with pytest.raises(ProgramError):
+            simple_thread(instrs=[Store(Imm(1), Imm(2), pt_level=0)])
+
+
+class TestClassifiers:
+    def test_is_memory_access(self):
+        assert is_memory_access(Load("r0", Imm(1)))
+        assert is_memory_access(Store(Imm(1), Imm(2)))
+        assert is_memory_access(FetchAndInc("r0", Imm(1)))
+        assert not is_memory_access(Mov("r0", Imm(1)))
+        assert not is_memory_access(Barrier(BarrierKind.FULL))
+
+    def test_is_pt_store(self):
+        assert is_pt_store(Store(Imm(1), Imm(2), pt_kind=PTKind.STAGE2))
+        assert not is_pt_store(Store(Imm(1), Imm(2)))
+        assert not is_pt_store(Load("r0", Imm(1)))
+
+
+class TestBuilder:
+    def test_chaining_and_build(self):
+        b = ThreadBuilder(3, name="worker")
+        thread = b.mov("a", 1).store(0x10, "a").build(observed=["a"])
+        assert thread.tid == 3
+        assert thread.name == "worker"
+        assert thread.observed == ("a",)
+        assert len(thread.instrs) == 2
+
+    def test_fresh_labels_unique(self):
+        b = ThreadBuilder(0)
+        assert b.fresh_label() != b.fresh_label()
+
+    def test_unknown_barrier_rejected(self):
+        with pytest.raises(ProgramError):
+            ThreadBuilder(0).barrier("bogus")
+
+    def test_barrier_aliases(self):
+        b = ThreadBuilder(0)
+        b.barrier("sy").barrier("full").barrier("ld").barrier("st").barrier("isb")
+        kinds = [i.kind for i in b.build().instrs]
+        assert kinds == [
+            BarrierKind.FULL,
+            BarrierKind.FULL,
+            BarrierKind.LD,
+            BarrierKind.ST,
+            BarrierKind.ISB,
+        ]
+
+    def test_spin_loop_structure(self):
+        b = ThreadBuilder(0)
+        b.spin_until_eq("r", 0x10, 1)
+        thread = b.build()
+        # label, load, branch
+        assert len(thread.instrs) == 3
+        thread.validate()
+
+    def test_if_eq_context(self):
+        b = ThreadBuilder(0)
+        b.mov("a", 1)
+        with b.if_eq("a", 1):
+            b.store(0x10, 7)
+        thread = b.build()
+        thread.validate()
+
+    def test_build_program_observed(self):
+        b0 = ThreadBuilder(0)
+        b0.mov("x", 1)
+        p = build_program([b0], observed={0: ["x"]}, name="demo")
+        assert p.name == "demo"
+        assert p.threads[0].observed == ("x",)

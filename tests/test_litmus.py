@@ -1,0 +1,77 @@
+"""The litmus corpus: every test must match its architectural
+expectation on both hardware models.
+
+This is the primary validation that the Promising Arm implementation
+is neither too weak (missing allowed behaviors) nor too strong
+(admitting forbidden ones) — the executable counterpart of the paper's
+reliance on the proven Promising-Arm/Armv8 equivalence.
+"""
+
+import pytest
+
+from repro.litmus import (
+    classic_corpus,
+    extended_corpus,
+    full_corpus,
+    paper_examples,
+    run_litmus,
+)
+
+CLASSIC = classic_corpus()
+EXTENDED = extended_corpus()
+PAPER = paper_examples()
+
+
+@pytest.mark.parametrize("test", CLASSIC, ids=[t.name for t in CLASSIC])
+def test_classic_litmus(test):
+    outcome = run_litmus(test)
+    assert outcome.sc.complete and outcome.rm.complete
+    assert outcome.observed_sc == test.allowed_sc, (
+        f"{test.name}: SC observability mismatch\n" + outcome.describe()
+    )
+    assert outcome.observed_rm == test.allowed_rm, (
+        f"{test.name}: RM observability mismatch\n" + outcome.describe()
+    )
+
+
+@pytest.mark.parametrize("test", EXTENDED, ids=[t.name for t in EXTENDED])
+def test_extended_litmus(test):
+    """Coherence-order probes (S/R/2+2W/ISA2/SB+rel-acq shapes)."""
+    outcome = run_litmus(test)
+    assert outcome.passed, outcome.describe()
+
+
+@pytest.mark.parametrize("test", PAPER, ids=[t.name for t in PAPER])
+def test_paper_examples(test):
+    outcome = run_litmus(test)
+    assert outcome.passed, outcome.describe()
+
+
+def test_every_buggy_example_is_rm_only():
+    """Each buggy Section-2 variant exhibits an outcome on relaxed
+    hardware that SC verification would certify as impossible."""
+    buggy = [t for t in PAPER if t.exposes_rm_bug]
+    assert len(buggy) >= 5  # Examples 1-6 variants at minimum
+    for test in buggy:
+        outcome = run_litmus(test)
+        assert outcome.observed_rm and not outcome.observed_sc, test.name
+
+
+def test_every_fixed_example_has_no_rm_only_outcome():
+    fixed = [
+        t for t in PAPER
+        if "fixed" in t.name or "transactional" in t.name
+        or "barrier]" in t.name or "oracle" in t.name
+    ]
+    assert fixed
+    for test in fixed:
+        outcome = run_litmus(test)
+        assert outcome.observed_rm == outcome.observed_sc, test.name
+
+
+def test_corpus_report_format():
+    from repro.litmus import corpus_report, run_corpus
+
+    outcomes = run_corpus(CLASSIC[:3])
+    report = corpus_report(outcomes)
+    assert "3/3" in report

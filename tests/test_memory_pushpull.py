@@ -1,0 +1,134 @@
+"""Behavioral tests for the push/pull Promising model (Section 4.1)."""
+
+import pytest
+
+from repro.ir import MemSpace, Reg, ThreadBuilder, build_program
+from repro.memory import explore_pushpull
+
+DATA, FLAG = 0x100, 0x200
+
+
+def handoff(correct=True, push=True, pull=True):
+    """Producer publishes DATA then FLAG; consumer pulls and reads."""
+    t0 = ThreadBuilder(0)
+    t0.store(DATA, 1)
+    if push:
+        t0.push(DATA)
+    t0.store(FLAG, 1, release=correct, space=MemSpace.SYNC)
+    t1 = ThreadBuilder(1)
+    t1.spin_until_eq("f", FLAG, 1, acquire=correct)
+    if pull:
+        t1.pull(DATA)
+    t1.load("got", DATA)
+    return build_program(
+        [t0, t1],
+        observed={1: ["got"]},
+        initial_memory={DATA: 0, FLAG: 0},
+        name="handoff",
+    )
+
+
+class TestOwnershipDiscipline:
+    def test_correct_handoff_panic_free(self):
+        res = explore_pushpull(
+            handoff(), owned_access_required=[DATA],
+            initial_ownership=[(DATA, 0)],
+        )
+        assert res.panic_free
+        assert res.complete
+
+    def test_access_without_pull_panics(self):
+        res = explore_pushpull(
+            handoff(pull=False), owned_access_required=[DATA],
+            initial_ownership=[(DATA, 0)],
+        )
+        assert any("without pulling" in r for r in res.panics)
+
+    def test_push_without_ownership_panics(self):
+        t0 = ThreadBuilder(0)
+        t0.push(DATA)
+        p = build_program([t0], initial_memory={DATA: 0})
+        res = explore_pushpull(p)
+        assert any("does not own" in r for r in res.panics)
+
+    def test_double_pull_panics(self):
+        t0 = ThreadBuilder(0)
+        t0.pull(DATA)
+        t1 = ThreadBuilder(1)
+        t1.pull(DATA)
+        p = build_program([t0, t1], initial_memory={DATA: 0})
+        res = explore_pushpull(p)
+        assert any("owned by CPU" in r for r in res.panics)
+
+    def test_access_to_location_owned_by_other_panics(self):
+        t0 = ThreadBuilder(0)
+        t0.pull(DATA).load("r0", DATA).push(DATA)
+        t1 = ThreadBuilder(1)
+        t1.store(DATA, 9)
+        p = build_program([t0, t1], initial_memory={DATA: 0})
+        res = explore_pushpull(p)
+        assert any("owned by CPU" in r for r in res.panics)
+
+    def test_sync_space_accesses_exempt(self):
+        # Lock words may race freely; the model never flags them.
+        t0 = ThreadBuilder(0)
+        t0.store(FLAG, 1, space=MemSpace.SYNC)
+        t1 = ThreadBuilder(1)
+        t1.load("r0", FLAG, space=MemSpace.SYNC)
+        p = build_program([t0, t1], initial_memory={FLAG: 0})
+        res = explore_pushpull(p, owned_access_required=[])
+        assert res.panic_free
+
+    def test_user_threads_exempt(self):
+        t0 = ThreadBuilder(0, is_kernel=False)
+        t0.store(DATA, 1)
+        t1 = ThreadBuilder(1, is_kernel=False)
+        t1.store(DATA, 2)
+        p = build_program([t0, t1], initial_memory={DATA: 0})
+        res = explore_pushpull(p, owned_access_required=[DATA])
+        assert res.panic_free
+
+
+class TestBarrierFulfillment:
+    """The dynamic No-Barrier-Misuse rule: a pull must be covered by the
+    puller's barrier frontier relative to the previous push."""
+
+    def test_missing_acquire_detected(self):
+        res = explore_pushpull(
+            handoff(correct=False), owned_access_required=[DATA],
+            initial_ownership=[(DATA, 0)],
+        )
+        assert any("No-Barrier-Misuse" in r for r in res.panics)
+
+    def test_dmb_ld_also_fulfills_pull(self):
+        t0 = ThreadBuilder(0)
+        t0.store(DATA, 1)
+        t0.push(DATA)
+        t0.store(FLAG, 1, release=True, space=MemSpace.SYNC)
+        t1 = ThreadBuilder(1)
+        t1.spin_until_eq("f", FLAG, 1, acquire=False)
+        t1.barrier("ld")
+        t1.pull(DATA)
+        t1.load("got", DATA)
+        p = build_program([t0, t1], observed={1: ["got"]},
+                          initial_memory={DATA: 0, FLAG: 0})
+        res = explore_pushpull(
+            p, owned_access_required=[DATA], initial_ownership=[(DATA, 0)]
+        )
+        assert res.panic_free
+
+    def test_sc_base_model_skips_barrier_rule(self):
+        # On the SC push/pull model (CertiKOS-style) barriers are not
+        # required; only ownership is checked.
+        res = explore_pushpull(
+            handoff(correct=False), owned_access_required=[DATA],
+            initial_ownership=[(DATA, 0)], relaxed=False,
+        )
+        assert res.panic_free
+
+    def test_initial_pull_needs_no_barrier(self):
+        t0 = ThreadBuilder(0)
+        t0.pull(DATA).load("r0", DATA).push(DATA)
+        p = build_program([t0], initial_memory={DATA: 0})
+        res = explore_pushpull(p, owned_access_required=[DATA])
+        assert res.panic_free

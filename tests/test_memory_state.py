@@ -1,0 +1,114 @@
+"""Unit tests for machine-state plumbing (repro.memory.state/datatypes)."""
+
+import pytest
+
+from repro.memory.datatypes import (
+    Behavior,
+    Fault,
+    Message,
+    last_write_ts,
+    latest_write_ts,
+    value_at,
+)
+from repro.memory.state import (
+    ExecState,
+    initial_state,
+    initial_thread_ctx,
+    tdel,
+    tget,
+    tset,
+)
+
+
+class TestPairTuples:
+    def test_tget_default(self):
+        assert tget((), "x", 7) == 7
+        assert tget((("x", 1),), "x", 7) == 1
+
+    def test_tset_inserts_sorted(self):
+        pairs = tset((), "b", 2)
+        pairs = tset(pairs, "a", 1)
+        assert pairs == (("a", 1), ("b", 2))
+
+    def test_tset_replaces(self):
+        pairs = tset((("a", 1),), "a", 9)
+        assert pairs == (("a", 9),)
+
+    def test_tdel(self):
+        pairs = (("a", 1), ("b", 2))
+        assert tdel(pairs, "a") == (("b", 2),)
+        assert tdel(pairs, "z") == pairs
+
+
+class TestTimelineQueries:
+    MEM = (
+        Message(1, 0x10, 5, 0),
+        Message(2, 0x20, 6, 1),
+        Message(3, 0x10, 7, 0),
+    )
+
+    def test_last_write_before(self):
+        assert last_write_ts(self.MEM, 0x10, 3) == 3
+        assert last_write_ts(self.MEM, 0x10, 2) == 1
+        assert last_write_ts(self.MEM, 0x10, 0) == 0
+        assert last_write_ts(self.MEM, 0x30, 3) == 0
+
+    def test_upto_clamped(self):
+        assert last_write_ts(self.MEM, 0x20, 99) == 2
+
+    def test_latest(self):
+        assert latest_write_ts(self.MEM, 0x10) == 3
+        assert latest_write_ts(self.MEM, 0x99) == 0
+
+    def test_value_at(self):
+        assert value_at(self.MEM, 0x10, 1, init=0) == 5
+        assert value_at(self.MEM, 0x10, 0, init=42) == 42
+        with pytest.raises(ValueError):
+            value_at(self.MEM, 0x10, 2, init=0)  # ts 2 is for 0x20
+
+
+class TestExecState:
+    def test_initial_state_shape(self):
+        s = initial_state(2, initial_ownership=((0x10, 1),))
+        assert len(s.threads) == 2
+        assert s.ownership == ((0x10, 1),)
+        assert s.memory == ()
+        assert s.panic is None
+
+    def test_with_thread_replaces_one(self):
+        s = initial_state(2)
+        ctx = s.thread(1)._replace(pc=5)
+        s2 = s.with_thread(1, ctx)
+        assert s2.thread(1).pc == 5
+        assert s2.thread(0).pc == 0
+        assert s.thread(1).pc == 0  # original untouched
+
+    def test_append_and_fulfill(self):
+        s = initial_state(1)
+        s = s.append_message(Message(1, 0x10, 5, 0, promised=True))
+        assert s.memory[0].promised
+        s2 = s.fulfill(1)
+        assert not s2.memory[0].promised
+        assert s.memory[0].promised  # immutability
+
+    def test_states_hashable_and_comparable(self):
+        a = initial_state(2)
+        b = initial_state(2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+
+class TestBehavior:
+    def test_pretty_renders_everything(self):
+        b = Behavior(
+            registers=((0, "r0", 1),),
+            memory=((0x10, 2),),
+            faults=(Fault(1, 0x80),),
+            panic="boom",
+        )
+        text = b.pretty()
+        assert "t0.r0=1" in text
+        assert "0x10" in text
+        assert "PANIC(boom)" in text
+        assert "t1@0x80" in text

@@ -1,0 +1,107 @@
+"""Tests for the pretty-printer, error hierarchy, and small utilities."""
+
+import pytest
+
+from repro.errors import (
+    ExecutionError,
+    ExplorationBudgetExceeded,
+    HypercallError,
+    KernelPanic,
+    ProgramError,
+    ReproError,
+    SecurityViolation,
+    VerificationError,
+)
+from repro.ir import (
+    PTKind,
+    Reg,
+    ThreadBuilder,
+    build_program,
+    format_instruction,
+    format_program,
+    format_thread,
+)
+from repro.perf import M400, run_native, workload_by_name
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ProgramError,
+            ExecutionError,
+            ExplorationBudgetExceeded,
+            HypercallError,
+            SecurityViolation,
+            VerificationError,
+        ],
+    )
+    def test_all_subclass_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_kernel_panic_carries_cpu(self):
+        panic = KernelPanic("boom", cpu=3)
+        assert panic.cpu == 3
+        assert "CPU 3" in str(panic)
+
+    def test_kernel_panic_without_cpu(self):
+        assert "boom" in str(KernelPanic("boom"))
+
+
+class TestPrettyPrinter:
+    def _fmt(self, emit):
+        b = ThreadBuilder(0)
+        emit(b)
+        return format_instruction(b.build().instrs[0])
+
+    def test_loads_and_stores(self):
+        assert self._fmt(lambda b: b.load("r0", 0x10)) == "r0 := [0x10]"
+        assert "(acquire)" in self._fmt(
+            lambda b: b.load("r0", 0x10, acquire=True)
+        )
+        assert "(release)" in self._fmt(
+            lambda b: b.store(0x10, 1, release=True)
+        )
+
+    def test_pt_store_tagged(self):
+        text = self._fmt(
+            lambda b: b.pt_store(0x1000, 5, kind=PTKind.STAGE2, level=2)
+        )
+        assert "stage2-pt L2" in text
+
+    def test_atomics(self):
+        assert "fetch_and_add" in self._fmt(lambda b: b.faa("r0", 0x10))
+        assert "cas" in self._fmt(lambda b: b.cas("r0", 0x10, 0, 1))
+        assert "ldxr" in self._fmt(lambda b: b.ldxr("r0", 0x10))
+        assert "stxr" in self._fmt(lambda b: b.stxr("s", 0x10, 1))
+
+    def test_control_and_sync(self):
+        assert self._fmt(lambda b: b.barrier("full")) == "dmb sy"
+        assert "pull [0x10]" == self._fmt(lambda b: b.pull(0x10))
+        assert "push [0x10]" == self._fmt(lambda b: b.push(0x10))
+        assert "tlbi" in self._fmt(lambda b: b.tlbi(0x8))
+        assert "tlbi all" == self._fmt(lambda b: b.tlbi())
+        assert "panic" in self._fmt(lambda b: b.panic("x"))
+        assert "oracle" in self._fmt(lambda b: b.oracle_read("r0", 0x10))
+
+    def test_virtual_accesses(self):
+        assert "translate" in self._fmt(lambda b: b.vload("r0", 0x8))
+        assert "translate" in self._fmt(lambda b: b.vstore(0x8, 1))
+
+    def test_thread_and_program_listings(self):
+        b = ThreadBuilder(0, name="demo")
+        b.mov("a", 1).store(0x10, "a")
+        program = build_program([b], initial_memory={0x10: 0}, name="p")
+        listing = format_program(program)
+        assert "program 'p'" in listing
+        assert "thread 0 (demo, kernel)" in listing
+        assert "init: [0x10]=0" in listing
+        assert format_thread(program.threads[0]) in listing
+
+
+class TestNativeBaseline:
+    def test_native_is_unity(self):
+        run = run_native(workload_by_name("Apache"), M400)
+        assert run.normalized_perf == 1.0
+        assert run.machine == "m400"
+        assert run.seconds > 0

@@ -1,0 +1,257 @@
+"""Property-based tests (hypothesis) on core data structures and the
+framework's central invariants."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir import Reg, ThreadBuilder, build_program
+from repro.memory import explore_promising, explore_sc
+from repro.memory.datatypes import Message, last_write_ts, latest_write_ts
+from repro.memory.state import tdel, tget, tset
+from repro.mmu import MultiLevelPageTable, PageTableLayout, TLB, walk_memory
+from repro.vrm.transactional import enumerate_visibility_snapshots
+
+# ---------------------------------------------------------------------------
+# pair-tuple mapping laws
+# ---------------------------------------------------------------------------
+
+keys = st.integers(min_value=0, max_value=20)
+values = st.integers(min_value=-100, max_value=100)
+
+
+@given(st.lists(st.tuples(keys, values), max_size=10), keys, values)
+def test_tset_then_tget_roundtrip(items, key, value):
+    pairs = ()
+    for k, v in items:
+        pairs = tset(pairs, k, v)
+    updated = tset(pairs, key, value)
+    assert tget(updated, key) == value
+    # Everything else preserved.
+    for k, _ in items:
+        if k != key:
+            assert tget(updated, k) == tget(pairs, k)
+
+
+@given(st.lists(st.tuples(keys, values), max_size=10), keys)
+def test_tdel_removes_exactly_key(items, key):
+    pairs = ()
+    for k, v in items:
+        pairs = tset(pairs, k, v)
+    removed = tdel(pairs, key)
+    assert tget(removed, key, None) is None
+    for k, _ in items:
+        if k != key:
+            assert tget(removed, k) == tget(pairs, k)
+
+
+@given(st.lists(st.tuples(keys, values), max_size=10))
+def test_tset_keeps_sorted_unique(items):
+    pairs = ()
+    for k, v in items:
+        pairs = tset(pairs, k, v)
+    ks = [k for k, _ in pairs]
+    assert ks == sorted(set(ks))
+
+
+# ---------------------------------------------------------------------------
+# timeline queries
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 9)), max_size=12
+    ),
+    st.integers(0, 3),
+)
+def test_last_write_monotone_in_upto(writes, loc):
+    memory = tuple(
+        Message(ts=i + 1, loc=l, val=v, tid=0) for i, (l, v) in enumerate(writes)
+    )
+    previous = 0
+    for upto in range(len(memory) + 1):
+        ts = last_write_ts(memory, loc, upto)
+        assert ts >= previous
+        assert ts <= upto
+        previous = ts
+    assert latest_write_ts(memory, loc) == last_write_ts(
+        memory, loc, len(memory)
+    )
+
+
+# ---------------------------------------------------------------------------
+# page tables
+# ---------------------------------------------------------------------------
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.dictionaries(
+        st.integers(0, 63), st.integers(1, 1000), min_size=1, max_size=20
+    ),
+    st.integers(2, 4),
+)
+def test_functional_pagetable_walk_matches_mappings(mapping, levels):
+    pt = MultiLevelPageTable(levels=levels, va_bits_per_level=3)
+    for vpn, pfn in mapping.items():
+        pt.map(vpn, pfn)
+    assert dict(pt.mappings()) == mapping
+    for vpn, pfn in mapping.items():
+        assert pt.walk(vpn) == pfn
+    missing = next(v for v in range(64) if v not in mapping)
+    assert pt.walk(missing) is None
+
+
+def test_out_of_range_vpn_rejected():
+    from repro.errors import ProgramError
+
+    pt = MultiLevelPageTable(levels=2, va_bits_per_level=3)
+    with pytest.raises(ProgramError):
+        pt.map(64, 1)   # address space is 2^6
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.dictionaries(
+        st.integers(0, 63), st.integers(1, 1000), min_size=1, max_size=12
+    )
+)
+def test_layout_and_functional_pagetable_agree(mapping):
+    layout = PageTableLayout(base=0x10000, levels=2, va_bits_per_level=3)
+    pt = MultiLevelPageTable(levels=2, va_bits_per_level=3)
+    for vpn, pfn in mapping.items():
+        layout.map(vpn, pfn)
+        pt.map(vpn, pfn)
+    for vpn in range(64):
+        flat = walk_memory(layout.memory, layout.mmu_config(), vpn)
+        tree = pt.walk(vpn)
+        if tree is None:
+            assert flat.is_fault
+        else:
+            assert flat.ppage == tree
+
+
+@settings(deadline=None)
+@given(
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 63)), max_size=40),
+    st.integers(1, 8),
+)
+def test_tlb_never_exceeds_capacity_and_serves_inserted(accesses, capacity):
+    tlb = TLB(entries=capacity)
+    for asid, vpn in accesses:
+        if tlb.lookup(asid, vpn) is None:
+            tlb.insert(asid, vpn, vpn + 1000)
+        assert len(tlb) <= capacity
+    # A hit always returns what was inserted.
+    for asid, vpn in accesses:
+        hit = tlb.lookup(asid, vpn)
+        if hit is not None:
+            assert hit == vpn + 1000
+
+
+# ---------------------------------------------------------------------------
+# transactional-visibility enumeration
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 9)), max_size=5
+    )
+)
+def test_visibility_snapshots_contain_pre_and_post(writes):
+    initial = {0: 100, 1: 101, 2: 102, 3: 103}
+    snaps = enumerate_visibility_snapshots(initial, writes)
+    post = dict(initial)
+    for loc, val in writes:
+        post[loc] = val
+    assert initial in snaps
+    assert post in snaps
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.integers(1, 9)), max_size=5
+    )
+)
+def test_visibility_snapshot_count(writes):
+    from math import prod
+
+    by_loc = {}
+    for loc, _ in writes:
+        by_loc[loc] = by_loc.get(loc, 0) + 1
+    expected = prod(n + 1 for n in by_loc.values()) if by_loc else 1
+    assert len(enumerate_visibility_snapshots({}, writes)) == expected
+
+
+# ---------------------------------------------------------------------------
+# the framework's central invariant: SC ⊆ RM on arbitrary small programs
+# ---------------------------------------------------------------------------
+
+_ops = st.sampled_from(["load", "store", "store_rel", "load_acq", "barrier", "faa"])
+
+
+def _build_thread(tid, ops):
+    b = ThreadBuilder(tid)
+    for i, (op, loc_idx, val) in enumerate(ops):
+        loc = 0x100 + loc_idx
+        if op == "load":
+            b.load(f"r{i}", loc)
+        elif op == "load_acq":
+            b.load(f"r{i}", loc, acquire=True)
+        elif op == "store":
+            b.store(loc, val)
+        elif op == "store_rel":
+            b.store(loc, val, release=True)
+        elif op == "faa":
+            b.faa(f"r{i}", loc)
+        elif op == "barrier":
+            b.barrier("full")
+    observed = [f"r{i}" for i, (op, _, _) in enumerate(ops)
+                if op in ("load", "load_acq", "faa")]
+    return b, observed
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(st.tuples(_ops, st.integers(0, 1), st.integers(0, 2)),
+             min_size=1, max_size=3),
+    st.lists(st.tuples(_ops, st.integers(0, 1), st.integers(0, 2)),
+             min_size=1, max_size=3),
+)
+def test_sc_behaviors_subset_of_promising(ops0, ops1):
+    """Every SC behavior of every program is a Promising Arm behavior:
+    the relaxed model only ever *adds* outcomes."""
+    b0, obs0 = _build_thread(0, ops0)
+    b1, obs1 = _build_thread(1, ops1)
+    program = build_program(
+        [b0, b1],
+        observed={0: obs0, 1: obs1},
+        initial_memory={0x100: 0, 0x101: 0},
+    )
+    sc = explore_sc(program)
+    rm = explore_promising(program)
+    assert sc.complete and rm.complete
+    assert sc.behaviors <= rm.behaviors
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(2, 3), st.integers(0, 5))
+def test_faa_values_form_permutation(n_threads, init):
+    """Atomic increments return distinct consecutive values under any
+    model — the uniqueness the paper's gen_vmid relies on."""
+    threads = []
+    for tid in range(n_threads):
+        b = ThreadBuilder(tid)
+        b.faa(f"t{tid}", 0x100)
+        threads.append(b)
+    program = build_program(
+        threads,
+        observed={tid: [f"t{tid}"] for tid in range(n_threads)},
+        initial_memory={0x100: init},
+    )
+    rm = explore_promising(program)
+    expected = set(range(init, init + n_threads))
+    for behavior in rm.behaviors:
+        got = {v for _, _, v in behavior.registers}
+        assert got == expected

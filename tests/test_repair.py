@@ -1,0 +1,71 @@
+"""Tests for automatic barrier repair (repro.vrm.repair)."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import ThreadBuilder, build_program
+from repro.litmus import example3_vcpu
+from repro.vrm.repair import Strengthening, repair_barriers
+
+X, Y = 0x100, 0x200
+
+
+def mp_program():
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1).store(Y, 1)
+    t1 = ThreadBuilder(1)
+    t1.load("r0", Y).load("r1", X)
+    return build_program(
+        [t0, t1], observed={1: ["r0", "r1"]},
+        initial_memory={X: 0, Y: 0}, name="MP",
+    )
+
+
+class TestRepair:
+    def test_mp_repaired_with_release_acquire_pair(self):
+        result = repair_barriers(mp_program())
+        assert not result.already_robust
+        assert len(result.fixes) == 2
+        kinds = {f.kind for f in result.fixes}
+        assert kinds == {"acquire", "release"}
+        # The release goes on the flag store (writer pc 1); the acquire
+        # on the flag read (reader pc 0).
+        by_tid = {f.tid: f for f in result.fixes}
+        assert by_tid[0].pc == 1 and by_tid[0].kind == "release"
+        assert by_tid[1].pc == 0 and by_tid[1].kind == "acquire"
+
+    def test_repair_result_is_minimal(self):
+        # No single strengthening fixes MP, so the result must be size 2.
+        result = repair_barriers(mp_program(), max_fixes=1)
+        assert not result.already_robust
+        assert result.fixes == ()
+
+    def test_example3_repair_matches_the_paper_fix(self):
+        program = example3_vcpu(correct=False)
+        result = repair_barriers(program)
+        assert len(result.fixes) == 2
+        description = result.describe(program)
+        assert "release" in description and "acquire" in description
+
+    def test_robust_program_reported_as_such(self):
+        result = repair_barriers(example3_vcpu(correct=True))
+        assert result.already_robust
+        assert result.fixes == ()
+
+    def test_budget_exhaustion_reported(self):
+        result = repair_barriers(mp_program(), max_fixes=2, max_sets=1)
+        assert not result.already_robust
+        assert result.fixes == ()
+        assert result.candidates_tried == 1
+        assert "no repair found" in result.describe(mp_program())
+
+    def test_applied_fix_preserves_other_instructions(self):
+        program = mp_program()
+        result = repair_barriers(program)
+        from repro.vrm.repair import _apply
+
+        repaired = _apply(program, result.fixes)
+        assert len(repaired.threads[0].instrs) == len(
+            program.threads[0].instrs
+        )
+        assert repaired.threads[0].instrs[0] == program.threads[0].instrs[0]

@@ -1,0 +1,99 @@
+"""Tests for KServ's vCPU scheduler over KCore's context protocol."""
+
+import pytest
+
+from repro.errors import HypercallError, KernelPanic
+from repro.sekvm import SeKVMSystem, VCpuState, make_image
+from repro.sekvm.scheduler import VCpuScheduler
+
+
+@pytest.fixture
+def sched():
+    system = SeKVMSystem(total_pages=128, cpus=4)
+    image, _ = make_image(1)
+    vmids = [system.boot_vm(image, vcpus=2) for _ in range(3)]
+    scheduler = VCpuScheduler(system.kcore, cpus=4)
+    for vmid in vmids:
+        for vcpu in (0, 1):
+            scheduler.enqueue(vmid, vcpu)
+    return system, scheduler, vmids
+
+
+class TestScheduling:
+    def test_tick_fills_all_cpus(self, sched):
+        _, scheduler, _ = sched
+        scheduler.tick()
+        assert len(scheduler.running) == 4
+        assert len(scheduler.ready) == 2
+
+    def test_round_robin_rotates(self, sched):
+        _, scheduler, _ = sched
+        scheduler.tick()
+        first = set(scheduler.running.values())
+        scheduler.tick()
+        second = set(scheduler.running.values())
+        assert first != second    # the queue rotated
+
+    def test_protocol_never_panics_under_scheduling(self, sched):
+        system, scheduler, vmids = sched
+        scheduler.run_rounds(20)
+        scheduler.idle()
+        for vmid in vmids:
+            for ctx in system.kcore.vms[vmid].vcpus.values():
+                assert ctx.state is VCpuState.INACTIVE
+
+    def test_migrations_happen_and_are_counted(self, sched):
+        _, scheduler, _ = sched
+        scheduler.run_rounds(10)
+        assert scheduler.stats.migrations > 0
+        assert scheduler.stats.placements >= 40
+
+    def test_context_preserved_across_migration(self, sched):
+        system, scheduler, vmids = sched
+        scheduler.tick()
+        vmid = vmids[0]
+        cpu = scheduler.where(vmid, 0)
+        assert cpu is not None
+        ctx = system.kcore.vms[vmid].vcpus[0]
+        ctx.write_reg(cpu, "x0", 1234)
+        scheduler.run_rounds(6)   # several migrations later
+        new_cpu = scheduler.where(vmid, 0)
+        if new_cpu is None:
+            scheduler.tick()
+            new_cpu = scheduler.where(vmid, 0)
+        assert ctx.read_reg(new_cpu, "x0") == 1234
+
+    def test_double_enqueue_rejected(self, sched):
+        _, scheduler, vmids = sched
+        with pytest.raises(HypercallError):
+            scheduler.enqueue(vmids[0], 0)
+
+    def test_remove_running_vcpu(self, sched):
+        system, scheduler, vmids = sched
+        scheduler.tick()
+        scheduler.remove(vmids[0], 0)
+        assert scheduler.where(vmids[0], 0) is None
+        assert (vmids[0], 0) not in scheduler.ready
+        ctx = system.kcore.vms[vmids[0]].vcpus[0]
+        assert ctx.state is VCpuState.INACTIVE
+
+    def test_generation_counts_track_switches(self, sched):
+        system, scheduler, vmids = sched
+        scheduler.run_rounds(5)
+        scheduler.idle()
+        total_saves = sum(
+            ctx.generation
+            for vmid in vmids
+            for ctx in system.kcore.vms[vmid].vcpus.values()
+        )
+        assert total_saves == scheduler.stats.preemptions
+
+    def test_bypassing_scheduler_still_protected(self, sched):
+        """Even with the scheduler active, a rogue direct run_vcpu of an
+        ACTIVE context panics — the protocol is KCore's, not KServ's."""
+        system, scheduler, vmids = sched
+        scheduler.tick()
+        vmid = vmids[0]
+        cpu = scheduler.where(vmid, 0)
+        with pytest.raises(KernelPanic):
+            system.kcore.run_vcpu((cpu + 1) % 4, vmid, 0)

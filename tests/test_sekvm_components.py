@@ -1,0 +1,287 @@
+"""Unit tests for SeKVM components: locks, s2page, EL2/stage-2/SMMU
+page-table managers, vCPU contexts, VM lifecycle."""
+
+import pytest
+
+from repro.errors import (
+    HypercallError,
+    KernelPanic,
+    SecurityViolation,
+    VerificationError,
+)
+from repro.sekvm import (
+    EL2PageTable,
+    KCORE,
+    KSERV,
+    S2PageDB,
+    Stage2PageTable,
+    TicketLock,
+    VCpuContext,
+    VCpuState,
+    VM,
+    VMState,
+    image_digest,
+    vm_owner,
+)
+from repro.mmu.smmu import SMMU
+from repro.sekvm.smmupt import SMMUPageTableManager
+
+
+class TestTicketLock:
+    def test_acquire_release_cycle(self):
+        lock = TicketLock()
+        lock.acquire(0)
+        assert lock.held
+        lock.release(0)
+        assert not lock.held
+        assert lock.acquisitions == 1
+
+    def test_wrong_releaser_rejected(self):
+        lock = TicketLock()
+        lock.acquire(0)
+        with pytest.raises(RuntimeError):
+            lock.release(1)
+
+    def test_reacquire_rejected(self):
+        lock = TicketLock()
+        lock.acquire(0)
+        with pytest.raises(RuntimeError):
+            lock.acquire(0)
+
+
+class TestS2PageDB:
+    def test_pages_start_owned_by_kserv(self):
+        db = S2PageDB(8)
+        assert all(db.owner_of(p) == KSERV for p in range(8))
+
+    def test_donate_and_reclaim(self):
+        db = S2PageDB(8)
+        db.donate_to_vm(3, vmid=1)
+        assert db.owner_of(3) == vm_owner(1)
+        db.reclaim(3, scrubbed=True)
+        assert db.owner_of(3) == KSERV
+
+    def test_reclaim_without_scrub_refused(self):
+        db = S2PageDB(8)
+        db.donate_to_vm(3, vmid=1)
+        with pytest.raises(SecurityViolation):
+            db.reclaim(3, scrubbed=False)
+
+    def test_double_donation_refused(self):
+        db = S2PageDB(8)
+        db.donate_to_vm(3, vmid=1)
+        with pytest.raises(HypercallError):
+            db.donate_to_vm(3, vmid=2)
+
+    def test_mapped_page_cannot_be_donated(self):
+        db = S2PageDB(8)
+        db.note_mapped(3)
+        with pytest.raises(HypercallError):
+            db.donate_to_vm(3, vmid=1)
+
+    def test_kcore_pages_never_mappable(self):
+        db = S2PageDB(8)
+        db.reserve_for_kcore(7)
+        with pytest.raises(SecurityViolation):
+            db.assert_mappable(7, KSERV)
+
+    def test_mappable_requires_matching_owner(self):
+        db = S2PageDB(8)
+        db.donate_to_vm(2, vmid=1)
+        with pytest.raises(HypercallError):
+            db.assert_mappable(2, KSERV)
+        db.assert_mappable(2, vm_owner(1))
+
+    def test_shared_pages_mappable_by_kserv(self):
+        db = S2PageDB(8)
+        db.donate_to_vm(2, vmid=1)
+        db.mark_shared(2)
+        db.assert_mappable(2, KSERV)
+
+    def test_unbalanced_unmap_rejected(self):
+        db = S2PageDB(8)
+        with pytest.raises(HypercallError):
+            db.note_unmapped(0)
+
+    def test_out_of_range_pfn(self):
+        db = S2PageDB(8)
+        with pytest.raises(HypercallError):
+            db.owner_of(9)
+
+
+class TestEL2PageTable:
+    def test_boot_installs_linear_map(self):
+        el2 = EL2PageTable(linear_pages=16)
+        el2.boot()
+        assert all(el2.translate(p) == p for p in range(16))
+
+    def test_boot_once(self):
+        el2 = EL2PageTable(linear_pages=4)
+        el2.boot()
+        with pytest.raises(VerificationError):
+            el2.boot()
+
+    def test_set_el2_pt_never_overwrites(self):
+        el2 = EL2PageTable(linear_pages=4)
+        el2.boot()
+        with pytest.raises(VerificationError):
+            el2.set_el2_pt(0, 3)   # VA 0 already in linear map
+
+    def test_remap_pfn_contiguous_fresh_region(self):
+        el2 = EL2PageTable(linear_pages=8)
+        el2.boot()
+        base = el2.remap_pfn([5, 2, 7])
+        assert [el2.translate(base + i) for i in range(3)] == [5, 2, 7]
+        base2 = el2.remap_pfn([1])
+        assert base2 == base + 3   # never reuses virtual pages
+
+    def test_remap_before_boot_rejected(self):
+        el2 = EL2PageTable(linear_pages=4)
+        with pytest.raises(HypercallError):
+            el2.remap_pfn([1])
+
+    def test_write_log_is_write_once(self):
+        from repro.vrm import audit_write_log
+
+        el2 = EL2PageTable(linear_pages=8)
+        el2.boot()
+        el2.remap_pfn([5, 6])
+        assert audit_write_log(el2.write_log).verified
+
+
+class TestStage2PageTable:
+    def test_set_and_clear(self):
+        s2 = Stage2PageTable("vm0", levels=4)
+        op = s2.set_s2pt(cpu=0, vpn=0x1234, pfn=0x55)
+        assert op.kind == "map"
+        assert s2.translate(0x1234) == 0x55
+        op = s2.clear_s2pt(cpu=0, vpn=0x1234)
+        assert op.kind == "unmap"
+        assert op.tlbi and op.barrier_before_tlbi
+        assert len(op.writes) == 1
+        assert s2.translate(0x1234) is None
+
+    def test_set_refuses_overwrite(self):
+        s2 = Stage2PageTable("vm0")
+        s2.set_s2pt(0, 1, 2)
+        with pytest.raises(HypercallError):
+            s2.set_s2pt(0, 1, 3)
+
+    def test_clear_unmapped_rejected(self):
+        s2 = Stage2PageTable("vm0")
+        with pytest.raises(HypercallError):
+            s2.clear_s2pt(0, 9)
+
+    def test_lock_released_on_error(self):
+        s2 = Stage2PageTable("vm0")
+        with pytest.raises(HypercallError):
+            s2.clear_s2pt(0, 9)
+        assert not s2.lock.held
+
+    def test_only_3_or_4_levels(self):
+        Stage2PageTable("a", levels=3)
+        with pytest.raises(HypercallError):
+            Stage2PageTable("b", levels=2)
+
+    def test_3_level_uses_fewer_table_pages(self):
+        s3 = Stage2PageTable("a", levels=3)
+        s4 = Stage2PageTable("b", levels=4)
+        for vpn in range(0, 4):
+            s3.set_s2pt(0, vpn << 18, vpn + 1)
+            s4.set_s2pt(0, vpn << 18, vpn + 1)
+        assert s3.table_pages() < s4.table_pages()
+
+    def test_buggy_variants_recorded(self):
+        s2 = Stage2PageTable("vm0", buggy_skip_tlbi=True)
+        s2.set_s2pt(0, 1, 2)
+        op = s2.clear_s2pt(0, 1)
+        assert not op.tlbi
+
+    def test_operations_audit_transactional(self):
+        from repro.vrm import audit_operation_writes
+
+        s2 = Stage2PageTable("vm0", levels=3)
+        s2.set_s2pt(0, 0x123, 7)
+        s2.clear_s2pt(0, 0x123)
+        for op in s2.operations:
+            assert audit_operation_writes(op.writes, op.kind).verified
+
+
+class TestSMMUPageTableManager:
+    def test_set_clear_spt_with_smmu_tlbi(self):
+        smmu = SMMU()
+        mgr = SMMUPageTableManager(smmu, device_id=1)
+        mgr.set_spt(0, iova=0x40, pfn=0x99)
+        assert smmu.dma_access(1, 0x40).ppage == 0x99
+        op = mgr.clear_spt(0, iova=0x40)
+        assert op.tlbi
+        assert smmu.dma_access(1, 0x40).faulted
+        assert mgr.smmu_tlb_invalidations == 1
+
+    def test_set_refuses_overwrite(self):
+        mgr = SMMUPageTableManager(SMMU(), device_id=1)
+        mgr.set_spt(0, 1, 2)
+        with pytest.raises(HypercallError):
+            mgr.set_spt(0, 1, 3)
+
+
+class TestVCpuContext:
+    def test_protocol_roundtrip(self):
+        ctx = VCpuContext(vmid=0, vcpu_id=0)
+        ctx.activate(cpu=1)
+        ctx.write_reg(1, "x0", 42)
+        assert ctx.read_reg(1, "x0") == 42
+        ctx.deactivate(cpu=1)
+        assert ctx.state is VCpuState.INACTIVE
+
+    def test_double_activate_panics(self):
+        ctx = VCpuContext(vmid=0, vcpu_id=0)
+        ctx.activate(cpu=1)
+        with pytest.raises(KernelPanic):
+            ctx.activate(cpu=2)
+
+    def test_foreign_cpu_access_panics(self):
+        ctx = VCpuContext(vmid=0, vcpu_id=0)
+        ctx.activate(cpu=1)
+        with pytest.raises(KernelPanic):
+            ctx.write_reg(2, "x0", 1)
+        with pytest.raises(KernelPanic):
+            ctx.read_reg(2, "x0")
+
+    def test_deactivate_by_wrong_cpu_panics(self):
+        ctx = VCpuContext(vmid=0, vcpu_id=0)
+        ctx.activate(cpu=1)
+        with pytest.raises(KernelPanic):
+            ctx.deactivate(cpu=2)
+
+    def test_generation_bumps_on_save(self):
+        ctx = VCpuContext(vmid=0, vcpu_id=0)
+        ctx.activate(1)
+        ctx.deactivate(1)
+        assert ctx.generation == 1
+
+
+class TestVM:
+    def _vm(self):
+        return VM(vmid=1, s2pt=Stage2PageTable("vm1"))
+
+    def test_vcpu_registration(self):
+        vm = self._vm()
+        vm.add_vcpu(0)
+        with pytest.raises(HypercallError):
+            vm.add_vcpu(0)
+        assert vm.vcpu(0).vcpu_id == 0
+        with pytest.raises(HypercallError):
+            vm.vcpu(9)
+
+    def test_cannot_run_unverified(self):
+        vm = self._vm()
+        with pytest.raises(HypercallError):
+            vm.mark_running()
+        vm.mark_verified()
+        vm.mark_running()
+        assert vm.state is VMState.RUNNING
+
+    def test_image_digest_sensitive_to_content(self):
+        assert image_digest([1, 2]) != image_digest([1, 3])
+        assert image_digest([1, 2]) == image_digest([1, 2])

@@ -1,0 +1,184 @@
+"""Stateful property testing of the SeKVM system.
+
+Hypothesis drives random sequences of hypervisor operations — VM boots,
+vCPU runs/stops, page grants, KServ maps, DMA programming, snapshots,
+teardowns, and adversarial probes — and checks the security invariants
+after every step:
+
+* every physical page has exactly one owner, and KCore pages are never
+  mapped into any guest-visible table;
+* VM memory reflects only VM writes (shadow-model agreement);
+* adversarial probes (mapping foreign pages, DMA at VM memory) never
+  succeed;
+* vCPU contexts are held by at most one physical CPU.
+
+This is the fuzzing analogue of the paper's security proofs: no
+reachable sequence of KServ requests breaks the invariants.
+"""
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import HypercallError, KernelPanic
+from repro.sekvm import KCORE, SeKVMSystem, make_image
+from repro.sekvm.s2page import OwnerKind
+from repro.sekvm.snapshot import SnapshotManager
+
+
+class SeKVMMachine(RuleBasedStateMachine):
+    @initialize()
+    def setup(self) -> None:
+        self.system = SeKVMSystem(total_pages=96, cpus=4)
+        self.snapshots = SnapshotManager(self.system.kcore)
+        self.vmids = []
+        self.running = {}          # vmid -> cpu currently running vCPU 0
+        self.shadow = {}           # (vmid, vpn) -> expected guest value
+
+    # ------------------------------------------------------------------
+    @rule(contents=st.lists(st.integers(1, 99), min_size=1, max_size=3))
+    def boot_vm(self, contents):
+        if len(self.vmids) >= 4:
+            return
+        try:
+            vmid = self.system.boot_vm(list(contents), vcpus=1)
+        except HypercallError:
+            return  # out of memory: acceptable
+        self.vmids.append(vmid)
+        for vpn, value in enumerate(contents):
+            self.shadow[(vmid, vpn)] = value
+
+    @rule(pick=st.integers(0, 10), cpu=st.integers(0, 3))
+    def run_vcpu(self, pick, cpu):
+        if not self.vmids:
+            return
+        vmid = self.vmids[pick % len(self.vmids)]
+        if vmid in self.running:
+            # Claiming an ACTIVE vCPU must panic; state is unchanged.
+            with pytest.raises(KernelPanic):
+                self.system.kcore.run_vcpu(cpu, vmid, 0)
+            return
+        self.system.kcore.run_vcpu(cpu, vmid, 0)
+        self.running[vmid] = cpu
+
+    @rule(pick=st.integers(0, 10))
+    def stop_vcpu(self, pick):
+        if not self.running:
+            return
+        vmid = list(self.running)[pick % len(self.running)]
+        self.system.kcore.stop_vcpu(self.running.pop(vmid), vmid, 0)
+
+    @rule(pick=st.integers(0, 10), vpn=st.integers(0x10, 0x18),
+          value=st.integers(1, 999))
+    def guest_write(self, pick, vpn, value):
+        if not self.vmids:
+            return
+        vmid = self.vmids[pick % len(self.vmids)]
+        if vmid in self.running:
+            return
+        try:
+            self.system.run_guest_work(
+                vmid, 0, cpu=0, writes={vpn: value}
+            )
+        except HypercallError:
+            return  # out of donatable frames
+        self.shadow[(vmid, vpn)] = value
+
+    @rule(value=st.integers(0, 99))
+    def kserv_work(self, value):
+        try:
+            pfn = self.system.kserv.alloc_page()
+        except HypercallError:
+            return
+        vpn = self.system.kserv.map_and_write(0, pfn, value)
+        assert self.system.kserv.read(vpn) == value
+
+    @rule(pick=st.integers(0, 10))
+    def adversarial_probe(self, pick):
+        if not self.vmids:
+            return
+        vmid = self.vmids[pick % len(self.vmids)]
+        for pfn in self.system.vm_pages(vmid)[:2]:
+            assert not self.system.kserv.try_map_foreign_page(0, pfn)
+            assert not self.system.kserv.try_dma_attack(0, 9, pfn)
+        for pfn in self.system.kcore_pages()[:1]:
+            assert not self.system.kserv.try_map_foreign_page(0, pfn)
+
+    @rule(pick=st.integers(0, 10))
+    def snapshot_roundtrip(self, pick):
+        if not self.vmids:
+            return
+        vmid = self.vmids[pick % len(self.vmids)]
+        snap = self.snapshots.snapshot_vm(0, vmid)
+        try:
+            self.snapshots.restore_vm(0, snap, self.system.kserv.alloc_page)
+        except HypercallError:
+            return
+
+    @rule(pick=st.integers(0, 10))
+    def teardown_vm(self, pick):  # note: `teardown` is reserved by hypothesis
+        if not self.vmids:
+            return
+        vmid = self.vmids[pick % len(self.vmids)]
+        if vmid in self.running:
+            return
+        self.system.teardown_vm(vmid)
+        self.vmids.remove(vmid)
+        self.shadow = {
+            k: v for k, v in self.shadow.items() if k[0] != vmid
+        }
+
+    # ------------------------------------------------------------------
+    def teardown(self):
+        # Post-run audit: every page-table operation the random scenario
+        # performed must satisfy the runtime wDRF discipline.
+        if hasattr(self, "system"):
+            from repro.sekvm.audit import audit_system
+
+            audit = audit_system(self.system)
+            assert audit.holds, audit.describe()
+
+    @invariant()
+    def ownership_exclusive(self):
+        if not hasattr(self, "system"):
+            return
+        self.system.kcore.s2page.audit_exclusive_ownership()
+
+    @invariant()
+    def kcore_pages_unmapped(self):
+        if not hasattr(self, "system"):
+            return
+        db = self.system.kcore.s2page
+        for pfn in db.pages_owned_by(KCORE):
+            assert db._entry(pfn).mapped_count == 0
+
+    @invariant()
+    def guest_memory_matches_shadow(self):
+        if not hasattr(self, "system"):
+            return
+        for (vmid, vpn), expected in self.shadow.items():
+            assert self.system.guest_read(vmid, vpn) == expected
+
+    @invariant()
+    def vcpu_single_holder(self):
+        if not hasattr(self, "system"):
+            return
+        for vmid, vm in self.system.kcore.vms.items():
+            for ctx in vm.vcpus.values():
+                if ctx.running_on is not None:
+                    assert self.running.get(vmid) == ctx.running_on
+
+
+TestSeKVMStateful = SeKVMMachine.TestCase
+TestSeKVMStateful.settings = settings(
+    max_examples=30,
+    stateful_step_count=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)

@@ -1,0 +1,137 @@
+"""Integration tests for KCore + KServ: hypercalls, boot, security."""
+
+import pytest
+
+from repro.errors import HypercallError, KernelPanic, SecurityViolation
+from repro.sekvm import (
+    KSERV,
+    SeKVMSystem,
+    all_attacks_refused,
+    check_vm_confidentiality,
+    check_vm_integrity,
+    KVMVersion,
+    make_image,
+    run_attack_battery,
+)
+from repro.sekvm.vm import MAX_VM
+
+
+@pytest.fixture
+def system():
+    return SeKVMSystem(total_pages=128, cpus=8)
+
+
+class TestVMLifecycle:
+    def test_boot_authenticated_image(self, system):
+        image, _ = make_image(10, 20, 30)
+        vmid = system.boot_vm(image, vcpus=2)
+        assert [system.guest_read(vmid, v) for v in range(3)] == [10, 20, 30]
+
+    def test_vmids_unique_and_sequential(self, system):
+        image, _ = make_image(1)
+        ids = [system.boot_vm(image) for _ in range(3)]
+        assert len(set(ids)) == 3
+
+    def test_gen_vmid_panics_at_max(self, system):
+        system.kcore.next_vmid = MAX_VM
+        with pytest.raises(KernelPanic):
+            system.kcore.gen_vmid(cpu=0)
+
+    def test_tampered_image_refused(self, system):
+        with pytest.raises(HypercallError):
+            system.kserv.create_and_boot_vm(
+                0, image=[1, 2, 3], tamper={0: 99}
+            )
+
+    def test_guest_writes_visible_to_guest_only(self, system):
+        image, _ = make_image(1)
+        vmid = system.boot_vm(image, vcpus=1)
+        system.run_guest_work(vmid, 0, cpu=2, writes={0x30: 777})
+        assert system.guest_read(vmid, 0x30) == 777
+        pfn = system.kcore.vms[vmid].s2pt.translate(0x30)
+        assert not system.kserv.try_map_foreign_page(0, pfn)
+
+    def test_teardown_scrubs_and_returns_pages(self, system):
+        image, _ = make_image(5, 6)
+        vmid = system.boot_vm(image)
+        pfns = system.vm_pages(vmid)
+        reclaimed = system.teardown_vm(vmid)
+        assert reclaimed == len(pfns)
+        for pfn in pfns:
+            assert system.kcore.s2page.owner_of(pfn) == KSERV
+            assert system.memory.read(pfn) == 0   # scrubbed
+
+    def test_vcpu_run_protocol_enforced(self, system):
+        image, _ = make_image(1)
+        vmid = system.boot_vm(image, vcpus=1)
+        system.kcore.run_vcpu(cpu=1, vmid=vmid, vcpu_id=0)
+        with pytest.raises(KernelPanic):
+            system.kcore.run_vcpu(cpu=2, vmid=vmid, vcpu_id=0)
+        system.kcore.stop_vcpu(cpu=1, vmid=vmid, vcpu_id=0)
+        system.kcore.run_vcpu(cpu=2, vmid=vmid, vcpu_id=0)
+        system.kcore.stop_vcpu(cpu=2, vmid=vmid, vcpu_id=0)
+
+
+class TestKServMediation:
+    def test_kserv_access_through_stage2_only(self, system):
+        pfn = system.kserv.alloc_page()
+        vpn = system.kserv.map_and_write(0, pfn, 0xAB)
+        assert system.kcore.kserv_read(vpn) == 0xAB
+        system.kcore.unmap_pfn_kserv(0, vpn)
+        with pytest.raises(HypercallError):
+            system.kcore.kserv_read(vpn)
+
+    def test_kserv_cannot_map_unowned_page(self, system):
+        image, _ = make_image(1)
+        vmid = system.boot_vm(image)
+        vm_pfn = system.vm_pages(vmid)[0]
+        with pytest.raises(HypercallError):
+            system.kcore.map_pfn_kserv(0, vpn=0x99, pfn=vm_pfn)
+
+    def test_kcore_reads_user_via_oracle(self, system):
+        value = system.kcore.kcore_read_user("snapshot")
+        assert system.kcore.oracle_reads == [("snapshot", value)]
+
+    def test_grant_vm_page_scrubs_kserv_data(self, system):
+        image, _ = make_image(1)
+        vmid = system.boot_vm(image, vcpus=1)
+        pfn = system.kserv.alloc_page()
+        system.memory.write(pfn, 0xDEAD)   # KServ secret
+        system.kcore.run_vcpu(0, vmid, 0)
+        system.kcore.grant_vm_page(0, vmid, vpn=0x40, pfn=pfn)
+        system.kcore.stop_vcpu(0, vmid, 0)
+        assert system.guest_read(vmid, 0x40) == 0   # scrubbed at donation
+
+
+class TestSecurityProperties:
+    def test_confidentiality_noninterference(self):
+        assert check_vm_confidentiality()
+
+    def test_integrity_under_attack(self):
+        assert check_vm_integrity()
+
+    def test_attack_battery_all_refused(self):
+        results = run_attack_battery()
+        assert len(results) >= 6
+        for attack in results:
+            assert not attack.succeeded, attack.name
+        assert all_attacks_refused()
+
+    def test_smmu_protects_vm_pages_from_dma(self, system):
+        image, _ = make_image(1)
+        vmid = system.boot_vm(image)
+        vm_pfn = system.vm_pages(vmid)[0]
+        assert not system.kserv.try_dma_attack(0, device_id=5, pfn=vm_pfn)
+
+    def test_security_holds_for_3_level_version(self):
+        version = KVMVersion(linux="5.4", s2_levels=3)
+        assert check_vm_confidentiality(version)
+        assert check_vm_integrity(version)
+        assert all_attacks_refused(version)
+
+    def test_exclusive_ownership_invariant(self, system):
+        image, _ = make_image(1, 2)
+        vmid = system.boot_vm(image)
+        system.kcore.s2page.audit_exclusive_ownership()
+        system.teardown_vm(vmid)
+        system.kcore.s2page.audit_exclusive_ownership()

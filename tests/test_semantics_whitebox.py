@@ -1,0 +1,198 @@
+"""White-box tests for the step relation (repro.memory.semantics).
+
+These pin the internal view bookkeeping — coherence floors, barrier
+frontier promotion, dependency views, promise certification — directly,
+complementing the behavioral litmus suite.
+"""
+
+import pytest
+
+from repro.ir import BarrierKind, Reg, ThreadBuilder, build_program
+from repro.ir.instructions import Barrier
+from repro.memory.semantics import (
+    ModelConfig,
+    PROMISING_ARM,
+    ProgramCache,
+    SC,
+    _apply_barrier,
+    _read_candidates,
+    certify,
+    collect_promise_candidates,
+    execute_instruction,
+    promise_steps,
+)
+from repro.memory.state import initial_state, initial_thread_ctx, tget, tset
+
+X, Y = 0x100, 0x200
+
+
+def program_and_cache(*builders, init=None):
+    program = build_program(list(builders), initial_memory=init or {X: 0, Y: 0})
+    return program, ProgramCache(program)
+
+
+def advance(cache, state, tidx, cfg=PROMISING_ARM):
+    succs = execute_instruction(cache, state, tidx, cfg)
+    assert succs, "expected at least one successor"
+    return succs
+
+
+class TestViews:
+    def test_store_appends_and_updates_coh_vwo(self):
+        b = ThreadBuilder(0)
+        b.store(X, 5)
+        program, cache = program_and_cache(b)
+        state = initial_state(1)
+        (succ,) = advance(cache, state, 0)
+        assert len(succ.memory) == 1
+        ctx = succ.threads[0]
+        assert tget(ctx.coh, X) == 1
+        assert ctx.vwo == 1
+        assert ctx.vrn == 0 and ctx.vwn == 0
+
+    def test_load_candidates_respect_coherence(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1).store(X, 2).load("r0", X)
+        program, cache = program_and_cache(b)
+        state = initial_state(1)
+        (state,) = advance(cache, state, 0)
+        (state,) = advance(cache, state, 0)
+        ctx = state.threads[0]
+        cands = _read_candidates(state, cache, PROMISING_ARM, ctx, X, 0)
+        assert cands == [(2, 2)]  # own coh forbids ts 0 and 1
+
+    def test_acquire_load_raises_frontiers(self):
+        writer = ThreadBuilder(0)
+        writer.store(X, 1)
+        reader = ThreadBuilder(1)
+        reader.load("r0", X, acquire=True)
+        program, cache = program_and_cache(writer, reader)
+        state = initial_state(2)
+        (state,) = advance(cache, state, 0)
+        succs = advance(cache, state, 1)
+        fresh = [s for s in succs if tget(s.threads[1].regs, "r0") == 1]
+        assert fresh
+        ctx = fresh[0].threads[1]
+        assert ctx.vrn == 1 and ctx.vwn == 1
+
+    def test_plain_load_does_not_raise_frontiers(self):
+        writer = ThreadBuilder(0)
+        writer.store(X, 1)
+        reader = ThreadBuilder(1)
+        reader.load("r0", X)
+        program, cache = program_and_cache(writer, reader)
+        state = initial_state(2)
+        (state,) = advance(cache, state, 0)
+        succs = advance(cache, state, 1)
+        for s in succs:
+            assert s.threads[1].vrn == 0
+
+    def test_dependency_view_carried_through_mov(self):
+        writer = ThreadBuilder(0)
+        writer.store(X, 1)
+        b = ThreadBuilder(1)
+        b.load("r0", X).mov("r1", Reg("r0") + 1)
+        program, cache = program_and_cache(writer, b)
+        state = initial_state(2)
+        (state,) = advance(cache, state, 0)
+        succs = advance(cache, state, 1)
+        read_new = [s for s in succs if tget(s.threads[1].regs, "r0") == 1][0]
+        (after_mov,) = advance(cache, read_new, 1)
+        assert tget(after_mov.threads[1].rv, "r1") == 1  # view flows via mov
+
+
+class TestBarrierApplication:
+    def _ctx(self, **kw):
+        ctx = initial_thread_ctx()
+        return ctx._replace(**kw)
+
+    def test_full_barrier(self):
+        ctx = self._ctx(vro=3, vwo=5)
+        out = _apply_barrier(ctx, BarrierKind.FULL)
+        assert out.vrn == 5 and out.vwn == 5
+
+    def test_ld_barrier_promotes_reads_only(self):
+        ctx = self._ctx(vro=3, vwo=5)
+        out = _apply_barrier(ctx, BarrierKind.LD)
+        assert out.vrn == 3 and out.vwn == 3
+
+    def test_st_barrier_promotes_writes_to_writes(self):
+        ctx = self._ctx(vro=3, vwo=5)
+        out = _apply_barrier(ctx, BarrierKind.ST)
+        assert out.vrn == 0 and out.vwn == 5
+
+    def test_isb_promotes_control_frontier(self):
+        ctx = self._ctx(vctrl=7)
+        out = _apply_barrier(ctx, BarrierKind.ISB)
+        assert out.vrn == 7
+
+
+class TestPromises:
+    def test_candidates_are_upcoming_plain_stores(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1).store(Y, 2, release=True)
+        program, cache = program_and_cache(b)
+        state = initial_state(1)
+        cands = collect_promise_candidates(cache, state, 0, PROMISING_ARM)
+        assert (X, 1) in cands
+        assert (Y, 2) not in cands  # release stores are not promisable
+
+    def test_certification_fails_for_wrong_value(self):
+        from repro.memory.datatypes import Message
+
+        b = ThreadBuilder(0)
+        b.store(X, 1)
+        program, cache = program_and_cache(b)
+        state = initial_state(1)
+        bogus = state.append_message(Message(1, X, 99, 0, promised=True))
+        bogus = bogus.with_thread(
+            0, bogus.threads[0]._replace(promises=(1,))
+        )
+        assert not certify(cache, bogus, 0, PROMISING_ARM)
+
+    def test_certification_fails_across_dmb_st(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1).barrier("st").store(Y, 2)
+        program, cache = program_and_cache(b)
+        state = initial_state(1)
+        # Promising Y:=2 before X:=1 executes must be rejected: the
+        # barrier forces the fulfillment timestamp above X's write.
+        succs = promise_steps(cache, state, 0, PROMISING_ARM)
+        promised = {
+            (s.memory[-1].loc, s.memory[-1].val) for s in succs
+        }
+        assert (X, 1) in promised
+        assert (Y, 2) not in promised
+
+    def test_promise_limit_respected(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1).store(Y, 2)
+        program, cache = program_and_cache(b)
+        state = initial_state(1)
+        cfg = ModelConfig(relaxed=True, max_promises_per_thread=1)
+        succs = promise_steps(cache, state, 0, cfg)
+        for succ in succs:
+            assert len(succ.threads[0].promises) == 1
+            assert not promise_steps(cache, succ, 0, cfg)
+
+    def test_sc_never_promises(self):
+        b = ThreadBuilder(0)
+        b.store(X, 1)
+        program, cache = program_and_cache(b)
+        state = initial_state(1)
+        assert promise_steps(cache, state, 0, SC) == []
+
+
+class TestSCReads:
+    def test_sc_read_is_latest_only(self):
+        w = ThreadBuilder(0)
+        w.store(X, 1).store(X, 2)
+        r = ThreadBuilder(1)
+        r.load("r0", X)
+        program, cache = program_and_cache(w, r)
+        state = initial_state(2)
+        (state,) = advance(cache, state, 0, SC)
+        (state,) = advance(cache, state, 0, SC)
+        ctx = state.threads[1]
+        cands = _read_candidates(state, cache, SC, ctx, X, 0)
+        assert cands == [(2, 2)]

@@ -1,0 +1,89 @@
+"""Seqlock case study: a synchronization pattern beyond locks.
+
+Seqlocks protect read-mostly data without reader-side writes: the writer
+brackets updates with sequence-counter increments (odd = in progress);
+readers retry when the counter changed or was odd.  The correctness
+property is different from mutual exclusion — *validated reads are never
+torn* — which exercises the framework on a reader-validity invariant.
+
+On relaxed hardware the pattern only works with the right barriers
+(acquire on the first counter read, read barrier before the second,
+release on the writer's closing increment); the plain variant admits
+torn-but-validated reads, which the explorer must find.
+"""
+
+import pytest
+
+from repro.ir import MemSpace, Reg, ThreadBuilder, build_program
+from repro.memory import explore_promising, explore_sc
+
+SEQ, X, Y = 0x10, 0x20, 0x21
+
+
+def seqlock_program(correct: bool):
+    """One writer updating (X, Y) atomically-by-protocol; one reader."""
+    writer = ThreadBuilder(0, name="writer")
+    writer.store(SEQ, 1, release=correct, space=MemSpace.SYNC)  # odd: open
+    if correct:
+        writer.barrier("full")          # counter visible before data
+    writer.store(X, 1)
+    writer.store(Y, 1)
+    writer.store(SEQ, 2, release=correct, space=MemSpace.SYNC)  # even: close
+
+    reader = ThreadBuilder(1, name="reader")
+    reader.load("s1", SEQ, acquire=correct, space=MemSpace.SYNC)
+    reader.load("r1", X)
+    reader.load("r2", Y)
+    if correct:
+        reader.barrier("ld")            # data read before the recheck
+    reader.load("s2", SEQ, space=MemSpace.SYNC)
+    return build_program(
+        [writer, reader],
+        observed={1: ["s1", "r1", "r2", "s2"]},
+        initial_memory={SEQ: 0, X: 0, Y: 0},
+        spaces={SEQ: MemSpace.SYNC},
+        name=f"seqlock[{'barriers' if correct else 'plain'}]",
+    )
+
+
+def validated_tears(result):
+    """Behaviors the reader would *accept* (s1 == s2, even) whose data
+    is torn (r1 != r2)."""
+    torn = []
+    for behavior in result.behaviors:
+        regs = {(t, r): v for t, r, v in behavior.registers}
+        s1, s2 = regs[(1, "s1")], regs[(1, "s2")]
+        r1, r2 = regs[(1, "r1")], regs[(1, "r2")]
+        if s1 == s2 and s1 % 2 == 0 and r1 != r2:
+            torn.append(behavior)
+    return torn
+
+
+class TestSeqlock:
+    def test_sc_never_validates_a_torn_read(self):
+        for correct in (True, False):
+            result = explore_sc(seqlock_program(correct))
+            assert result.complete
+            assert validated_tears(result) == []
+
+    def test_barriered_seqlock_sound_on_rm(self):
+        result = explore_promising(seqlock_program(correct=True))
+        assert result.complete
+        assert validated_tears(result) == []
+
+    def test_plain_seqlock_tears_on_rm(self):
+        result = explore_promising(seqlock_program(correct=False))
+        assert result.complete
+        assert validated_tears(result), (
+            "the relaxed model must expose the torn-but-validated read"
+        )
+
+    def test_retry_outcome_always_available(self):
+        # The reader can always (also) observe a mismatch forcing retry
+        # when it raced the writer.
+        result = explore_promising(seqlock_program(correct=True))
+        raced = [
+            b for b in result.behaviors
+            if dict(((t, r), v) for t, r, v in b.registers)[(1, "s1")] == 1
+        ]
+        assert raced  # the odd (in-progress) counter is observable

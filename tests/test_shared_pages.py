@@ -1,0 +1,50 @@
+"""Tests for the shared-page (virtio ring) protocol."""
+
+import pytest
+
+from repro.errors import HypercallError
+from repro.sekvm import SeKVMSystem, make_image
+
+
+@pytest.fixture
+def shared_setup():
+    system = SeKVMSystem(total_pages=128)
+    image, _ = make_image(1)
+    vmid = system.boot_vm(image, vcpus=1)
+    system.run_guest_work(vmid, 0, cpu=0, writes={0x30: 5})
+    return system, vmid
+
+
+class TestSharedPages:
+    def test_shared_page_becomes_kserv_mappable(self, shared_setup):
+        system, vmid = shared_setup
+        pfn = system.kcore.share_vm_page(0, vmid, vpn=0x30)
+        # Before sharing this would be refused (other tests cover it);
+        # after sharing, KServ maps and reads the ring.
+        system.kcore.map_pfn_kserv(0, vpn=0x99, pfn=pfn)
+        assert system.kcore.kserv_read(0x99) == 5
+
+    def test_shared_page_is_two_way(self, shared_setup):
+        system, vmid = shared_setup
+        pfn = system.kcore.share_vm_page(0, vmid, vpn=0x30)
+        system.kcore.map_pfn_kserv(0, vpn=0x99, pfn=pfn)
+        system.kcore.kserv_write(0x99, 42)       # host fills the ring
+        assert system.guest_read(vmid, 0x30) == 42
+
+    def test_unshared_pages_stay_protected(self, shared_setup):
+        system, vmid = shared_setup
+        system.kcore.share_vm_page(0, vmid, vpn=0x30)
+        other_pfn = system.kcore.vms[vmid].s2pt.translate(0)
+        with pytest.raises(HypercallError):
+            system.kcore.map_pfn_kserv(0, vpn=0x9A, pfn=other_pfn)
+
+    def test_sharing_unmapped_vpn_rejected(self, shared_setup):
+        system, vmid = shared_setup
+        with pytest.raises(HypercallError):
+            system.kcore.share_vm_page(0, vmid, vpn=0x77)
+
+    def test_sharing_counts_as_hypercall(self, shared_setup):
+        system, vmid = shared_setup
+        before = system.kcore.stats.hypercalls
+        system.kcore.share_vm_page(0, vmid, vpn=0x30)
+        assert system.kcore.stats.hypercalls == before + 1

@@ -1,0 +1,79 @@
+"""Tests for VM snapshots (the Weak-Memory-Isolation workload, §4.3)."""
+
+import pytest
+
+from repro.errors import HypercallError, SecurityViolation
+from repro.sekvm import SeKVMSystem, make_image
+from repro.sekvm.snapshot import SealedSnapshot, SnapshotManager
+
+
+@pytest.fixture
+def booted():
+    system = SeKVMSystem(total_pages=128)
+    image, _ = make_image(11, 22, 33)
+    vmid = system.boot_vm(image, vcpus=1)
+    system.run_guest_work(vmid, 0, cpu=1, writes={0x20: 777})
+    return system, vmid, SnapshotManager(system.kcore)
+
+
+class TestSnapshot:
+    def test_roundtrip_restores_exact_state(self, booted):
+        system, vmid, mgr = booted
+        snap = mgr.snapshot_vm(0, vmid)
+        # Clobber guest memory, then restore.
+        system.run_guest_work(vmid, 0, cpu=1, writes={0x20: 0, 1: 0})
+        restored = mgr.restore_vm(0, snap, system.kserv.alloc_page)
+        assert restored == len(snap.pages)
+        assert system.guest_read(vmid, 0) == 11
+        assert system.guest_read(vmid, 1) == 22
+        assert system.guest_read(vmid, 0x20) == 777
+
+    def test_snapshot_is_sealed(self, booted):
+        """KServ holding the blob learns nothing: the sealed words differ
+        from the plaintext and two VMs' seals differ for equal content."""
+        system, vmid, mgr = booted
+        snap = mgr.snapshot_vm(0, vmid)
+        plain = {vpn: system.guest_read(vmid, vpn) for vpn, _ in snap.pages}
+        sealed = dict(snap.pages)
+        assert any(sealed[vpn] != plain[vpn] for vpn in plain)
+
+    def test_seal_differs_across_vms(self):
+        system = SeKVMSystem(total_pages=128)
+        image, _ = make_image(5)
+        a = system.boot_vm(image)
+        b = system.boot_vm(image)
+        mgr = SnapshotManager(system.kcore)
+        sa = dict(mgr.snapshot_vm(0, a).pages)
+        sb = dict(mgr.snapshot_vm(0, b).pages)
+        assert sa[0] != sb[0]   # same plaintext, different per-VM keys
+
+    def test_tampered_snapshot_refused(self, booted):
+        system, vmid, mgr = booted
+        snap = mgr.snapshot_vm(0, vmid)
+        pages = list(snap.pages)
+        pages[0] = (pages[0][0], pages[0][1] ^ 1)
+        forged = SealedSnapshot(
+            vmid=snap.vmid, generation=snap.generation,
+            pages=tuple(pages), tag=snap.tag,
+        )
+        with pytest.raises(SecurityViolation):
+            mgr.restore_vm(0, forged, system.kserv.alloc_page)
+        assert system.guest_read(vmid, 0) == 11  # nothing written
+
+    def test_reads_accounted_as_oracle_draws(self, booted):
+        system, vmid, mgr = booted
+        before = len(system.kcore.oracle_reads)
+        snap = mgr.snapshot_vm(0, vmid)
+        accounted = system.kcore.oracle_reads[before:]
+        assert len(accounted) == len(snap.pages)
+        assert all("snapshot" in what for what, _ in accounted)
+
+    def test_unknown_vm_rejected(self, booted):
+        system, _, mgr = booted
+        with pytest.raises(HypercallError):
+            mgr.snapshot_vm(0, 99)
+
+    def test_generations_increase(self, booted):
+        _, vmid, mgr = booted
+        assert mgr.snapshot_vm(0, vmid).generation == 1
+        assert mgr.snapshot_vm(0, vmid).generation == 2

@@ -1,0 +1,61 @@
+"""Tests for the runtime wDRF audit of a live system."""
+
+import pytest
+
+from repro.sekvm import SeKVMSystem, Stage2PageTable, make_image
+from repro.sekvm.audit import audit_system
+from repro.sekvm.snapshot import SnapshotManager
+
+
+def exercised_system():
+    system = SeKVMSystem(total_pages=128, cpus=4)
+    image, _ = make_image(1, 2)
+    vmid_a = system.boot_vm(image, vcpus=2)
+    vmid_b = system.boot_vm(image, vcpus=1)
+    system.run_guest_work(vmid_a, 0, cpu=1, writes={0x20: 5, 0x21: 6})
+    pfn = system.kserv.alloc_page()
+    system.kcore.smmu_map(0, device_id=3, iova=0x40, pfn=pfn,
+                          owner=__import__("repro.sekvm.s2page",
+                                           fromlist=["KSERV"]).KSERV)
+    system.kcore.smmu_unmap(0, device_id=3, iova=0x40)
+    SnapshotManager(system.kcore).snapshot_vm(0, vmid_a)
+    system.teardown_vm(vmid_b)
+    return system
+
+
+class TestSystemAudit:
+    def test_full_lifecycle_audits_clean(self):
+        system = exercised_system()
+        audit = audit_system(system)
+        assert audit.holds, audit.describe()
+        assert audit.operations_audited > 100   # EL2 boot map dominates
+
+    def test_seeded_missing_tlbi_caught(self):
+        system = SeKVMSystem(total_pages=96)
+        # Swap KServ's table for a buggy variant that skips TLBIs.
+        system.kcore.kserv_s2pt = Stage2PageTable(
+            "kserv", levels=4, buggy_skip_tlbi=True
+        )
+        pfn = system.kserv.alloc_page()
+        system.kcore.map_pfn_kserv(0, vpn=0x10, pfn=pfn)
+        system.kcore.unmap_pfn_kserv(0, vpn=0x10)
+        audit = audit_system(system)
+        assert not audit.holds
+        assert any("without TLBI" in v for v in audit.violations)
+
+    def test_seeded_missing_barrier_caught(self):
+        system = SeKVMSystem(total_pages=96)
+        system.kcore.kserv_s2pt = Stage2PageTable(
+            "kserv", levels=4, buggy_skip_barrier=True
+        )
+        pfn = system.kserv.alloc_page()
+        system.kcore.map_pfn_kserv(0, vpn=0x10, pfn=pfn)
+        system.kcore.unmap_pfn_kserv(0, vpn=0x10)
+        audit = audit_system(system)
+        assert not audit.holds
+        assert any("without barrier" in v for v in audit.violations)
+
+    def test_describe_output(self):
+        audit = audit_system(exercised_system())
+        text = audit.describe()
+        assert "CLEAN" in text

@@ -1,0 +1,62 @@
+"""Tests for execution tracing / counterexample explanation."""
+
+from repro.ir import ThreadBuilder, build_program
+from repro.memory import ModelConfig, explain_outcome, find_execution
+from repro.memory.semantics import PROMISING_ARM, SC
+
+X, Y = 0x100, 0x200
+
+
+def lb_program():
+    t0 = ThreadBuilder(0)
+    t0.load("r0", X).store(Y, 1)
+    t1 = ThreadBuilder(1)
+    t1.load("r1", Y).store(X, 1)
+    return build_program([t0, t1], observed={0: ["r0"], 1: ["r1"]},
+                         initial_memory={X: 0, Y: 0}, name="LB")
+
+
+class TestExplainOutcome:
+    def test_finds_relaxed_execution(self):
+        trace = explain_outcome(lb_program(), PROMISING_ARM, t0_r0=1, t1_r1=1)
+        assert trace is not None
+        assert any(e.kind == "promise" for e in trace.events)
+        assert any(e.kind == "fulfill" for e in trace.events)
+
+    def test_unreachable_outcome_returns_none(self):
+        trace = explain_outcome(lb_program(), SC, t0_r0=1, t1_r1=1)
+        assert trace is None
+
+    def test_render_includes_promise_list(self):
+        trace = explain_outcome(lb_program(), PROMISING_ARM, t0_r0=1, t1_r1=1)
+        text = trace.render()
+        assert "promise list" in text
+        assert "outcome:" in text
+        assert "CPU 0" in text and "CPU 1" in text
+
+    def test_sc_execution_traced_too(self):
+        trace = explain_outcome(lb_program(), SC, t0_r0=0, t1_r1=0)
+        assert trace is not None
+        assert all(e.kind in ("exec",) for e in trace.events)
+
+    def test_find_execution_with_custom_predicate(self):
+        program = lb_program()
+        trace = find_execution(
+            program, PROMISING_ARM,
+            predicate=lambda b: b.panic is None and b.registers,
+        )
+        assert trace is not None
+        assert trace.program_name == "LB"
+
+
+class TestExplainPaperBug:
+    def test_example3_stale_context_explained(self):
+        from repro.litmus import example3_vcpu
+
+        program = example3_vcpu(correct=False)
+        trace = explain_outcome(program, PROMISING_ARM, t1_restored=0)
+        assert trace is not None
+        text = trace.render()
+        # The stale restore is caused by the INACTIVE store being
+        # promised ahead of the context save.
+        assert "promise" in text

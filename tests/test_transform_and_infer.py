@@ -1,0 +1,148 @@
+"""Tests for program transformations and specification inference."""
+
+import pytest
+
+from repro.errors import ProgramError, VerificationError
+from repro.ir import (
+    Reg,
+    ThreadBuilder,
+    build_program,
+    merge_programs,
+    rename_registers,
+    sequence_threads,
+    unroll_loops,
+)
+from repro.ir.program import make_program
+from repro.memory import admits, explore_promising, explore_sc
+from repro.sekvm.ir_programs import gen_vmid_program, vcpu_switch_program
+from repro.vrm import (
+    infer_spec,
+    inferred_shared_locs,
+    verify_program,
+    verify_wdrf,
+)
+
+X, Y = 0x10, 0x20
+
+
+class TestRename:
+    def test_registers_and_labels_prefixed(self):
+        b = ThreadBuilder(0)
+        lbl = b.fresh_label("l")
+        b.label(lbl).load("r0", X).bnz(Reg("r0"), lbl)
+        renamed = rename_registers(b.build(observed=("r0",)), "p_")
+        renamed.validate()
+        assert renamed.observed == ("p_r0",)
+        assert any(getattr(i, "dst", None) == "p_r0" for i in renamed.instrs)
+
+    def test_semantics_preserved(self):
+        b = ThreadBuilder(0)
+        b.load("r0", X).store(Y, Reg("r0") + 1)
+        orig = make_program([b.build(observed=("r0",))],
+                            initial_memory={X: 5, Y: 0})
+        renamed = make_program(
+            [rename_registers(b.build(observed=("r0",)), "z_")],
+            initial_memory={X: 5, Y: 0},
+        )
+        o1 = {b2.memory for b2 in explore_sc(orig).behaviors}
+        o2 = {b2.memory for b2 in explore_sc(renamed).behaviors}
+        assert o1 == o2
+
+
+class TestSequence:
+    def test_runs_both_fragments(self):
+        a = ThreadBuilder(0)
+        a.store(X, 1)
+        b = ThreadBuilder(0)
+        b.load("r0", X)
+        seq = sequence_threads(a.build(), b.build(observed=("r0",)))
+        program = make_program([seq], initial_memory={X: 0})
+        res = explore_sc(program)
+        assert admits(res, t0_b_r0=1)
+
+
+class TestMerge:
+    def test_threads_renumbered(self):
+        pa = build_program([ThreadBuilder(0).mov("a", 1)], name="A")
+        pb = build_program([ThreadBuilder(0).mov("b", 2)], name="B")
+        merged = merge_programs(pa, pb)
+        assert [t.tid for t in merged.threads] == [0, 1]
+
+    def test_conflicting_initial_memory_rejected(self):
+        pa = build_program([ThreadBuilder(0).nop()], initial_memory={X: 1})
+        pb = build_program([ThreadBuilder(0).nop()], initial_memory={X: 2})
+        with pytest.raises(ProgramError):
+            merge_programs(pa, pb)
+
+    def test_composite_kcore_primitives_verify(self):
+        """gen_vmid and the vCPU switch running concurrently on three
+        CPUs still satisfy the wDRF conditions — a cross-primitive
+        composite the per-primitive checks don't cover."""
+        composite = merge_programs(
+            gen_vmid_program(correct=True, n_cpus=1),
+            vcpu_switch_program(correct=True),
+            name="kcore.composite",
+        )
+        spec = infer_spec(
+            composite,
+            initial_ownership=[(0x30, composite.threads[1].tid)],
+        )
+        report = verify_wdrf(spec)
+        assert report.all_verified, report.describe()
+
+    def test_composite_with_buggy_half_rejected(self):
+        composite = merge_programs(
+            gen_vmid_program(correct=True, n_cpus=1),
+            vcpu_switch_program(correct=False),
+            name="kcore.composite-buggy",
+        )
+        report = verify_program(
+            composite,
+            initial_ownership=[(0x30, composite.threads[1].tid)],
+        )
+        assert not report.all_hold
+
+
+class TestUnroll:
+    def test_spin_loop_bounded(self):
+        b = ThreadBuilder(0)
+        b.spin_until_eq("r", X, 1)
+        b.mov("done", 1)
+        unrolled = unroll_loops(b.build(observed=("done",)), bound=2)
+        unrolled.validate()
+        w = ThreadBuilder(1)
+        w.store(X, 1, release=True)
+        program = make_program([unrolled, w.build()], initial_memory={X: 0})
+        res = explore_promising(program)
+        assert res.complete
+        assert admits(res, t0_done=1)
+
+    def test_bound_must_be_positive(self):
+        b = ThreadBuilder(0)
+        b.mov("r", 1)
+        with pytest.raises(ProgramError):
+            unroll_loops(b.build(), bound=0)
+
+    def test_straight_line_unchanged_semantics(self):
+        b = ThreadBuilder(0)
+        b.store(X, 3).load("r0", X)
+        unrolled = unroll_loops(b.build(observed=("r0",)), bound=2)
+        program = make_program([unrolled], initial_memory={X: 0})
+        assert admits(explore_sc(program), t0_r0=3)
+
+
+class TestInference:
+    def test_shared_locs_from_instrumentation(self):
+        program = gen_vmid_program(correct=True)
+        assert inferred_shared_locs(program) == (0x20,)
+
+    def test_register_addressed_pull_rejected(self):
+        b = ThreadBuilder(0)
+        b.mov("a", X).pull(Reg("a")).push(Reg("a"))
+        program = build_program([b])
+        with pytest.raises(VerificationError):
+            inferred_shared_locs(program)
+
+    def test_verify_program_one_call(self):
+        assert verify_program(gen_vmid_program(correct=True)).all_verified
+        assert not verify_program(gen_vmid_program(correct=False)).all_hold

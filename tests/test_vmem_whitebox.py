@@ -1,0 +1,176 @@
+"""White-box tests for virtual-memory execution: translation paths,
+TLB refills/evictions, walker staleness, and the walker floor."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.ir import PTKind, ThreadBuilder, build_program
+from repro.memory import admits, explore, explore_promising, explore_sc
+from repro.memory.semantics import ModelConfig, PROMISING_ARM, SC
+from repro.mmu import PageTableLayout
+
+PAGE_A, PAGE_B = 0x40, 0x50
+
+
+def layout_with(vpn=0x8, ppage=PAGE_A, levels=1):
+    layout = PageTableLayout(base=0x1000, levels=levels, va_bits_per_level=4)
+    layout.map(vpn, ppage)
+    return layout
+
+
+class TestTranslation:
+    def test_vload_without_mmu_config_raises(self):
+        b = ThreadBuilder(0)
+        b.vload("r0", 0x8)
+        program = build_program([b])
+        with pytest.raises(ExecutionError):
+            explore_sc(program)
+
+    def test_successful_translation_reads_frame(self):
+        layout = layout_with()
+        init = layout.initial_memory()
+        init[PAGE_A] = 7
+        b = ThreadBuilder(0, is_kernel=False)
+        b.vload("r0", 0x8)
+        program = build_program([b], observed={0: ["r0"]},
+                                initial_memory=init,
+                                mmu=layout.mmu_config())
+        res = explore_sc(program)
+        assert admits(res, t0_r0=7)
+        assert len(res.behaviors) == 1
+
+    def test_unmapped_translation_faults_and_halts(self):
+        layout = layout_with()
+        b = ThreadBuilder(0, is_kernel=False)
+        b.vload("r0", 0x9).mov("after", 1)
+        program = build_program([b], observed={0: ["after"]},
+                                initial_memory=layout.initial_memory(),
+                                mmu=layout.mmu_config())
+        res = explore_sc(program)
+        (behavior,) = res.behaviors
+        assert behavior.faults and behavior.faults[0].vaddr == 0x9
+        # Thread halted at the fault: `after` never written.
+        assert behavior.registers == ((0, "after", None),)
+
+    def test_vstore_writes_translated_frame(self):
+        layout = layout_with()
+        b = ThreadBuilder(0, is_kernel=False)
+        b.vstore(0x8, 42)
+        program = build_program([b], initial_memory=layout.initial_memory(),
+                                mmu=layout.mmu_config())
+        res = explore_sc(program, observe_locs=[PAGE_A])
+        (behavior,) = res.behaviors
+        assert dict(behavior.memory)[PAGE_A] == 42
+
+    def test_two_level_walk(self):
+        layout = layout_with(vpn=0x23, levels=2)
+        init = layout.initial_memory()
+        init[PAGE_A] = 9
+        b = ThreadBuilder(0, is_kernel=False)
+        b.vload("r0", 0x23)
+        program = build_program([b], observed={0: ["r0"]},
+                                initial_memory=init,
+                                mmu=layout.mmu_config())
+        assert admits(explore_sc(program), t0_r0=9)
+
+
+class TestTLBBehavior:
+    def test_stale_tlb_entry_after_unmap_without_tlbi(self):
+        """A translation cached before an unmap keeps serving — on both
+        models — until invalidated (architectural, not RM-specific)."""
+        layout = layout_with()
+        pte = layout.leaf_entry(0x8)
+        init = layout.initial_memory()
+        init[PAGE_A] = 7
+        t0 = ThreadBuilder(0, is_kernel=False)
+        t0.vload("r0", 0x8).vload("r1", 0x8)
+        t1 = ThreadBuilder(1)
+        t1.pt_store(pte, 0, kind=PTKind.STAGE2, level=0)
+        program = build_program([t0, t1], observed={0: ["r0", "r1"]},
+                                initial_memory=init,
+                                mmu=layout.mmu_config())
+        sc = explore_sc(program)
+        # First read succeeded (cached), unmap, second read still hits.
+        assert admits(sc, t0_r0=7, t0_r1=7)
+
+    def test_tlbi_drops_entries_globally(self):
+        layout = layout_with()
+        pte = layout.leaf_entry(0x8)
+        init = layout.initial_memory()
+        init[PAGE_A] = 7
+        t0 = ThreadBuilder(0, is_kernel=False)
+        t0.vload("r0", 0x8).vload("r1", 0x8)
+        t1 = ThreadBuilder(1)
+        t1.pt_store(pte, 0, kind=PTKind.STAGE2, level=0)
+        t1.barrier("full")
+        t1.tlbi(0x8)
+        program = build_program([t0, t1], observed={0: ["r0", "r1"]},
+                                initial_memory=init,
+                                mmu=layout.mmu_config())
+        sc = explore_sc(program)
+        # On SC the invalidation forces the second access to re-walk the
+        # (possibly cleared) table: the fault outcome must exist.
+        assert any(b.faults for b in sc.behaviors)
+
+    def test_walker_floor_blocks_stale_reads_on_rm(self):
+        """After barrier+TLBI, relaxed walkers must see the unmap."""
+        layout = layout_with()
+        pte = layout.leaf_entry(0x8)
+        init = layout.initial_memory()
+        init[PAGE_A] = 7
+        init[0x500] = 0
+        t1 = ThreadBuilder(0)
+        t1.pt_store(pte, 0, kind=PTKind.STAGE2, level=0)
+        t1.barrier("full")
+        t1.tlbi(0x8)
+        t1.store(0x500, 1, release=True)
+        t0 = ThreadBuilder(1, is_kernel=False)
+        t0.spin_until_eq("d", 0x500, 1, acquire=True)
+        t0.vload("r0", 0x8)
+        program = build_program([t1, t0], observed={1: ["r0"]},
+                                initial_memory=init,
+                                mmu=layout.mmu_config())
+        rm = explore_promising(program)
+        assert not admits(rm, t1_r0=7)
+        assert all(
+            b.faults for b in rm.behaviors if b.panic is None
+        )
+
+    def test_without_barrier_stale_walk_remains(self):
+        layout = layout_with()
+        pte = layout.leaf_entry(0x8)
+        init = layout.initial_memory()
+        init[PAGE_A] = 7
+        init[0x500] = 0
+        t1 = ThreadBuilder(0)
+        t1.pt_store(pte, 0, kind=PTKind.STAGE2, level=0)
+        t1.tlbi(0x8)
+        t1.store(0x500, 1, release=True)
+        t0 = ThreadBuilder(1, is_kernel=False)
+        t0.spin_until_eq("d", 0x500, 1, acquire=True)
+        t0.vload("r0", 0x8)
+        program = build_program([t1, t0], observed={1: ["r0"]},
+                                initial_memory=init,
+                                mmu=layout.mmu_config())
+        rm = explore_promising(program)
+        assert admits(rm, t1_r0=7)   # Example 6's stale outcome
+
+
+class TestWalkerStaleness:
+    def test_walker_reads_exclude_own_cpu_promises(self):
+        """A CPU's own promised PT store is not visible to its walker."""
+        layout = layout_with(vpn=0x8, ppage=PAGE_A)
+        free_pte = 0x1000 + 0x9
+        init = layout.initial_memory()
+        init[PAGE_B] = 5
+        b = ThreadBuilder(0, is_kernel=False)
+        # Store (promisable) then virtually load through the entry the
+        # store creates: must fault or see the committed mapping, never
+        # observe its own uncommitted promise.
+        b.vload("r0", 0x9)
+        b.pt_store(free_pte, PAGE_B, kind=PTKind.STAGE2, level=0)
+        program = build_program([b], observed={0: ["r0"]},
+                                initial_memory=init,
+                                mmu=layout.mmu_config())
+        rm = explore_promising(program)
+        assert not admits(rm, t0_r0=5)

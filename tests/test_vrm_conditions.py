@@ -1,0 +1,151 @@
+"""Tests for the wDRF condition/report types and the DRF + barrier
+checkers (conditions 1-2)."""
+
+import pytest
+
+from repro.ir import MemSpace, Reg, ThreadBuilder, build_program
+from repro.sekvm.locks import LockAddrs, emit_acquire, emit_release
+from repro.vrm import (
+    ConditionResult,
+    WDRFCondition,
+    WDRFReport,
+    check_drf_kernel,
+    check_no_barrier_misuse,
+    check_no_barrier_misuse_static,
+)
+
+LOCK = LockAddrs(ticket=0x10, now=0x11)
+COUNTER = 0x20
+
+
+def locked_counter_program(correct=True, instrumented=True, n_cpus=2):
+    threads = []
+    for tid in range(n_cpus):
+        b = ThreadBuilder(tid)
+        emit_acquire(
+            b, LOCK, protects=[COUNTER] if instrumented else (),
+            correct=correct,
+        )
+        b.load("v", COUNTER)
+        b.store(COUNTER, Reg("v") + 1)
+        emit_release(
+            b, LOCK, protects=[COUNTER] if instrumented else (),
+            correct=correct,
+        )
+        threads.append(b)
+    init = dict(LOCK.initial_memory())
+    init[COUNTER] = 0
+    return build_program(
+        threads,
+        observed={tid: ["v"] for tid in range(n_cpus)},
+        initial_memory=init,
+        name="locked_counter",
+    )
+
+
+class TestConditionResult:
+    def test_verified_requires_exhaustive(self):
+        ok = ConditionResult(WDRFCondition.DRF_KERNEL, True, True)
+        partial = ConditionResult(WDRFCondition.DRF_KERNEL, True, False)
+        assert ok.verified and not partial.verified
+
+    def test_describe_mentions_status(self):
+        bad = ConditionResult(
+            WDRFCondition.DRF_KERNEL, False, True, violations=("boom",)
+        )
+        assert "VIOLATED" in bad.describe()
+        assert "boom" in bad.describe()
+
+
+class TestWDRFReport:
+    def _result(self, cond, holds=True):
+        return ConditionResult(cond, holds, True)
+
+    def test_all_verified_needs_every_condition(self):
+        report = WDRFReport(subject="x", weakened=True)
+        for cond in report.required_conditions():
+            report.add(self._result(cond))
+        assert report.all_verified
+
+    def test_missing_condition_fails(self):
+        report = WDRFReport(subject="x")
+        assert not report.all_verified
+        assert "NOT CHECKED" in report.describe()
+
+    def test_weakened_selects_isolation_flavor(self):
+        strong = WDRFReport(subject="x", weakened=False)
+        weak = WDRFReport(subject="x", weakened=True)
+        assert WDRFCondition.MEMORY_ISOLATION in strong.required_conditions()
+        assert WDRFCondition.WEAK_MEMORY_ISOLATION in weak.required_conditions()
+
+
+class TestDRFKernel:
+    def test_correct_lock_verifies(self):
+        result = check_drf_kernel(locked_counter_program(), [COUNTER])
+        assert result.verified
+
+    def test_missing_barriers_violate(self):
+        result = check_drf_kernel(
+            locked_counter_program(correct=False), [COUNTER]
+        )
+        assert not result.holds
+        assert result.violations
+
+    def test_uninstrumented_program_rejected(self):
+        result = check_drf_kernel(
+            locked_counter_program(instrumented=False), [COUNTER]
+        )
+        assert not result.holds
+        assert "instrumentation" in result.violations[0]
+
+    def test_no_shared_locations_trivially_holds(self):
+        b = ThreadBuilder(0)
+        b.mov("r0", 1)
+        p = build_program([b])
+        assert check_drf_kernel(p, []).holds
+
+
+class TestNoBarrierMisuse:
+    def test_correct_lock_verifies(self):
+        result = check_no_barrier_misuse(locked_counter_program(), [COUNTER])
+        assert result.verified
+
+    def test_missing_barriers_caught_both_ways(self):
+        result = check_no_barrier_misuse(
+            locked_counter_program(correct=False), [COUNTER]
+        )
+        assert not result.holds
+        reasons = " ".join(result.violations)
+        assert "pull not preceded" in reasons          # static
+        assert "No-Barrier-Misuse" in reasons          # dynamic
+
+    def test_static_detects_missing_release(self):
+        b = ThreadBuilder(0)
+        b.faa("t", LOCK.ticket, acquire=True)
+        b.spin_until_eq("n", LOCK.now, "t", acquire=True)
+        b.pull(COUNTER)
+        b.load("v", COUNTER)
+        b.push(COUNTER)
+        b.load("t2", LOCK.now, space=MemSpace.SYNC)
+        b.store(LOCK.now, Reg("t2") + 1, release=False,
+                space=MemSpace.SYNC)  # plain release!
+        p = build_program([b], initial_memory={**LOCK.initial_memory(),
+                                               COUNTER: 0})
+        result = check_no_barrier_misuse_static(p)
+        assert not result.holds
+        assert "push not followed" in result.violations[0]
+
+    def test_full_barrier_also_acceptable(self):
+        b = ThreadBuilder(0)
+        b.faa("t", LOCK.ticket)
+        b.spin_until_eq("n", LOCK.now, "t")
+        b.barrier("full")
+        b.pull(COUNTER)
+        b.load("v", COUNTER)
+        b.push(COUNTER)
+        b.barrier("full")
+        b.load("t2", LOCK.now)
+        b.store(LOCK.now, Reg("t2") + 1)
+        p = build_program([b], initial_memory={**LOCK.initial_memory(),
+                                               COUNTER: 0})
+        assert check_no_barrier_misuse_static(p).holds

@@ -1,0 +1,161 @@
+"""Tests for condition 6 (isolation), data oracles, the executable
+theorems, and the one-call verifier pipeline."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import MemSpace, OracleRead, ThreadBuilder, build_program
+from repro.litmus.catalog import example7_user_to_kernel
+from repro.sekvm.ir_programs import gen_vmid_case, vcpu_switch_case
+from repro.vrm import (
+    DataOracle,
+    WDRFSpec,
+    check_memory_isolation,
+    check_theorem1,
+    check_theorem2,
+    check_theorem4,
+    mask_user_reads,
+    verify_and_check_theorem,
+    verify_wdrf,
+)
+
+KDATA, UDATA = 0x100, 0x600
+
+
+def mixed_program(kernel_reads_user=False, user_writes_kernel=False,
+                  oracle=False):
+    t0 = ThreadBuilder(0)
+    if oracle:
+        t0.oracle_read("r0", UDATA)
+    elif kernel_reads_user:
+        t0.load("r0", UDATA, space=MemSpace.USER)
+    else:
+        t0.load("r0", KDATA)
+    t1 = ThreadBuilder(1, is_kernel=False)
+    if user_writes_kernel:
+        t1.store(KDATA, 9, space=MemSpace.USER)
+    else:
+        t1.store(UDATA, 9, space=MemSpace.USER)
+    return build_program(
+        [t0, t1],
+        observed={0: ["r0"]},
+        initial_memory={KDATA: 0, UDATA: 0},
+        spaces={KDATA: MemSpace.KERNEL, UDATA: MemSpace.USER},
+        name="mixed",
+    )
+
+
+class TestMemoryIsolation:
+    def test_clean_program_verifies_strong(self):
+        assert check_memory_isolation(mixed_program()).verified
+
+    def test_kernel_read_of_user_fails_strong(self):
+        result = check_memory_isolation(mixed_program(kernel_reads_user=True))
+        assert not result.holds
+        assert "read of user memory" in result.violations[0]
+
+    def test_kernel_raw_read_fails_weak_too(self):
+        result = check_memory_isolation(
+            mixed_program(kernel_reads_user=True), weak=True
+        )
+        assert not result.holds
+        assert "oracle-masked" in result.violations[0]
+
+    def test_oracle_read_passes_weak(self):
+        result = check_memory_isolation(mixed_program(oracle=True), weak=True)
+        assert result.verified
+
+    def test_user_write_to_kernel_detected(self):
+        result = check_memory_isolation(
+            mixed_program(user_writes_kernel=True)
+        )
+        assert not result.holds
+        assert any("kernel location" in v for v in result.violations)
+
+
+class TestDataOracle:
+    def test_scripted_draws_and_tail(self):
+        oracle = DataOracle((1, 2))
+        assert [oracle.draw() for _ in range(4)] == [1, 2, 2, 2]
+        assert oracle.draws == [1, 2, 2, 2]
+
+    def test_reset(self):
+        oracle = DataOracle((7,))
+        oracle.draw()
+        oracle.reset()
+        assert oracle.draws == []
+        assert oracle.draw() == 7
+
+    def test_replaying_reproduces_reads(self):
+        oracle = DataOracle.replaying([5, 6, 7])
+        assert [oracle.draw() for _ in range(3)] == [5, 6, 7]
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            DataOracle(())
+
+    def test_mask_user_reads_transforms_kernel_only(self):
+        program = mixed_program(kernel_reads_user=True)
+        masked = mask_user_reads(program)
+        kernel_instrs = masked.kernel_threads()[0].instrs
+        assert any(isinstance(i, OracleRead) for i in kernel_instrs)
+        # User threads untouched.
+        assert masked.user_threads()[0].instrs == (
+            program.user_threads()[0].instrs
+        )
+
+
+class TestTheorems:
+    def test_theorem2_rejects_programs_with_users(self):
+        with pytest.raises(VerificationError):
+            check_theorem2(mixed_program())
+
+    def test_theorem2_holds_for_verified_gen_vmid(self):
+        case = gen_vmid_case(correct=True)
+        assert check_theorem2(case.program).verified
+
+    def test_theorem2_fails_for_buggy_gen_vmid(self):
+        case = gen_vmid_case(correct=False)
+        result = check_theorem2(case.program)
+        assert not result.holds
+        assert result.rm_only_behaviors
+
+    def test_theorem1_example7_direct_fails(self):
+        program = example7_user_to_kernel(use_oracle=False)
+        result = check_theorem1(program)
+        assert not result.holds  # user RM behavior reaches the kernel
+
+    def test_theorem4_example7_holds_after_masking(self):
+        program = example7_user_to_kernel(use_oracle=False)
+        result = check_theorem4(program, oracle_choices=(0, 1, 2))
+        assert result.verified
+
+    def test_describe_mentions_status(self):
+        case = gen_vmid_case(correct=True)
+        text = check_theorem2(case.program).describe()
+        assert "HOLDS" in text
+
+
+class TestVerifierPipeline:
+    def test_verified_case_passes_all_conditions(self):
+        case = gen_vmid_case(correct=True)
+        report = verify_wdrf(case.spec)
+        assert report.all_verified, report.describe()
+
+    def test_buggy_case_fails(self):
+        case = gen_vmid_case(correct=False)
+        report = verify_wdrf(case.spec)
+        assert not report.all_hold
+
+    def test_framework_soundness_on_vcpu_switch(self):
+        """If the report verifies, the theorem containment must hold."""
+        case = vcpu_switch_case(correct=True)
+        report, theorem = verify_and_check_theorem(case.spec)
+        assert report.all_verified
+        assert theorem.holds
+
+    def test_tightness_on_buggy_vcpu_switch(self):
+        case = vcpu_switch_case(correct=False)
+        report, theorem = verify_and_check_theorem(case.spec)
+        assert not report.all_hold
+        assert not theorem.holds

@@ -1,0 +1,199 @@
+"""Tests for conditions 3-5: Write-Once, Transactional-Page-Table, and
+Sequential-TLB-Invalidation."""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.ir import PTKind, ThreadBuilder, build_program
+from repro.ir.program import MMUConfig
+from repro.mmu import MultiLevelPageTable, PageTableLayout
+from repro.vrm import (
+    audit_operation_writes,
+    audit_write_log,
+    check_program_transactional,
+    check_sequential_tlb_invalidation,
+    check_write_once,
+    check_writes_transactional,
+    enumerate_visibility_snapshots,
+    extract_pt_write_sequences,
+    kernel_pt_locations,
+)
+
+EL2_ENTRY_FREE = 0x2000
+EL2_ENTRY_USED = 0x2001
+
+
+class TestWriteOnce:
+    def _program(self, target, init_value, twice=False):
+        b = ThreadBuilder(0)
+        b.pt_store(target, 0x300, kind=PTKind.KERNEL, level=0)
+        if twice:
+            b.pt_store(target, 0x301, kind=PTKind.KERNEL, level=0)
+        return build_program(
+            [b], initial_memory={target: init_value}, name="el2"
+        )
+
+    def test_fresh_entry_verifies(self):
+        result = check_write_once(self._program(EL2_ENTRY_FREE, 0))
+        assert result.verified
+
+    def test_overwrite_of_nonempty_detected(self):
+        result = check_write_once(self._program(EL2_ENTRY_USED, 0x111))
+        assert not result.holds
+        assert "overwritten" in result.violations[0]
+
+    def test_double_write_detected(self):
+        result = check_write_once(self._program(EL2_ENTRY_FREE, 0, twice=True))
+        assert not result.holds
+        assert "written 2 times" in " ".join(result.violations)
+
+    def test_kernel_pt_locations_derived(self):
+        p = self._program(EL2_ENTRY_FREE, 0)
+        assert kernel_pt_locations(p) == {EL2_ENTRY_FREE}
+
+    def test_no_kernel_pt_writes_trivially_holds(self):
+        b = ThreadBuilder(0)
+        b.mov("r0", 1)
+        result = check_write_once(build_program([b]))
+        assert result.verified
+
+    def test_audit_write_log(self):
+        pt = MultiLevelPageTable(levels=2, va_bits_per_level=4)
+        pt.map(0x10, 1)
+        pt.map(0x21, 2)
+        assert audit_write_log(pt.write_log).verified
+        pt.map(0x10, 3, overwrite=True)
+        result = audit_write_log(pt.write_log)
+        assert not result.holds
+
+
+class TestTransactional:
+    def _layout(self):
+        layout = PageTableLayout(base=0x1000, levels=2, va_bits_per_level=2)
+        layout.map(0x1, 0x80)
+        return layout
+
+    def test_visibility_snapshots_count(self):
+        # Two writes to distinct locations: 2x2 = 4 snapshots.
+        snaps = enumerate_visibility_snapshots({}, [(1, 10), (2, 20)])
+        assert len(snaps) == 4
+
+    def test_same_location_writes_keep_order(self):
+        # Two writes to the same location: only 3 prefixes.
+        snaps = enumerate_visibility_snapshots({}, [(1, 10), (1, 20)])
+        assert len(snaps) == 3
+        values = sorted(s.get(1, 0) for s in snaps)
+        assert values == [0, 10, 20]
+
+    def test_set_s2pt_insert_is_transactional(self):
+        layout = self._layout()
+        writes = [(loc, val) for loc, val, _ in layout.plan_map(0xD, 0x90)]
+        result = check_writes_transactional(
+            layout.initial_memory(), writes, layout.mmu_config(), range(16)
+        )
+        assert result.verified
+
+    def test_unmap_then_write_under_is_not(self):
+        layout = self._layout()
+        pgd = layout.entry_path(0x1)[0]
+        leaf_for_3 = layout.initial_memory()[pgd] + 3
+        writes = [(pgd, 0), (leaf_for_3, 0x90)]
+        result = check_writes_transactional(
+            layout.initial_memory(), writes, layout.mmu_config(), range(16)
+        )
+        assert not result.holds
+        assert "partial update" in result.violations[0]
+
+    def test_single_write_always_transactional(self):
+        layout = self._layout()
+        leaf = layout.entry_path(0x1)[-1]
+        result = check_writes_transactional(
+            layout.initial_memory(), [(leaf, 0)], layout.mmu_config(), range(16)
+        )
+        assert result.verified
+
+    def test_extract_sequences(self):
+        layout = self._layout()
+        b = ThreadBuilder(0)
+        b.pt_store(0x1000, 5, kind=PTKind.STAGE2, level=0)
+        b.pt_store(0x1001, 6, kind=PTKind.STAGE2, level=1)
+        b.barrier("full")
+        b.pt_store(0x1002, 7, kind=PTKind.STAGE2, level=1)
+        p = build_program([b], mmu=layout.mmu_config())
+        seqs = extract_pt_write_sequences(p)
+        assert seqs == [[(0x1000, 5), (0x1001, 6)], [(0x1002, 7)]]
+
+    def test_check_program_requires_probes_for_big_spaces(self):
+        b = ThreadBuilder(0)
+        b.pt_store(0x1000, 5, kind=PTKind.STAGE2, level=0)
+        p = build_program(
+            [b], mmu=MMUConfig(root=0x1000, levels=4, va_bits_per_level=9)
+        )
+        with pytest.raises(VerificationError):
+            check_program_transactional(p)
+
+    def test_program_without_mmu_trivially_holds(self):
+        b = ThreadBuilder(0)
+        b.mov("r0", 1)
+        assert check_program_transactional(build_program([b])).verified
+
+    def test_audit_operation_writes(self):
+        pt = MultiLevelPageTable(levels=3, va_bits_per_level=4)
+        mark = len(pt.write_log)
+        pt.map(0x123, 0x50)
+        assert audit_operation_writes(pt.write_log[mark:], "map").verified
+        mark = len(pt.write_log)
+        pt.unmap(0x123)
+        assert audit_operation_writes(pt.write_log[mark:], "unmap").verified
+        result = audit_operation_writes(pt.write_log[mark - 1:], "unmap")
+        assert not result.holds  # two writes passed as one unmap
+
+    def test_audit_rejects_unknown_operation(self):
+        with pytest.raises(VerificationError):
+            audit_operation_writes([], "remap")
+
+
+class TestSequentialTLBInvalidation:
+    def _program(self, barrier=True, tlbi=True, init=0x50):
+        layout = PageTableLayout(base=0x1000, levels=1, va_bits_per_level=4)
+        if init:
+            layout.map(0x8, init)
+        leaf = 0x1000 + 8
+        b = ThreadBuilder(0)
+        b.pt_store(leaf, 0, kind=PTKind.STAGE2, level=0)
+        if barrier:
+            b.barrier("full")
+        if tlbi:
+            b.tlbi(0x8)
+        return build_program(
+            [b], initial_memory=layout.initial_memory(),
+            mmu=layout.mmu_config(),
+        )
+
+    def test_unmap_with_barrier_and_tlbi_verifies(self):
+        assert check_sequential_tlb_invalidation(self._program()).verified
+
+    def test_missing_tlbi_detected(self):
+        result = check_sequential_tlb_invalidation(self._program(tlbi=False))
+        assert not result.holds
+
+    def test_missing_barrier_detected(self):
+        result = check_sequential_tlb_invalidation(self._program(barrier=False))
+        assert not result.holds
+
+    def test_write_to_empty_entry_needs_no_tlbi(self):
+        result = check_sequential_tlb_invalidation(
+            self._program(barrier=False, tlbi=False, init=0)
+        )
+        assert result.verified
+
+    def test_second_write_to_same_entry_counts_as_remap(self):
+        layout = PageTableLayout(base=0x1000, levels=1, va_bits_per_level=4)
+        leaf = 0x1000 + 8
+        b = ThreadBuilder(0)
+        b.pt_store(leaf, 0x50, kind=PTKind.STAGE2, level=0)   # fills empty
+        b.pt_store(leaf, 0x60, kind=PTKind.STAGE2, level=0)   # remap!
+        p = build_program([b], initial_memory=layout.initial_memory(),
+                          mmu=layout.mmu_config())
+        result = check_sequential_tlb_invalidation(p)
+        assert not result.holds
