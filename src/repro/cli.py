@@ -16,8 +16,33 @@ Subcommands map one-to-one onto the library's entry points:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional, Sequence
+
+
+def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
+    """``--jobs N`` / ``--no-cache`` for the exploration-heavy commands.
+
+    ``--jobs`` defaults to -1, which :func:`repro.parallel.resolve_jobs`
+    expands to ``os.cpu_count()``; ``--jobs 1`` forces serial.
+    """
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=-1, metavar="N",
+        help="worker processes (default: all CPUs; 1 = serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the persistent exploration cache",
+    )
+
+
+def _apply_cache_flag(args: argparse.Namespace) -> bool:
+    """Honor ``--no-cache``; returns the ``cache=`` value for libraries."""
+    if getattr(args, "no_cache", False):
+        os.environ["REPRO_EXPLORE_CACHE"] = "0"
+        return False
+    return True
 
 
 def _cmd_litmus(args: argparse.Namespace) -> int:
@@ -34,7 +59,8 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         "paper": paper_examples,
         "all": full_corpus,
     }[args.corpus]()
-    outcomes = run_corpus(corpus)
+    cache = _apply_cache_flag(args)
+    outcomes = run_corpus(corpus, jobs=args.jobs, cache=cache)
     print(corpus_report(outcomes))
     return 0 if all(o.passed for o in outcomes) else 1
 
@@ -88,15 +114,34 @@ def _cmd_explain(args: argparse.Namespace) -> int:
 def _cmd_verify_sekvm(args: argparse.Namespace) -> int:
     from repro.sekvm import verify_all_versions, verify_sekvm
 
+    _apply_cache_flag(args)
     if args.all_versions:
-        outcomes = verify_all_versions(include_buggy=args.buggy)
+        outcomes = verify_all_versions(include_buggy=args.buggy,
+                                       jobs=args.jobs)
     else:
-        outcomes = [verify_sekvm(include_buggy=args.buggy)]
+        outcomes = [verify_sekvm(include_buggy=args.buggy, jobs=args.jobs)]
     ok = True
     for outcome in outcomes:
         print(outcome.describe())
         ok &= outcome.all_as_expected
     return 0 if ok else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.parallel import resolve_jobs
+    from repro.parallel.bench import (
+        bench_exploration,
+        format_bench,
+        write_bench_json,
+    )
+
+    _apply_cache_flag(args)
+    results = bench_exploration(jobs=resolve_jobs(args.jobs))
+    print(format_bench(results))
+    if args.output:
+        write_bench_json(args.output, results)
+        print(f"wrote {args.output}")
+    return 0
 
 
 def _cmd_verify_locks(args: argparse.Namespace) -> int:
@@ -268,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("litmus", help="run the litmus corpus")
     p.add_argument("--corpus", choices=("classic", "paper", "all"),
                    default="all")
+    _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_litmus)
 
     p = sub.add_parser("show", help="print a litmus program listing")
@@ -286,7 +332,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--all-versions", action="store_true")
     p.add_argument("--buggy", action="store_true",
                    help="include the seeded-bug variants")
+    _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_verify_sekvm)
+
+    p = sub.add_parser(
+        "bench", help="benchmark the exploration engine (POR/cache/parallel)"
+    )
+    p.add_argument("--output", "-o", metavar="FILE",
+                   help="also write the results as JSON (BENCH_exploration)")
+    _add_parallel_flags(p)
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("verify-locks", help="verify synchronization primitives")
     p.add_argument("--cpus", type=int, default=2)

@@ -5,18 +5,35 @@ implementation matches the architecture: for every test, the
 postcondition must be observable exactly on the models the catalog says
 it is.  A mismatch is either a bug in the executor or a mis-specified
 test, and the test suite treats both as failures.
+
+Model configurations are shared across tests (one SC config, one
+relaxed config per promise bound) so exploration caching keys stay
+stable, and :func:`run_corpus` fans tests out over a process pool with
+``jobs=N`` — results are merged in catalog order, so parallel runs are
+bit-identical to serial ones.
 """
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence
 
 from repro.litmus.catalog import LitmusTest, full_corpus
-from repro.memory.behaviors import admits
+from repro.memory.behaviors import parse_register_key
+from repro.memory.cache import cached_explore
 from repro.memory.datatypes import ExplorationResult
-from repro.memory.exploration import explore
 from repro.memory.semantics import ModelConfig
+from repro.parallel import parallel_map
+
+#: The one SC configuration every litmus test runs under.
+SC_CFG = ModelConfig(relaxed=False)
+
+
+@functools.lru_cache(maxsize=None)
+def rm_config(max_promises: int) -> ModelConfig:
+    """The shared relaxed configuration for a given promise bound."""
+    return ModelConfig(relaxed=True, max_promises_per_thread=max_promises)
 
 
 @dataclass(frozen=True)
@@ -49,12 +66,11 @@ class LitmusOutcome:
         )
 
 
-def _admits(test: LitmusTest, result) -> bool:
+def _admits(test: LitmusTest, result: ExplorationResult) -> bool:
     """Does some behavior satisfy both register and memory conditions?"""
     wanted_regs = {}
     for key, value in test.condition.items():
-        tid_part, _, reg = key.partition("_")
-        wanted_regs[(int(tid_part[1:]), reg)] = value
+        wanted_regs[parse_register_key(key)] = value
     wanted_mem = dict(test.memory_condition)
     for behavior in result.behaviors:
         assignment = {(t, r): v for t, r, v in behavior.registers}
@@ -66,15 +82,12 @@ def _admits(test: LitmusTest, result) -> bool:
     return False
 
 
-def run_litmus(test: LitmusTest) -> LitmusOutcome:
+def run_litmus(test: LitmusTest, cache: bool = True) -> LitmusOutcome:
     """Execute one test under both models and check its postcondition."""
-    sc_cfg = ModelConfig(relaxed=False)
-    rm_cfg = ModelConfig(
-        relaxed=True, max_promises_per_thread=test.max_promises
-    )
+    rm_cfg = rm_config(test.max_promises)
     observe = sorted(loc for loc, _ in test.memory_condition)
-    sc = explore(test.program, sc_cfg, observe_locs=observe)
-    rm = explore(test.program, rm_cfg, observe_locs=observe)
+    sc = cached_explore(test.program, SC_CFG, observe_locs=observe, cache=cache)
+    rm = cached_explore(test.program, rm_cfg, observe_locs=observe, cache=cache)
     return LitmusOutcome(
         test=test,
         sc=sc,
@@ -86,11 +99,18 @@ def run_litmus(test: LitmusTest) -> LitmusOutcome:
 
 def run_corpus(
     tests: Optional[Iterable[LitmusTest]] = None,
+    jobs: Optional[int] = None,
+    cache: bool = True,
 ) -> List[LitmusOutcome]:
-    """Run a collection of litmus tests (default: the full corpus)."""
+    """Run a collection of litmus tests (default: the full corpus).
+
+    ``jobs`` fans tests out over a process pool (``None``/``0`` = serial,
+    negative = all CPUs); outcomes always come back in catalog order.
+    """
     if tests is None:
         tests = full_corpus()
-    return [run_litmus(t) for t in tests]
+    worker = functools.partial(run_litmus, cache=cache)
+    return parallel_map(worker, tests, jobs=jobs)
 
 
 def corpus_report(outcomes: Sequence[LitmusOutcome]) -> str:

@@ -21,7 +21,15 @@ from repro.memory.semantics import (
     ModelConfig,
 )
 from repro.memory.exploration import explore, explore_or_raise
-from repro.memory.behaviors import BehaviorComparison, admits, compare_models
+from repro.memory.cache import cached_explore, clear_memory_cache
+from repro.memory.por import PORPlan, por_eligible
+from repro.memory.state import StateInterner
+from repro.memory.behaviors import (
+    BehaviorComparison,
+    admits,
+    compare_models,
+    parse_register_key,
+)
 from repro.memory.sc import explore_sc
 from repro.memory.promising import explore_promising
 from repro.memory.pushpull import explore_pushpull, pushpull_config
@@ -48,9 +56,15 @@ __all__ = [
     "ModelConfig",
     "explore",
     "explore_or_raise",
+    "cached_explore",
+    "clear_memory_cache",
+    "PORPlan",
+    "por_eligible",
+    "StateInterner",
     "BehaviorComparison",
     "admits",
     "compare_models",
+    "parse_register_key",
     "explore_sc",
     "explore_promising",
     "explore_pushpull",

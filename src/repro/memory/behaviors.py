@@ -9,13 +9,33 @@ litmus suite demonstrates Examples 1-7).
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Sequence, Tuple
 
 from repro.ir.program import Program
+from repro.memory.cache import cached_explore
 from repro.memory.datatypes import Behavior, ExplorationResult
-from repro.memory.exploration import explore
 from repro.memory.semantics import ModelConfig, PROMISING_ARM, SC
+from repro.parallel import parallel_map
+
+_REGISTER_KEY = re.compile(r"^t(\d+)_(\w+)$")
+
+
+def parse_register_key(key: str) -> Tuple[int, str]:
+    """Split a ``t{tid}_{reg}`` litmus-condition key into ``(tid, reg)``.
+
+    Accepts multi-digit thread ids (``t10_r1`` → ``(10, "r1")``) and
+    raises a descriptive :class:`ValueError` on anything malformed
+    rather than mis-parsing it.
+    """
+    m = _REGISTER_KEY.match(key)
+    if m is None:
+        raise ValueError(
+            f"malformed register key {key!r}: expected 't<tid>_<reg>', "
+            f"e.g. 't0_r1' or 't10_flag'"
+        )
+    return int(m.group(1)), m.group(2)
 
 
 @dataclass(frozen=True)
@@ -67,18 +87,30 @@ class BehaviorComparison:
         return "\n".join(lines)
 
 
+def _explore_job(args) -> ExplorationResult:
+    program, cfg, observe_locs = args
+    return cached_explore(program, cfg, observe_locs)
+
+
 def compare_models(
     program: Program,
     sc_cfg: ModelConfig = SC,
     rm_cfg: ModelConfig = PROMISING_ARM,
     observe_locs: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
 ) -> BehaviorComparison:
-    """Explore *program* under both models and compare outcomes."""
-    return BehaviorComparison(
-        program_name=program.name,
-        sc=explore(program, sc_cfg, observe_locs),
-        rm=explore(program, rm_cfg, observe_locs),
+    """Explore *program* under both models and compare outcomes.
+
+    ``jobs`` >= 2 (or negative for all CPUs) runs the two explorations
+    in separate processes; the comparison itself is order-fixed, so the
+    result is identical to the serial one.
+    """
+    sc, rm = parallel_map(
+        _explore_job,
+        [(program, sc_cfg, observe_locs), (program, rm_cfg, observe_locs)],
+        jobs=jobs,
     )
+    return BehaviorComparison(program_name=program.name, sc=sc, rm=rm)
 
 
 def admits(result: ExplorationResult, **register_values: int) -> bool:
@@ -91,8 +123,7 @@ def admits(result: ExplorationResult, **register_values: int) -> bool:
     """
     wanted = {}
     for key, value in register_values.items():
-        tid_part, _, reg = key.partition("_")
-        wanted[(int(tid_part[1:]), reg)] = value
+        wanted[parse_register_key(key)] = value
     for behavior in result.behaviors:
         assignment = {(t, r): v for t, r, v in behavior.registers}
         if all(assignment.get(k) == v for k, v in wanted.items()):

@@ -1,0 +1,183 @@
+"""Persistent memoization of exploration results.
+
+The verification layers re-explore the same kernel fragments over and
+over: every wDRF condition explores its own instrumentation of the same
+program, the SeKVM pipeline verifies 30+ interfaces whose hot fragments
+repeat across versions, and benchmark/CI runs repeat the whole litmus
+corpus.  :func:`cached_explore` memoizes :func:`repro.memory.exploration.
+explore` keyed by a fingerprint of *everything the result depends on*:
+
+* the program (threads, instructions, initial memory, spaces, MMU),
+* the :class:`ModelConfig` (all fields, frozensets canonicalized),
+* the observation request (``observe_locs`` **in order** — behavior
+  tuples are order-sensitive — and ``keep_terminal_states``),
+* the reduction mode (``por``), and
+* a fingerprint of the memory-model sources themselves, so a cache
+  populated by an older engine can never serve a newer one.
+
+Results live in a per-process dict and, across processes, in pickle
+files under ``REPRO_EXPLORE_CACHE_DIR`` (default
+``~/.cache/vrm-repro/explore``).  Disk traffic is strictly best-effort:
+any OS or unpickling error silently degrades to a recomputation.
+``REPRO_EXPLORE_CACHE=0`` disables persistence entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from typing import Dict, Optional, Sequence
+
+from repro.ir.program import Program
+from repro.memory.datatypes import ExplorationResult
+from repro.memory.exploration import explore, por_default_enabled
+from repro.memory.semantics import ModelConfig
+
+_CACHE_VERSION = 1
+
+_memory_cache: Dict[str, ExplorationResult] = {}
+
+_code_fingerprint: Optional[str] = None
+
+
+def cache_enabled() -> bool:
+    """Persistent caching is on unless ``REPRO_EXPLORE_CACHE=0``."""
+    return os.environ.get("REPRO_EXPLORE_CACHE", "1") != "0"
+
+
+def cache_dir() -> str:
+    """Directory holding on-disk exploration results."""
+    configured = os.environ.get("REPRO_EXPLORE_CACHE_DIR")
+    if configured:
+        return configured
+    return os.path.join(
+        os.path.expanduser("~"), ".cache", "vrm-repro", "explore"
+    )
+
+
+def code_fingerprint() -> str:
+    """Hash of the memory-model implementation itself.
+
+    Any edit to the semantics, the explorer, or the IR invalidates every
+    cached result, so a stale cache can never mask an engine change.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        h = hashlib.sha256(str(_CACHE_VERSION).encode())
+        pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        for subdir in ("memory", "ir", "mmu"):
+            folder = os.path.join(pkg_root, subdir)
+            if not os.path.isdir(folder):
+                continue
+            for fname in sorted(os.listdir(folder)):
+                if fname.endswith(".py"):
+                    path = os.path.join(folder, fname)
+                    h.update(fname.encode())
+                    with open(path, "rb") as fh:
+                        h.update(fh.read())
+        _code_fingerprint = h.hexdigest()
+    return _code_fingerprint
+
+
+def _config_fingerprint(cfg: ModelConfig) -> str:
+    parts = []
+    for f in dataclasses.fields(cfg):
+        value = getattr(cfg, f.name)
+        if isinstance(value, frozenset):
+            value = tuple(sorted(value))
+        parts.append(f"{f.name}={value!r}")
+    return ";".join(parts)
+
+
+def _program_fingerprint(program: Program) -> str:
+    mem = tuple(sorted(program.initial_memory.items()))
+    spaces = tuple(sorted((k, v.value) for k, v in program.spaces.items()))
+    return (
+        f"threads={program.threads!r};mem={mem!r};"
+        f"spaces={spaces!r};mmu={program.mmu!r}"
+    )
+
+
+def exploration_key(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]],
+    keep_terminal_states: bool,
+    por: bool,
+) -> str:
+    """The cache key: a digest of everything the result depends on."""
+    observed = None if observe_locs is None else tuple(observe_locs)
+    text = "\x00".join(
+        (
+            code_fingerprint(),
+            _program_fingerprint(program),
+            _config_fingerprint(cfg),
+            repr(observed),
+            repr(bool(keep_terminal_states)),
+            repr(bool(por)),
+        )
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _disk_load(key: str) -> Optional[ExplorationResult]:
+    try:
+        with open(os.path.join(cache_dir(), key + ".pkl"), "rb") as fh:
+            result = pickle.load(fh)
+    except (OSError, pickle.PickleError, EOFError, AttributeError):
+        return None
+    return result if isinstance(result, ExplorationResult) else None
+
+
+def _disk_store(key: str, result: ExplorationResult) -> None:
+    folder = cache_dir()
+    try:
+        os.makedirs(folder, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=folder, suffix=".tmp")
+        with os.fdopen(fd, "wb") as fh:
+            pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, os.path.join(folder, key + ".pkl"))
+    except OSError:
+        pass
+
+
+def clear_memory_cache() -> None:
+    """Drop the in-process memo (used by tests and benchmarks)."""
+    _memory_cache.clear()
+
+
+def cached_explore(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]] = None,
+    keep_terminal_states: bool = False,
+    por: Optional[bool] = None,
+    cache: bool = True,
+) -> ExplorationResult:
+    """:func:`~repro.memory.exploration.explore`, memoized.
+
+    Identical inputs (per :func:`exploration_key`) return the previously
+    computed :class:`ExplorationResult`; pass ``cache=False`` (or set
+    ``REPRO_EXPLORE_CACHE=0`` for the disk layer) to force recomputation.
+    """
+    if por is None:
+        por = por_default_enabled()
+    if not cache:
+        return explore(program, cfg, observe_locs, keep_terminal_states, por)
+    key = exploration_key(program, cfg, observe_locs, keep_terminal_states, por)
+    result = _memory_cache.get(key)
+    if result is not None:
+        return result
+    if cache_enabled():
+        result = _disk_load(key)
+        if result is not None:
+            _memory_cache[key] = result
+            return result
+    result = explore(program, cfg, observe_locs, keep_terminal_states, por)
+    _memory_cache[key] = result
+    if cache_enabled():
+        _disk_store(key, result)
+    return result

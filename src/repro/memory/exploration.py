@@ -6,6 +6,20 @@ choices, oracle draws, and promise certificates, deduplicating identical
 machine states.  Spin loops terminate the search naturally: spinning
 without observing a new message revisits an identical state.
 
+Two engine-level optimizations keep the search tractable at corpus
+scale, both behavior-preserving:
+
+* **Partial-order reduction** (:mod:`repro.memory.por`): when the
+  program passes the static soundness gate, threads whose next step
+  commutes exactly with every other thread's steps are scheduled
+  exclusively, skipping redundant interleavings.  ``REPRO_POR=0``
+  disables the reduction; ``REPRO_POR_CHECK=1`` runs every exploration
+  both ways and asserts the behavior sets are identical.
+* **Canonical state interning** (:class:`repro.memory.state.StateInterner`):
+  the visited set stores compact hash-consed keys instead of deep nested
+  tuples, so duplicate detection costs O(changed components) per
+  successor rather than O(whole state).
+
 The result records whether the exploration was *complete* — no path was
 cut by the memory-growth or state-count budget — which the verification
 checkers require before claiming a condition holds.
@@ -13,9 +27,10 @@ checkers require before claiming a condition holds.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.errors import ExplorationBudgetExceeded
+from repro.errors import ExplorationBudgetExceeded, VerificationError
 from repro.ir.program import Program
 from repro.memory.datatypes import (
     Behavior,
@@ -23,13 +38,30 @@ from repro.memory.datatypes import (
     latest_write_ts,
     value_at,
 )
+from repro.memory.por import PORPlan
 from repro.memory.semantics import (
     ModelConfig,
     ProgramCache,
     execute_instruction,
     promise_steps,
 )
-from repro.memory.state import ExecState, initial_state, tget
+from repro.memory.state import (
+    ExecState,
+    StateInterner,
+    initial_state,
+    interning_enabled,
+    tget,
+)
+
+
+def por_default_enabled() -> bool:
+    """Partial-order reduction is on unless ``REPRO_POR=0``."""
+    return os.environ.get("REPRO_POR", "1") != "0"
+
+
+def por_check_enabled() -> bool:
+    """Cross-check mode: run reduced and unreduced searches, compare."""
+    return os.environ.get("REPRO_POR_CHECK", "0") == "1"
 
 
 def behavior_of(
@@ -72,6 +104,7 @@ def explore(
     cfg: ModelConfig,
     observe_locs: Optional[Sequence[int]] = None,
     keep_terminal_states: bool = False,
+    por: Optional[bool] = None,
 ) -> ExplorationResult:
     """Enumerate every observable behavior of *program* under *cfg*.
 
@@ -79,26 +112,60 @@ def explore(
     part of the behavior; it defaults to all locations with declared
     initial values.  ``keep_terminal_states`` retains the full terminal
     machine states (message timelines included) for auditing checkers.
+    ``por`` overrides the partial-order-reduction default (``REPRO_POR``);
+    reduction only ever engages on programs passing the soundness gate,
+    so behavior sets are identical either way.
     """
+    if por is None:
+        por = por_default_enabled()
+    if por_check_enabled():
+        reduced = _explore(program, cfg, observe_locs, keep_terminal_states, True)
+        baseline = _explore(program, cfg, observe_locs, keep_terminal_states, False)
+        if reduced.complete and baseline.complete:
+            if reduced.behaviors != baseline.behaviors:
+                raise VerificationError(
+                    f"POR cross-check failed for {program.name!r}: "
+                    f"reduced search found {len(reduced.behaviors)} behaviors, "
+                    f"unreduced {len(baseline.behaviors)}"
+                )
+        return reduced if por else baseline
+    return _explore(program, cfg, observe_locs, keep_terminal_states, por)
+
+
+def _explore(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]],
+    keep_terminal_states: bool,
+    por: bool,
+) -> ExplorationResult:
     cache = ProgramCache(program)
     if observe_locs is None:
         observe_locs = sorted(cache.initial_memory)
     start = initial_state(len(program.threads), cfg.initial_ownership)
+    plan = PORPlan(cache, cfg) if por else None
+    if plan is not None and not plan.eligible:
+        plan = None
 
     behaviors: Set[Behavior] = set()
     terminal_states: List[ExecState] = []
-    visited: Set[ExecState] = {start}
+    if interning_enabled():
+        state_key = StateInterner().key
+    else:  # benchmark baseline: hash whole states
+        state_key = lambda s: s  # noqa: E731
+    visited = {state_key(start)}
     stack: List[ExecState] = [start]
     states_explored = 0
     cut_paths = 0
     complete = True
+    n_threads = len(program.threads)
 
     while stack:
-        state = stack.pop()
-        states_explored += 1
-        if states_explored > cfg.max_states:
+        if states_explored >= cfg.max_states:
             complete = False
             break
+        state = stack.pop()
+        states_explored += 1
 
         if _is_terminal(state):
             if _is_valid_terminal(state):
@@ -107,10 +174,18 @@ def explore(
                     terminal_states.append(state)
             continue
 
-        successors: List[ExecState] = []
-        for tidx in range(len(program.threads)):
-            successors.extend(execute_instruction(cache, state, tidx, cfg))
-            successors.extend(promise_steps(cache, state, tidx, cfg))
+        successors: Optional[List[ExecState]] = None
+        if plan is not None:
+            ample = plan.ample_thread(cache, state)
+            if ample is not None:
+                successors = execute_instruction(cache, state, ample, cfg)
+                if not successors:
+                    successors = None  # blocked: fall back to full expansion
+        if successors is None:
+            successors = []
+            for tidx in range(n_threads):
+                successors.extend(execute_instruction(cache, state, tidx, cfg))
+                successors.extend(promise_steps(cache, state, tidx, cfg))
 
         if not successors:
             # Deadlock: some thread blocked forever (e.g. an RMW stuck
@@ -123,8 +198,9 @@ def explore(
                 cut_paths += 1
                 complete = False
                 continue
-            if succ not in visited:
-                visited.add(succ)
+            key = state_key(succ)
+            if key not in visited:
+                visited.add(key)
                 stack.append(succ)
 
     return ExplorationResult(

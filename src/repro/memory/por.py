@@ -1,0 +1,205 @@
+"""Independence-based partial-order reduction for the explorer.
+
+The DFS in :mod:`repro.memory.exploration` enumerates every scheduler
+interleaving.  Most of those interleavings are redundant: steps of
+different threads that touch disjoint locations *commute exactly* — the
+machine state after ``a;b`` equals the state after ``b;a`` — so exploring
+one order is enough.  This module implements an ample-set (sleep-set
+style) reduction built on two commutation facts of the single-timeline
+Promising model:
+
+1. **Local steps commute with everything.**  ``Label``/``Nop``/``Mov``/
+   ``Jump``/conditional branches read and write only the acting thread's
+   context.  They never append to the timeline, can never be disabled,
+   and are deterministic, so a thread whose next instruction is local can
+   be scheduled *exclusively* without losing any state.
+
+2. **Reads of quiescent locations commute with everything.**  A plain
+   ``Load`` of a location that no *other* thread can ever write again
+   (and whose own thread performs no further stores, so it has no
+   promise steps to defer) has a read-candidate set that is unaffected
+   by every other thread's steps, and it affects only its own context.
+   Scheduling the loading thread exclusively preserves the exact set of
+   reachable terminal states.
+
+Both facts are *state-level* commutations (not merely behavioral), so
+the reduced search reaches the identical set of terminal machine states,
+and therefore the identical behavior set, bit for bit.
+
+Soundness gate
+--------------
+
+The commutation arguments above break in the presence of global side
+channels: panics freeze the whole machine (making local steps
+observable), barriers and acquire/release accesses couple thread views
+to global timestamps, RMWs both read and write, page-table stores and
+TLB invalidations feed the walker floor, and push/pull transfers
+ownership between threads.  :func:`por_eligible` therefore admits only
+programs built from plain loads, plain stores, and local control flow,
+run without the push/pull discipline; everything else falls back to the
+full (unreduced) exploration.  The ``REPRO_POR_CHECK=1`` environment
+switch makes :func:`repro.memory.exploration.explore` run both searches
+and assert the behavior sets coincide.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.ir.expr import Imm
+from repro.ir.instructions import (
+    BranchIfNonZero,
+    BranchIfZero,
+    Jump,
+    Label,
+    Load,
+    Mov,
+    Nop,
+    Store,
+)
+from repro.ir.program import Thread
+
+#: Instructions that read and write only the acting thread's context.
+LOCAL_INSTRS = (Label, Nop, Mov, Jump, BranchIfZero, BranchIfNonZero)
+
+#: The only instructions a POR-eligible program may contain.
+_SAFE_INSTRS = LOCAL_INSTRS + (Load, Store)
+
+#: Sentinel for "may write any location" (register-dependent address).
+TOP = None
+
+Footprint = Optional[FrozenSet[int]]  # frozenset of locations, or TOP
+
+
+def por_eligible(program, cfg) -> bool:
+    """May *program* under *cfg* be explored with the reduction?
+
+    Falls back (returns False) whenever barriers, acquire/release
+    accesses, RMWs, exclusives, push/pull ownership transfers,
+    page-table stores, TLB invalidations, virtual accesses, oracle
+    reads, or explicit panics are in play — the cases where steps stop
+    commuting exactly.
+    """
+    if cfg.pushpull or cfg.owned_access_required:
+        return False
+    for thread in program.threads:
+        for instr in thread.instrs:
+            if not isinstance(instr, _SAFE_INSTRS):
+                return False
+            if isinstance(instr, Load) and instr.acquire:
+                return False
+            if isinstance(instr, Store) and (
+                instr.release or instr.pt_kind is not None
+            ):
+                return False
+    return True
+
+
+def _instr_successors(thread: Thread, labels: Dict[str, int], pc: int) -> List[int]:
+    """Control-flow successors of the instruction at *pc* (may fall off
+    the end of the thread, which means halt)."""
+    instr = thread.instrs[pc]
+    if isinstance(instr, Jump):
+        return [labels[instr.target]]
+    if isinstance(instr, (BranchIfZero, BranchIfNonZero)):
+        return [labels[instr.target], pc + 1]
+    return [pc + 1]
+
+
+def _store_footprints(thread: Thread, labels: Dict[str, int]) -> List[Footprint]:
+    """Per-pc may-write sets: the locations any store reachable from
+    ``pc`` (inclusive) can target.  ``TOP`` when some reachable store has
+    a register-dependent address.  Index ``len(instrs)`` is the halted
+    suffix (writes nothing)."""
+    n = len(thread.instrs)
+    own: List[Footprint] = []
+    for instr in thread.instrs:
+        if isinstance(instr, Store):
+            if isinstance(instr.addr, Imm):
+                own.append(frozenset((instr.addr.value,)))
+            else:
+                own.append(TOP)
+        else:
+            own.append(frozenset())
+    reach: List[Footprint] = own[:] + [frozenset()]
+    changed = True
+    while changed:
+        changed = False
+        for pc in range(n - 1, -1, -1):
+            acc = reach[pc]
+            for succ in _instr_successors(thread, labels, pc):
+                nxt = reach[min(succ, n)]
+                if acc is TOP:
+                    break
+                if nxt is TOP:
+                    acc = TOP
+                elif not (nxt <= acc):
+                    acc = acc | nxt
+            if acc != reach[pc]:
+                reach[pc] = acc
+                changed = True
+    return reach
+
+
+class PORPlan:
+    """Per-exploration reduction plan: the eligibility verdict plus the
+    precomputed per-(thread, pc) store footprints."""
+
+    __slots__ = ("eligible", "footprints", "_thread_lens")
+
+    def __init__(self, cache, cfg):
+        self.eligible = por_eligible(cache.program, cfg)
+        self.footprints: List[List[Footprint]] = []
+        self._thread_lens: List[int] = []
+        if self.eligible:
+            for tidx, thread in enumerate(cache.threads):
+                self.footprints.append(
+                    _store_footprints(thread, cache.labels[tidx])
+                )
+                self._thread_lens.append(len(thread.instrs))
+
+    def _may_write(self, tidx: int, pc: int, loc: int) -> bool:
+        fp = self.footprints[tidx][min(pc, self._thread_lens[tidx])]
+        return fp is TOP or loc in fp
+
+    def ample_thread(self, cache, state) -> Optional[int]:
+        """A thread index safe to schedule exclusively at *state*, or
+        ``None`` when the full successor expansion is required.
+
+        Selection is deterministic (lowest-index eligible thread, local
+        steps first) so explorations stay reproducible.
+        """
+        if not self.eligible:
+            return None
+        threads = state.threads
+        # Pass 1: a thread at a local (context-only) instruction.
+        for tidx, ctx in enumerate(threads):
+            if ctx.halted:
+                continue
+            if ctx.pc >= self._thread_lens[tidx]:
+                return tidx  # halt-normalization step: local by nature
+            if isinstance(cache.instr_at(tidx, ctx.pc), LOCAL_INSTRS):
+                return tidx
+        # Pass 2: a thread loading a location no other thread can still
+        # write, with no stores (hence no promise steps) of its own left.
+        for tidx, ctx in enumerate(threads):
+            if ctx.halted:
+                continue
+            instr = cache.instr_at(tidx, ctx.pc)
+            if not isinstance(instr, Load):
+                continue
+            own = self.footprints[tidx][ctx.pc]
+            if own is TOP or own:
+                continue
+            try:
+                loc = instr.addr.eval(dict(ctx.regs))
+            except Exception:
+                continue
+            if any(
+                self._may_write(other, threads[other].pc, loc)
+                for other in range(len(threads))
+                if other != tidx and not threads[other].halted
+            ):
+                continue
+            return tidx
+        return None

@@ -11,8 +11,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.ir.program import Program
+from repro.memory.cache import cached_explore
 from repro.memory.datatypes import ExplorationResult
-from repro.memory.exploration import explore
 from repro.memory.semantics import PROMISING_ARM, ModelConfig
 
 
@@ -27,4 +27,4 @@ def explore_promising(
         if not overrides
         else ModelConfig(relaxed=True, **overrides)
     )
-    return explore(program, cfg, observe_locs)
+    return cached_explore(program, cfg, observe_locs)

@@ -17,8 +17,8 @@ from __future__ import annotations
 from typing import FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from repro.ir.program import Program
+from repro.memory.cache import cached_explore
 from repro.memory.datatypes import ExplorationResult
-from repro.memory.exploration import explore
 from repro.memory.semantics import ModelConfig
 
 
@@ -58,4 +58,4 @@ def explore_pushpull(
         initial_ownership=initial_ownership,
         **overrides,
     )
-    return explore(program, cfg, observe_locs)
+    return cached_explore(program, cfg, observe_locs)

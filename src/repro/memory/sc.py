@@ -10,8 +10,8 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.ir.program import Program
+from repro.memory.cache import cached_explore
 from repro.memory.datatypes import ExplorationResult
-from repro.memory.exploration import explore
 from repro.memory.semantics import SC, ModelConfig
 
 
@@ -22,4 +22,4 @@ def explore_sc(
 ) -> ExplorationResult:
     """All observable behaviors of *program* on the SC model."""
     cfg = SC if not overrides else ModelConfig(relaxed=False, **overrides)
-    return explore(program, cfg, observe_locs)
+    return cached_explore(program, cfg, observe_locs)

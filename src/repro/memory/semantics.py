@@ -65,7 +65,9 @@ from repro.memory.datatypes import (
 )
 from repro.memory.state import (
     ExecState,
+    StateInterner,
     ThreadCtx,
+    interning_enabled,
     tdel,
     tget,
     tset,
@@ -853,7 +855,8 @@ def collect_promise_candidates(
     candidates: set = set()
     local_cfg = replace(cfg, pushpull=False)  # lookahead ignores ownership
     stack: List[Tuple[ExecState, int]] = [(state, 0)]
-    seen = {state}
+    state_key = StateInterner().key if interning_enabled() else (lambda s: s)
+    seen = {state_key(state)}
     budget = cfg.cert_max_states
     while stack and budget > 0:
         st, depth = stack.pop()
@@ -880,8 +883,9 @@ def collect_promise_candidates(
         for succ in execute_instruction(cache, st, tidx, local_cfg):
             if len(succ.memory) > cfg.max_memory:
                 continue
-            if succ not in seen:
-                seen.add(succ)
+            key = state_key(succ)
+            if key not in seen:
+                seen.add(key)
                 stack.append((succ, next_depth))
     return frozenset(candidates)
 
@@ -900,7 +904,8 @@ def certify(
     """
     local_cfg = replace(cfg, pushpull=False)
     stack = [state]
-    seen = {state}
+    state_key = StateInterner().key if interning_enabled() else (lambda s: s)
+    seen = {state_key(state)}
     budget = cfg.cert_max_states
     while stack and budget > 0:
         st = stack.pop()
@@ -913,8 +918,9 @@ def certify(
         for succ in execute_instruction(cache, st, tidx, local_cfg):
             if len(succ.memory) > cfg.max_memory:
                 continue
-            if succ not in seen:
-                seen.add(succ)
+            key = state_key(succ)
+            if key not in seen:
+                seen.add(key)
                 stack.append(succ)
     return False
 

@@ -14,9 +14,20 @@ buys trivially correct duplicate detection.
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional, Tuple
+import os
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.memory.datatypes import Fault, Message
+
+
+def interning_enabled() -> bool:
+    """Canonical state interning is on unless ``REPRO_INTERN=0``.
+
+    The switch exists for benchmarking (measuring the engine against
+    its own unoptimized baseline) — interning never changes results,
+    only the cost of duplicate detection.
+    """
+    return os.environ.get("REPRO_INTERN", "1") != "0"
 
 Pairs = Tuple[Tuple, ...]
 
@@ -111,6 +122,53 @@ class ExecState(NamedTuple):
             + self.memory[ts:]
         )
         return self._replace(memory=memory)
+
+
+class StateInterner:
+    """Hash-consed canonical keys for :class:`ExecState` values.
+
+    The message timeline is by far the largest component of a state and
+    the one most often shared *by identity* between a state and its
+    successors (only stores and promises append to it; every other step
+    copies the reference).  The interner therefore hash-conses timelines
+    — each distinct timeline is content-hashed once and replaced by a
+    small integer code — and keys a state by that code plus the
+    remaining (small) fields, which CPython hashes at C speed:
+
+    * ``_id_codes`` memoizes timeline → code by ``id()``, so a shared
+      timeline resolves with a single dict probe and no content hashing.
+      Every timeline registered there is pinned in ``_pins`` to keep its
+      ``id`` from being recycled by the allocator.
+    * ``_content_codes`` maps timeline *content* to its code, so two
+      structurally equal timelines always receive the same code — the
+      property that makes key equality coincide with state equality.
+
+    Keys are plain tuples: cheap to hash, cheap to compare, and equal
+    exactly when the underlying states are equal.  An interner is scoped
+    to one exploration; never compare keys from different interners.
+    """
+
+    __slots__ = ("_content_codes", "_id_codes", "_pins")
+
+    def __init__(self) -> None:
+        self._content_codes: Dict[Tuple[Message, ...], int] = {}
+        self._id_codes: Dict[int, int] = {}
+        self._pins: List[object] = []
+
+    def key(self, state: ExecState) -> Tuple:
+        """The canonical compact key of *state* (hashable; equal keys
+        if and only if equal states, within this interner)."""
+        memory = state.memory
+        code = self._id_codes.get(id(memory))
+        if code is None:
+            contents = self._content_codes
+            code = contents.get(memory)
+            if code is None:
+                code = len(contents)
+                contents[memory] = code
+            self._id_codes[id(memory)] = code
+            self._pins.append(memory)
+        return (code,) + state[1:]
 
 
 def initial_thread_ctx() -> ThreadCtx:

@@ -1,0 +1,17 @@
+"""Multiprocess fan-out for independent verification jobs.
+
+Litmus tests, per-condition wDRF checks, and per-interface SeKVM
+verifications are embarrassingly parallel: each job explores its own
+program and the results are merged by position.  :func:`parallel_map`
+is the single primitive the verification layers build on — a
+``multiprocessing`` pool behind a serial fallback, always returning
+results in input order so parallel runs are bit-identical to serial
+ones.
+
+Libraries default to serial (``jobs=None``); the CLI resolves its
+``--jobs`` flag with :func:`default_jobs` (``os.cpu_count()``).
+"""
+
+from repro.parallel.pool import default_jobs, parallel_map, resolve_jobs
+
+__all__ = ["default_jobs", "parallel_map", "resolve_jobs"]

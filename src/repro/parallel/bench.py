@@ -1,0 +1,203 @@
+"""Exploration-engine benchmark: POR, interning, cache, and fan-out.
+
+Produces the numbers tracked across PRs in ``BENCH_exploration.json``:
+wall time and states/second for the litmus corpus and ``verify_sekvm``,
+serial vs. parallel, plus the single-threaded effect of partial-order
+reduction on a promise-heavy workload.  Used by the ``bench`` CLI
+subcommand and by ``benchmarks/test_checker_scalability.py``.
+
+All measurements run with caching disabled (memo cleared, disk layer
+off) so they time real exploration work, never cache hits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Optional
+
+
+@contextmanager
+def _env(**overrides):
+    saved = {k: os.environ.get(k) for k in overrides}
+    os.environ.update({k: v for k, v in overrides.items() if v is not None})
+    try:
+        yield
+    finally:
+        for k, v in saved.items():
+            if v is None:
+                os.environ.pop(k, None)
+            else:
+                os.environ[k] = v
+
+
+def _fresh() -> None:
+    from repro.memory.cache import clear_memory_cache
+
+    clear_memory_cache()
+
+
+def promise_heavy_program():
+    """A workload dominated by promise certification: one thread issues
+    three promisable stores, the other reads them all."""
+    from repro.ir import ThreadBuilder, build_program
+
+    x, y, z, w = 0x10, 0x20, 0x30, 0x40
+    t0 = ThreadBuilder(0)
+    t0.store(x, 1).store(y, 1).store(z, 1).load("r0", w)
+    t1 = ThreadBuilder(1)
+    t1.store(w, 1).load("a", x).load("b", y).load("c", z)
+    return build_program(
+        [t0, t1],
+        observed={0: ["r0"], 1: ["a", "b", "c"]},
+        initial_memory={x: 0, y: 0, z: 0, w: 0},
+    )
+
+
+def _time_corpus(
+    jobs: Optional[int], por: bool, intern: bool = True
+) -> Dict[str, float]:
+    from repro.litmus.catalog import full_corpus
+    from repro.litmus.runner import run_corpus
+
+    _fresh()
+    with _env(
+        REPRO_EXPLORE_CACHE="0",
+        REPRO_POR="1" if por else "0",
+        REPRO_INTERN="1" if intern else "0",
+    ):
+        start = time.perf_counter()
+        outcomes = run_corpus(full_corpus(), jobs=jobs, cache=False)
+        wall = time.perf_counter() - start
+    states = sum(o.sc.states_explored + o.rm.states_explored for o in outcomes)
+    return {
+        "wall_seconds": wall,
+        "states": states,
+        "states_per_second": states / wall if wall else 0.0,
+        "tests": len(outcomes),
+        "all_passed": all(o.passed for o in outcomes),
+    }
+
+
+def _time_promise_heavy(por: bool, intern: bool = True) -> Dict[str, float]:
+    from repro.memory.exploration import explore
+    from repro.memory.semantics import ModelConfig
+
+    program = promise_heavy_program()
+    cfg = ModelConfig(relaxed=True, max_promises_per_thread=3)
+    with _env(REPRO_INTERN="1" if intern else "0"):
+        start = time.perf_counter()
+        result = explore(program, cfg, por=por)
+        wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "states": result.states_explored,
+        "states_per_second": result.states_explored / wall if wall else 0.0,
+        "behaviors": len(result.behaviors),
+        "complete": result.complete,
+    }
+
+
+def _time_sekvm(jobs: Optional[int]) -> Dict[str, float]:
+    from repro.sekvm.verify import verify_sekvm
+
+    _fresh()
+    with _env(REPRO_EXPLORE_CACHE="0"):
+        start = time.perf_counter()
+        outcome = verify_sekvm(jobs=jobs)
+        wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "cases": len(outcome.outcomes),
+        "all_verified": outcome.all_verified,
+    }
+
+
+def bench_exploration(jobs: int = 4) -> Dict:
+    """Measure the exploration engine end to end.
+
+    Returns a JSON-ready dict: litmus corpus serial vs. ``jobs``-way
+    parallel, POR on vs. off (single-threaded), promise-heavy POR
+    effect, and ``verify_sekvm`` serial vs. parallel — with speedup
+    ratios computed from the measured wall times.
+    """
+    corpus_serial = _time_corpus(jobs=None, por=True)
+    corpus_baseline = _time_corpus(jobs=None, por=False, intern=False)
+    corpus_parallel = _time_corpus(jobs=jobs, por=True)
+    ph_por = _time_promise_heavy(por=True)
+    ph_base = _time_promise_heavy(por=False, intern=False)
+    sekvm_serial = _time_sekvm(jobs=None)
+    sekvm_parallel = _time_sekvm(jobs=jobs)
+
+    def ratio(a: float, b: float) -> float:
+        return a / b if b else 0.0
+
+    return {
+        "schema": "BENCH_exploration/v1",
+        "cpu_count": os.cpu_count(),
+        "jobs": jobs,
+        "litmus_corpus": {
+            "serial": corpus_serial,
+            "serial_baseline": corpus_baseline,
+            "parallel": corpus_parallel,
+            "parallel_speedup": ratio(
+                corpus_serial["wall_seconds"], corpus_parallel["wall_seconds"]
+            ),
+            "por_speedup": ratio(
+                corpus_baseline["wall_seconds"], corpus_serial["wall_seconds"]
+            ),
+        },
+        "promise_heavy": {
+            "por": ph_por,
+            "baseline": ph_base,
+            "por_speedup": ratio(
+                ph_base["wall_seconds"], ph_por["wall_seconds"]
+            ),
+            "por_state_reduction": ratio(
+                ph_base["states"], ph_por["states"]
+            ),
+        },
+        "verify_sekvm": {
+            "serial": sekvm_serial,
+            "parallel": sekvm_parallel,
+            "parallel_speedup": ratio(
+                sekvm_serial["wall_seconds"], sekvm_parallel["wall_seconds"]
+            ),
+        },
+    }
+
+
+def write_bench_json(path: str, results: Dict) -> None:
+    """Write benchmark *results* to *path* (pretty-printed, atomic)."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    os.replace(tmp, path)
+
+
+def format_bench(results: Dict) -> str:
+    """Human-readable summary of :func:`bench_exploration` output."""
+    corpus = results["litmus_corpus"]
+    ph = results["promise_heavy"]
+    sekvm = results["verify_sekvm"]
+    lines = [
+        f"exploration benchmark ({results['cpu_count']} CPUs, "
+        f"jobs={results['jobs']})",
+        f"  litmus corpus   serial {corpus['serial']['wall_seconds']:.2f}s "
+        f"({corpus['serial']['states_per_second']:,.0f} states/s), "
+        f"parallel {corpus['parallel']['wall_seconds']:.2f}s "
+        f"(speedup {corpus['parallel_speedup']:.2f}x)",
+        f"  POR+interning   {corpus['por_speedup']:.2f}x wall "
+        f"vs unreduced/uninterned serial corpus",
+        f"  promise-heavy   POR+interning {ph['por']['wall_seconds']:.2f}s vs "
+        f"baseline {ph['baseline']['wall_seconds']:.2f}s "
+        f"(speedup {ph['por_speedup']:.2f}x, "
+        f"{ph['por_state_reduction']:.2f}x fewer states)",
+        f"  verify_sekvm    serial {sekvm['serial']['wall_seconds']:.2f}s, "
+        f"parallel {sekvm['parallel']['wall_seconds']:.2f}s "
+        f"(speedup {sekvm['parallel_speedup']:.2f}x)",
+    ]
+    return "\n".join(lines)

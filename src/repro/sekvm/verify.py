@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.parallel import parallel_map
 from repro.sekvm.ir_programs import (
     PrimitiveCase,
     kcore_buggy_cases,
@@ -63,25 +64,36 @@ class VersionOutcome:
         return "\n".join(lines)
 
 
+def _verify_case(case: PrimitiveCase) -> CaseOutcome:
+    """Pool worker: verify one primitive case (module-level, picklable)."""
+    return CaseOutcome(case=case, report=verify_wdrf(case.spec))
+
+
 def verify_sekvm(
     version: Optional[KVMVersion] = None,
     include_buggy: bool = False,
+    jobs: Optional[int] = None,
 ) -> VersionOutcome:
-    """Run the wDRF verification suite for one SeKVM version."""
+    """Run the wDRF verification suite for one SeKVM version.
+
+    ``jobs`` fans the per-interface verifications out over a process
+    pool (``None``/``0`` = serial, negative = all CPUs); outcomes are
+    merged in case order, identical to a serial run.
+    """
     version = version or default_version()
     cases = list(kcore_verified_cases(version.s2_levels))
     if include_buggy:
         cases += kcore_buggy_cases(version.s2_levels)
     outcome = VersionOutcome(version=version)
-    for case in cases:
-        report = verify_wdrf(case.spec)
-        outcome.outcomes.append(CaseOutcome(case=case, report=report))
+    outcome.outcomes.extend(parallel_map(_verify_case, cases, jobs=jobs))
     return outcome
 
 
-def verify_all_versions(include_buggy: bool = False) -> List[VersionOutcome]:
+def verify_all_versions(
+    include_buggy: bool = False, jobs: Optional[int] = None
+) -> List[VersionOutcome]:
     """Section 5.6's sweep: every Linux version × {3,4}-level tables."""
     return [
-        verify_sekvm(version, include_buggy=include_buggy)
+        verify_sekvm(version, include_buggy=include_buggy, jobs=jobs)
         for version in all_versions()
     ]

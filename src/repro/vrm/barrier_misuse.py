@@ -40,7 +40,7 @@ from repro.ir.instructions import (
     StoreExclusive,
 )
 from repro.ir.program import Program, Thread
-from repro.memory.exploration import explore
+from repro.memory.cache import cached_explore
 from repro.memory.pushpull import pushpull_config
 from repro.vrm.conditions import ConditionResult, WDRFCondition
 
@@ -130,7 +130,7 @@ def check_no_barrier_misuse_dynamic(
         initial_ownership=tuple(initial_ownership),
         **overrides,
     )
-    result = explore(program, cfg, observe_locs=[])
+    result = cached_explore(program, cfg, observe_locs=[])
     misuse = tuple(
         reason for reason in result.panics if "No-Barrier-Misuse" in reason
     )

@@ -20,7 +20,7 @@ from typing import Iterable, Optional, Tuple
 
 from repro.ir.instructions import Pull, Push
 from repro.ir.program import Program
-from repro.memory.exploration import explore
+from repro.memory.cache import cached_explore
 from repro.memory.pushpull import pushpull_config
 from repro.vrm.conditions import ConditionResult, WDRFCondition
 
@@ -64,7 +64,7 @@ def check_drf_kernel(
         initial_ownership=tuple(initial_ownership),
         **overrides,
     )
-    result = explore(program, cfg, observe_locs=[])
+    result = cached_explore(program, cfg, observe_locs=[])
     drf_panics = tuple(
         reason
         for reason in result.panics

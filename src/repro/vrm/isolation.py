@@ -32,7 +32,7 @@ from repro.ir.instructions import (
     VStore,
 )
 from repro.ir.program import Program
-from repro.memory.exploration import explore
+from repro.memory.cache import cached_explore
 from repro.memory.semantics import ModelConfig
 from repro.vrm.conditions import ConditionResult, WDRFCondition
 
@@ -81,7 +81,7 @@ def _dynamic_violations(program: Program, **overrides) -> Tuple[List[str], bool]
     if not kernel_locs or not user_tids:
         return [], True
     cfg = ModelConfig(relaxed=True, **overrides)
-    result = explore(program, cfg, observe_locs=[], keep_terminal_states=True)
+    result = cached_explore(program, cfg, observe_locs=[], keep_terminal_states=True)
     violations: Set[str] = set()
     for state in result.terminal_states:
         for msg in state.memory:

@@ -114,12 +114,14 @@ def _containment(
     project: Optional[Callable[[Behavior], Behavior]],
     theorem: str,
     observe_locs: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
     **rm_overrides,
 ) -> TheoremResult:
     comparison = compare_models(
         program,
         rm_cfg=ModelConfig(relaxed=True, **rm_overrides),
         observe_locs=observe_locs,
+        jobs=jobs,
     )
     if project is None:
         rm_only = comparison.rm_only
@@ -143,6 +145,7 @@ def _containment(
 def check_theorem2(
     program: Program,
     observe_locs: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
     **rm_overrides,
 ) -> TheoremResult:
     """Theorem 2: a solely-running kernel program has identical execution
@@ -154,13 +157,14 @@ def check_theorem2(
         )
     return _containment(
         program, None, "Theorem 2 (solely-running kernel)",
-        observe_locs=observe_locs, **rm_overrides,
+        observe_locs=observe_locs, jobs=jobs, **rm_overrides,
     )
 
 
 def check_theorem1(
     program: Program,
     observe_locs: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
     **rm_overrides,
 ) -> TheoremResult:
     """Theorem 1: every kernel-observable RM behavior is SC-observable."""
@@ -169,6 +173,7 @@ def check_theorem1(
         kernel_projection(program),
         "Theorem 1 (wDRF theorem)",
         observe_locs=observe_locs,
+        jobs=jobs,
         **rm_overrides,
     )
 
@@ -177,6 +182,7 @@ def check_theorem4(
     program: Program,
     oracle_choices: Tuple[int, ...] = (0, 1),
     observe_locs: Optional[Sequence[int]] = None,
+    jobs: Optional[int] = None,
     **rm_overrides,
 ) -> TheoremResult:
     """Theorem 4: the weakened-wDRF containment, after oracle masking.
@@ -193,6 +199,7 @@ def check_theorem4(
         kernel_projection(masked),
         "Theorem 4 (weakened wDRF theorem)",
         observe_locs=observe_locs,
+        jobs=jobs,
         **rm_overrides,
     )
     return result

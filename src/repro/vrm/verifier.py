@@ -18,10 +18,12 @@ soundness of the whole framework.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.ir.program import Program
+from repro.parallel import parallel_map
 from repro.vrm.barrier_misuse import check_no_barrier_misuse
 from repro.vrm.conditions import ConditionResult, WDRFCondition, WDRFReport
 from repro.vrm.drf_kernel import check_drf_kernel
@@ -48,41 +50,63 @@ class WDRFSpec:
         return dict(self.model_overrides)
 
 
-def verify_wdrf(spec: WDRFSpec) -> WDRFReport:
-    """Run all six wDRF condition checks for *spec*."""
-    report = WDRFReport(subject=spec.program.name, weakened=spec.weakened)
+#: The six checks in report order.  Each entry is a stable name the
+#: pool worker dispatches on (check functions take differing arguments).
+CONDITION_CHECKS: Tuple[str, ...] = (
+    "drf_kernel",
+    "no_barrier_misuse",
+    "write_once",
+    "transactional",
+    "tlb_sequential",
+    "memory_isolation",
+)
+
+
+def run_condition(spec: WDRFSpec, name: str) -> ConditionResult:
+    """Run one named wDRF condition check for *spec*.
+
+    Module-level (and dispatching on a plain string) so it pickles into
+    pool workers; each condition explores its own instrumentation of the
+    program, making the six checks independent jobs.
+    """
     overrides = spec.overrides()
-    report.add(
-        check_drf_kernel(
-            spec.program,
-            spec.shared_locs,
-            spec.initial_ownership,
-            **overrides,
+    if name == "drf_kernel":
+        return check_drf_kernel(
+            spec.program, spec.shared_locs, spec.initial_ownership, **overrides
         )
-    )
-    report.add(
-        check_no_barrier_misuse(
-            spec.program,
-            spec.shared_locs,
-            spec.initial_ownership,
-            **overrides,
+    if name == "no_barrier_misuse":
+        return check_no_barrier_misuse(
+            spec.program, spec.shared_locs, spec.initial_ownership, **overrides
         )
-    )
-    report.add(
-        check_write_once(spec.program, spec.kernel_pt_locs, **overrides)
-    )
-    report.add(
-        check_program_transactional(spec.program, spec.probe_vpns)
-    )
-    report.add(check_sequential_tlb_invalidation(spec.program))
-    report.add(
-        check_memory_isolation(spec.program, weak=spec.weakened, **overrides)
-    )
+    if name == "write_once":
+        return check_write_once(spec.program, spec.kernel_pt_locs, **overrides)
+    if name == "transactional":
+        return check_program_transactional(spec.program, spec.probe_vpns)
+    if name == "tlb_sequential":
+        return check_sequential_tlb_invalidation(spec.program)
+    if name == "memory_isolation":
+        return check_memory_isolation(
+            spec.program, weak=spec.weakened, **overrides
+        )
+    raise ValueError(f"unknown wDRF condition check {name!r}")
+
+
+def verify_wdrf(spec: WDRFSpec, jobs: Optional[int] = None) -> WDRFReport:
+    """Run all six wDRF condition checks for *spec*.
+
+    ``jobs`` fans the independent checks out over a process pool
+    (``None``/``0`` = serial, negative = all CPUs); the report is merged
+    in the fixed condition order either way.
+    """
+    report = WDRFReport(subject=spec.program.name, weakened=spec.weakened)
+    worker = functools.partial(run_condition, spec)
+    for result in parallel_map(worker, CONDITION_CHECKS, jobs=jobs):
+        report.add(result)
     return report
 
 
 def verify_and_check_theorem(
-    spec: WDRFSpec,
+    spec: WDRFSpec, jobs: Optional[int] = None
 ) -> Tuple[WDRFReport, TheoremResult]:
     """Verify the conditions *and* the guarantee they are meant to imply.
 
@@ -90,10 +114,10 @@ def verify_and_check_theorem(
     soundness of the framework means: if the report verifies, the
     containment holds.
     """
-    report = verify_wdrf(spec)
+    report = verify_wdrf(spec, jobs=jobs)
     overrides = spec.overrides()
     if spec.weakened:
-        theorem = check_theorem4(spec.program, **overrides)
+        theorem = check_theorem4(spec.program, jobs=jobs, **overrides)
     else:
-        theorem = check_theorem1(spec.program, **overrides)
+        theorem = check_theorem1(spec.program, jobs=jobs, **overrides)
     return report, theorem

@@ -24,7 +24,7 @@ from typing import Iterable, List, Optional, Sequence, Set, Tuple
 from repro.ir.expr import Imm
 from repro.ir.instructions import PTKind, Store
 from repro.ir.program import Program
-from repro.memory.exploration import explore
+from repro.memory.cache import cached_explore
 from repro.memory.semantics import ModelConfig
 from repro.mmu.pagetable import PTWrite
 from repro.vrm.conditions import ConditionResult, WDRFCondition
@@ -64,7 +64,7 @@ def check_write_once(
             evidence=("program never writes the kernel page table",),
         )
     cfg = ModelConfig(relaxed=relaxed, **overrides)
-    result = explore(program, cfg, observe_locs=[], keep_terminal_states=True)
+    result = cached_explore(program, cfg, observe_locs=[], keep_terminal_states=True)
     violations: List[str] = []
     for state in result.terminal_states:
         writes_per_loc: dict = {}
