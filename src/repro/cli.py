@@ -35,10 +35,18 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         "--no-cache", action="store_true",
         help="ignore and do not write the persistent exploration cache",
     )
+    parser.add_argument(
+        "--no-memo", action="store_true",
+        help="disable certification memoization (sets REPRO_CERT_MEMO=0; "
+        "results are identical, only slower — a debugging/benchmark knob)",
+    )
 
 
 def _apply_cache_flag(args: argparse.Namespace) -> bool:
-    """Honor ``--no-cache``; returns the ``cache=`` value for libraries."""
+    """Honor ``--no-cache`` / ``--no-memo``; returns the ``cache=``
+    value for libraries."""
+    if getattr(args, "no_memo", False):
+        os.environ["REPRO_CERT_MEMO"] = "0"
     if getattr(args, "no_cache", False):
         os.environ["REPRO_EXPLORE_CACHE"] = "0"
         return False

@@ -6,6 +6,7 @@ the models in the paper.
 
 from repro.memory.datatypes import (
     Behavior,
+    EngineStats,
     ExplorationResult,
     Fault,
     Message,
@@ -18,7 +19,9 @@ from repro.memory.semantics import (
     PUSH_PULL_PROMISING,
     PUSH_PULL_SC,
     SC,
+    CertMemo,
     ModelConfig,
+    cert_memo_enabled,
 )
 from repro.memory.exploration import explore, explore_or_raise
 from repro.memory.cache import cached_explore, clear_memory_cache
@@ -43,6 +46,8 @@ from repro.memory.sampling import sample_behaviors
 
 __all__ = [
     "Behavior",
+    "CertMemo",
+    "EngineStats",
     "ExplorationResult",
     "Fault",
     "Message",
@@ -54,6 +59,7 @@ __all__ = [
     "PUSH_PULL_SC",
     "SC",
     "ModelConfig",
+    "cert_memo_enabled",
     "explore",
     "explore_or_raise",
     "cached_explore",

@@ -15,8 +15,8 @@ the exploration engines' duplicate detection.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import FrozenSet, NamedTuple, Optional, Tuple
+from dataclasses import asdict, dataclass, fields
+from typing import Dict, FrozenSet, NamedTuple, Optional, Tuple
 
 
 class Message(NamedTuple):
@@ -72,13 +72,63 @@ class Behavior(NamedTuple):
         return "{" + "; ".join(parts) + "}"
 
 
+@dataclass
+class EngineStats:
+    """Mutable performance counters of one exploration run.
+
+    The exploration engine threads a single ``EngineStats`` through the
+    outer DFS and every nested certification search so future perf work
+    can see exactly where states/second goes:
+
+    * ``certify_calls`` / ``certify_memo_hits`` — certification verdicts
+      requested vs. answered from the :class:`~repro.memory.semantics.
+      CertMemo` without re-searching.
+    * ``candidate_calls`` / ``candidate_memo_hits`` — same for
+      promise-candidate collection.
+    * ``cert_budget_hits`` — certification searches cut short by
+      ``cert_max_states``.  A budget-cut certification may have wrongly
+      rejected a promise, so any hit marks the exploration incomplete
+      (the behavior set could be an under-approximation); memo replays
+      of a budget-cut verdict count again, keeping the counter invariant
+      under memoization.
+    * ``successors_generated`` — total successor states produced by the
+      step relation (before deduplication).
+    * ``por_ample_hits`` — states expanded through a single ample thread
+      instead of the full scheduler fan-out.
+    * ``interner_timelines`` — distinct message timelines hash-consed by
+      the exploration's shared :class:`~repro.memory.state.StateInterner`
+      (0 when interning is disabled).
+    """
+
+    certify_calls: int = 0
+    certify_memo_hits: int = 0
+    candidate_calls: int = 0
+    candidate_memo_hits: int = 0
+    cert_budget_hits: int = 0
+    successors_generated: int = 0
+    por_ample_hits: int = 0
+    interner_timelines: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-ready snapshot (used by the ``bench`` subcommand)."""
+        return asdict(self)
+
+    def add(self, other: "EngineStats") -> "EngineStats":
+        """Accumulate *other* into this counter set (for corpus sums)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+
 @dataclass(frozen=True)
 class ExplorationResult:
     """The outcome of exhaustively exploring a program under a model.
 
     ``terminal_states`` is only populated when the exploration was asked
     to keep them (the Write-Once and Memory-Isolation checkers audit the
-    full message timelines of terminal states).
+    full message timelines of terminal states).  ``stats`` carries the
+    engine's :class:`EngineStats` counters; entry points that synthesize
+    results (sampling, axiomatic comparison) may leave it ``None``.
     """
 
     behaviors: FrozenSet[Behavior]
@@ -86,6 +136,7 @@ class ExplorationResult:
     states_explored: int
     cut_paths: int
     terminal_states: Tuple = ()
+    stats: Optional[EngineStats] = None
 
     @property
     def panics(self) -> FrozenSet[str]:

@@ -34,12 +34,14 @@ from repro.errors import ExplorationBudgetExceeded, VerificationError
 from repro.ir.program import Program
 from repro.memory.datatypes import (
     Behavior,
+    EngineStats,
     ExplorationResult,
     latest_write_ts,
     value_at,
 )
 from repro.memory.por import PORPlan
 from repro.memory.semantics import (
+    CertMemo,
     ModelConfig,
     ProgramCache,
     execute_instruction,
@@ -149,16 +151,23 @@ def _explore(
 
     behaviors: Set[Behavior] = set()
     terminal_states: List[ExecState] = []
+    stats = EngineStats()
     if interning_enabled():
-        state_key = StateInterner().key
+        interner: Optional[StateInterner] = StateInterner()
+        state_key = interner.key
     else:  # benchmark baseline: hash whole states
+        interner = None
         state_key = lambda s: s  # noqa: E731
+    # One certification memo — and one interner — for the whole run: the
+    # outer DFS and every nested certification search share them.
+    memo = CertMemo(interner=interner, stats=stats)
     visited = {state_key(start)}
     stack: List[ExecState] = [start]
     states_explored = 0
     cut_paths = 0
     complete = True
     n_threads = len(program.threads)
+    relaxed = cfg.relaxed
 
     while stack:
         if states_explored >= cfg.max_states:
@@ -176,16 +185,23 @@ def _explore(
 
         successors: Optional[List[ExecState]] = None
         if plan is not None:
-            ample = plan.ample_thread(cache, state)
+            ample = plan.ample_thread(cache, state, stats=stats)
             if ample is not None:
                 successors = execute_instruction(cache, state, ample, cfg)
                 if not successors:
                     successors = None  # blocked: fall back to full expansion
         if successors is None:
             successors = []
+            threads = state.threads
             for tidx in range(n_threads):
+                if threads[tidx].halted:
+                    continue  # fast path: no steps, no promises
                 successors.extend(execute_instruction(cache, state, tidx, cfg))
-                successors.extend(promise_steps(cache, state, tidx, cfg))
+                if relaxed:
+                    successors.extend(
+                        promise_steps(cache, state, tidx, cfg, memo)
+                    )
+        stats.successors_generated += len(successors)
 
         if not successors:
             # Deadlock: some thread blocked forever (e.g. an RMW stuck
@@ -203,12 +219,22 @@ def _explore(
                 visited.add(key)
                 stack.append(succ)
 
+    if interner is not None:
+        stats.interner_timelines = len(interner)
+    if stats.cert_budget_hits:
+        # A budget-cut certification may have wrongly rejected a promise:
+        # the behavior set could be an under-approximation, and an
+        # incomplete certification must not masquerade as a smaller
+        # behavior set.
+        complete = False
+
     return ExplorationResult(
         behaviors=frozenset(behaviors),
         complete=complete,
         states_explored=states_explored,
         cut_paths=cut_paths,
         terminal_states=tuple(terminal_states),
+        stats=stats,
     )
 
 
@@ -220,8 +246,17 @@ def explore_or_raise(
     """Like :func:`explore` but refuses incomplete explorations."""
     result = explore(program, cfg, observe_locs)
     if not result.complete:
+        stats = result.stats
+        cert_note = ""
+        if stats is not None and stats.cert_budget_hits:
+            cert_note = (
+                f"; {stats.cert_budget_hits} certification searches hit "
+                f"cert_max_states={cfg.cert_max_states}, so the behavior "
+                f"set may be an under-approximation"
+            )
         raise ExplorationBudgetExceeded(
             f"exploration of {program.name!r} exceeded its budget "
-            f"({result.states_explored} states, {result.cut_paths} cut paths)"
+            f"({result.states_explored} states, {result.cut_paths} cut paths"
+            f"{cert_note})"
         )
     return result

@@ -162,12 +162,14 @@ class PORPlan:
         fp = self.footprints[tidx][min(pc, self._thread_lens[tidx])]
         return fp is TOP or loc in fp
 
-    def ample_thread(self, cache, state) -> Optional[int]:
+    def ample_thread(self, cache, state, stats=None) -> Optional[int]:
         """A thread index safe to schedule exclusively at *state*, or
         ``None`` when the full successor expansion is required.
 
         Selection is deterministic (lowest-index eligible thread, local
-        steps first) so explorations stay reproducible.
+        steps first) so explorations stay reproducible.  When the caller
+        passes the exploration's :class:`~repro.memory.datatypes.
+        EngineStats`, every ample selection bumps ``por_ample_hits``.
         """
         if not self.eligible:
             return None
@@ -177,8 +179,12 @@ class PORPlan:
             if ctx.halted:
                 continue
             if ctx.pc >= self._thread_lens[tidx]:
+                if stats is not None:
+                    stats.por_ample_hits += 1
                 return tidx  # halt-normalization step: local by nature
             if isinstance(cache.instr_at(tidx, ctx.pc), LOCAL_INSTRS):
+                if stats is not None:
+                    stats.por_ample_hits += 1
                 return tidx
         # Pass 2: a thread loading a location no other thread can still
         # write, with no stores (hence no promise steps) of its own left.
@@ -201,5 +207,7 @@ class PORPlan:
                 if other != tidx and not threads[other].halted
             ):
                 continue
+            if stats is not None:
+                stats.por_ample_hits += 1
             return tidx
         return None

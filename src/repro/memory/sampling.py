@@ -21,6 +21,7 @@ from repro.memory.exploration import (
     behavior_of,
 )
 from repro.memory.semantics import (
+    CertMemo,
     ModelConfig,
     ProgramCache,
     execute_instruction,
@@ -49,6 +50,9 @@ def sample_behaviors(
     behaviors: Set[Behavior] = set()
     states_seen = 0
     cut = 0
+    # Walks revisit the same certification questions constantly; share
+    # one memo (and interner) across all runs of this sampling session.
+    memo = CertMemo()
 
     for _ in range(runs):
         state = initial_state(len(program.threads), cfg.initial_ownership)
@@ -65,7 +69,7 @@ def sample_behaviors(
                 # walks stay cheap but relaxed behaviors remain reachable.
                 if cfg.relaxed and rng.random() < 0.3:
                     successors.extend(
-                        promise_steps(cache, state, tidx, cfg)
+                        promise_steps(cache, state, tidx, cfg, memo)
                     )
             successors = [
                 s for s in successors if len(s.memory) <= cfg.max_memory

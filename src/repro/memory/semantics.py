@@ -25,10 +25,11 @@ The functions here generate *all* successor states of a configuration;
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import ExecutionError, ProgramError
+from repro.errors import ExecutionError, ProgramError, VerificationError
 from repro.ir.expr import Expr
 from repro.ir.instructions import (
     Barrier,
@@ -57,6 +58,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.program import Program, Thread
 from repro.memory.datatypes import (
+    EngineStats,
     Fault,
     Message,
     last_write_ts,
@@ -117,6 +119,9 @@ class ProgramCache:
         self.threads: Tuple[Thread, ...] = program.threads
         self.labels: List[Dict[str, int]] = [t.labels() for t in program.threads]
         self.initial_memory = dict(program.initial_memory)
+        self._promisable: List[Optional[List[bool]]] = [None] * len(
+            program.threads
+        )
 
     def init_value(self, loc: int) -> int:
         return self.initial_memory.get(loc, 0)
@@ -134,6 +139,49 @@ class ProgramCache:
             raise ProgramError(
                 f"unknown label {name!r} in thread {self.threads[tidx].tid}"
             ) from None
+
+    def promisable_from(self, tidx: int, pc: int) -> bool:
+        """Can any plain (non-release) ``Store`` still execute from *pc*?
+
+        Static control-flow reachability over the thread's instruction
+        stream (branch targets are labels, hence static).  When False,
+        the promise-candidate lookahead is provably empty — only plain
+        ``Store`` instructions ever contribute candidates — so
+        :func:`promise_steps` skips the whole nested search.
+        """
+        reach = self._promisable[tidx]
+        if reach is None:
+            reach = self._compute_promisable(tidx)
+            self._promisable[tidx] = reach
+        return 0 <= pc < len(reach) and reach[pc]
+
+    def _compute_promisable(self, tidx: int) -> List[bool]:
+        instrs = self.threads[tidx].instrs
+        labels = self.labels[tidx]
+        n = len(instrs)
+        succs: List[Tuple[int, ...]] = []
+        for pc, instr in enumerate(instrs):
+            if isinstance(instr, Jump):
+                succs.append((labels.get(instr.target, n),))
+            elif isinstance(instr, (BranchIfZero, BranchIfNonZero)):
+                succs.append((labels.get(instr.target, n), pc + 1))
+            elif isinstance(instr, Panic):
+                succs.append(())
+            else:
+                succs.append((pc + 1,))
+        reach = [
+            isinstance(instr, Store) and not instr.release for instr in instrs
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for pc in range(n - 1, -1, -1):
+                if reach[pc]:
+                    continue
+                if any(s < n and reach[s] for s in succs[pc]):
+                    reach[pc] = True
+                    changed = True
+        return reach
 
 
 # ---------------------------------------------------------------------------
@@ -153,8 +201,13 @@ def _dep_view(ctx: ThreadCtx, expr: Expr) -> int:
 
 
 def _advance(cache: ProgramCache, tidx: int, ctx: ThreadCtx, pc: int) -> ThreadCtx:
-    halted = pc >= cache.thread_len(tidx)
-    return ctx._replace(pc=pc, halted=halted)
+    # Positional construction: ~3x cheaper than NamedTuple._replace on
+    # this hot path (one per executed instruction).
+    return ThreadCtx(
+        pc, pc >= cache.thread_len(tidx), ctx.regs, ctx.rv, ctx.coh,
+        ctx.vrn, ctx.vwn, ctx.vro, ctx.vwo, ctx.vctrl, ctx.promises,
+        ctx.monitor,
+    )
 
 
 def _own_promise_ts(ctx: ThreadCtx) -> FrozenSet[int]:
@@ -177,7 +230,7 @@ def _read_candidates(
     Arm.  A thread never reads its own unfulfilled promise.
     """
     init = cache.init_value(loc)
-    own = _own_promise_ts(ctx)
+    own = ctx.promises  # tiny tuple: membership beats building a frozenset
     if not cfg.relaxed:
         ts = latest_write_ts(state.memory, loc)
         if ts in own:
@@ -214,7 +267,7 @@ def _walker_candidates(
     if not cfg.relaxed:
         ts = latest_write_ts(state.memory, loc)
         return [(ts, value_at(state.memory, loc, ts, init))]
-    own = _own_promise_ts(state.threads[cpu_tidx])
+    own = state.threads[cpu_tidx].promises
     floor = last_write_ts(state.memory, loc, state.walker_floor)
     out: List[Tuple[int, int]] = []
     if floor == 0:
@@ -282,18 +335,35 @@ def execute_instruction(
         return [state.with_thread(tidx, ctx._replace(halted=True))]
     thread = cache.threads[tidx]
     instr = cache.instr_at(tidx, ctx.pc)
-    regs = _regs_dict(ctx)
 
+    # Register-free instructions first: no regs dict to materialize.
     if isinstance(instr, (Label, Nop)):
         return [state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
 
+    if isinstance(instr, Barrier):
+        new = _apply_barrier(ctx, instr.kind)
+        return [state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1))]
+
+    if isinstance(instr, Jump):
+        target = cache.label_index(tidx, instr.target)
+        return [state.with_thread(tidx, _advance(cache, tidx, ctx, target))]
+
+    if isinstance(instr, Panic):
+        return [_panic_state(state, instr.reason)]
+
+    regs = _regs_dict(ctx)
+
     if isinstance(instr, Mov):
         value = instr.src.eval(regs)
-        new = ctx._replace(
-            regs=tset(ctx.regs, instr.dst, value),
-            rv=tset(ctx.rv, instr.dst, _dep_view(ctx, instr.src)),
+        pc1 = ctx.pc + 1
+        new = ThreadCtx(
+            pc1, pc1 >= cache.thread_len(tidx),
+            tset(ctx.regs, instr.dst, value),
+            tset(ctx.rv, instr.dst, _dep_view(ctx, instr.src)),
+            ctx.coh, ctx.vrn, ctx.vwn, ctx.vro, ctx.vwo, ctx.vctrl,
+            ctx.promises, ctx.monitor,
         )
-        return [state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1))]
+        return [state.with_thread(tidx, new)]
 
     if isinstance(instr, Load):
         return _exec_load(cache, state, tidx, cfg, instr, regs)
@@ -313,20 +383,12 @@ def execute_instruction(
     if isinstance(instr, StoreExclusive):
         return _exec_stxr(cache, state, tidx, cfg, instr, regs)
 
-    if isinstance(instr, Barrier):
-        new = _apply_barrier(ctx, instr.kind)
-        return [state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1))]
-
     if isinstance(instr, (BranchIfZero, BranchIfNonZero)):
         cond = instr.cond.eval(regs)
         taken = (cond == 0) if isinstance(instr, BranchIfZero) else (cond != 0)
         target = cache.label_index(tidx, instr.target) if taken else ctx.pc + 1
         new = ctx._replace(vctrl=max(ctx.vctrl, _dep_view(ctx, instr.cond)))
         return [state.with_thread(tidx, _advance(cache, tidx, new, target))]
-
-    if isinstance(instr, Jump):
-        target = cache.label_index(tidx, instr.target)
-        return [state.with_thread(tidx, _advance(cache, tidx, ctx, target))]
 
     if isinstance(instr, VLoad):
         return _exec_virtual(cache, state, tidx, cfg, instr, regs, is_store=False)
@@ -354,9 +416,6 @@ def execute_instruction(
             out.append(state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1)))
         return out
 
-    if isinstance(instr, Panic):
-        return [_panic_state(state, instr.reason)]
-
     raise ExecutionError(f"unhandled instruction {instr!r}")
 
 
@@ -368,17 +427,27 @@ def _exec_load(cache, state, tidx, cfg, instr: Load, regs) -> List[ExecState]:
     if reason is not None:
         return [_panic_state(state, reason)]
     adep = _dep_view(ctx, instr.addr)
+    pc1 = ctx.pc + 1
+    halted = pc1 >= cache.thread_len(tidx)
+    dst = instr.dst
+    coh0 = tget(ctx.coh, loc, 0)
+    acquire = instr.acquire
     out: List[ExecState] = []
     for ts, val in _read_candidates(state, cache, cfg, ctx, loc, adep):
-        new = ctx._replace(
-            regs=tset(ctx.regs, instr.dst, val),
-            rv=tset(ctx.rv, instr.dst, max(adep, ts)),
-            coh=tset(ctx.coh, loc, max(tget(ctx.coh, loc, 0), ts)),
-            vro=max(ctx.vro, ts),
+        vrn, vwn = ctx.vrn, ctx.vwn
+        if acquire:
+            vrn = max(vrn, ts)
+            vwn = max(vwn, ts)
+        new = ThreadCtx(
+            pc1, halted,
+            tset(ctx.regs, dst, val),
+            tset(ctx.rv, dst, max(adep, ts)),
+            tset(ctx.coh, loc, max(coh0, ts)),
+            vrn, vwn,
+            max(ctx.vro, ts),
+            ctx.vwo, ctx.vctrl, ctx.promises, ctx.monitor,
         )
-        if instr.acquire:
-            new = new._replace(vrn=max(new.vrn, ts), vwn=max(new.vwn, ts))
-        out.append(state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1)))
+        out.append(state.with_thread(tidx, new))
     return out
 
 
@@ -399,18 +468,21 @@ def _exec_store(cache, state, tidx, cfg, instr: Store, regs) -> List[ExecState]:
         return [_panic_state(state, reason)]
     dep = max(_dep_view(ctx, instr.addr), _dep_view(ctx, instr.value))
     floor = _store_floor(ctx, loc, dep, instr.release)
+    pc1 = ctx.pc + 1
+    halted = pc1 >= cache.thread_len(tidx)
     out: List[ExecState] = []
 
     # Option 1: append a fresh message at the end of the timeline.
     ts = len(state.memory) + 1
     new_state = state.append_message(Message(ts, loc, val, thread.tid, False))
-    new_ctx = ctx._replace(
-        coh=tset(ctx.coh, loc, ts),
-        vwo=max(ctx.vwo, ts),
+    new_ctx = ThreadCtx(
+        pc1, halted, ctx.regs, ctx.rv,
+        tset(ctx.coh, loc, ts),
+        ctx.vrn, ctx.vwn, ctx.vro,
+        max(ctx.vwo, ts),
+        ctx.vctrl, ctx.promises, ctx.monitor,
     )
-    out.append(
-        new_state.with_thread(tidx, _advance(cache, tidx, new_ctx, ctx.pc + 1))
-    )
+    out.append(new_state.with_thread(tidx, new_ctx))
 
     # Option 2: fulfill one of this thread's outstanding promises.
     if not instr.release:
@@ -418,14 +490,16 @@ def _exec_store(cache, state, tidx, cfg, instr: Store, regs) -> List[ExecState]:
             msg = state.memory[p - 1]
             if msg.loc == loc and msg.val == val and p > floor:
                 fulfilled = state.fulfill(p)
-                new_ctx = ctx._replace(
-                    coh=tset(ctx.coh, loc, max(tget(ctx.coh, loc, 0), p)),
-                    vwo=max(ctx.vwo, p),
-                    promises=tuple(q for q in ctx.promises if q != p),
+                new_ctx = ThreadCtx(
+                    pc1, halted, ctx.regs, ctx.rv,
+                    tset(ctx.coh, loc, max(tget(ctx.coh, loc, 0), p)),
+                    ctx.vrn, ctx.vwn, ctx.vro,
+                    max(ctx.vwo, p),
+                    ctx.vctrl,
+                    tuple(q for q in ctx.promises if q != p),
+                    ctx.monitor,
                 )
-                succ = fulfilled.with_thread(
-                    tidx, _advance(cache, tidx, new_ctx, ctx.pc + 1)
-                )
+                succ = fulfilled.with_thread(tidx, new_ctx)
                 if not (succ.threads[tidx].halted and succ.threads[tidx].promises):
                     out.append(succ)
     # Halting with unfulfilled promises is not a valid execution.
@@ -446,7 +520,7 @@ def _exec_faa(cache, state, tidx, cfg, instr: FetchAndInc, regs) -> List[ExecSta
         return [_panic_state(state, reason)]
     adep = _dep_view(ctx, instr.addr)
     ts_last = latest_write_ts(state.memory, loc)
-    if ts_last in _own_promise_ts(ctx):
+    if ts_last in ctx.promises:
         return []  # blocked behind own unfulfilled promise
     old = value_at(state.memory, loc, ts_last, cache.init_value(loc))
     ts_new = len(state.memory) + 1
@@ -484,7 +558,7 @@ def _exec_cas(
     adep = _dep_view(ctx, instr.addr)
     vdep = max(_dep_view(ctx, instr.expected), _dep_view(ctx, instr.desired))
     ts_last = latest_write_ts(state.memory, loc)
-    if ts_last in _own_promise_ts(ctx):
+    if ts_last in ctx.promises:
         return []  # blocked behind own unfulfilled promise
     old = value_at(state.memory, loc, ts_last, cache.init_value(loc))
     expected = instr.expected.eval(regs)
@@ -528,18 +602,26 @@ def _exec_ldxr(
     if reason is not None:
         return [_panic_state(state, reason)]
     adep = _dep_view(ctx, instr.addr)
+    pc1 = ctx.pc + 1
+    halted = pc1 >= cache.thread_len(tidx)
+    coh0 = tget(ctx.coh, loc, 0)
     out: List[ExecState] = []
     for ts, val in _read_candidates(state, cache, cfg, ctx, loc, adep):
-        new = ctx._replace(
-            regs=tset(ctx.regs, instr.dst, val),
-            rv=tset(ctx.rv, instr.dst, max(adep, ts)),
-            coh=tset(ctx.coh, loc, max(tget(ctx.coh, loc, 0), ts)),
-            vro=max(ctx.vro, ts),
-            monitor=(loc, ts),
-        )
+        vrn, vwn = ctx.vrn, ctx.vwn
         if instr.acquire:
-            new = new._replace(vrn=max(new.vrn, ts), vwn=max(new.vwn, ts))
-        out.append(state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1)))
+            vrn = max(vrn, ts)
+            vwn = max(vwn, ts)
+        new = ThreadCtx(
+            pc1, halted,
+            tset(ctx.regs, instr.dst, val),
+            tset(ctx.rv, instr.dst, max(adep, ts)),
+            tset(ctx.coh, loc, max(coh0, ts)),
+            vrn, vwn,
+            max(ctx.vro, ts),
+            ctx.vwo, ctx.vctrl, ctx.promises,
+            (loc, ts),
+        )
+        out.append(state.with_thread(tidx, new))
     return out
 
 
@@ -838,24 +920,104 @@ def _exec_push(cache, state, tidx, cfg, instr: Push, regs) -> List[ExecState]:
 # promises
 # ---------------------------------------------------------------------------
 
-def collect_promise_candidates(
+def cert_memo_enabled() -> bool:
+    """Certification memoization is on unless ``REPRO_CERT_MEMO=0``.
+
+    Like ``REPRO_POR`` / ``REPRO_INTERN``, the switch exists to measure
+    (and cross-check) the engine against its own unoptimized baseline —
+    memoization never changes results, only the cost of re-certifying.
+    """
+    return os.environ.get("REPRO_CERT_MEMO", "1") != "0"
+
+
+def cert_memo_check_enabled() -> bool:
+    """Cross-check mode (``REPRO_CERT_MEMO_CHECK=1``): every memo hit is
+    recomputed from scratch and any disagreement raises."""
+    return os.environ.get("REPRO_CERT_MEMO_CHECK", "0") == "1"
+
+
+class CertMemo:
+    """Per-exploration memo for the certification searches.
+
+    The certification step — "can thread *t*, running alone, fulfill all
+    its promises?" — is a pure function of (a) the thread index, (b) the
+    message timeline, (c) that thread's own context, and (d) the fields
+    an isolated run can read: the TLB, the walker floor, and the panic
+    flag.  Ownership, push timestamps, pending releases, and the *other*
+    threads' contexts cannot influence it: certification runs with the
+    push/pull discipline disabled and never steps another thread.  The
+    same argument covers promise-candidate collection, which runs the
+    identical single-thread step relation.  ``CertMemo`` therefore caches
+    both by exactly that key, with the timeline compressed to its
+    hash-consed interner code.
+
+    One memo — and one :class:`~repro.memory.state.StateInterner` — is
+    shared between the outer exploration and every nested certification
+    search, replacing the fresh-interner-per-call scheme that dominated
+    promise-heavy workloads.  The memo is scoped to a single
+    (program, :class:`ModelConfig`) exploration: neither is part of the
+    key, so never reuse an instance across explorations.
+
+    Budget-cut searches are remembered as such: replaying a verdict whose
+    computation hit ``cert_max_states`` re-counts ``cert_budget_hits``,
+    so the counter is invariant under memoization and the explorer can
+    refuse to call a budget-cut behavior set complete.
+    """
+
+    __slots__ = ("interner", "stats", "enabled", "check", "_verdicts",
+                 "_candidates")
+
+    def __init__(
+        self,
+        interner: Optional[StateInterner] = None,
+        stats: Optional[EngineStats] = None,
+    ) -> None:
+        if interner is None and interning_enabled():
+            interner = StateInterner()
+        self.interner = interner
+        self.stats = stats if stats is not None else EngineStats()
+        self.enabled = cert_memo_enabled()
+        self.check = cert_memo_check_enabled()
+        self._verdicts: Dict[Tuple, Tuple[bool, bool]] = {}
+        self._candidates: Dict[Tuple, Tuple[FrozenSet, bool]] = {}
+
+    def thread_key(self, state: ExecState, tidx: int) -> Tuple:
+        """The memo key: everything a single-thread search depends on."""
+        if self.interner is not None:
+            timeline = self.interner.timeline_code(state.memory)
+        else:
+            timeline = state.memory
+        return (
+            tidx,
+            timeline,
+            state.threads[tidx],
+            state.tlb,
+            state.walker_floor,
+            state.panic,
+        )
+
+
+def _single_thread_key(memo: Optional[CertMemo]):
+    """The visited-set key function for a nested single-thread search."""
+    if memo is not None and memo.interner is not None:
+        return memo.interner.key
+    if interning_enabled():
+        return StateInterner().key
+    return lambda s: s
+
+
+def _collect_search(
     cache: ProgramCache,
     state: ExecState,
     tidx: int,
     cfg: ModelConfig,
-) -> FrozenSet[Tuple[int, int]]:
-    """(loc, value) pairs of stores thread *tidx* could perform soon.
-
-    A bounded thread-local lookahead: run only this thread forward (with
-    every read choice) and record the first ``promise_depth`` stores along
-    each path.  Release stores are never promisable (Arm's STLR is ordered
-    after all program-order-earlier accesses, so promoting it early is
-    architecturally impossible).
-    """
+    memo: Optional[CertMemo],
+) -> Tuple[FrozenSet[Tuple[int, int]], bool]:
+    """The candidate lookahead proper; returns (candidates, hit_budget)."""
     candidates: set = set()
     local_cfg = replace(cfg, pushpull=False)  # lookahead ignores ownership
     stack: List[Tuple[ExecState, int]] = [(state, 0)]
-    state_key = StateInterner().key if interning_enabled() else (lambda s: s)
+    state_key = _single_thread_key(memo)
     seen = {state_key(state)}
     budget = cfg.cert_max_states
     while stack and budget > 0:
@@ -887,24 +1049,20 @@ def collect_promise_candidates(
             if key not in seen:
                 seen.add(key)
                 stack.append((succ, next_depth))
-    return frozenset(candidates)
+    return frozenset(candidates), bool(stack)
 
 
-def certify(
+def _certify_search(
     cache: ProgramCache,
     state: ExecState,
     tidx: int,
     cfg: ModelConfig,
-) -> bool:
-    """Can thread *tidx*, running alone, fulfill all its promises?
-
-    This is the certification step of the Promising model: a promise may
-    only be made if the thread can, in isolation against the current
-    memory, reach a configuration with no outstanding promises.
-    """
+    memo: Optional[CertMemo],
+) -> Tuple[bool, bool]:
+    """The certification DFS proper; returns (verdict, hit_budget)."""
     local_cfg = replace(cfg, pushpull=False)
     stack = [state]
-    state_key = StateInterner().key if interning_enabled() else (lambda s: s)
+    state_key = _single_thread_key(memo)
     seen = {state_key(state)}
     budget = cfg.cert_max_states
     while stack and budget > 0:
@@ -912,7 +1070,7 @@ def certify(
         budget -= 1
         ctx = st.threads[tidx]
         if not ctx.promises:
-            return True
+            return True, False
         if ctx.halted or st.panic is not None:
             continue
         for succ in execute_instruction(cache, st, tidx, local_cfg):
@@ -922,7 +1080,99 @@ def certify(
             if key not in seen:
                 seen.add(key)
                 stack.append(succ)
-    return False
+    return False, bool(stack)
+
+
+def collect_promise_candidates(
+    cache: ProgramCache,
+    state: ExecState,
+    tidx: int,
+    cfg: ModelConfig,
+    memo: Optional[CertMemo] = None,
+) -> FrozenSet[Tuple[int, int]]:
+    """(loc, value) pairs of stores thread *tidx* could perform soon.
+
+    A bounded thread-local lookahead: run only this thread forward (with
+    every read choice) and record the first ``promise_depth`` stores along
+    each path.  Release stores are never promisable (Arm's STLR is ordered
+    after all program-order-earlier accesses, so promoting it early is
+    architecturally impossible).  With a :class:`CertMemo`, results are
+    cached per (thread, context, timeline) and the exploration's shared
+    interner backs the visited set.
+    """
+    stats = memo.stats if memo is not None else None
+    if stats is not None:
+        stats.candidate_calls += 1
+    use_memo = memo is not None and memo.enabled
+    if use_memo:
+        key = memo.thread_key(state, tidx)
+        entry = memo._candidates.get(key)
+        if entry is not None:
+            candidates, hit_budget = entry
+            stats.candidate_memo_hits += 1
+            if hit_budget:
+                stats.cert_budget_hits += 1
+            if memo.check:
+                fresh, _ = _collect_search(cache, state, tidx, cfg, memo)
+                if fresh != candidates:
+                    raise VerificationError(
+                        f"certification-memo cross-check failed: cached "
+                        f"promise candidates {sorted(candidates)} != "
+                        f"recomputed {sorted(fresh)} for thread {tidx}"
+                    )
+            return candidates
+    candidates, hit_budget = _collect_search(cache, state, tidx, cfg, memo)
+    if stats is not None and hit_budget:
+        stats.cert_budget_hits += 1
+    if use_memo:
+        memo._candidates[key] = (candidates, hit_budget)
+    return candidates
+
+
+def certify(
+    cache: ProgramCache,
+    state: ExecState,
+    tidx: int,
+    cfg: ModelConfig,
+    memo: Optional[CertMemo] = None,
+) -> bool:
+    """Can thread *tidx*, running alone, fulfill all its promises?
+
+    This is the certification step of the Promising model: a promise may
+    only be made if the thread can, in isolation against the current
+    memory, reach a configuration with no outstanding promises.  With a
+    :class:`CertMemo`, verdicts are cached per (thread, context,
+    timeline) and the exploration's shared interner backs the visited
+    set; ``REPRO_CERT_MEMO=0`` disables the cache and
+    ``REPRO_CERT_MEMO_CHECK=1`` recomputes every hit from scratch.
+    """
+    stats = memo.stats if memo is not None else None
+    if stats is not None:
+        stats.certify_calls += 1
+    use_memo = memo is not None and memo.enabled
+    if use_memo:
+        key = memo.thread_key(state, tidx)
+        entry = memo._verdicts.get(key)
+        if entry is not None:
+            verdict, hit_budget = entry
+            stats.certify_memo_hits += 1
+            if hit_budget:
+                stats.cert_budget_hits += 1
+            if memo.check:
+                fresh, _ = _certify_search(cache, state, tidx, cfg, memo)
+                if fresh != verdict:
+                    raise VerificationError(
+                        f"certification-memo cross-check failed: cached "
+                        f"verdict {verdict} != recomputed {fresh} for "
+                        f"thread {tidx}"
+                    )
+            return verdict
+    verdict, hit_budget = _certify_search(cache, state, tidx, cfg, memo)
+    if stats is not None and hit_budget:
+        stats.cert_budget_hits += 1
+    if use_memo:
+        memo._verdicts[key] = (verdict, hit_budget)
+    return verdict
 
 
 def promise_steps(
@@ -930,8 +1180,14 @@ def promise_steps(
     state: ExecState,
     tidx: int,
     cfg: ModelConfig,
+    memo: Optional[CertMemo] = None,
 ) -> List[ExecState]:
-    """Successor states where thread *tidx* promises a future store."""
+    """Successor states where thread *tidx* promises a future store.
+
+    Candidates are iterated in sorted order so the successor list — and
+    therefore the outer DFS — is deterministic and identical with the
+    certification memo on or off.
+    """
     ctx = state.threads[tidx]
     if (
         not cfg.relaxed
@@ -939,16 +1195,21 @@ def promise_steps(
         or state.panic is not None
         or len(ctx.promises) >= cfg.max_promises_per_thread
         or len(state.memory) >= cfg.max_memory
+        # Fast path: no plain store is control-flow-reachable from here,
+        # so the candidate lookahead is provably empty.
+        or not cache.promisable_from(tidx, ctx.pc)
     ):
         return []
     thread = cache.threads[tidx]
     out: List[ExecState] = []
-    for loc, val in collect_promise_candidates(cache, state, tidx, cfg):
+    for loc, val in sorted(
+        collect_promise_candidates(cache, state, tidx, cfg, memo)
+    ):
         ts = len(state.memory) + 1
         promised = state.append_message(Message(ts, loc, val, thread.tid, True))
         promised = promised.with_thread(
             tidx, ctx._replace(promises=ctx.promises + (ts,))
         )
-        if certify(cache, promised, tidx, cfg):
+        if certify(cache, promised, tidx, cfg, memo):
             out.append(promised)
     return out

@@ -7,14 +7,16 @@ the push/pull ownership map.  States are plain nested tuples so they hash
 and compare fast; functional updates go through small helpers.
 
 Mapping-like fields (registers, views-per-register, coherence-per-
-location, ownership) are stored as sorted tuples of pairs, updated with
-:func:`tset`.  The constant-factor cost is acceptable at litmus scale and
-buys trivially correct duplicate detection.
+location, ownership) are stored as sorted tuples of pairs, looked up and
+updated with :func:`tget`/:func:`tset`/:func:`tdel` via binary search —
+O(log n) probes and O(n) copying updates with no re-sort, while keeping
+the trivially correct hashing/equality of plain tuples.
 """
 
 from __future__ import annotations
 
 import os
+from bisect import bisect_left
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.memory.datatypes import Fault, Message
@@ -32,25 +34,33 @@ def interning_enabled() -> bool:
 Pairs = Tuple[Tuple, ...]
 
 
+# The probe ``(key,)`` sorts strictly before ``(key, value)`` for any
+# value (a proper prefix of a tuple is always smaller), so bisect_left
+# lands exactly on the entry for ``key`` when one exists — no ``key=``
+# extraction, and values are never compared.
+
 def tget(pairs: Pairs, key, default=0):
-    """Look up *key* in a sorted pair-tuple mapping."""
-    for k, v in pairs:
-        if k == key:
-            return v
+    """Look up *key* in a sorted pair-tuple mapping (binary search)."""
+    i = bisect_left(pairs, (key,))
+    if i < len(pairs) and pairs[i][0] == key:
+        return pairs[i][1]
     return default
 
 
 def tset(pairs: Pairs, key, value) -> Pairs:
     """Return a new sorted pair-tuple with *key* set to *value*."""
-    out = [(k, v) for k, v in pairs if k != key]
-    out.append((key, value))
-    out.sort()
-    return tuple(out)
+    i = bisect_left(pairs, (key,))
+    if i < len(pairs) and pairs[i][0] == key:
+        return pairs[:i] + ((key, value),) + pairs[i + 1:]
+    return pairs[:i] + ((key, value),) + pairs[i:]
 
 
 def tdel(pairs: Pairs, key) -> Pairs:
     """Return a new pair-tuple with *key* removed (no-op if absent)."""
-    return tuple((k, v) for k, v in pairs if k != key)
+    i = bisect_left(pairs, (key,))
+    if i < len(pairs) and pairs[i][0] == key:
+        return pairs[:i] + pairs[i + 1:]
+    return pairs
 
 
 class ThreadCtx(NamedTuple):
@@ -106,12 +116,36 @@ class ExecState(NamedTuple):
     def thread(self, idx: int) -> ThreadCtx:
         return self.threads[idx]
 
+    # The three functional updates below are the hottest allocation sites
+    # of the whole engine; they construct positionally instead of going
+    # through NamedTuple._replace's keyword machinery.
+
     def with_thread(self, idx: int, ctx: ThreadCtx) -> "ExecState":
-        threads = self.threads[:idx] + (ctx,) + self.threads[idx + 1:]
-        return self._replace(threads=threads)
+        threads = self.threads
+        return ExecState(
+            self.memory,
+            threads[:idx] + (ctx,) + threads[idx + 1:],
+            self.tlb,
+            self.walker_floor,
+            self.ownership,
+            self.push_ts,
+            self.faults,
+            self.panic,
+            self.pending_release,
+        )
 
     def append_message(self, msg: Message) -> "ExecState":
-        return self._replace(memory=self.memory + (msg,))
+        return ExecState(
+            self.memory + (msg,),
+            self.threads,
+            self.tlb,
+            self.walker_floor,
+            self.ownership,
+            self.push_ts,
+            self.faults,
+            self.panic,
+            self.pending_release,
+        )
 
     def fulfill(self, ts: int) -> "ExecState":
         """Mark the promise at *ts* fulfilled."""
@@ -121,7 +155,17 @@ class ExecState(NamedTuple):
             + (msg._replace(promised=False),)
             + self.memory[ts:]
         )
-        return self._replace(memory=memory)
+        return ExecState(
+            memory,
+            self.threads,
+            self.tlb,
+            self.walker_floor,
+            self.ownership,
+            self.push_ts,
+            self.faults,
+            self.panic,
+            self.pending_release,
+        )
 
 
 class StateInterner:
@@ -145,7 +189,11 @@ class StateInterner:
 
     Keys are plain tuples: cheap to hash, cheap to compare, and equal
     exactly when the underlying states are equal.  An interner is scoped
-    to one exploration; never compare keys from different interners.
+    to one exploration — the outer DFS and every nested certification
+    search it spawns share the same instance (see
+    :class:`repro.memory.semantics.CertMemo`), so a timeline is
+    content-hashed once for the whole run; never compare keys from
+    different interners.
     """
 
     __slots__ = ("_content_codes", "_id_codes", "_pins")
@@ -155,10 +203,12 @@ class StateInterner:
         self._id_codes: Dict[int, int] = {}
         self._pins: List[object] = []
 
-    def key(self, state: ExecState) -> Tuple:
-        """The canonical compact key of *state* (hashable; equal keys
-        if and only if equal states, within this interner)."""
-        memory = state.memory
+    def __len__(self) -> int:
+        """Number of distinct timelines interned so far."""
+        return len(self._content_codes)
+
+    def timeline_code(self, memory: Tuple[Message, ...]) -> int:
+        """The small-integer code of one message timeline (hash-consed)."""
         code = self._id_codes.get(id(memory))
         if code is None:
             contents = self._content_codes
@@ -168,7 +218,12 @@ class StateInterner:
                 contents[memory] = code
             self._id_codes[id(memory)] = code
             self._pins.append(memory)
-        return (code,) + state[1:]
+        return code
+
+    def key(self, state: ExecState) -> Tuple:
+        """The canonical compact key of *state* (hashable; equal keys
+        if and only if equal states, within this interner)."""
+        return (self.timeline_code(state.memory),) + state[1:]
 
 
 def initial_thread_ctx() -> ThreadCtx:

@@ -23,6 +23,7 @@ from repro.memory.behaviors import admits
 from repro.memory.datatypes import Behavior
 from repro.memory.exploration import _is_terminal, _is_valid_terminal, behavior_of
 from repro.memory.semantics import (
+    CertMemo,
     ModelConfig,
     ProgramCache,
     execute_instruction,
@@ -136,6 +137,7 @@ def find_execution(
     stack: List[Tuple[ExecState, Tuple[TraceEvent, ...]]] = [(start, ())]
     visited: Set[ExecState] = {start}
     budget = cfg.max_states
+    memo = CertMemo()  # share certification work across the traced search
 
     while stack and budget > 0:
         state, path = stack.pop()
@@ -157,7 +159,7 @@ def find_execution(
                     visited.add(succ)
                     event = _diff_event(cache, state, succ, tidx)
                     stack.append((succ, path + (event,)))
-            for succ in promise_steps(cache, state, tidx, cfg):
+            for succ in promise_steps(cache, state, tidx, cfg, memo):
                 if succ not in visited and len(succ.memory) <= cfg.max_memory:
                     visited.add(succ)
                     event = _diff_event(cache, state, succ, tidx)

@@ -12,6 +12,13 @@ Libraries default to serial (``jobs=None``); the CLI resolves its
 ``--jobs`` flag with :func:`default_jobs` (``os.cpu_count()``).
 """
 
-from repro.parallel.pool import default_jobs, parallel_map, resolve_jobs
+from repro.parallel.pool import (
+    JobPlan,
+    default_jobs,
+    parallel_map,
+    plan_jobs,
+    resolve_jobs,
+)
 
-__all__ = ["default_jobs", "parallel_map", "resolve_jobs"]
+__all__ = ["JobPlan", "default_jobs", "parallel_map", "plan_jobs",
+           "resolve_jobs"]

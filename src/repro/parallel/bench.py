@@ -1,10 +1,13 @@
-"""Exploration-engine benchmark: POR, interning, cache, and fan-out.
+"""Exploration-engine benchmark: POR, interning, memoization, fan-out.
 
 Produces the numbers tracked across PRs in ``BENCH_exploration.json``:
 wall time and states/second for the litmus corpus and ``verify_sekvm``,
 serial vs. parallel, plus the single-threaded effect of partial-order
-reduction on a promise-heavy workload.  Used by the ``bench`` CLI
-subcommand and by ``benchmarks/test_checker_scalability.py``.
+reduction and certification memoization on a promise-heavy workload.
+Parallel entries record the :func:`repro.parallel.pool.plan_jobs`
+decision so a disappointing "speedup" can be traced to the machine.
+Used by the ``bench`` CLI subcommand and by
+``benchmarks/test_checker_scalability.py``.
 
 All measurements run with caching disabled (memo cleared, disk layer
 off) so they time real exploration work, never cache hits.
@@ -81,23 +84,31 @@ def _time_corpus(
     }
 
 
-def _time_promise_heavy(por: bool, intern: bool = True) -> Dict[str, float]:
+def _time_promise_heavy(
+    por: bool, intern: bool = True, memo: bool = True
+) -> Dict[str, float]:
     from repro.memory.exploration import explore
     from repro.memory.semantics import ModelConfig
 
     program = promise_heavy_program()
     cfg = ModelConfig(relaxed=True, max_promises_per_thread=3)
-    with _env(REPRO_INTERN="1" if intern else "0"):
+    with _env(
+        REPRO_INTERN="1" if intern else "0",
+        REPRO_CERT_MEMO="1" if memo else "0",
+    ):
         start = time.perf_counter()
         result = explore(program, cfg, por=por)
         wall = time.perf_counter() - start
-    return {
+    out = {
         "wall_seconds": wall,
         "states": result.states_explored,
         "states_per_second": result.states_explored / wall if wall else 0.0,
         "behaviors": len(result.behaviors),
         "complete": result.complete,
     }
+    if result.stats is not None:
+        out["engine_stats"] = result.stats.as_dict()
+    return out
 
 
 def _time_sekvm(jobs: Optional[int]) -> Dict[str, float]:
@@ -123,11 +134,14 @@ def bench_exploration(jobs: int = 4) -> Dict:
     effect, and ``verify_sekvm`` serial vs. parallel — with speedup
     ratios computed from the measured wall times.
     """
+    from repro.parallel.pool import plan_jobs
+
     corpus_serial = _time_corpus(jobs=None, por=True)
     corpus_baseline = _time_corpus(jobs=None, por=False, intern=False)
     corpus_parallel = _time_corpus(jobs=jobs, por=True)
     ph_por = _time_promise_heavy(por=True)
-    ph_base = _time_promise_heavy(por=False, intern=False)
+    ph_no_memo = _time_promise_heavy(por=True, memo=False)
+    ph_base = _time_promise_heavy(por=False, intern=False, memo=False)
     sekvm_serial = _time_sekvm(jobs=None)
     sekvm_parallel = _time_sekvm(jobs=jobs)
 
@@ -135,13 +149,14 @@ def bench_exploration(jobs: int = 4) -> Dict:
         return a / b if b else 0.0
 
     return {
-        "schema": "BENCH_exploration/v1",
+        "schema": "BENCH_exploration/v2",
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
         "litmus_corpus": {
             "serial": corpus_serial,
             "serial_baseline": corpus_baseline,
             "parallel": corpus_parallel,
+            "jobs_plan": plan_jobs(jobs, corpus_parallel["tests"])._asdict(),
             "parallel_speedup": ratio(
                 corpus_serial["wall_seconds"], corpus_parallel["wall_seconds"]
             ),
@@ -151,7 +166,11 @@ def bench_exploration(jobs: int = 4) -> Dict:
         },
         "promise_heavy": {
             "por": ph_por,
+            "no_memo": ph_no_memo,
             "baseline": ph_base,
+            "memo_speedup": ratio(
+                ph_no_memo["wall_seconds"], ph_por["wall_seconds"]
+            ),
             "por_speedup": ratio(
                 ph_base["wall_seconds"], ph_por["wall_seconds"]
             ),
@@ -162,6 +181,7 @@ def bench_exploration(jobs: int = 4) -> Dict:
         "verify_sekvm": {
             "serial": sekvm_serial,
             "parallel": sekvm_parallel,
+            "jobs_plan": plan_jobs(jobs, sekvm_parallel["cases"])._asdict(),
             "parallel_speedup": ratio(
                 sekvm_serial["wall_seconds"], sekvm_parallel["wall_seconds"]
             ),
@@ -192,10 +212,16 @@ def format_bench(results: Dict) -> str:
         f"(speedup {corpus['parallel_speedup']:.2f}x)",
         f"  POR+interning   {corpus['por_speedup']:.2f}x wall "
         f"vs unreduced/uninterned serial corpus",
-        f"  promise-heavy   POR+interning {ph['por']['wall_seconds']:.2f}s vs "
+        f"  promise-heavy   POR+interning+memo {ph['por']['wall_seconds']:.2f}s "
+        f"vs no-memo {ph['no_memo']['wall_seconds']:.2f}s "
+        f"(memo {ph['memo_speedup']:.2f}x) vs "
         f"baseline {ph['baseline']['wall_seconds']:.2f}s "
-        f"(speedup {ph['por_speedup']:.2f}x, "
+        f"(overall {ph['por_speedup']:.2f}x, "
         f"{ph['por_state_reduction']:.2f}x fewer states)",
+        f"  jobs plan       corpus: {corpus['jobs_plan']['workers']} worker(s) "
+        f"({corpus['jobs_plan']['reason']}), sekvm: "
+        f"{sekvm['jobs_plan']['workers']} worker(s) "
+        f"({sekvm['jobs_plan']['reason']})",
         f"  verify_sekvm    serial {sekvm['serial']['wall_seconds']:.2f}s, "
         f"parallel {sekvm['parallel']['wall_seconds']:.2f}s "
         f"(speedup {sekvm['parallel_speedup']:.2f}x)",
