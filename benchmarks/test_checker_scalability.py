@@ -81,11 +81,17 @@ def test_exploration_engine_bench(benchmark):
     corpus = results["litmus_corpus"]
     assert corpus["serial"]["all_passed"]
     assert corpus["parallel"]["all_passed"]
-    # The reduced engine must find exactly the baseline's behaviors and
-    # never explore more states than it.
+    # The optimized engine must find exactly the baseline's behaviors
+    # and never explore more states than it.
     ph = results["promise_heavy"]
-    assert ph["por"]["behaviors"] == ph["baseline"]["behaviors"]
-    assert ph["por"]["complete"] and ph["baseline"]["complete"]
-    assert ph["por"]["states"] <= ph["baseline"]["states"]
+    assert ph["optimized"]["behaviors"] == ph["baseline"]["behaviors"]
+    assert ph["optimized"]["complete"] and ph["baseline"]["complete"]
+    assert ph["optimized"]["states"] <= ph["baseline"]["states"]
+    # Fused wDRF passes must reach identical verdicts in fewer
+    # explorations and fewer states than per-condition passes.
+    wdrf = results["wdrf"]
+    assert wdrf["fused"]["as_expected"] and wdrf["unfused"]["as_expected"]
+    assert wdrf["fused"]["explorations"] < wdrf["unfused"]["explorations"]
+    assert wdrf["fused"]["states"] <= wdrf["unfused"]["states"]
     assert results["verify_sekvm"]["serial"]["all_verified"]
     assert results["verify_sekvm"]["parallel"]["all_verified"]

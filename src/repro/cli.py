@@ -40,13 +40,21 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         help="disable certification memoization (sets REPRO_CERT_MEMO=0; "
         "results are identical, only slower — a debugging/benchmark knob)",
     )
+    parser.add_argument(
+        "--no-fuse", action="store_true",
+        help="run every wDRF condition as its own exploration pass "
+        "(sets REPRO_FUSE=0; reports are identical, only slower — a "
+        "debugging/benchmark knob)",
+    )
 
 
 def _apply_cache_flag(args: argparse.Namespace) -> bool:
-    """Honor ``--no-cache`` / ``--no-memo``; returns the ``cache=``
-    value for libraries."""
+    """Honor ``--no-cache`` / ``--no-memo`` / ``--no-fuse``; returns the
+    ``cache=`` value for libraries."""
     if getattr(args, "no_memo", False):
         os.environ["REPRO_CERT_MEMO"] = "0"
+    if getattr(args, "no_fuse", False):
+        os.environ["REPRO_FUSE"] = "0"
     if getattr(args, "no_cache", False):
         os.environ["REPRO_EXPLORE_CACHE"] = "0"
         return False

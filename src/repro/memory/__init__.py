@@ -7,6 +7,7 @@ the models in the paper.
 from repro.memory.datatypes import (
     Behavior,
     EngineStats,
+    ExplorationMonitor,
     ExplorationResult,
     Fault,
     Message,
@@ -25,7 +26,7 @@ from repro.memory.semantics import (
 )
 from repro.memory.exploration import explore, explore_or_raise
 from repro.memory.cache import cached_explore, clear_memory_cache
-from repro.memory.por import PORPlan, por_eligible
+from repro.memory.por import PORPlan, por_eligible, por_worthwhile
 from repro.memory.state import StateInterner
 from repro.memory.behaviors import (
     BehaviorComparison,
@@ -48,6 +49,7 @@ __all__ = [
     "Behavior",
     "CertMemo",
     "EngineStats",
+    "ExplorationMonitor",
     "ExplorationResult",
     "Fault",
     "Message",
@@ -66,6 +68,7 @@ __all__ = [
     "clear_memory_cache",
     "PORPlan",
     "por_eligible",
+    "por_worthwhile",
     "StateInterner",
     "BehaviorComparison",
     "admits",

@@ -19,7 +19,16 @@ Results live in a per-process dict and, across processes, in pickle
 files under ``REPRO_EXPLORE_CACHE_DIR`` (default
 ``~/.cache/vrm-repro/explore``).  Disk traffic is strictly best-effort:
 any OS or unpickling error silently degrades to a recomputation.
-``REPRO_EXPLORE_CACHE=0`` disables persistence entirely.
+``REPRO_EXPLORE_CACHE=0`` disables persistence entirely;
+``REPRO_EXPLORE_MEMO=0`` additionally bypasses the in-process dict (a
+benchmarking knob: it makes repeated explorations pay full price).
+
+Monitored (fused) passes cache too: :func:`cached_explore` with
+``monitors=`` stores the :class:`ExplorationResult` *plus* each
+monitor's verdict snapshot, keyed by the exploration key extended with
+the monitors' fingerprints and a digest of the checker sources
+(``src/repro/vrm``), so edited checker logic can never replay a stale
+verdict.
 """
 
 from __future__ import annotations
@@ -29,23 +38,37 @@ import hashlib
 import os
 import pickle
 import tempfile
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.ir.program import Program
-from repro.memory.datatypes import ExplorationResult
+from repro.memory.datatypes import ExplorationMonitor, ExplorationResult
 from repro.memory.exploration import explore, por_default_enabled
 from repro.memory.semantics import ModelConfig
 
 _CACHE_VERSION = 1
 
-_memory_cache: Dict[str, ExplorationResult] = {}
+_memory_cache: Dict[str, object] = {}
 
 _code_fingerprint: Optional[str] = None
+
+_monitor_code_fingerprint: Optional[str] = None
+
+
+class MonitorPassEntry(NamedTuple):
+    """Cached outcome of one monitored exploration pass."""
+
+    result: ExplorationResult
+    snapshots: Tuple[Dict[str, object], ...]
 
 
 def cache_enabled() -> bool:
     """Persistent caching is on unless ``REPRO_EXPLORE_CACHE=0``."""
     return os.environ.get("REPRO_EXPLORE_CACHE", "1") != "0"
+
+
+def memo_enabled() -> bool:
+    """The in-process memo is on unless ``REPRO_EXPLORE_MEMO=0``."""
+    return os.environ.get("REPRO_EXPLORE_MEMO", "1") != "0"
 
 
 def cache_dir() -> str:
@@ -58,6 +81,22 @@ def cache_dir() -> str:
     )
 
 
+def _source_digest(subdirs: Sequence[str]) -> str:
+    h = hashlib.sha256(str(_CACHE_VERSION).encode())
+    pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for subdir in subdirs:
+        folder = os.path.join(pkg_root, subdir)
+        if not os.path.isdir(folder):
+            continue
+        for fname in sorted(os.listdir(folder)):
+            if fname.endswith(".py"):
+                path = os.path.join(folder, fname)
+                h.update(fname.encode())
+                with open(path, "rb") as fh:
+                    h.update(fh.read())
+    return h.hexdigest()
+
+
 def code_fingerprint() -> str:
     """Hash of the memory-model implementation itself.
 
@@ -66,20 +105,21 @@ def code_fingerprint() -> str:
     """
     global _code_fingerprint
     if _code_fingerprint is None:
-        h = hashlib.sha256(str(_CACHE_VERSION).encode())
-        pkg_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-        for subdir in ("memory", "ir", "mmu"):
-            folder = os.path.join(pkg_root, subdir)
-            if not os.path.isdir(folder):
-                continue
-            for fname in sorted(os.listdir(folder)):
-                if fname.endswith(".py"):
-                    path = os.path.join(folder, fname)
-                    h.update(fname.encode())
-                    with open(path, "rb") as fh:
-                        h.update(fh.read())
-        _code_fingerprint = h.hexdigest()
+        _code_fingerprint = _source_digest(("memory", "ir", "mmu"))
     return _code_fingerprint
+
+
+def monitor_code_fingerprint() -> str:
+    """Hash of the checker sources (``src/repro/vrm``).
+
+    Monitored passes cache checker *verdicts*, which depend on the
+    monitor implementations living outside the memory package; this
+    digest keeps edited checker logic from replaying stale verdicts.
+    """
+    global _monitor_code_fingerprint
+    if _monitor_code_fingerprint is None:
+        _monitor_code_fingerprint = _source_digest(("vrm",))
+    return _monitor_code_fingerprint
 
 
 def _config_fingerprint(cfg: ModelConfig) -> str:
@@ -123,16 +163,41 @@ def exploration_key(
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def _disk_load(key: str) -> Optional[ExplorationResult]:
+def monitored_exploration_key(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]],
+    por: bool,
+    monitors: Sequence[ExplorationMonitor],
+    monitor_cut: bool = True,
+) -> str:
+    """Cache key of a monitored pass: exploration key × monitor identity.
+
+    ``monitor_cut`` is part of the key because a cut and an exhaustive
+    pass report different ``states_explored``/``stopped_early`` even
+    though the verdict snapshots coincide.
+    """
+    text = "\x00".join(
+        (
+            exploration_key(program, cfg, observe_locs, False, por),
+            monitor_code_fingerprint(),
+            repr(bool(monitor_cut)),
+            *[m.fingerprint() for m in monitors],
+        )
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _disk_load(key: str, expect: type = ExplorationResult):
     try:
         with open(os.path.join(cache_dir(), key + ".pkl"), "rb") as fh:
             result = pickle.load(fh)
     except (OSError, pickle.PickleError, EOFError, AttributeError):
         return None
-    return result if isinstance(result, ExplorationResult) else None
+    return result if isinstance(result, expect) else None
 
 
-def _disk_store(key: str, result: ExplorationResult) -> None:
+def _disk_store(key: str, result) -> None:
     folder = cache_dir()
     try:
         os.makedirs(folder, exist_ok=True)
@@ -156,28 +221,85 @@ def cached_explore(
     keep_terminal_states: bool = False,
     por: Optional[bool] = None,
     cache: bool = True,
+    monitors: Optional[Sequence[ExplorationMonitor]] = None,
+    monitor_cut: bool = True,
 ) -> ExplorationResult:
     """:func:`~repro.memory.exploration.explore`, memoized.
 
     Identical inputs (per :func:`exploration_key`) return the previously
     computed :class:`ExplorationResult`; pass ``cache=False`` (or set
     ``REPRO_EXPLORE_CACHE=0`` for the disk layer) to force recomputation.
+
+    With ``monitors=``, the pass streams terminal states through the
+    given :class:`ExplorationMonitor` objects; on a cache hit their
+    verdict snapshots are restored instead of re-exploring, so callers
+    may unconditionally ``finalize()`` their monitors afterwards.
+    ``monitor_cut=False`` forwards the legacy exhaustive mode (see
+    :func:`~repro.memory.exploration.explore`).
     """
     if por is None:
         por = por_default_enabled()
+    if monitors:
+        return _cached_monitor_explore(
+            program, cfg, observe_locs, por, list(monitors), cache,
+            monitor_cut,
+        )
     if not cache:
         return explore(program, cfg, observe_locs, keep_terminal_states, por)
     key = exploration_key(program, cfg, observe_locs, keep_terminal_states, por)
-    result = _memory_cache.get(key)
-    if result is not None:
-        return result
+    if memo_enabled():
+        result = _memory_cache.get(key)
+        if isinstance(result, ExplorationResult):
+            return result
     if cache_enabled():
         result = _disk_load(key)
         if result is not None:
-            _memory_cache[key] = result
+            if memo_enabled():
+                _memory_cache[key] = result
             return result
     result = explore(program, cfg, observe_locs, keep_terminal_states, por)
-    _memory_cache[key] = result
+    if memo_enabled():
+        _memory_cache[key] = result
     if cache_enabled():
         _disk_store(key, result)
+    return result
+
+
+def _cached_monitor_explore(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]],
+    por: bool,
+    monitors: List[ExplorationMonitor],
+    cache: bool,
+    monitor_cut: bool,
+) -> ExplorationResult:
+    if not cache:
+        return explore(
+            program, cfg, observe_locs, False, por, monitors, monitor_cut
+        )
+    key = monitored_exploration_key(
+        program, cfg, observe_locs, por, monitors, monitor_cut
+    )
+    entry = _memory_cache.get(key) if memo_enabled() else None
+    if not isinstance(entry, MonitorPassEntry) and cache_enabled():
+        entry = _disk_load(key, MonitorPassEntry)
+    if isinstance(entry, MonitorPassEntry) and len(entry.snapshots) == len(
+        monitors
+    ):
+        for monitor, snap in zip(monitors, entry.snapshots):
+            monitor.restore(snap)
+        if memo_enabled():
+            _memory_cache[key] = entry
+        return entry.result
+    result = explore(
+        program, cfg, observe_locs, False, por, monitors, monitor_cut
+    )
+    entry = MonitorPassEntry(
+        result=result, snapshots=tuple(m.snapshot() for m in monitors)
+    )
+    if memo_enabled():
+        _memory_cache[key] = entry
+    if cache_enabled():
+        _disk_store(key, entry)
     return result

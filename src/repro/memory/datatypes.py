@@ -16,7 +16,7 @@ the exploration engines' duplicate detection.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, fields
-from typing import Dict, FrozenSet, NamedTuple, Optional, Tuple
+from typing import Any, Dict, FrozenSet, NamedTuple, Optional, Tuple
 
 
 class Message(NamedTuple):
@@ -72,6 +72,102 @@ class Behavior(NamedTuple):
         return "{" + "; ".join(parts) + "}"
 
 
+class ExplorationMonitor:
+    """Streaming observer of one exploration run.
+
+    Monitors are the engine's alternative to buffering terminal states:
+    instead of asking :func:`~repro.memory.exploration.explore` to retain
+    every terminal machine state (O(states) memory) and scanning the
+    buffer afterwards, a monitor receives each *valid* terminal state the
+    moment the DFS pops it — :meth:`on_terminal` for normal termination,
+    :meth:`on_panic` for panicked executions — and folds it into whatever
+    verdict it is accumulating.
+
+    Calling :meth:`stop` declares that the monitor has its answer (for
+    the verification checkers: a counterexample was found).  A stopped
+    monitor receives no further callbacks; when *every* monitor of a run
+    has stopped, the search itself is cut and the result is marked
+    ``stopped_early`` — which, unlike a budget cut, does **not** clear
+    ``complete``: the monitors chose to stop, nothing was lost that they
+    still wanted.
+
+    Determinism contract: the DFS order for a fixed ``(program, cfg,
+    por)`` is deterministic, so a monitor observes the identical callback
+    sequence whether it runs alone or fused with other monitors in one
+    pass — other monitors can prolong the search past its stop point but
+    never reorder or insert callbacks before it.  This is what makes
+    fused verification passes bit-identical to per-condition ones.
+
+    Bookkeeping (maintained by :meth:`observe`, the engine-facing entry
+    point): ``terminals_seen`` / ``panics_seen`` count callbacks
+    delivered, and ``states_seen`` is the exploration's
+    ``states_explored`` counter at the most recent callback — after a
+    :meth:`stop` it freezes at the stop point, giving the monitor an
+    early-exit-accurate "states explored" figure for its evidence.
+
+    Subclasses that want their verdict cached through
+    :func:`repro.memory.cache.cached_explore` list their own mutable
+    fields in ``extra_state`` (picklable values only) and give distinct
+    parameterizations distinct :meth:`fingerprint` strings.
+    """
+
+    #: Stable identity of the monitor class for cache fingerprints.
+    kind: str = "monitor"
+    #: Subclass-owned mutable fields included in snapshot()/restore().
+    extra_state: Tuple[str, ...] = ()
+
+    def __init__(self) -> None:
+        self.terminals_seen = 0
+        self.panics_seen = 0
+        self.states_seen = 0
+        self._stopped = False
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def stop(self) -> None:
+        """Declare the verdict final; no further callbacks are wanted."""
+        self._stopped = True
+
+    # -- callbacks (override in subclasses) ---------------------------
+    def on_terminal(self, state: Any) -> None:
+        """A valid, non-panicked terminal machine state."""
+
+    def on_panic(self, reason: str, state: Any) -> None:
+        """A panicked terminal machine state (panics are observable)."""
+
+    # -- engine-facing driver -----------------------------------------
+    def observe(self, state: Any, states_explored: int) -> None:
+        """Deliver one valid terminal state (called by the explorer)."""
+        self.states_seen = states_explored
+        if state.panic is not None:
+            self.panics_seen += 1
+            self.on_panic(state.panic, state)
+        else:
+            self.terminals_seen += 1
+            self.on_terminal(state)
+
+    # -- cache support ------------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable description of this monitor's identity + parameters."""
+        return self.kind
+
+    def _state_fields(self) -> Tuple[str, ...]:
+        return (
+            "terminals_seen", "panics_seen", "states_seen", "_stopped",
+        ) + tuple(self.extra_state)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Picklable dump of the accumulated verdict state."""
+        return {name: getattr(self, name) for name in self._state_fields()}
+
+    def restore(self, snap: Dict[str, Any]) -> None:
+        """Replay a :meth:`snapshot` (cache hit instead of re-exploring)."""
+        for name, value in snap.items():
+            setattr(self, name, value)
+
+
 @dataclass
 class EngineStats:
     """Mutable performance counters of one exploration run.
@@ -98,6 +194,15 @@ class EngineStats:
     * ``interner_timelines`` — distinct message timelines hash-consed by
       the exploration's shared :class:`~repro.memory.state.StateInterner`
       (0 when interning is disabled).
+    * ``por_gate_skips`` — explorations whose :class:`~repro.memory.por.
+      PORPlan` construction was skipped by the cheap static gate (small
+      non-relaxed programs, where the reduction's bookkeeping costs more
+      than the interleavings it prunes).
+    * ``monitor_stops`` — streaming monitors that called ``stop()``
+      during this run (early verdicts; see :class:`ExplorationMonitor`).
+    * ``fused_conditions`` — monitors beyond the first attached to this
+      run, i.e. verification conditions served by an exploration that
+      was already being paid for instead of a pass of their own.
     """
 
     certify_calls: int = 0
@@ -108,6 +213,9 @@ class EngineStats:
     successors_generated: int = 0
     por_ample_hits: int = 0
     interner_timelines: int = 0
+    por_gate_skips: int = 0
+    monitor_stops: int = 0
+    fused_conditions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """JSON-ready snapshot (used by the ``bench`` subcommand)."""
@@ -125,10 +233,17 @@ class ExplorationResult:
     """The outcome of exhaustively exploring a program under a model.
 
     ``terminal_states`` is only populated when the exploration was asked
-    to keep them (the Write-Once and Memory-Isolation checkers audit the
-    full message timelines of terminal states).  ``stats`` carries the
-    engine's :class:`EngineStats` counters; entry points that synthesize
-    results (sampling, axiomatic comparison) may leave it ``None``.
+    to keep them (debugging/auditing; the verification checkers stream
+    terminal states through :class:`ExplorationMonitor` instead).
+    ``stats`` carries the engine's :class:`EngineStats` counters; entry
+    points that synthesize results (sampling, axiomatic comparison) may
+    leave it ``None``.
+
+    ``stopped_early`` records that the search was cut because every
+    attached monitor had called ``stop()`` — a chosen early exit, so it
+    does **not** imply ``complete=False``.  A monitor that stops has its
+    verdict (for the checkers: a definitive counterexample); only budget
+    cuts mark the result incomplete.
     """
 
     behaviors: FrozenSet[Behavior]
@@ -137,6 +252,7 @@ class ExplorationResult:
     cut_paths: int
     terminal_states: Tuple = ()
     stats: Optional[EngineStats] = None
+    stopped_early: bool = False
 
     @property
     def panics(self) -> FrozenSet[str]:

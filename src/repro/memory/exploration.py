@@ -23,6 +23,15 @@ scale, both behavior-preserving:
 The result records whether the exploration was *complete* — no path was
 cut by the memory-growth or state-count budget — which the verification
 checkers require before claiming a condition holds.
+
+Verification checkers observe the search through **streaming monitors**
+(:class:`~repro.memory.datatypes.ExplorationMonitor`): each valid
+terminal state is delivered to every attached monitor as it is popped,
+a monitor may ``stop()`` once it has a verdict, and when all monitors
+have stopped the search is cut (``stopped_early`` — distinct from budget
+incompleteness).  This replaces ``keep_terminal_states`` buffering on
+the verification hot path and lets counterexample searches exit at the
+first violation instead of exhausting the state space.
 """
 
 from __future__ import annotations
@@ -35,11 +44,12 @@ from repro.ir.program import Program
 from repro.memory.datatypes import (
     Behavior,
     EngineStats,
+    ExplorationMonitor,
     ExplorationResult,
     latest_write_ts,
     value_at,
 )
-from repro.memory.por import PORPlan
+from repro.memory.por import PORPlan, por_worthwhile
 from repro.memory.semantics import (
     CertMemo,
     ModelConfig,
@@ -107,13 +117,25 @@ def explore(
     observe_locs: Optional[Sequence[int]] = None,
     keep_terminal_states: bool = False,
     por: Optional[bool] = None,
+    monitors: Optional[Sequence[ExplorationMonitor]] = None,
+    monitor_cut: bool = True,
 ) -> ExplorationResult:
     """Enumerate every observable behavior of *program* under *cfg*.
 
     ``observe_locs`` selects the shared locations whose final values are
     part of the behavior; it defaults to all locations with declared
     initial values.  ``keep_terminal_states`` retains the full terminal
-    machine states (message timelines included) for auditing checkers.
+    machine states (message timelines included) — a debugging aid; the
+    streaming alternative is ``monitors``, a sequence of
+    :class:`~repro.memory.datatypes.ExplorationMonitor` objects that
+    receive every valid terminal state as it is reached and may cut the
+    search early once all of them have their verdict (the result is then
+    marked ``stopped_early``; ``complete`` is untouched).
+    ``monitor_cut=False`` keeps delivering the full search even after
+    every monitor has stopped — the legacy exhaustive behavior the
+    fusion cross-check and benchmark compare against; a stopped
+    monitor's counters freeze at its stop point either way, so verdicts
+    are bit-identical in both modes.
     ``por`` overrides the partial-order-reduction default (``REPRO_POR``);
     reduction only ever engages on programs passing the soundness gate,
     so behavior sets are identical either way.
@@ -121,6 +143,9 @@ def explore(
     if por is None:
         por = por_default_enabled()
     if por_check_enabled():
+        # The comparison must see full behavior sets, so both cross-check
+        # searches run monitor-free; the caller's monitors are then fed
+        # by a third search in the requested mode.
         reduced = _explore(program, cfg, observe_locs, keep_terminal_states, True)
         baseline = _explore(program, cfg, observe_locs, keep_terminal_states, False)
         if reduced.complete and baseline.complete:
@@ -130,8 +155,16 @@ def explore(
                     f"reduced search found {len(reduced.behaviors)} behaviors, "
                     f"unreduced {len(baseline.behaviors)}"
                 )
+        if monitors:
+            return _explore(
+                program, cfg, observe_locs, keep_terminal_states, por,
+                monitors, monitor_cut,
+            )
         return reduced if por else baseline
-    return _explore(program, cfg, observe_locs, keep_terminal_states, por)
+    return _explore(
+        program, cfg, observe_locs, keep_terminal_states, por, monitors,
+        monitor_cut,
+    )
 
 
 def _explore(
@@ -140,18 +173,32 @@ def _explore(
     observe_locs: Optional[Sequence[int]],
     keep_terminal_states: bool,
     por: bool,
+    monitors: Optional[Sequence[ExplorationMonitor]] = None,
+    monitor_cut: bool = True,
 ) -> ExplorationResult:
     cache = ProgramCache(program)
     if observe_locs is None:
         observe_locs = sorted(cache.initial_memory)
     start = initial_state(len(program.threads), cfg.initial_ownership)
-    plan = PORPlan(cache, cfg) if por else None
-    if plan is not None and not plan.eligible:
-        plan = None
 
     behaviors: Set[Behavior] = set()
     terminal_states: List[ExecState] = []
     stats = EngineStats()
+
+    plan = None
+    if por:
+        if por_worthwhile(program, cfg):
+            plan = PORPlan(cache, cfg)
+            if not plan.eligible:
+                plan = None
+        else:
+            stats.por_gate_skips += 1
+
+    active: List[ExplorationMonitor] = [
+        m for m in (monitors or ()) if not m.stopped
+    ]
+    stats.fused_conditions = max(0, len(active) - 1)
+    stopped_early = False
     if interning_enabled():
         interner: Optional[StateInterner] = StateInterner()
         state_key = interner.key
@@ -181,6 +228,20 @@ def _explore(
                 behaviors.add(behavior_of(cache, state, observe_locs))
                 if keep_terminal_states:
                     terminal_states.append(state)
+                if active:
+                    still_watching: List[ExplorationMonitor] = []
+                    for monitor in active:
+                        monitor.observe(state, states_explored)
+                        if monitor.stopped:
+                            stats.monitor_stops += 1
+                        else:
+                            still_watching.append(monitor)
+                    active = still_watching
+                    if not active and monitor_cut:
+                        # Every monitor has its verdict: a chosen early
+                        # exit, not a budget cut.
+                        stopped_early = True
+                        break
             continue
 
         successors: Optional[List[ExecState]] = None
@@ -235,6 +296,7 @@ def _explore(
         cut_paths=cut_paths,
         terminal_states=tuple(terminal_states),
         stats=stats,
+        stopped_early=stopped_early,
     )
 
 
@@ -242,9 +304,22 @@ def explore_or_raise(
     program: Program,
     cfg: ModelConfig,
     observe_locs: Optional[Sequence[int]] = None,
+    keep_terminal_states: bool = False,
+    por: Optional[bool] = None,
+    monitors: Optional[Sequence[ExplorationMonitor]] = None,
+    monitor_cut: bool = True,
 ) -> ExplorationResult:
-    """Like :func:`explore` but refuses incomplete explorations."""
-    result = explore(program, cfg, observe_locs)
+    """Like :func:`explore` but refuses incomplete explorations.
+
+    Forwards the full :func:`explore` signature, so monitored (fused)
+    passes can use the raising wrapper too.  A monitor-cut search
+    (``stopped_early``) is *not* incomplete — the monitors chose to
+    stop — and passes through without raising.
+    """
+    result = explore(
+        program, cfg, observe_locs, keep_terminal_states, por, monitors,
+        monitor_cut,
+    )
     if not result.complete:
         stats = result.stats
         cert_note = ""

@@ -71,6 +71,29 @@ TOP = None
 Footprint = Optional[FrozenSet[int]]  # frozenset of locations, or TOP
 
 
+#: Below this many total instructions, a non-relaxed exploration is so
+#: small that building the :class:`PORPlan` (footprint fixpoints) and
+#: running the per-state ample checks cost more than the interleavings
+#: they prune — the litmus corpus measured a net 0.98x "speedup" with
+#: the reduction unconditionally on.  Relaxed explorations are never
+#: gated: promise steps blow the state space up enough that the
+#: reduction always pays for itself.
+POR_GATE_MIN_INSTRS = 16
+
+
+def por_worthwhile(program, cfg) -> bool:
+    """Cheap static gate: is the reduction worth its bookkeeping?
+
+    Skipping is always behavior-preserving (the reduction itself is);
+    this gate is purely a cost call.  The explorer records a skip in
+    :class:`~repro.memory.datatypes.EngineStats` as ``por_gate_skips``.
+    """
+    if cfg.relaxed:
+        return True
+    total = sum(len(t.instrs) for t in program.threads)
+    return total >= POR_GATE_MIN_INSTRS
+
+
 def por_eligible(program, cfg) -> bool:
     """May *program* under *cfg* be explored with the reduction?
 

@@ -126,6 +126,50 @@ def _time_sekvm(jobs: Optional[int]) -> Dict[str, float]:
     }
 
 
+def _time_wdrf(fuse: bool) -> Dict[str, float]:
+    """Time ``verify_wdrf`` over the SeKVM spec corpus, fused or not.
+
+    ``fuse=False`` is the legacy pipeline — per-condition passes run to
+    exhaustion, no monitor early-exit — so the ratio measures the whole
+    streaming pipeline, not fusion alone.  Runs with the in-process
+    memo *and* the disk cache off so both sides pay for every
+    exploration (the memo would otherwise dedupe identical passes
+    within the process and hide the fusion win), and includes the
+    seeded-bug cases, where fail-fast monitors shine.
+    """
+    from repro.sekvm.ir_programs import kcore_buggy_cases, kcore_verified_cases
+    from repro.vrm.verifier import VerifyStats, verify_wdrf
+
+    cases = list(kcore_verified_cases(4)) + list(kcore_buggy_cases(4))
+    _fresh()
+    stats = VerifyStats()
+    with _env(
+        REPRO_EXPLORE_CACHE="0",
+        REPRO_EXPLORE_MEMO="0",
+        REPRO_FUSE_CHECK="0",
+    ):
+        start = time.perf_counter()
+        reports = [
+            verify_wdrf(case.spec, fuse=fuse, collect=stats)
+            for case in cases
+        ]
+        wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "cases": len(cases),
+        "as_expected": all(
+            report.all_verified == case.should_verify
+            for case, report in zip(cases, reports)
+        ),
+        "explorations": stats.explorations,
+        "states": stats.states_explored,
+        "states_per_second": stats.states_explored / wall if wall else 0.0,
+        "fused_conditions": stats.fused_conditions,
+        "monitor_stops": stats.monitor_stops,
+        "stopped_early": stats.stopped_early,
+    }
+
+
 def bench_exploration(jobs: int = 4) -> Dict:
     """Measure the exploration engine end to end.
 
@@ -139,9 +183,11 @@ def bench_exploration(jobs: int = 4) -> Dict:
     corpus_serial = _time_corpus(jobs=None, por=True)
     corpus_baseline = _time_corpus(jobs=None, por=False, intern=False)
     corpus_parallel = _time_corpus(jobs=jobs, por=True)
-    ph_por = _time_promise_heavy(por=True)
+    ph_optimized = _time_promise_heavy(por=True)
     ph_no_memo = _time_promise_heavy(por=True, memo=False)
     ph_base = _time_promise_heavy(por=False, intern=False, memo=False)
+    wdrf_fused = _time_wdrf(fuse=True)
+    wdrf_unfused = _time_wdrf(fuse=False)
     sekvm_serial = _time_sekvm(jobs=None)
     sekvm_parallel = _time_sekvm(jobs=jobs)
 
@@ -149,7 +195,7 @@ def bench_exploration(jobs: int = 4) -> Dict:
         return a / b if b else 0.0
 
     return {
-        "schema": "BENCH_exploration/v2",
+        "schema": "BENCH_exploration/v3",
         "cpu_count": os.cpu_count(),
         "jobs": jobs,
         "litmus_corpus": {
@@ -164,18 +210,31 @@ def bench_exploration(jobs: int = 4) -> Dict:
                 corpus_baseline["wall_seconds"], corpus_serial["wall_seconds"]
             ),
         },
+        # "optimized" = POR + interning + certification memo; "no_memo"
+        # drops only the memo (isolating its effect); "baseline" drops
+        # POR, interning, and memo (the v1 engine).
         "promise_heavy": {
-            "por": ph_por,
+            "optimized": ph_optimized,
             "no_memo": ph_no_memo,
             "baseline": ph_base,
             "memo_speedup": ratio(
-                ph_no_memo["wall_seconds"], ph_por["wall_seconds"]
+                ph_no_memo["wall_seconds"], ph_optimized["wall_seconds"]
             ),
-            "por_speedup": ratio(
-                ph_base["wall_seconds"], ph_por["wall_seconds"]
+            "overall_speedup": ratio(
+                ph_base["wall_seconds"], ph_optimized["wall_seconds"]
             ),
-            "por_state_reduction": ratio(
-                ph_base["states"], ph_por["states"]
+            "overall_state_reduction": ratio(
+                ph_base["states"], ph_optimized["states"]
+            ),
+        },
+        "wdrf": {
+            "fused": wdrf_fused,
+            "unfused": wdrf_unfused,
+            "fuse_speedup": ratio(
+                wdrf_unfused["wall_seconds"], wdrf_fused["wall_seconds"]
+            ),
+            "state_reduction": ratio(
+                wdrf_unfused["states"], wdrf_fused["states"]
             ),
         },
         "verify_sekvm": {
@@ -202,6 +261,7 @@ def format_bench(results: Dict) -> str:
     """Human-readable summary of :func:`bench_exploration` output."""
     corpus = results["litmus_corpus"]
     ph = results["promise_heavy"]
+    wdrf = results["wdrf"]
     sekvm = results["verify_sekvm"]
     lines = [
         f"exploration benchmark ({results['cpu_count']} CPUs, "
@@ -212,12 +272,18 @@ def format_bench(results: Dict) -> str:
         f"(speedup {corpus['parallel_speedup']:.2f}x)",
         f"  POR+interning   {corpus['por_speedup']:.2f}x wall "
         f"vs unreduced/uninterned serial corpus",
-        f"  promise-heavy   POR+interning+memo {ph['por']['wall_seconds']:.2f}s "
+        f"  promise-heavy   optimized {ph['optimized']['wall_seconds']:.2f}s "
         f"vs no-memo {ph['no_memo']['wall_seconds']:.2f}s "
         f"(memo {ph['memo_speedup']:.2f}x) vs "
         f"baseline {ph['baseline']['wall_seconds']:.2f}s "
-        f"(overall {ph['por_speedup']:.2f}x, "
-        f"{ph['por_state_reduction']:.2f}x fewer states)",
+        f"(overall {ph['overall_speedup']:.2f}x, "
+        f"{ph['overall_state_reduction']:.2f}x fewer states)",
+        f"  wdrf fusion     fused {wdrf['fused']['wall_seconds']:.2f}s "
+        f"({wdrf['fused']['explorations']} passes) vs "
+        f"unfused {wdrf['unfused']['wall_seconds']:.2f}s "
+        f"({wdrf['unfused']['explorations']} passes): "
+        f"{wdrf['fuse_speedup']:.2f}x wall, "
+        f"{wdrf['state_reduction']:.2f}x fewer states",
         f"  jobs plan       corpus: {corpus['jobs_plan']['workers']} worker(s) "
         f"({corpus['jobs_plan']['reason']}), sekvm: "
         f"{sekvm['jobs_plan']['workers']} worker(s) "

@@ -15,17 +15,24 @@ procedures over bounded kernel programs:
 * Theorems 1/2/4 — exhaustive RM ⊆ SC behavior containment.
 """
 
-from repro.vrm.conditions import ConditionResult, WDRFCondition, WDRFReport
-from repro.vrm.drf_kernel import check_drf_kernel
+from repro.vrm.conditions import (
+    ConditionResult,
+    PassRequest,
+    WDRFCondition,
+    WDRFReport,
+)
+from repro.vrm.drf_kernel import check_drf_kernel, plan_drf_kernel
 from repro.vrm.barrier_misuse import (
     check_no_barrier_misuse,
     check_no_barrier_misuse_dynamic,
     check_no_barrier_misuse_static,
+    plan_no_barrier_misuse,
 )
 from repro.vrm.write_once import (
     audit_write_log,
     check_write_once,
     kernel_pt_locations,
+    plan_write_once,
 )
 from repro.vrm.transactional import (
     audit_operation_writes,
@@ -35,7 +42,7 @@ from repro.vrm.transactional import (
     extract_pt_write_sequences,
 )
 from repro.vrm.tlb_sequential import check_sequential_tlb_invalidation
-from repro.vrm.isolation import check_memory_isolation
+from repro.vrm.isolation import check_memory_isolation, plan_memory_isolation
 from repro.vrm.oracle import DataOracle, mask_user_reads
 from repro.vrm.theorem import (
     TheoremResult,
@@ -44,21 +51,35 @@ from repro.vrm.theorem import (
     check_theorem4,
     kernel_projection,
 )
-from repro.vrm.verifier import WDRFSpec, verify_and_check_theorem, verify_wdrf
+from repro.vrm.verifier import (
+    VerifyStats,
+    WDRFSpec,
+    fuse_check_enabled,
+    fuse_default_enabled,
+    plan_passes,
+    run_condition,
+    run_condition_group,
+    verify_and_check_theorem,
+    verify_wdrf,
+)
 from repro.vrm.infer import infer_spec, inferred_probe_vpns, inferred_shared_locs, verify_program
 from repro.vrm.repair import RepairResult, Strengthening, repair_barriers
 
 __all__ = [
     "ConditionResult",
+    "PassRequest",
     "WDRFCondition",
     "WDRFReport",
     "check_drf_kernel",
+    "plan_drf_kernel",
     "check_no_barrier_misuse",
     "check_no_barrier_misuse_dynamic",
     "check_no_barrier_misuse_static",
+    "plan_no_barrier_misuse",
     "audit_write_log",
     "check_write_once",
     "kernel_pt_locations",
+    "plan_write_once",
     "audit_operation_writes",
     "check_program_transactional",
     "check_writes_transactional",
@@ -66,6 +87,7 @@ __all__ = [
     "extract_pt_write_sequences",
     "check_sequential_tlb_invalidation",
     "check_memory_isolation",
+    "plan_memory_isolation",
     "DataOracle",
     "mask_user_reads",
     "TheoremResult",
@@ -73,7 +95,13 @@ __all__ = [
     "check_theorem2",
     "check_theorem4",
     "kernel_projection",
+    "VerifyStats",
     "WDRFSpec",
+    "fuse_check_enabled",
+    "fuse_default_enabled",
+    "plan_passes",
+    "run_condition",
+    "run_condition_group",
     "verify_and_check_theorem",
     "verify_wdrf",
     "infer_spec",

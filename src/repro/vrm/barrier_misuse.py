@@ -20,11 +20,17 @@ Two complementary checks implement this:
   the last synchronization read and each ``Push`` is post-dominated by a
   release (or full barrier) before the next synchronization write —
   Figure 7's shape.
+
+The dynamic half streams: :class:`BarrierMisuseMonitor` stops the search
+at the first barrier-fulfillment panic, and :func:`plan_no_barrier_misuse`
+exposes the exploration request (with the static verdict folded in at
+plan time) so the pass planner can fuse it with the DRF-Kernel check,
+which runs on the identical push/pull configuration.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Tuple, Union
 
 from repro.ir.instructions import (
     Barrier,
@@ -41,8 +47,9 @@ from repro.ir.instructions import (
 )
 from repro.ir.program import Program, Thread
 from repro.memory.cache import cached_explore
+from repro.memory.datatypes import ExplorationMonitor, ExplorationResult
 from repro.memory.pushpull import pushpull_config
-from repro.vrm.conditions import ConditionResult, WDRFCondition
+from repro.vrm.conditions import ConditionResult, PassRequest, WDRFCondition
 
 
 def _static_thread_violations(thread: Thread) -> List[str]:
@@ -117,6 +124,78 @@ def check_no_barrier_misuse_static(program: Program) -> ConditionResult:
     )
 
 
+class BarrierMisuseMonitor(ExplorationMonitor):
+    """Streams panics; stops at the first barrier-fulfillment violation.
+
+    The optional *static* result (the structural scan, computed at plan
+    time) is combined into the final verdict; it is derived from the
+    program — already part of the exploration's cache key — so it is not
+    monitor state and is recomputed, never cached.
+    """
+
+    kind = "barrier_misuse"
+    extra_state = ("violations",)
+
+    def __init__(self, static: Optional[ConditionResult] = None) -> None:
+        super().__init__()
+        self.violations: Tuple[str, ...] = ()
+        self._static = static
+
+    def on_panic(self, reason: str, state: Any) -> None:
+        if "No-Barrier-Misuse" in reason:
+            self.violations = self.violations + (reason,)
+            self.stop()
+
+    def finalize(self, result: ExplorationResult) -> ConditionResult:
+        states = self.states_seen if self.stopped else result.states_explored
+        exhaustive = True if self.stopped else result.complete
+        dynamic = ConditionResult(
+            condition=WDRFCondition.NO_BARRIER_MISUSE,
+            holds=not self.violations,
+            exhaustive=exhaustive,
+            evidence=(
+                f"explored {states} states; pull barrier-"
+                f"fulfillment enforced dynamically",
+            ),
+            violations=self.violations,
+        )
+        static = self._static
+        if static is None:
+            return dynamic
+        return ConditionResult(
+            condition=WDRFCondition.NO_BARRIER_MISUSE,
+            holds=static.holds and dynamic.holds,
+            exhaustive=static.exhaustive and dynamic.exhaustive,
+            evidence=static.evidence + dynamic.evidence,
+            violations=static.violations + dynamic.violations,
+        )
+
+
+def plan_no_barrier_misuse(
+    program: Program,
+    shared_locs: Iterable[int] = (),
+    initial_ownership: Iterable[Tuple[int, int]] = (),
+    static: bool = True,
+    **overrides,
+) -> PassRequest:
+    """Plan the No-Barrier-Misuse check as an exploration request.
+
+    The static structural scan runs here, at plan time, and rides along
+    in the monitor; the dynamic half is the returned exploration.
+    """
+    cfg = pushpull_config(
+        relaxed=True,
+        owned_access_required=frozenset(shared_locs),
+        initial_ownership=tuple(initial_ownership),
+        **overrides,
+    )
+    static_result = check_no_barrier_misuse_static(program) if static else None
+    return PassRequest(
+        cfg=cfg, observe_locs=(),
+        monitor=BarrierMisuseMonitor(static=static_result),
+    )
+
+
 def check_no_barrier_misuse_dynamic(
     program: Program,
     shared_locs: Iterable[int] = (),
@@ -124,26 +203,14 @@ def check_no_barrier_misuse_dynamic(
     **overrides,
 ) -> ConditionResult:
     """Exploration-based check: no pull may outrun its barrier."""
-    cfg = pushpull_config(
-        relaxed=True,
-        owned_access_required=frozenset(shared_locs),
-        initial_ownership=tuple(initial_ownership),
-        **overrides,
+    plan = plan_no_barrier_misuse(
+        program, shared_locs, initial_ownership, static=False, **overrides
     )
-    result = cached_explore(program, cfg, observe_locs=[])
-    misuse = tuple(
-        reason for reason in result.panics if "No-Barrier-Misuse" in reason
+    result = cached_explore(
+        program, plan.cfg, observe_locs=list(plan.observe_locs),
+        monitors=[plan.monitor],
     )
-    return ConditionResult(
-        condition=WDRFCondition.NO_BARRIER_MISUSE,
-        holds=not misuse,
-        exhaustive=result.complete,
-        evidence=(
-            f"explored {result.states_explored} states; pull barrier-"
-            f"fulfillment enforced dynamically",
-        ),
-        violations=misuse,
-    )
+    return plan.monitor.finalize(result)
 
 
 def check_no_barrier_misuse(
@@ -153,14 +220,11 @@ def check_no_barrier_misuse(
     **overrides,
 ) -> ConditionResult:
     """Combined static + dynamic No-Barrier-Misuse check."""
-    static = check_no_barrier_misuse_static(program)
-    dynamic = check_no_barrier_misuse_dynamic(
+    plan = plan_no_barrier_misuse(
         program, shared_locs, initial_ownership, **overrides
     )
-    return ConditionResult(
-        condition=WDRFCondition.NO_BARRIER_MISUSE,
-        holds=static.holds and dynamic.holds,
-        exhaustive=static.exhaustive and dynamic.exhaustive,
-        evidence=static.evidence + dynamic.evidence,
-        violations=static.violations + dynamic.violations,
+    result = cached_explore(
+        program, plan.cfg, observe_locs=list(plan.observe_locs),
+        monitors=[plan.monitor],
     )
+    return plan.monitor.finalize(result)

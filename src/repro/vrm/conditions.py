@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 
 class WDRFCondition(enum.Enum):
@@ -25,6 +25,25 @@ class WDRFCondition(enum.Enum):
     SEQUENTIAL_TLB_INVALIDATION = "Sequential-TLB-Invalidation"
     MEMORY_ISOLATION = "Memory-Isolation"
     WEAK_MEMORY_ISOLATION = "Weak-Memory-Isolation"
+
+
+class PassRequest(NamedTuple):
+    """One exploration pass a condition checker needs.
+
+    Checkers whose verdict requires exploring the program return this
+    from their ``plan_*`` function instead of running the exploration
+    themselves: the model configuration, the observation request, and a
+    streaming :class:`~repro.memory.datatypes.ExplorationMonitor` (with a
+    checker-specific ``finalize(result)`` producing the
+    :class:`ConditionResult`).  The pass planner in
+    :mod:`repro.vrm.verifier` fuses requests whose ``(program, cfg,
+    observe_locs)`` coincide into a single exploration carrying all of
+    their monitors.
+    """
+
+    cfg: Any                        # repro.memory.semantics.ModelConfig
+    observe_locs: Tuple[int, ...]   # behavior projection (order matters)
+    monitor: Any                    # ExplorationMonitor with .finalize()
 
 
 @dataclass(frozen=True)

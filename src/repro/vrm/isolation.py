@@ -14,12 +14,14 @@ Checks:
 * **Dynamic** — explore the program and audit terminal message timelines:
   any message to a kernel-space location authored by a user thread is a
   violation (this catches dynamically computed addresses the static scan
-  cannot see).
+  cannot see).  The audit streams through an :class:`IsolationMonitor`
+  (no ``keep_terminal_states`` buffering); the search stops at the first
+  timeline containing a user write to kernel memory.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Set, Tuple
+from typing import Any, Iterable, List, Optional, Set, Tuple, Union
 
 from repro.ir.expr import Imm
 from repro.ir.instructions import (
@@ -33,8 +35,9 @@ from repro.ir.instructions import (
 )
 from repro.ir.program import Program
 from repro.memory.cache import cached_explore
+from repro.memory.datatypes import ExplorationMonitor, ExplorationResult
 from repro.memory.semantics import ModelConfig
-from repro.vrm.conditions import ConditionResult, WDRFCondition
+from repro.vrm.conditions import ConditionResult, PassRequest, WDRFCondition
 
 
 def _static_violations(program: Program, weak: bool) -> List[str]:
@@ -72,25 +75,130 @@ def _static_violations(program: Program, weak: bool) -> List[str]:
     return violations
 
 
-def _dynamic_violations(program: Program, **overrides) -> Tuple[List[str], bool]:
+class IsolationMonitor(ExplorationMonitor):
+    """Audits each terminal timeline for user writes to kernel memory.
+
+    Carries the plan-time context (static violations, evidence lines,
+    condition flavor) needed to assemble the combined verdict; that
+    context is derived from the program — already part of the
+    exploration's cache key — so it is not monitor state.
+    """
+
+    kind = "memory_isolation"
+    extra_state = ("violations",)
+
+    def __init__(
+        self,
+        kernel_locs: Iterable[int],
+        user_tids: Iterable[int],
+        condition: WDRFCondition,
+        static_violations: Tuple[str, ...] = (),
+        evidence: Tuple[str, ...] = (),
+    ) -> None:
+        super().__init__()
+        self.violations: Tuple[str, ...] = ()
+        self._kernel_locs = frozenset(kernel_locs)
+        self._user_tids = frozenset(user_tids)
+        self._condition = condition
+        self._static_violations = tuple(static_violations)
+        self._evidence = tuple(evidence)
+
+    def fingerprint(self) -> str:
+        return (
+            f"{self.kind}:{sorted(self._kernel_locs)!r}:"
+            f"{sorted(self._user_tids)!r}"
+        )
+
+    def _audit(self, state: Any) -> None:
+        found: Set[str] = set()
+        for msg in state.memory:
+            if msg.tid in self._user_tids and msg.loc in self._kernel_locs:
+                found.add(
+                    f"user CPU {msg.tid} wrote kernel location {msg.loc:#x} "
+                    f"(value {msg.val:#x})"
+                )
+        if found:
+            self.violations = tuple(sorted(set(self.violations) | found))
+            self.stop()
+
+    def on_terminal(self, state: Any) -> None:
+        self._audit(state)
+
+    def on_panic(self, reason: str, state: Any) -> None:
+        self._audit(state)  # panicked timelines still carry write history
+
+    def finalize(self, result: ExplorationResult) -> ConditionResult:
+        exhaustive = True if self.stopped else result.complete
+        violations = self._static_violations + self.violations
+        return ConditionResult(
+            condition=self._condition,
+            holds=not violations,
+            exhaustive=exhaustive,
+            evidence=self._evidence,
+            violations=violations,
+        )
+
+
+def _oracle_evidence(program: Program, weak: bool) -> List[str]:
+    oracle_reads = sum(
+        1
+        for thread in program.kernel_threads()
+        for instr in thread.instrs
+        if isinstance(instr, OracleRead)
+    )
+    if weak and oracle_reads:
+        return [
+            f"{oracle_reads} kernel reads of user memory are oracle-masked"
+        ]
+    return []
+
+
+def plan_memory_isolation(
+    program: Program, weak: bool = False, dynamic: bool = True, **overrides
+) -> Union[ConditionResult, PassRequest]:
+    """Plan condition 6: a ready verdict or an exploration request.
+
+    The static scan runs here, at plan time; the verdict is ready when
+    no dynamic audit is requested or the program has no user threads (or
+    no kernel locations) to audit.
+    """
+    condition = (
+        WDRFCondition.WEAK_MEMORY_ISOLATION
+        if weak
+        else WDRFCondition.MEMORY_ISOLATION
+    )
+    static_violations = _static_violations(program, weak)
+    evidence = [
+        f"scanned {len(program.kernel_threads())} kernel and "
+        f"{len(program.user_threads())} user threads"
+    ]
     kernel_locs = {
         loc for loc, space in program.spaces.items()
         if space in (MemSpace.KERNEL, MemSpace.SYNC, MemSpace.PT)
     }
     user_tids = {t.tid for t in program.user_threads()}
-    if not kernel_locs or not user_tids:
-        return [], True
-    cfg = ModelConfig(relaxed=True, **overrides)
-    result = cached_explore(program, cfg, observe_locs=[], keep_terminal_states=True)
-    violations: Set[str] = set()
-    for state in result.terminal_states:
-        for msg in state.memory:
-            if msg.tid in user_tids and msg.loc in kernel_locs:
-                violations.add(
-                    f"user CPU {msg.tid} wrote kernel location {msg.loc:#x} "
-                    f"(value {msg.val:#x})"
-                )
-    return sorted(violations), result.complete
+    if dynamic:
+        evidence.append(
+            "audited terminal timelines for user writes to kernel memory"
+        )
+        if kernel_locs and user_tids:
+            cfg = ModelConfig(relaxed=True, **overrides)
+            monitor = IsolationMonitor(
+                kernel_locs,
+                user_tids,
+                condition,
+                static_violations=tuple(static_violations),
+                evidence=tuple(evidence + _oracle_evidence(program, weak)),
+            )
+            return PassRequest(cfg=cfg, observe_locs=(), monitor=monitor)
+    evidence.extend(_oracle_evidence(program, weak))
+    return ConditionResult(
+        condition=condition,
+        holds=not static_violations,
+        exhaustive=True,
+        evidence=tuple(evidence),
+        violations=tuple(static_violations),
+    )
 
 
 def check_memory_isolation(
@@ -103,36 +211,11 @@ def check_memory_isolation(
     :func:`repro.vrm.oracle.mask_user_reads` first if the program still
     contains raw reads that the proofs model as oracle draws.
     """
-    condition = (
-        WDRFCondition.WEAK_MEMORY_ISOLATION
-        if weak
-        else WDRFCondition.MEMORY_ISOLATION
+    plan = plan_memory_isolation(program, weak, dynamic, **overrides)
+    if isinstance(plan, ConditionResult):
+        return plan
+    result = cached_explore(
+        program, plan.cfg, observe_locs=list(plan.observe_locs),
+        monitors=[plan.monitor],
     )
-    violations = _static_violations(program, weak)
-    exhaustive = True
-    evidence = [
-        f"scanned {len(program.kernel_threads())} kernel and "
-        f"{len(program.user_threads())} user threads"
-    ]
-    if dynamic:
-        dyn, complete = _dynamic_violations(program, **overrides)
-        violations.extend(dyn)
-        exhaustive = complete
-        evidence.append("audited terminal timelines for user writes to kernel memory")
-    oracle_reads = sum(
-        1
-        for thread in program.kernel_threads()
-        for instr in thread.instrs
-        if isinstance(instr, OracleRead)
-    )
-    if weak and oracle_reads:
-        evidence.append(
-            f"{oracle_reads} kernel reads of user memory are oracle-masked"
-        )
-    return ConditionResult(
-        condition=condition,
-        holds=not violations,
-        exhaustive=exhaustive,
-        evidence=tuple(evidence),
-        violations=tuple(violations),
-    )
+    return plan.monitor.finalize(result)

@@ -14,24 +14,57 @@ one kernel program (or one compiled KCore primitive pair):
 additionally validates the end-to-end guarantee (RM ⊆ SC) — which must
 follow when the report verifies, and is how the test suite exercises the
 soundness of the whole framework.
+
+Pass fusion
+-----------
+
+The exploration-backed checkers don't run their own explorations: each
+exposes a ``plan_*`` function returning either a ready
+:class:`~repro.vrm.conditions.ConditionResult` or a
+:class:`~repro.vrm.conditions.PassRequest` (a model configuration plus a
+streaming monitor).  :func:`plan_passes` groups requests whose
+``(program, cfg, observe_locs)`` coincide — keyed by the same
+:func:`~repro.memory.cache.exploration_key` the cache uses — and
+:func:`run_condition_group` serves each group with a *single* exploration
+carrying all of its monitors.  On the standard specs this fuses
+DRF-Kernel with No-Barrier-Misuse (identical push/pull configuration)
+and Write-Once with Memory-Isolation (identical relaxed base
+configuration), cutting ``verify_wdrf`` to at most two explorations.
+Because the DFS order is deterministic, every monitor observes the same
+callback prefix fused or alone, so fused reports are bit-identical to
+per-condition ones; ``REPRO_FUSE_CHECK=1`` verifies exactly that on
+every call, mirroring the POR/memo cross-check pattern.  ``REPRO_FUSE=0``
+(or the CLI's ``--no-fuse``) disables the whole streaming pipeline:
+every check runs as its own *exhaustive* pass — the legacy layout,
+with monitor early-exit off as well as fusion.
 """
 
 from __future__ import annotations
 
 import functools
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.errors import VerificationError
 from repro.ir.program import Program
+from repro.memory.cache import cached_explore, exploration_key
+from repro.memory.datatypes import EngineStats, ExplorationResult
+from repro.memory.exploration import por_default_enabled
 from repro.parallel import parallel_map
-from repro.vrm.barrier_misuse import check_no_barrier_misuse
-from repro.vrm.conditions import ConditionResult, WDRFCondition, WDRFReport
-from repro.vrm.drf_kernel import check_drf_kernel
-from repro.vrm.isolation import check_memory_isolation
+from repro.vrm.barrier_misuse import plan_no_barrier_misuse
+from repro.vrm.conditions import (
+    ConditionResult,
+    PassRequest,
+    WDRFCondition,
+    WDRFReport,
+)
+from repro.vrm.drf_kernel import plan_drf_kernel
+from repro.vrm.isolation import plan_memory_isolation
 from repro.vrm.theorem import TheoremResult, check_theorem1, check_theorem4
 from repro.vrm.tlb_sequential import check_sequential_tlb_invalidation
 from repro.vrm.transactional import check_program_transactional
-from repro.vrm.write_once import check_write_once
+from repro.vrm.write_once import plan_write_once
 
 
 @dataclass(frozen=True)
@@ -61,48 +94,247 @@ CONDITION_CHECKS: Tuple[str, ...] = (
     "memory_isolation",
 )
 
+#: Checks that never explore — they are pure structural/functional
+#: decision procedures, so the pass planner gives each its own unit
+#: without running it at plan time.
+_NON_EXPLORING: Tuple[str, ...] = ("transactional", "tlb_sequential")
 
-def run_condition(spec: WDRFSpec, name: str) -> ConditionResult:
-    """Run one named wDRF condition check for *spec*.
 
-    Module-level (and dispatching on a plain string) so it pickles into
-    pool workers; each condition explores its own instrumentation of the
-    program, making the six checks independent jobs.
-    """
+def fuse_default_enabled() -> bool:
+    """Pass fusion is on unless ``REPRO_FUSE=0``."""
+    return os.environ.get("REPRO_FUSE", "1") != "0"
+
+
+def fuse_check_enabled() -> bool:
+    """Cross-check mode: run fused and per-condition passes, compare."""
+    return os.environ.get("REPRO_FUSE_CHECK", "0") == "1"
+
+
+@dataclass
+class VerifyStats:
+    """Aggregated exploration counters of one or more ``verify_wdrf``
+    runs (pass ``collect=`` to gather them; serial runs only)."""
+
+    explorations: int = 0
+    states_explored: int = 0
+    fused_conditions: int = 0
+    monitor_stops: int = 0
+    stopped_early: int = 0
+    engine: EngineStats = field(default_factory=EngineStats)
+
+    def record_pass(self, result: ExplorationResult) -> None:
+        self.explorations += 1
+        self.states_explored += result.states_explored
+        if result.stopped_early:
+            self.stopped_early += 1
+        if result.stats is not None:
+            self.engine.add(result.stats)
+            self.fused_conditions += result.stats.fused_conditions
+            self.monitor_stops += result.stats.monitor_stops
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "explorations": self.explorations,
+            "states_explored": self.states_explored,
+            "fused_conditions": self.fused_conditions,
+            "monitor_stops": self.monitor_stops,
+            "stopped_early": self.stopped_early,
+            "engine": self.engine.as_dict(),
+        }
+
+
+def _condition_plan(spec: WDRFSpec, name: str):
+    """The plan for one named check: a ready result or a PassRequest."""
     overrides = spec.overrides()
     if name == "drf_kernel":
-        return check_drf_kernel(
+        return plan_drf_kernel(
             spec.program, spec.shared_locs, spec.initial_ownership, **overrides
         )
     if name == "no_barrier_misuse":
-        return check_no_barrier_misuse(
+        return plan_no_barrier_misuse(
             spec.program, spec.shared_locs, spec.initial_ownership, **overrides
         )
     if name == "write_once":
-        return check_write_once(spec.program, spec.kernel_pt_locs, **overrides)
+        return plan_write_once(spec.program, spec.kernel_pt_locs, **overrides)
     if name == "transactional":
         return check_program_transactional(spec.program, spec.probe_vpns)
     if name == "tlb_sequential":
         return check_sequential_tlb_invalidation(spec.program)
     if name == "memory_isolation":
-        return check_memory_isolation(
+        return plan_memory_isolation(
             spec.program, weak=spec.weakened, **overrides
         )
     raise ValueError(f"unknown wDRF condition check {name!r}")
 
 
-def verify_wdrf(spec: WDRFSpec, jobs: Optional[int] = None) -> WDRFReport:
+def run_condition(spec: WDRFSpec, name: str) -> ConditionResult:
+    """Run one named wDRF condition check for *spec* (a pass of its own)."""
+    results = run_condition_group(spec, (name,))
+    return results[0]
+
+
+def run_condition_group(
+    spec: WDRFSpec,
+    names: Sequence[str],
+    collect: Optional[VerifyStats] = None,
+    monitor_cut: bool = True,
+) -> List[ConditionResult]:
+    """Run a group of wDRF checks, sharing one exploration pass.
+
+    Module-level (dispatching on plain strings) so it pickles into pool
+    workers: the plans — and their monitors — are rebuilt in the worker,
+    only the names and the spec cross the process boundary.  All
+    exploring checks in *names* must share an identical ``(cfg,
+    observe_locs)`` (the planner guarantees this); their monitors ride a
+    single :func:`~repro.memory.cache.cached_explore` call.
+    ``monitor_cut=False`` runs the pass exhaustively (the legacy
+    per-condition behavior) instead of cutting the search once every
+    monitor has its verdict; verdicts are bit-identical either way.
+    """
+    names = tuple(names)
+    plans = [(name, _condition_plan(spec, name)) for name in names]
+    results: Dict[str, ConditionResult] = {
+        name: plan for name, plan in plans
+        if isinstance(plan, ConditionResult)
+    }
+    requests = [
+        (name, plan) for name, plan in plans if isinstance(plan, PassRequest)
+    ]
+    if requests:
+        base = requests[0][1]
+        for name, plan in requests[1:]:
+            if plan.cfg != base.cfg or plan.observe_locs != base.observe_locs:
+                raise ValueError(
+                    f"cannot fuse {name!r} with {requests[0][0]!r}: "
+                    f"exploration configurations differ"
+                )
+        exploration = cached_explore(
+            spec.program,
+            base.cfg,
+            observe_locs=list(base.observe_locs),
+            monitors=[plan.monitor for _, plan in requests],
+            monitor_cut=monitor_cut,
+        )
+        if collect is not None:
+            collect.record_pass(exploration)
+        for name, plan in requests:
+            results[name] = plan.monitor.finalize(exploration)
+    return [results[name] for name in names]
+
+
+def plan_passes(
+    spec: WDRFSpec,
+    fuse: Optional[bool] = None,
+    por: Optional[bool] = None,
+) -> List[Tuple[str, ...]]:
+    """Group the six checks into exploration-sharing units of work.
+
+    Checks whose plans request explorations with the same cache
+    fingerprint (per :func:`~repro.memory.cache.exploration_key`, the
+    same identity the memo uses) land in one unit; ready verdicts and
+    non-exploring checks stay singleton units.  With ``fuse=False``
+    every check is its own unit (the legacy per-condition layout;
+    :func:`_verify` additionally runs those units exhaustively).
+    """
+    if fuse is None:
+        fuse = fuse_default_enabled()
+    if por is None:
+        por = por_default_enabled()
+    units: List[Tuple[str, ...]] = []
+    groups: Dict[str, int] = {}
+    for name in CONDITION_CHECKS:
+        if not fuse or name in _NON_EXPLORING:
+            units.append((name,))
+            continue
+        plan = _condition_plan(spec, name)
+        if isinstance(plan, ConditionResult):
+            units.append((name,))
+            continue
+        key = exploration_key(
+            spec.program, plan.cfg, tuple(plan.observe_locs), False, por
+        )
+        if key in groups:
+            units[groups[key]] = units[groups[key]] + (name,)
+        else:
+            groups[key] = len(units)
+            units.append((name,))
+    return units
+
+
+def _diff_reports(fused: WDRFReport, unfused: WDRFReport) -> List[str]:
+    diffs: List[str] = []
+    if fused.subject != unfused.subject:
+        diffs.append(f"subject: {fused.subject!r} != {unfused.subject!r}")
+    if fused.weakened != unfused.weakened:
+        diffs.append(f"weakened: {fused.weakened} != {unfused.weakened}")
+    conditions = set(fused.results) | set(unfused.results)
+    for cond in sorted(conditions, key=lambda c: c.value):
+        a = fused.results.get(cond)
+        b = unfused.results.get(cond)
+        if a != b:
+            diffs.append(f"{cond.value}: fused {a!r} != per-condition {b!r}")
+    return diffs
+
+
+def _verify(
+    spec: WDRFSpec,
+    jobs: Optional[int],
+    fuse: bool,
+    collect: Optional[VerifyStats],
+) -> WDRFReport:
+    report = WDRFReport(subject=spec.program.name, weakened=spec.weakened)
+    units = plan_passes(spec, fuse=fuse)
+    # The unfused layout *is* the legacy pipeline: per-condition passes
+    # that exhaust the state space.  Early exit (like fusion itself) is
+    # part of the streaming pipeline being measured against it, so it is
+    # disabled together with fusion — a stopped monitor's counters
+    # freeze at its stop point either way, so reports stay bit-identical.
+    cut = fuse
+    if collect is not None:
+        # Stats collection needs the exploration results, which do not
+        # cross the pool boundary: run serially.
+        for names in units:
+            for result in run_condition_group(
+                spec, names, collect, monitor_cut=cut
+            ):
+                report.add(result)
+        return report
+    worker = functools.partial(run_condition_group, spec, monitor_cut=cut)
+    for results in parallel_map(worker, units, jobs=jobs):
+        for result in results:
+            report.add(result)
+    return report
+
+
+def verify_wdrf(
+    spec: WDRFSpec,
+    jobs: Optional[int] = None,
+    fuse: Optional[bool] = None,
+    collect: Optional[VerifyStats] = None,
+) -> WDRFReport:
     """Run all six wDRF condition checks for *spec*.
 
-    ``jobs`` fans the independent checks out over a process pool
+    ``jobs`` fans the independent units of work out over a process pool
     (``None``/``0`` = serial, negative = all CPUs); the report is merged
-    in the fixed condition order either way.
+    in the fixed condition order either way.  ``fuse`` overrides the
+    pass-fusion default (``REPRO_FUSE``); with ``REPRO_FUSE_CHECK=1``
+    and no explicit ``fuse``, the fused and per-condition reports are
+    both computed and any difference raises
+    :class:`~repro.errors.VerificationError`.
     """
-    report = WDRFReport(subject=spec.program.name, weakened=spec.weakened)
-    worker = functools.partial(run_condition, spec)
-    for result in parallel_map(worker, CONDITION_CHECKS, jobs=jobs):
-        report.add(result)
-    return report
+    if fuse is None and fuse_check_enabled():
+        fused = _verify(spec, jobs, True, collect)
+        unfused = _verify(spec, jobs, False, None)
+        diffs = _diff_reports(fused, unfused)
+        if diffs:
+            raise VerificationError(
+                f"fusion cross-check failed for {spec.program.name!r}: "
+                + "; ".join(diffs)
+            )
+        return fused
+    if fuse is None:
+        fuse = fuse_default_enabled()
+    return _verify(spec, jobs, fuse, collect)
 
 
 def verify_and_check_theorem(

@@ -11,7 +11,10 @@ Checks:
   every terminal message timeline — a second write to a kernel-page-table
   location, or a first write over a non-empty initial entry, violates the
   condition.  Because the timeline is append-only, terminal memories
-  contain the complete write history.
+  contain the complete write history.  The audit streams through a
+  :class:`WriteOnceMonitor`: each terminal timeline is folded in as the
+  explorer reaches it (no ``keep_terminal_states`` buffering) and the
+  search stops at the first violating timeline.
 * **Functional-model** (:func:`audit_write_log`): audit a
   :class:`~repro.mmu.pagetable.MultiLevelPageTable` write log, the form
   used for SeKVM's EL2 table (``set_el2_pt``/``remap_pfn``).
@@ -19,15 +22,16 @@ Checks:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.ir.expr import Imm
 from repro.ir.instructions import PTKind, Store
 from repro.ir.program import Program
 from repro.memory.cache import cached_explore
+from repro.memory.datatypes import ExplorationMonitor, ExplorationResult
 from repro.memory.semantics import ModelConfig
 from repro.mmu.pagetable import PTWrite
-from repro.vrm.conditions import ConditionResult, WDRFCondition
+from repro.vrm.conditions import ConditionResult, PassRequest, WDRFCondition
 
 
 def kernel_pt_locations(program: Program) -> Set[int]:
@@ -44,14 +48,70 @@ def kernel_pt_locations(program: Program) -> Set[int]:
     return locs
 
 
-def check_write_once(
+class WriteOnceMonitor(ExplorationMonitor):
+    """Audits each terminal timeline; stops at the first violating one."""
+
+    kind = "write_once"
+    extra_state = ("violations",)
+
+    def __init__(self, initial_values: Dict[int, int], locs: Iterable[int]):
+        super().__init__()
+        self.violations: Tuple[str, ...] = ()
+        self._init = dict(initial_values)
+        self._locs = frozenset(locs)
+
+    def fingerprint(self) -> str:
+        return f"{self.kind}:{sorted(self._locs)!r}"
+
+    def _audit(self, state: Any) -> None:
+        writes_per_loc: Dict[int, List] = {}
+        for msg in state.memory:
+            if msg.loc in self._locs:
+                writes_per_loc.setdefault(msg.loc, []).append(msg)
+        found: List[str] = []
+        for loc, msgs in writes_per_loc.items():
+            init = self._init.get(loc, 0)
+            if init != 0:
+                found.append(
+                    f"kernel PT entry {loc:#x} (initially {init:#x}) "
+                    f"overwritten by CPU {msgs[0].tid}"
+                )
+            if len(msgs) > 1:
+                found.append(
+                    f"kernel PT entry {loc:#x} written {len(msgs)} times "
+                    f"(CPUs {sorted({m.tid for m in msgs})})"
+                )
+        if found:
+            self.violations = tuple(sorted(set(self.violations) | set(found)))
+            self.stop()
+
+    def on_terminal(self, state: Any) -> None:
+        self._audit(state)
+
+    def on_panic(self, reason: str, state: Any) -> None:
+        self._audit(state)  # panicked timelines still carry write history
+
+    def finalize(self, result: ExplorationResult) -> ConditionResult:
+        exhaustive = True if self.stopped else result.complete
+        return ConditionResult(
+            condition=WDRFCondition.WRITE_ONCE_KERNEL_MAPPING,
+            holds=not self.violations,
+            exhaustive=exhaustive,
+            evidence=(
+                f"audited {self.terminals_seen + self.panics_seen} terminal "
+                f"timelines over {len(self._locs)} kernel PT entries",
+            ),
+            violations=self.violations,
+        )
+
+
+def plan_write_once(
     program: Program,
     kernel_pt_locs: Optional[Iterable[int]] = None,
     relaxed: bool = True,
     **overrides,
-) -> ConditionResult:
-    """Audit all executions: kernel PT entries are written at most once,
-    and only when previously empty."""
+) -> Union[ConditionResult, PassRequest]:
+    """Plan the Write-Once check: a ready verdict or an exploration."""
     if kernel_pt_locs is None:
         locs = kernel_pt_locations(program)
     else:
@@ -64,36 +124,28 @@ def check_write_once(
             evidence=("program never writes the kernel page table",),
         )
     cfg = ModelConfig(relaxed=relaxed, **overrides)
-    result = cached_explore(program, cfg, observe_locs=[], keep_terminal_states=True)
-    violations: List[str] = []
-    for state in result.terminal_states:
-        writes_per_loc: dict = {}
-        for msg in state.memory:
-            if msg.loc in locs:
-                writes_per_loc.setdefault(msg.loc, []).append(msg)
-        for loc, msgs in writes_per_loc.items():
-            init = program.initial_value(loc)
-            if init != 0:
-                violations.append(
-                    f"kernel PT entry {loc:#x} (initially {init:#x}) "
-                    f"overwritten by CPU {msgs[0].tid}"
-                )
-            if len(msgs) > 1:
-                violations.append(
-                    f"kernel PT entry {loc:#x} written {len(msgs)} times "
-                    f"(CPUs {sorted({m.tid for m in msgs})})"
-                )
-    unique = tuple(sorted(set(violations)))
-    return ConditionResult(
-        condition=WDRFCondition.WRITE_ONCE_KERNEL_MAPPING,
-        holds=not unique,
-        exhaustive=result.complete,
-        evidence=(
-            f"audited {len(result.terminal_states)} terminal timelines over "
-            f"{len(locs)} kernel PT entries",
-        ),
-        violations=unique,
+    monitor = WriteOnceMonitor(
+        {loc: program.initial_value(loc) for loc in locs}, locs
     )
+    return PassRequest(cfg=cfg, observe_locs=(), monitor=monitor)
+
+
+def check_write_once(
+    program: Program,
+    kernel_pt_locs: Optional[Iterable[int]] = None,
+    relaxed: bool = True,
+    **overrides,
+) -> ConditionResult:
+    """Audit all executions: kernel PT entries are written at most once,
+    and only when previously empty."""
+    plan = plan_write_once(program, kernel_pt_locs, relaxed, **overrides)
+    if isinstance(plan, ConditionResult):
+        return plan
+    result = cached_explore(
+        program, plan.cfg, observe_locs=list(plan.observe_locs),
+        monitors=[plan.monitor],
+    )
+    return plan.monitor.finalize(result)
 
 
 def audit_write_log(

@@ -1,0 +1,150 @@
+"""The persistent exploration-cache layer: key sensitivity, disk
+round-trips (plain and monitored), and the best-effort degrade paths."""
+
+import pickle
+
+import pytest
+
+from repro.ir import ThreadBuilder, build_program
+from repro.memory import ModelConfig, cached_explore, clear_memory_cache
+from repro.memory.cache import (
+    MonitorPassEntry,
+    _disk_load,
+    exploration_key,
+    monitored_exploration_key,
+)
+from repro.memory.datatypes import ExplorationMonitor
+
+X, Y = 0x10, 0x20
+
+
+@pytest.fixture(autouse=True)
+def isolated_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_EXPLORE_CACHE_DIR", str(tmp_path))
+    clear_memory_cache()
+    yield tmp_path
+    clear_memory_cache()
+
+
+def two_thread_program():
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1).load("r0", Y)
+    t1 = ThreadBuilder(1)
+    t1.store(Y, 1).load("r1", X)
+    return build_program(
+        [t0, t1], observed={0: ["r0"], 1: ["r1"]},
+        initial_memory={X: 0, Y: 0},
+    )
+
+
+class CountingMonitor(ExplorationMonitor):
+    kind = "counting"
+
+
+class TestKeySensitivity:
+    def test_keep_terminal_states_changes_key(self):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        assert exploration_key(program, cfg, None, False, True) != (
+            exploration_key(program, cfg, None, True, True)
+        )
+
+    def test_por_flag_changes_key(self):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        assert exploration_key(program, cfg, None, False, True) != (
+            exploration_key(program, cfg, None, False, False)
+        )
+
+    def test_observe_order_changes_key(self):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        assert exploration_key(program, cfg, (X, Y), False, True) != (
+            exploration_key(program, cfg, (Y, X), False, True)
+        )
+
+    def test_monitored_key_differs_from_plain(self):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        plain = exploration_key(program, cfg, (), False, True)
+        monitored = monitored_exploration_key(
+            program, cfg, (), True, [CountingMonitor()]
+        )
+        assert plain != monitored
+
+    def test_monitored_key_sensitive_to_monitor_set(self):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        one = monitored_exploration_key(
+            program, cfg, (), True, [CountingMonitor()]
+        )
+        two = monitored_exploration_key(
+            program, cfg, (), True, [CountingMonitor(), CountingMonitor()]
+        )
+        assert one != two
+
+    def test_monitor_cut_changes_key(self):
+        # A cut and an exhaustive pass report different exploration
+        # stats, so they must not share a cache entry.
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        assert monitored_exploration_key(
+            program, cfg, (), True, [CountingMonitor()], monitor_cut=True
+        ) != monitored_exploration_key(
+            program, cfg, (), True, [CountingMonitor()], monitor_cut=False
+        )
+
+
+class TestDiskRoundTrip:
+    def test_plain_round_trip(self, isolated_cache):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        first = cached_explore(program, cfg)
+        assert len(list(isolated_cache.glob("*.pkl"))) == 1
+        clear_memory_cache()
+        second = cached_explore(program, cfg)
+        assert second == first
+
+    def test_monitored_round_trip_restores_monitors(
+        self, isolated_cache, monkeypatch
+    ):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        live = CountingMonitor()
+        first = cached_explore(program, cfg, monitors=[live])
+        assert live.terminals_seen > 0
+        entry = _disk_load(
+            monitored_exploration_key(program, cfg, None, True, [live]),
+            MonitorPassEntry,
+        )
+        assert isinstance(entry, MonitorPassEntry)
+
+        clear_memory_cache()
+
+        def boom(*args, **kwargs):  # a hit must not re-explore
+            raise AssertionError("cache miss: explore() was called")
+
+        monkeypatch.setattr("repro.memory.cache.explore", boom)
+        replayed = CountingMonitor()
+        second = cached_explore(program, cfg, monitors=[replayed])
+        assert second == first
+        assert replayed.snapshot() == live.snapshot()
+
+    def test_corrupted_pickle_degrades_to_recompute(self, isolated_cache):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        first = cached_explore(program, cfg)
+        (pkl,) = isolated_cache.glob("*.pkl")
+        pkl.write_bytes(b"not a pickle")
+        clear_memory_cache()
+        second = cached_explore(program, cfg)
+        assert second == first
+
+    def test_wrong_type_on_disk_degrades(self, isolated_cache):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        key = exploration_key(program, cfg, None, False, True)
+        (isolated_cache / (key + ".pkl")).write_bytes(
+            pickle.dumps({"not": "an ExplorationResult"})
+        )
+        result = cached_explore(program, cfg)
+        assert result.complete
+
+    def test_memo_off_recomputes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPLORE_CACHE", "0")
+        monkeypatch.setenv("REPRO_EXPLORE_MEMO", "0")
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        first = cached_explore(program, cfg)
+        second = cached_explore(program, cfg)
+        assert second == first
+        assert second is not first  # no layer served a stored object
