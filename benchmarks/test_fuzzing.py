@@ -1,19 +1,24 @@
 """Extension benchmark: model fuzzing throughput.
 
-Sweeps seeded random programs through three oracles — SC ⊆ Promising
-containment, operational/axiomatic agreement on eligible programs, and
-exploration completeness — and reports programs-per-second.  This is the
-repository's continuous confidence check that the hardware models stay
-pinned to each other and to the architecture.
+Two sweeps share this file.  The legacy sweep drives seeded random
+programs through the inline oracles — SC ⊆ Promising containment,
+operational/axiomatic agreement on eligible programs, and exploration
+completeness.  The conformance sweep runs the same class of programs
+through :func:`repro.conformance.run_fuzz`, which layers on the
+equivalence, engine-config, and monitor-truth oracles; its
+programs-per-second figure is the cost of the full differential
+harness, the number the CI fuzz budget is calibrated against.
 """
 
 from conftest import run_once
 
+from repro.conformance import FuzzConfig, run_fuzz
 from repro.litmus.generate import GeneratorConfig, random_program
 from repro.memory import explore_promising, explore_sc
 from repro.memory.axiomatic import axiomatic_outcomes, eligible
 
 N_PROGRAMS = 60
+N_CONFORMANCE = 40
 
 
 def fuzz_sweep():
@@ -38,6 +43,12 @@ def fuzz_sweep():
     return containment_checks, agreement_checks
 
 
+def conformance_sweep():
+    report = run_fuzz(FuzzConfig(seed=0, budget=N_CONFORMANCE))
+    assert report.ok, "\n".join(f.describe() for f in report.findings)
+    return report
+
+
 def test_model_fuzzing(benchmark):
     containment, agreement = run_once(benchmark, fuzz_sweep)
     print()
@@ -45,3 +56,11 @@ def test_model_fuzzing(benchmark):
     print(f"operational == axiomatic on {agreement} eligible programs")
     assert containment == N_PROGRAMS
     assert agreement >= 20
+
+
+def test_conformance_fuzzing(benchmark):
+    report = run_once(benchmark, conformance_sweep)
+    print()
+    print(report.describe())
+    assert report.programs == N_CONFORMANCE
+    assert report.coverage.states_explored > 0

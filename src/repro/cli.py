@@ -227,31 +227,39 @@ def _cmd_figure9(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
-    from repro.litmus.generate import GeneratorConfig, random_program
-    from repro.memory import explore_promising, explore_sc
-    from repro.memory.axiomatic import axiomatic_outcomes, eligible
+    from repro.conformance import (
+        PROFILES,
+        FuzzConfig,
+        fuzz_parallel,
+        run_fuzz,
+    )
 
-    cfg = GeneratorConfig(n_threads=2, min_ops=2, max_ops=3)
-    agreement = 0
-    for seed in range(args.start, args.start + args.count):
-        program = random_program(seed, cfg)
-        sc = explore_sc(program)
-        rm = explore_promising(program)
-        if not sc.behaviors <= rm.behaviors:
-            print(f"seed {seed}: SC ⊄ RM — model bug!")
-            return 1
-        if eligible(program):
-            ax = axiomatic_outcomes(program)
-            op = explore_promising(
-                program, observe_locs=sorted(program.initial_memory)
-            )
-            if ax != {(b.registers, b.memory) for b in op.behaviors}:
-                print(f"seed {seed}: axiomatic/operational disagreement!")
-                return 1
-            agreement += 1
-    print(f"{args.count} random programs: SC ⊆ RM held everywhere; "
-          f"axiomatic agreement on {agreement} eligible programs")
-    return 0
+    _apply_cache_flag(args)
+    profiles = tuple(args.profiles.split(",")) if args.profiles else PROFILES
+    unknown = [p for p in profiles if p not in PROFILES]
+    if unknown:
+        print(f"unknown profile(s): {', '.join(unknown)}; "
+              f"available: {', '.join(PROFILES)}")
+        return 2
+    budget = args.budget
+    if budget is None and args.minutes is None:
+        budget = 50
+    config = FuzzConfig(
+        seed=args.seed,
+        budget=budget,
+        minutes=args.minutes,
+        profiles=profiles,
+        corpus_dir=args.corpus,
+        shrink=not args.no_shrink,
+    )
+    if args.minutes is None and args.jobs != 1:
+        report = fuzz_parallel(config, jobs=args.jobs)
+    else:
+        report = run_fuzz(config)
+    print(report.describe())
+    if report.findings and args.corpus:
+        print(f"counterexamples written to {args.corpus}")
+    return 0 if report.ok else 1
 
 
 def _cmd_repair(args: argparse.Namespace) -> int:
@@ -379,9 +387,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--linux", default="4.18")
     p.set_defaults(fn=_cmd_table3)
 
-    p = sub.add_parser("fuzz", help="fuzz the memory models against each other")
-    p.add_argument("--count", type=int, default=50)
-    p.add_argument("--start", type=int, default=0)
+    p = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing across models and engine "
+        "configurations",
+    )
+    p.add_argument("--seed", "--start", dest="seed", type=int, default=0,
+                   help="root seed; program i derives its own RNG stream "
+                   "from (seed, i)")
+    p.add_argument("--budget", "--count", dest="budget", type=int,
+                   default=None, metavar="N",
+                   help="number of programs to generate (default 50 "
+                   "unless --minutes is given)")
+    p.add_argument("--minutes", type=float, default=None,
+                   help="wall-clock budget; overrides the default program "
+                   "budget")
+    p.add_argument("--corpus", metavar="DIR",
+                   help="persist shrunk counterexamples to this directory")
+    p.add_argument("--profiles", metavar="P1,P2,...",
+                   help="generation profiles (default: plain,fenced,mmu,sync)")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="record raw counterexamples without delta-debugging")
+    _add_parallel_flags(p)
     p.set_defaults(fn=_cmd_fuzz)
 
     p = sub.add_parser("contention", help="lock-contention study")

@@ -1,0 +1,156 @@
+"""Structural coverage accounting for the conformance fuzzer.
+
+Random program generation plateaus quickly: after a few hundred draws,
+most new programs exercise instruction shapes the oracles have already
+agreed on.  The fuzzing engine therefore tracks *structural* coverage
+of the genome space and feeds genomes that reached new territory back
+into the mutation pool — the standard coverage-guided loop, with the
+coverage domain chosen to mirror what actually distinguishes memory-
+model behaviors:
+
+* **adjacent kind pairs** per thread (with ``^``/``$`` boundary
+  markers) — the reordering candidates;
+* **barrier contexts** — which access kinds a barrier separates, the
+  thing barrier semantics is *about*;
+* **cross-thread communication pairs** — (writer kind, reader kind)
+  over a shared location, the axis of every litmus test;
+* **program shapes** — (profile, thread count, sorted thread lengths).
+
+The map also aggregates the engine's own
+:class:`~repro.memory.datatypes.EngineStats` counters from every
+exploration the oracles ran, so a fuzzing report shows not just how
+many programs were generated but how hard the engine worked (states
+explored, POR ample hits, certification memo traffic, ...).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.conformance.genome import Genome
+from repro.memory.datatypes import EngineStats, ExplorationResult
+
+__all__ = ["CoverageMap"]
+
+_WRITERS = ("store", "store_rel", "faa", "cas", "pt_store")
+_READERS = ("load", "load_acq", "faa", "cas")
+_BARRIERS = ("barrier_full", "barrier_ld", "barrier_st")
+
+
+class CoverageMap:
+    """Accumulates structural coverage and engine counters."""
+
+    def __init__(self) -> None:
+        self.kind_pairs: Set[Tuple[str, str, str]] = set()
+        self.barrier_contexts: Set[Tuple[str, str, str]] = set()
+        self.comm_pairs: Set[Tuple[str, str, str]] = set()
+        self.shapes: Set[Tuple[str, int, Tuple[int, ...]]] = set()
+        self.programs = 0
+        self.explorations = 0
+        self.states_explored = 0
+        self.engine = EngineStats()
+
+    # ------------------------------------------------------------------
+    # genome-side coverage
+    # ------------------------------------------------------------------
+    def observe(self, genome: Genome) -> bool:
+        """Fold a genome in; True iff it reached any new coverage."""
+        self.programs += 1
+        new = False
+        profile = genome.profile
+        for ops in genome.threads:
+            kinds = ["^"] + [op.kind for op in ops] + ["$"]
+            for a, b in zip(kinds, kinds[1:]):
+                new |= self._add(self.kind_pairs, (profile, a, b))
+            for i, op in enumerate(ops):
+                if op.kind in _BARRIERS:
+                    prev = kinds[i]  # kinds is offset by the "^" marker
+                    nxt = kinds[i + 2]
+                    new |= self._add(
+                        self.barrier_contexts, (prev, op.kind, nxt)
+                    )
+        writers: Dict[int, Set[str]] = {}
+        readers: Dict[int, Set[str]] = {}
+        for ops in genome.threads:
+            for op in ops:
+                if op.kind in _WRITERS:
+                    writers.setdefault(op.loc, set()).add(op.kind)
+                if op.kind in _READERS:
+                    readers.setdefault(op.loc, set()).add(op.kind)
+        for loc, wkinds in writers.items():
+            for rkind in readers.get(loc, ()):
+                for wkind in wkinds:
+                    new |= self._add(self.comm_pairs, (profile, wkind, rkind))
+        shape = (
+            profile,
+            len(genome.threads),
+            tuple(sorted(len(ops) for ops in genome.threads)),
+        )
+        new |= self._add(self.shapes, shape)
+        return new
+
+    @staticmethod
+    def _add(target: Set, item) -> bool:
+        if item in target:
+            return False
+        target.add(item)
+        return True
+
+    # ------------------------------------------------------------------
+    # engine-side counters
+    # ------------------------------------------------------------------
+    def record_exploration(self, result: Optional[ExplorationResult]) -> None:
+        if result is None:
+            return
+        self.explorations += 1
+        self.states_explored += result.states_explored
+        if result.stats is not None:
+            self.engine.add(result.stats)
+
+    # ------------------------------------------------------------------
+    # merging (parallel fuzzing chunks)
+    # ------------------------------------------------------------------
+    def merge(self, other: "CoverageMap") -> None:
+        self.kind_pairs |= other.kind_pairs
+        self.barrier_contexts |= other.barrier_contexts
+        self.comm_pairs |= other.comm_pairs
+        self.shapes |= other.shapes
+        self.programs += other.programs
+        self.explorations += other.explorations
+        self.states_explored += other.states_explored
+        self.engine.add(other.engine)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "programs": self.programs,
+            "kind_pairs": len(self.kind_pairs),
+            "barrier_contexts": len(self.barrier_contexts),
+            "comm_pairs": len(self.comm_pairs),
+            "shapes": len(self.shapes),
+            "explorations": self.explorations,
+            "states_explored": self.states_explored,
+            "engine": self.engine.as_dict(),
+        }
+
+    def fingerprint(self) -> Tuple[int, int, int, int]:
+        """A compact determinism witness for tests."""
+        return (
+            len(self.kind_pairs),
+            len(self.barrier_contexts),
+            len(self.comm_pairs),
+            len(self.shapes),
+        )
+
+    def summary(self) -> str:
+        lines: List[str] = [
+            f"coverage: {len(self.kind_pairs)} kind pairs, "
+            f"{len(self.barrier_contexts)} barrier contexts, "
+            f"{len(self.comm_pairs)} communication pairs, "
+            f"{len(self.shapes)} program shapes",
+            f"engine:   {self.explorations} explorations, "
+            f"{self.states_explored} states explored",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Behavior-set digests: the regression fingerprint of the engine.
+
+A conformance harness compares the engine against *itself* in different
+configurations; digests compare it against *its own past*.  For every
+program in the litmus catalog we record a SHA-256 of the complete
+behavior set under the SC and relaxed configurations the litmus runner
+uses (observing every initialized location, not just the
+postcondition's, so drift anywhere in the outcome space is caught).
+``tests/test_corpus_regression.py`` recomputes the digests on every
+run and fails — naming the offending program — if any differ from the
+checked-in ``tests/corpus/litmus_digests.json``.
+
+Regenerate after an *intentional* semantics change with::
+
+    PYTHONPATH=src python -m repro.conformance.digests tests/corpus/litmus_digests.json
+
+and review the diff: every changed digest is a program whose behavior
+set moved, which the commit message should be able to explain.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+from typing import Dict
+
+from repro.litmus.catalog import full_corpus
+from repro.litmus.runner import SC_CFG, rm_config
+from repro.memory.cache import cached_explore
+from repro.memory.datatypes import ExplorationResult
+
+__all__ = ["behavior_digest", "litmus_digests", "write_digests"]
+
+
+def behavior_digest(result: ExplorationResult) -> str:
+    """A stable hash of a behavior set (and its completeness flag).
+
+    Behaviors are rendered with :meth:`~repro.memory.datatypes.Behavior.
+    pretty` and sorted as text — raw tuple ordering would compare None
+    against ints — so the digest is independent of set iteration order.
+    """
+    h = hashlib.sha256()
+    h.update(b"complete=1" if result.complete else b"complete=0")
+    for line in sorted(b.pretty() for b in result.behaviors):
+        h.update(b"\x00")
+        h.update(line.encode())
+    return h.hexdigest()
+
+
+def litmus_digests() -> Dict[str, Dict[str, str]]:
+    """``{test name: {"sc": digest, "rm": digest}}`` over the catalog."""
+    digests: Dict[str, Dict[str, str]] = {}
+    for test in full_corpus():
+        observe = sorted(test.program.initial_memory)
+        sc = cached_explore(test.program, SC_CFG, observe_locs=observe)
+        rm = cached_explore(
+            test.program, rm_config(test.max_promises), observe_locs=observe
+        )
+        digests[test.name] = {
+            "sc": behavior_digest(sc),
+            "rm": behavior_digest(rm),
+        }
+    return digests
+
+
+def write_digests(path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(litmus_digests(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    target = sys.argv[1] if len(sys.argv) > 1 else "tests/corpus/litmus_digests.json"
+    write_digests(target)
+    print(f"wrote {target}")

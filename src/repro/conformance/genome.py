@@ -1,0 +1,402 @@
+"""Serializable program genomes for the differential conformance harness.
+
+The fuzzer does not mutate :class:`~repro.ir.program.Program` objects
+directly: IR programs are rich (labels, expressions, spaces, MMU
+configs) and most random edits would be meaningless or ill-formed.
+Instead every generated program is described by a :class:`Genome` — a
+flat, JSON-serializable list of per-thread :class:`OpSpec` entries drawn
+from a *profile*'s operation alphabet — and :func:`build` lowers a
+genome to a real program deterministically.  Everything downstream
+(oracles, the shrinker, the corpus) operates on genomes, which makes
+counterexamples replayable from a few lines of JSON and makes
+delta-debugging a matter of deleting list entries.
+
+Profiles
+--------
+
+Each profile pairs an operation alphabet with the oracle set that is
+*sound* for it (see :mod:`repro.conformance.oracles`):
+
+``plain``
+    The full data alphabet: plain/acquire loads, plain/release stores,
+    RMWs (``faa``/``cas``) and all three barrier kinds.  Arbitrary racy
+    programs — only the one-directional SC ⊆ RM containment (and
+    axiomatic agreement, engine-config agreement) can be asserted.
+``fenced``
+    Loads and stores only; :func:`build` inserts a ``dmb sy`` after
+    every access.  Fully fenced programs are data-race-free by
+    construction, so the paper's guarantee becomes testable on random
+    programs: RM behaviors must *equal* SC behaviors.
+``mmu``
+    Data accesses plus stage-2 page-table stores and TLB invalidations —
+    exercises the walker-floor and TLB bookkeeping that the plain
+    alphabet never touches.
+``sync``
+    Loads/stores interleaved with ``Pull``/``Push`` ownership
+    instrumentation over a shared-location footprint: the input language
+    of the DRF-Kernel checker, used by the monitor-truth oracle.
+    :func:`valid` requires at least one ``pull`` so the checker plans a
+    real exploration instead of early-returning.
+
+Determinism
+-----------
+
+All randomness flows through explicitly threaded
+:class:`random.Random` instances; :func:`derive_rng` (re-exported from
+:mod:`repro.litmus.generate`) derives independent streams from a root
+seed and a label path, so program *i* of a fuzzing run is a pure
+function of ``(root_seed, i)`` regardless of how many oracles ran in
+between.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir import ThreadBuilder, build_program
+from repro.ir.instructions import PTKind
+from repro.ir.program import Program
+from repro.litmus.generate import derive_rng
+
+__all__ = [
+    "DATA_BASE",
+    "PT_BASE",
+    "PROFILES",
+    "PROFILE_OPS",
+    "Genome",
+    "OpSpec",
+    "build",
+    "data_locations",
+    "derive_rng",
+    "mutate",
+    "random_genome",
+    "shared_locations",
+    "valid",
+]
+
+#: Base addresses of the data and page-table location pools.  Disjoint
+#: so MMU genomes can never alias a page-table entry with plain data.
+DATA_BASE = 0x100
+PT_BASE = 0x200
+_STRIDE = 8
+
+#: Generation profiles in round-robin order.
+PROFILES: Tuple[str, ...] = ("plain", "fenced", "mmu", "sync")
+
+#: Per-profile operation alphabet with generation weights.
+PROFILE_OPS: Dict[str, Tuple[Tuple[str, int], ...]] = {
+    "plain": (
+        ("load", 5),
+        ("load_acq", 2),
+        ("store", 5),
+        ("store_rel", 2),
+        ("faa", 2),
+        ("cas", 1),
+        ("barrier_full", 1),
+        ("barrier_ld", 1),
+        ("barrier_st", 1),
+    ),
+    "fenced": (
+        ("load", 1),
+        ("store", 1),
+    ),
+    "mmu": (
+        ("load", 4),
+        ("store", 4),
+        ("pt_store", 2),
+        ("tlbi", 1),
+        ("barrier_full", 1),
+    ),
+    "sync": (
+        ("load", 3),
+        ("store", 3),
+        ("pull", 2),
+        ("push", 2),
+    ),
+}
+
+#: Cap on per-thread length: random generation stays below it and the
+#: mutation operators never push a thread past it, keeping exploration
+#: cost bounded no matter how a genome evolved.
+MAX_OPS_PER_THREAD = 6
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """One abstract operation: a kind plus its location/value operands.
+
+    ``loc`` is an *index* into the genome's location pool (reduced
+    modulo ``n_locations`` at build time, so mutations can never
+    produce a dangling address), and ``val`` is the stored/compared
+    value for kinds that take one.  Kinds without operands (barriers,
+    ``tlbi``) simply ignore both fields, which keeps the shrinker's
+    "simplify operands" passes trivially safe.
+    """
+
+    kind: str
+    loc: int = 0
+    val: int = 1
+
+    def to_json(self) -> List[object]:
+        return [self.kind, self.loc, self.val]
+
+    @classmethod
+    def from_json(cls, data: Sequence[object]) -> "OpSpec":
+        kind, loc, val = data
+        return cls(kind=str(kind), loc=int(loc), val=int(val))
+
+
+@dataclass(frozen=True)
+class Genome:
+    """A complete program description: profile + per-thread op lists."""
+
+    profile: str
+    threads: Tuple[Tuple[OpSpec, ...], ...]
+    n_locations: int = 2
+    name: str = "genome"
+
+    def size(self) -> int:
+        return sum(len(ops) for ops in self.threads)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "profile": self.profile,
+            "n_locations": self.n_locations,
+            "name": self.name,
+            "threads": [
+                [op.to_json() for op in ops] for ops in self.threads
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, object]) -> "Genome":
+        return cls(
+            profile=str(data["profile"]),
+            n_locations=int(data["n_locations"]),
+            name=str(data.get("name", "genome")),
+            threads=tuple(
+                tuple(OpSpec.from_json(op) for op in ops)
+                for ops in data["threads"]
+            ),
+        )
+
+
+def data_locations(genome: Genome) -> List[int]:
+    return [DATA_BASE + _STRIDE * i for i in range(genome.n_locations)]
+
+
+def pt_locations(genome: Genome) -> List[int]:
+    return [PT_BASE + _STRIDE * i for i in range(genome.n_locations)]
+
+
+def shared_locations(genome: Genome) -> Tuple[int, ...]:
+    """The DRF-Kernel shared-data footprint of a ``sync`` genome: every
+    data location (pull/push windows decide which accesses are legal)."""
+    return tuple(data_locations(genome))
+
+
+def valid(genome: Genome) -> bool:
+    """Is the genome well-formed for its profile?
+
+    Structural well-formedness is guaranteed by construction (``loc``
+    wraps, unknown kinds cannot be built); the only semantic
+    requirement is that ``sync`` genomes carry at least one ``pull`` —
+    an uninstrumented program makes :func:`repro.vrm.drf_kernel.
+    plan_drf_kernel` early-return without exploring, which would leave
+    the monitor-truth oracle nothing to compare.
+    """
+    if genome.profile not in PROFILE_OPS:
+        return False
+    if genome.size() == 0:
+        return False
+    if any(len(ops) > MAX_OPS_PER_THREAD for ops in genome.threads):
+        return False
+    if genome.profile == "sync":
+        return any(
+            op.kind == "pull" for ops in genome.threads for op in ops
+        )
+    return True
+
+
+def build(genome: Genome) -> Program:
+    """Lower a genome to a concrete :class:`Program`.
+
+    Deterministic: identical genomes produce identical programs (and
+    therefore identical exploration-cache keys).  Loaded registers are
+    observed, data (and for ``mmu``, page-table) locations are
+    initialized to zero, and the ``fenced`` profile appends a full
+    barrier after every access.
+    """
+    data = data_locations(genome)
+    pts = pt_locations(genome)
+    fenced = genome.profile == "fenced"
+    builders = []
+    observed: Dict[int, List[str]] = {}
+    uses_pt = False
+    for tid, ops in enumerate(genome.threads):
+        b = ThreadBuilder(tid)
+        regs: List[str] = []
+        for i, op in enumerate(ops):
+            loc = data[op.loc % len(data)]
+            val = max(1, op.val)
+            reg = f"r{i}"
+            if op.kind == "load":
+                b.load(reg, loc)
+                regs.append(reg)
+            elif op.kind == "load_acq":
+                b.load(reg, loc, acquire=True)
+                regs.append(reg)
+            elif op.kind == "store":
+                b.store(loc, val)
+            elif op.kind == "store_rel":
+                b.store(loc, val, release=True)
+            elif op.kind == "faa":
+                b.faa(reg, loc)
+                regs.append(reg)
+            elif op.kind == "cas":
+                b.cas(reg, loc, 0, val)
+                regs.append(reg)
+            elif op.kind == "barrier_full":
+                b.barrier("full")
+            elif op.kind == "barrier_ld":
+                b.barrier("ld")
+            elif op.kind == "barrier_st":
+                b.barrier("st")
+            elif op.kind == "pt_store":
+                uses_pt = True
+                b.pt_store(
+                    pts[op.loc % len(pts)], val,
+                    kind=PTKind.STAGE2, level=1,
+                )
+            elif op.kind == "tlbi":
+                b.tlbi()
+            elif op.kind == "pull":
+                b.pull(loc)
+            elif op.kind == "push":
+                b.push(loc)
+            else:
+                raise ValueError(f"unknown op kind {op.kind!r}")
+            if fenced and op.kind in ("load", "store"):
+                b.barrier("full")
+        observed[tid] = regs
+        builders.append(b)
+    init = {loc: 0 for loc in data}
+    if uses_pt:
+        init.update({loc: 0 for loc in pts})
+    return build_program(
+        builders, observed=observed, initial_memory=init,
+        name=f"{genome.profile}[{genome.name}]",
+    )
+
+
+def random_genome(
+    profile: str,
+    rng: random.Random,
+    n_threads: int = 2,
+    min_ops: int = 2,
+    max_ops: int = 4,
+    n_locations: int = 2,
+    name: str = "random",
+) -> Genome:
+    """Draw a fresh genome from the profile's weighted alphabet."""
+    kinds, weights = zip(*PROFILE_OPS[profile])
+    threads = []
+    for _tid in range(n_threads):
+        n_ops = rng.randint(min_ops, max_ops)
+        ops = tuple(
+            OpSpec(
+                kind=rng.choices(kinds, weights=weights)[0],
+                loc=rng.randrange(n_locations),
+                val=rng.randrange(1, 4),
+            )
+            for _ in range(n_ops)
+        )
+        threads.append(ops)
+    genome = Genome(
+        profile=profile, threads=tuple(threads),
+        n_locations=n_locations, name=name,
+    )
+    return _repair(genome, rng)
+
+
+#: Mutation operator names (coverage-guided stage); each is a small,
+#: genome-level edit preserving profile validity.
+MUTATIONS: Tuple[str, ...] = (
+    "insert", "delete", "rekind", "retarget", "revalue", "swap", "dup",
+)
+
+
+def mutate(genome: Genome, rng: random.Random, name: str = "mut") -> Genome:
+    """One random structural edit of *genome* (always profile-valid)."""
+    kinds, weights = zip(*PROFILE_OPS[genome.profile])
+    threads = [list(ops) for ops in genome.threads]
+    op_positions = [
+        (t, i) for t, ops in enumerate(threads) for i in range(len(ops))
+    ]
+    choice = rng.choice(MUTATIONS)
+    if choice == "insert" or not op_positions:
+        t = rng.randrange(len(threads))
+        if len(threads[t]) < MAX_OPS_PER_THREAD:
+            i = rng.randint(0, len(threads[t]))
+            threads[t].insert(i, OpSpec(
+                kind=rng.choices(kinds, weights=weights)[0],
+                loc=rng.randrange(genome.n_locations),
+                val=rng.randrange(1, 4),
+            ))
+    elif choice == "delete":
+        t, i = rng.choice(op_positions)
+        del threads[t][i]
+    elif choice == "rekind":
+        t, i = rng.choice(op_positions)
+        threads[t][i] = replace(
+            threads[t][i], kind=rng.choices(kinds, weights=weights)[0]
+        )
+    elif choice == "retarget":
+        t, i = rng.choice(op_positions)
+        threads[t][i] = replace(
+            threads[t][i], loc=rng.randrange(genome.n_locations)
+        )
+    elif choice == "revalue":
+        t, i = rng.choice(op_positions)
+        threads[t][i] = replace(threads[t][i], val=rng.randrange(1, 4))
+    elif choice == "swap":
+        t, i = rng.choice(op_positions)
+        if i + 1 < len(threads[t]):
+            threads[t][i], threads[t][i + 1] = (
+                threads[t][i + 1], threads[t][i]
+            )
+    elif choice == "dup":
+        t, i = rng.choice(op_positions)
+        if len(threads[t]) < MAX_OPS_PER_THREAD:
+            threads[t].insert(i, threads[t][i])
+    mutated = Genome(
+        profile=genome.profile,
+        threads=tuple(tuple(ops) for ops in threads),
+        n_locations=genome.n_locations,
+        name=name,
+    )
+    return _repair(mutated, rng)
+
+
+def _repair(genome: Genome, rng: random.Random) -> Genome:
+    """Restore profile validity after generation/mutation."""
+    if valid(genome):
+        return genome
+    threads = [list(ops) for ops in genome.threads]
+    if genome.size() == 0:
+        threads[0].append(OpSpec(kind="load", loc=0, val=1))
+    if genome.profile == "sync" and not any(
+        op.kind == "pull" for ops in threads for op in ops
+    ):
+        t = rng.randrange(len(threads))
+        if len(threads[t]) >= MAX_OPS_PER_THREAD:
+            threads[t].pop()
+        threads[t].insert(0, OpSpec(kind="pull", loc=0, val=1))
+    return Genome(
+        profile=genome.profile,
+        threads=tuple(tuple(ops) for ops in threads),
+        n_locations=genome.n_locations,
+        name=genome.name,
+    )

@@ -1,0 +1,367 @@
+"""Executable conformance oracles: the paper's relations as assertions.
+
+Each oracle takes a :class:`~repro.conformance.genome.Genome`, runs the
+engine some number of ways, and returns :class:`Disagreement` records
+for every relation that failed to hold.  The oracles are chosen so that
+each is *sound for its profile* — it can only fire on a genuine engine
+bug, never on an expected relaxed-memory effect:
+
+``containment``
+    SC ⊆ RM on the same program: the SC model's scheduler/read choices
+    are a subset of the relaxed model's, so every SC behavior must be
+    reachable relaxed.  Holds for arbitrary programs (not under the
+    push/pull models, whose barrier-fulfillment panics exist only on
+    the relaxed side — hence skipped for ``sync`` genomes).
+``equivalence``
+    RM = SC on ``fenced`` genomes: a full barrier after every access
+    makes the program data-race-free by construction, so by the
+    theorem the relaxed behaviors must collapse onto the SC set.  This
+    is the executable form of the paper's guarantee on *random*
+    programs rather than the curated corpus.
+``axiomatic``
+    Operational = axiomatic outcome sets on programs the simplified
+    Armv8 axiomatic model accepts (straight-line, non-RMW).
+``por`` / ``memo`` / ``jobs``
+    Engine configurations are behavior-preserving: partial-order
+    reduction on/off, certification memoization on/off, and process-
+    pool vs. serial evaluation must each produce bit-identical behavior
+    sets.
+``fuse``
+    :func:`repro.vrm.verifier.verify_wdrf` with fused streaming passes
+    produces a report bit-identical to the legacy per-condition
+    layout.
+``monitor``
+    The streaming :class:`~repro.vrm.drf_kernel.DRFKernelMonitor`'s
+    verdict agrees with ground truth recomputed from a monitor-free
+    exhaustive exploration's panic set — the oracle that catches a
+    checker which silently swallows violations.
+
+:func:`check_genome` selects the sound subset for a genome's profile
+(plus the expensive ``fuse``/``jobs`` oracles when asked) and is the
+single entry point used by the fuzzing engine, the shrinker, and the
+corpus replayer.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.conformance.genome import Genome, build, shared_locations
+from repro.ir.program import Program
+from repro.memory.axiomatic import axiomatic_outcomes, eligible
+from repro.memory.cache import cached_explore
+from repro.memory.datatypes import ExplorationResult
+from repro.memory.semantics import PROMISING_ARM, SC
+from repro.parallel import parallel_map
+from repro.vrm.conditions import ConditionResult
+from repro.vrm.drf_kernel import check_drf_kernel, plan_drf_kernel
+from repro.vrm.verifier import WDRFSpec, verify_wdrf
+
+__all__ = [
+    "ORACLES",
+    "Disagreement",
+    "check_genome",
+    "oracles_for",
+]
+
+#: All oracle names, in the order :func:`check_genome` runs them.
+ORACLES: Tuple[str, ...] = (
+    "containment",
+    "equivalence",
+    "axiomatic",
+    "monitor",
+    "por",
+    "memo",
+    "fuse",
+    "jobs",
+)
+
+#: The sound, always-on oracle subset per generation profile.
+_PROFILE_ORACLES = {
+    "plain": ("containment", "axiomatic", "por", "memo"),
+    "fenced": ("containment", "equivalence", "por", "memo"),
+    "mmu": ("containment", "por", "memo"),
+    "sync": ("monitor",),
+}
+
+#: Expensive oracles added when the caller opts into a heavy check.
+_HEAVY_ORACLES = {
+    "plain": ("jobs",),
+    "fenced": ("jobs",),
+    "mmu": ("jobs",),
+    "sync": ("fuse",),
+}
+
+
+@dataclass(frozen=True)
+class Disagreement:
+    """One violated conformance relation, with a human-readable diff."""
+
+    oracle: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"[{self.oracle}] {self.detail}"
+
+
+def oracles_for(profile: str, heavy: bool = False) -> Tuple[str, ...]:
+    """The oracle names :func:`check_genome` runs for *profile*."""
+    names = _PROFILE_ORACLES[profile]
+    if heavy:
+        names = names + _HEAVY_ORACLES[profile]
+    return names
+
+
+@contextlib.contextmanager
+def _env(name: str, value: str) -> Iterator[None]:
+    previous = os.environ.get(name)
+    os.environ[name] = value
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop(name, None)
+        else:
+            os.environ[name] = previous
+
+
+def _behaviors_diff(
+    label_a: str, a: ExplorationResult, label_b: str, b: ExplorationResult
+) -> Optional[str]:
+    """A readable description of the symmetric difference, or None."""
+    only_a = a.behaviors - b.behaviors
+    only_b = b.behaviors - a.behaviors
+    if not only_a and not only_b:
+        return None
+    parts = []
+    for label, extra in ((label_a, only_a), (label_b, only_b)):
+        if extra:
+            shown = ", ".join(_pretty_sorted(extra)[:3])
+            more = f" (+{len(extra) - 3} more)" if len(extra) > 3 else ""
+            parts.append(f"{label}-only: {shown}{more}")
+    return "; ".join(parts)
+
+
+def _pretty_sorted(behaviors) -> List[str]:
+    # Behaviors sort by rendered text: raw tuple ordering can compare
+    # None register values / panic strings against ints and raise.
+    return sorted(b.pretty() for b in behaviors)
+
+
+def _observe(program: Program) -> List[int]:
+    return sorted(program.initial_memory)
+
+
+def _explore_raw(args) -> ExplorationResult:
+    """Module-level (picklable) uncached exploration job for the pool."""
+    program, cfg, observe = args
+    return cached_explore(program, cfg, observe_locs=observe, cache=False)
+
+
+# ----------------------------------------------------------------------
+# the oracles
+# ----------------------------------------------------------------------
+
+def _check_containment(program: Program) -> List[Disagreement]:
+    observe = _observe(program)
+    sc = cached_explore(program, SC, observe_locs=observe)
+    rm = cached_explore(program, PROMISING_ARM, observe_locs=observe)
+    missing = sc.behaviors - rm.behaviors
+    if not missing:
+        return []
+    shown = ", ".join(_pretty_sorted(missing)[:3])
+    return [Disagreement(
+        oracle="containment",
+        detail=f"SC ⊄ RM: {len(missing)} SC behavior(s) unreachable on "
+        f"the relaxed model, e.g. {shown}",
+    )]
+
+
+def _check_equivalence(program: Program) -> List[Disagreement]:
+    observe = _observe(program)
+    sc = cached_explore(program, SC, observe_locs=observe)
+    rm = cached_explore(program, PROMISING_ARM, observe_locs=observe)
+    rm_only = rm.behaviors - sc.behaviors
+    if not rm_only:
+        return []
+    shown = ", ".join(_pretty_sorted(rm_only)[:3])
+    return [Disagreement(
+        oracle="equivalence",
+        detail=f"fully fenced program shows {len(rm_only)} RM-only "
+        f"behavior(s): {shown}",
+    )]
+
+
+def _check_axiomatic(program: Program) -> List[Disagreement]:
+    if not eligible(program):
+        return []
+    ax = axiomatic_outcomes(program)
+    op = cached_explore(
+        program, PROMISING_ARM, observe_locs=_observe(program)
+    )
+    operational = {(b.registers, b.memory) for b in op.behaviors}
+    if ax == operational:
+        return []
+    only_ax = len(ax - operational)
+    only_op = len(operational - ax)
+    return [Disagreement(
+        oracle="axiomatic",
+        detail=f"axiomatic/operational disagreement: {only_ax} "
+        f"axiomatic-only, {only_op} operational-only outcome(s)",
+    )]
+
+
+def _check_por(program: Program) -> List[Disagreement]:
+    out: List[Disagreement] = []
+    for label, cfg in (("SC", SC), ("RM", PROMISING_ARM)):
+        observe = _observe(program)
+        reduced = cached_explore(
+            program, cfg, observe_locs=observe, por=True
+        )
+        full = cached_explore(
+            program, cfg, observe_locs=observe, por=False
+        )
+        diff = _behaviors_diff("reduced", reduced, "unreduced", full)
+        if diff:
+            out.append(Disagreement(
+                oracle="por",
+                detail=f"POR changed the {label} behavior set: {diff}",
+            ))
+    return out
+
+
+def _check_memo(program: Program) -> List[Disagreement]:
+    observe = _observe(program)
+    with _env("REPRO_CERT_MEMO", "1"):
+        on = _explore_raw((program, PROMISING_ARM, observe))
+    with _env("REPRO_CERT_MEMO", "0"):
+        off = _explore_raw((program, PROMISING_ARM, observe))
+    diff = _behaviors_diff("memoized", on, "unmemoized", off)
+    if diff:
+        return [Disagreement(
+            oracle="memo",
+            detail=f"certification memo changed the RM behavior set: "
+            f"{diff}",
+        )]
+    return []
+
+
+def _check_jobs(program: Program) -> List[Disagreement]:
+    # Four items so plan_jobs actually forks with two workers (two items
+    # amortize to a serial plan); duplicates are fine — both sides run
+    # uncached, so every position is an honest recomputation.
+    observe = _observe(program)
+    items = [
+        (program, SC, observe),
+        (program, PROMISING_ARM, observe),
+        (program, SC, observe),
+        (program, PROMISING_ARM, observe),
+    ]
+    pooled = parallel_map(_explore_raw, items, jobs=2)
+    serial = [_explore_raw(item) for item in items]
+    for idx, (p, s) in enumerate(zip(pooled, serial)):
+        diff = _behaviors_diff("pooled", p, "serial", s)
+        if diff:
+            return [Disagreement(
+                oracle="jobs",
+                detail=f"pool/serial divergence on item {idx}: {diff}",
+            )]
+    return []
+
+
+def _check_fuse(program: Program, shared: Tuple[int, ...]) -> List[Disagreement]:
+    spec = WDRFSpec(program=program, shared_locs=shared)
+    fused = verify_wdrf(spec, fuse=True)
+    unfused = verify_wdrf(spec, fuse=False)
+    diffs = []
+    conditions = set(fused.results) | set(unfused.results)
+    for cond in sorted(conditions, key=lambda c: c.value):
+        a = fused.results.get(cond)
+        b = unfused.results.get(cond)
+        if a != b:
+            diffs.append(f"{cond.value}: fused {a!r} != per-condition {b!r}")
+    if diffs:
+        return [Disagreement(
+            oracle="fuse",
+            detail="fused report differs from per-condition report: "
+            + "; ".join(diffs),
+        )]
+    return []
+
+
+def _check_monitor(
+    program: Program, shared: Tuple[int, ...]
+) -> List[Disagreement]:
+    plan = plan_drf_kernel(program, shared)
+    if isinstance(plan, ConditionResult):
+        # No exploration was planned (uninstrumented program): nothing
+        # for the streaming monitor to diverge from.  Genome validity
+        # keeps fuzzed sync programs out of this branch.
+        return []
+    verdict = check_drf_kernel(program, shared)
+    truth = cached_explore(program, plan.cfg, observe_locs=[])
+    panics = sorted({
+        b.panic for b in truth.behaviors
+        if b.panic is not None and (
+            "DRF violation" in b.panic or "push/pull violation" in b.panic
+        )
+    })
+    truth_holds = not panics
+    if verdict.holds == truth_holds:
+        return []
+    if verdict.holds:
+        detail = (
+            f"monitor verdict holds=True but a monitor-free exhaustive "
+            f"exploration reaches {len(panics)} ownership panic(s), "
+            f"e.g. {panics[0]!r}"
+        )
+    else:
+        detail = (
+            "monitor verdict holds=False but no ownership panic is "
+            "reachable in a monitor-free exhaustive exploration"
+        )
+    return [Disagreement(oracle="monitor", detail=detail)]
+
+
+def check_genome(
+    genome: Genome,
+    oracles: Optional[Sequence[str]] = None,
+    heavy: bool = False,
+) -> List[Disagreement]:
+    """Run the conformance oracles for *genome*; [] means full agreement.
+
+    ``oracles`` overrides the profile-derived selection (used by the
+    shrinker and corpus replay, which chase one specific relation);
+    ``heavy=True`` adds the expensive cross-checks (``jobs`` for data
+    profiles, ``fuse`` for ``sync``) on top of the defaults.
+    """
+    if oracles is None:
+        oracles = oracles_for(genome.profile, heavy=heavy)
+    program = build(genome)
+    shared = shared_locations(genome)
+    out: List[Disagreement] = []
+    for name in ORACLES:
+        if name not in oracles:
+            continue
+        if name == "containment":
+            out.extend(_check_containment(program))
+        elif name == "equivalence":
+            out.extend(_check_equivalence(program))
+        elif name == "axiomatic":
+            out.extend(_check_axiomatic(program))
+        elif name == "monitor":
+            out.extend(_check_monitor(program, shared))
+        elif name == "por":
+            out.extend(_check_por(program))
+        elif name == "memo":
+            out.extend(_check_memo(program))
+        elif name == "fuse":
+            out.extend(_check_fuse(program, shared))
+        elif name == "jobs":
+            out.extend(_check_jobs(program))
+        else:
+            raise ValueError(f"unknown oracle {name!r}")
+    return out

@@ -41,6 +41,7 @@ import tempfile
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.ir.program import Program
+from repro.memory import mutants
 from repro.memory.datatypes import ExplorationMonitor, ExplorationResult
 from repro.memory.exploration import explore, por_default_enabled
 from repro.memory.semantics import ModelConfig
@@ -153,6 +154,10 @@ def exploration_key(
     text = "\x00".join(
         (
             code_fingerprint(),
+            # Seeded semantic mutants change engine behavior at runtime
+            # without touching sources; key them so a mutated engine can
+            # never replay (or poison) honest results.
+            mutants.fingerprint(),
             _program_fingerprint(program),
             _config_fingerprint(cfg),
             repr(observed),

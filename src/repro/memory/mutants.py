@@ -1,0 +1,94 @@
+"""Seeded semantic mutants (test-only hooks) for the conformance harness.
+
+The differential conformance oracles in :mod:`repro.conformance` claim to
+detect soundness bugs in the engine: a weakened barrier semantics, a
+verification monitor that swallows violations, a partial-order reduction
+applied outside its soundness gate.  That claim is itself testable only
+if such bugs can be *introduced on demand* — the classic
+mutation-killing discipline.  This module is the single registry of
+those seeded bug classes.
+
+Each mutant is off by default and can only be enabled explicitly
+(normally via the :func:`seeded` context manager in a test).  The hook
+sites live in production code but reduce to one dictionary probe when no
+mutant is active:
+
+* ``weaken-barrier-full`` — ``dmb sy`` becomes a no-op in
+  :func:`repro.memory.semantics._apply_barrier`: the full barrier no
+  longer raises the thread's read/write frontiers, so fully fenced
+  programs regain relaxed behaviors.  Killed by the RM ⊆ SC equivalence
+  oracle on the ``fenced`` generation profile.
+* ``weaken-drf-monitor`` — the streaming
+  :class:`~repro.vrm.drf_kernel.DRFKernelMonitor` ignores ownership
+  panics, so DRF-Kernel "verifies" racy programs.  Killed by the
+  monitor-vs-exhaustive oracle, which recomputes the verdict from a
+  monitor-free exploration's panic set.
+* ``skip-por-gate`` — :func:`repro.memory.por.por_eligible` and
+  :func:`~repro.memory.por.por_worthwhile` answer True for every
+  program, applying the ample-set reduction to programs with RMWs,
+  barriers, acquire/release accesses, and push/pull ownership — exactly
+  the cases where steps stop commuting.  Killed by the engine-config
+  agreement oracle (POR on vs. off).
+
+Active mutants are part of every exploration cache key (see
+:func:`repro.memory.cache.exploration_key`), so a mutated engine can
+never poison — or be masked by — results cached from the honest one.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import FrozenSet, Iterator, Set, Tuple
+
+#: The seeded bug classes the mutation-killing suite must detect.
+KNOWN_MUTANTS: Tuple[str, ...] = (
+    "weaken-barrier-full",
+    "weaken-drf-monitor",
+    "skip-por-gate",
+)
+
+_active: Set[str] = set()
+
+
+def enable(name: str) -> None:
+    """Switch a seeded bug on (test-only; prefer :func:`seeded`)."""
+    if name not in KNOWN_MUTANTS:
+        raise ValueError(
+            f"unknown mutant {name!r}; known: {', '.join(KNOWN_MUTANTS)}"
+        )
+    _active.add(name)
+
+
+def disable(name: str) -> None:
+    _active.discard(name)
+
+
+def disable_all() -> None:
+    _active.clear()
+
+
+def enabled(name: str) -> bool:
+    """Is the named mutant active?  (The hook-site fast path.)"""
+    return name in _active
+
+
+def active() -> FrozenSet[str]:
+    """The currently active mutants (cache-key material)."""
+    return frozenset(_active)
+
+
+def fingerprint() -> str:
+    """Stable cache-key component describing the active mutants."""
+    return ",".join(sorted(_active)) if _active else ""
+
+
+@contextlib.contextmanager
+def seeded(*names: str) -> Iterator[None]:
+    """Enable the named mutants for the duration of a ``with`` block."""
+    for name in names:
+        enable(name)
+    try:
+        yield
+    finally:
+        for name in names:
+            disable(name)

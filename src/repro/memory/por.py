@@ -58,6 +58,7 @@ from repro.ir.instructions import (
     Store,
 )
 from repro.ir.program import Thread
+from repro.memory import mutants
 
 #: Instructions that read and write only the acting thread's context.
 LOCAL_INSTRS = (Label, Nop, Mov, Jump, BranchIfZero, BranchIfNonZero)
@@ -88,6 +89,8 @@ def por_worthwhile(program, cfg) -> bool:
     this gate is purely a cost call.  The explorer records a skip in
     :class:`~repro.memory.datatypes.EngineStats` as ``por_gate_skips``.
     """
+    if mutants.enabled("skip-por-gate"):  # seeded bug class
+        return True
     if cfg.relaxed:
         return True
     total = sum(len(t.instrs) for t in program.threads)
@@ -103,6 +106,8 @@ def por_eligible(program, cfg) -> bool:
     reads, or explicit panics are in play — the cases where steps stop
     commuting exactly.
     """
+    if mutants.enabled("skip-por-gate"):  # seeded bug class
+        return True
     if cfg.pushpull or cfg.owned_access_required:
         return False
     for thread in program.threads:

@@ -37,16 +37,20 @@ def sample_behaviors(
     seed: int = 0,
     observe_locs: Optional[Sequence[int]] = None,
     max_steps_per_run: int = 10_000,
+    rng: Optional[random.Random] = None,
 ) -> ExplorationResult:
     """Random-walk *runs* executions; returns the sampled behavior set.
 
     The result is always marked incomplete — sampled exploration can
-    refute (exhibit a violating behavior) but never verify.
+    refute (exhibit a violating behavior) but never verify.  All
+    randomness comes from the explicit *rng* (default: a fresh
+    ``random.Random(seed)``), never from the global generator, so a
+    sampling session replayed from a persisted seed is bit-identical.
     """
     cache = ProgramCache(program)
     if observe_locs is None:
         observe_locs = sorted(cache.initial_memory)
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     behaviors: Set[Behavior] = set()
     states_seen = 0
     cut = 0

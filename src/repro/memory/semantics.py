@@ -57,6 +57,7 @@ from repro.ir.instructions import (
     VStore,
 )
 from repro.ir.program import Program, Thread
+from repro.memory import mutants
 from repro.memory.datatypes import (
     EngineStats,
     Fault,
@@ -670,6 +671,8 @@ def _exec_stxr(
 
 def _apply_barrier(ctx: ThreadCtx, kind: BarrierKind) -> ThreadCtx:
     if kind is BarrierKind.FULL:
+        if mutants.enabled("weaken-barrier-full"):  # seeded bug class
+            return ctx
         frontier = max(ctx.vro, ctx.vwo)
         return ctx._replace(vrn=max(ctx.vrn, frontier), vwn=max(ctx.vwn, frontier))
     if kind is BarrierKind.LD:

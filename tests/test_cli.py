@@ -84,9 +84,26 @@ class TestVerify:
 
 class TestFuzzAndContention:
     def test_fuzz_command(self, capsys):
-        code, out = run_cli(capsys, "fuzz", "--count", "5")
+        code, out = run_cli(capsys, "fuzz", "--count", "5", "--jobs", "1")
         assert code == 0
-        assert "SC ⊆ RM held" in out
+        assert "5 programs" in out
+        assert "all oracles agreed" in out
+
+    def test_fuzz_new_flags(self, capsys, tmp_path):
+        code, out = run_cli(
+            capsys, "fuzz", "--seed", "11", "--budget", "4",
+            "--profiles", "fenced,sync", "--corpus", str(tmp_path),
+            "--jobs", "1",
+        )
+        assert code == 0
+        assert "seed 11" in out
+        assert "fenced/sync" in out
+
+    def test_fuzz_rejects_unknown_profile(self, capsys):
+        code, out = run_cli(capsys, "fuzz", "--budget", "1",
+                            "--profiles", "bogus")
+        assert code == 2
+        assert "unknown profile" in out
 
     def test_contention_command(self, capsys):
         code, out = run_cli(capsys, "contention")

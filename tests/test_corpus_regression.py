@@ -1,0 +1,77 @@
+"""Regression corpus: litmus behavior-set digests must not drift.
+
+The litmus suite asserts each test's *postcondition* — a single
+projection of the behavior set.  This suite pins the entire set: a
+SHA-256 digest of every behavior (observing all initialized locations)
+per program per model, checked against the committed
+``tests/corpus/litmus_digests.json``.  Any engine change that moves
+any behavior of any catalog program fails here with the offending
+program's name, even if every postcondition still matches.
+
+After an intentional semantics change, regenerate with::
+
+    PYTHONPATH=src python -m repro.conformance.digests tests/corpus/litmus_digests.json
+"""
+
+import json
+import os
+
+from repro.conformance import behavior_digest, litmus_digests
+from repro.litmus.catalog import full_corpus
+from repro.memory.cache import cached_explore
+from repro.memory.semantics import SC
+
+_CORPUS = os.path.join(os.path.dirname(__file__), "corpus",
+                       "litmus_digests.json")
+
+
+def _expected():
+    with open(_CORPUS, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestLitmusDigests:
+    def test_corpus_file_covers_the_whole_catalog(self):
+        expected = _expected()
+        catalog = {t.name for t in full_corpus()}
+        missing = catalog - set(expected)
+        stale = set(expected) - catalog
+        assert not missing, (
+            f"programs missing from the digest corpus (regenerate it): "
+            f"{sorted(missing)}"
+        )
+        assert not stale, (
+            f"digest corpus lists programs no longer in the catalog: "
+            f"{sorted(stale)}"
+        )
+
+    def test_behavior_sets_match_committed_digests(self):
+        expected = _expected()
+        drifted = []
+        for name, models in sorted(litmus_digests().items()):
+            for model, digest in models.items():
+                if expected[name][model] != digest:
+                    drifted.append(f"{name} ({model.upper()})")
+        assert not drifted, (
+            "behavior sets drifted from tests/corpus/litmus_digests.json "
+            f"for: {', '.join(drifted)} — if the change is intentional, "
+            "regenerate with `python -m repro.conformance.digests`"
+        )
+
+
+class TestDigestFunction:
+    def test_digest_is_deterministic(self):
+        test = full_corpus()[0]
+        observe = sorted(test.program.initial_memory)
+        a = cached_explore(test.program, SC, observe_locs=observe)
+        b = cached_explore(test.program, SC, observe_locs=observe)
+        assert behavior_digest(a) == behavior_digest(b)
+
+    def test_digest_depends_on_completeness_flag(self):
+        from dataclasses import replace
+
+        test = full_corpus()[0]
+        observe = sorted(test.program.initial_memory)
+        result = cached_explore(test.program, SC, observe_locs=observe)
+        truncated = replace(result, complete=False)
+        assert behavior_digest(result) != behavior_digest(truncated)

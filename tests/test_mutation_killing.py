@@ -1,0 +1,94 @@
+"""Mutation-killing suite: the conformance oracles must catch seeded bugs.
+
+"Zero disagreements" from a fuzzer is only evidence if the fuzzer can
+be shown to fire when the engine is actually broken.  Each test here
+switches on one seeded bug class from :mod:`repro.memory.mutants` —
+a weakened full-barrier semantics, a DRF monitor that swallows
+violations, a partial-order reduction applied outside its soundness
+gate — and asserts the differential harness detects it within a small
+fixed-seed budget, shrinking the witness to at most 8 operations.
+
+The bounded budgets double as a sensitivity measurement: if a future
+generator change makes a mutant survive its budget, this suite fails
+and the generator (not the budget) should be fixed.
+"""
+
+import pytest
+
+from repro.conformance import FuzzConfig, run_fuzz
+from repro.memory import mutants
+
+#: (mutant, generation profiles that expose it, expected oracle, budget)
+MUTANT_MATRIX = [
+    ("weaken-barrier-full", ("fenced",), "equivalence", 40),
+    ("weaken-drf-monitor", ("sync",), "monitor", 20),
+    ("skip-por-gate", ("plain",), "por", 40),
+]
+
+
+@pytest.mark.parametrize(
+    "mutant,profiles,oracle,budget",
+    MUTANT_MATRIX,
+    ids=[m[0] for m in MUTANT_MATRIX],
+)
+class TestMutantsAreKilled:
+    def test_mutant_is_detected_and_shrunk(
+        self, mutant, profiles, oracle, budget
+    ):
+        with mutants.seeded(mutant):
+            report = run_fuzz(FuzzConfig(
+                seed=0, budget=budget, profiles=profiles, max_findings=2,
+            ))
+            assert report.findings, (
+                f"{mutant} survived {budget} programs on {profiles}"
+            )
+            finding = report.findings[0]
+            assert finding.oracle == oracle
+            assert finding.shrunk is not None
+            assert finding.shrunk.size() <= 8, (
+                f"{mutant}: shrunk counterexample has "
+                f"{finding.shrunk.size()} ops"
+            )
+        # The context manager restored the honest engine.
+        assert not mutants.active()
+
+    def test_same_seeds_are_clean_without_the_mutant(
+        self, mutant, profiles, oracle, budget
+    ):
+        report = run_fuzz(FuzzConfig(
+            seed=0, budget=budget, profiles=profiles, max_findings=2,
+        ))
+        assert report.ok, "\n".join(f.describe() for f in report.findings)
+
+
+class TestMutantRegistry:
+    def test_unknown_mutant_is_rejected(self):
+        with pytest.raises(ValueError):
+            mutants.enable("definitely-not-a-mutant")
+
+    def test_seeded_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with mutants.seeded("skip-por-gate"):
+                assert mutants.enabled("skip-por-gate")
+                raise RuntimeError("boom")
+        assert not mutants.active()
+
+    def test_fingerprint_is_stable_and_sorted(self):
+        assert mutants.fingerprint() == ""
+        with mutants.seeded("weaken-drf-monitor", "skip-por-gate"):
+            assert mutants.fingerprint() == (
+                "skip-por-gate,weaken-drf-monitor"
+            )
+        assert mutants.fingerprint() == ""
+
+    def test_mutants_change_exploration_cache_keys(self):
+        from repro.conformance import build, random_genome, derive_rng
+        from repro.memory.cache import exploration_key
+        from repro.memory.semantics import SC
+
+        program = build(random_genome("plain", derive_rng(0, "key")))
+        honest = exploration_key(program, SC, None, False, True)
+        with mutants.seeded("skip-por-gate"):
+            mutated = exploration_key(program, SC, None, False, True)
+        assert honest != mutated
+        assert honest == exploration_key(program, SC, None, False, True)
