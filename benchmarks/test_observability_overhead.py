@@ -1,0 +1,57 @@
+"""Extension benchmark: the observability layer's no-op cost.
+
+The tracer's contract (`docs/OBSERVABILITY.md`) is that an uninstalled
+sink costs one pointer comparison per emission site — the instrumented
+engine must run the `promise_heavy` workload at the same speed the
+checked-in `BENCH_exploration.json` recorded before/with the
+instrumentation.  This benchmark times the workload with tracing off
+and asserts the wall time stays within a noise band of the tracked
+number; a regression here means an emission site leaked work onto the
+untraced hot path (formatting, allocation, a metrics call per state).
+"""
+
+import json
+import pathlib
+import time
+
+from conftest import run_once
+
+from repro.memory.exploration import explore
+from repro.memory.semantics import ModelConfig
+from repro.obs import metrics, tracer
+from repro.parallel.bench import promise_heavy_program
+
+BENCH_FILE = pathlib.Path(__file__).parents[1] / "BENCH_exploration.json"
+
+#: Allowed slowdown vs the tracked `promise_heavy.optimized` timing.
+#: The measured no-op overhead is <1%; the band absorbs runner noise.
+NOISE_BAND = 1.10
+
+
+def _timed_promise_heavy():
+    assert tracer.sink() is None and not metrics.metrics_enabled()
+    program = promise_heavy_program()
+    cfg = ModelConfig(relaxed=True, max_promises_per_thread=3)
+    start = time.perf_counter()
+    result = explore(program, cfg, por=True)
+    return time.perf_counter() - start, result
+
+
+def test_noop_tracing_overhead(benchmark):
+    wall, result = run_once(benchmark, _timed_promise_heavy)
+    assert result.complete
+
+    tracked = json.loads(BENCH_FILE.read_text())
+    baseline = tracked["promise_heavy"]["optimized"]
+    assert result.states_explored == baseline["states"], (
+        "instrumentation changed the explored state space"
+    )
+    ratio = wall / baseline["wall_seconds"]
+    print(
+        f"\npromise_heavy no-op tracing: {wall:.3f}s vs tracked "
+        f"{baseline['wall_seconds']:.3f}s (x{ratio:.3f})"
+    )
+    assert ratio < NOISE_BAND, (
+        f"no-op tracing path is {ratio:.2f}x the tracked timing — an "
+        "emission site is doing work while no sink is installed"
+    )

@@ -48,6 +48,27 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    """``--trace FILE`` / ``--metrics-out FILE`` observability flags.
+
+    ``--trace`` installs a recording sink for the whole command and
+    writes the structured event trace as JSON; ``--metrics-out`` enables
+    the metrics registry (aggregated across worker processes) and writes
+    its snapshot.  Both default to off, which costs nothing (see
+    ``docs/OBSERVABILITY.md``).
+    """
+    parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record a structured event trace of this command to FILE "
+        "(JSON; spans + promise/barrier/TLB/POR/cache events)",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="collect engine metrics (counters/gauges/histograms, "
+        "aggregated across --jobs workers) and write them to FILE as JSON",
+    )
+
+
 def _apply_cache_flag(args: argparse.Namespace) -> bool:
     """Honor ``--no-cache`` / ``--no-memo`` / ``--no-fuse``; returns the
     ``cache=`` value for libraries."""
@@ -262,6 +283,86 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _find_sekvm_case(name: str):
+    """Resolve a KCore primitive case by (fuzzy) name, like litmus tests."""
+    from repro.sekvm.ir_programs import kcore_buggy_cases, kcore_verified_cases
+
+    cases = list(kcore_verified_cases()) + list(kcore_buggy_cases())
+    for case in cases:
+        if case.name.lower() == name.lower():
+            return case
+    matches = [c for c in cases if name.lower() in c.name.lower()]
+    if len(matches) == 1:
+        return matches[0]
+    available = ", ".join(c.name for c in cases)
+    raise SystemExit(f"unknown SeKVM case {name!r}; available: {available}")
+
+
+def _emit_explanation(args, trace, program, notes) -> None:
+    """Print (or write) the rendered/JSON explanation per the flags."""
+    import json
+
+    from repro.obs.render import explanation_json, render_explanation
+
+    if args.json:
+        text = json.dumps(
+            explanation_json(trace, program, notes=notes),
+            indent=2, sort_keys=True,
+        )
+    else:
+        text = render_explanation(trace, program, notes=notes)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Explain a counterexample: corpus witness or failing wDRF check."""
+    from repro.obs.render import explain_conformance_entry, explain_drf_violation
+
+    _apply_cache_flag(args)
+    if args.wdrf:
+        case = _find_sekvm_case(args.wdrf)
+        spec = case.spec
+        trace = explain_drf_violation(
+            spec.program, spec.shared_locs, spec.initial_ownership,
+            **spec.overrides(),
+        )
+        if trace is None:
+            print(
+                f"{case.name}: no push/pull panic is reachable — the "
+                f"program satisfies the ownership discipline"
+            )
+            return 0 if case.should_verify else 1
+        notes = [
+            f"subject: {case.name} (paper ref: {case.paper_ref or 'n/a'})",
+            "witness: an execution panicking under the push/pull "
+            "ownership discipline (DRF-Kernel / No-Barrier-Misuse failure)",
+        ]
+        _emit_explanation(args, trace, spec.program, notes)
+        return 0
+    if not args.witness:
+        print("trace: provide a counterexample witness file or --wdrf NAME")
+        return 2
+    from repro.conformance.corpus import load_entry
+
+    entry = load_entry(args.witness)
+    trace, program, notes = explain_conformance_entry(entry)
+    if trace is None:
+        print(
+            f"{args.witness}: no execution illustrating the disagreement "
+            f"was found within the exploration budget"
+        )
+        for note in notes:
+            print(f"  {note}")
+        return 1
+    _emit_explanation(args, trace, program, notes)
+    return 0
+
+
 def _cmd_repair(args: argparse.Namespace) -> int:
     from repro.vrm.repair import repair_barriers
 
@@ -338,6 +439,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corpus", choices=("classic", "paper", "all"),
                    default="all")
     _add_parallel_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_litmus)
 
     p = sub.add_parser("show", help="print a litmus program listing")
@@ -350,6 +452,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="t<tid>_<reg>=<value> (default: the test's condition)")
     p.add_argument("--sc", action="store_true",
                    help="search the SC model instead of Promising Arm")
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_explain)
 
     p = sub.add_parser("verify-sekvm", help="run the wDRF verification of SeKVM")
@@ -357,6 +460,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--buggy", action="store_true",
                    help="include the seeded-bug variants")
     _add_parallel_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_verify_sekvm)
 
     p = sub.add_parser(
@@ -365,6 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", "-o", metavar="FILE",
                    help="also write the results as JSON (BENCH_exploration)")
     _add_parallel_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("verify-locks", help="verify synchronization primitives")
@@ -409,7 +514,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-shrink", action="store_true",
                    help="record raw counterexamples without delta-debugging")
     _add_parallel_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=_cmd_fuzz)
+
+    p = sub.add_parser(
+        "trace",
+        help="explain a counterexample step by step (per-thread views, "
+        "promises, certification outcomes, coherence order)",
+    )
+    p.add_argument("witness", nargs="?",
+                   help="a conformance-corpus counterexample JSON file")
+    p.add_argument("--wdrf", metavar="NAME",
+                   help="explain the DRF failure of a SeKVM case instead "
+                   "(e.g. 'gen_vmid[no-barriers]'; fuzzy names accepted)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable explanation")
+    p.add_argument("--out", metavar="FILE",
+                   help="write the explanation to FILE instead of stdout")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore and do not write the persistent "
+                   "exploration cache")
+    p.set_defaults(fn=_cmd_trace, no_memo=False, no_fuse=False)
 
     p = sub.add_parser("contention", help="lock-contention study")
     p.set_defaults(fn=_cmd_contention)
@@ -427,9 +552,52 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_with_obs(args: argparse.Namespace) -> int:
+    """Run the selected command under the requested observability.
+
+    ``--trace FILE`` wraps the command in a recording sink and writes
+    the event trace; ``--metrics-out FILE`` enables metric collection
+    (workers ship their snapshots back through the pool) and writes the
+    merged registry.  Without either flag the command runs on the
+    zero-cost default path.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics_out", None)
+    if not trace_path and not metrics_path:
+        return args.fn(args)
+    from repro.obs import metrics, tracer
+
+    if metrics_path:
+        metrics.enable()
+        metrics.REGISTRY.reset()
+    try:
+        if trace_path:
+            with tracer.recording(max_events=1_000_000) as rec:
+                code = args.fn(args)
+            rec.write(trace_path)
+            print(f"wrote {len(rec.events)} trace events to {trace_path}"
+                  + (f" ({rec.dropped} dropped)" if rec.dropped else ""))
+        else:
+            code = args.fn(args)
+    finally:
+        if metrics_path:
+            metrics.REGISTRY.write(metrics_path)
+            metrics.disable()
+            print(f"wrote metrics to {metrics_path}")
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit status."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return _run_with_obs(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed stdout: stop
+        # quietly instead of tracing back, and point stdout at devnull
+        # so the interpreter's exit-time flush cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

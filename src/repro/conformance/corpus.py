@@ -75,6 +75,7 @@ def save_finding(
 
 
 def load_entry(path: str) -> Dict[str, object]:
+    """Load one saved counterexample entry from *path*."""
     with open(path, "r", encoding="utf-8") as fh:
         entry = json.load(fh)
     if entry.get("version") != _FORMAT_VERSION:

@@ -100,6 +100,7 @@ class CoverageMap:
     # engine-side counters
     # ------------------------------------------------------------------
     def record_exploration(self, result: Optional[ExplorationResult]) -> None:
+        """Fold one exploration's figures into the coverage map."""
         if result is None:
             return
         self.explorations += 1
@@ -111,6 +112,7 @@ class CoverageMap:
     # merging (parallel fuzzing chunks)
     # ------------------------------------------------------------------
     def merge(self, other: "CoverageMap") -> None:
+        """Merge another worker's coverage snapshot into this one."""
         self.kind_pairs |= other.kind_pairs
         self.barrier_contexts |= other.barrier_contexts
         self.comm_pairs |= other.comm_pairs
@@ -124,6 +126,7 @@ class CoverageMap:
     # reporting
     # ------------------------------------------------------------------
     def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the coverage map."""
         return {
             "programs": self.programs,
             "kind_pairs": len(self.kind_pairs),
@@ -145,6 +148,7 @@ class CoverageMap:
         )
 
     def summary(self) -> str:
+        """One-line human-readable coverage summary."""
         lines: List[str] = [
             f"coverage: {len(self.kind_pairs)} kind pairs, "
             f"{len(self.barrier_contexts)} barrier contexts, "

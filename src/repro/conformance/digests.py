@@ -65,6 +65,7 @@ def litmus_digests() -> Dict[str, Dict[str, str]]:
 
 
 def write_digests(path: str) -> None:
+    """Write the corpus digest file used by conformance CI."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(litmus_digests(), fh, indent=2, sort_keys=True)
         fh.write("\n")

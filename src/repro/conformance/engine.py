@@ -38,6 +38,7 @@ from repro.conformance.oracles import check_genome
 from repro.conformance.shrink import shrink
 from repro.memory.cache import cached_explore
 from repro.memory.semantics import PROMISING_ARM, SC
+from repro.obs import metrics, tracer
 from repro.vrm.conditions import PassRequest
 from repro.vrm.drf_kernel import plan_drf_kernel
 
@@ -83,6 +84,7 @@ class FuzzFinding:
     corpus_path: Optional[str]
 
     def describe(self) -> str:
+        """One line naming the program and the failed oracle."""
         size = self.genome.size()
         shrunk = (
             f", shrunk to {self.shrunk.size()} ops"
@@ -106,9 +108,11 @@ class FuzzReport:
 
     @property
     def ok(self) -> bool:
+        """True when no oracle disagreed on any program."""
         return not self.findings
 
     def describe(self) -> str:
+        """Human-readable run summary (programs, findings, coverage)."""
         lines = [
             f"conformance fuzz: {self.programs} programs "
             f"(seed {self.config.seed}, profiles "
@@ -199,8 +203,23 @@ def run_fuzz(config: FuzzConfig) -> FuzzReport:
             oracles = tuple(
                 o for o in oracles_for(profile, heavy=True) if o != "jobs"
             )
-        disagreements = check_genome(genome, oracles=oracles, heavy=heavy)
+        if tracer.SINK is not None:
+            with tracer.SINK.span(
+                "fuzz_program", index=index, profile=profile,
+                genome=genome.name,
+            ):
+                disagreements = check_genome(
+                    genome, oracles=oracles, heavy=heavy
+                )
+        else:
+            disagreements = check_genome(genome, oracles=oracles, heavy=heavy)
         _record_principal_explorations(genome, report.coverage)
+        if metrics.ENABLED:
+            metrics.REGISTRY.counter("fuzz.programs").inc()
+            if disagreements:
+                metrics.REGISTRY.counter("fuzz.findings").inc(
+                    len(disagreements)
+                )
         for disagreement in disagreements:
             shrunk: Optional[Genome] = None
             if config.shrink:

@@ -140,10 +140,12 @@ class OpSpec:
     val: int = 1
 
     def to_json(self) -> List[object]:
+        """JSON-ready form of this operation."""
         return [self.kind, self.loc, self.val]
 
     @classmethod
     def from_json(cls, data: Sequence[object]) -> "OpSpec":
+        """Rebuild an operation from its to_json() form."""
         kind, loc, val = data
         return cls(kind=str(kind), loc=int(loc), val=int(val))
 
@@ -158,9 +160,11 @@ class Genome:
     name: str = "genome"
 
     def size(self) -> int:
+        """Total operation count across all threads."""
         return sum(len(ops) for ops in self.threads)
 
     def to_json(self) -> Dict[str, object]:
+        """JSON-ready form of this genome (round-trips via from_json)."""
         return {
             "profile": self.profile,
             "n_locations": self.n_locations,
@@ -172,6 +176,7 @@ class Genome:
 
     @classmethod
     def from_json(cls, data: Dict[str, object]) -> "Genome":
+        """Rebuild a genome from its to_json() form."""
         return cls(
             profile=str(data["profile"]),
             n_locations=int(data["n_locations"]),
@@ -184,10 +189,12 @@ class Genome:
 
 
 def data_locations(genome: Genome) -> List[int]:
+    """Locations the genome's data operations touch."""
     return [DATA_BASE + _STRIDE * i for i in range(genome.n_locations)]
 
 
 def pt_locations(genome: Genome) -> List[int]:
+    """Locations reserved for page-table operations."""
     return [PT_BASE + _STRIDE * i for i in range(genome.n_locations)]
 
 

@@ -104,6 +104,7 @@ class Disagreement:
     detail: str
 
     def describe(self) -> str:
+        """One line naming the oracle and its verdict."""
         return f"[{self.oracle}] {self.detail}"
 
 

@@ -42,6 +42,7 @@ class ShrinkResult:
 
     @property
     def size(self) -> int:
+        """Size of the candidate genome (the shrinker minimizes this)."""
         return self.genome.size()
 
 
@@ -49,6 +50,7 @@ def oracle_predicate(oracle: str) -> Predicate:
     """The standard predicate: does *oracle* still fire on the genome?"""
 
     def predicate(genome: Genome) -> bool:
+        """True when the candidate still reproduces the finding."""
         return any(
             d.oracle == oracle
             for d in check_genome(genome, oracles=(oracle,))
@@ -88,6 +90,7 @@ class _Budget:
         self.evals = 0
 
     def holds(self, genome: Genome) -> bool:
+        """Check a candidate against the original failure, memoized."""
         if self.exhausted or not valid(genome):
             return False
         self.evals += 1
@@ -95,6 +98,7 @@ class _Budget:
 
     @property
     def exhausted(self) -> bool:
+        """True when every smaller candidate has been tried."""
         return self.evals >= self._max
 
 

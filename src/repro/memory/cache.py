@@ -45,6 +45,24 @@ from repro.memory import mutants
 from repro.memory.datatypes import ExplorationMonitor, ExplorationResult
 from repro.memory.exploration import explore, por_default_enabled
 from repro.memory.semantics import ModelConfig
+from repro.obs import metrics, tracer
+
+
+def _record_lookup(hit: bool, layer: str, key: str) -> None:
+    """Cold-path observability for one cache lookup outcome.
+
+    Emits a ``cache_hit``/``cache_miss`` trace event and bumps the
+    ``cache.<layer>_hits``/``cache.misses`` counters; free when neither
+    tracing nor metrics is on.
+    """
+    if tracer.SINK is not None:
+        tracer.SINK.emit(
+            tracer.CACHE_HIT if hit else tracer.CACHE_MISS,
+            layer=layer, key=key[:16],
+        )
+    if metrics.ENABLED:
+        name = "cache.%s_hits" % layer if hit else "cache.misses"
+        metrics.REGISTRY.counter(name).inc()
 
 _CACHE_VERSION = 1
 
@@ -255,13 +273,16 @@ def cached_explore(
     if memo_enabled():
         result = _memory_cache.get(key)
         if isinstance(result, ExplorationResult):
+            _record_lookup(True, "memo", key)
             return result
     if cache_enabled():
         result = _disk_load(key)
         if result is not None:
+            _record_lookup(True, "disk", key)
             if memo_enabled():
                 _memory_cache[key] = result
             return result
+    _record_lookup(False, "explore", key)
     result = explore(program, cfg, observe_locs, keep_terminal_states, por)
     if memo_enabled():
         _memory_cache[key] = result
@@ -287,16 +308,21 @@ def _cached_monitor_explore(
         program, cfg, observe_locs, por, monitors, monitor_cut
     )
     entry = _memory_cache.get(key) if memo_enabled() else None
+    hit_layer = "memo" if isinstance(entry, MonitorPassEntry) else None
     if not isinstance(entry, MonitorPassEntry) and cache_enabled():
         entry = _disk_load(key, MonitorPassEntry)
+        if isinstance(entry, MonitorPassEntry):
+            hit_layer = "disk"
     if isinstance(entry, MonitorPassEntry) and len(entry.snapshots) == len(
         monitors
     ):
+        _record_lookup(True, hit_layer or "memo", key)
         for monitor, snap in zip(monitors, entry.snapshots):
             monitor.restore(snap)
         if memo_enabled():
             _memory_cache[key] = entry
         return entry.result
+    _record_lookup(False, "monitored", key)
     result = explore(
         program, cfg, observe_locs, False, por, monitors, monitor_cut
     )

@@ -50,6 +50,7 @@ from repro.memory.datatypes import (
     value_at,
 )
 from repro.memory.por import PORPlan, por_worthwhile
+from repro.obs import metrics, tracer
 from repro.memory.semantics import (
     CertMemo,
     ModelConfig,
@@ -185,6 +186,15 @@ def _explore(
     terminal_states: List[ExecState] = []
     stats = EngineStats()
 
+    # Hoisted once per exploration: the no-op path pays one module-attribute
+    # load here and a single local ``is None`` test per loop iteration.
+    sink = tracer.SINK
+    span_id = None
+    if sink is not None:
+        span_id = sink.begin_span(
+            "explore", program=program.name, relaxed=cfg.relaxed, por=por,
+        )
+
     plan = None
     if por:
         if por_worthwhile(program, cfg):
@@ -234,6 +244,12 @@ def _explore(
                         monitor.observe(state, states_explored)
                         if monitor.stopped:
                             stats.monitor_stops += 1
+                            if sink is not None:
+                                sink.emit(
+                                    tracer.MONITOR_STOP,
+                                    monitor=type(monitor).__name__,
+                                    states=states_explored,
+                                )
                         else:
                             still_watching.append(monitor)
                     active = still_watching
@@ -248,6 +264,8 @@ def _explore(
         if plan is not None:
             ample = plan.ample_thread(cache, state, stats=stats)
             if ample is not None:
+                if sink is not None:
+                    sink.emit(tracer.POR_AMPLE, thread=ample)
                 successors = execute_instruction(cache, state, ample, cfg)
                 if not successors:
                     successors = None  # blocked: fall back to full expansion
@@ -288,6 +306,20 @@ def _explore(
         # incomplete certification must not masquerade as a smaller
         # behavior set.
         complete = False
+
+    if sink is not None:
+        sink.end_span(
+            span_id, "explore", program=program.name,
+            states=states_explored, behaviors=len(behaviors),
+            complete=complete, stopped_early=stopped_early,
+        )
+    if metrics.ENABLED:
+        metrics.absorb_engine_stats(stats)
+        reg = metrics.REGISTRY
+        reg.counter("explore.states_explored").inc(states_explored)
+        reg.counter("explore.cut_paths").inc(cut_paths)
+        reg.histogram("explore.behaviors").observe(len(behaviors))
+        reg.histogram("explore.states").observe(states_explored)
 
     return ExplorationResult(
         behaviors=frozenset(behaviors),

@@ -58,6 +58,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.program import Program, Thread
 from repro.memory import mutants
+from repro.obs import tracer
 from repro.memory.datatypes import (
     EngineStats,
     Fault,
@@ -343,6 +344,16 @@ def execute_instruction(
 
     if isinstance(instr, Barrier):
         new = _apply_barrier(ctx, instr.kind)
+        if tracer.SINK is not None:
+            tracer.SINK.emit(
+                tracer.BARRIER, tid=thread.tid, barrier=instr.kind.name,
+                pc=ctx.pc,
+            )
+            if new.vrn != ctx.vrn or new.vwn != ctx.vwn:
+                tracer.SINK.emit(
+                    tracer.VIEW_ADVANCE, tid=thread.tid,
+                    vrn=(ctx.vrn, new.vrn), vwn=(ctx.vwn, new.vwn),
+                )
         return [state.with_thread(tidx, _advance(cache, tidx, new, ctx.pc + 1))]
 
     if isinstance(instr, Jump):
@@ -786,6 +797,11 @@ def _exec_tlbi(cache, state, tidx, cfg, instr: TLBInvalidate, regs) -> List[Exec
     # the page-table store and the TLBI, vwn does not cover the store and
     # walkers may keep reading the stale entry — Example 6.
     floor = max(state.walker_floor, ctx.vwn) if cfg.relaxed else state.walker_floor
+    if tracer.SINK is not None:
+        tracer.SINK.emit(
+            tracer.TLB_INVALIDATE, tid=cache.threads[tidx].tid, vpn=vpn,
+            walker_floor=(state.walker_floor, floor),
+        )
     new_state = state._replace(tlb=tlb, walker_floor=floor)
     return [new_state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
 
@@ -1213,6 +1229,17 @@ def promise_steps(
         promised = promised.with_thread(
             tidx, ctx._replace(promises=ctx.promises + (ts,))
         )
-        if certify(cache, promised, tidx, cfg, memo):
+        certified = certify(cache, promised, tidx, cfg, memo)
+        if tracer.SINK is not None:
+            tracer.SINK.emit(
+                tracer.PROMISE_CERTIFIED, tid=thread.tid, loc=loc, value=val,
+                ts=ts, ok=certified,
+            )
+            if certified:
+                tracer.SINK.emit(
+                    tracer.PROMISE_MADE, tid=thread.tid, loc=loc, value=val,
+                    ts=ts,
+                )
+        if certified:
             out.append(promised)
     return out

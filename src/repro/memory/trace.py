@@ -53,12 +53,21 @@ class TraceEvent:
 
 @dataclass(frozen=True)
 class ExecutionTrace:
-    """A full execution: events plus the final state."""
+    """A full execution: events plus the final state.
+
+    ``states`` holds the machine state at every step when the search
+    recorded them (``states[0]`` is the initial state and
+    ``states[i + 1]`` the state after ``events[i]``) — the renderer in
+    :mod:`repro.obs.render` uses it to show per-thread views and the
+    coherence order step by step.  Pre-existing producers may leave it
+    empty.
+    """
 
     program_name: str
     events: Tuple[TraceEvent, ...]
     final_state: ExecState
     behavior: Behavior
+    states: Tuple[ExecState, ...] = ()
 
     def render(self) -> str:
         lines = [f"execution of {self.program_name!r}:"]
@@ -134,13 +143,15 @@ def find_execution(
     if observe_locs is None:
         observe_locs = sorted(cache.initial_memory)
     start = initial_state(len(program.threads), cfg.initial_ownership)
-    stack: List[Tuple[ExecState, Tuple[TraceEvent, ...]]] = [(start, ())]
+    stack: List[
+        Tuple[ExecState, Tuple[TraceEvent, ...], Tuple[ExecState, ...]]
+    ] = [(start, (), (start,))]
     visited: Set[ExecState] = {start}
     budget = cfg.max_states
     memo = CertMemo()  # share certification work across the traced search
 
     while stack and budget > 0:
-        state, path = stack.pop()
+        state, path, states = stack.pop()
         budget -= 1
         if _is_terminal(state):
             if _is_valid_terminal(state):
@@ -151,6 +162,7 @@ def find_execution(
                         events=path,
                         final_state=state,
                         behavior=behavior,
+                        states=states,
                     )
             continue
         for tidx in range(len(program.threads)):
@@ -158,12 +170,12 @@ def find_execution(
                 if succ not in visited and len(succ.memory) <= cfg.max_memory:
                     visited.add(succ)
                     event = _diff_event(cache, state, succ, tidx)
-                    stack.append((succ, path + (event,)))
+                    stack.append((succ, path + (event,), states + (succ,)))
             for succ in promise_steps(cache, state, tidx, cfg, memo):
                 if succ not in visited and len(succ.memory) <= cfg.max_memory:
                     visited.add(succ)
                     event = _diff_event(cache, state, succ, tidx)
-                    stack.append((succ, path + (event,)))
+                    stack.append((succ, path + (event,), states + (succ,)))
     return None
 
 

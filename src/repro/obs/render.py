@@ -1,0 +1,336 @@
+"""Execution explanations: from witness to step-by-step account.
+
+A raw counterexample — a conformance-corpus entry or a failed wDRF
+check — names an outcome but not the mechanism.  This module finds a
+concrete execution reaching the outcome (via
+:func:`repro.memory.trace.find_execution`) and renders it as the paper's
+Figure 3 does a Promising-model run: the step sequence with each CPU's
+view frontiers after its step, the promises made and their
+certification outcomes, the per-location coherence order, and the final
+observable behavior.  :func:`render_explanation` produces the textual
+form, :func:`explanation_json` the machine-readable one; both are wired
+into ``repro trace``.
+
+Engine modules are imported lazily inside functions: ``repro.memory``
+imports :mod:`repro.obs.tracer`, so a module-level import here would
+cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import tracer
+
+#: Oracles whose witness is a cross-model behavior disagreement: the
+#: explanation is an RM execution reaching a behavior SC cannot.
+_MODEL_DIFF_ORACLES = ("containment", "equivalence", "axiomatic")
+
+#: Oracles about engine-configuration identity (POR on/off, memo
+#: on/off, pool vs serial, fused vs per-condition): the witness program
+#: is interesting as a whole, so any relaxed execution is shown.
+_CONFIG_ORACLES = ("por", "memo", "jobs", "fuse")
+
+
+def _thread_index(program, tid: int) -> Optional[int]:
+    """Map a CPU id to its index in ``state.threads`` (None if unknown)."""
+    if program is None:
+        return None
+    for idx, thread in enumerate(program.threads):
+        if thread.tid == tid:
+            return idx
+    return None
+
+
+def _views_line(ctx) -> str:
+    """One thread's view frontiers, rendered compactly."""
+    coh = " ".join(f"{loc:#x}@{ts}" for loc, ts in sorted(ctx.coh))
+    line = (
+        f"vrn={ctx.vrn} vwn={ctx.vwn} vro={ctx.vro} vwo={ctx.vwo} "
+        f"vctrl={ctx.vctrl}"
+    )
+    if coh:
+        line += f"  coh: {coh}"
+    if ctx.promises:
+        line += f"  outstanding promises: {list(ctx.promises)}"
+    return line
+
+
+def _views_dict(ctx) -> Dict[str, Any]:
+    """One thread's view frontiers as JSON-ready data."""
+    return {
+        "vrn": ctx.vrn,
+        "vwn": ctx.vwn,
+        "vro": ctx.vro,
+        "vwo": ctx.vwo,
+        "vctrl": ctx.vctrl,
+        "coh": {f"{loc:#x}": ts for loc, ts in sorted(ctx.coh)},
+        "outstanding_promises": list(ctx.promises),
+    }
+
+
+def _coherence_order(trace) -> Dict[int, List[Any]]:
+    """Per-location write order: the global timeline grouped by location."""
+    order: Dict[int, List[Any]] = {}
+    for msg in trace.final_state.memory:
+        order.setdefault(msg.loc, []).append(msg)
+    return order
+
+
+def _promise_ledger(trace) -> List[Dict[str, Any]]:
+    """The promises of the execution with their certification outcomes.
+
+    Every promise appearing in a found execution was admitted by the
+    thread-local certification search (``promise_steps`` discards
+    uncertifiable candidates), and a *valid* terminal state has no
+    outstanding promises — so each ledger entry records the certified
+    promise and the step that later fulfilled it.
+    """
+    ledger: List[Dict[str, Any]] = []
+    for step, event in enumerate(trace.events, 1):
+        if event.kind == "promise":
+            ledger.append({
+                "step": step,
+                "tid": event.tid,
+                "message": event.new_message,
+                "certified": True,
+                "fulfilled_at_step": None,
+            })
+        elif event.kind == "fulfill":
+            for entry in ledger:
+                if (
+                    entry["fulfilled_at_step"] is None
+                    and entry["tid"] == event.tid
+                ):
+                    entry["fulfilled_at_step"] = step
+                    break
+    return ledger
+
+
+def render_explanation(
+    trace,
+    program=None,
+    title: Optional[str] = None,
+    notes: Sequence[str] = (),
+) -> str:
+    """Render an :class:`~repro.memory.trace.ExecutionTrace` step by step.
+
+    Shows, per step, what the CPU did (with read-from / promise /
+    fulfill annotations) and the acting thread's view frontiers after
+    the step; then the promise ledger with certification outcomes, the
+    per-location coherence order, final per-thread views, and the
+    observable outcome.  ``program`` maps CPU ids to thread indices for
+    the view lookups (without it, ``tid == index`` is assumed, which
+    holds for every generated program in this repo).  ``notes`` are
+    context lines (oracle, detail) printed under the title.
+    """
+    lines: List[str] = []
+    lines.append(title or f"execution explanation: {trace.program_name!r}")
+    for note in notes:
+        lines.append(f"  {note}")
+    lines.append("")
+    lines.append("step-by-step (views shown after each step):")
+    have_states = len(trace.states) == len(trace.events) + 1
+    for i, event in enumerate(trace.events):
+        lines.append(f"  {i + 1:>3}. {event.render()}")
+        if have_states:
+            idx = _thread_index(program, event.tid)
+            if idx is None:
+                idx = event.tid
+            state = trace.states[i + 1]
+            if 0 <= idx < len(state.threads):
+                lines.append(
+                    f"       CPU {event.tid} views: "
+                    + _views_line(state.threads[idx])
+                )
+    ledger = _promise_ledger(trace)
+    lines.append("")
+    if ledger:
+        lines.append("promises (all certified by the thread-local search):")
+        for entry in ledger:
+            fulfilled = (
+                f"fulfilled at step {entry['fulfilled_at_step']}"
+                if entry["fulfilled_at_step"] is not None
+                else "outstanding"
+            )
+            lines.append(
+                f"  step {entry['step']:>3}: CPU {entry['tid']} promised "
+                f"{entry['message']} — certified, {fulfilled}"
+            )
+    else:
+        lines.append("promises: none (no store was promoted ahead of "
+                     "program order)")
+    lines.append("")
+    lines.append("coherence order (per-location write order):")
+    for loc, msgs in sorted(_coherence_order(trace).items()):
+        chain = " -> ".join(
+            f"({m.ts}) CPU {m.tid} := {m.val}" for m in msgs
+        )
+        lines.append(f"  [{loc:#x}]: init -> {chain}")
+    lines.append("")
+    lines.append("final per-thread views:")
+    threads = trace.final_state.threads
+    for idx, ctx in enumerate(threads):
+        tid = program.threads[idx].tid if program is not None else idx
+        lines.append(f"  CPU {tid}: " + _views_line(ctx))
+    if trace.final_state.panic is not None:
+        lines.append("")
+        lines.append(f"PANIC: {trace.final_state.panic}")
+    lines.append("")
+    lines.append(f"outcome: {trace.behavior.pretty()}")
+    return "\n".join(lines)
+
+
+def explanation_json(
+    trace, program=None, notes: Sequence[str] = ()
+) -> Dict[str, Any]:
+    """The machine-readable form of :func:`render_explanation`."""
+    have_states = len(trace.states) == len(trace.events) + 1
+    steps: List[Dict[str, Any]] = []
+    for i, event in enumerate(trace.events):
+        step: Dict[str, Any] = {
+            "step": i + 1,
+            "tid": event.tid,
+            "kind": event.kind,
+            "instruction": event.instruction,
+            "message": event.new_message,
+            "read": event.read_note,
+        }
+        if have_states:
+            idx = _thread_index(program, event.tid)
+            if idx is None:
+                idx = event.tid
+            state = trace.states[i + 1]
+            if 0 <= idx < len(state.threads):
+                step["views"] = _views_dict(state.threads[idx])
+        steps.append(step)
+    threads = trace.final_state.threads
+    final_views = {}
+    for idx, ctx in enumerate(threads):
+        tid = program.threads[idx].tid if program is not None else idx
+        final_views[str(tid)] = _views_dict(ctx)
+    return {
+        "schema": "repro.obs.explanation/v1",
+        "program": trace.program_name,
+        "notes": list(notes),
+        "steps": steps,
+        "promises": _promise_ledger(trace),
+        "coherence": {
+            f"{loc:#x}": [
+                {"ts": m.ts, "tid": m.tid, "value": m.val} for m in msgs
+            ]
+            for loc, msgs in sorted(_coherence_order(trace).items())
+        },
+        "final_views": final_views,
+        "panic": trace.final_state.panic,
+        "outcome": trace.behavior.pretty(),
+    }
+
+
+def explain_drf_violation(
+    program,
+    shared_locs,
+    initial_ownership=(),
+    **overrides,
+):
+    """Find a panicking execution witnessing a wDRF (DRF-Kernel) failure.
+
+    Runs the traced search on the push/pull Promising model — the
+    configuration :func:`repro.vrm.drf_kernel.check_drf_kernel` fails
+    on — and returns the :class:`~repro.memory.trace.ExecutionTrace` of
+    the first ownership-violation panic, or ``None`` when the program
+    actually satisfies the discipline.
+    """
+    from repro.memory.pushpull import pushpull_config
+    from repro.memory.trace import find_execution
+
+    cfg = pushpull_config(
+        relaxed=True,
+        owned_access_required=frozenset(shared_locs),
+        initial_ownership=tuple(initial_ownership),
+        **overrides,
+    )
+    return find_execution(
+        program, cfg, lambda b: b.panic is not None, observe_locs=[]
+    )
+
+
+def explain_conformance_entry(entry: Dict[str, Any]):
+    """Turn one corpus counterexample entry into an explained execution.
+
+    Returns ``(trace, program, notes)``; ``trace`` is ``None`` when no
+    execution illustrating the disagreement could be found within the
+    budget.  The shrunk genome is preferred (it is the 1-minimal
+    witness).  The execution searched for depends on the oracle:
+
+    * behavior oracles (containment/equivalence/axiomatic) — an RM
+      execution reaching a behavior outside the SC set, the concrete
+      relaxed-memory effect behind the disagreement;
+    * monitor/fuse disagreements on ``sync`` genomes — a push/pull
+      execution reaching a DRF panic;
+    * engine-configuration oracles (por/memo/jobs) and everything else —
+      a representative relaxed execution of the witness program.
+    """
+    from repro.conformance.genome import Genome, build, shared_locations
+    from repro.memory.behaviors import compare_models
+    from repro.memory.semantics import PROMISING_ARM
+    from repro.memory.trace import find_execution
+
+    genome_json = entry.get("shrunk_genome") or entry["genome"]
+    genome = Genome.from_json(genome_json)
+    program = build(genome)
+    oracle = str(entry.get("oracle", ""))
+    notes = [
+        f"oracle: {oracle}",
+        f"detail: {entry.get('detail', '')}",
+        f"genome: {genome.name} ({genome.profile}, {genome.size()} ops"
+        + (", shrunk)" if entry.get("shrunk_genome") else ")"),
+    ]
+
+    if genome.profile == "sync" and oracle not in _MODEL_DIFF_ORACLES:
+        trace = explain_drf_violation(program, shared_locations(genome))
+        if trace is not None:
+            notes.append(
+                "witness: an execution panicking under the push/pull "
+                "ownership discipline"
+            )
+            return trace, program, notes
+
+    comparison = compare_models(program)
+    target = None
+    if comparison.rm_only:
+        target = sorted(comparison.rm_only)[0]
+        notes.append(
+            f"witness: RM-only behavior {target.pretty()} "
+            f"({len(comparison.rm_only)} RM-only behavior(s) total)"
+        )
+    elif comparison.rm.behaviors:
+        target = sorted(comparison.rm.behaviors)[0]
+        notes.append(
+            "witness: representative relaxed execution (the oracle "
+            "disagreement is about engine configuration, not behavior)"
+        )
+    if target is None:
+        return None, program, notes
+    trace = find_execution(program, PROMISING_ARM, lambda b: b == target)
+    return trace, program, notes
+
+
+def explained_certifications(rec: "tracer.RecordingSink") -> Dict[str, int]:
+    """Summarize certification outcomes from a recorded trace.
+
+    Counts the ``promise_certified`` events a traced search emitted:
+    how many candidate promises were considered, certified, and
+    rejected — the search-wide context around the specific promises the
+    rendered execution kept.
+    """
+    considered = rejected = 0
+    for event in rec.by_kind(tracer.PROMISE_CERTIFIED):
+        considered += 1
+        if not event.get("ok"):
+            rejected += 1
+    return {
+        "candidates_considered": considered,
+        "candidates_certified": considered - rejected,
+        "candidates_rejected": rejected,
+    }

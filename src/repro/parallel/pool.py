@@ -15,9 +15,12 @@ Design constraints, in order:
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 from typing import Callable, Iterable, List, NamedTuple, Optional, Sequence, TypeVar
+
+from repro.obs import metrics
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -91,6 +94,22 @@ def plan_jobs(jobs: Optional[int], batch_size: int) -> JobPlan:
     return JobPlan(workers, requested, cpus, batch_size, reason)
 
 
+def _run_with_metrics(fn: Callable[[T], R], item: T):
+    """Pool worker wrapper shipping the child's metrics to the parent.
+
+    The child's registry is **reset before** running the item: the
+    worker was forked from a parent that may already hold accumulated
+    metrics, and without the reset each worker would re-report the
+    parent's pre-fork state once per item.  After running, the item's
+    own metric deltas ride back alongside the result as a snapshot for
+    the parent to merge.  Module-level (not a closure) so it pickles.
+    """
+    metrics.enable()
+    metrics.REGISTRY.reset()
+    result = fn(item)
+    return result, metrics.REGISTRY.snapshot()
+
+
 def parallel_map(
     fn: Callable[[T], R],
     items: Iterable[T],
@@ -102,6 +121,11 @@ def parallel_map(
     fan-out follows :func:`plan_jobs`: serial when requested, when the
     machine has one CPU, or when the batch is too small to amortize the
     fork — parallel runs stay bit-identical to serial ones either way.
+
+    When metrics are enabled (:func:`repro.obs.metrics.metrics_enabled`)
+    each worker ships a per-item registry snapshot back with its result
+    and the parent merges them, so ``--metrics-out`` totals cover the
+    whole pool, not just the parent process.
     """
     batch = list(items)
     plan = plan_jobs(jobs, len(batch))
@@ -110,5 +134,15 @@ def parallel_map(
     methods = multiprocessing.get_all_start_methods()
     method = "fork" if "fork" in methods else None
     ctx = multiprocessing.get_context(method)
+    if metrics.metrics_enabled():
+        wrapped = functools.partial(_run_with_metrics, fn)
+        with ctx.Pool(processes=plan.workers) as pool:
+            pairs = pool.map(wrapped, batch)
+        for _, snap in pairs:
+            metrics.REGISTRY.merge(snap)
+        metrics.REGISTRY.counter("pool.batches").inc()
+        metrics.REGISTRY.counter("pool.items").inc(len(batch))
+        metrics.REGISTRY.gauge("pool.workers").set(plan.workers)
+        return [result for result, _ in pairs]
     with ctx.Pool(processes=plan.workers) as pool:
         return pool.map(fn, batch)

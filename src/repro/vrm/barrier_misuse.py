@@ -142,11 +142,13 @@ class BarrierMisuseMonitor(ExplorationMonitor):
         self._static = static
 
     def on_panic(self, reason: str, state: Any) -> None:
+        """Record a barrier-misuse panic and stop the exploration."""
         if "No-Barrier-Misuse" in reason:
             self.violations = self.violations + (reason,)
             self.stop()
 
     def finalize(self, result: ExplorationResult) -> ConditionResult:
+        """Fold the dynamic evidence into the static plan's verdict."""
         states = self.states_seen if self.stopped else result.states_explored
         exhaustive = True if self.stopped else result.complete
         dynamic = ConditionResult(

@@ -62,6 +62,7 @@ class ConditionResult:
         return self.holds and self.exhaustive
 
     def describe(self) -> str:
+        """One-line verdict: condition, holds/violated, evidence count."""
         status = (
             "VERIFIED" if self.verified
             else ("holds (non-exhaustive)" if self.holds else "VIOLATED")
@@ -88,9 +89,11 @@ class WDRFReport:
     weakened: bool = True
 
     def add(self, result: ConditionResult) -> None:
+        """Append a condition verdict to the report."""
         self.results[result.condition] = result
 
     def required_conditions(self) -> List[WDRFCondition]:
+        """The condition names this spec is expected to satisfy."""
         isolation = (
             WDRFCondition.WEAK_MEMORY_ISOLATION
             if self.weakened
@@ -107,6 +110,7 @@ class WDRFReport:
 
     @property
     def all_hold(self) -> bool:
+        """True when every recorded condition holds."""
         return all(
             c in self.results and self.results[c].holds
             for c in self.required_conditions()
@@ -114,12 +118,14 @@ class WDRFReport:
 
     @property
     def all_verified(self) -> bool:
+        """True when the full report amounts to a verified primitive."""
         return all(
             c in self.results and self.results[c].verified
             for c in self.required_conditions()
         )
 
     def describe(self) -> str:
+        """Multi-line human-readable report."""
         header = (
             f"wDRF verification of {self.subject!r} "
             f"({'weakened' if self.weakened else 'strong'} conditions)"

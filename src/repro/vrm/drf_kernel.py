@@ -54,6 +54,7 @@ class DRFKernelMonitor(ExplorationMonitor):
         self.violations: Tuple[str, ...] = ()
 
     def on_panic(self, reason: str, state: Any) -> None:
+        """Record an ownership-discipline panic and stop the exploration."""
         if mutants.enabled("weaken-drf-monitor"):  # seeded bug class
             return
         if "DRF violation" in reason or "push/pull violation" in reason:
@@ -61,6 +62,7 @@ class DRFKernelMonitor(ExplorationMonitor):
             self.stop()
 
     def finalize(self, result: ExplorationResult) -> ConditionResult:
+        """Turn the recorded panics into the DRF-Kernel verdict."""
         # A stopped monitor holds a definitive counterexample: its figures
         # are frozen at the stop point (identical whether the pass ran
         # fused or alone) and the verdict is exhaustive by construction.

@@ -104,6 +104,7 @@ class IsolationMonitor(ExplorationMonitor):
         self._evidence = tuple(evidence)
 
     def fingerprint(self) -> str:
+        """Cache identity: same locations and user CPUs, same verdict."""
         return (
             f"{self.kind}:{sorted(self._kernel_locs)!r}:"
             f"{sorted(self._user_tids)!r}"
@@ -122,12 +123,15 @@ class IsolationMonitor(ExplorationMonitor):
             self.stop()
 
     def on_terminal(self, state: Any) -> None:
+        """Audit a completed timeline for user writes to kernel memory."""
         self._audit(state)
 
     def on_panic(self, reason: str, state: Any) -> None:
+        """Audit a panicked timeline (its write history still counts)."""
         self._audit(state)  # panicked timelines still carry write history
 
     def finalize(self, result: ExplorationResult) -> ConditionResult:
+        """Combine static evidence and audited writes into the verdict."""
         exhaustive = True if self.stopped else result.complete
         violations = self._static_violations + self.violations
         return ConditionResult(

@@ -41,6 +41,7 @@ class DataOracle:
         self.draws: List[int] = []
 
     def draw(self) -> int:
+        """Return the next scripted value (cycling when exhausted)."""
         idx = min(self._index, len(self._values) - 1)
         value = self._values[idx]
         self._index += 1
@@ -48,6 +49,7 @@ class DataOracle:
         return value
 
     def reset(self) -> None:
+        """Rewind the script to its first value."""
         self._index = 0
         self.draws.clear()
 

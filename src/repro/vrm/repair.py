@@ -37,6 +37,7 @@ class Strengthening:
     kind: str          # "acquire" | "release"
 
     def describe(self, program: Program) -> str:
+        """One line naming the fix and where it applies."""
         from repro.ir.pretty import format_instruction
 
         thread = next(t for t in program.threads if t.tid == self.tid)
@@ -53,6 +54,7 @@ class RepairResult:
     candidates_tried: int
 
     def describe(self, program: Program) -> str:
+        """Human-readable summary of the repair attempt."""
         if self.already_robust:
             return "program is already robust (RM = SC)"
         if not self.fixes:

@@ -45,9 +45,11 @@ class TheoremResult:
 
     @property
     def verified(self) -> bool:
+        """True when every premise and the conclusion held."""
         return self.holds and self.exhaustive
 
     def describe(self) -> str:
+        """One-line verdict with the failing premise, if any."""
         status = (
             "HOLDS" if self.verified
             else ("holds (non-exhaustive)" if self.holds else "FAILS")
@@ -89,6 +91,7 @@ def kernel_projection(program: Program) -> Callable[[Behavior], Behavior]:
     from repro.ir.instructions import MemSpace
 
     def project(behavior: Behavior) -> Behavior:
+        """Restrict a behavior to the registers the theorem compares."""
         registers = tuple(
             (tid, reg, val)
             for tid, reg, val in behavior.registers

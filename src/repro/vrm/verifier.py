@@ -51,6 +51,7 @@ from repro.ir.program import Program
 from repro.memory.cache import cached_explore, exploration_key
 from repro.memory.datatypes import EngineStats, ExplorationResult
 from repro.memory.exploration import por_default_enabled
+from repro.obs import metrics, tracer
 from repro.parallel import parallel_map
 from repro.vrm.barrier_misuse import plan_no_barrier_misuse
 from repro.vrm.conditions import (
@@ -80,6 +81,7 @@ class WDRFSpec:
     model_overrides: Tuple[Tuple[str, object], ...] = ()
 
     def overrides(self) -> Dict[str, object]:
+        """The spec's model overrides as ModelConfig keyword arguments."""
         return dict(self.model_overrides)
 
 
@@ -123,6 +125,7 @@ class VerifyStats:
     engine: EngineStats = field(default_factory=EngineStats)
 
     def record_pass(self, result: ExplorationResult) -> None:
+        """Record one exploration pass's figures into the report."""
         self.explorations += 1
         self.states_explored += result.states_explored
         if result.stopped_early:
@@ -133,6 +136,7 @@ class VerifyStats:
             self.monitor_stops += result.stats.monitor_stops
 
     def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form of the report (used by bench output)."""
         return {
             "explorations": self.explorations,
             "states_explored": self.states_explored,
@@ -192,6 +196,22 @@ def run_condition_group(
     monitor has its verdict; verdicts are bit-identical either way.
     """
     names = tuple(names)
+    if tracer.SINK is not None:
+        with tracer.SINK.span(
+            "wdrf_pass", subject=spec.program.name, conditions=list(names)
+        ):
+            return _run_condition_group(spec, names, collect, monitor_cut)
+    return _run_condition_group(spec, names, collect, monitor_cut)
+
+
+def _run_condition_group(
+    spec: WDRFSpec,
+    names: Tuple[str, ...],
+    collect: Optional[VerifyStats],
+    monitor_cut: bool,
+) -> List[ConditionResult]:
+    """The :func:`run_condition_group` body (span bracketing lives in
+    the wrapper so the traced and untraced paths share this code)."""
     plans = [(name, _condition_plan(spec, name)) for name in names]
     results: Dict[str, ConditionResult] = {
         name: plan for name, plan in plans
@@ -217,6 +237,13 @@ def run_condition_group(
         )
         if collect is not None:
             collect.record_pass(exploration)
+        if metrics.ENABLED:
+            reg = metrics.REGISTRY
+            reg.counter("verify.passes").inc()
+            reg.counter("verify.fused_conditions").inc(len(requests) - 1)
+            reg.histogram("verify.pass_states").observe(
+                exploration.states_explored
+            )
         for name, plan in requests:
             results[name] = plan.monitor.finalize(exploration)
     return [results[name] for name in names]

@@ -61,6 +61,7 @@ class WriteOnceMonitor(ExplorationMonitor):
         self._locs = frozenset(locs)
 
     def fingerprint(self) -> str:
+        """Cache identity: same protected locations, same verdict."""
         return f"{self.kind}:{sorted(self._locs)!r}"
 
     def _audit(self, state: Any) -> None:
@@ -86,12 +87,15 @@ class WriteOnceMonitor(ExplorationMonitor):
             self.stop()
 
     def on_terminal(self, state: Any) -> None:
+        """Audit a completed timeline for rewritten kernel PT entries."""
         self._audit(state)
 
     def on_panic(self, reason: str, state: Any) -> None:
+        """Audit a panicked timeline (its write history still counts)."""
         self._audit(state)  # panicked timelines still carry write history
 
     def finalize(self, result: ExplorationResult) -> ConditionResult:
+        """Turn the audited write histories into the write-once verdict."""
         exhaustive = True if self.stopped else result.complete
         return ConditionResult(
             condition=WDRFCondition.WRITE_ONCE_KERNEL_MAPPING,

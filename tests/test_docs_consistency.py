@@ -20,6 +20,7 @@ DOCS = [
     ROOT / "docs" / "MODEL.md",
     ROOT / "docs" / "VERIFICATION.md",
     ROOT / "docs" / "API.md",
+    ROOT / "docs" / "OBSERVABILITY.md",
 ]
 
 MODULE_REF = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
@@ -77,3 +78,89 @@ class TestDocsConsistency:
         assert mentioned
         for name in mentioned:
             assert (ROOT / "benchmarks" / name).is_file(), name
+
+
+CLI_FLAG = re.compile(r"(?<![\w-])(--[a-z][a-z0-9-]*)")
+
+#: Flags the docs mention that belong to external tools (pytest,
+#: pytest-benchmark, pip) or to the example scripts, not to the
+#: ``repro`` CLI itself.
+EXTERNAL_FLAGS = {
+    "--benchmark-only", "--benchmark-json", "--benchmark-autosave",
+    "--benchmark-compare", "--tb",
+    "--all",  # examples/verify_sekvm.py
+}
+
+ENV_KNOB = re.compile(r"\bREPRO_[A-Z_]+\b")
+
+
+def _cli_flags():
+    """Every ``--long-flag`` the real parser (or any subparser) accepts."""
+    import argparse
+
+    from repro.cli import build_parser
+
+    def walk(parser):
+        flags = set()
+        for action in parser._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                for sub in action.choices.values():
+                    flags |= walk(sub)
+            else:
+                flags.update(
+                    opt for opt in action.option_strings
+                    if opt.startswith("--")
+                )
+        return flags
+
+    return walk(build_parser())
+
+
+def _env_knobs(*trees):
+    """Every ``REPRO_*`` environment knob the given trees mention."""
+    knobs = set()
+    for tree in trees:
+        for path in (ROOT / tree).rglob("*.py"):
+            knobs.update(ENV_KNOB.findall(path.read_text(encoding="utf-8")))
+    return knobs
+
+
+class TestCliDocsConsistency:
+    """Every flag/knob in the docs exists; every one that exists is
+    documented.  Both directions — missing docs and stale docs fail."""
+
+    def test_documented_flags_exist(self):
+        real = _cli_flags() | EXTERNAL_FLAGS
+        for doc, text in _doc_text().items():
+            for flag in CLI_FLAG.findall(text):
+                assert flag in real, (
+                    f"{doc.name} documents {flag}, which no repro "
+                    "subcommand accepts (stale docs?)"
+                )
+
+    def test_every_flag_is_documented(self):
+        documented = set()
+        for text in _doc_text().values():
+            documented.update(CLI_FLAG.findall(text))
+        for flag in _cli_flags() - {"--help"}:
+            assert flag in documented, (
+                f"CLI flag {flag} is undocumented — add it to docs/API.md"
+            )
+
+    def test_documented_env_knobs_exist(self):
+        real = _env_knobs("src", "tests", "benchmarks")
+        for doc, text in _doc_text().items():
+            for knob in ENV_KNOB.findall(text):
+                assert knob in real, (
+                    f"{doc.name} documents {knob}, which nothing in the "
+                    "code reads (stale docs?)"
+                )
+
+    def test_every_env_knob_is_documented(self):
+        documented = set()
+        for text in _doc_text().values():
+            documented.update(ENV_KNOB.findall(text))
+        for knob in _env_knobs("src"):
+            assert knob in documented, (
+                f"env knob {knob} is undocumented — add it to docs/API.md"
+            )

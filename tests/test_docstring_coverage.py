@@ -1,0 +1,67 @@
+"""Docstring-coverage lint for the user-facing packages.
+
+The observability layer (``repro.obs``), the verifier (``repro.vrm``),
+and the conformance harness (``repro.conformance``) are the packages
+users read first — their public surface must be self-describing.  This
+lint walks each module's AST and fails if any public module, class,
+function, or method lacks a docstring.
+
+"Public" means: not prefixed with ``_``, not a dunder other than
+``__init__`` (which may rely on its class docstring), and not nested
+inside a function.  Keep the scope list in sync with
+``docs/OBSERVABILITY.md`` when adding packages.
+"""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+SRC = Path(__file__).parent.parent / "src" / "repro"
+
+#: Packages under the lint.  Extend deliberately: adding a package here
+#: is a commitment that its public API stays documented.
+LINTED_PACKAGES = ("obs", "vrm", "conformance")
+
+
+def _module_files():
+    for package in LINTED_PACKAGES:
+        for path in sorted((SRC / package).rglob("*.py")):
+            yield path
+
+
+def _is_public(name: str) -> bool:
+    if name == "__init__":
+        return False  # covered by the class docstring
+    return not name.startswith("_")
+
+
+def _missing_in(tree: ast.Module, relpath: str):
+    """Yield ``path:line name`` for every undocumented public def."""
+    if ast.get_docstring(tree) is None:
+        yield f"{relpath}:1 <module>"
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            if _is_public(node.name) and ast.get_docstring(node) is None:
+                yield f"{relpath}:{node.lineno} class {node.name}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name) and ast.get_docstring(node) is None:
+                yield f"{relpath}:{node.lineno} def {node.name}"
+
+
+def test_linted_packages_exist():
+    """Guard against the scope list silently rotting after a rename."""
+    for package in LINTED_PACKAGES:
+        assert (SRC / package / "__init__.py").exists(), package
+
+
+@pytest.mark.parametrize(
+    "path", list(_module_files()), ids=lambda p: str(p.relative_to(SRC))
+)
+def test_public_api_has_docstrings(path):
+    relpath = str(path.relative_to(SRC.parent.parent))
+    tree = ast.parse(path.read_text())
+    missing = list(_missing_in(tree, relpath))
+    assert not missing, (
+        "public definitions without docstrings:\n  " + "\n  ".join(missing)
+    )
