@@ -87,6 +87,10 @@ def test_exploration_engine_bench(benchmark):
     assert ph["optimized"]["behaviors"] == ph["baseline"]["behaviors"]
     assert ph["optimized"]["complete"] and ph["baseline"]["complete"]
     assert ph["optimized"]["states"] <= ph["baseline"]["states"]
+    # Frontier sharding is bit-identical to the serial optimized run.
+    assert ph["sharded"]["behaviors"] == ph["optimized"]["behaviors"]
+    assert ph["sharded"]["states"] == ph["optimized"]["states"]
+    assert ph["sharded"]["complete"]
     # Fused wDRF passes must reach identical verdicts in fewer
     # explorations and fewer states than per-condition passes.
     wdrf = results["wdrf"]

@@ -11,9 +11,12 @@ untraced hot path (formatting, allocation, a metrics call per state).
 """
 
 import json
+import multiprocessing
+import os
 import pathlib
 import time
 
+import pytest
 from conftest import run_once
 
 from repro.memory.exploration import explore
@@ -54,4 +57,46 @@ def test_noop_tracing_overhead(benchmark):
     assert ratio < NOISE_BAND, (
         f"no-op tracing path is {ratio:.2f}x the tracked timing — an "
         "emission site is doing work while no sink is installed"
+    )
+
+
+def _timed_promise_heavy_sharded():
+    assert tracer.sink() is None and not metrics.metrics_enabled()
+    program = promise_heavy_program()
+    cfg = ModelConfig(relaxed=True, max_promises_per_thread=3)
+    os.environ["REPRO_SHARD"] = "2"
+    try:
+        start = time.perf_counter()
+        result = explore(program, cfg, por=True)
+        return time.perf_counter() - start, result
+    finally:
+        os.environ.pop("REPRO_SHARD", None)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="frontier sharding requires the fork start method",
+)
+def test_noop_tracing_overhead_sharded(benchmark):
+    """The sharded orchestrator's emission sites (`shard_steal`,
+    `visited_filter_hit`, the `shard_explore` span) must cost nothing
+    with no sink installed, in workers and orchestrator alike — the
+    sharded wall time must stay in the same noise band around its own
+    tracked `promise_heavy.sharded` baseline."""
+    wall, result = run_once(benchmark, _timed_promise_heavy_sharded)
+    assert result.complete
+
+    tracked = json.loads(BENCH_FILE.read_text())
+    baseline = tracked["promise_heavy"]["sharded"]
+    assert result.states_explored == baseline["states"], (
+        "sharding changed the explored state space"
+    )
+    ratio = wall / baseline["wall_seconds"]
+    print(
+        f"\npromise_heavy no-op tracing (sharded): {wall:.3f}s vs tracked "
+        f"{baseline['wall_seconds']:.3f}s (x{ratio:.3f})"
+    )
+    assert ratio < NOISE_BAND, (
+        f"sharded no-op tracing path is {ratio:.2f}x the tracked timing — "
+        "an emission site is doing work while no sink is installed"
     )

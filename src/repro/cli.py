@@ -32,6 +32,12 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         help="worker processes (default: all CPUs; 1 = serial)",
     )
     parser.add_argument(
+        "--shard-jobs", type=int, default=None, metavar="N",
+        help="split each single exploration's frontier over N "
+        "work-stealing shards (sets REPRO_SHARD; default: unsharded; "
+        "-1 = all CPUs; results are bit-identical to serial)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="ignore and do not write the persistent exploration cache",
     )
@@ -70,12 +76,14 @@ def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
 
 
 def _apply_cache_flag(args: argparse.Namespace) -> bool:
-    """Honor ``--no-cache`` / ``--no-memo`` / ``--no-fuse``; returns the
-    ``cache=`` value for libraries."""
+    """Honor ``--no-cache`` / ``--no-memo`` / ``--no-fuse`` /
+    ``--shard-jobs``; returns the ``cache=`` value for libraries."""
     if getattr(args, "no_memo", False):
         os.environ["REPRO_CERT_MEMO"] = "0"
     if getattr(args, "no_fuse", False):
         os.environ["REPRO_FUSE"] = "0"
+    if getattr(args, "shard_jobs", None) is not None:
+        os.environ["REPRO_SHARD"] = str(args.shard_jobs)
     if getattr(args, "no_cache", False):
         os.environ["REPRO_EXPLORE_CACHE"] = "0"
         return False
@@ -173,7 +181,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     )
 
     _apply_cache_flag(args)
-    results = bench_exploration(jobs=resolve_jobs(args.jobs))
+    results = bench_exploration(
+        jobs=resolve_jobs(args.jobs),
+        shard_jobs=getattr(args, "shard_jobs", None),
+        only=getattr(args, "only", None),
+    )
     print(format_bench(results))
     if args.output:
         write_bench_json(args.output, results)
@@ -468,6 +480,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--output", "-o", metavar="FILE",
                    help="also write the results as JSON (BENCH_exploration)")
+    p.add_argument("--only", metavar="SECTION", default=None,
+                   choices=("litmus_corpus", "promise_heavy", "wdrf",
+                            "verify_sekvm"),
+                   help="measure a single section (the CI smoke path)")
     _add_parallel_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=_cmd_bench)

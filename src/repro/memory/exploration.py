@@ -104,6 +104,46 @@ def _is_terminal(state: ExecState) -> bool:
     return state.panic is not None or all(t.halted for t in state.threads)
 
 
+def _successors(
+    cache: ProgramCache,
+    state: ExecState,
+    cfg: ModelConfig,
+    memo: CertMemo,
+    plan,
+    stats: EngineStats,
+    sink,
+) -> List[ExecState]:
+    """Expand one non-terminal state: the full scheduler/promise fan-out,
+    or the single ample thread when the POR plan offers one.
+
+    Shared by the serial DFS loop and the shard workers
+    (:mod:`repro.parallel.shard`) so both expand a given state into the
+    byte-identical successor list — the property the frontier-sharding
+    merge relies on.
+    """
+    successors: Optional[List[ExecState]] = None
+    if plan is not None:
+        ample = plan.ample_thread(cache, state, stats=stats)
+        if ample is not None:
+            if sink is not None:
+                sink.emit(tracer.POR_AMPLE, thread=ample)
+            successors = execute_instruction(cache, state, ample, cfg)
+            if not successors:
+                successors = None  # blocked: fall back to full expansion
+    if successors is None:
+        successors = []
+        threads = state.threads
+        relaxed = cfg.relaxed
+        for tidx in range(len(threads)):
+            if threads[tidx].halted:
+                continue  # fast path: no steps, no promises
+            successors.extend(execute_instruction(cache, state, tidx, cfg))
+            if relaxed:
+                successors.extend(promise_steps(cache, state, tidx, cfg, memo))
+    stats.successors_generated += len(successors)
+    return successors
+
+
 def _is_valid_terminal(state: ExecState) -> bool:
     """Panic states are always observable; normal termination requires all
     promises fulfilled (an unfulfillable promise is not an execution)."""
@@ -162,6 +202,24 @@ def explore(
                 monitors, monitor_cut,
             )
         return reduced if por else baseline
+    if (
+        not keep_terminal_states
+        and os.environ.get("REPRO_SHARD", "0") not in ("", "0", "1")
+    ):
+        # Intra-exploration frontier sharding (REPRO_SHARD).  The gate
+        # lives here — not in the cache key inputs — because a sharded
+        # run is bit-identical to the serial one, so cached results are
+        # valid across shard configurations.  ``keep_terminal_states``
+        # runs are excluded: the terminal-state *tuple order* is a
+        # serial-DFS artifact the merge does not reconstruct (it is a
+        # debugging aid, not a verification path).
+        from repro.parallel.shard import maybe_shard_explore
+
+        sharded = maybe_shard_explore(
+            program, cfg, observe_locs, por, monitors, monitor_cut,
+        )
+        if sharded is not None:
+            return sharded
     return _explore(
         program, cfg, observe_locs, keep_terminal_states, por, monitors,
         monitor_cut,
@@ -223,8 +281,6 @@ def _explore(
     states_explored = 0
     cut_paths = 0
     complete = True
-    n_threads = len(program.threads)
-    relaxed = cfg.relaxed
 
     while stack:
         if states_explored >= cfg.max_states:
@@ -260,27 +316,7 @@ def _explore(
                         break
             continue
 
-        successors: Optional[List[ExecState]] = None
-        if plan is not None:
-            ample = plan.ample_thread(cache, state, stats=stats)
-            if ample is not None:
-                if sink is not None:
-                    sink.emit(tracer.POR_AMPLE, thread=ample)
-                successors = execute_instruction(cache, state, ample, cfg)
-                if not successors:
-                    successors = None  # blocked: fall back to full expansion
-        if successors is None:
-            successors = []
-            threads = state.threads
-            for tidx in range(n_threads):
-                if threads[tidx].halted:
-                    continue  # fast path: no steps, no promises
-                successors.extend(execute_instruction(cache, state, tidx, cfg))
-                if relaxed:
-                    successors.extend(
-                        promise_steps(cache, state, tidx, cfg, memo)
-                    )
-        stats.successors_generated += len(successors)
+        successors = _successors(cache, state, cfg, memo, plan, stats, sink)
 
         if not successors:
             # Deadlock: some thread blocked forever (e.g. an RMW stuck

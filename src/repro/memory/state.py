@@ -31,6 +31,32 @@ def interning_enabled() -> bool:
     """
     return os.environ.get("REPRO_INTERN", "1") != "0"
 
+
+_FP_SALT = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+
+def state_fingerprint(state: "ExecState") -> int:
+    """A 128-bit content fingerprint of *state* for cross-process dedup.
+
+    :class:`StateInterner` keys are per-process (a timeline's code is
+    the order it was first seen in *that* interner), so they can never
+    be compared across shard workers.  The fingerprint is built from two
+    independently salted ``hash()`` passes over the full state tuple
+    instead: every component is an int, a bool, ``None``, or an interned
+    string, so the value is identical in every process of one ``fork``
+    family (children share the parent's ``PYTHONHASHSEED``) — exactly
+    the lifetime of a :class:`~repro.parallel.shard.SharedVisitedFilter`.
+    Never persist fingerprints or compare them across fork families.
+
+    128 bits puts an accidental collision in the same trust class as the
+    truncated-SHA256 keys of the persistent exploration cache.  The
+    result is never 0, so shared-memory filters can use an all-zero slot
+    as the empty marker.
+    """
+    fp = ((hash(state) & _MASK64) << 64) | (hash((_FP_SALT, state)) & _MASK64)
+    return fp or 1
+
 Pairs = Tuple[Tuple, ...]
 
 

@@ -10,6 +10,12 @@ ones.
 
 Libraries default to serial (``jobs=None``); the CLI resolves its
 ``--jobs`` flag with :func:`default_jobs` (``os.cpu_count()``).
+
+The second axis is *intra-exploration* parallelism
+(:mod:`repro.parallel.shard`): one big exploration's frontier split
+over work-stealing workers behind ``--shard-jobs``/``REPRO_SHARD``,
+still bit-identical to serial.  :func:`plan_jobs` splits a budget
+between the two axes — they multiply, so only one engages per batch.
 """
 
 from repro.parallel.pool import (
@@ -18,7 +24,8 @@ from repro.parallel.pool import (
     parallel_map,
     plan_jobs,
     resolve_jobs,
+    resolve_shard_jobs,
 )
 
 __all__ = ["JobPlan", "default_jobs", "parallel_map", "plan_jobs",
-           "resolve_jobs"]
+           "resolve_jobs", "resolve_shard_jobs"]

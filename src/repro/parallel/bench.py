@@ -70,6 +70,7 @@ def _time_corpus(
         REPRO_EXPLORE_CACHE="0",
         REPRO_POR="1" if por else "0",
         REPRO_INTERN="1" if intern else "0",
+        REPRO_SHARD="0",
     ):
         start = time.perf_counter()
         outcomes = run_corpus(full_corpus(), jobs=jobs, cache=False)
@@ -85,7 +86,7 @@ def _time_corpus(
 
 
 def _time_promise_heavy(
-    por: bool, intern: bool = True, memo: bool = True
+    por: bool, intern: bool = True, memo: bool = True, shard: int = 0,
 ) -> Dict[str, float]:
     from repro.memory.exploration import explore
     from repro.memory.semantics import ModelConfig
@@ -95,6 +96,7 @@ def _time_promise_heavy(
     with _env(
         REPRO_INTERN="1" if intern else "0",
         REPRO_CERT_MEMO="1" if memo else "0",
+        REPRO_SHARD=str(shard),
     ):
         start = time.perf_counter()
         result = explore(program, cfg, por=por)
@@ -115,7 +117,7 @@ def _time_sekvm(jobs: Optional[int]) -> Dict[str, float]:
     from repro.sekvm.verify import verify_sekvm
 
     _fresh()
-    with _env(REPRO_EXPLORE_CACHE="0"):
+    with _env(REPRO_EXPLORE_CACHE="0", REPRO_SHARD="0"):
         start = time.perf_counter()
         outcome = verify_sekvm(jobs=jobs)
         wall = time.perf_counter() - start
@@ -147,6 +149,7 @@ def _time_wdrf(fuse: bool) -> Dict[str, float]:
         REPRO_EXPLORE_CACHE="0",
         REPRO_EXPLORE_MEMO="0",
         REPRO_FUSE_CHECK="0",
+        REPRO_SHARD="0",
     ):
         start = time.perf_counter()
         reports = [
@@ -170,82 +173,141 @@ def _time_wdrf(fuse: bool) -> Dict[str, float]:
     }
 
 
-def bench_exploration(jobs: int = 4) -> Dict:
+def _ratio(a: float, b: float) -> float:
+    return a / b if b else 0.0
+
+
+def _speedup(serial_wall: float, parallel_wall: float) -> Dict:
+    """A v4 speedup record: the ratio plus the context that explains it.
+
+    On a single-core runner a process fan-out cannot win, so a <1
+    "speedup" there is the machine, not a regression — the record says
+    so explicitly (``degraded``) instead of publishing a bare float
+    that reads like a perf loss.
+    """
+    cpus = os.cpu_count() or 1
+    out = {"ratio": _ratio(serial_wall, parallel_wall), "cpu_count": cpus}
+    if cpus == 1:
+        out["degraded"] = "single-core-runner"
+    return out
+
+
+def bench_exploration(
+    jobs: int = 4,
+    shard_jobs: Optional[int] = None,
+    only: Optional[str] = None,
+) -> Dict:
     """Measure the exploration engine end to end.
 
-    Returns a JSON-ready dict: litmus corpus serial vs. ``jobs``-way
-    parallel, POR on vs. off (single-threaded), promise-heavy POR
-    effect, and ``verify_sekvm`` serial vs. parallel — with speedup
-    ratios computed from the measured wall times.
+    Returns a JSON-ready dict (schema v4): litmus corpus serial vs.
+    ``jobs``-way parallel, POR on vs. off (single-threaded),
+    promise-heavy POR/memo effect plus ``shard_jobs``-way frontier
+    sharding, and ``verify_sekvm`` serial vs. parallel.  Each parallel
+    section records its own ``cpu_count`` and its speedups are dicts
+    (:func:`_speedup`) so single-core numbers are annotated, not
+    misread as regressions.  ``only`` restricts the run to one section
+    (``litmus_corpus``/``promise_heavy``/``wdrf``/``verify_sekvm``) —
+    the CI smoke path.
     """
-    from repro.parallel.pool import plan_jobs
+    from repro.parallel.pool import plan_jobs, resolve_shard_jobs
 
-    corpus_serial = _time_corpus(jobs=None, por=True)
-    corpus_baseline = _time_corpus(jobs=None, por=False, intern=False)
-    corpus_parallel = _time_corpus(jobs=jobs, por=True)
-    ph_optimized = _time_promise_heavy(por=True)
-    ph_no_memo = _time_promise_heavy(por=True, memo=False)
-    ph_base = _time_promise_heavy(por=False, intern=False, memo=False)
-    wdrf_fused = _time_wdrf(fuse=True)
-    wdrf_unfused = _time_wdrf(fuse=False)
-    sekvm_serial = _time_sekvm(jobs=None)
-    sekvm_parallel = _time_sekvm(jobs=jobs)
-
-    def ratio(a: float, b: float) -> float:
-        return a / b if b else 0.0
-
-    return {
-        "schema": "BENCH_exploration/v3",
-        "cpu_count": os.cpu_count(),
+    shards = resolve_shard_jobs(shard_jobs)
+    if shards <= 1:
+        shards = 2  # always track the sharded engine, even unrequested
+    cpus = os.cpu_count() or 1
+    results: Dict = {
+        "schema": "BENCH_exploration/v4",
+        "cpu_count": cpus,
         "jobs": jobs,
-        "litmus_corpus": {
+        "shard_jobs": shards,
+    }
+
+    def wanted(section: str) -> bool:
+        return only is None or only == section
+
+    if wanted("litmus_corpus"):
+        corpus_serial = _time_corpus(jobs=None, por=True)
+        corpus_baseline = _time_corpus(jobs=None, por=False, intern=False)
+        corpus_parallel = _time_corpus(jobs=jobs, por=True)
+        results["litmus_corpus"] = {
+            "cpu_count": cpus,
             "serial": corpus_serial,
             "serial_baseline": corpus_baseline,
             "parallel": corpus_parallel,
             "jobs_plan": plan_jobs(jobs, corpus_parallel["tests"])._asdict(),
-            "parallel_speedup": ratio(
+            "parallel_speedup": _speedup(
                 corpus_serial["wall_seconds"], corpus_parallel["wall_seconds"]
             ),
-            "por_speedup": ratio(
-                corpus_baseline["wall_seconds"], corpus_serial["wall_seconds"]
-            ),
-        },
+            # POR+interning runs single-threaded on both sides, so its
+            # ratio is machine-independent — but the per-section
+            # cpu_count rides along in v4 regardless.
+            "por_speedup": {
+                "ratio": _ratio(
+                    corpus_baseline["wall_seconds"],
+                    corpus_serial["wall_seconds"],
+                ),
+                "cpu_count": cpus,
+            },
+        }
+
+    if wanted("promise_heavy"):
         # "optimized" = POR + interning + certification memo; "no_memo"
         # drops only the memo (isolating its effect); "baseline" drops
-        # POR, interning, and memo (the v1 engine).
-        "promise_heavy": {
+        # POR, interning, and memo (the v1 engine); "sharded" is the
+        # optimized engine fanned out over shard workers.
+        ph_optimized = _time_promise_heavy(por=True)
+        ph_no_memo = _time_promise_heavy(por=True, memo=False)
+        ph_base = _time_promise_heavy(por=False, intern=False, memo=False)
+        ph_sharded = _time_promise_heavy(por=True, shard=shards)
+        results["promise_heavy"] = {
+            "cpu_count": cpus,
             "optimized": ph_optimized,
             "no_memo": ph_no_memo,
             "baseline": ph_base,
-            "memo_speedup": ratio(
+            "sharded": ph_sharded,
+            "memo_speedup": _ratio(
                 ph_no_memo["wall_seconds"], ph_optimized["wall_seconds"]
             ),
-            "overall_speedup": ratio(
+            "overall_speedup": _ratio(
                 ph_base["wall_seconds"], ph_optimized["wall_seconds"]
             ),
-            "overall_state_reduction": ratio(
+            "overall_state_reduction": _ratio(
                 ph_base["states"], ph_optimized["states"]
             ),
-        },
-        "wdrf": {
+            "shard_speedup": _speedup(
+                ph_optimized["wall_seconds"], ph_sharded["wall_seconds"]
+            ),
+        }
+
+    if wanted("wdrf"):
+        wdrf_fused = _time_wdrf(fuse=True)
+        wdrf_unfused = _time_wdrf(fuse=False)
+        results["wdrf"] = {
+            "cpu_count": cpus,
             "fused": wdrf_fused,
             "unfused": wdrf_unfused,
-            "fuse_speedup": ratio(
+            "fuse_speedup": _ratio(
                 wdrf_unfused["wall_seconds"], wdrf_fused["wall_seconds"]
             ),
-            "state_reduction": ratio(
+            "state_reduction": _ratio(
                 wdrf_unfused["states"], wdrf_fused["states"]
             ),
-        },
-        "verify_sekvm": {
+        }
+
+    if wanted("verify_sekvm"):
+        sekvm_serial = _time_sekvm(jobs=None)
+        sekvm_parallel = _time_sekvm(jobs=jobs)
+        results["verify_sekvm"] = {
+            "cpu_count": cpus,
             "serial": sekvm_serial,
             "parallel": sekvm_parallel,
             "jobs_plan": plan_jobs(jobs, sekvm_parallel["cases"])._asdict(),
-            "parallel_speedup": ratio(
+            "parallel_speedup": _speedup(
                 sekvm_serial["wall_seconds"], sekvm_parallel["wall_seconds"]
             ),
-        },
-    }
+        }
+
+    return results
 
 
 def write_bench_json(path: str, results: Dict) -> None:
@@ -257,39 +319,75 @@ def write_bench_json(path: str, results: Dict) -> None:
     os.replace(tmp, path)
 
 
+def _fmt_speedup(record) -> str:
+    """Render a v4 speedup dict (or a legacy v3 float) for humans."""
+    if isinstance(record, dict):
+        tag = f"{record['ratio']:.2f}x"
+        if record.get("degraded"):
+            tag += f" [{record['degraded']}]"
+        return tag
+    return f"{record:.2f}x"
+
+
 def format_bench(results: Dict) -> str:
-    """Human-readable summary of :func:`bench_exploration` output."""
-    corpus = results["litmus_corpus"]
-    ph = results["promise_heavy"]
-    wdrf = results["wdrf"]
-    sekvm = results["verify_sekvm"]
+    """Human-readable summary of :func:`bench_exploration` output.
+
+    Tolerates partial results (``bench_exploration(only=...)``) by
+    printing only the sections present.
+    """
     lines = [
         f"exploration benchmark ({results['cpu_count']} CPUs, "
-        f"jobs={results['jobs']})",
-        f"  litmus corpus   serial {corpus['serial']['wall_seconds']:.2f}s "
-        f"({corpus['serial']['states_per_second']:,.0f} states/s), "
-        f"parallel {corpus['parallel']['wall_seconds']:.2f}s "
-        f"(speedup {corpus['parallel_speedup']:.2f}x)",
-        f"  POR+interning   {corpus['por_speedup']:.2f}x wall "
-        f"vs unreduced/uninterned serial corpus",
-        f"  promise-heavy   optimized {ph['optimized']['wall_seconds']:.2f}s "
-        f"vs no-memo {ph['no_memo']['wall_seconds']:.2f}s "
-        f"(memo {ph['memo_speedup']:.2f}x) vs "
-        f"baseline {ph['baseline']['wall_seconds']:.2f}s "
-        f"(overall {ph['overall_speedup']:.2f}x, "
-        f"{ph['overall_state_reduction']:.2f}x fewer states)",
-        f"  wdrf fusion     fused {wdrf['fused']['wall_seconds']:.2f}s "
-        f"({wdrf['fused']['explorations']} passes) vs "
-        f"unfused {wdrf['unfused']['wall_seconds']:.2f}s "
-        f"({wdrf['unfused']['explorations']} passes): "
-        f"{wdrf['fuse_speedup']:.2f}x wall, "
-        f"{wdrf['state_reduction']:.2f}x fewer states",
-        f"  jobs plan       corpus: {corpus['jobs_plan']['workers']} worker(s) "
-        f"({corpus['jobs_plan']['reason']}), sekvm: "
-        f"{sekvm['jobs_plan']['workers']} worker(s) "
-        f"({sekvm['jobs_plan']['reason']})",
-        f"  verify_sekvm    serial {sekvm['serial']['wall_seconds']:.2f}s, "
-        f"parallel {sekvm['parallel']['wall_seconds']:.2f}s "
-        f"(speedup {sekvm['parallel_speedup']:.2f}x)",
+        f"jobs={results['jobs']}, "
+        f"shard_jobs={results.get('shard_jobs', 1)})",
     ]
+    corpus = results.get("litmus_corpus")
+    if corpus is not None:
+        lines += [
+            f"  litmus corpus   serial {corpus['serial']['wall_seconds']:.2f}s "
+            f"({corpus['serial']['states_per_second']:,.0f} states/s), "
+            f"parallel {corpus['parallel']['wall_seconds']:.2f}s "
+            f"(speedup {_fmt_speedup(corpus['parallel_speedup'])})",
+            f"  POR+interning   {_fmt_speedup(corpus['por_speedup'])} wall "
+            f"vs unreduced/uninterned serial corpus",
+        ]
+    ph = results.get("promise_heavy")
+    if ph is not None:
+        lines.append(
+            f"  promise-heavy   optimized {ph['optimized']['wall_seconds']:.2f}s "
+            f"vs no-memo {ph['no_memo']['wall_seconds']:.2f}s "
+            f"(memo {ph['memo_speedup']:.2f}x) vs "
+            f"baseline {ph['baseline']['wall_seconds']:.2f}s "
+            f"(overall {ph['overall_speedup']:.2f}x, "
+            f"{ph['overall_state_reduction']:.2f}x fewer states)"
+        )
+        if "sharded" in ph:
+            lines.append(
+                f"  frontier shards sharded "
+                f"{ph['sharded']['wall_seconds']:.2f}s "
+                f"(speedup {_fmt_speedup(ph['shard_speedup'])})"
+            )
+    wdrf = results.get("wdrf")
+    if wdrf is not None:
+        lines.append(
+            f"  wdrf fusion     fused {wdrf['fused']['wall_seconds']:.2f}s "
+            f"({wdrf['fused']['explorations']} passes) vs "
+            f"unfused {wdrf['unfused']['wall_seconds']:.2f}s "
+            f"({wdrf['unfused']['explorations']} passes): "
+            f"{wdrf['fuse_speedup']:.2f}x wall, "
+            f"{wdrf['state_reduction']:.2f}x fewer states"
+        )
+    sekvm = results.get("verify_sekvm")
+    if corpus is not None and sekvm is not None:
+        lines.append(
+            f"  jobs plan       corpus: {corpus['jobs_plan']['workers']} "
+            f"worker(s) ({corpus['jobs_plan']['reason']}), sekvm: "
+            f"{sekvm['jobs_plan']['workers']} worker(s) "
+            f"({sekvm['jobs_plan']['reason']})"
+        )
+    if sekvm is not None:
+        lines.append(
+            f"  verify_sekvm    serial {sekvm['serial']['wall_seconds']:.2f}s, "
+            f"parallel {sekvm['parallel']['wall_seconds']:.2f}s "
+            f"(speedup {_fmt_speedup(sekvm['parallel_speedup'])})"
+        )
     return "\n".join(lines)

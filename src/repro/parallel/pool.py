@@ -49,6 +49,29 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+def resolve_shard_jobs(shard_jobs: Optional[int] = None) -> int:
+    """Normalize a ``--shard-jobs`` request to a concrete shard count.
+
+    ``None`` falls back to the ``REPRO_SHARD`` environment knob (unset
+    or empty means unsharded); the numeric conventions then mirror
+    :func:`resolve_jobs` — ``0`` means serial, a negative count means
+    "all CPUs", anything else is literal.
+    """
+    if shard_jobs is None:
+        raw = os.environ.get("REPRO_SHARD", "").strip()
+        if not raw:
+            return 1
+        try:
+            shard_jobs = int(raw)
+        except ValueError:
+            return 1
+    if shard_jobs == 0:
+        return 1
+    if shard_jobs < 0:
+        return default_jobs()
+    return shard_jobs
+
+
 class JobPlan(NamedTuple):
     """The resolved fan-out decision for one :func:`parallel_map` batch.
 
@@ -61,9 +84,22 @@ class JobPlan(NamedTuple):
     cpus: int         # os.cpu_count() at decision time
     batch: int        # number of items
     reason: str       # why workers was chosen
+    shard_jobs: int = 1          # intra-exploration shards per item
+    shard_requested: int = 1     # resolve_shard_jobs() of the request
+    shard_reason: str = "unsharded"  # why shard_jobs was chosen
 
 
-def plan_jobs(jobs: Optional[int], batch_size: int) -> JobPlan:
+#: A single exploration below this many (estimated) states cannot
+#: amortize the shard setup cost (fork + shared filter + steal queue).
+MIN_STATES_PER_SHARD = 2_000
+
+
+def plan_jobs(
+    jobs: Optional[int],
+    batch_size: int,
+    shard_jobs: Optional[int] = None,
+    per_item_states: Optional[int] = None,
+) -> JobPlan:
     """Resolve a ``jobs`` request against the machine and the batch.
 
     The auto heuristic exists because forking is not free: on a
@@ -73,25 +109,51 @@ def plan_jobs(jobs: Optional[int], batch_size: int) -> JobPlan:
     spawn + pickle cost.  The plan therefore degrades a parallel request
     to fewer workers (or to serial) whenever the fan-out cannot win, and
     says why.
+
+    The plan also splits the budget between corpus-level workers and
+    intra-exploration shards (:mod:`repro.parallel.shard`): the two
+    fan-outs multiply, so only one may engage per batch.  Corpus-level
+    parallelism wins whenever it is viable (many independent items
+    amortize better than one contended frontier); sharding engages when
+    the batch degrades to serial — the one-big-spec shape — and the
+    items are estimated big enough (``per_item_states``, when given,
+    against :data:`MIN_STATES_PER_SHARD`) to amortize the shard setup.
+    Every path returns a fully populated plan, including the shard
+    fields (the "serial-requested" path once omitted them).
     """
     requested = resolve_jobs(jobs)
+    shard_requested = resolve_shard_jobs(shard_jobs)
     cpus = os.cpu_count() or 1
+
+    def _plan(workers: int, reason: str) -> JobPlan:
+        if workers > 1:
+            shards, shard_reason = 1, "corpus-parallel"
+        elif shard_requested <= 1:
+            shards, shard_reason = 1, "unsharded"
+        elif (
+            per_item_states is not None
+            and per_item_states < MIN_STATES_PER_SHARD
+        ):
+            shards, shard_reason = 1, "spec-too-small"
+        else:
+            shards, shard_reason = shard_requested, "intra-exploration"
+        return JobPlan(
+            workers, requested, cpus, batch_size, reason,
+            shards, shard_requested, shard_reason,
+        )
+
     if requested <= 1:
-        return JobPlan(1, requested, cpus, batch_size, "serial-requested")
+        return _plan(1, "serial-requested")
     if batch_size < 2:
-        return JobPlan(1, requested, cpus, batch_size, "batch-too-small")
+        return _plan(1, "batch-too-small")
     if cpus == 1:
-        return JobPlan(1, requested, cpus, batch_size, "single-cpu")
+        return _plan(1, "single-cpu")
     workers = min(requested, cpus, batch_size)
     if batch_size < workers * MIN_ITEMS_PER_WORKER:
         workers = max(batch_size // MIN_ITEMS_PER_WORKER, 1)
-        if workers <= 1:
-            return JobPlan(1, requested, cpus, batch_size,
-                           "fork-amortization")
-        return JobPlan(workers, requested, cpus, batch_size,
-                       "fork-amortization")
+        return _plan(max(workers, 1), "fork-amortization")
     reason = "parallel" if workers == requested else "capped-at-cpus"
-    return JobPlan(workers, requested, cpus, batch_size, reason)
+    return _plan(workers, reason)
 
 
 def _run_with_metrics(fn: Callable[[T], R], item: T):
@@ -134,15 +196,26 @@ def parallel_map(
     methods = multiprocessing.get_all_start_methods()
     method = "fork" if "fork" in methods else None
     ctx = multiprocessing.get_context(method)
-    if metrics.metrics_enabled():
-        wrapped = functools.partial(_run_with_metrics, fn)
+    # Pool children are daemonic and cannot fork shard workers of their
+    # own; disable intra-exploration sharding in them explicitly so an
+    # inherited REPRO_SHARD never makes a child attempt (and refuse) it.
+    prev_shard = os.environ.get("REPRO_SHARD")
+    os.environ["REPRO_SHARD"] = "0"
+    try:
+        if metrics.metrics_enabled():
+            wrapped = functools.partial(_run_with_metrics, fn)
+            with ctx.Pool(processes=plan.workers) as pool:
+                pairs = pool.map(wrapped, batch)
+            for _, snap in pairs:
+                metrics.REGISTRY.merge(snap)
+            metrics.REGISTRY.counter("pool.batches").inc()
+            metrics.REGISTRY.counter("pool.items").inc(len(batch))
+            metrics.REGISTRY.gauge("pool.workers").set(plan.workers)
+            return [result for result, _ in pairs]
         with ctx.Pool(processes=plan.workers) as pool:
-            pairs = pool.map(wrapped, batch)
-        for _, snap in pairs:
-            metrics.REGISTRY.merge(snap)
-        metrics.REGISTRY.counter("pool.batches").inc()
-        metrics.REGISTRY.counter("pool.items").inc(len(batch))
-        metrics.REGISTRY.gauge("pool.workers").set(plan.workers)
-        return [result for result, _ in pairs]
-    with ctx.Pool(processes=plan.workers) as pool:
-        return pool.map(fn, batch)
+            return pool.map(fn, batch)
+    finally:
+        if prev_shard is None:
+            os.environ.pop("REPRO_SHARD", None)
+        else:
+            os.environ["REPRO_SHARD"] = prev_shard

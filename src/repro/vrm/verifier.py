@@ -348,6 +348,16 @@ def verify_wdrf(
     and no explicit ``fuse``, the fused and per-condition reports are
     both computed and any difference raises
     :class:`~repro.errors.VerificationError`.
+
+    Orthogonally, ``REPRO_SHARD``/``--shard-jobs`` shards each
+    *individual* exploration pass over work-stealing workers
+    (:mod:`repro.parallel.shard`).  Fused monitor passes stay exact
+    under sharding: the shard orchestrator replays the merged state
+    graph in serial DFS order through the real condition monitors, so
+    reports — including early-stop evidence — are bit-identical.  The
+    two axes compose safely with ``jobs``: pool children refuse to
+    shard (see :func:`repro.parallel.pool.plan_jobs`), so the budget is
+    never multiplied.
     """
     if fuse is None and fuse_check_enabled():
         fused = _verify(spec, jobs, True, collect)

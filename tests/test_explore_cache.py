@@ -148,3 +148,33 @@ class TestDiskRoundTrip:
         second = cached_explore(program, cfg)
         assert second == first
         assert second is not first  # no layer served a stored object
+
+
+class TestShardKeyStability:
+    """Frontier sharding (``REPRO_SHARD``) is bit-identical to the
+    serial engine, so it deliberately does NOT participate in the cache
+    key: entries written serially must hit under sharding and vice
+    versa."""
+
+    def test_shard_setting_does_not_change_key(self, monkeypatch):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        monkeypatch.delenv("REPRO_SHARD", raising=False)
+        serial_key = exploration_key(program, cfg, None, False, True)
+        monkeypatch.setenv("REPRO_SHARD", "2")
+        assert exploration_key(program, cfg, None, False, True) == serial_key
+
+    def test_warm_serial_cache_hits_under_sharding(
+        self, isolated_cache, monkeypatch
+    ):
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        monkeypatch.delenv("REPRO_SHARD", raising=False)
+        first = cached_explore(program, cfg)
+        clear_memory_cache()
+
+        def boom(*args, **kwargs):  # a hit must not re-explore
+            raise AssertionError("cache miss: explore() was called")
+
+        monkeypatch.setattr("repro.memory.cache.explore", boom)
+        monkeypatch.setenv("REPRO_SHARD", "2")
+        second = cached_explore(program, cfg)
+        assert second == first
