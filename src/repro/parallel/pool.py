@@ -156,6 +156,20 @@ def plan_jobs(
     return _plan(workers, reason)
 
 
+def _disable_sharding() -> None:
+    """Pool-worker initializer: pin ``REPRO_SHARD=0`` in the child.
+
+    Pool children are daemonic and cannot fork shard workers of their
+    own (``maybe_shard_explore`` refuses on the daemon check already);
+    this makes the refusal explicit so an inherited ``REPRO_SHARD``
+    never even attempts it.  It must run *in the child, after fork* —
+    mutating the parent's ``os.environ`` around the pool would race
+    with concurrent explorations in other threads (silently unsharding
+    them) and with concurrent ``parallel_map`` calls (whose interleaved
+    save/restores can clobber the knob permanently)."""
+    os.environ["REPRO_SHARD"] = "0"
+
+
 def _run_with_metrics(fn: Callable[[T], R], item: T):
     """Pool worker wrapper shipping the child's metrics to the parent.
 
@@ -196,26 +210,19 @@ def parallel_map(
     methods = multiprocessing.get_all_start_methods()
     method = "fork" if "fork" in methods else None
     ctx = multiprocessing.get_context(method)
-    # Pool children are daemonic and cannot fork shard workers of their
-    # own; disable intra-exploration sharding in them explicitly so an
-    # inherited REPRO_SHARD never makes a child attempt (and refuse) it.
-    prev_shard = os.environ.get("REPRO_SHARD")
-    os.environ["REPRO_SHARD"] = "0"
-    try:
-        if metrics.metrics_enabled():
-            wrapped = functools.partial(_run_with_metrics, fn)
-            with ctx.Pool(processes=plan.workers) as pool:
-                pairs = pool.map(wrapped, batch)
-            for _, snap in pairs:
-                metrics.REGISTRY.merge(snap)
-            metrics.REGISTRY.counter("pool.batches").inc()
-            metrics.REGISTRY.counter("pool.items").inc(len(batch))
-            metrics.REGISTRY.gauge("pool.workers").set(plan.workers)
-            return [result for result, _ in pairs]
-        with ctx.Pool(processes=plan.workers) as pool:
-            return pool.map(fn, batch)
-    finally:
-        if prev_shard is None:
-            os.environ.pop("REPRO_SHARD", None)
-        else:
-            os.environ["REPRO_SHARD"] = prev_shard
+    if metrics.metrics_enabled():
+        wrapped = functools.partial(_run_with_metrics, fn)
+        with ctx.Pool(
+            processes=plan.workers, initializer=_disable_sharding
+        ) as pool:
+            pairs = pool.map(wrapped, batch)
+        for _, snap in pairs:
+            metrics.REGISTRY.merge(snap)
+        metrics.REGISTRY.counter("pool.batches").inc()
+        metrics.REGISTRY.counter("pool.items").inc(len(batch))
+        metrics.REGISTRY.gauge("pool.workers").set(plan.workers)
+        return [result for result, _ in pairs]
+    with ctx.Pool(
+        processes=plan.workers, initializer=_disable_sharding
+    ) as pool:
+        return pool.map(fn, batch)

@@ -51,12 +51,14 @@ that motivated this module suggested it: a
 :class:`~repro.memory.state.StateInterner` code is "the order this
 process first saw the timeline" — meaningless in any other process.
 The shared filter keys on 128-bit content fingerprints
-(:func:`~repro.memory.state.state_fingerprint`) instead, which are
-stable across one ``fork`` family.
+(:func:`~repro.memory.state.state_fingerprint`) instead — genuine
+``blake2b`` digests of the state's canonical serialization, identical
+in every process.
 """
 
 from __future__ import annotations
 
+import gc
 import multiprocessing
 import os
 import time
@@ -77,6 +79,7 @@ from repro.memory.por import PORPlan, por_worthwhile
 from repro.memory.semantics import CertMemo, ModelConfig, ProgramCache
 from repro.memory.state import (
     ExecState,
+    FingerprintMemo,
     StateInterner,
     initial_state,
     interning_enabled,
@@ -119,6 +122,24 @@ def _steal_batch_size() -> int:
         return 8
 
 
+def _shard_timeout() -> float:
+    """Optional wall-clock deadline for the fan-out
+    (``REPRO_SHARD_TIMEOUT`` seconds; default 0 = no deadline).
+
+    Dead workers are detected by liveness polling, but a worker that is
+    alive yet wedged (stuck in native code, never reporting) would
+    otherwise leave the parent draining the results queue forever.
+    With a deadline set, expiry aborts the shards, gives them one crash
+    grace window to report, then terminates the stragglers and falls
+    back to the serial engine.  Off by default: a deadline short enough
+    to catch hangs on small specs would kill legitimate long runs.
+    """
+    try:
+        return max(0.0, float(os.environ.get("REPRO_SHARD_TIMEOUT", "0")))
+    except ValueError:
+        return 0.0
+
+
 def _filter_slots() -> int:
     """Visited-filter capacity from ``REPRO_SHARD_FILTER_MB`` (16-byte
     slots; default 16 MiB ≈ 1M slots, ~6x the largest tracked run)."""
@@ -135,6 +156,7 @@ _LAST_FILTER_NAME: Optional[str] = None
 
 _BUDGET_CHUNK = 256          # states reserved from the shared budget at once
 _CRASH_GRACE_SECONDS = 5.0   # drain window after detecting a dead worker
+_JOIN_TIMEOUT = 5.0          # per-process join wait before terminating
 _SEED_TARGET_MIN = 16        # minimum frontier width before splitting
 _SEED_TARGET_PER_SHARD = 4   # ... and per requested shard
 
@@ -313,6 +335,19 @@ def _worker_main(
     spec_monitors, monitor_cut, record_graph, results_q,
 ) -> None:
     """Process entry point: run the body, always report, never hang."""
+    # The fork-inherited heap (program cache, seed frontier, interned
+    # timelines) is permanent for this worker's lifetime; freezing it
+    # keeps every cyclic-GC pass from re-traversing it — and from
+    # dirtying copy-on-write pages — while the worker's own allocations
+    # (states, memo pins) remain collectable as usual.  The raised
+    # thresholds then make young-generation passes ~70x rarer: the DFS
+    # allocates immutable bottom-up tuples that cannot form cycles, so
+    # frequent cycle hunts find nothing yet re-traverse the growing
+    # memo/interner pins every time (measured ~20% of worker wall).
+    # Collection stays enabled — monitors may allocate cyclic garbage —
+    # and the process exit reclaims everything regardless.
+    gc.freeze()
+    gc.set_threshold(50_000, 25, 25)
     try:
         out = _worker_body(
             wid, cache, cfg, observe_locs, plan, frontier, vfilter,
@@ -341,14 +376,32 @@ def _worker_body(
     stats = EngineStats()
     interner = StateInterner() if interning_enabled() else None
     memo = CertMemo(interner=interner, stats=stats)
+    fp_memo = FingerprintMemo()
     sink = tracer.SINK
     steal_batch = _steal_batch_size()
+    # The fork-inherited filter object carries the parent's process-local
+    # counters from the seed phase; report deltas from this baseline so
+    # the parent's aggregation doesn't double-count the seed once per
+    # worker (which would also trip the filter-saturated fallback early).
+    hits_base = vfilter.hits
+    full_misses_base = vfilter.full_misses
 
     behaviors: Set[Behavior] = set()
     graph: Optional[Dict[int, Tuple]] = {} if record_graph else None
     active = list(spec_monitors or ())
     stack: List[Tuple[int, ExecState]] = list(frontier)
-    local_seen: Set[int] = {fp for fp, _ in stack}
+    # Local dedup: graph-recording runs key on fingerprints (every
+    # successor is fingerprinted for the graph anyway); unmonitored
+    # runs key on interner keys, so only locally-new states pay the
+    # fingerprint cost of consulting the shared filter.
+    if record_graph:
+        local_seen: Set = {fp for fp, _ in stack}
+    else:
+        if interner is not None:
+            state_key = interner.key
+        else:
+            state_key = lambda s: s  # noqa: E731
+        local_seen = {state_key(s) for _, s in stack}
     steals: List[int] = []
     states_explored = 0
     cut_paths = 0
@@ -423,15 +476,26 @@ def _worker_body(
                 n_mem += 1
                 mem_complete = False
                 continue
-            sfp = state_fingerprint(succ)
-            kept.append(sfp)
-            if sfp in local_seen:
-                continue
-            if vfilter.add(sfp):
-                local_seen.add(sfp)
-                stack.append((sfp, succ))
-            elif sink is not None:
-                sink.emit(tracer.VISITED_FILTER_HIT, worker=wid)
+            if graph is not None:
+                sfp = state_fingerprint(succ, fp_memo)
+                kept.append(sfp)
+                if sfp in local_seen:
+                    continue
+                if vfilter.add(sfp):
+                    local_seen.add(sfp)
+                    stack.append((sfp, succ))
+                elif sink is not None:
+                    sink.emit(tracer.VISITED_FILTER_HIT, worker=wid)
+            else:
+                key = state_key(succ)
+                if key in local_seen:
+                    continue
+                local_seen.add(key)
+                sfp = state_fingerprint(succ, fp_memo)
+                if vfilter.add(sfp):
+                    stack.append((sfp, succ))
+                elif sink is not None:
+                    sink.emit(tracer.VISITED_FILTER_HIT, worker=wid)
         if graph is not None:
             graph[fp] = (_INTERIOR, tuple(kept), n_mem, cert_delta, None)
 
@@ -446,8 +510,8 @@ def _worker_body(
         stats=stats,
         graph=graph,
         steals=steals,
-        filter_hits=vfilter.hits,
-        full_misses=vfilter.full_misses,
+        filter_hits=vfilter.hits - hits_base,
+        full_misses=vfilter.full_misses - full_misses_base,
         speculative_stop=speculative_stop,
     )
 
@@ -480,7 +544,8 @@ def _seed_phase(
     seeded prefix.
     """
     start = initial_state(len(program.threads), cfg.initial_ownership)
-    start_fp = state_fingerprint(start)
+    fp_memo = FingerprintMemo()
+    start_fp = state_fingerprint(start, fp_memo)
     if interner is not None:
         state_key = interner.key
     else:
@@ -530,9 +595,14 @@ def _seed_phase(
                 n_mem += 1
                 mem_complete = False
                 continue
-            sfp = state_fingerprint(succ)
-            kept.append(sfp)
             key = state_key(succ)
+            if graph is not None:
+                sfp = state_fingerprint(succ, fp_memo)
+                kept.append(sfp)
+            elif key in visited:
+                continue
+            else:
+                sfp = state_fingerprint(succ, fp_memo)
             if key not in visited:
                 visited.add(key)
                 vfilter.add(sfp)
@@ -640,16 +710,37 @@ def _replay(
 
 def _collect(procs, results_q, shared, jobs):
     """Drain worker results; detect hard-dead workers (no result, no
-    exception message) and abort the rest instead of hanging."""
+    exception message) and abort the rest instead of hanging.
+
+    Two failure clocks: liveness polling catches workers that *died*
+    without reporting, and the optional :func:`_shard_timeout` deadline
+    catches workers that are alive but wedged.  Either one aborts the
+    shards, then allows a :data:`_CRASH_GRACE_SECONDS` drain window for
+    the survivors' results before giving up on the stragglers (the
+    caller terminates them and runs the serial fallback)."""
     outputs: Dict[int, _WorkerOutput] = {}
     errors: List[str] = []
     pending = set(range(jobs))
+    timeout = _shard_timeout()
+    overall_deadline = time.monotonic() + timeout if timeout else None
+    timed_out = False
     grace_deadline = None
     while pending:
-        if grace_deadline is not None and time.monotonic() > grace_deadline:
+        now = time.monotonic()
+        if grace_deadline is not None and now > grace_deadline:
+            why = (
+                f"timed out after {timeout:g}s"
+                if timed_out else "died without reporting"
+            )
             for wid in sorted(pending):
-                errors.append(f"worker {wid} died without reporting")
+                errors.append(f"worker {wid} {why}")
             break
+        if overall_deadline is not None and now > overall_deadline:
+            timed_out = True
+            overall_deadline = None
+            shared.abort.set()
+            if grace_deadline is None:
+                grace_deadline = now + _CRASH_GRACE_SECONDS
         try:
             wid, out, err = results_q.get(timeout=0.1)
         except Empty:
@@ -810,11 +901,11 @@ def shard_explore(
 
         outputs, errors = _collect(procs, results_q, shared, jobs)
         for proc in procs:
-            proc.join(timeout=5)
+            proc.join(timeout=_JOIN_TIMEOUT)
         for proc in procs:
             if proc.is_alive():
                 proc.terminate()
-                proc.join(timeout=5)
+                proc.join(timeout=_JOIN_TIMEOUT)
         shared.steal_q.cancel_join_thread()
         shared.steal_q.close()
         results_q.close()

@@ -25,6 +25,11 @@ from repro.parallel import parallel_map, resolve_jobs
 X, Y = 0x10, 0x20
 
 
+def _shard_env_seen_by_worker(_item):
+    """Module-level (picklable) probe of the pool child's environment."""
+    return os.environ.get("REPRO_SHARD")
+
+
 class TestPORCrossCheck:
     def test_por_equals_unreduced_on_catalog(self):
         """POR-reduced behavior sets equal the unreduced ones bit for bit
@@ -129,6 +134,19 @@ class TestParallelHarness:
         calls = []
         assert parallel_map(calls.append, [1, 2, 3], jobs=1) == [None] * 3
         assert calls == [1, 2, 3]
+
+    def test_parallel_map_disables_sharding_in_children_only(
+        self, monkeypatch
+    ):
+        # Pool children must see REPRO_SHARD=0 (they cannot fork shard
+        # workers) while the parent's environment stays untouched — the
+        # knob is pinned by a pool initializer running in the child, not
+        # by mutating the shared environment around the pool.
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        monkeypatch.setenv("REPRO_SHARD", "4")
+        assert parallel_map(_shard_env_seen_by_worker, [1, 2, 3, 4],
+                            jobs=2) == ["0"] * 4
+        assert os.environ["REPRO_SHARD"] == "4"
 
 
 class TestExplorationCache:

@@ -5,8 +5,12 @@ reconstruction, crash cleanup, and the plan/knob plumbing."""
 
 import multiprocessing
 import os
+import subprocess
+import sys
+import time
 from contextlib import contextmanager
 from multiprocessing import shared_memory
+from pathlib import Path
 
 import pytest
 
@@ -45,6 +49,7 @@ def no_cache(monkeypatch):
     monkeypatch.setenv("REPRO_EXPLORE_MEMO", "0")
     monkeypatch.delenv("REPRO_SHARD", raising=False)
     monkeypatch.delenv("REPRO_SHARD_CHECK", raising=False)
+    monkeypatch.delenv("REPRO_SHARD_TIMEOUT", raising=False)
 
 
 @contextmanager
@@ -185,6 +190,106 @@ class TestSharedVisitedFilter:
         assert a == b      # equal states, equal fingerprints
         assert a != c
 
+    def test_hash_colliding_states_get_distinct_fingerprints(self):
+        # CPython's tuple hash is a pure function of element hashes and
+        # hash(-1) == hash(-2), so these two states collide under any
+        # hash()-derived scheme (in *all* bits — two salted passes over
+        # the same tuple are fully correlated).  A false filter hit
+        # silently drops a subtree, so the fingerprint must be a real
+        # digest that still separates them.
+        base = initial_state(2)
+        s1 = base._replace(walker_floor=-1)
+        s2 = base._replace(walker_floor=-2)
+        assert hash(s1) == hash(s2)
+        assert state_fingerprint(s1) != state_fingerprint(s2)
+
+    def test_memoized_fingerprint_equals_pure(self):
+        # The FingerprintMemo is a pure cache: the seed phase and every
+        # worker hold different memo instances (or none), so the value
+        # must be identical with and without one — across fresh and
+        # identity-shared components alike.
+        from repro.memory.semantics import ProgramCache
+        from repro.memory.state import FingerprintMemo
+        from repro.parallel.shard import _successors
+
+        program = wide_program()
+        cache = ProgramCache(program)
+        cfg = ModelConfig(relaxed=False)
+        memo = FingerprintMemo()
+        from repro.memory.semantics import CertMemo
+        from repro.memory.datatypes import EngineStats
+        stats = EngineStats()
+        cmemo = CertMemo(interner=None, stats=stats)
+        frontier = [initial_state(len(program.threads))]
+        checked = 0
+        while frontier and checked < 200:
+            state = frontier.pop()
+            checked += 1
+            assert state_fingerprint(state, memo) == state_fingerprint(state)
+            frontier.extend(
+                _successors(cache, state, cfg, cmemo, None, stats, None)
+            )
+
+    def test_fingerprints_independent_of_hash_seed(self):
+        # The digest is content-based, so every process agrees on it —
+        # even across PYTHONHASHSEED boundaries (strings in the state
+        # would perturb any hash()-based fingerprint).
+        import repro
+
+        src = str(Path(repro.__file__).resolve().parents[1])
+        code = (
+            "from repro.memory.state import initial_state, "
+            "state_fingerprint; "
+            "print(state_fingerprint("
+            "initial_state(2)._replace(panic='boom')))"
+        )
+        values = set()
+        for seed in ("0", "424242"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+            proc = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, env=env, check=True,
+            )
+            values.add(int(proc.stdout.strip()))
+        local = state_fingerprint(initial_state(2)._replace(panic="boom"))
+        assert values == {local}
+
+
+class TestWorkerCounterDeltas:
+    def test_worker_reports_filter_deltas_not_inherited_totals(self):
+        # A forked worker inherits the parent's SharedVisitedFilter
+        # *object*, whose process-local hits/full_misses still hold the
+        # seed phase's counts.  The worker must report deltas from that
+        # fork-time baseline — otherwise the parent's aggregation
+        # re-adds the seed counts once per worker, inflating the trace
+        # event and tripping the filter-saturated fallback early.
+        from repro.memory.semantics import ProgramCache
+
+        program = wide_program()
+        cache = ProgramCache(program)
+        cfg = ModelConfig(relaxed=False)
+        observe_locs = sorted(cache.initial_memory)
+        vfilter = SharedVisitedFilter(nslots=4096)
+        try:
+            # Simulate seed-phase residue the fork would inherit.
+            vfilter.hits = 7
+            vfilter.full_misses = 3
+            start = initial_state(len(program.threads))
+            fp = state_fingerprint(start)
+            vfilter.add(fp)
+            ctx = multiprocessing.get_context("fork")
+            shared = shard._SharedState(ctx, n_workers=1, budget_left=10**6)
+            out = shard._worker_body(
+                0, cache, cfg, observe_locs, None, [(fp, start)],
+                vfilter, shared, None, True, False,
+            )
+            assert out.states_explored > 0
+            assert out.filter_hits == vfilter.hits - 7
+            assert out.full_misses == vfilter.full_misses - 3
+        finally:
+            vfilter.close()
+
 
 class TestBitIdentity:
     def test_full_litmus_catalog_two_shards(self):
@@ -314,6 +419,29 @@ class TestCrashCleanup:
         with pytest.raises(FileNotFoundError):
             shared_memory.SharedMemory(name=shard._LAST_FILTER_NAME)
 
+    def test_wedged_worker_times_out_and_falls_back(self, monkeypatch):
+        # A worker that is alive but never reports (e.g. stuck in native
+        # code) defeats the liveness poll; with REPRO_SHARD_TIMEOUT set,
+        # the deadline aborts the fan-out and the serial fallback runs
+        # instead of the parent polling the results queue forever.
+        def wedge(*args, **kwargs):
+            time.sleep(600)
+
+        monkeypatch.setattr(shard, "_worker_body", wedge)
+        monkeypatch.setattr(shard, "_CRASH_GRACE_SECONDS", 0.2)
+        monkeypatch.setattr(shard, "_JOIN_TIMEOUT", 0.1)
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "0.3")
+        cfg = ModelConfig(relaxed=True)
+        with shard_env(0):
+            serial = explore(wide_program(), cfg)
+        begin = time.monotonic()
+        with shard_env(2):
+            sharded = explore(wide_program(), cfg)
+        assert time.monotonic() - begin < 60  # bounded, no hang
+        assert_identical(serial, sharded, "wedged-worker-timeout")
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=shard._LAST_FILTER_NAME)
+
 
 class TestShardCheck:
     def test_cross_check_passes_on_real_runs(self, monkeypatch):
@@ -381,6 +509,16 @@ class TestPlanAndKnobs:
         assert resolve_shard_jobs(0) == 1
         assert resolve_shard_jobs(4) == 4
         assert resolve_shard_jobs(-1) == (os.cpu_count() or 1)
+
+    def test_shard_timeout_knob(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHARD_TIMEOUT", raising=False)
+        assert shard._shard_timeout() == 0.0
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "2.5")
+        assert shard._shard_timeout() == 2.5
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "-3")
+        assert shard._shard_timeout() == 0.0
+        monkeypatch.setenv("REPRO_SHARD_TIMEOUT", "garbage")
+        assert shard._shard_timeout() == 0.0
 
     def test_serial_requested_plan_has_shard_fields(self):
         plan = plan_jobs(None, 10, shard_jobs=4)
