@@ -52,6 +52,13 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         "(sets REPRO_FUSE=0; reports are identical, only slower — a "
         "debugging/benchmark knob)",
     )
+    parser.add_argument(
+        "--backend", choices=("explore", "bmc", "auto"), default=None,
+        help="verification backend (sets REPRO_BACKEND): 'explore' "
+        "enumerates interleavings, 'bmc' compiles encodable queries to "
+        "SAT, 'auto' routes each query by predicted cost "
+        "(default: REPRO_BACKEND or 'explore')",
+    )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -84,6 +91,8 @@ def _apply_cache_flag(args: argparse.Namespace) -> bool:
         os.environ["REPRO_FUSE"] = "0"
     if getattr(args, "shard_jobs", None) is not None:
         os.environ["REPRO_SHARD"] = str(args.shard_jobs)
+    if getattr(args, "backend", None) is not None:
+        os.environ["REPRO_BACKEND"] = args.backend
     if getattr(args, "no_cache", False):
         os.environ["REPRO_EXPLORE_CACHE"] = "0"
         return False
@@ -482,7 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the results as JSON (BENCH_exploration)")
     p.add_argument("--only", metavar="SECTION", default=None,
                    choices=("litmus_corpus", "promise_heavy", "wdrf",
-                            "verify_sekvm"),
+                            "verify_sekvm", "bmc"),
                    help="measure a single section (the CI smoke path)")
     _add_parallel_flags(p)
     _add_obs_flags(p)

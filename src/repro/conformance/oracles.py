@@ -35,6 +35,12 @@ bug, never on an expected relaxed-memory effect:
     verdict agrees with ground truth recomputed from a monitor-free
     exhaustive exploration's panic set — the oracle that catches a
     checker which silently swallows violations.
+``backend``
+    The SAT/BMC backend (:mod:`repro.smt`) enumerates exactly the
+    exploration engine's behavior sets on both models, for every
+    program inside the encodable fragment — the relation that keeps
+    the second verification backend honest (and kills the seeded
+    ``bmc-*`` encoder mutants).
 
 :func:`check_genome` selects the sound subset for a genome's profile
 (plus the expensive ``fuse``/``jobs`` oracles when asked) and is the
@@ -55,6 +61,8 @@ from repro.memory.axiomatic import axiomatic_outcomes, eligible
 from repro.memory.cache import cached_explore
 from repro.memory.datatypes import ExplorationResult
 from repro.memory.semantics import PROMISING_ARM, SC
+from repro.smt.backend import bmc_explore, bmc_supported
+from repro.smt.encode import Unsupported
 from repro.parallel import parallel_map
 from repro.vrm.conditions import ConditionResult
 from repro.vrm.drf_kernel import check_drf_kernel, plan_drf_kernel
@@ -72,6 +80,7 @@ ORACLES: Tuple[str, ...] = (
     "containment",
     "equivalence",
     "axiomatic",
+    "backend",
     "monitor",
     "por",
     "memo",
@@ -81,8 +90,8 @@ ORACLES: Tuple[str, ...] = (
 
 #: The sound, always-on oracle subset per generation profile.
 _PROFILE_ORACLES = {
-    "plain": ("containment", "axiomatic", "por", "memo"),
-    "fenced": ("containment", "equivalence", "por", "memo"),
+    "plain": ("containment", "axiomatic", "backend", "por", "memo"),
+    "fenced": ("containment", "equivalence", "backend", "por", "memo"),
     "mmu": ("containment", "por", "memo"),
     "sync": ("monitor",),
 }
@@ -213,6 +222,26 @@ def _check_axiomatic(program: Program) -> List[Disagreement]:
         detail=f"axiomatic/operational disagreement: {only_ax} "
         f"axiomatic-only, {only_op} operational-only outcome(s)",
     )]
+
+
+def _check_backend(program: Program) -> List[Disagreement]:
+    out: List[Disagreement] = []
+    for label, cfg in (("SC", SC), ("RM", PROMISING_ARM)):
+        if bmc_supported(program, cfg) is not None:
+            continue
+        observe = _observe(program)
+        try:
+            solved = bmc_explore(program, cfg, observe, cache=False)
+        except Unsupported:
+            continue  # domain blow-up found during encoding
+        explored = cached_explore(program, cfg, observe_locs=observe)
+        diff = _behaviors_diff("bmc", solved, "exploration", explored)
+        if diff:
+            out.append(Disagreement(
+                oracle="backend",
+                detail=f"BMC changed the {label} behavior set: {diff}",
+            ))
+    return out
 
 
 def _check_por(program: Program) -> List[Disagreement]:
@@ -353,6 +382,8 @@ def check_genome(
             out.extend(_check_equivalence(program))
         elif name == "axiomatic":
             out.extend(_check_axiomatic(program))
+        elif name == "backend":
+            out.extend(_check_backend(program))
         elif name == "monitor":
             out.extend(_check_monitor(program, shared))
         elif name == "por":

@@ -82,12 +82,67 @@ def _admits(test: LitmusTest, result: ExplorationResult) -> bool:
     return False
 
 
-def run_litmus(test: LitmusTest, cache: bool = True) -> LitmusOutcome:
-    """Execute one test under both models and check its postcondition."""
+def _explore_one(
+    test: LitmusTest,
+    cfg: ModelConfig,
+    observe: Sequence[int],
+    cache: bool,
+    backend: str,
+) -> ExplorationResult:
+    """One model's behavior set via the selected backend.
+
+    ``REPRO_BACKEND_CHECK=1`` runs both backends whenever the test is
+    encodable, asserts the behavior sets are identical, and returns the
+    exploration result (bit-identical to the default pipeline).
+    """
+    from repro.errors import VerificationError
+    from repro.smt.backend import bmc_explore, bmc_supported
+    from repro.smt.encode import Unsupported
+    from repro.smt.router import backend_check_enabled, route
+
+    check = backend_check_enabled()
+    want_bmc = backend == "bmc" or (
+        backend == "auto"
+        and route(test.program, cfg, observe).backend == "bmc"
+    )
+    solved: Optional[ExplorationResult] = None
+    if (want_bmc or check) and bmc_supported(test.program, cfg) is None:
+        try:
+            solved = bmc_explore(test.program, cfg, observe, cache=cache)
+        except Unsupported:
+            solved = None
+    if solved is not None and want_bmc and not check:
+        return solved
+    explored = cached_explore(
+        test.program, cfg, observe_locs=observe, cache=cache
+    )
+    if check and solved is not None and solved.behaviors != explored.behaviors:
+        raise VerificationError(
+            f"backend cross-check failed for litmus {test.name!r}: "
+            f"{len(solved.behaviors - explored.behaviors)} BMC-only, "
+            f"{len(explored.behaviors - solved.behaviors)} exploration-only "
+            f"behavior(s)"
+        )
+    return explored
+
+
+def run_litmus(
+    test: LitmusTest, cache: bool = True, backend: Optional[str] = None
+) -> LitmusOutcome:
+    """Execute one test under both models and check its postcondition.
+
+    ``backend`` selects the verification backend (``explore``, ``bmc``,
+    or ``auto``; None reads ``REPRO_BACKEND``).  Tests outside the
+    SAT-encodable fragment always run through exploration.
+    """
+    if backend is None:
+        from repro.smt.router import backend_default
+
+        backend = backend_default()
     rm_cfg = rm_config(test.max_promises)
     observe = sorted(loc for loc, _ in test.memory_condition)
-    sc = cached_explore(test.program, SC_CFG, observe_locs=observe, cache=cache)
-    rm = cached_explore(test.program, rm_cfg, observe_locs=observe, cache=cache)
+    sc = _explore_one(test, SC_CFG, observe, cache, backend)
+    rm = _explore_one(test, rm_cfg, observe, cache, backend)
     return LitmusOutcome(
         test=test,
         sc=sc,

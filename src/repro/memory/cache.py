@@ -72,12 +72,20 @@ _code_fingerprint: Optional[str] = None
 
 _monitor_code_fingerprint: Optional[str] = None
 
+_smt_code_fingerprint: Optional[str] = None
+
 
 class MonitorPassEntry(NamedTuple):
     """Cached outcome of one monitored exploration pass."""
 
     result: ExplorationResult
     snapshots: Tuple[Dict[str, object], ...]
+
+
+class BmcEntry(NamedTuple):
+    """Cached answer of one BMC query (a behavior set or verdicts)."""
+
+    payload: object
 
 
 def cache_enabled() -> bool:
@@ -141,6 +149,19 @@ def monitor_code_fingerprint() -> str:
     return _monitor_code_fingerprint
 
 
+def smt_code_fingerprint() -> str:
+    """Hash of the SAT/BMC backend sources (``src/repro/smt``).
+
+    BMC answers depend on the encoder and solver, which live outside
+    both the memory package and the checker package; this digest keeps
+    edited solver logic from replaying stale verdicts.
+    """
+    global _smt_code_fingerprint
+    if _smt_code_fingerprint is None:
+        _smt_code_fingerprint = _source_digest(("smt",))
+    return _smt_code_fingerprint
+
+
 def _config_fingerprint(cfg: ModelConfig) -> str:
     parts = []
     for f in dataclasses.fields(cfg):
@@ -166,8 +187,14 @@ def exploration_key(
     observe_locs: Optional[Sequence[int]],
     keep_terminal_states: bool,
     por: bool,
+    backend: str = "explore",
 ) -> str:
-    """The cache key: a digest of everything the result depends on."""
+    """The cache key: a digest of everything the result depends on.
+
+    ``backend`` names the engine that produced the result ("explore"
+    or "bmc"); the axis keeps solver-derived answers from ever
+    replaying as exploration results or vice versa.
+    """
     observed = None if observe_locs is None else tuple(observe_locs)
     text = "\x00".join(
         (
@@ -181,6 +208,7 @@ def exploration_key(
             repr(observed),
             repr(bool(keep_terminal_states)),
             repr(bool(por)),
+            f"backend={backend}",
         )
     )
     return hashlib.sha256(text.encode()).hexdigest()
@@ -334,3 +362,96 @@ def _cached_monitor_explore(
     if cache_enabled():
         _disk_store(key, entry)
     return result
+
+
+def bmc_query_key(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]],
+    query: str,
+) -> str:
+    """Cache key of one BMC query (behavior enumeration or verdicts).
+
+    Builds on :func:`exploration_key` with ``backend="bmc"`` so solver
+    answers and exploration results can never shadow each other, and
+    folds in the solver/encoder source digest plus the checker-source
+    digest (verdict shapes follow ``vrm`` code) and the query
+    descriptor (depth and induction knobs included by the caller).
+    """
+    text = "\x00".join(
+        (
+            exploration_key(
+                program, cfg, observe_locs, False, False, backend="bmc"
+            ),
+            smt_code_fingerprint(),
+            monitor_code_fingerprint(),
+            query,
+        )
+    )
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def cached_bmc_query(key: str, compute):
+    """Memoize one BMC answer under *key* through both cache layers.
+
+    *compute* is a zero-argument callable producing a picklable
+    payload; the same memo/disk discipline as :func:`cached_explore`
+    applies (``REPRO_EXPLORE_MEMO=0`` / ``REPRO_EXPLORE_CACHE=0``
+    bypass the respective layer).
+    """
+    if memo_enabled():
+        entry = _memory_cache.get(key)
+        if isinstance(entry, BmcEntry):
+            _record_lookup(True, "memo", key)
+            return entry.payload
+    if cache_enabled():
+        entry = _disk_load(key, BmcEntry)
+        if isinstance(entry, BmcEntry):
+            _record_lookup(True, "disk", key)
+            if memo_enabled():
+                _memory_cache[key] = entry
+            return entry.payload
+    _record_lookup(False, "bmc", key)
+    payload = compute()
+    entry = BmcEntry(payload=payload)
+    if memo_enabled():
+        _memory_cache[key] = entry
+    if cache_enabled():
+        _disk_store(key, entry)
+    return payload
+
+
+def peek_exploration_states(
+    program: Program,
+    cfg: ModelConfig,
+    observe_locs: Optional[Sequence[int]] = None,
+    por: Optional[bool] = None,
+    monitors: Optional[Sequence[ExplorationMonitor]] = None,
+    monitor_cut: bool = True,
+) -> Optional[int]:
+    """``states_explored`` of a previously cached identical exploration.
+
+    A read-only probe for the backend router: returns the state count
+    a cache hit would replay (so routing can prefer the free answer),
+    or None when neither cache layer has the entry.  Never computes,
+    never restores monitor snapshots, never records a lookup.
+    """
+    if por is None:
+        por = por_default_enabled()
+    if monitors:
+        key = monitored_exploration_key(
+            program, cfg, observe_locs, por, list(monitors), monitor_cut
+        )
+        entry = _memory_cache.get(key) if memo_enabled() else None
+        if not isinstance(entry, MonitorPassEntry) and cache_enabled():
+            entry = _disk_load(key, MonitorPassEntry)
+        if isinstance(entry, MonitorPassEntry):
+            return entry.result.states_explored
+        return None
+    key = exploration_key(program, cfg, observe_locs, False, por)
+    entry = _memory_cache.get(key) if memo_enabled() else None
+    if not isinstance(entry, ExplorationResult) and cache_enabled():
+        entry = _disk_load(key)
+    if isinstance(entry, ExplorationResult):
+        return entry.states_explored
+    return None

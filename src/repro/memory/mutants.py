@@ -45,6 +45,8 @@ KNOWN_MUTANTS: Tuple[str, ...] = (
     "weaken-barrier-full",
     "weaken-drf-monitor",
     "skip-por-gate",
+    "bmc-drop-clause",
+    "bmc-off-by-one-bound",
 )
 
 _active: Set[str] = set()

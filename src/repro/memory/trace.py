@@ -136,9 +136,15 @@ def find_execution(
     cfg: ModelConfig,
     predicate: Callable[[Behavior], bool],
     observe_locs: Optional[Sequence[int]] = None,
+    state_predicate: Optional[Callable[[ExecState], bool]] = None,
 ) -> Optional[ExecutionTrace]:
     """DFS for a terminal behavior satisfying *predicate*; returns its
-    trace, or None if unreachable within the budget."""
+    trace, or None if unreachable within the budget.
+
+    *state_predicate*, when given, must additionally accept the terminal
+    :class:`ExecState` — used to search for executions identified by
+    timeline properties (e.g. a BMC counterexample's write history)
+    rather than by observable behavior alone."""
     cache = ProgramCache(program)
     if observe_locs is None:
         observe_locs = sorted(cache.initial_memory)
@@ -156,7 +162,9 @@ def find_execution(
         if _is_terminal(state):
             if _is_valid_terminal(state):
                 behavior = behavior_of(cache, state, observe_locs)
-                if predicate(behavior):
+                if predicate(behavior) and (
+                    state_predicate is None or state_predicate(state)
+                ):
                     return ExecutionTrace(
                         program_name=program.name,
                         events=path,

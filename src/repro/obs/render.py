@@ -24,7 +24,10 @@ from repro.obs import tracer
 
 #: Oracles whose witness is a cross-model behavior disagreement: the
 #: explanation is an RM execution reaching a behavior SC cannot.
-_MODEL_DIFF_ORACLES = ("containment", "equivalence", "axiomatic")
+#: ``backend`` belongs here: its disagreement is a behavior-set diff
+#: between the SAT backend and exploration, and a relaxed execution of
+#: the program is the right witness to render.
+_MODEL_DIFF_ORACLES = ("containment", "equivalence", "axiomatic", "backend")
 
 #: Oracles about engine-configuration identity (POR on/off, memo
 #: on/off, pool vs serial, fused vs per-condition): the witness program

@@ -173,6 +173,93 @@ def _time_wdrf(fuse: bool) -> Dict[str, float]:
     }
 
 
+def bmc_explosion_spec():
+    """A wDRF spec whose exploration state space explodes but whose CNF
+    stays tiny: two CPUs each initialize three private kernel PT entries
+    and read back one, so relaxed exploration certifies thousands of
+    promise interleavings while the write-once/isolation queries are a
+    few hundred clauses.  Exploration still *completes* within the
+    default budgets — both backends reach the same verdict, the wall
+    clock is the only difference — which is exactly the shape the
+    cost-model router must win on."""
+    from repro.ir import PTKind, ThreadBuilder, build_program
+    from repro.vrm.verifier import WDRFSpec
+
+    tbs, init, pts = [], {}, []
+    for t in range(2):
+        tb = ThreadBuilder(t)
+        for s in range(3):
+            loc = 0x1000 + 0x10 * (t * 3 + s)
+            tb.store(loc, t + 1, pt_kind=PTKind.KERNEL)
+            init[loc] = 0
+            pts.append(loc)
+        tb.load(f"r{t}", 0x1000)
+        tbs.append(tb)
+    program = build_program(tbs, initial_memory=init, name="bmc-explosion")
+    return WDRFSpec(program=program, kernel_pt_locs=tuple(pts))
+
+
+def _time_wdrf_backend(backend: str) -> Dict[str, float]:
+    """Time ``verify_wdrf`` on the explosion spec under one backend."""
+    from repro.vrm.verifier import VerifyStats, verify_wdrf
+
+    spec = bmc_explosion_spec()
+    _fresh()
+    stats = VerifyStats()
+    with _env(
+        REPRO_EXPLORE_CACHE="0",
+        REPRO_BACKEND=backend,
+        REPRO_BACKEND_CHECK="0",
+        REPRO_SHARD="0",
+    ):
+        start = time.perf_counter()
+        report = verify_wdrf(spec, collect=stats)
+        wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "all_hold": report.all_hold,
+        "explorations": stats.explorations,
+        "states": stats.states_explored,
+        "bmc_passes": stats.bmc_passes,
+    }
+
+
+def _time_bmc_litmus() -> Dict[str, float]:
+    """Solve every encodable litmus test with the BMC backend alone."""
+    from repro.litmus.catalog import full_corpus
+    from repro.litmus.runner import SC_CFG, rm_config
+    from repro.smt.backend import BmcStats, bmc_explore, bmc_supported
+    from repro.smt.encode import Unsupported
+
+    stats = BmcStats()
+    solved = skipped = 0
+    _fresh()
+    with _env(REPRO_EXPLORE_CACHE="0"):
+        start = time.perf_counter()
+        for test in full_corpus():
+            observe = sorted(loc for loc, _ in test.memory_condition)
+            for cfg in (SC_CFG, rm_config(test.max_promises)):
+                if bmc_supported(test.program, cfg) is not None:
+                    skipped += 1
+                    continue
+                try:
+                    bmc_explore(
+                        test.program, cfg, observe, cache=False, stats=stats
+                    )
+                    solved += 1
+                except Unsupported:
+                    skipped += 1
+        wall = time.perf_counter() - start
+    out = stats.as_dict()
+    out.update({
+        "wall_seconds": wall,
+        "queries_solved": solved,
+        "queries_skipped": skipped,
+        "clauses_per_second": stats.clauses / wall if wall else 0.0,
+    })
+    return out
+
+
 def _ratio(a: float, b: float) -> float:
     return a / b if b else 0.0
 
@@ -199,24 +286,31 @@ def bench_exploration(
 ) -> Dict:
     """Measure the exploration engine end to end.
 
-    Returns a JSON-ready dict (schema v4): litmus corpus serial vs.
+    Returns a JSON-ready dict (schema v5): litmus corpus serial vs.
     ``jobs``-way parallel, POR on vs. off (single-threaded),
     promise-heavy POR/memo effect plus ``shard_jobs``-way frontier
-    sharding, and ``verify_sekvm`` serial vs. parallel.  Each parallel
-    section records its own ``cpu_count`` and its speedups are dicts
-    (:func:`_speedup`) so single-core numbers are annotated, not
-    misread as regressions.  ``only`` restricts the run to one section
-    (``litmus_corpus``/``promise_heavy``/``wdrf``/``verify_sekvm``) —
-    the CI smoke path.
+    sharding, ``verify_sekvm`` serial vs. parallel, and the SAT/BMC
+    backend (cost-routed vs. forced-exploration wall time on a
+    state-explosion spec, plus a solver sweep over the litmus corpus).
+    Each parallel section records its own ``cpu_count`` and its
+    speedups are dicts (:func:`_speedup`) so single-core numbers are
+    annotated, not misread as regressions.  ``only`` restricts the run
+    to one section (``litmus_corpus``/``promise_heavy``/``wdrf``/
+    ``verify_sekvm``/``bmc``) — the CI smoke path.
     """
     from repro.parallel.pool import plan_jobs, resolve_shard_jobs
 
+    cpus = os.cpu_count() or 1
     shards = resolve_shard_jobs(shard_jobs)
     if shards <= 1:
-        shards = 2  # always track the sharded engine, even unrequested
-    cpus = os.cpu_count() or 1
+        # Always track the sharded engine, even unrequested: use the
+        # real fan-out on multi-core machines (capped at 4) so a
+        # multi-core bench run publishes a genuine shard speedup, and
+        # the 2-shard floor elsewhere (the _speedup record annotates
+        # single-core results as degraded).
+        shards = max(2, min(4, cpus))
     results: Dict = {
-        "schema": "BENCH_exploration/v4",
+        "schema": "BENCH_exploration/v5",
         "cpu_count": cpus,
         "jobs": jobs,
         "shard_jobs": shards,
@@ -292,6 +386,24 @@ def bench_exploration(
             "state_reduction": _ratio(
                 wdrf_unfused["states"], wdrf_fused["states"]
             ),
+        }
+
+    if wanted("bmc"):
+        bmc_auto = _time_wdrf_backend("auto")
+        bmc_forced_explore = _time_wdrf_backend("explore")
+        results["bmc"] = {
+            "cpu_count": cpus,
+            "explosion_spec": {
+                "auto": bmc_auto,
+                "explore": bmc_forced_explore,
+                # Pure ratio, not a _speedup record: both sides run
+                # single-threaded, so the machine cannot degrade it.
+                "router_speedup": _ratio(
+                    bmc_forced_explore["wall_seconds"],
+                    bmc_auto["wall_seconds"],
+                ),
+            },
+            "litmus_solver": _time_bmc_litmus(),
         }
 
     if wanted("verify_sekvm"):
@@ -376,6 +488,21 @@ def format_bench(results: Dict) -> str:
             f"{wdrf['fuse_speedup']:.2f}x wall, "
             f"{wdrf['state_reduction']:.2f}x fewer states"
         )
+    bmc = results.get("bmc")
+    if bmc is not None:
+        exp = bmc["explosion_spec"]
+        sweep = bmc["litmus_solver"]
+        lines += [
+            f"  bmc router      auto {exp['auto']['wall_seconds']:.2f}s "
+            f"({exp['auto']['bmc_passes']} SAT pass(es)) vs forced-explore "
+            f"{exp['explore']['wall_seconds']:.2f}s "
+            f"({exp['explore']['states']} states): "
+            f"{exp['router_speedup']:.1f}x on the explosion spec",
+            f"  bmc solver      {sweep['queries_solved']} litmus queries in "
+            f"{sweep['wall_seconds']:.2f}s "
+            f"({sweep['clauses_per_second']:,.0f} clauses/s, "
+            f"{sweep['outcomes']} outcomes enumerated)",
+        ]
     sekvm = results.get("verify_sekvm")
     if corpus is not None and sekvm is not None:
         lines.append(

@@ -1,0 +1,152 @@
+"""CNF construction helpers on top of :class:`repro.smt.sat.Solver`.
+
+:class:`CnfBuilder` owns a clause list plus a variable counter and
+provides the gate vocabulary the encoder needs: Tseitin AND/OR gates
+(cached, so structurally equal gates share one variable), pairwise
+exactly-one constraints for one-hot finite-domain variables, and the
+constant literals ``TRUE``/``FALSE`` (variable 1, pinned by a unit
+clause, so constants are ordinary literals everywhere — in particular
+in blocking clauses and models).
+
+The builder is solver-agnostic: it accumulates clauses, and
+:meth:`CnfBuilder.solver` instantiates a fresh :class:`Solver` over
+them.  Queries that must not pollute each other (a violation query vs.
+AllSAT enumeration) each get their own solver from the same clause
+list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.smt.sat import Solver
+
+__all__ = ["CnfBuilder"]
+
+
+class CnfBuilder:
+    """Accumulates CNF clauses with Tseitin gates and one-hot helpers."""
+
+    def __init__(self) -> None:
+        self._nvars = 1  # variable 1 is the TRUE constant
+        self._clauses: List[Tuple[int, ...]] = [(1,)]
+        self._gate_cache: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+
+    @property
+    def TRUE(self) -> int:
+        """Literal that is true in every model."""
+        return 1
+
+    @property
+    def FALSE(self) -> int:
+        """Literal that is false in every model."""
+        return -1
+
+    @property
+    def num_vars(self) -> int:
+        """Variables allocated so far (including the constant)."""
+        return self._nvars
+
+    @property
+    def num_clauses(self) -> int:
+        """Clauses accumulated so far."""
+        return len(self._clauses)
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its positive literal."""
+        self._nvars += 1
+        return self._nvars
+
+    def add(self, *lits: int) -> None:
+        """Add one clause (a disjunction of literals)."""
+        self._clauses.append(tuple(lits))
+
+    def implies(self, antecedent: Sequence[int], consequent: int) -> None:
+        """``antecedent[0] ∧ … ∧ antecedent[n] → consequent``."""
+        self.add(*[-lit for lit in antecedent], consequent)
+
+    # ------------------------------------------------------------------
+    # Tseitin gates
+
+    def and_gate(self, lits: Iterable[int]) -> int:
+        """A literal equivalent to the conjunction of *lits*."""
+        unique = sorted(set(lits))
+        if self.FALSE in unique:
+            return self.FALSE
+        unique = [lit for lit in unique if lit != self.TRUE]
+        if not unique:
+            return self.TRUE
+        if len(unique) == 1:
+            return unique[0]
+        key = ("and", tuple(unique))
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            return cached
+        y = self.new_var()
+        for lit in unique:
+            self.add(-y, lit)
+        self.add(y, *[-lit for lit in unique])
+        self._gate_cache[key] = y
+        return y
+
+    def or_gate(self, lits: Iterable[int]) -> int:
+        """A literal equivalent to the disjunction of *lits*."""
+        unique = sorted(set(lits))
+        if self.TRUE in unique:
+            return self.TRUE
+        unique = [lit for lit in unique if lit != self.FALSE]
+        if not unique:
+            return self.FALSE
+        if len(unique) == 1:
+            return unique[0]
+        key = ("or", tuple(unique))
+        cached = self._gate_cache.get(key)
+        if cached is not None:
+            return cached
+        y = self.new_var()
+        for lit in unique:
+            self.add(-lit, y)
+        self.add(-y, *unique)
+        self._gate_cache[key] = y
+        return y
+
+    # ------------------------------------------------------------------
+    # one-hot (finite-domain) helpers
+
+    def exactly_one(self, lits: Sequence[int]) -> None:
+        """At least one and at most one of *lits* (pairwise encoding)."""
+        assert lits, "exactly_one over an empty domain"
+        self.add(*lits)
+        for i in range(len(lits)):
+            for j in range(i + 1, len(lits)):
+                self.add(-lits[i], -lits[j])
+
+    def one_hot(self, values: Iterable[int]) -> Dict[int, int]:
+        """Fresh exactly-one selector variables, one per domain value."""
+        sel = {value: self.new_var() for value in values}
+        self.exactly_one(list(sel.values()))
+        return sel
+
+    # ------------------------------------------------------------------
+    # solver handoff
+
+    def solver(self, extra: Iterable[Sequence[int]] = ()) -> Solver:
+        """A fresh :class:`Solver` over the accumulated clauses + *extra*."""
+        s = Solver()
+        for _ in range(self._nvars):
+            s.new_var()
+        for clause in self._clauses:
+            if not s.add_clause(clause):
+                break
+        else:
+            for clause in extra:
+                if not s.add_clause(clause):
+                    break
+        return s
+
+    def to_dimacs(self) -> str:
+        """The accumulated clause set in DIMACS CNF format."""
+        lines = [f"p cnf {self._nvars} {len(self._clauses)}"]
+        for clause in self._clauses:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,740 @@
+"""CNF encoding of the eligible kernel-IR fragment.
+
+The exploration engine and this encoder answer the same question —
+"which executions does the memory model admit?" — from opposite ends.
+Exploration enumerates interleavings of the *operational* Promising Arm
+model; the encoder compiles the repo's *axiomatic* model
+(:mod:`repro.memory.axiomatic`, proven behavior-equivalent to the
+operational engine by the ``axiomatic`` conformance oracle over the
+litmus catalog and the fuzz corpus) into propositional clauses, so a
+SAT solver decides in one query what exploration pays an exponential
+interleaving product for.
+
+Scope — the same straight-line fragment the axiomatic model accepts:
+``Load``/``Store``/``Mov``/``Barrier``/``Label``/``Nop`` threads, with
+addresses and store values drawn from register expressions.  Values are
+finite-domain: an abstract-interpretation fixpoint computes each
+register/address/value domain first, and every semantic object (event
+location, event value, reads-from choice, coherence order) becomes a
+one-hot selector or Tseitin gate over those domains.  Anything outside
+the fragment (branches, atomics, MMU, push/pull, unbounded domains)
+raises :class:`Unsupported` and the caller falls back to exploration.
+
+Encoding shape, mirroring ``axiomatic._consistent``:
+
+* ``rf`` — per read, an exactly-one choice among the initial write and
+  every domain-compatible store, with clauses forcing location
+  agreement and value flow.
+* ``co`` — one boolean strict total order over all stores (a global
+  order restricted per location is exactly a family of per-location
+  total orders).
+* ``fr`` — derived: read r reading from w' is ``fr``-before every
+  same-location write co-after w'.
+* **internal** axiom — a strict-total-order relation over accesses
+  required to contain ``po-loc ∪ rf ∪ co ∪ fr`` (same-location guards
+  are Tseitin gates over the location selectors).
+* **external** axiom (relaxed model) — a second strict total order
+  containing the statically preserved program order (closed
+  transitively through register-move nodes) plus the cross-thread
+  ``rfe ∪ coe ∪ fre`` edges.  On the SC model a single order contains
+  full ``po ∪ rf ∪ co ∪ fr`` instead.
+
+A strict total order extending a set of required edges exists iff the
+edge set is acyclic, so satisfiability of the order variables *is* the
+acyclicity check.
+
+Outcome projection matches :func:`repro.memory.exploration.behavior_of`
+bit for bit: observed registers read the end-of-thread symbolic
+register file (``None`` when never written), final memory per observed
+location is the co-maximal write's value (or the initial value), both
+exposed as one-hot indicator literals so AllSAT enumeration can block
+on them directly.
+
+Bounded unrolling: ``depth=k`` encodes only each thread's first ``k``
+instructions.  Since threads are loop-free, any consistent prefix
+execution extends to a full one (append the missing events at the end
+of every order), so a SAT violation query at depth ``k`` is a real
+counterexample; an UNSAT answer is only a bounded verdict unless ``k``
+covers every thread (see docs/MODEL.md).
+
+Two seeded mutants live here for the mutation-killing suite:
+``bmc-drop-clause`` drops every from-read (``fr``) order constraint and
+``bmc-off-by-one-bound`` truncates each thread one instruction short.
+Both must be caught by the ``backend`` conformance oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.ir.dependencies import preserved_program_order
+from repro.ir.expr import BinOp, Expr, Imm, Reg
+from repro.ir.instructions import (
+    Barrier,
+    Instruction,
+    Label,
+    Load,
+    Mov,
+    Nop,
+    Store,
+)
+from repro.ir.program import Program, Thread
+from repro.memory import mutants
+from repro.memory.semantics import ModelConfig
+from repro.smt.cnf import CnfBuilder
+
+__all__ = [
+    "MAX_DOMAIN",
+    "MAX_EVENTS",
+    "BmcEvent",
+    "ProgramEncoding",
+    "Unsupported",
+    "fragment_eligible",
+    "quick_unsupported",
+]
+
+#: Cap on memory-access events; order-relation transitivity is cubic.
+MAX_EVENTS = 32
+#: Cap on any single finite domain (values or locations).
+MAX_DOMAIN = 64
+#: Cap on the operand-domain product expanded per binary operator.
+MAX_COMBOS = 4096
+#: Abstract-interpretation rounds before giving up on convergence.
+_MAX_ROUNDS = 100
+
+_FRAGMENT = (Load, Store, Mov, Barrier, Label, Nop)
+
+
+class Unsupported(Exception):
+    """The program/config is outside the CNF-encodable fragment."""
+
+
+def fragment_eligible(program: Program) -> bool:
+    """Straight-line Load/Store/Mov/Barrier threads only (axiomatic scope)."""
+    return all(
+        isinstance(instr, _FRAGMENT)
+        for thread in program.threads
+        for instr in thread.instrs
+    )
+
+
+def quick_unsupported(
+    program: Program, cfg: ModelConfig
+) -> Optional[str]:
+    """Cheap structural gate (no domain analysis); None when encodable.
+
+    The full :class:`ProgramEncoding` constructor can still raise
+    :class:`Unsupported` (domain blow-ups surface only during
+    analysis); callers treat that identically.
+    """
+    if not fragment_eligible(program):
+        return "non-straight-line or non-load/store instruction"
+    if cfg.oracle_sequences:
+        return "oracle sequences are operational-only"
+    if cfg.owned_access_required:
+        return "ownership (push/pull DRF) panics are operational-only"
+    stores = sum(
+        isinstance(i, Store) for t in program.threads for i in t.instrs
+    )
+    accesses = stores + sum(
+        isinstance(i, Load) for t in program.threads for i in t.instrs
+    )
+    if accesses > MAX_EVENTS:
+        return f"{accesses} accesses exceed the {MAX_EVENTS}-event cap"
+    if stores + len(program.initial_memory) > cfg.max_memory:
+        return "timeline may exceed max_memory (exploration would cut)"
+    return None
+
+
+@dataclass(frozen=True)
+class BmcEvent:
+    """One memory-access event of the unrolled program."""
+
+    idx: int            # dense event index
+    tidx: int           # thread position in program.threads
+    iidx: int           # instruction index within the thread
+    tid: int            # thread id
+    is_read: bool
+    instr: Instruction
+
+
+#: Reads-from source standing for the initial memory write.
+INIT = "init"
+
+SymInt = Dict[int, int]  # value -> indicator literal
+
+
+class ProgramEncoding:
+    """CNF unrolling of one program under one model configuration.
+
+    Builds the full clause set on construction; query helpers
+    (:meth:`outcome_block`, :meth:`decode_outcome`,
+    :meth:`writes_at`) serve the backend on top of it.  Raises
+    :class:`Unsupported` when the program leaves the fragment.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        cfg: ModelConfig,
+        observe_locs: Optional[Sequence[int]] = None,
+        depth: Optional[int] = None,
+    ) -> None:
+        reason = quick_unsupported(program, cfg)
+        if reason is not None:
+            raise Unsupported(reason)
+        self.program = program
+        self.cfg = cfg
+        self.relaxed = cfg.relaxed
+        self.observe_locs: Tuple[int, ...] = tuple(
+            observe_locs
+            if observe_locs is not None
+            else sorted(program.initial_memory)
+        )
+        self.builder = CnfBuilder()
+        self.depth = depth
+
+        # --- unroll: per-thread instruction prefixes ------------------
+        # ``complete`` reflects the *requested* depth; the seeded
+        # off-by-one mutant silently shortens the actual unrolling so
+        # the backend keeps claiming completeness — that lie is what
+        # the backend conformance oracle must catch.
+        requested: List[int] = []
+        for thread in program.threads:
+            limit = len(thread.instrs)
+            if depth is not None:
+                limit = min(limit, depth)
+            requested.append(limit)
+        self.complete = all(
+            limit >= len(thread.instrs)
+            for limit, thread in zip(requested, program.threads)
+        )
+        if mutants.enabled("bmc-off-by-one-bound"):
+            limits = [max(0, limit - 1) for limit in requested]
+        else:
+            limits = requested
+        self._limits = limits
+        prefixes = [
+            tuple(thread.instrs[:limit])
+            for thread, limit in zip(program.threads, limits)
+        ]
+
+        self.events: List[BmcEvent] = []
+        for tidx, (thread, instrs) in enumerate(zip(program.threads, prefixes)):
+            for iidx, instr in enumerate(instrs):
+                if isinstance(instr, (Load, Store)):
+                    self.events.append(BmcEvent(
+                        idx=len(self.events), tidx=tidx, iidx=iidx,
+                        tid=thread.tid, is_read=isinstance(instr, Load),
+                        instr=instr,
+                    ))
+        if len(self.events) > MAX_EVENTS:
+            raise Unsupported(
+                f"{len(self.events)} accesses exceed the {MAX_EVENTS}-event cap"
+            )
+        self.reads = [e for e in self.events if e.is_read]
+        self.writes = [e for e in self.events if not e.is_read]
+
+        # --- finite domains (abstract-interpretation fixpoint) -------
+        self._read_doms = self._analyze_domains(prefixes)
+
+        # --- symbolic thread evaluation -> indicator literals ---------
+        b = self.builder
+        #: event idx -> {loc: lit}; gates for writes and reads alike.
+        self.loc_ind: Dict[int, SymInt] = {}
+        #: event idx -> {value: lit}; fresh selectors for reads, gates
+        #: for stores.
+        self.val_ind: Dict[int, SymInt] = {}
+        #: (tid, reg) -> SymInt or None, in behavior_of order.
+        self.reg_outcome: List[Tuple[int, str, Optional[SymInt]]] = []
+        by_pos = {(e.tidx, e.iidx): e for e in self.events}
+        for tidx, (thread, instrs) in enumerate(zip(program.threads, prefixes)):
+            regsym: Dict[str, SymInt] = {}
+            for iidx, instr in enumerate(instrs):
+                if isinstance(instr, Mov):
+                    regsym[instr.dst] = self._eval_sym(instr.src, regsym)
+                elif isinstance(instr, Load):
+                    event = by_pos[(tidx, iidx)]
+                    self.loc_ind[event.idx] = self._eval_sym(
+                        instr.addr, regsym
+                    )
+                    dom = sorted(self._read_doms[event.idx])
+                    sel = b.one_hot(dom)
+                    self.val_ind[event.idx] = sel
+                    regsym[instr.dst] = dict(sel)
+                elif isinstance(instr, Store):
+                    event = by_pos[(tidx, iidx)]
+                    self.loc_ind[event.idx] = self._eval_sym(
+                        instr.addr, regsym
+                    )
+                    self.val_ind[event.idx] = self._eval_sym(
+                        instr.value, regsym
+                    )
+            for reg in thread.observed:
+                self.reg_outcome.append(
+                    (thread.tid, reg, regsym.get(reg))
+                )
+
+        # --- reads-from selectors ------------------------------------
+        #: read event idx -> {writer event idx or INIT: selector var}.
+        self.rf_sel: Dict[int, Dict[object, int]] = {}
+        for r in self.reads:
+            cands: Dict[object, int] = {INIT: b.new_var()}
+            for w in self.writes:
+                if self._doms_meet(r.idx, w.idx):
+                    cands[w.idx] = b.new_var()
+            b.exactly_one(list(cands.values()))
+            self.rf_sel[r.idx] = cands
+            self._constrain_rf(r, cands)
+
+        # --- coherence: global strict total order over writes --------
+        self._co_lit = self._total_order(len(self.writes))
+
+        # --- consistency axioms --------------------------------------
+        if self.relaxed:
+            self._internal_axiom()
+            self._external_axiom(prefixes)
+        else:
+            self._sc_axiom()
+
+        # --- final-memory projection ---------------------------------
+        #: loc -> {value: lit} for each observed location.
+        self.mem_outcome: List[Tuple[int, SymInt]] = [
+            (loc, self._final_memory_ind(loc)) for loc in self.observe_locs
+        ]
+
+    # ------------------------------------------------------------------
+    # domains
+
+    def _eval_dom(
+        self, expr: Expr, regdom: Dict[str, FrozenSet[int]]
+    ) -> FrozenSet[int]:
+        if isinstance(expr, Imm):
+            return frozenset((expr.value,))
+        if isinstance(expr, Reg):
+            dom = regdom.get(expr.name)
+            if dom is None:
+                raise Unsupported(
+                    f"register {expr.name!r} read before written"
+                )
+            return dom
+        if isinstance(expr, BinOp):
+            lhs = self._eval_dom(expr.lhs, regdom)
+            rhs = self._eval_dom(expr.rhs, regdom)
+            if len(lhs) * len(rhs) > MAX_COMBOS:
+                raise Unsupported("operand-domain product too large")
+            out = set()
+            for a in lhs:
+                for bv in rhs:
+                    try:
+                        out.add(BinOp(expr.op, Imm(a), Imm(bv)).eval({}))
+                    except Exception:
+                        raise Unsupported(
+                            f"partial operator {expr.op!r} over domain"
+                        )
+            if len(out) > MAX_DOMAIN:
+                raise Unsupported("value domain exceeds cap")
+            return frozenset(out)
+        raise Unsupported(f"expression {type(expr).__name__} not encodable")
+
+    def _analyze_domains(
+        self, prefixes: Sequence[Tuple[Instruction, ...]]
+    ) -> Dict[int, FrozenSet[int]]:
+        """Fixpoint read-value domains (and, implicitly, all loc domains).
+
+        Iterates per-thread abstract evaluation: a read's value domain
+        is the union of the initial values of its possible locations and
+        the value domains of every location-compatible store.  Domains
+        only grow and are capped, so the loop converges or trips the
+        cap.
+        """
+        program = self.program
+        by_pos = {(e.tidx, e.iidx): e for e in self.events}
+        read_dom: Dict[int, FrozenSet[int]] = {
+            r.idx: frozenset() for r in self.reads
+        }
+        loc_dom: Dict[int, FrozenSet[int]] = {
+            e.idx: frozenset() for e in self.events
+        }
+        val_dom: Dict[int, FrozenSet[int]] = {
+            w.idx: frozenset() for w in self.writes
+        }
+        for _round in range(_MAX_ROUNDS):
+            changed = False
+            for tidx, instrs in enumerate(prefixes):
+                regdom: Dict[str, FrozenSet[int]] = {}
+                for iidx, instr in enumerate(instrs):
+                    if isinstance(instr, Mov):
+                        regdom[instr.dst] = self._eval_dom(instr.src, regdom)
+                        continue
+                    if not isinstance(instr, (Load, Store)):
+                        continue
+                    event = by_pos[(tidx, iidx)]
+                    locs = self._eval_dom(instr.addr, regdom)
+                    if len(locs) > MAX_DOMAIN:
+                        raise Unsupported("location domain exceeds cap")
+                    if locs != loc_dom[event.idx]:
+                        loc_dom[event.idx] = locs
+                        changed = True
+                    if isinstance(instr, Load):
+                        vals = {
+                            program.initial_value(loc) for loc in locs
+                        }
+                        for w in self.writes:
+                            if loc_dom[w.idx] & locs:
+                                vals |= val_dom[w.idx]
+                        if len(vals) > MAX_DOMAIN:
+                            raise Unsupported("value domain exceeds cap")
+                        frozen = frozenset(vals)
+                        if frozen != read_dom[event.idx]:
+                            read_dom[event.idx] = frozen
+                            changed = True
+                        regdom[instr.dst] = frozen
+                    else:
+                        vals = self._eval_dom(instr.value, regdom)
+                        if vals != val_dom[event.idx]:
+                            val_dom[event.idx] = vals
+                            changed = True
+            if not changed:
+                break
+        else:
+            raise Unsupported("domain analysis did not converge")
+        for r in self.reads:
+            if not read_dom[r.idx] or not loc_dom[r.idx]:
+                raise Unsupported("empty domain after analysis")
+        self._loc_doms = loc_dom
+        self._write_val_doms = val_dom
+        return read_dom
+
+    def _doms_meet(self, ridx: int, widx: int) -> bool:
+        return bool(self._loc_doms[ridx] & self._loc_doms[widx])
+
+    # ------------------------------------------------------------------
+    # symbolic evaluation
+
+    def _eval_sym(self, expr: Expr, regsym: Dict[str, SymInt]) -> SymInt:
+        b = self.builder
+        if isinstance(expr, Imm):
+            return {expr.value: b.TRUE}
+        if isinstance(expr, Reg):
+            sym = regsym.get(expr.name)
+            if sym is None:
+                raise Unsupported(
+                    f"register {expr.name!r} read before written"
+                )
+            return sym
+        if isinstance(expr, BinOp):
+            lhs = self._eval_sym(expr.lhs, regsym)
+            rhs = self._eval_sym(expr.rhs, regsym)
+            if len(lhs) * len(rhs) > MAX_COMBOS:
+                raise Unsupported("operand-domain product too large")
+            acc: Dict[int, List[int]] = {}
+            for a, la in lhs.items():
+                for bv, lb in rhs.items():
+                    try:
+                        v = BinOp(expr.op, Imm(a), Imm(bv)).eval({})
+                    except Exception:
+                        raise Unsupported(
+                            f"partial operator {expr.op!r} over domain"
+                        )
+                    acc.setdefault(v, []).append(b.and_gate((la, lb)))
+            return {v: b.or_gate(lits) for v, lits in acc.items()}
+        raise Unsupported(f"expression {type(expr).__name__} not encodable")
+
+    # ------------------------------------------------------------------
+    # relations
+
+    def _same_loc(self, aidx: int, bidx: int) -> int:
+        """Gate literal: events a and b target the same location."""
+        b = self.builder
+        common = set(self.loc_ind[aidx]) & set(self.loc_ind[bidx])
+        if not common:
+            return b.FALSE
+        return b.or_gate(
+            b.and_gate((self.loc_ind[aidx][loc], self.loc_ind[bidx][loc]))
+            for loc in sorted(common)
+        )
+
+    def _constrain_rf(self, r: BmcEvent, cands: Dict[object, int]) -> None:
+        """Location agreement and value flow for one read's rf choice."""
+        b = self.builder
+        r_locs = self._loc_doms[r.idx]
+        r_dom = self._read_doms[r.idx]
+        init_var = cands[INIT]
+        for loc in sorted(r_locs):
+            init_val = self.program.initial_value(loc)
+            b.implies(
+                (init_var, self.loc_ind[r.idx][loc]),
+                self.val_ind[r.idx][init_val],
+            )
+        for w in self.writes:
+            var = cands.get(w.idx)
+            if var is None:
+                continue
+            w_locs = self._loc_doms[w.idx]
+            for loc in sorted(r_locs | w_locs):
+                if loc in r_locs and loc in w_locs:
+                    b.implies(
+                        (var, self.loc_ind[w.idx][loc]),
+                        self.loc_ind[r.idx][loc],
+                    )
+                    b.implies(
+                        (var, self.loc_ind[r.idx][loc]),
+                        self.loc_ind[w.idx][loc],
+                    )
+                elif loc in w_locs:
+                    b.implies((var,), -self.loc_ind[w.idx][loc])
+                else:
+                    b.implies((var,), -self.loc_ind[r.idx][loc])
+            for v, w_lit in self.val_ind[w.idx].items():
+                if v in r_dom:
+                    b.implies((var, w_lit), self.val_ind[r.idx][v])
+                else:
+                    b.implies((var,), -w_lit)
+
+    def _total_order(self, n: int):
+        """Boolean strict total order over range(n); returns lit(i, j)."""
+        b = self.builder
+        pair: Dict[Tuple[int, int], int] = {}
+        for i in range(n):
+            for j in range(i + 1, n):
+                pair[(i, j)] = b.new_var()
+
+        def lit(i: int, j: int) -> int:
+            return pair[(i, j)] if i < j else -pair[(j, i)]
+
+        for a in range(n):
+            for mid in range(n):
+                if mid == a:
+                    continue
+                for c in range(n):
+                    if c == a or c == mid:
+                        continue
+                    b.add(-lit(a, mid), -lit(mid, c), lit(a, c))
+        return lit
+
+    def _order_edges(self, lit, external_only: bool) -> None:
+        """Require rf / co / fr edges in the order relation *lit*.
+
+        ``lit`` maps *event indices in self.events* (positions of the
+        access list) — helpers below translate.  ``external_only``
+        restricts to cross-thread edges (the relaxed external axiom).
+        """
+        b = self.builder
+        epos = {e.idx: i for i, e in enumerate(self.events)}
+        wpos = {w.idx: i for i, w in enumerate(self.writes)}
+
+        def cross(a: BmcEvent, c: BmcEvent) -> bool:
+            return a.tidx != c.tidx
+
+        by_idx = {e.idx: e for e in self.events}
+        # rf edges: writer -> reader.
+        for r in self.reads:
+            for wkey, var in self.rf_sel[r.idx].items():
+                if wkey is INIT:
+                    continue
+                w = by_idx[wkey]
+                if external_only and not cross(w, r):
+                    continue
+                b.implies((var,), lit(epos[w.idx], epos[r.idx]))
+        # co edges (same-location-guarded).
+        for i, w1 in enumerate(self.writes):
+            for w2 in self.writes[i + 1:]:
+                if external_only and not cross(w1, w2):
+                    continue
+                sl = self._same_loc(w1.idx, w2.idx)
+                if sl == b.FALSE:
+                    continue
+                co12 = self._co_lit(wpos[w1.idx], wpos[w2.idx])
+                b.implies((sl, co12), lit(epos[w1.idx], epos[w2.idx]))
+                b.implies((sl, -co12), lit(epos[w2.idx], epos[w1.idx]))
+        # fr edges: reader -> co-later same-location write.  (Seeded
+        # mutant site: bmc-drop-clause drops exactly these.)
+        if mutants.enabled("bmc-drop-clause"):
+            return
+        for r in self.reads:
+            for w in self.writes:
+                if external_only and not cross(r, w):
+                    continue
+                sl = self._same_loc(r.idx, w.idx)
+                if sl == b.FALSE:
+                    continue
+                for wkey, var in self.rf_sel[r.idx].items():
+                    if wkey == w.idx:
+                        continue
+                    if wkey is INIT:
+                        # INIT is co-first everywhere: any same-loc
+                        # write is co-after the initial write.
+                        b.implies(
+                            (var, sl), lit(epos[r.idx], epos[w.idx])
+                        )
+                    else:
+                        co_after = self._co_lit(wpos[wkey], wpos[w.idx])
+                        b.implies(
+                            (var, sl, co_after),
+                            lit(epos[r.idx], epos[w.idx]),
+                        )
+
+    def _internal_axiom(self) -> None:
+        """po-loc ∪ rf ∪ co ∪ fr fits in a strict total order."""
+        b = self.builder
+        lit = self._total_order(len(self.events))
+        epos = {e.idx: i for i, e in enumerate(self.events)}
+        for i, a in enumerate(self.events):
+            for c in self.events[i + 1:]:
+                if a.tidx == c.tidx:  # program order: a before c
+                    sl = self._same_loc(a.idx, c.idx)
+                    if sl != b.FALSE:
+                        b.implies((sl,), lit(epos[a.idx], epos[c.idx]))
+        self._order_edges(lit, external_only=False)
+
+    def _external_axiom(
+        self, prefixes: Sequence[Tuple[Instruction, ...]]
+    ) -> None:
+        """ppo ∪ rfe ∪ coe ∪ fre fits in a strict total order."""
+        b = self.builder
+        lit = self._total_order(len(self.events))
+        epos = {e.idx: i for i, e in enumerate(self.events)}
+        # Static ppo, transitively closed through Mov/barrier nodes so
+        # dependency chains that route through non-access instructions
+        # still order their access endpoints.
+        access_at: Dict[Tuple[int, int], BmcEvent] = {
+            (e.tidx, e.iidx): e for e in self.events
+        }
+        for tidx, instrs in enumerate(prefixes):
+            thread = self.program.threads[tidx]
+            if len(instrs) == len(thread.instrs):
+                prefix_thread = thread
+            else:
+                prefix_thread = Thread(
+                    tid=thread.tid, instrs=tuple(instrs),
+                    name=thread.name, observed=thread.observed,
+                )
+            adj: Dict[int, List[int]] = {}
+            for i, j in preserved_program_order(prefix_thread):
+                adj.setdefault(i, []).append(j)
+            for start in list(adj):
+                if (tidx, start) not in access_at:
+                    continue
+                reach = set()
+                stack = list(adj.get(start, ()))
+                while stack:
+                    node = stack.pop()
+                    if node in reach:
+                        continue
+                    reach.add(node)
+                    stack.extend(adj.get(node, ()))
+                for end in reach:
+                    target = access_at.get((tidx, end))
+                    if target is not None:
+                        b.add(lit(
+                            epos[access_at[(tidx, start)].idx],
+                            epos[target.idx],
+                        ))
+        self._order_edges(lit, external_only=True)
+
+    def _sc_axiom(self) -> None:
+        """SC: full po ∪ rf ∪ co ∪ fr fits in one strict total order."""
+        b = self.builder
+        lit = self._total_order(len(self.events))
+        epos = {e.idx: i for i, e in enumerate(self.events)}
+        for i, a in enumerate(self.events):
+            for c in self.events[i + 1:]:
+                if a.tidx == c.tidx:
+                    b.add(lit(epos[a.idx], epos[c.idx]))
+        self._order_edges(lit, external_only=False)
+
+    # ------------------------------------------------------------------
+    # outcome projection
+
+    def _final_memory_ind(self, loc: int) -> SymInt:
+        """Indicator literals for the final value of *loc*."""
+        b = self.builder
+        wpos = {w.idx: i for i, w in enumerate(self.writes)}
+        targeting = [
+            w for w in self.writes if loc in self._loc_doms[w.idx]
+        ]
+        acc: Dict[int, List[int]] = {}
+        none_at = b.and_gate(
+            -self.loc_ind[w.idx][loc] for w in targeting
+        )
+        if none_at != b.FALSE:
+            acc.setdefault(self.program.initial_value(loc), []).append(
+                none_at
+            )
+        for w in targeting:
+            later = []
+            for w2 in targeting:
+                if w2.idx == w.idx:
+                    continue
+                later.append(-b.and_gate((
+                    self.loc_ind[w2.idx][loc],
+                    self._co_lit(wpos[w.idx], wpos[w2.idx]),
+                )))
+            is_last = b.and_gate(
+                [self.loc_ind[w.idx][loc]] + later
+            )
+            if is_last == b.FALSE:
+                continue
+            for v, v_lit in self.val_ind[w.idx].items():
+                acc.setdefault(v, []).append(b.and_gate((is_last, v_lit)))
+        return {v: b.or_gate(lits) for v, lits in acc.items()}
+
+    def decode_outcome(
+        self, model_value
+    ) -> Tuple[Tuple[Tuple[int, str, Optional[int]], ...],
+               Tuple[Tuple[int, int], ...]]:
+        """(registers, memory) of a model, in ``behavior_of`` order.
+
+        *model_value* is a callable literal -> bool (e.g.
+        ``solver.value_of``).
+        """
+        registers = []
+        for tid, reg, sym in self.reg_outcome:
+            if sym is None:
+                registers.append((tid, reg, None))
+                continue
+            chosen = [v for v, lit in sym.items() if model_value(lit)]
+            assert len(chosen) == 1, "register indicator not one-hot"
+            registers.append((tid, reg, chosen[0]))
+        memory = []
+        for loc, sym in self.mem_outcome:
+            chosen = [v for v, lit in sym.items() if model_value(lit)]
+            assert len(chosen) == 1, "memory indicator not one-hot"
+            memory.append((loc, chosen[0]))
+        return tuple(registers), tuple(memory)
+
+    def outcome_block(self, model_value) -> List[int]:
+        """Blocking-clause literals excluding this model's outcome.
+
+        Empty when the outcome has no free indicator (single possible
+        outcome) — the caller then stops enumerating.
+        """
+        lits: List[int] = []
+        for _tid, _reg, sym in self.reg_outcome:
+            if sym is None:
+                continue
+            for _v, lit in sym.items():
+                if lit != self.builder.TRUE and model_value(lit):
+                    lits.append(-lit)
+        for _loc, sym in self.mem_outcome:
+            for _v, lit in sym.items():
+                if lit != self.builder.TRUE and model_value(lit):
+                    lits.append(-lit)
+        return lits
+
+    # ------------------------------------------------------------------
+    # condition-query helpers
+
+    def loc_domain(self, idx: int) -> FrozenSet[int]:
+        """The locations event *idx* may target."""
+        return self._loc_doms[idx]
+
+    def writes_at(self, loc: int) -> List[Tuple[BmcEvent, int]]:
+        """(write event, at-loc literal) for writes that may hit *loc*."""
+        return [
+            (w, self.loc_ind[w.idx][loc])
+            for w in self.writes
+            if loc in self._loc_doms[w.idx]
+        ]

@@ -1,0 +1,338 @@
+"""A small CDCL SAT solver, pure python, zero dependencies.
+
+Implements the classic MiniSat recipe: two-watched-literal unit
+propagation, first-UIP conflict-clause learning, VSIDS-style activity
+ordering with phase saving, and geometric restarts.  Instances produced
+by :mod:`repro.smt.encode` are small (hundreds of variables, tens of
+thousands of clauses), so the solver favors clarity and auditability
+over throughput tricks; the point of a hand-rolled solver is that the
+BMC backend stays dependency-free and fully inspectable.
+
+The solver is incremental in the one way AllSAT enumeration needs:
+clauses may be added between :meth:`Solver.solve` calls (blocking
+clauses), and learned clauses are kept across calls.  There is no
+assumption interface — callers build a fresh solver per query from the
+shared clause list instead, which keeps the solver state machine small
+enough to trust.
+
+:meth:`Solver.to_dimacs` emits the original (non-learned) clause set in
+standard DIMACS CNF, so any external solver can be used to audit an
+answer offline.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["SatStats", "Solver"]
+
+#: Multiplicative activity bump applied on every conflict; activities
+#: are rescaled when they overflow this ceiling.
+_ACTIVITY_LIMIT = 1e100
+_ACTIVITY_DECAY = 1.0 / 0.95
+
+
+@dataclass
+class SatStats:
+    """Counters of one solver's lifetime (all :meth:`Solver.solve` calls)."""
+
+    variables: int = 0
+    clauses: int = 0
+    learned: int = 0
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+    restarts: int = 0
+    solve_calls: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view for JSON reports."""
+        return {
+            "variables": self.variables,
+            "clauses": self.clauses,
+            "learned": self.learned,
+            "conflicts": self.conflicts,
+            "decisions": self.decisions,
+            "propagations": self.propagations,
+            "restarts": self.restarts,
+            "solve_calls": self.solve_calls,
+        }
+
+
+class Solver:
+    """CDCL SAT solver over integer literals (DIMACS convention).
+
+    Variables are positive integers allocated by :meth:`new_var`;
+    literal ``v`` means the variable is true, ``-v`` that it is false.
+    """
+
+    def __init__(self) -> None:
+        self._nvars = 0
+        # var-indexed arrays (index 0 unused).
+        self._assign: List[int] = [0]        # 0 unassigned, +1 true, -1 false
+        self._level: List[int] = [0]
+        self._reason: List[Optional[List[int]]] = [None]
+        self._activity: List[float] = [0.0]
+        self._phase: List[bool] = [False]
+        self._trail: List[int] = []
+        self._trail_lim: List[int] = []
+        self._qhead = 0
+        self._var_inc = 1.0
+        self._heap: List[Tuple[float, int]] = []
+        self._watches: Dict[int, List[List[int]]] = {}
+        self._dimacs: List[Tuple[int, ...]] = []
+        self._ok = True
+        self.stats = SatStats()
+
+    # ------------------------------------------------------------------
+    # problem construction
+
+    def new_var(self) -> int:
+        """Allocate a fresh variable; returns its positive literal."""
+        self._nvars += 1
+        self._assign.append(0)
+        self._level.append(0)
+        self._reason.append(None)
+        self._activity.append(0.0)
+        self._phase.append(False)
+        heapq.heappush(self._heap, (0.0, self._nvars))
+        self.stats.variables = self._nvars
+        return self._nvars
+
+    def add_clause(self, lits: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became UNSAT.
+
+        Backtracks to decision level 0 first, which discards the current
+        satisfying assignment — callers enumerating models must read the
+        model (``value_of``) *before* adding the blocking clause.
+        """
+        self._cancel_until(0)
+        self._qhead = len(self._trail)
+        raw = tuple(lits)
+        self._dimacs.append(raw)
+        if not self._ok:
+            return False
+        seen = set()
+        clause: List[int] = []
+        for lit in raw:
+            v = abs(lit)
+            if not 1 <= v <= self._nvars:
+                raise ValueError(f"unknown literal {lit}")
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            val = self._value(lit)
+            if val == 1:
+                return True  # already satisfied at level 0
+            if val == -1:
+                continue  # false at level 0: drop the literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            self._enqueue(clause[0], None)
+            self._ok = self._propagate() is None
+            return self._ok
+        self.stats.clauses += 1
+        self._attach(clause)
+        return True
+
+    def _attach(self, clause: List[int]) -> None:
+        self._watches.setdefault(clause[0], []).append(clause)
+        self._watches.setdefault(clause[1], []).append(clause)
+
+    # ------------------------------------------------------------------
+    # assignment plumbing
+
+    def _value(self, lit: int) -> int:
+        a = self._assign[abs(lit)]
+        return a if lit > 0 else -a
+
+    def value_of(self, lit: int) -> bool:
+        """Truth of *lit* in the current (satisfying) assignment."""
+        val = self._value(lit)
+        assert val != 0, f"literal {lit} unassigned in model"
+        return val == 1
+
+    def model(self) -> List[bool]:
+        """Variable truth values, indexed by variable (index 0 unused)."""
+        return [a == 1 for a in self._assign]
+
+    def _decision_level(self) -> int:
+        return len(self._trail_lim)
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> None:
+        v = abs(lit)
+        self._assign[v] = 1 if lit > 0 else -1
+        self._level[v] = self._decision_level()
+        self._reason[v] = reason
+        self._trail.append(lit)
+
+    def _cancel_until(self, level: int) -> None:
+        if self._decision_level() <= level:
+            return
+        bound = self._trail_lim[level]
+        for lit in reversed(self._trail[bound:]):
+            v = abs(lit)
+            self._phase[v] = lit > 0
+            self._assign[v] = 0
+            self._reason[v] = None
+            heapq.heappush(self._heap, (-self._activity[v], v))
+        del self._trail[bound:]
+        del self._trail_lim[level:]
+        self._qhead = len(self._trail)
+
+    # ------------------------------------------------------------------
+    # unit propagation (two watched literals)
+
+    def _propagate(self) -> Optional[List[int]]:
+        while self._qhead < len(self._trail):
+            p = self._trail[self._qhead]
+            self._qhead += 1
+            self.stats.propagations += 1
+            neg = -p
+            watchers = self._watches.get(neg)
+            if not watchers:
+                continue
+            kept: List[List[int]] = []
+            conflict: Optional[List[int]] = None
+            for idx, clause in enumerate(watchers):
+                if clause[0] == neg:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    kept.append(clause)
+                    continue
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches.setdefault(clause[1], []).append(clause)
+                        break
+                else:
+                    kept.append(clause)
+                    if self._value(first) == -1:
+                        conflict = clause
+                        kept.extend(watchers[idx + 1:])
+                        break
+                    self._enqueue(first, clause)
+            self._watches[neg] = kept
+            if conflict is not None:
+                self._qhead = len(self._trail)
+                return conflict
+        return None
+
+    # ------------------------------------------------------------------
+    # conflict analysis (first UIP)
+
+    def _bump(self, v: int) -> None:
+        self._activity[v] += self._var_inc
+        if self._activity[v] > _ACTIVITY_LIMIT:
+            for i in range(1, self._nvars + 1):
+                self._activity[i] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _analyze(self, conflict: List[int]) -> Tuple[List[int], int]:
+        learnt: List[int] = [0]
+        seen = [False] * (self._nvars + 1)
+        counter = 0
+        p: Optional[int] = None
+        index = len(self._trail)
+        current = self._decision_level()
+        reason: Sequence[int] = conflict
+        while True:
+            start = 0 if p is None else 1
+            for q in reason[start:]:
+                v = abs(q)
+                if not seen[v] and self._level[v] > 0:
+                    seen[v] = True
+                    self._bump(v)
+                    if self._level[v] >= current:
+                        counter += 1
+                    else:
+                        learnt.append(q)
+            while True:
+                index -= 1
+                p = self._trail[index]
+                if seen[abs(p)]:
+                    break
+            counter -= 1
+            seen[abs(p)] = False
+            if counter == 0:
+                break
+            reason = self._reason[abs(p)] or ()
+        learnt[0] = -p
+        if len(learnt) == 1:
+            return learnt, 0
+        # Second-highest decision level is the backtrack target; swap
+        # that literal into the second watch position.
+        max_i = max(range(1, len(learnt)), key=lambda i: self._level[abs(learnt[i])])
+        learnt[1], learnt[max_i] = learnt[max_i], learnt[1]
+        return learnt, self._level[abs(learnt[1])]
+
+    # ------------------------------------------------------------------
+    # search
+
+    def _pick_branch(self) -> Optional[int]:
+        while self._heap:
+            _, v = heapq.heappop(self._heap)
+            if self._assign[v] == 0:
+                return v
+        for v in range(1, self._nvars + 1):
+            if self._assign[v] == 0:
+                return v
+        return None
+
+    def solve(self) -> bool:
+        """Decide satisfiability; on True, :meth:`model` is a witness."""
+        self.stats.solve_calls += 1
+        if not self._ok:
+            return False
+        self._cancel_until(0)
+        self._qhead = 0
+        restart_limit = 128
+        conflicts_since_restart = 0
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_since_restart += 1
+                if self._decision_level() == 0:
+                    self._ok = False
+                    return False
+                learnt, back_level = self._analyze(conflict)
+                self._cancel_until(back_level)
+                if len(learnt) == 1:
+                    self._enqueue(learnt[0], None)
+                else:
+                    self.stats.learned += 1
+                    self._attach(learnt)
+                    self._enqueue(learnt[0], learnt)
+                self._var_inc *= _ACTIVITY_DECAY
+                continue
+            if conflicts_since_restart >= restart_limit:
+                conflicts_since_restart = 0
+                restart_limit = int(restart_limit * 1.5)
+                self.stats.restarts += 1
+                self._cancel_until(0)
+                continue
+            v = self._pick_branch()
+            if v is None:
+                return True
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(v if self._phase[v] else -v, None)
+
+    # ------------------------------------------------------------------
+    # DIMACS emission
+
+    def to_dimacs(self) -> str:
+        """The original clause set in DIMACS CNF (learned clauses omitted)."""
+        lines = [f"p cnf {self._nvars} {len(self._dimacs)}"]
+        for clause in self._dimacs:
+            lines.append(" ".join(str(lit) for lit in clause) + " 0")
+        return "\n".join(lines) + "\n"

@@ -122,6 +122,7 @@ class VerifyStats:
     fused_conditions: int = 0
     monitor_stops: int = 0
     stopped_early: int = 0
+    bmc_passes: int = 0
     engine: EngineStats = field(default_factory=EngineStats)
 
     def record_pass(self, result: ExplorationResult) -> None:
@@ -143,6 +144,7 @@ class VerifyStats:
             "fused_conditions": self.fused_conditions,
             "monitor_stops": self.monitor_stops,
             "stopped_early": self.stopped_early,
+            "bmc_passes": self.bmc_passes,
             "engine": self.engine.as_dict(),
         }
 
@@ -228,11 +230,18 @@ def _run_condition_group(
                     f"cannot fuse {name!r} with {requests[0][0]!r}: "
                     f"exploration configurations differ"
                 )
+        from repro.smt.router import backend_check_enabled
+
+        monitors = [plan.monitor for _, plan in requests]
+        bmc_results = _maybe_bmc(spec, base, requests, monitors, collect)
+        if bmc_results is not None and not backend_check_enabled():
+            results.update(bmc_results)
+            return [results[name] for name in names]
         exploration = cached_explore(
             spec.program,
             base.cfg,
             observe_locs=list(base.observe_locs),
-            monitors=[plan.monitor for _, plan in requests],
+            monitors=monitors,
             monitor_cut=monitor_cut,
         )
         if collect is not None:
@@ -246,7 +255,91 @@ def _run_condition_group(
             )
         for name, plan in requests:
             results[name] = plan.monitor.finalize(exploration)
+        if bmc_results is not None and backend_check_enabled():
+            _compare_backends(spec, results, bmc_results, names)
     return [results[name] for name in names]
+
+
+def _maybe_bmc(
+    spec: WDRFSpec,
+    base: PassRequest,
+    requests: List[Tuple[str, PassRequest]],
+    monitors: List[object],
+    collect: Optional[VerifyStats],
+) -> Optional[Dict[str, ConditionResult]]:
+    """BMC verdicts for one fused group, or None to use exploration.
+
+    Consults the backend knob (``REPRO_BACKEND``) and, in ``auto`` mode,
+    the cost-model router.  With ``REPRO_BACKEND_CHECK=1`` the verdicts
+    are computed whenever the group is encodable — regardless of routing
+    — so the caller can cross-check them against exploration.
+    """
+    # Imported lazily: repro.smt.backend consumes repro.vrm.conditions,
+    # so a module-level import here would be circular.
+    from repro.smt.backend import bmc_condition_results, bmc_supported
+    from repro.smt.encode import Unsupported
+    from repro.smt.router import backend_check_enabled, backend_default, route
+
+    backend = backend_default()
+    check = backend_check_enabled()
+    if backend == "explore" and not check:
+        return None
+    if bmc_supported(spec.program, base.cfg, monitors) is not None:
+        return None
+    if backend == "auto" and not check:
+        decision = route(
+            spec.program, base.cfg, base.observe_locs, monitors
+        )
+        if decision.backend != "bmc":
+            return None
+    try:
+        verdicts = bmc_condition_results(
+            spec.program, base.cfg, requests
+        )
+    except Unsupported:
+        return None  # domain blow-up discovered during encoding
+    if collect is not None:
+        collect.bmc_passes += 1
+    if metrics.ENABLED:
+        metrics.REGISTRY.counter("verify.bmc_passes").inc()
+    return verdicts
+
+
+def _compare_backends(
+    spec: WDRFSpec,
+    explored: Dict[str, ConditionResult],
+    bmc: Dict[str, ConditionResult],
+    names: Tuple[str, ...],
+) -> None:
+    """``REPRO_BACKEND_CHECK=1``: the two backends must agree.
+
+    Verdicts (``holds``) must match exactly.  ``exhaustive`` is compared
+    as an implication: the solver may legitimately be exhaustive where a
+    budget-cut exploration is not, but never the reverse — unless a
+    ``REPRO_BMC_DEPTH`` bound explains the solver's modesty.  Evidence
+    strings are backend-flavored and intentionally not compared.
+    """
+    from repro.smt.backend import bmc_depth
+
+    diffs: List[str] = []
+    for name in names:
+        if name not in bmc or name not in explored:
+            continue
+        e, b = explored[name], bmc[name]
+        if e.holds != b.holds:
+            diffs.append(
+                f"{name}: exploration holds={e.holds}, BMC holds={b.holds} "
+                f"(BMC violations: {b.violations!r})"
+            )
+        elif e.exhaustive and not b.exhaustive and bmc_depth() is None:
+            diffs.append(
+                f"{name}: exploration exhaustive but full-depth BMC is not"
+            )
+    if diffs:
+        raise VerificationError(
+            f"backend cross-check failed for {spec.program.name!r}: "
+            + "; ".join(diffs)
+        )
 
 
 def plan_passes(

@@ -202,7 +202,10 @@ class TestCorpusReplay:
             entries = list(iter_corpus(str(tmp_path)))
             assert entries
             path, entry = entries[0]
-            assert entry["oracle"] == "equivalence"
+            # Either cross-model oracle may be first to see the
+            # weakened barrier: fenced-vs-SC equivalence, or the BMC
+            # backend (whose encoding keeps the honest barrier).
+            assert entry["oracle"] in ("equivalence", "backend")
             assert entry["engine"]["mutants"] == "weaken-barrier-full"
             # Replay under the same (mutated) engine reproduces it...
             assert replay_entry(entry)
@@ -221,7 +224,7 @@ class TestCorpusReplay:
             assert entry["shrunk_genome"] is not None
             shrunk = Genome.from_json(entry["shrunk_genome"])
             assert shrunk.size() <= Genome.from_json(entry["genome"]).size()
-            assert check_genome(shrunk, oracles=("equivalence",))
+            assert check_genome(shrunk, oracles=(entry["oracle"],))
 
 
 class TestCoverage:

@@ -23,6 +23,8 @@ MUTANT_MATRIX = [
     ("weaken-barrier-full", ("fenced",), "equivalence", 40),
     ("weaken-drf-monitor", ("sync",), "monitor", 20),
     ("skip-por-gate", ("plain",), "por", 40),
+    ("bmc-drop-clause", ("plain",), "backend", 40),
+    ("bmc-off-by-one-bound", ("plain",), "backend", 40),
 ]
 
 

@@ -1,0 +1,200 @@
+"""Tier-1 tests for the hand-rolled CDCL SAT solver.
+
+The solver is the trust anchor of the whole BMC backend, so it is
+cross-checked the same way the engines are: brute-force enumeration
+over every assignment of small random formulas, a known-UNSAT family
+(pigeonhole), AllSAT model counting through blocking clauses, and the
+DIMACS emission used for offline audits.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.smt.sat import SatStats, Solver
+
+
+def brute_force(nvars, clauses):
+    """All satisfying assignments of *clauses*, by exhaustive search."""
+    models = []
+    for bits in itertools.product((False, True), repeat=nvars):
+        assign = (None,) + bits
+        if all(
+            any(assign[abs(lit)] == (lit > 0) for lit in clause)
+            for clause in clauses
+        ):
+            models.append(bits)
+    return models
+
+
+def make_solver(nvars, clauses):
+    s = Solver()
+    for _ in range(nvars):
+        s.new_var()
+    for clause in clauses:
+        s.add_clause(clause)
+    return s
+
+
+def random_cnf(rng, nvars, nclauses, width=3):
+    clauses = []
+    for _ in range(nclauses):
+        size = rng.randint(1, width)
+        lits = []
+        for v in rng.sample(range(1, nvars + 1), min(size, nvars)):
+            lits.append(v if rng.random() < 0.5 else -v)
+        clauses.append(tuple(lits))
+    return clauses
+
+
+class TestBruteForceCrossCheck:
+    def test_random_formulas_agree_with_enumeration(self):
+        rng = random.Random(20260808)
+        checked_sat = checked_unsat = 0
+        for _ in range(60):
+            nvars = rng.randint(1, 8)
+            clauses = random_cnf(rng, nvars, rng.randint(1, 24))
+            expected = bool(brute_force(nvars, clauses))
+            got = make_solver(nvars, clauses).solve()
+            assert got == expected, (nvars, clauses)
+            checked_sat += expected
+            checked_unsat += not expected
+        # The sweep must exercise both answers to mean anything.
+        assert checked_sat >= 10 and checked_unsat >= 10
+
+    def test_sat_answer_comes_with_a_real_model(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            nvars = rng.randint(1, 8)
+            clauses = random_cnf(rng, nvars, rng.randint(1, 16))
+            solver = make_solver(nvars, clauses)
+            if not solver.solve():
+                continue
+            for clause in clauses:
+                assert any(solver.value_of(lit) for lit in clause)
+
+    def test_allsat_model_count_matches_enumeration(self):
+        rng = random.Random(99)
+        for _ in range(20):
+            nvars = rng.randint(1, 6)
+            clauses = random_cnf(rng, nvars, rng.randint(1, 10))
+            expected = len(brute_force(nvars, clauses))
+            solver = make_solver(nvars, clauses)
+            count = 0
+            while solver.solve():
+                count += 1
+                assert count <= expected, "duplicate model enumerated"
+                # Read the model BEFORE blocking it: add_clause
+                # backtracks to level 0 and discards the assignment.
+                block = [
+                    -v if solver.value_of(v) else v
+                    for v in range(1, nvars + 1)
+                ]
+                solver.add_clause(block)
+            assert count == expected
+
+
+class TestKnownFamilies:
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_pigeonhole_is_unsat(self, holes):
+        pigeons = holes + 1
+        s = Solver()
+        var = {
+            (p, h): s.new_var()
+            for p in range(pigeons)
+            for h in range(holes)
+        }
+        for p in range(pigeons):
+            s.add_clause([var[(p, h)] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    s.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        assert not s.solve()
+
+    def test_chain_of_implications_propagates(self):
+        s = Solver()
+        vs = [s.new_var() for _ in range(20)]
+        for a, b in zip(vs, vs[1:]):
+            s.add_clause([-a, b])
+        s.add_clause([vs[0]])
+        assert s.solve()
+        assert all(s.value_of(v) for v in vs)
+        s.add_clause([-vs[-1]])
+        assert not s.solve()
+
+
+class TestIncrementalInterface:
+    def test_add_clause_after_solve_backtracks_cleanly(self):
+        # Regression: blocking clauses arrive while the solver still
+        # sits at a decision level from the previous SAT answer.
+        s = Solver()
+        x, y = s.new_var(), s.new_var()
+        s.add_clause([x, y])
+        seen = set()
+        while s.solve():
+            model = (s.value_of(x), s.value_of(y))
+            assert model not in seen
+            seen.add(model)
+            s.add_clause([-x if model[0] else x, -y if model[1] else y])
+        assert len(seen) == 3  # every assignment except (False, False)
+
+    def test_empty_clause_makes_formula_unsat(self):
+        s = Solver()
+        s.new_var()
+        assert not s.add_clause([])
+        assert not s.solve()
+
+    def test_unknown_literal_is_rejected(self):
+        s = Solver()
+        s.new_var()
+        with pytest.raises(ValueError):
+            s.add_clause([2])
+
+    def test_tautology_and_duplicates_are_harmless(self):
+        s = Solver()
+        x = s.new_var()
+        assert s.add_clause([x, -x])
+        assert s.add_clause([x, x])
+        assert s.solve()
+        assert s.value_of(x)
+
+
+class TestDimacsAndStats:
+    def test_dimacs_round_trips_the_clause_set(self):
+        clauses = [(1, -2), (2, 3), (-1, -3), (3,)]
+        s = make_solver(3, clauses)
+        text = s.to_dimacs()
+        lines = text.strip().splitlines()
+        assert lines[0] == f"p cnf 3 {len(clauses)}"
+        parsed = []
+        for line in lines[1:]:
+            lits = tuple(int(tok) for tok in line.split())
+            assert lits[-1] == 0
+            parsed.append(lits[:-1])
+        assert parsed == clauses
+        # The emitted problem has the same answer as the solver.
+        assert s.solve() == bool(brute_force(3, parsed))
+
+    def test_dimacs_omits_learned_clauses(self):
+        rng = random.Random(3)
+        clauses = random_cnf(rng, 6, 30)
+        s = make_solver(6, clauses)
+        before = s.to_dimacs()
+        s.solve()
+        assert s.to_dimacs() == before
+
+    def test_stats_track_solver_lifetime(self):
+        s = make_solver(4, [(1, 2), (-1, 2), (-2, 3), (-3, 4)])
+        assert s.stats.variables == 4
+        assert s.solve()
+        s.solve()
+        assert s.stats.solve_calls == 2
+        d = s.stats.as_dict()
+        assert d["variables"] == 4 and d["solve_calls"] == 2
+        assert set(d) == {
+            "variables", "clauses", "learned", "conflicts",
+            "decisions", "propagations", "restarts", "solve_calls",
+        }
+        assert isinstance(s.stats, SatStats)
