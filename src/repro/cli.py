@@ -304,6 +304,73 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the verification job server until interrupted."""
+    import asyncio
+
+    from repro.serve.server import ServeConfig, run_server
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("host", args.host),
+            ("port", args.port),
+            ("workers", args.workers),
+            ("queue_limit", args.queue_limit),
+            ("batch", args.batch),
+            ("hot_entries", args.hot_entries),
+            ("hot_mb", args.hot_mb),
+            ("tenant_rate", args.tenant_rate),
+            ("tenant_burst", args.tenant_burst),
+        )
+        if value is not None
+    }
+    try:
+        asyncio.run(run_server(ServeConfig.from_env(**overrides)))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the persistent caches (engine + serve layers)."""
+    import json
+
+    from repro.memory.cache import clear_disk_cache, disk_stats, lookup_stats
+
+    if args.action == "clear":
+        removed = clear_disk_cache()
+        print(f"removed {removed} cache file(s) from {disk_stats()['dir']}")
+        return 0
+    stats = disk_stats()
+    lookups = lookup_stats()
+    if args.json:
+        print(json.dumps({"disk": stats, "lookups": lookups},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"cache dir: {stats['dir']}")
+    for layer in ("engine", "serve"):
+        info = stats[layer]
+        line = (f"  {layer:<8} {info['entries']} entries, "
+                f"{info['bytes']:,} bytes")
+        if info["stale_tmp"]:
+            line += f", {info['stale_tmp']} stale tmp file(s)"
+        print(line)
+    layers = sorted(set(lookups["hits"]) | set(lookups["misses"]))
+    if layers:
+        print("lookups (this process):")
+        for layer in layers:
+            hits = lookups["hits"].get(layer, 0)
+            misses = lookups["misses"].get(layer, 0)
+            total = hits + misses
+            rate = hits / total if total else 0.0
+            print(f"  {layer:<8} {hits} hit(s), {misses} miss(es) "
+                  f"({rate:.0%} hit rate)")
+    else:
+        print("lookups (this process): none recorded")
+    return 0
+
+
 def _find_sekvm_case(name: str):
     """Resolve a KCore primitive case by (fuzzy) name, like litmus tests."""
     from repro.sekvm.ir_programs import kcore_buggy_cases, kcore_verified_cases
@@ -491,7 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the results as JSON (BENCH_exploration)")
     p.add_argument("--only", metavar="SECTION", default=None,
                    choices=("litmus_corpus", "promise_heavy", "wdrf",
-                            "verify_sekvm", "bmc"),
+                            "verify_sekvm", "bmc", "serve"),
                    help="measure a single section (the CI smoke path)")
     _add_parallel_flags(p)
     _add_obs_flags(p)
@@ -560,6 +627,55 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ignore and do not write the persistent "
                    "exploration cache")
     p.set_defaults(fn=_cmd_trace, no_memo=False, no_fuse=False)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the verification job server (content-addressed dedup, "
+        "persistent workers, SSE progress streams)",
+    )
+    p.add_argument("--host", default=None,
+                   help="bind address (default: REPRO_SERVE_HOST or "
+                   "127.0.0.1)")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port; 0 picks an ephemeral port "
+                   "(default: REPRO_SERVE_PORT or 8044)")
+    p.add_argument("--workers", type=int, default=None,
+                   help="persistent pre-forked workers; 0 runs jobs "
+                   "inline on a server thread (default: "
+                   "REPRO_SERVE_WORKERS or 1)")
+    p.add_argument("--queue-limit", type=int, default=None,
+                   help="bounded cold-job queue; on overflow the oldest "
+                   "queued job is shed with a typed 429 (default: "
+                   "REPRO_SERVE_QUEUE or 64)")
+    p.add_argument("--batch", type=int, default=None,
+                   help="max jobs handed to a worker per dispatch, "
+                   "grouped by content-key affinity (default: "
+                   "REPRO_SERVE_BATCH or 4)")
+    p.add_argument("--hot-entries", type=int, default=None,
+                   help="hot-tier result cache entry cap; 0 disables "
+                   "(default: REPRO_SERVE_HOT_ENTRIES or 1024)")
+    p.add_argument("--hot-mb", type=float, default=None,
+                   help="hot-tier byte cap in MiB (default: "
+                   "REPRO_SERVE_HOT_MB or 64)")
+    p.add_argument("--tenant-rate", type=float, default=None,
+                   help="cold jobs/second each tenant may submit; 0 "
+                   "disables throttling (default: "
+                   "REPRO_SERVE_TENANT_RATE or 0)")
+    p.add_argument("--tenant-burst", type=float, default=None,
+                   help="tenant token-bucket burst ceiling (default: "
+                   "REPRO_SERVE_TENANT_BURST or 20)")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "cache",
+        help="inspect or clear the persistent exploration/result caches",
+    )
+    p.add_argument("action", choices=("stats", "clear"),
+                   help="'stats' reports entry counts, bytes on disk, and "
+                   "per-layer hit rates; 'clear' removes all entries")
+    p.add_argument("--json", action="store_true",
+                   help="emit machine-readable stats")
+    p.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("contention", help="lock-contention study")
     p.set_defaults(fn=_cmd_contention)

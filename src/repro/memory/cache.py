@@ -48,13 +48,45 @@ from repro.memory.semantics import ModelConfig
 from repro.obs import metrics, tracer
 
 
+#: Process-local lookup accounting, always on (a dict increment per
+#: cache lookup is noise next to the exploration it guards).  Keys are
+#: hit layers (``memo``/``disk``) and miss layers (``explore``/
+#: ``monitored``/``bmc``); see :func:`lookup_stats`.
+_lookup_stats: Dict[str, Dict[str, int]] = {"hits": {}, "misses": {}}
+
+
+def lookup_stats() -> Dict[str, Dict[str, int]]:
+    """Per-layer lookup counts recorded by ``_record_lookup``.
+
+    Returns ``{"hits": {layer: n}, "misses": {layer: n}}`` for this
+    process since start (or the last :func:`reset_lookup_stats`).  Hit
+    layers are ``memo`` and ``disk``; miss layers name the computation
+    that had to run (``explore``, ``monitored``, ``bmc``).  The serve
+    layer ships workers' deltas back per job, and ``repro cache stats``
+    reports the rates.
+    """
+    return {
+        "hits": dict(_lookup_stats["hits"]),
+        "misses": dict(_lookup_stats["misses"]),
+    }
+
+
+def reset_lookup_stats() -> None:
+    """Zero the per-process lookup accounting (tests, serve workers)."""
+    _lookup_stats["hits"].clear()
+    _lookup_stats["misses"].clear()
+
+
 def _record_lookup(hit: bool, layer: str, key: str) -> None:
     """Cold-path observability for one cache lookup outcome.
 
     Emits a ``cache_hit``/``cache_miss`` trace event and bumps the
     ``cache.<layer>_hits``/``cache.misses`` counters; free when neither
-    tracing nor metrics is on.
+    tracing nor metrics is on.  Always feeds the process-local
+    :func:`lookup_stats` tallies.
     """
+    bucket = _lookup_stats["hits" if hit else "misses"]
+    bucket[layer] = bucket.get(layer, 0) + 1
     if tracer.SINK is not None:
         tracer.SINK.emit(
             tracer.CACHE_HIT if hit else tracer.CACHE_MISS,
@@ -181,6 +213,16 @@ def _program_fingerprint(program: Program) -> str:
     )
 
 
+def program_fingerprint(program: Program) -> str:
+    """Canonical text identity of a program (threads, memory, MMU).
+
+    Deliberately excludes the display name, so two differently labelled
+    but semantically identical programs share every cache key — the
+    property the serving layer's content-addressed dedup relies on.
+    """
+    return _program_fingerprint(program)
+
+
 def exploration_key(
     program: Program,
     cfg: ModelConfig,
@@ -240,24 +282,125 @@ def monitored_exploration_key(
 
 
 def _disk_load(key: str, expect: type = ExplorationResult):
+    """Load one disk entry, treating anything unreadable as a miss.
+
+    An entry that fails to unpickle (or holds an unexpected type) is
+    *deleted*, not just skipped: before writes were atomic a killed
+    worker could leave a truncated pickle behind, and without the
+    delete that one corpse would poison every future load of its key
+    while :func:`_disk_store`'s write-once discipline keeps the good
+    entry from ever being rewritten over it.
+    """
+    path = os.path.join(cache_dir(), key + ".pkl")
     try:
-        with open(os.path.join(cache_dir(), key + ".pkl"), "rb") as fh:
+        with open(path, "rb") as fh:
             result = pickle.load(fh)
-    except (OSError, pickle.PickleError, EOFError, AttributeError):
+    except FileNotFoundError:
         return None
-    return result if isinstance(result, expect) else None
+    except (OSError, pickle.PickleError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError):
+        _discard(path)
+        return None
+    if not isinstance(result, expect):
+        _discard(path)
+        return None
+    return result
+
+
+def _discard(path: str) -> None:
+    """Best-effort removal of a corrupt or stale cache file."""
+    try:
+        os.unlink(path)
+    except OSError:
+        pass
 
 
 def _disk_store(key: str, result) -> None:
+    """Atomically publish one disk entry (crash- and multi-process-safe).
+
+    The pickle is written to a private temp file in the cache directory
+    and ``os.replace``\\ d into place, so a concurrent reader observes
+    either the old complete entry or the new complete entry — never a
+    partial write — and a killed process leaves at worst an orphaned
+    ``.tmp`` file, never a truncated ``.pkl``.  Any failure (including
+    an unpicklable result) degrades to a no-op with the temp file
+    cleaned up.
+    """
     folder = cache_dir()
+    tmp = None
     try:
         os.makedirs(folder, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=folder, suffix=".tmp")
         with os.fdopen(fd, "wb") as fh:
             pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(tmp, os.path.join(folder, key + ".pkl"))
-    except OSError:
+        tmp = None
+    except (OSError, pickle.PickleError, TypeError, AttributeError):
         pass
+    finally:
+        if tmp is not None:
+            _discard(tmp)
+
+
+def disk_stats() -> Dict[str, object]:
+    """Entry counts and bytes on disk for every persistent layer.
+
+    Scans :func:`cache_dir` (engine results: exploration, monitored,
+    BMC pickles) and its ``serve/`` subdirectory (rendered job results
+    the serving layer persists) without loading anything; unreadable
+    directories count as empty.
+    """
+    folder = cache_dir()
+    stats: Dict[str, object] = {"dir": folder}
+    for label, path, suffix in (
+        ("engine", folder, ".pkl"),
+        ("serve", os.path.join(folder, "serve"), ".json"),
+    ):
+        entries = total = stale_tmp = 0
+        try:
+            names = os.listdir(path)
+        except OSError:
+            names = []
+        for name in names:
+            full = os.path.join(path, name)
+            try:
+                size = os.path.getsize(full)
+            except OSError:
+                continue
+            if name.endswith(suffix):
+                entries += 1
+                total += size
+            elif name.endswith(".tmp"):
+                stale_tmp += 1
+        stats[label] = {
+            "entries": entries, "bytes": total, "stale_tmp": stale_tmp,
+        }
+    return stats
+
+
+def clear_disk_cache() -> int:
+    """Delete every persistent cache entry; returns the files removed.
+
+    Removes engine pickles, serve-layer result JSONs, and any orphaned
+    ``.tmp`` files, leaving the directories in place.  Safe to run
+    concurrently with readers/writers — both sides treat a vanished
+    file as a plain miss.
+    """
+    folder = cache_dir()
+    removed = 0
+    for path in (folder, os.path.join(folder, "serve")):
+        try:
+            names = os.listdir(path)
+        except OSError:
+            continue
+        for name in names:
+            if name.endswith((".pkl", ".json", ".tmp")):
+                try:
+                    os.unlink(os.path.join(path, name))
+                    removed += 1
+                except OSError:
+                    pass
+    return removed
 
 
 def clear_memory_cache() -> None:

@@ -9,7 +9,9 @@ results in input order so parallel runs are bit-identical to serial
 ones.
 
 Libraries default to serial (``jobs=None``); the CLI resolves its
-``--jobs`` flag with :func:`default_jobs` (``os.cpu_count()``).
+``--jobs`` flag with :func:`default_jobs`, which counts the CPUs the
+process may actually run on (:func:`available_cpus` — affinity-mask
+aware, re-read on every call, never cached at import time).
 
 The second axis is *intra-exploration* parallelism
 (:mod:`repro.parallel.shard`): one big exploration's frontier split
@@ -20,6 +22,7 @@ between the two axes — they multiply, so only one engages per batch.
 
 from repro.parallel.pool import (
     JobPlan,
+    available_cpus,
     default_jobs,
     parallel_map,
     plan_jobs,
@@ -27,5 +30,5 @@ from repro.parallel.pool import (
     resolve_shard_jobs,
 )
 
-__all__ = ["JobPlan", "default_jobs", "parallel_map", "plan_jobs",
-           "resolve_jobs", "resolve_shard_jobs"]
+__all__ = ["JobPlan", "available_cpus", "default_jobs", "parallel_map",
+           "plan_jobs", "resolve_jobs", "resolve_shard_jobs"]

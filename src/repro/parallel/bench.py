@@ -260,6 +260,90 @@ def _time_bmc_litmus() -> Dict[str, float]:
     return out
 
 
+def _time_serve(
+    n_jobs: int = 60, unique: int = 6, clients: int = 8
+) -> Dict:
+    """The serving layer on a duplicate-heavy synthetic workload.
+
+    Baseline: every job executed sequentially with the in-process memo
+    cleared per job and all caches off — the cost profile of one
+    ``verify`` CLI invocation per request (minus interpreter startup,
+    so the comparison is conservative).  Served: the same job list over
+    real HTTP against an in-process server with the hot tier on and the
+    engine caches still off, so all the throughput comes from the
+    serving layer's dedup (hot tier + coalescing + warm memo), none
+    from the persistent engine cache.  Served verdicts are checked
+    bit-identical (behavior digests) to the direct runs.
+    """
+    import asyncio
+
+    from repro.serve.jobs import execute_job, parse_job
+    from repro.serve.traffic import run_traffic, synthetic_workload
+
+    jobs = synthetic_workload(n_jobs=n_jobs, unique=unique)
+    with _env(
+        REPRO_EXPLORE_CACHE="0",
+        REPRO_SERVE_DISK="0",
+        REPRO_SHARD="0",
+    ):
+        start = time.perf_counter()
+        direct = []
+        for job in jobs:
+            _fresh()
+            direct.append(execute_job(parse_job(job).payload))
+        sequential_wall = time.perf_counter() - start
+
+        async def _served():
+            from repro.serve.server import ServeConfig, VerificationServer
+
+            server = VerificationServer(ServeConfig(port=0, workers=0))
+            await server.start()
+            try:
+                return await run_traffic(
+                    server.config.host, server.port, jobs,
+                    clients=clients, collect_results=True,
+                )
+            finally:
+                await server.stop()
+
+        _fresh()
+        report = asyncio.run(_served())
+
+    served = report.pop("results")
+    verdicts_identical = all(
+        body is not None
+        and body.get("result", {}).get("behavior_digest")
+        == direct[i]["behavior_digest"]
+        for i, body in enumerate(served)
+    )
+    stats = report["server"]
+    return {
+        "jobs": n_jobs,
+        "unique_specs": unique,
+        "repeat_ratio": 1.0 - (unique / n_jobs),
+        "clients": clients,
+        "sequential": {
+            "wall_seconds": sequential_wall,
+            "jobs_per_second": _ratio(n_jobs, sequential_wall),
+        },
+        "served": {
+            "wall_seconds": report["wall_seconds"],
+            "jobs_per_second": report["throughput_jobs_per_s"],
+            "p50_ms": report["p50_ms"],
+            "p99_ms": report["p99_ms"],
+            "failures": report["failures"],
+        },
+        "throughput_speedup": _ratio(
+            report["throughput_jobs_per_s"], _ratio(n_jobs, sequential_wall)
+        ),
+        "cache_hit_rate": stats["cache_hit_rate"],
+        "hot_hits": stats["counters"]["hot_hits"],
+        "coalesced": stats["counters"]["coalesced"],
+        "computed": stats["counters"]["computed"],
+        "verdicts_identical": verdicts_identical,
+    }
+
+
 def _ratio(a: float, b: float) -> float:
     return a / b if b else 0.0
 
@@ -286,17 +370,20 @@ def bench_exploration(
 ) -> Dict:
     """Measure the exploration engine end to end.
 
-    Returns a JSON-ready dict (schema v5): litmus corpus serial vs.
+    Returns a JSON-ready dict (schema v6): litmus corpus serial vs.
     ``jobs``-way parallel, POR on vs. off (single-threaded),
     promise-heavy POR/memo effect plus ``shard_jobs``-way frontier
-    sharding, ``verify_sekvm`` serial vs. parallel, and the SAT/BMC
+    sharding, ``verify_sekvm`` serial vs. parallel, the SAT/BMC
     backend (cost-routed vs. forced-exploration wall time on a
-    state-explosion spec, plus a solver sweep over the litmus corpus).
-    Each parallel section records its own ``cpu_count`` and its
-    speedups are dicts (:func:`_speedup`) so single-core numbers are
-    annotated, not misread as regressions.  ``only`` restricts the run
-    to one section (``litmus_corpus``/``promise_heavy``/``wdrf``/
-    ``verify_sekvm``/``bmc``) — the CI smoke path.
+    state-explosion spec, plus a solver sweep over the litmus corpus),
+    and the serving layer on a duplicate-heavy synthetic workload
+    (throughput vs. sequential execution, latency percentiles, cache
+    hit rate — :func:`_time_serve`).  Each parallel section records
+    its own ``cpu_count`` and its speedups are dicts
+    (:func:`_speedup`) so single-core numbers are annotated, not
+    misread as regressions.  ``only`` restricts the run to one section
+    (``litmus_corpus``/``promise_heavy``/``wdrf``/``verify_sekvm``/
+    ``bmc``/``serve``) — the CI smoke path.
     """
     from repro.parallel.pool import plan_jobs, resolve_shard_jobs
 
@@ -310,7 +397,7 @@ def bench_exploration(
         # single-core results as degraded).
         shards = max(2, min(4, cpus))
     results: Dict = {
-        "schema": "BENCH_exploration/v5",
+        "schema": "BENCH_exploration/v6",
         "cpu_count": cpus,
         "jobs": jobs,
         "shard_jobs": shards,
@@ -405,6 +492,9 @@ def bench_exploration(
             },
             "litmus_solver": _time_bmc_litmus(),
         }
+
+    if wanted("serve"):
+        results["serve"] = _time_serve()
 
     if wanted("verify_sekvm"):
         sekvm_serial = _time_sekvm(jobs=None)
@@ -503,6 +593,20 @@ def format_bench(results: Dict) -> str:
             f"({sweep['clauses_per_second']:,.0f} clauses/s, "
             f"{sweep['outcomes']} outcomes enumerated)",
         ]
+    serve = results.get("serve")
+    if serve is not None:
+        lines.append(
+            f"  serve           {serve['jobs']} jobs "
+            f"({serve['repeat_ratio']:.0%} repeats, "
+            f"{serve['clients']} clients): "
+            f"{serve['served']['wall_seconds']:.2f}s served vs "
+            f"{serve['sequential']['wall_seconds']:.2f}s sequential "
+            f"({serve['throughput_speedup']:.1f}x throughput, "
+            f"hit rate {serve['cache_hit_rate']:.0%}, "
+            f"p50 {serve['served']['p50_ms']:.1f}ms / "
+            f"p99 {serve['served']['p99_ms']:.1f}ms, "
+            f"verdicts identical: {serve['verdicts_identical']})"
+        )
     sekvm = results.get("verify_sekvm")
     if corpus is not None and sekvm is not None:
         lines.append(

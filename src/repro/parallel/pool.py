@@ -30,9 +30,30 @@ R = TypeVar("R")
 MIN_ITEMS_PER_WORKER = 2
 
 
+def available_cpus() -> int:
+    """CPUs this process may actually run on, re-read on every call.
+
+    ``os.cpu_count()`` reports the machine, not the process: under a
+    CPU-affinity mask (containers, ``taskset``, cgroup pinning) the
+    usable count is ``sched_getaffinity``, which can also *change* while
+    a long-lived server runs.  Nothing here is cached at import time —
+    the serve layer's persistent workers and the tests must both see the
+    value current at the moment a plan is made.
+    """
+    count = os.cpu_count() or 1
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is None:
+        return count
+    try:
+        affinity = len(getaffinity(0))
+    except OSError:
+        return count
+    return min(count, affinity) if affinity else count
+
+
 def default_jobs() -> int:
     """The CLI's default parallelism: one worker per available CPU."""
-    return os.cpu_count() or 1
+    return available_cpus()
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -81,7 +102,7 @@ class JobPlan(NamedTuple):
 
     workers: int      # what the batch will actually run with
     requested: int    # resolve_jobs() of the caller's request
-    cpus: int         # os.cpu_count() at decision time
+    cpus: int         # available_cpus() at decision time
     batch: int        # number of items
     reason: str       # why workers was chosen
     shard_jobs: int = 1          # intra-exploration shards per item
@@ -123,7 +144,7 @@ def plan_jobs(
     """
     requested = resolve_jobs(jobs)
     shard_requested = resolve_shard_jobs(shard_jobs)
-    cpus = os.cpu_count() or 1
+    cpus = available_cpus()
 
     def _plan(workers: int, reason: str) -> JobPlan:
         if workers > 1:

@@ -1,0 +1,47 @@
+"""Verification-as-a-service: the ``repro serve`` HTTP layer.
+
+Five PRs of engine work (POR, memoization, pass fusion, sharding, the
+BMC router) made individual queries fast; this package converts that
+into *serving throughput* for many concurrent clients verifying
+overlapping kernels.  The load-bearing observation is that real query
+mixes are duplicate-heavy — the same litmus shapes, the same KCore
+primitives, near-identical fuzzer genomes — so the server's job is to
+make sure each distinct computation runs **once**:
+
+* **Content addressing** (:mod:`repro.serve.jobs`): every job is keyed
+  by the same fingerprint spaces the engine cache uses
+  (:func:`~repro.memory.cache.exploration_key`,
+  :func:`~repro.memory.cache.monitored_exploration_key` via
+  :func:`~repro.vrm.verifier.pass_fingerprints`), so a repeated request
+  is recognized *before* any engine work.
+* **Hot tier** (:mod:`repro.serve.hot_tier`): a sized in-memory LRU of
+  finished results over the disk layer — repeat hits are served without
+  touching a worker.
+* **Coalescing** (:mod:`repro.serve.server`): an in-flight request with
+  the same key attaches to the running computation instead of queueing
+  a second one.
+* **Persistent workers** (:mod:`repro.serve.workers`): a pre-forked
+  pool of long-lived processes whose interner/memo/exploration caches
+  stay warm across jobs — replacing the fork-per-call pattern of
+  :mod:`repro.parallel.pool` for the serving path.
+* **Admission control** (:mod:`repro.serve.admission`): per-tenant
+  token budgets and a bounded queue (shed-oldest, typed 429) so the
+  server degrades by refusing cold work, never by falling over.
+
+:mod:`repro.serve.traffic` drives the conformance fuzzer's genome
+generator as a synthetic traffic source for the ``serve`` bench section
+and the CI smoke test.  See ``docs/SERVING.md`` for the HTTP API, job
+lifecycle, and SSE event schema.
+"""
+
+from repro.serve.jobs import Job, JobError, execute_job, parse_job
+from repro.serve.server import ServeConfig, VerificationServer
+
+__all__ = [
+    "Job",
+    "JobError",
+    "ServeConfig",
+    "VerificationServer",
+    "execute_job",
+    "parse_job",
+]

@@ -1,0 +1,171 @@
+"""A sized in-memory result tier over the serve disk cache.
+
+The engine's own caches (in-process memo + pickled explorations on
+disk) key *engine artifacts*; the serving layer additionally caches the
+finished **result documents** it returns to clients, so a repeat
+request costs one dictionary lookup — no worker dispatch, no engine
+re-entry, no disk read.
+
+:class:`HotTier` is an LRU bounded by entries *and* bytes (result
+documents vary from a few hundred bytes to tens of KB of rendered
+counterexample), with hit/miss/eviction counters mirrored into the
+``obs`` metrics registry when it is enabled.  Below it sits a small
+JSON-per-key disk layer under ``<cache_dir>/serve`` sharing the atomic
+write-and-replace discipline of :mod:`repro.memory.cache` — corrupt
+entries are deleted and treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from typing import Any, Dict, Optional
+
+from repro.memory.cache import cache_dir, cache_enabled
+from repro.obs import metrics
+
+
+def serve_disk_dir() -> str:
+    """The serve result layer's directory (under the engine cache dir)."""
+    return os.path.join(cache_dir(), "serve")
+
+
+def serve_disk_enabled() -> bool:
+    """Disk persistence of result documents (``REPRO_SERVE_DISK``).
+
+    Follows the engine cache master switch: ``--no-cache`` runs must
+    not observe results persisted by earlier runs.
+    """
+    if not cache_enabled():
+        return False
+    return os.environ.get("REPRO_SERVE_DISK", "1") != "0"
+
+
+def disk_load(key: str) -> Optional[Dict[str, Any]]:
+    """Load one result document, deleting anything unreadable."""
+    if not serve_disk_enabled():
+        return None
+    path = os.path.join(serve_disk_dir(), key + ".json")
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        return None
+    except (OSError, ValueError):
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+    if not isinstance(doc, dict):
+        return None
+    return doc
+
+
+def disk_store(key: str, doc: Dict[str, Any]) -> None:
+    """Atomically persist one result document (mirrors ``_disk_store``)."""
+    if not serve_disk_enabled():
+        return
+    folder = serve_disk_dir()
+    tmp = None
+    try:
+        os.makedirs(folder, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=folder, suffix=".tmp")
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, sort_keys=True)
+        os.replace(tmp, os.path.join(folder, key + ".json"))
+        tmp = None
+    except (OSError, TypeError, ValueError):
+        pass
+    finally:
+        if tmp is not None:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+class HotTier:
+    """Byte- and entry-bounded LRU of finished result documents.
+
+    ``max_entries <= 0`` or ``max_bytes <= 0`` disables the tier (every
+    ``get`` misses, ``put`` is a no-op) — the configuration the warm-
+    worker tests use to force repeat jobs through the pool.
+    """
+
+    def __init__(self, max_entries: int = 1024,
+                 max_bytes: int = 64 * 1024 * 1024) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._sizes: Dict[str, int] = {}
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0 and self.max_bytes > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Look up a result, refreshing its recency on a hit."""
+        doc = self._entries.get(key) if self.enabled else None
+        if doc is None:
+            self.misses += 1
+            if metrics.ENABLED:
+                metrics.REGISTRY.counter("serve.hot.misses").inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if metrics.ENABLED:
+            metrics.REGISTRY.counter("serve.hot.hits").inc()
+        return doc
+
+    def put(self, key: str, doc: Dict[str, Any]) -> None:
+        """Insert a result, evicting least-recently-used entries to fit.
+
+        A document bigger than the whole byte budget is simply not
+        admitted (evicting the entire tier for one giant counterexample
+        would be a worse trade than recomputing it).
+        """
+        if not self.enabled:
+            return
+        size = len(json.dumps(doc, sort_keys=True).encode())
+        if size > self.max_bytes:
+            return
+        if key in self._entries:
+            self.bytes -= self._sizes[key]
+            del self._entries[key]
+        self._entries[key] = doc
+        self._sizes[key] = size
+        self.bytes += size
+        while (len(self._entries) > self.max_entries
+               or self.bytes > self.max_bytes):
+            old_key, _ = self._entries.popitem(last=False)
+            self.bytes -= self._sizes.pop(old_key)
+            self.evictions += 1
+            if metrics.ENABLED:
+                metrics.REGISTRY.counter("serve.hot.evictions").inc()
+        if metrics.ENABLED:
+            metrics.REGISTRY.gauge("serve.hot.bytes").set(self.bytes)
+            metrics.REGISTRY.gauge("serve.hot.entries").set(
+                len(self._entries)
+            )
+
+    def stats(self) -> Dict[str, Any]:
+        """JSON-ready counters for ``/v1/stats`` and the bench section."""
+        lookups = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / lookups) if lookups else 0.0,
+        }

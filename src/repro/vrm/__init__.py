@@ -56,6 +56,7 @@ from repro.vrm.verifier import (
     WDRFSpec,
     fuse_check_enabled,
     fuse_default_enabled,
+    pass_fingerprints,
     plan_passes,
     run_condition,
     run_condition_group,
@@ -99,6 +100,7 @@ __all__ = [
     "WDRFSpec",
     "fuse_check_enabled",
     "fuse_default_enabled",
+    "pass_fingerprints",
     "plan_passes",
     "run_condition",
     "run_condition_group",

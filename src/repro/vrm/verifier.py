@@ -42,13 +42,21 @@ with monitor early-exit off as well as fusion.
 from __future__ import annotations
 
 import functools
+import hashlib
 import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import VerificationError
 from repro.ir.program import Program
-from repro.memory.cache import cached_explore, exploration_key
+from repro.memory.cache import (
+    cached_explore,
+    code_fingerprint,
+    exploration_key,
+    monitor_code_fingerprint,
+    monitored_exploration_key,
+    program_fingerprint,
+)
 from repro.memory.datatypes import EngineStats, ExplorationResult
 from repro.memory.exploration import por_default_enabled
 from repro.obs import metrics, tracer
@@ -379,6 +387,59 @@ def plan_passes(
             groups[key] = len(units)
             units.append((name,))
     return units
+
+
+def pass_fingerprints(
+    spec: WDRFSpec,
+    fuse: Optional[bool] = None,
+    por: Optional[bool] = None,
+) -> List[str]:
+    """Content keys of the units :func:`plan_passes` would run.
+
+    One digest per unit, in unit order.  Exploring units reuse the exact
+    :func:`~repro.memory.cache.monitored_exploration_key` their pass
+    would be cached under, so two specs share a fingerprint list iff
+    their verifications would replay the same cache entries.  Ready and
+    non-exploring units (which never touch the exploration cache) get a
+    digest over the engine fingerprints plus every spec input their
+    checkers read.  The serving layer hashes this list into one job
+    content address for wDRF requests.
+    """
+    if por is None:
+        por = por_default_enabled()
+    units = plan_passes(spec, fuse=fuse, por=por)
+    keys: List[str] = []
+    for names in units:
+        plans = [_condition_plan(spec, name) for name in names]
+        if plans and all(isinstance(p, PassRequest) for p in plans):
+            base = plans[0]
+            keys.append(
+                monitored_exploration_key(
+                    spec.program,
+                    base.cfg,
+                    tuple(base.observe_locs),
+                    por,
+                    [p.monitor for p in plans],
+                )
+            )
+            continue
+        text = "\x00".join(
+            (
+                "wdrf-unit",
+                code_fingerprint(),
+                monitor_code_fingerprint(),
+                program_fingerprint(spec.program),
+                repr(spec.shared_locs),
+                repr(spec.initial_ownership),
+                repr(spec.kernel_pt_locs),
+                repr(spec.probe_vpns),
+                repr(bool(spec.weakened)),
+                repr(spec.model_overrides),
+                ",".join(names),
+            )
+        )
+        keys.append(hashlib.sha256(text.encode()).hexdigest())
+    return keys
 
 
 def _diff_reports(fused: WDRFReport, unfused: WDRFReport) -> List[str]:

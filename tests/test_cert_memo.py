@@ -254,6 +254,8 @@ def test_plan_jobs_fork_amortization(monkeypatch):
     import repro.parallel.pool as pool
 
     monkeypatch.setattr(pool.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(pool.os, "sched_getaffinity",
+                        lambda pid: set(range(8)), raising=False)
     plan = plan_jobs(8, 6)  # 6 items cannot feed 8 workers 2 items each
     assert plan.reason == "fork-amortization"
     assert plan.workers == 3
@@ -264,6 +266,8 @@ def test_plan_jobs_parallel(monkeypatch):
     import repro.parallel.pool as pool
 
     monkeypatch.setattr(pool.os, "cpu_count", lambda: 8)
+    monkeypatch.setattr(pool.os, "sched_getaffinity",
+                        lambda pid: set(range(8)), raising=False)
     plan = plan_jobs(4, 100)
     assert plan.workers == 4 and plan.reason == "parallel"
     capped = plan_jobs(32, 100)

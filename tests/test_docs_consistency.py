@@ -21,6 +21,7 @@ DOCS = [
     ROOT / "docs" / "VERIFICATION.md",
     ROOT / "docs" / "API.md",
     ROOT / "docs" / "OBSERVABILITY.md",
+    ROOT / "docs" / "SERVING.md",
 ]
 
 MODULE_REF = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")

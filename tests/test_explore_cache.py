@@ -1,7 +1,9 @@
 """The persistent exploration-cache layer: key sensitivity, disk
 round-trips (plain and monitored), and the best-effort degrade paths."""
 
+import multiprocessing
 import pickle
+import time
 
 import pytest
 
@@ -10,6 +12,7 @@ from repro.memory import ModelConfig, cached_explore, clear_memory_cache
 from repro.memory.cache import (
     MonitorPassEntry,
     _disk_load,
+    _disk_store,
     exploration_key,
     monitored_exploration_key,
 )
@@ -148,6 +151,60 @@ class TestDiskRoundTrip:
         second = cached_explore(program, cfg)
         assert second == first
         assert second is not first  # no layer served a stored object
+
+
+class TestCrashSafeDiskStore:
+    """The atomic write-and-replace discipline of ``_disk_store``: a
+    reader racing any number of writers sees complete entries only, and
+    failure paths never leave debris behind."""
+
+    def test_corrupt_entry_is_deleted_on_load(self, isolated_cache):
+        # A truncated pickle must be treated as a miss AND removed, or
+        # the corpse would poison every future load of its key.
+        key = "0" * 64
+        path = isolated_cache / (key + ".pkl")
+        path.write_bytes(b"truncated-by-a-killed-worker")
+        assert _disk_load(key) is None
+        assert not path.exists()
+
+    def test_unpicklable_store_cleans_its_temp_file(self, isolated_cache):
+        _disk_store("deadbeef", lambda: None)  # lambdas cannot pickle
+        assert list(isolated_cache.glob("*.tmp")) == []
+        assert list(isolated_cache.glob("*.pkl")) == []
+
+    def test_concurrent_writers_never_corrupt_a_reader(
+        self, isolated_cache
+    ):
+        """Hammer one key from several writer processes while the test
+        process reads it in a loop: every read must return the complete
+        entry — ``os.replace`` guarantees no torn state in between."""
+        program, cfg = two_thread_program(), ModelConfig(relaxed=True)
+        result = cached_explore(program, cfg)  # also seeds the entry
+        key = exploration_key(program, cfg, None, False, True)
+        ctx = multiprocessing.get_context("fork")
+        stop = ctx.Event()
+
+        def hammer():
+            while not stop.is_set():
+                _disk_store(key, result)
+
+        writers = [ctx.Process(target=hammer, daemon=True)
+                   for _ in range(3)]
+        for proc in writers:
+            proc.start()
+        try:
+            deadline = time.monotonic() + 0.5
+            reads = 0
+            while time.monotonic() < deadline:
+                assert _disk_load(key) == result
+                reads += 1
+            assert reads > 0
+        finally:
+            stop.set()
+            for proc in writers:
+                proc.join(timeout=10)
+        assert _disk_load(key) == result
+        assert list(isolated_cache.glob("*.tmp")) == []
 
 
 class TestShardKeyStability:

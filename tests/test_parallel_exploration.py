@@ -20,7 +20,7 @@ from repro.memory import (
     por_eligible,
 )
 from repro.memory.cache import exploration_key
-from repro.parallel import parallel_map, resolve_jobs
+from repro.parallel import available_cpus, parallel_map, resolve_jobs
 
 X, Y = 0x10, 0x20
 
@@ -124,7 +124,7 @@ class TestParallelHarness:
         assert resolve_jobs(None) == 1
         assert resolve_jobs(0) == 1
         assert resolve_jobs(3) == 3
-        assert resolve_jobs(-1) == (os.cpu_count() or 1)
+        assert resolve_jobs(-1) == available_cpus()
 
     def test_parallel_map_preserves_order(self):
         items = list(range(17))
@@ -143,6 +143,8 @@ class TestParallelHarness:
         # knob is pinned by a pool initializer running in the child, not
         # by mutating the shared environment around the pool.
         monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(range(4)), raising=False)
         monkeypatch.setenv("REPRO_SHARD", "4")
         assert parallel_map(_shard_env_seen_by_worker, [1, 2, 3, 4],
                             jobs=2) == ["0"] * 4

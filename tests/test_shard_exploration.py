@@ -23,7 +23,12 @@ from repro.memory.datatypes import ExplorationMonitor, ExplorationResult
 from repro.memory.state import initial_state, state_fingerprint
 from repro.obs import tracer
 from repro.parallel import shard
-from repro.parallel.pool import JobPlan, plan_jobs, resolve_shard_jobs
+from repro.parallel.pool import (
+    JobPlan,
+    available_cpus,
+    plan_jobs,
+    resolve_shard_jobs,
+)
 from repro.parallel.shard import SharedVisitedFilter
 
 pytestmark = pytest.mark.skipif(
@@ -501,14 +506,14 @@ class TestPlanAndKnobs:
         monkeypatch.setenv("REPRO_SHARD", "3")
         assert resolve_shard_jobs() == 3
         monkeypatch.setenv("REPRO_SHARD", "-1")
-        assert resolve_shard_jobs() == (os.cpu_count() or 1)
+        assert resolve_shard_jobs() == available_cpus()
         monkeypatch.setenv("REPRO_SHARD", "garbage")
         assert resolve_shard_jobs() == 1
 
     def test_resolve_shard_jobs_explicit(self):
         assert resolve_shard_jobs(0) == 1
         assert resolve_shard_jobs(4) == 4
-        assert resolve_shard_jobs(-1) == (os.cpu_count() or 1)
+        assert resolve_shard_jobs(-1) == available_cpus()
 
     def test_shard_timeout_knob(self, monkeypatch):
         monkeypatch.delenv("REPRO_SHARD_TIMEOUT", raising=False)
@@ -530,6 +535,8 @@ class TestPlanAndKnobs:
 
     def test_corpus_parallel_wins_over_shards(self, monkeypatch):
         monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.setattr(os, "sched_getaffinity",
+                            lambda pid: set(range(8)), raising=False)
         plan = plan_jobs(4, 100, shard_jobs=4)
         assert plan.workers == 4
         assert plan.shard_jobs == 1
