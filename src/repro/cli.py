@@ -558,7 +558,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the results as JSON (BENCH_exploration)")
     p.add_argument("--only", metavar="SECTION", default=None,
                    choices=("litmus_corpus", "promise_heavy", "wdrf",
-                            "verify_sekvm", "bmc", "serve"),
+                            "verify_sekvm", "bmc", "serve", "vm"),
                    help="measure a single section (the CI smoke path)")
     _add_parallel_flags(p)
     _add_obs_flags(p)
@@ -602,7 +602,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--corpus", metavar="DIR",
                    help="persist shrunk counterexamples to this directory")
     p.add_argument("--profiles", metavar="P1,P2,...",
-                   help="generation profiles (default: plain,fenced,mmu,sync)")
+                   help="generation profiles "
+                        "(default: plain,fenced,mmu,sync,vm)")
     p.add_argument("--no-shrink", action="store_true",
                    help="record raw counterexamples without delta-debugging")
     _add_parallel_flags(p)

@@ -26,7 +26,7 @@ import sys
 from typing import Dict
 
 from repro.litmus.catalog import full_corpus
-from repro.litmus.runner import SC_CFG, rm_config
+from repro.litmus.runner import litmus_configs
 from repro.memory.cache import cached_explore
 from repro.memory.datatypes import ExplorationResult
 
@@ -52,11 +52,12 @@ def litmus_digests() -> Dict[str, Dict[str, str]]:
     """``{test name: {"sc": digest, "rm": digest}}`` over the catalog."""
     digests: Dict[str, Dict[str, str]] = {}
     for test in full_corpus():
+        # Use the exact runner configs — tests carrying ``vm_features``
+        # are digested under them, everything else under the seed pair.
+        sc_cfg, rm_cfg = litmus_configs(test)
         observe = sorted(test.program.initial_memory)
-        sc = cached_explore(test.program, SC_CFG, observe_locs=observe)
-        rm = cached_explore(
-            test.program, rm_config(test.max_promises), observe_locs=observe
-        )
+        sc = cached_explore(test.program, sc_cfg, observe_locs=observe)
+        rm = cached_explore(test.program, rm_cfg, observe_locs=observe)
         digests[test.name] = {
             "sc": behavior_digest(sc),
             "rm": behavior_digest(rm),

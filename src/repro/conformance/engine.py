@@ -125,7 +125,8 @@ class FuzzReport:
         else:
             lines.append(
                 "all oracles agreed: containment, equivalence, axiomatic "
-                "agreement, engine-config identity, monitor truth"
+                "agreement, engine-config identity, monitor truth, "
+                "vm discipline"
             )
         return "\n".join(lines)
 

@@ -37,6 +37,19 @@ Each profile pairs an operation alphabet with the oracle set that is
     of the DRF-Kernel checker, used by the monitor-truth oracle.
     :func:`valid` requires at least one ``pull`` so the checker plans a
     real exploration instead of early-returning.
+``vm``
+    Accessor fragments around a *fixed* break-before-make skeleton, run
+    under the ``bbm``/``walk-cache``/``had`` relaxed-virtual-memory
+    features: a kernel updater honestly break-before-makes the non-leaf
+    root entry from the old to the new translation table and releases a
+    flag; the genome's first thread is the user accessor's pre-handshake
+    phase, the remaining threads its post-handshake phase, and the build
+    appends a leaf-only TLBI, a checked ``vload`` and a dirty-bit-probe
+    ``vstore``.  The ``vm`` oracle asserts the post-handshake load can
+    only reach the new frame (or fault inside the remap window) and that
+    a completed store leaves a dirty leaf entry.  :func:`valid` requires
+    a virtual access in the pre-phase so the walk cache actually gets
+    primed with the stale intermediate descriptor.
 
 Determinism
 -----------
@@ -57,7 +70,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir import ThreadBuilder, build_program
 from repro.ir.instructions import PTKind
-from repro.ir.program import Program
+from repro.ir.program import MMUConfig, Program
 from repro.litmus.generate import derive_rng
 
 __all__ = [
@@ -65,6 +78,7 @@ __all__ = [
     "PT_BASE",
     "PROFILES",
     "PROFILE_OPS",
+    "VM_PROFILE_FEATURES",
     "Genome",
     "OpSpec",
     "build",
@@ -83,7 +97,25 @@ PT_BASE = 0x200
 _STRIDE = 8
 
 #: Generation profiles in round-robin order.
-PROFILES: Tuple[str, ...] = ("plain", "fenced", "mmu", "sync")
+PROFILES: Tuple[str, ...] = ("plain", "fenced", "mmu", "sync", "vm")
+
+#: Fixed geometry of the ``vm`` profile's break-before-make skeleton:
+#: a two-level walk rooted at ``VM_ROOT`` whose level-0 entry is remapped
+#: from table ``VM_T_OLD`` to ``VM_T_NEW``; vpn ``VM_VPN_A`` changes
+#: frames across the remap, vpn ``VM_VPN_B`` keeps frame ``VM_FRAME_B``
+#: in both tables (the dirty-bit probe target).
+VM_ROOT = 0x400
+VM_T_OLD, VM_T_NEW = 0x410, 0x420
+VM_FRAME_OLD, VM_FRAME_NEW, VM_FRAME_B = 0x300, 0x310, 0x320
+VM_FLAG = 0x500
+VM_VPN_A, VM_VPN_B = 0, 1
+#: Frame values distinguishing the old and new mapping of vpn A.
+VM_OLD_VAL, VM_NEW_VAL = 1, 2
+#: The relaxed-virtual-memory features the ``vm`` profile runs under.
+VM_PROFILE_FEATURES = frozenset({"bbm", "walk-cache", "had"})
+
+#: Op kinds that translate through the MMU (prime the walk cache).
+_VM_VIRTUAL_OPS = ("vload_a", "vload_b", "vstore_b")
 
 #: Per-profile operation alphabet with generation weights.
 PROFILE_OPS: Dict[str, Tuple[Tuple[str, int], ...]] = {
@@ -114,6 +146,15 @@ PROFILE_OPS: Dict[str, Tuple[Tuple[str, int], ...]] = {
         ("store", 3),
         ("pull", 2),
         ("push", 2),
+    ),
+    "vm": (
+        ("vload_a", 3),
+        ("vload_b", 2),
+        ("vstore_b", 2),
+        ("load", 2),
+        ("store", 2),
+        ("barrier_full", 1),
+        ("nop", 1),
     ),
 }
 
@@ -224,6 +265,11 @@ def valid(genome: Genome) -> bool:
         return any(
             op.kind == "pull" for ops in genome.threads for op in ops
         )
+    if genome.profile == "vm":
+        # The pre-handshake phase must contain a virtual access, or the
+        # walk cache is never primed and the stale-intermediate behavior
+        # family (and its seeded mutant) is unreachable.
+        return any(op.kind in _VM_VIRTUAL_OPS for op in genome.threads[0])
     return True
 
 
@@ -236,6 +282,8 @@ def build(genome: Genome) -> Program:
     initialized to zero, and the ``fenced`` profile appends a full
     barrier after every access.
     """
+    if genome.profile == "vm":
+        return _build_vm(genome)
     data = data_locations(genome)
     pts = pt_locations(genome)
     fenced = genome.profile == "fenced"
@@ -298,6 +346,79 @@ def build(genome: Genome) -> Program:
     )
 
 
+def _build_vm(genome: Genome) -> Program:
+    """Lower a ``vm`` genome around the fixed break-before-make skeleton.
+
+    Thread 0 of the genome is the accessor's pre-handshake phase, the
+    remaining threads are concatenated into the post-handshake phase.
+    The updater and the accessor's trailing probe sequence (leaf-only
+    TLBI, checked load of vpn A, dirty-bit store to vpn B) are fixed, so
+    every ``vm`` program is a valid input of the property-based ``vm``
+    oracle regardless of how the genome evolved.
+    """
+    data = data_locations(genome)
+    u = ThreadBuilder(0, "updater")
+    u.bbm_remap(VM_ROOT + 0, VM_T_NEW, vpn=VM_VPN_A,
+                kind=PTKind.STAGE2, level=0)
+    u.store(VM_FLAG, 1, release=True)
+
+    a = ThreadBuilder(1, "accessor", is_kernel=False)
+    regs: List[str] = []
+
+    def emit(op: OpSpec, reg: str) -> None:
+        """Lower one genome op into the accessor thread."""
+        loc = data[op.loc % len(data)]
+        val = max(1, op.val)
+        if op.kind == "vload_a":
+            a.vload(reg, VM_VPN_A)
+            regs.append(reg)
+        elif op.kind == "vload_b":
+            a.vload(reg, VM_VPN_B)
+            regs.append(reg)
+        elif op.kind == "vstore_b":
+            a.vstore(VM_VPN_B, val)
+        elif op.kind == "load":
+            a.load(reg, loc)
+            regs.append(reg)
+        elif op.kind == "store":
+            a.store(loc, val)
+        elif op.kind == "barrier_full":
+            a.barrier("full")
+        elif op.kind == "nop":
+            a.nop()
+        else:
+            raise ValueError(f"unknown vm op kind {op.kind!r}")
+
+    for i, op in enumerate(genome.threads[0]):
+        emit(op, f"a{i}")
+    a.spin_until_eq("f", VM_FLAG, 1, acquire=True)
+    post = [op for ops in genome.threads[1:] for op in ops]
+    for i, op in enumerate(post):
+        emit(op, f"b{i}")
+    a.tlbi(VM_VPN_A, leaf_only=True)
+    a.vload("r_chk", VM_VPN_A)
+    regs.append("r_chk")
+    a.vstore(VM_VPN_B, 9)
+
+    init = {loc: 0 for loc in data}
+    init.update({
+        VM_ROOT: VM_T_OLD,
+        VM_T_OLD + VM_VPN_A: VM_FRAME_OLD,
+        VM_T_OLD + VM_VPN_B: VM_FRAME_B,
+        VM_T_NEW + VM_VPN_A: VM_FRAME_NEW,
+        VM_T_NEW + VM_VPN_B: VM_FRAME_B,
+        VM_FRAME_OLD: VM_OLD_VAL,
+        VM_FRAME_NEW: VM_NEW_VAL,
+        VM_FRAME_B: 0,
+        VM_FLAG: 0,
+    })
+    return build_program(
+        [u, a], observed={1: regs}, initial_memory=init,
+        mmu=MMUConfig(root=VM_ROOT),
+        name=f"vm[{genome.name}]",
+    )
+
+
 def random_genome(
     profile: str,
     rng: random.Random,
@@ -334,6 +455,18 @@ MUTATIONS: Tuple[str, ...] = (
     "insert", "delete", "rekind", "retarget", "revalue", "swap", "dup",
 )
 
+#: Extra walk-aware operator for ``vm`` genomes: ``hoist`` moves an
+#: operation across the handshake (between the pre- and post-phase op
+#: lists), the edit that turns a walk-cache-priming access into a
+#: post-remap one and vice versa.  Kept out of :data:`MUTATIONS` so the
+#: other profiles' fixed-seed mutation draws are unchanged.
+_VM_MUTATIONS: Tuple[str, ...] = MUTATIONS + ("hoist",)
+
+
+def _mutations_for(profile: str) -> Tuple[str, ...]:
+    """The mutation operator set for *profile*."""
+    return _VM_MUTATIONS if profile == "vm" else MUTATIONS
+
 
 def mutate(genome: Genome, rng: random.Random, name: str = "mut") -> Genome:
     """One random structural edit of *genome* (always profile-valid)."""
@@ -342,7 +475,7 @@ def mutate(genome: Genome, rng: random.Random, name: str = "mut") -> Genome:
     op_positions = [
         (t, i) for t, ops in enumerate(threads) for i in range(len(ops))
     ]
-    choice = rng.choice(MUTATIONS)
+    choice = rng.choice(_mutations_for(genome.profile))
     if choice == "insert" or not op_positions:
         t = rng.randrange(len(threads))
         if len(threads[t]) < MAX_OPS_PER_THREAD:
@@ -378,6 +511,12 @@ def mutate(genome: Genome, rng: random.Random, name: str = "mut") -> Genome:
         t, i = rng.choice(op_positions)
         if len(threads[t]) < MAX_OPS_PER_THREAD:
             threads[t].insert(i, threads[t][i])
+    elif choice == "hoist":
+        t, i = rng.choice(op_positions)
+        dest = rng.randrange(len(threads))
+        if dest != t and len(threads[dest]) < MAX_OPS_PER_THREAD:
+            op = threads[t].pop(i)
+            threads[dest].insert(rng.randint(0, len(threads[dest])), op)
     mutated = Genome(
         profile=genome.profile,
         threads=tuple(tuple(ops) for ops in threads),
@@ -401,6 +540,12 @@ def _repair(genome: Genome, rng: random.Random) -> Genome:
         if len(threads[t]) >= MAX_OPS_PER_THREAD:
             threads[t].pop()
         threads[t].insert(0, OpSpec(kind="pull", loc=0, val=1))
+    if genome.profile == "vm" and not any(
+        op.kind in _VM_VIRTUAL_OPS for op in threads[0]
+    ):
+        if len(threads[0]) >= MAX_OPS_PER_THREAD:
+            threads[0].pop()
+        threads[0].insert(0, OpSpec(kind="vload_a", loc=0, val=1))
     return Genome(
         profile=genome.profile,
         threads=tuple(tuple(ops) for ops in threads),

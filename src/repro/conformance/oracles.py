@@ -41,6 +41,16 @@ bug, never on an expected relaxed-memory effect:
     program inside the encodable fragment — the relation that keeps
     the second verification backend honest (and kills the seeded
     ``bmc-*`` encoder mutants).
+``vm``
+    Property-based checks on ``vm`` genomes (the fixed break-before-make
+    skeleton run under the ``bbm``/``walk-cache``/``had`` features):
+    after the updater's honest remap handshake, the accessor's checked
+    load reaches the *new* frame or faults inside the remap window —
+    never the old frame — and every fault-free behavior leaves a
+    dirty leaf entry behind the probe store.  Sound for arbitrary
+    accessor fragments because the skeleton's protocol is honest by
+    construction; fires on the seeded ``bbm-skipped``,
+    ``stale-intermediate-walk`` and ``lost-dirty-bit`` mutants.
 
 :func:`check_genome` selects the sound subset for a genome's profile
 (plus the expensive ``fuse``/``jobs`` oracles when asked) and is the
@@ -51,16 +61,26 @@ corpus replayer.
 from __future__ import annotations
 
 import contextlib
+import dataclasses
 import os
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.conformance.genome import Genome, build, shared_locations
+from repro.conformance.genome import (
+    VM_NEW_VAL,
+    VM_PROFILE_FEATURES,
+    VM_T_NEW,
+    VM_T_OLD,
+    VM_VPN_B,
+    Genome,
+    build,
+    shared_locations,
+)
 from repro.ir.program import Program
 from repro.memory.axiomatic import axiomatic_outcomes, eligible
 from repro.memory.cache import cached_explore
 from repro.memory.datatypes import ExplorationResult
-from repro.memory.semantics import PROMISING_ARM, SC
+from repro.memory.semantics import PROMISING_ARM, PTE_DIRTY, SC
 from repro.smt.backend import bmc_explore, bmc_supported
 from repro.smt.encode import Unsupported
 from repro.parallel import parallel_map
@@ -82,6 +102,7 @@ ORACLES: Tuple[str, ...] = (
     "axiomatic",
     "backend",
     "monitor",
+    "vm",
     "por",
     "memo",
     "fuse",
@@ -94,6 +115,7 @@ _PROFILE_ORACLES = {
     "fenced": ("containment", "equivalence", "backend", "por", "memo"),
     "mmu": ("containment", "por", "memo"),
     "sync": ("monitor",),
+    "vm": ("vm",),
 }
 
 #: Expensive oracles added when the caller opts into a heavy check.
@@ -102,6 +124,7 @@ _HEAVY_ORACLES = {
     "fenced": ("jobs",),
     "mmu": ("jobs",),
     "sync": ("fuse",),
+    "vm": ("jobs",),
 }
 
 
@@ -241,6 +264,55 @@ def _check_backend(program: Program) -> List[Disagreement]:
                 oracle="backend",
                 detail=f"BMC changed the {label} behavior set: {diff}",
             ))
+    return out
+
+
+def _check_vm(program: Program) -> List[Disagreement]:
+    """The ``vm`` profile's translation-soundness properties.
+
+    On the relaxed model with the ``vm`` feature set enabled: (a) every
+    fault-free behavior's checked load sees the *new* frame (the updater
+    break-before-made honestly before the handshake, so no stale
+    translation may survive it), and (b) every fault-free behavior's
+    probe store left a dirty leaf entry for vpn B (hardware A/D updates
+    are coherence-participating writes).
+    """
+    cfg = dataclasses.replace(
+        PROMISING_ARM, vm_features=VM_PROFILE_FEATURES
+    )
+    result = cached_explore(program, cfg, observe_locs=_observe(program))
+    stale: List[object] = []
+    undirty = 0
+    for b in result.behaviors:
+        if any(f.tid == 1 for f in b.faults) or b.panic is not None:
+            continue
+        regs = {(t, r): v for t, r, v in b.registers}
+        r_chk = regs.get((1, "r_chk"))
+        if r_chk != VM_NEW_VAL:
+            stale.append(r_chk)
+        memory = dict(b.memory)
+        leaves = (
+            memory.get(VM_T_OLD + VM_VPN_B),
+            memory.get(VM_T_NEW + VM_VPN_B),
+        )
+        if not any(v is not None and v & PTE_DIRTY for v in leaves):
+            undirty += 1
+    out: List[Disagreement] = []
+    if stale:
+        shown = sorted(set(stale), key=repr)[:3]
+        out.append(Disagreement(
+            oracle="vm",
+            detail=f"{len(stale)} fault-free behavior(s) read a stale "
+            f"translation after an honest break-before-make handshake "
+            f"(r_chk in {shown}, expected {VM_NEW_VAL})",
+        ))
+    if undirty:
+        out.append(Disagreement(
+            oracle="vm",
+            detail=f"{undirty} fault-free behavior(s) finished the probe "
+            f"store without a dirty vpn-B leaf entry (hardware "
+            f"dirty-bit update lost)",
+        ))
     return out
 
 
@@ -386,6 +458,8 @@ def check_genome(
             out.extend(_check_backend(program))
         elif name == "monitor":
             out.extend(_check_monitor(program, shared))
+        elif name == "vm":
+            out.extend(_check_vm(program))
         elif name == "por":
             out.extend(_check_por(program))
         elif name == "memo":

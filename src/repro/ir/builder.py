@@ -231,10 +231,53 @@ class ThreadBuilder:
     ) -> "ThreadBuilder":
         return self.emit(VStore(coerce(vaddr), coerce(value), space=space))
 
-    def tlbi(self, vaddr: Optional[ExprLike] = None) -> "ThreadBuilder":
+    def tlbi(
+        self,
+        vaddr: Optional[ExprLike] = None,
+        stage: Optional[int] = None,
+        leaf_only: bool = False,
+    ) -> "ThreadBuilder":
         return self.emit(
-            TLBInvalidate(None if vaddr is None else coerce(vaddr))
+            TLBInvalidate(
+                None if vaddr is None else coerce(vaddr),
+                stage=stage,
+                leaf_only=leaf_only,
+            )
         )
+
+    def bbm_remap(
+        self,
+        entry_loc: ExprLike,
+        new_value: ExprLike,
+        vpn: Optional[ExprLike] = None,
+        stage: Optional[int] = None,
+        kind: PTKind = PTKind.STAGE2,
+        level: int = 1,
+    ) -> "ThreadBuilder":
+        """Emit a break-before-make remap of one page-table entry.
+
+        The honest protocol Arm requires for changing a live translation
+        entry to a different live value: write the invalid (0) entry,
+        order it, invalidate the TLB, order the invalidation, then write
+        the new entry and invalidate again.  The ``bbm-skipped`` seeded
+        mutant (see :mod:`repro.memory.mutants`) drops the break phase —
+        store-new/DMB/TLBI only, i.e. exactly the discipline
+        Sequential-TLB-Invalidation asks for on *invalid-to-live*
+        transitions, which is insufficient for live-to-live remaps under
+        the ``bbm`` VM feature.
+        """
+        from repro.memory import mutants
+
+        if not mutants.enabled("bbm-skipped"):
+            self.pt_store(entry_loc, 0, kind=kind, level=level)
+            self.barrier("full")
+            self.tlbi(vpn, stage=stage)
+            self.barrier("full")
+        self.pt_store(entry_loc, new_value, kind=kind, level=level)
+        self.barrier("full")
+        self.tlbi(vpn, stage=stage)
+        self.barrier("full")
+        return self
 
     def pull(self, *locs: ExprLike) -> "ThreadBuilder":
         return self.emit(Pull(tuple(coerce(l) for l in locs)))

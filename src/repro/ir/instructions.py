@@ -259,9 +259,20 @@ class TLBInvalidate(Instruction):
     stores depends on barrier placement — exactly the distinction the
     Sequential-TLB-Invalidation condition is about (see
     :mod:`repro.mmu.tlb`).
+
+    ``stage`` scopes the invalidation under the ``stage2`` VM feature:
+    ``None`` hits both translation stages (``TLBI VMALLS12E1IS``), ``1``
+    only stage 1 (``TLBI VAE1IS``), ``2`` only stage 2 (``TLBI
+    IPAS2E1IS``); each stage's walker floor is raised only by a TLBI
+    covering it.  ``leaf_only=True`` models a last-level invalidation
+    (``TLBI VALE1IS``): cached leaf translations drop but cached
+    intermediate (non-leaf) walk entries survive — the distinction the
+    ``walk-cache`` VM feature makes observable.
     """
 
     vaddr: Optional[Expr] = None
+    stage: Optional[int] = None
+    leaf_only: bool = False
 
 
 
@@ -331,5 +342,9 @@ def validate_instruction(instr: Instruction) -> None:
             raise ProgramError("negative page-table level")
     if isinstance(instr, FetchAndInc) and instr.amount == 0:
         raise ProgramError("FetchAndInc with amount 0 is not an RMW")
+    if isinstance(instr, TLBInvalidate) and instr.stage not in (None, 1, 2):
+        raise ProgramError(
+            f"TLBInvalidate stage must be None, 1, or 2 (got {instr.stage!r})"
+        )
     if isinstance(instr, (Pull, Push)) and not instr.locs:
         raise ProgramError("Pull/Push must name at least one location")

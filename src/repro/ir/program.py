@@ -79,6 +79,13 @@ class MMUConfig:
     the table depth (the paper verifies both 3- and 4-level stage 2
     tables); ``va_bits_per_level`` is how many VA bits each level indexes.
 
+    ``stage2_root``, when set and the ``stage2`` VM feature is enabled,
+    places one flat stage-2 translation table: the entry for intermediate
+    physical address ``ipa`` lives at ``stage2_root + ipa`` and holds the
+    backing physical address (0 = stage-2 fault).  Every stage-1 table
+    entry address and the final output page are stage-2 translated
+    through it.
+
     The concrete walk semantics live in :mod:`repro.mmu.walker`; this is
     only the configuration carried by a program.
     """
@@ -87,12 +94,15 @@ class MMUConfig:
     levels: int = 2
     va_bits_per_level: int = 4
     page_bits: int = 4
+    stage2_root: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.levels < 1:
             raise ProgramError("page table must have at least one level")
         if self.va_bits_per_level < 1 or self.page_bits < 1:
             raise ProgramError("va_bits_per_level and page_bits must be >= 1")
+        if self.stage2_root is not None and self.stage2_root < 0:
+            raise ProgramError("stage2_root must be a non-negative location")
 
 
 @dataclass(frozen=True)

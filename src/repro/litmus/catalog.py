@@ -22,7 +22,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.ir import MemSpace, PTKind, Reg, ThreadBuilder, build_program
-from repro.ir.program import Program
+from repro.ir.program import MMUConfig, Program
+from repro.memory.semantics import PTE_AF, PTE_DIRTY
 from repro.mmu.pagetable import PageTableLayout
 
 
@@ -48,6 +49,10 @@ class LitmusTest:
     #: with the register condition — needed for coherence-order probes
     #: like S, R, and 2+2W where the outcome lives in memory.
     memory_condition: Tuple[Tuple[int, int], ...] = ()
+    #: Relaxed-virtual-memory features (see
+    #: :data:`repro.memory.semantics.VM_FEATURES`) the test runs under;
+    #: the runner applies them to both model configurations.
+    vm_features: Tuple[str, ...] = ()
 
     @property
     def exposes_rm_bug(self) -> bool:
@@ -713,6 +718,220 @@ def sb_rel_acq() -> LitmusTest:
     )
 
 
+# ---------------------------------------------------------------------------
+# relaxed-virtual-memory corpus (REPRO_VM_FEATURES behavior families)
+# ---------------------------------------------------------------------------
+
+#: Shared flat-table geometry for the VM-feature tests: a two-level walk
+#: rooted at ``VM_ROOT`` whose level-0 entry points at table ``VM_T1``,
+#: whose entry 0 maps vpn 0 to page ``VM_P1``.
+VM_ROOT, VM_T1, VM_T2 = 0x200, 0x210, 0x220
+VM_P1, VM_P2 = 0x100, 0x110
+VM_FLAG = 0x300
+VM_S2 = 0x400
+
+
+def _vm_handshake_accessor(tid: int = 1) -> ThreadBuilder:
+    """The VM tests' reader: waits for the updater's release, then loads."""
+    a = ThreadBuilder(tid, "accessor", is_kernel=False)
+    a.spin_until_eq("f", VM_FLAG, 1, acquire=True)
+    a.vload("r", 0)
+    return a
+
+
+def vm_bbm(honest: bool) -> LitmusTest:
+    """Break-before-make amalgamation (``bbm`` feature).
+
+    An updater changes the live leaf entry vpn0 -> VM_P1 to vpn0 -> VM_P2
+    and hands off with a release store.  The honest variant interposes the
+    invalid entry plus a TLBI between the two live values
+    (:meth:`ThreadBuilder.bbm_remap`); the amalgamated variant rewrites
+    the live entry directly (store/DMB/TLBI) — sufficient discipline for
+    invalid-to-live transitions, CONSTRAINED UNPREDICTABLE for
+    live-to-live ones.  Under ``bbm`` the overwritten translation then
+    stays a permanent walker candidate, so the accessor can still read
+    the old frame *after* the handshake.
+    """
+    u = ThreadBuilder(0, "updater")
+    if honest:
+        u.bbm_remap(VM_T1 + 0, VM_P2, vpn=0, kind=PTKind.STAGE2, level=1)
+    else:
+        u.pt_store(VM_T1 + 0, VM_P2, kind=PTKind.STAGE2, level=1)
+        u.barrier("full")
+        u.tlbi(0)
+        u.barrier("full")
+    u.store(VM_FLAG, 1, release=True)
+    program = build_program(
+        [u, _vm_handshake_accessor()],
+        observed={1: ("r",)},
+        initial_memory={
+            VM_ROOT: VM_T1, VM_T1: VM_P1, VM_P1: 1, VM_P2: 2, VM_FLAG: 0,
+        },
+        mmu=MMUConfig(root=VM_ROOT),
+        name=f"vm_bbm[{'honest' if honest else 'amalgamated'}]",
+    )
+    return LitmusTest(
+        name=f"VM-bbm[{'honest' if honest else 'amalgamated'}]",
+        program=program,
+        condition=dict(t1_r=1),
+        allowed_sc=False,
+        allowed_rm=not honest,
+        description=(
+            "break-before-make interposes an invalid entry; skipping the "
+            "break leaves the old translation amalgamated forever"
+        ),
+        paper_ref="Simner et al. §4 (break-before-make)",
+        vm_features=("bbm",),
+    )
+
+
+def vm_walk_cache(leaf_only: bool) -> LitmusTest:
+    """Partial caching of intermediate walk entries (``walk-cache``).
+
+    The updater honestly break-before-makes the *non-leaf* root entry
+    from table VM_T1 to table VM_T2.  With full TLBIs the accessor's
+    cached intermediate descriptor is expelled and the post-handshake
+    load must reach the new table's frame (or fault inside the window).
+    With last-level (``leaf_only``) TLBIs the cached level-0 descriptor
+    survives, and the accessor can keep walking through the stale table
+    to the old frame.
+    """
+    u = ThreadBuilder(0, "updater")
+    u.pt_store(VM_ROOT + 0, 0, kind=PTKind.STAGE2, level=0)
+    u.barrier("full")
+    u.tlbi(0, leaf_only=leaf_only)
+    u.barrier("full")
+    u.pt_store(VM_ROOT + 0, VM_T2, kind=PTKind.STAGE2, level=0)
+    u.barrier("full")
+    u.tlbi(0, leaf_only=leaf_only)
+    u.barrier("full")
+    u.store(VM_FLAG, 1, release=True)
+    a = ThreadBuilder(1, "accessor", is_kernel=False)
+    a.vload("pre", 0)  # primes the walk cache with the old descriptor
+    a.spin_until_eq("f", VM_FLAG, 1, acquire=True)
+    a.tlbi(0, leaf_only=True)  # drops the leaf TLB entry, not the cache
+    a.vload("r", 0)
+    program = build_program(
+        [u, a],
+        observed={1: ("pre", "r")},
+        initial_memory={
+            VM_ROOT: VM_T1, VM_T1: VM_P1, VM_T2: VM_P2,
+            VM_P1: 1, VM_P2: 2, VM_FLAG: 0,
+        },
+        mmu=MMUConfig(root=VM_ROOT),
+        name=f"vm_walk_cache[{'leaf-only' if leaf_only else 'full'}-tlbi]",
+    )
+    return LitmusTest(
+        name=f"VM-walk-cache[{'leaf-only' if leaf_only else 'full'}-tlbi]",
+        program=program,
+        condition=dict(t1_r=1),
+        allowed_sc=False,
+        allowed_rm=leaf_only,
+        description=(
+            "a leaf-only TLBI leaves stale intermediate walk entries "
+            "cached; only a non-leaf invalidation expels them"
+        ),
+        paper_ref="Simner et al. §3.3 (partial caching of walks)",
+        vm_features=("walk-cache",),
+    )
+
+
+def vm_dirty_bit() -> LitmusTest:
+    """Hardware access/dirty updates (``had``).
+
+    A user store through the vpn0 mapping must leave the leaf entry with
+    both the access flag and the dirty bit set — the walker's atomic
+    read-modify-write is a coherence participant, so the final memory
+    state carries the update on both models.
+    """
+    a = ThreadBuilder(0, "accessor", is_kernel=False)
+    a.vstore(0, 9)
+    program = build_program(
+        [a],
+        observed={},
+        initial_memory={VM_ROOT: VM_T1, VM_T1: VM_P1, VM_P1: 1},
+        mmu=MMUConfig(root=VM_ROOT),
+        name="vm_dirty_bit",
+    )
+    return LitmusTest(
+        name="VM-dirty-bit",
+        program=program,
+        condition={},
+        allowed_sc=True,
+        allowed_rm=True,
+        description=(
+            "a completed store through a mapping leaves its leaf entry "
+            "access-flagged and dirty"
+        ),
+        paper_ref="Simner et al. §3.6 (HW access/dirty updates)",
+        memory_condition=(
+            (VM_T1, VM_P1 | PTE_AF | PTE_DIRTY),
+            (VM_P1, 9),
+        ),
+        vm_features=("had",),
+    )
+
+
+def vm_stage2_tlbi(stage: Optional[int]) -> LitmusTest:
+    """Per-stage TLBI scope under two-stage translation (``stage2``).
+
+    Stage-1 tables map vpn 0 through VM_T1 to intermediate page VM_P1;
+    the flat stage-2 table at VM_S2 backs VM_P1 with physical frame 0x120
+    (value 10), which the updater remaps to frame 0x130 (value 20).  A
+    TLBI scoped to stage 1 alone never raises the stage-2 walker floor,
+    so the accessor can keep translating through the stale stage-2 entry;
+    a stage-2 or both-stage invalidation forbids that.
+    """
+    pa_a, pa_b = 0x120, 0x130
+    u = ThreadBuilder(0, "updater")
+    u.pt_store(VM_S2 + VM_P1, pa_b, kind=PTKind.STAGE2, level=1)
+    u.barrier("full")
+    u.tlbi(0, stage=stage)
+    u.barrier("full")
+    u.store(VM_FLAG, 1, release=True)
+    init = {
+        VM_ROOT: VM_T1, VM_T1: VM_P1,
+        VM_S2 + VM_ROOT: VM_ROOT, VM_S2 + VM_T1: VM_T1, VM_S2 + VM_P1: pa_a,
+        pa_a: 10, pa_b: 20, VM_FLAG: 0,
+    }
+    scope = "both" if stage is None else f"stage{stage}"
+    program = build_program(
+        [u, _vm_handshake_accessor()],
+        observed={1: ("r",)},
+        initial_memory=init,
+        mmu=MMUConfig(root=VM_ROOT, stage2_root=VM_S2),
+        name=f"vm_stage2_tlbi[{scope}]",
+    )
+    return LitmusTest(
+        name=f"VM-stage2-tlbi[{scope}]",
+        program=program,
+        condition=dict(t1_r=10),
+        allowed_sc=False,
+        allowed_rm=stage == 1,
+        description=(
+            "a stage-1-scoped TLBI does not invalidate stage-2 "
+            "translations; the stale intermediate-physical mapping "
+            "survives unless the invalidation covers stage 2"
+        ),
+        paper_ref="Simner et al. §3.5 (two-stage translation)",
+        vm_features=("stage2",),
+    )
+
+
+def vm_corpus() -> List[LitmusTest]:
+    """The relaxed-virtual-memory feature families."""
+    return [
+        vm_bbm(honest=True),
+        vm_bbm(honest=False),
+        vm_walk_cache(leaf_only=False),
+        vm_walk_cache(leaf_only=True),
+        vm_dirty_bit(),
+        vm_stage2_tlbi(stage=1),
+        vm_stage2_tlbi(stage=2),
+        vm_stage2_tlbi(stage=None),
+    ]
+
+
 def extended_corpus() -> List[LitmusTest]:
     """Additional shapes beyond the core corpus."""
     return [
@@ -766,4 +985,6 @@ def paper_examples() -> List[LitmusTest]:
 
 
 def full_corpus() -> List[LitmusTest]:
-    return classic_corpus() + extended_corpus() + paper_examples()
+    return (
+        classic_corpus() + extended_corpus() + paper_examples() + vm_corpus()
+    )

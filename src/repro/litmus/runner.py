@@ -15,9 +15,10 @@ bit-identical to serial ones.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.litmus.catalog import LitmusTest, full_corpus
 from repro.memory.behaviors import parse_register_key
@@ -34,6 +35,23 @@ SC_CFG = ModelConfig(relaxed=False)
 def rm_config(max_promises: int) -> ModelConfig:
     """The shared relaxed configuration for a given promise bound."""
     return ModelConfig(relaxed=True, max_promises_per_thread=max_promises)
+
+
+def litmus_configs(test: LitmusTest) -> Tuple[ModelConfig, ModelConfig]:
+    """The ``(sc, rm)`` configurations *test* runs under.
+
+    Tests carrying ``vm_features`` get them applied to both models, so a
+    feature-gated behavior family is explored exactly where the catalog
+    says it applies; every other test keeps the shared seed configs
+    (identical cache keys, bit-identical digests).
+    """
+    sc_cfg = SC_CFG
+    rm_cfg = rm_config(test.max_promises)
+    if test.vm_features:
+        feats = frozenset(test.vm_features)
+        sc_cfg = dataclasses.replace(sc_cfg, vm_features=feats)
+        rm_cfg = dataclasses.replace(rm_cfg, vm_features=feats)
+    return sc_cfg, rm_cfg
 
 
 @dataclass(frozen=True)
@@ -139,9 +157,9 @@ def run_litmus(
         from repro.smt.router import backend_default
 
         backend = backend_default()
-    rm_cfg = rm_config(test.max_promises)
+    sc_cfg, rm_cfg = litmus_configs(test)
     observe = sorted(loc for loc, _ in test.memory_condition)
-    sc = _explore_one(test, SC_CFG, observe, cache, backend)
+    sc = _explore_one(test, sc_cfg, observe, cache, backend)
     rm = _explore_one(test, rm_cfg, observe, cache, backend)
     return LitmusOutcome(
         test=test,

@@ -57,6 +57,9 @@ from repro.memory.semantics import (
     ProgramCache,
     execute_instruction,
     promise_steps,
+    resolve_vm_features,
+    vm_check_enabled,
+    vm_neutral_program,
 )
 from repro.memory.state import (
     ExecState,
@@ -181,8 +184,32 @@ def explore(
     reduction only ever engages on programs passing the soundness gate,
     so behavior sets are identical either way.
     """
+    cfg = resolve_vm_features(cfg)
     if por is None:
         por = por_default_enabled()
+    if cfg.vm_features and vm_check_enabled() and vm_neutral_program(program):
+        # Bit-identity cross-check (REPRO_VM_CHECK=1): the VM feature
+        # families may only change programs that actually exercise the
+        # MMU.  For MMU-free programs, explore with the features on and
+        # off and require identical behavior sets.  ``_explore`` is
+        # called directly so the stripped config cannot be re-filled
+        # from the environment.
+        from dataclasses import replace as _replace
+
+        featured = _explore(program, cfg, observe_locs, False, por)
+        stripped = _explore(
+            program, _replace(cfg, vm_features=frozenset()),
+            observe_locs, False, por,
+        )
+        if featured.complete and stripped.complete:
+            if featured.behaviors != stripped.behaviors:
+                raise VerificationError(
+                    f"VM-feature cross-check failed for {program.name!r}: "
+                    f"features {sorted(cfg.vm_features)} changed the "
+                    f"behavior set of an MMU-free program "
+                    f"({len(featured.behaviors)} vs "
+                    f"{len(stripped.behaviors)} behaviors)"
+                )
     if por_check_enabled():
         # The comparison must see full behavior sets, so both cross-check
         # searches run monitor-free; the caller's monitors are then fed

@@ -29,6 +29,24 @@ mutant is active:
   barriers, acquire/release accesses, and push/pull ownership — exactly
   the cases where steps stop commuting.  Killed by the engine-config
   agreement oracle (POR on vs. off).
+* ``bbm-skipped`` — :meth:`repro.ir.builder.ThreadBuilder.bbm_remap`
+  drops the break phase: a live page-table entry is rewritten directly
+  to the new live value (store/DMB/TLBI, no invalid intermediate).
+  Under the ``bbm`` VM feature the overwritten translation stays a
+  permanent walker candidate, so accessors can keep using the old
+  mapping after the updater's release fence — killed by the ``vm``
+  conformance oracle's post-handshake translation check.
+* ``stale-intermediate-walk`` — :func:`repro.memory.semantics._exec_tlbi`
+  stops expelling cached intermediate (non-leaf) walk entries on
+  non-leaf-scoped stage-1 TLBIs, so a stale level-1 descriptor cached
+  under the ``walk-cache`` VM feature redirects walks forever.  Killed
+  by the ``vm`` oracle: the accessor still reaches the unmapped old
+  frame after a full break-before-make remap.
+* ``lost-dirty-bit`` — :func:`repro.memory.semantics._hw_ad_update`
+  omits ``PTE_DIRTY`` on stores (sets only the access flag), breaking
+  the ``had`` VM feature's guarantee that a completed store through a
+  mapping leaves its leaf entry dirty.  Killed by the ``vm`` oracle's
+  final-state dirty-bit check.
 
 Active mutants are part of every exploration cache key (see
 :func:`repro.memory.cache.exploration_key`), so a mutated engine can
@@ -47,6 +65,9 @@ KNOWN_MUTANTS: Tuple[str, ...] = (
     "skip-por-gate",
     "bmc-drop-clause",
     "bmc-off-by-one-bound",
+    "bbm-skipped",
+    "stale-intermediate-walk",
+    "lost-dirty-bit",
 )
 
 _active: Set[str] = set()

@@ -88,6 +88,9 @@ class ModelConfig:
     is how the DRF-Kernel check becomes panic-freedom.
     ``initial_ownership`` seeds the ownership map (e.g. a vCPU context
     starts owned by the CPU currently running the vCPU).
+    ``vm_features`` enables the relaxed-virtual-memory behavior families
+    of :data:`VM_FEATURES`; empty (the default) is the seed MMU model,
+    bit-identical to every pre-feature result.
     """
 
     relaxed: bool = True
@@ -100,6 +103,7 @@ class ModelConfig:
     owned_access_required: FrozenSet[int] = frozenset()
     initial_ownership: Tuple[Tuple[int, int], ...] = ()
     oracle_sequences: Tuple[Tuple[int, ...], ...] = ()
+    vm_features: FrozenSet[str] = frozenset()
 
     @property
     def check_barrier_fulfillment(self) -> bool:
@@ -111,6 +115,99 @@ SC = ModelConfig(relaxed=False)
 PROMISING_ARM = ModelConfig(relaxed=True)
 PUSH_PULL_SC = ModelConfig(relaxed=False, pushpull=True)
 PUSH_PULL_PROMISING = ModelConfig(relaxed=True, pushpull=True)
+
+
+# ---------------------------------------------------------------------------
+# relaxed-virtual-memory feature families (Simner et al., "Relaxed virtual
+# memory in Armv8-A")
+# ---------------------------------------------------------------------------
+
+#: The four modeled VM behavior families, each individually switchable:
+#:
+#: * ``bbm`` — break-before-make violations become observable: changing a
+#:   live page-table entry directly to another live value (without the
+#:   break/TLBI/make sequence) leaves the *old* translation as a permanent
+#:   additional walker candidate — the model's reading of Arm's
+#:   CONSTRAINED UNPREDICTABLE "amalgamation" of old and new entries.
+#:   Honest break-before-make sequences (write invalid, DMB, TLBI, DMB,
+#:   write new) never create a live-to-live transition and are unaffected.
+#: * ``walk-cache`` — partial TLB caching of intermediate (non-leaf) walk
+#:   entries: a walker that read a level-N table descriptor may keep
+#:   serving it to later walks until a non-leaf-scoped stage-1 TLBI, so a
+#:   stale intermediate descriptor can redirect a walk even after the
+#:   leaf entry was invalidated (``leaf_only`` TLBIs preserve it).
+#: * ``had`` — hardware access/dirty-bit management: every successful
+#:   translation appends a walker-originated atomic update OR-ing
+#:   :data:`PTE_AF` (and :data:`PTE_DIRTY` for stores) into the stage-1
+#:   leaf entry; the update is an ordinary message participating in
+#:   coherence, and walkers interpret entries modulo the attribute bits.
+#: * ``stage2`` — two-stage translation: when the program's
+#:   :class:`~repro.ir.program.MMUConfig` sets ``stage2_root``, every
+#:   stage-1 table-entry address and the final output page are themselves
+#:   stage-2 translated (one flat stage-2 table indexed by IPA), with
+#:   per-stage TLBI scope (``TLBInvalidate.stage``) raising only the
+#:   matching walker floor.
+VM_FEATURES: Tuple[str, ...] = ("bbm", "had", "stage2", "walk-cache")
+
+#: Hardware-managed attribute bits of a stage-1 leaf entry under ``had``.
+#: They sit far above any address the test corpus uses, so masking them
+#: off recovers the output page.
+PTE_AF = 1 << 20
+PTE_DIRTY = 1 << 21
+PTE_VALUE_MASK = PTE_AF - 1
+
+
+def parse_vm_features(text: str) -> FrozenSet[str]:
+    """Parse a comma-separated feature list (``all`` enables every one)."""
+    names = [part.strip() for part in text.split(",") if part.strip()]
+    if "all" in names:
+        return frozenset(VM_FEATURES)
+    unknown = [n for n in names if n not in VM_FEATURES]
+    if unknown:
+        raise ProgramError(
+            f"unknown VM feature(s) {', '.join(sorted(unknown))}; "
+            f"known: {', '.join(VM_FEATURES)} (or 'all')"
+        )
+    return frozenset(names)
+
+
+def env_vm_features() -> FrozenSet[str]:
+    """The ``REPRO_VM_FEATURES`` environment selection (empty default)."""
+    return parse_vm_features(os.environ.get("REPRO_VM_FEATURES", ""))
+
+
+def resolve_vm_features(cfg: ModelConfig) -> ModelConfig:
+    """Fill ``cfg.vm_features`` from the environment when unset.
+
+    An explicitly configured feature set always wins; the environment
+    knob only upgrades the default-empty config, so programmatic callers
+    (cross-checks, the verdict matrix) are immune to ambient state.
+    """
+    if cfg.vm_features:
+        return cfg
+    env = env_vm_features()
+    if env:
+        return replace(cfg, vm_features=env)
+    return cfg
+
+
+def vm_check_enabled() -> bool:
+    """Cross-check mode (``REPRO_VM_CHECK=1``): explorations of
+    VM-feature-free programs run with and without the enabled features
+    and any behavior difference raises — the bit-identity guarantee the
+    feature gates promise, continuously checked."""
+    return os.environ.get("REPRO_VM_CHECK", "0") == "1"
+
+
+def vm_neutral_program(program: Program) -> bool:
+    """True when no thread of *program* uses the MMU (no virtual access
+    and no TLBI) — the programs whose behavior the VM features must not
+    change."""
+    for thread in program.threads:
+        for instr in thread.instrs:
+            if isinstance(instr, (VLoad, VStore, TLBInvalidate)):
+                return False
+    return True
 
 
 class ProgramCache:
@@ -256,6 +353,7 @@ def _walker_candidates(
     cfg: ModelConfig,
     loc: int,
     cpu_tidx: int,
+    stage2: bool = False,
 ) -> List[Tuple[int, int]]:
     """Values an MMU walker read of page-table location *loc* may see.
 
@@ -264,13 +362,19 @@ def _walker_candidates(
     floor raised by barrier-ordered TLB invalidations.  It never observes
     its own CPU's unfulfilled promises (the CPU's page-table store has not
     architecturally happened for its own walker until fulfilled).
+
+    ``stage2=True`` reads a stage-2 table entry, bounded by the separate
+    ``s2_walker_floor`` (per-stage TLBI scope).  Under the ``bbm``
+    feature, any live-to-live rewrite of the entry additionally keeps the
+    overwritten value as a permanent candidate (amalgamation).
     """
     init = cache.init_value(loc)
     if not cfg.relaxed:
         ts = latest_write_ts(state.memory, loc)
         return [(ts, value_at(state.memory, loc, ts, init))]
     own = state.threads[cpu_tidx].promises
-    floor = last_write_ts(state.memory, loc, state.walker_floor)
+    floor_view = state.s2_walker_floor if stage2 else state.walker_floor
+    floor = last_write_ts(state.memory, loc, floor_view)
     out: List[Tuple[int, int]] = []
     if floor == 0:
         out.append((0, init))
@@ -278,7 +382,47 @@ def _walker_candidates(
         msg = state.memory[ts - 1]
         if msg.loc == loc and ts not in own:
             out.append((ts, msg.val))
+    if not stage2 and "bbm" in cfg.vm_features:
+        out = _bbm_amalgamate(state, cfg, loc, init, own, out)
     return out
+
+
+def _bbm_amalgamate(
+    state: ExecState,
+    cfg: ModelConfig,
+    loc: int,
+    init: int,
+    own: Tuple[int, ...],
+    out: List[Tuple[int, int]],
+) -> List[Tuple[int, int]]:
+    """Add permanently-poisoned candidates for break-before-make breaks.
+
+    Arm leaves the result of changing a live (valid) translation entry
+    directly to a different live value CONSTRAINED UNPREDICTABLE: TLBs
+    may have formed an amalgam of the two entries, and no later TLBI is
+    guaranteed to expel it.  The model reads that as: for every adjacent
+    live-to-live pair in the entry's write history, the overwritten value
+    stays a walker candidate forever — no floor clears it.  An honest
+    break-before-make sequence interposes the invalid (0) entry between
+    the two live values and is unaffected.
+    """
+    history: List[Tuple[int, int]] = [(0, init)]
+    for ts in range(1, len(state.memory) + 1):
+        msg = state.memory[ts - 1]
+        if msg.loc == loc and ts not in own:
+            history.append((ts, msg.val))
+    had = "had" in cfg.vm_features
+    mask = PTE_VALUE_MASK if had else -1
+    extra: Dict[int, int] = {}
+    for (ts0, v0), (_ts1, v1) in zip(history, history[1:]):
+        if (v0 & mask) != 0 and (v1 & mask) != 0 and v0 != v1:
+            extra[ts0] = v0
+    if not extra:
+        return out
+    seen_ts = {ts for ts, _ in out}
+    merged = out + [(ts, v) for ts, v in extra.items() if ts not in seen_ts]
+    merged.sort()
+    return merged
 
 
 def _panic_state(state: ExecState, reason: str) -> ExecState:
@@ -705,51 +849,150 @@ def _translations(
     tidx: int,
     cfg: ModelConfig,
     vpn: int,
-) -> List[Tuple[Optional[int], ExecState]]:
+) -> List[Tuple[Optional[int], Optional[int], ExecState]]:
     """All translation outcomes for *vpn* on thread *tidx*'s CPU.
 
-    Returns ``(ppage, state)`` pairs; ``ppage=None`` is a translation
-    fault.  Outcomes include a TLB hit (if an entry exists) and every
-    combination of stale/fresh walker reads; a successful walk refills
-    the TLB.
+    Returns ``(ppage, leaf_loc, state)`` triples; ``ppage=None`` is a
+    translation fault.  Outcomes include a TLB hit (if an entry exists)
+    and every combination of stale/fresh walker reads; a successful walk
+    refills the TLB.  ``leaf_loc`` — the physical location of the stage-1
+    leaf entry the translation came through — is only tracked under the
+    ``had`` feature (it is the target of the hardware access/dirty-bit
+    update) and stays ``None`` otherwise, so flag-off deduplication is
+    exactly the seed's.
     """
     mmu = cache.program.mmu
     if mmu is None:
         raise ExecutionError("virtual access in a program with no MMUConfig")
     thread = cache.threads[tidx]
-    results: List[Tuple[Optional[int], ExecState]] = []
+    feats = cfg.vm_features
+    had = "had" in feats
+    use_wc = "walk-cache" in feats and cfg.relaxed
+    s2_root = mmu.stage2_root if "stage2" in feats else None
+    val_mask = PTE_VALUE_MASK if had else -1
+    results: List[Tuple[Optional[int], Optional[int], ExecState]] = []
 
     cached = tget(state.tlb, (thread.tid, vpn), None)
     if cached is not None:
-        results.append((cached, state))
+        if had:
+            results.append((cached[0], cached[1], state))
+        else:
+            results.append((cached, None, state))
 
     # Hardware walk (also models eviction: taken even when an entry exists).
     mask = (1 << mmu.va_bits_per_level) - 1
 
+    def s2_resolve(ipa: int, st: ExecState, cont) -> None:
+        """Stage-2 translate *ipa* (a table address or output page) and
+        feed each resulting physical address to *cont*; a zero stage-2
+        entry is a stage-2 fault.  Pass-through when stage 2 is off."""
+        if s2_root is None:
+            cont(ipa, st)
+            return
+        s2_entry_loc = s2_root + ipa
+        for _ts, entry in _walker_candidates(
+            st, cache, cfg, s2_entry_loc, tidx, stage2=True
+        ):
+            if entry & val_mask == 0:
+                results.append((None, None, st))
+            else:
+                cont(entry & val_mask, st)
+
+    def consume(level: int, entry_loc: int, entry: int, st: ExecState) -> None:
+        """Interpret one stage-1 descriptor read at *entry_loc*."""
+        val = entry & val_mask
+        if val == 0:
+            results.append((None, None, st))
+        elif level + 1 == mmu.levels:
+            def leaf_done(ppage: int, st2: ExecState) -> None:
+                tlb_val = (ppage, entry_loc) if had else ppage
+                refilled = st2._replace(
+                    tlb=tset(st2.tlb, (thread.tid, vpn), tlb_val)
+                )
+                results.append(
+                    (ppage, entry_loc if had else None, refilled)
+                )
+
+            s2_resolve(val, st, leaf_done)
+        else:
+            walk(level + 1, val, st)
+
     def walk(level: int, table_loc: int, st: ExecState) -> None:
         shift = mmu.va_bits_per_level * (mmu.levels - 1 - level)
-        entry_loc = table_loc + ((vpn >> shift) & mask)
-        for _ts, entry in _walker_candidates(st, cache, cfg, entry_loc, tidx):
-            if entry == 0:
-                results.append((None, st))
-            elif level + 1 == mmu.levels:
-                refilled = st._replace(
-                    tlb=tset(st.tlb, (thread.tid, vpn), entry)
+        entry_ipa = table_loc + ((vpn >> shift) & mask)
+
+        def read_entry(entry_loc: int, st1: ExecState) -> None:
+            is_leaf = level + 1 == mmu.levels
+            if use_wc and not is_leaf:
+                cached_entry = tget(
+                    st1.walk_cache, (thread.tid, entry_loc), None
                 )
-                results.append((entry, refilled))
-            else:
-                walk(level + 1, entry, st)
+                if cached_entry is not None:
+                    consume(level, entry_loc, cached_entry, st1)
+            for _ts, entry in _walker_candidates(
+                st1, cache, cfg, entry_loc, tidx
+            ):
+                st2 = st1
+                if use_wc and not is_leaf:
+                    st2 = st1._replace(
+                        walk_cache=tset(
+                            st1.walk_cache, (thread.tid, entry_loc), entry
+                        )
+                    )
+                consume(level, entry_loc, entry, st2)
+
+        s2_resolve(entry_ipa, st, read_entry)
 
     walk(0, mmu.root, state)
     # Deduplicate identical outcomes (stale choices often coincide).
     seen = set()
-    unique: List[Tuple[Optional[int], ExecState]] = []
-    for ppage, st in results:
-        key = (ppage, st)
+    unique: List[Tuple[Optional[int], Optional[int], ExecState]] = []
+    for ppage, leaf_loc, st in results:
+        key = (ppage, leaf_loc, st)
         if key not in seen:
             seen.add(key)
-            unique.append((ppage, st))
+            unique.append((ppage, leaf_loc, st))
     return unique
+
+
+def _hw_ad_update(
+    cache: ProgramCache,
+    state: ExecState,
+    tidx: int,
+    cfg: ModelConfig,
+    leaf_loc: int,
+    is_store: bool,
+) -> ExecState:
+    """Hardware access/dirty-bit update: a walker-originated atomic RMW.
+
+    On a successful translation the walker ORs :data:`PTE_AF` (and
+    :data:`PTE_DIRTY` for stores) into the stage-1 leaf entry, appending
+    an ordinary coherence-participating message authored by the
+    translating CPU — but updating no thread views, because the CPU's
+    instruction stream never observed the write.  Skipped when the entry
+    is currently invalid (broken concurrently), already carries the bits,
+    or its latest write is this CPU's own unfulfilled promise.
+    """
+    ts_last = latest_write_ts(state.memory, leaf_loc)
+    if ts_last in state.threads[tidx].promises:
+        return state
+    cur = value_at(state.memory, leaf_loc, ts_last, cache.init_value(leaf_loc))
+    if cur & PTE_VALUE_MASK == 0:
+        return state
+    bits = PTE_AF
+    if is_store and not mutants.enabled("lost-dirty-bit"):
+        bits |= PTE_DIRTY
+    if cur & bits == bits:
+        return state
+    ts = len(state.memory) + 1
+    if tracer.SINK is not None:
+        tracer.SINK.emit(
+            tracer.WALKER_AD_WRITE, tid=cache.threads[tidx].tid,
+            loc=leaf_loc, bits=bits, ts=ts,
+        )
+    return state.append_message(
+        Message(ts, leaf_loc, cur | bits, cache.threads[tidx].tid, False)
+    )
 
 
 def _exec_virtual(
@@ -759,7 +1002,7 @@ def _exec_virtual(
     thread = cache.threads[tidx]
     vpn = instr.vaddr.eval(regs)
     out: List[ExecState] = []
-    for ppage, st in _translations(cache, state, tidx, cfg, vpn):
+    for ppage, leaf_loc, st in _translations(cache, state, tidx, cfg, vpn):
         if ppage is None:
             faulted = st._replace(faults=st.faults + (Fault(thread.tid, vpn),))
             halted_ctx = st.threads[tidx]._replace(halted=True)
@@ -767,6 +1010,8 @@ def _exec_virtual(
                 continue  # faulting with unfulfilled promises: invalid
             out.append(faulted.with_thread(tidx, halted_ctx))
             continue
+        if leaf_loc is not None:
+            st = _hw_ad_update(cache, st, tidx, cfg, leaf_loc, is_store)
         if is_store:
             phys = Store(
                 addr=_const(ppage), value=instr.value, space=instr.space
@@ -792,17 +1037,42 @@ def _exec_tlbi(cache, state, tidx, cfg, instr: TLBInvalidate, regs) -> List[Exec
         for (cpu, entry_vpn), ppage in state.tlb
         if vpn is not None and entry_vpn != vpn
     )
+    # Per-stage scope: stage=None invalidates both stages; stage=1/2
+    # raises only the matching walker floor.  The combined leaf TLB drops
+    # on a vpn match regardless of stage (a cached leaf translation folds
+    # both stages together, so either stage's TLBI must expel it).
+    drop_s1 = instr.stage in (None, 1)
+    drop_s2 = instr.stage in (None, 2)
     # A TLBI forces walkers to observe every prior store that this CPU has
     # *ordered* (covered by its write frontier).  Without a barrier between
     # the page-table store and the TLBI, vwn does not cover the store and
     # walkers may keep reading the stale entry — Example 6.
-    floor = max(state.walker_floor, ctx.vwn) if cfg.relaxed else state.walker_floor
+    floor = state.walker_floor
+    if cfg.relaxed and drop_s1:
+        floor = max(floor, ctx.vwn)
+    s2_floor = state.s2_walker_floor
+    if cfg.relaxed and drop_s2 and "stage2" in cfg.vm_features:
+        s2_floor = max(s2_floor, ctx.vwn)
+    walk_cache = state.walk_cache
+    if (
+        walk_cache
+        and drop_s1
+        and not instr.leaf_only
+        and not mutants.enabled("stale-intermediate-walk")
+    ):
+        # A non-leaf-scoped stage-1 TLBI expels cached intermediate walk
+        # entries too; a ``leaf_only`` TLBI leaves them live — the stale
+        # intermediate-descriptor behavior of the ``walk-cache`` feature.
+        walk_cache = ()
     if tracer.SINK is not None:
         tracer.SINK.emit(
             tracer.TLB_INVALIDATE, tid=cache.threads[tidx].tid, vpn=vpn,
             walker_floor=(state.walker_floor, floor),
         )
-    new_state = state._replace(tlb=tlb, walker_floor=floor)
+    new_state = state._replace(
+        tlb=tlb, walker_floor=floor, walk_cache=walk_cache,
+        s2_walker_floor=s2_floor,
+    )
     return [new_state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
 
 
@@ -1013,6 +1283,8 @@ class CertMemo:
             state.tlb,
             state.walker_floor,
             state.panic,
+            state.walk_cache,
+            state.s2_walker_floor,
         )
 
 

@@ -285,6 +285,9 @@ class ExecState(NamedTuple):
     faults: Tuple[Fault, ...]
     panic: Optional[str]
     pending_release: Pairs = ()   # (loc, old owner): push promised early
+    walk_cache: Pairs = ()        # ((cpu, entry_loc), descriptor) — cached
+                                  # non-leaf walk entries (vm "walk-cache")
+    s2_walker_floor: int = 0      # stage-2 walker floor (vm "stage2")
 
     def thread(self, idx: int) -> ThreadCtx:
         return self.threads[idx]
@@ -305,6 +308,8 @@ class ExecState(NamedTuple):
             self.faults,
             self.panic,
             self.pending_release,
+            self.walk_cache,
+            self.s2_walker_floor,
         )
 
     def append_message(self, msg: Message) -> "ExecState":
@@ -318,6 +323,8 @@ class ExecState(NamedTuple):
             self.faults,
             self.panic,
             self.pending_release,
+            self.walk_cache,
+            self.s2_walker_floor,
         )
 
     def fulfill(self, ts: int) -> "ExecState":
@@ -338,6 +345,8 @@ class ExecState(NamedTuple):
             self.faults,
             self.panic,
             self.pending_release,
+            self.walk_cache,
+            self.s2_walker_floor,
         )
 
 
@@ -429,4 +438,6 @@ def initial_state(
         faults=(),
         panic=None,
         pending_release=(),
+        walk_cache=(),
+        s2_walker_floor=0,
     )

@@ -28,6 +28,7 @@ from repro.memory.semantics import (
     ProgramCache,
     execute_instruction,
     promise_steps,
+    resolve_vm_features,
 )
 from repro.memory.state import ExecState, initial_state, tget
 
@@ -105,6 +106,15 @@ def _diff_event(
         if msg.promised:
             kind = "promise"
             instr = "<promise a future store>"
+        elif len(after.memory) - len(before.memory) > 1:
+            # One architectural step appended several messages: under the
+            # ``had`` VM feature a translation's hardware access/dirty-bit
+            # update precedes the access's own write.
+            extras = ", ".join(
+                f"({m.ts}) [{m.loc:#x}] := {m.val} (hw A/D update)"
+                for m in after.memory[len(before.memory):-1]
+            )
+            new_message = f"{extras}; {new_message}"
     else:
         # A promise may have been fulfilled: a message flipped state.
         for m_before, m_after in zip(before.memory, after.memory):
@@ -145,6 +155,7 @@ def find_execution(
     :class:`ExecState` — used to search for executions identified by
     timeline properties (e.g. a BMC counterexample's write history)
     rather than by observable behavior alone."""
+    cfg = resolve_vm_features(cfg)
     cache = ProgramCache(program)
     if observe_locs is None:
         observe_locs = sorted(cache.initial_memory)

@@ -47,17 +47,29 @@ def walk(
     read: Callable[[int], int],
     mmu: MMUConfig,
     vpn: int,
+    value_mask: int = -1,
 ) -> WalkResult:
     """Translate *vpn* by walking tables through *read*.
 
     ``read(loc)`` returns the current value of a page-table entry
     location; entry value 0 faults the walk.
+
+    ``value_mask`` strips descriptor attribute bits before the entry is
+    interpreted.  Descriptors written back by hardware access/dirty
+    updates (the ``had`` VM feature) carry
+    :data:`repro.memory.semantics.PTE_AF`/``PTE_DIRTY`` above the
+    address bits; a raw walk over such a snapshot would treat
+    ``frame | AF`` as a different (wrong) output frame at the leaf and
+    as a garbage table pointer at non-leaf levels — every level of the
+    walk must mask, exactly as the operational walker masks each
+    candidate it consults.  The default ``-1`` mask is the identity
+    (pre-``had`` snapshots are unaffected).
     """
-    mask = (1 << mmu.va_bits_per_level) - 1
+    idx_mask = (1 << mmu.va_bits_per_level) - 1
     table = mmu.root
     for level in range(mmu.levels):
         shift = mmu.va_bits_per_level * (mmu.levels - 1 - level)
-        entry = read(table + ((vpn >> shift) & mask))
+        entry = read(table + ((vpn >> shift) & idx_mask)) & value_mask
         if entry == 0:
             return WalkResult.fault()
         if level + 1 == mmu.levels:
@@ -70,6 +82,7 @@ def walk_memory(
     memory: Mapping[int, int],
     mmu: MMUConfig,
     vpn: int,
+    value_mask: int = -1,
 ) -> WalkResult:
     """Walk over a plain dict snapshot (missing locations read 0)."""
-    return walk(lambda loc: memory.get(loc, 0), mmu, vpn)
+    return walk(lambda loc: memory.get(loc, 0), mmu, vpn, value_mask)

@@ -34,6 +34,12 @@ _MODEL_DIFF_ORACLES = ("containment", "equivalence", "axiomatic", "backend")
 #: is interesting as a whole, so any relaxed execution is shown.
 _CONFIG_ORACLES = ("por", "memo", "jobs", "fuse")
 
+#: Oracles whose witness only exists under the relaxed-virtual-memory
+#: feature families: the explanation runs the featured configuration so
+#: the walk-level mechanism (BBM window, cached intermediate entry,
+#: hardware A/D write) is visible in the rendered steps.
+_VM_ORACLES = ("vm",)
+
 
 def _thread_index(program, tid: int) -> Optional[int]:
     """Map a CPU id to its index in ``state.threads`` (None if unknown)."""
@@ -70,6 +76,72 @@ def _views_dict(ctx) -> Dict[str, Any]:
         "coh": {f"{loc:#x}": ts for loc, ts in sorted(ctx.coh)},
         "outstanding_promises": list(ctx.promises),
     }
+
+
+def _value_before(program, state, loc: int) -> int:
+    """The committed value of *loc* in *state* (initial memory included)."""
+    for msg in reversed(state.memory):
+        if msg.loc == loc and not msg.promised:
+            return msg.val
+    if program is not None:
+        return program.initial_memory.get(loc, 0)
+    return 0
+
+
+def _walk_notes(program, before, after, event) -> List[str]:
+    """Walk-level annotations for one step (empty for MMU-free steps).
+
+    Explains the three mechanisms the VM feature families introduce:
+    hardware A/D writes riding on a translation, intermediate walk
+    entries entering/leaving the walk cache, and the break-before-make
+    window around page-table stores (including its violation, the
+    live -> live overwrite whose old descriptor stays walkable).
+    """
+    notes: List[str] = []
+    if event.new_message and "(hw A/D update)" in event.new_message:
+        notes.append(
+            "hardware walker wrote access/dirty bits into the stage-1 "
+            "leaf — an ordinary coherence-participating write"
+        )
+    gained = set(after.walk_cache) - set(before.walk_cache)
+    lost = set(before.walk_cache) - set(after.walk_cache)
+    for (cpu, loc), val in sorted(gained):
+        notes.append(
+            f"walker cached intermediate descriptor [{loc:#x}] = {val:#x} "
+            f"for CPU {cpu} — later walks may hit it without re-reading "
+            f"memory"
+        )
+    if lost:
+        notes.append(
+            f"TLBI flushed {len(lost)} cached intermediate walk "
+            f"descriptor(s)"
+        )
+    if (
+        event.kind == "exec"
+        and event.new_message
+        and "-pt L" in event.instruction
+        and "(write)" in event.new_message
+    ):
+        msg = after.memory[-1]
+        old = _value_before(program, before, msg.loc)
+        if msg.val == 0:
+            notes.append(
+                "break: page-table entry invalidated — racing walks fault "
+                "until the remade entry is published (BBM window open)"
+            )
+        elif old == 0:
+            notes.append(
+                "make: entry published over an invalid entry "
+                "(break-before-make respected)"
+            )
+        else:
+            notes.append(
+                "live -> live page-table overwrite: under the `bbm` "
+                "feature the old descriptor remains a walker candidate "
+                "(amalgamation) — the break-before-make protocol was "
+                "skipped"
+            )
+    return notes
 
 
 def _coherence_order(trace) -> Dict[int, List[Any]]:
@@ -146,6 +218,10 @@ def render_explanation(
                     f"       CPU {event.tid} views: "
                     + _views_line(state.threads[idx])
                 )
+            for note in _walk_notes(
+                program, trace.states[i], state, event
+            ):
+                lines.append(f"       walk: {note}")
     ledger = _promise_ledger(trace)
     lines.append("")
     if ledger:
@@ -206,6 +282,9 @@ def explanation_json(
             state = trace.states[i + 1]
             if 0 <= idx < len(state.threads):
                 step["views"] = _views_dict(state.threads[idx])
+            walk = _walk_notes(program, trace.states[i], state, event)
+            if walk:
+                step["walk"] = walk
         steps.append(step)
     threads = trace.final_state.threads
     final_views = {}
@@ -289,6 +368,41 @@ def explain_conformance_entry(entry: Dict[str, Any]):
         f"genome: {genome.name} ({genome.profile}, {genome.size()} ops"
         + (", shrunk)" if entry.get("shrunk_genome") else ")"),
     ]
+
+    if genome.profile == "vm" or oracle in _VM_ORACLES:
+        from dataclasses import replace
+
+        from repro.conformance.genome import VM_NEW_VAL, VM_PROFILE_FEATURES
+        from repro.memory import explore
+
+        cfg = replace(PROMISING_ARM, vm_features=VM_PROFILE_FEATURES)
+        featured = explore(program, cfg)
+        stale = sorted(
+            b for b in featured.behaviors
+            if b.panic is None
+            and not any(f.tid == 1 for f in b.faults)
+            and any(
+                t == 1 and r == "r_chk" and v != VM_NEW_VAL
+                for t, r, v in b.registers
+            )
+        )
+        if stale:
+            notes.append(
+                f"witness: stale-translation behavior {stale[0].pretty()} "
+                f"under VM features {sorted(VM_PROFILE_FEATURES)}"
+            )
+            target = stale[0]
+        elif featured.behaviors:
+            notes.append(
+                "witness: representative execution under VM features "
+                f"{sorted(VM_PROFILE_FEATURES)} (the oracle disagreement "
+                "is a walk-level property, not a plain behavior diff)"
+            )
+            target = sorted(featured.behaviors)[0]
+        else:
+            return None, program, notes
+        trace = find_execution(program, cfg, lambda b: b == target)
+        return trace, program, notes
 
     if genome.profile == "sync" and oracle not in _MODEL_DIFF_ORACLES:
         trace = explain_drf_violation(program, shared_locations(genome))

@@ -49,6 +49,8 @@ BARRIER = "barrier"
 VIEW_ADVANCE = "view_advance"
 #: A TLBI executed (invalidated vpn + new walker floor).
 TLB_INVALIDATE = "tlb_invalidate"
+#: The walker wrote hardware access/dirty bits into a leaf entry (``had``).
+WALKER_AD_WRITE = "walker_ad_write"
 #: A streaming monitor called ``stop()`` during an exploration.
 MONITOR_STOP = "monitor_stop"
 #: The POR plan scheduled a single ample thread for a state.

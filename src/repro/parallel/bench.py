@@ -113,6 +113,55 @@ def _time_promise_heavy(
     return out
 
 
+def _time_vm_corpus(featured: bool) -> Dict[str, float]:
+    """The VM litmus families, explored with their feature gates as the
+    catalog configures them (``featured=True``) or forcibly stripped
+    (``featured=False`` — same programs on the seed semantics, the
+    gates-closed cost baseline)."""
+    import dataclasses
+
+    from repro.litmus.catalog import vm_corpus
+    from repro.litmus.runner import run_corpus
+
+    tests = vm_corpus()
+    if not featured:
+        tests = [dataclasses.replace(t, vm_features=()) for t in tests]
+    _fresh()
+    with _env(REPRO_EXPLORE_CACHE="0", REPRO_SHARD="0"):
+        start = time.perf_counter()
+        outcomes = run_corpus(tests, jobs=None, cache=False)
+        wall = time.perf_counter() - start
+    states = sum(o.sc.states_explored + o.rm.states_explored for o in outcomes)
+    out = {
+        "wall_seconds": wall,
+        "states": states,
+        "states_per_second": states / wall if wall else 0.0,
+        "tests": len(outcomes),
+    }
+    if featured:
+        # Postconditions are calibrated for the featured configs only;
+        # the stripped baseline intentionally misses the RM-observable
+        # outcomes, so `all_passed` would be meaningless there.
+        out["all_passed"] = all(o.passed for o in outcomes)
+    return out
+
+
+def _time_vm_matrix() -> Dict[str, float]:
+    """One full verdict-matrix build (every feature combination)."""
+    from repro.vrm.vm_matrix import build_matrix
+
+    _fresh()
+    with _env(REPRO_EXPLORE_CACHE="0", REPRO_SHARD="0"):
+        start = time.perf_counter()
+        matrix = build_matrix(cache=False)
+        wall = time.perf_counter() - start
+    return {
+        "wall_seconds": wall,
+        "rows": len(matrix["rows"]),
+        "complete": all(r["complete"] for r in matrix["rows"]),
+    }
+
+
 def _time_sekvm(jobs: Optional[int]) -> Dict[str, float]:
     from repro.sekvm.verify import verify_sekvm
 
@@ -370,7 +419,7 @@ def bench_exploration(
 ) -> Dict:
     """Measure the exploration engine end to end.
 
-    Returns a JSON-ready dict (schema v6): litmus corpus serial vs.
+    Returns a JSON-ready dict (schema v7): litmus corpus serial vs.
     ``jobs``-way parallel, POR on vs. off (single-threaded),
     promise-heavy POR/memo effect plus ``shard_jobs``-way frontier
     sharding, ``verify_sekvm`` serial vs. parallel, the SAT/BMC
@@ -378,12 +427,15 @@ def bench_exploration(
     state-explosion spec, plus a solver sweep over the litmus corpus),
     and the serving layer on a duplicate-heavy synthetic workload
     (throughput vs. sequential execution, latency percentiles, cache
-    hit rate — :func:`_time_serve`).  Each parallel section records
+    hit rate — :func:`_time_serve`), and the relaxed-virtual-memory
+    section (the VM litmus families featured vs. gates-stripped plus
+    one verdict-matrix build — :func:`_time_vm_corpus` /
+    :func:`_time_vm_matrix`).  Each parallel section records
     its own ``cpu_count`` and its speedups are dicts
     (:func:`_speedup`) so single-core numbers are annotated, not
     misread as regressions.  ``only`` restricts the run to one section
     (``litmus_corpus``/``promise_heavy``/``wdrf``/``verify_sekvm``/
-    ``bmc``/``serve``) — the CI smoke path.
+    ``bmc``/``serve``/``vm``) — the CI smoke path.
     """
     from repro.parallel.pool import plan_jobs, resolve_shard_jobs
 
@@ -397,7 +449,7 @@ def bench_exploration(
         # single-core results as degraded).
         shards = max(2, min(4, cpus))
     results: Dict = {
-        "schema": "BENCH_exploration/v6",
+        "schema": "BENCH_exploration/v7",
         "cpu_count": cpus,
         "jobs": jobs,
         "shard_jobs": shards,
@@ -495,6 +547,21 @@ def bench_exploration(
 
     if wanted("serve"):
         results["serve"] = _time_serve()
+
+    if wanted("vm"):
+        vm_featured = _time_vm_corpus(featured=True)
+        vm_stripped = _time_vm_corpus(featured=False)
+        results["vm"] = {
+            "cpu_count": cpus,
+            "featured": vm_featured,
+            "gates_stripped": vm_stripped,
+            # Pure single-threaded ratio: what turning the feature
+            # gates on costs on the programs built to exercise them.
+            "feature_cost": _ratio(
+                vm_featured["wall_seconds"], vm_stripped["wall_seconds"]
+            ),
+            "verdict_matrix": _time_vm_matrix(),
+        }
 
     if wanted("verify_sekvm"):
         sekvm_serial = _time_sekvm(jobs=None)
@@ -606,6 +673,17 @@ def format_bench(results: Dict) -> str:
             f"p50 {serve['served']['p50_ms']:.1f}ms / "
             f"p99 {serve['served']['p99_ms']:.1f}ms, "
             f"verdicts identical: {serve['verdicts_identical']})"
+        )
+    vm = results.get("vm")
+    if vm is not None:
+        lines.append(
+            f"  vm features     featured {vm['featured']['wall_seconds']:.2f}s "
+            f"({vm['featured']['tests']} tests, "
+            f"all passed: {vm['featured']['all_passed']}) vs "
+            f"gates-stripped {vm['gates_stripped']['wall_seconds']:.2f}s "
+            f"({vm['feature_cost']:.2f}x cost); verdict matrix "
+            f"{vm['verdict_matrix']['rows']} rows in "
+            f"{vm['verdict_matrix']['wall_seconds']:.2f}s"
         )
     sekvm = results.get("verify_sekvm")
     if corpus is not None and sekvm is not None:

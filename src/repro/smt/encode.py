@@ -81,7 +81,7 @@ from repro.ir.instructions import (
 )
 from repro.ir.program import Program, Thread
 from repro.memory import mutants
-from repro.memory.semantics import ModelConfig
+from repro.memory.semantics import ModelConfig, resolve_vm_features
 from repro.smt.cnf import CnfBuilder
 
 __all__ = [
@@ -130,6 +130,8 @@ def quick_unsupported(
     """
     if not fragment_eligible(program):
         return "non-straight-line or non-load/store instruction"
+    if resolve_vm_features(cfg).vm_features:
+        return "relaxed-virtual-memory features are operational-only"
     if cfg.oracle_sequences:
         return "oracle sequences are operational-only"
     if cfg.owned_access_required:

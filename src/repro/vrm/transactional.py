@@ -29,6 +29,7 @@ from repro.errors import VerificationError
 from repro.ir.expr import Imm
 from repro.ir.instructions import Label, Mov, Nop, PTKind, Store
 from repro.ir.program import MMUConfig, Program
+from repro.memory.semantics import PTE_VALUE_MASK
 from repro.mmu.pagetable import PTWrite
 from repro.mmu.walker import WalkResult, walk_memory
 from repro.vrm.conditions import ConditionResult, WDRFCondition
@@ -84,14 +85,24 @@ def check_writes_transactional(
     result, or a fault under every visibility snapshot.
     """
     probes = list(probe_vpns)
-    pre = {vpn: walk_memory(initial, mmu, vpn) for vpn in probes}
+    # Mask hardware A/D attribute bits at every level: entries observed
+    # from a ``had``-enabled execution may carry them, and an unmasked
+    # walk would misread `frame | AF` as a different frame (or a bogus
+    # intermediate table pointer) and report a phantom violation.
+    pre = {
+        vpn: walk_memory(initial, mmu, vpn, PTE_VALUE_MASK)
+        for vpn in probes
+    }
     post_mem = _snapshot(initial, writes)
-    post = {vpn: walk_memory(post_mem, mmu, vpn) for vpn in probes}
+    post = {
+        vpn: walk_memory(post_mem, mmu, vpn, PTE_VALUE_MASK)
+        for vpn in probes
+    }
     violations: List[str] = []
     snapshots = enumerate_visibility_snapshots(initial, writes)
     for snap in snapshots:
         for vpn in probes:
-            result = walk_memory(snap, mmu, vpn)
+            result = walk_memory(snap, mmu, vpn, PTE_VALUE_MASK)
             if result.is_fault:
                 continue
             if result == pre[vpn] or result == post[vpn]:

@@ -11,6 +11,11 @@ program's name, even if every postcondition still matches.
 After an intentional semantics change, regenerate with::
 
     PYTHONPATH=src python -m repro.conformance.digests tests/corpus/litmus_digests.json
+
+The VM-feature verdict matrix (``tests/corpus/vm_features_verdicts.json``,
+regenerate with ``python -m repro.vrm.vm_matrix``) is pinned the same
+way: any change to where the wDRF conditions stop being sufficient under
+the ``REPRO_VM_FEATURES`` families fails here, not silently.
 """
 
 import json
@@ -23,6 +28,8 @@ from repro.memory.semantics import SC
 
 _CORPUS = os.path.join(os.path.dirname(__file__), "corpus",
                        "litmus_digests.json")
+_VM_VERDICTS = os.path.join(os.path.dirname(__file__), "corpus",
+                            "vm_features_verdicts.json")
 
 
 def _expected():
@@ -75,3 +82,51 @@ class TestDigestFunction:
         result = cached_explore(test.program, SC, observe_locs=observe)
         truncated = replace(result, complete=False)
         assert behavior_digest(result) != behavior_digest(truncated)
+
+
+class TestVMFeatureVerdicts:
+    """The committed sufficiency-gap matrix must be reproducible."""
+
+    def _committed(self):
+        with open(_VM_VERDICTS, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def test_matrix_matches_committed_verdicts(self):
+        from repro.vrm.vm_matrix import build_matrix
+
+        committed = self._committed()
+        recomputed = json.loads(json.dumps(build_matrix()))
+        assert recomputed["schema"] == committed["schema"]
+        assert recomputed == committed, (
+            "the VM-feature verdict matrix drifted from "
+            "tests/corpus/vm_features_verdicts.json — if the semantics "
+            "change is intentional, regenerate with "
+            "`python -m repro.vrm.vm_matrix tests/corpus/"
+            "vm_features_verdicts.json` and explain the moved verdicts"
+        )
+
+    def test_structural_conditions_hold_everywhere(self):
+        """Both checkers pass on every scenario under every feature
+        combination: the update protocols themselves are disciplined;
+        only the *sufficiency* of the conditions moves."""
+        for row in self._committed()["rows"]:
+            assert row["transactional_holds"], row
+            assert row["tlb_sequential_holds"], row
+            assert row["complete"], row
+
+    def test_sufficiency_gaps_are_exactly_the_feature_scenarios(self):
+        """The stale outcome appears iff the row's feature set enables
+        the family its scenario was built to exercise — and never for
+        the honest break-before-make protocol."""
+        gated = {
+            "bbm-amalgamated": "bbm",
+            "walk-cache-leaf-tlbi": "walk-cache",
+            "stage2-stage1-tlbi": "stage2",
+        }
+        for row in self._committed()["rows"]:
+            feats = set(row["features"].split(",")) if row["features"] else set()
+            if row["scenario"] == "bbm-honest":
+                assert not row["stale_observed"], row
+            else:
+                expected = gated[row["scenario"]] in feats
+                assert row["stale_observed"] == expected, row

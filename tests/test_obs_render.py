@@ -195,3 +195,79 @@ class TestTraceCommand:
         metrics_data = json.loads(metrics_path.read_text())
         assert metrics_data["schema"] == "repro.obs.metrics/v1"
         assert metrics_data["metrics"]["explore.explorations"]["value"] >= 1
+
+
+class TestVMFeatureGoldens:
+    """One pinned walk-level explanation per VM behavior family.
+
+    Each golden is the rendered execution reaching the family's litmus
+    postcondition under the feature set the catalog entry carries — the
+    walk-level annotations (BBM window, cached intermediate descriptor,
+    hardware A/D write) are part of the pinned text.
+    """
+
+    def _vm_explanation(self, test, title):
+        from repro.litmus.runner import litmus_configs
+        from repro.memory.behaviors import parse_register_key
+
+        _, rm_cfg = litmus_configs(test)
+        wanted_regs = {
+            parse_register_key(k): v for k, v in test.condition.items()
+        }
+        wanted_mem = dict(test.memory_condition)
+
+        def predicate(behavior):
+            assignment = {(t, r): v for t, r, v in behavior.registers}
+            if not all(
+                assignment.get(k) == v for k, v in wanted_regs.items()
+            ):
+                return False
+            memory = dict(behavior.memory)
+            return all(
+                memory.get(loc) == val for loc, val in wanted_mem.items()
+            )
+
+        observe = sorted(loc for loc, _ in test.memory_condition)
+        trace = find_execution(
+            test.program, rm_cfg, predicate, observe_locs=observe
+        )
+        assert trace is not None, f"{test.name}: postcondition unreachable"
+        return render_explanation(
+            trace,
+            test.program,
+            title=title,
+            notes=[f"VM features: {', '.join(test.vm_features)}"],
+        ), trace
+
+    def test_bbm_amalgamation_explanation(self):
+        text, _trace = self._vm_explanation(
+            catalog.vm_bbm(honest=False),
+            "VM counterexample: break-before-make skipped",
+        )
+        assert_matches_golden("explain_vm_bbm.txt", text)
+        assert "live -> live page-table overwrite" in text
+
+    def test_walk_cache_explanation(self):
+        text, _trace = self._vm_explanation(
+            catalog.vm_walk_cache(leaf_only=True),
+            "VM counterexample: stale cached intermediate walk entry",
+        )
+        assert_matches_golden("explain_vm_walk_cache.txt", text)
+        assert "cached intermediate descriptor" in text
+
+    def test_dirty_bit_explanation(self):
+        text, _trace = self._vm_explanation(
+            catalog.vm_dirty_bit(),
+            "VM witness: hardware access/dirty-bit update",
+        )
+        assert_matches_golden("explain_vm_dirty_bit.txt", text)
+        assert "hw A/D update" in text
+        assert "access/dirty bits" in text
+
+    def test_stage2_tlbi_explanation(self):
+        text, _trace = self._vm_explanation(
+            catalog.vm_stage2_tlbi(stage=1),
+            "VM counterexample: stage-1-only TLBI after stage-2 remap",
+        )
+        assert_matches_golden("explain_vm_stage2.txt", text)
+        assert "outcome" in text

@@ -156,6 +156,106 @@ class TestTLBBehavior:
         assert admits(rm, t1_r0=7)   # Example 6's stale outcome
 
 
+class TestPerLevelWalkerFloor:
+    """The walker floor binds *every* level of the walk, not just the
+    leaf: a barrier-ordered TLBI must hide stale non-leaf descriptors
+    from later walks exactly as it hides stale leaves."""
+
+    ROOT, T_OLD, T_NEW = 0x200, 0x210, 0x220
+    P_OLD, P_NEW = 0x100, 0x110
+    FLAG = 0x500
+
+    def _root_remap_program(self, with_tlbi: bool):
+        """Remap the non-leaf root entry T_OLD -> T_NEW, then handshake."""
+        from repro.ir.program import MMUConfig
+
+        u = ThreadBuilder(0)
+        u.pt_store(self.ROOT, 0, kind=PTKind.STAGE2, level=0)
+        u.barrier("full")
+        if with_tlbi:
+            u.tlbi(0)
+        u.barrier("full")
+        u.pt_store(self.ROOT, self.T_NEW, kind=PTKind.STAGE2, level=0)
+        u.barrier("full")
+        if with_tlbi:
+            u.tlbi(0)
+        u.barrier("full")
+        u.store(self.FLAG, 1, release=True)
+        a = ThreadBuilder(1, is_kernel=False)
+        a.spin_until_eq("f", self.FLAG, 1, acquire=True)
+        a.vload("r0", 0)
+        init = {
+            self.ROOT: self.T_OLD, self.T_OLD: self.P_OLD,
+            self.T_NEW: self.P_NEW, self.P_OLD: 1, self.P_NEW: 2,
+            self.FLAG: 0,
+        }
+        return build_program(
+            [u, a], observed={1: ["r0"]}, initial_memory=init,
+            mmu=MMUConfig(root=self.ROOT),
+        )
+
+    def test_tlbi_floor_hides_stale_nonleaf_descriptor(self):
+        rm = explore_promising(self._root_remap_program(with_tlbi=True))
+        # The old table is unreachable: the post-handshake walk reads
+        # the new root descriptor (frame value 2) or faults inside the
+        # remap window — never frame value 1 through the stale level-0
+        # descriptor.
+        assert not admits(rm, t1_r0=1)
+        assert admits(rm, t1_r0=2)
+
+    def test_without_tlbi_stale_nonleaf_descriptor_survives(self):
+        rm = explore_promising(self._root_remap_program(with_tlbi=False))
+        assert admits(rm, t1_r0=1)
+
+
+class TestPureWalkerAttributeMask:
+    """The snapshot walker must strip A/D attribute bits at every level
+    (the ``had`` feature writes them into live descriptors)."""
+
+    def _mmu(self):
+        from repro.ir.program import MMUConfig
+
+        return MMUConfig(root=0x200)
+
+    def test_leaf_attribute_bits_masked(self):
+        from repro.memory.semantics import PTE_AF, PTE_DIRTY, PTE_VALUE_MASK
+        from repro.mmu.walker import walk_memory
+
+        memory = {0x200: 0x210, 0x210: 0x100 | PTE_AF | PTE_DIRTY}
+        result = walk_memory(memory, self._mmu(), 0, PTE_VALUE_MASK)
+        assert not result.is_fault
+        assert result.ppage == 0x100
+
+    def test_nonleaf_attribute_bits_masked(self):
+        from repro.memory.semantics import PTE_AF, PTE_VALUE_MASK
+        from repro.mmu.walker import walk_memory
+
+        # An access-flagged root descriptor must still point at 0x210,
+        # not at the garbage address 0x210 | AF.
+        memory = {0x200: 0x210 | PTE_AF, 0x210: 0x100}
+        result = walk_memory(memory, self._mmu(), 0, PTE_VALUE_MASK)
+        assert not result.is_fault
+        assert result.ppage == 0x100
+
+    def test_attribute_only_entry_is_invalid_under_mask(self):
+        from repro.memory.semantics import PTE_AF, PTE_VALUE_MASK
+        from repro.mmu.walker import walk_memory
+
+        # Value bits all zero: the entry is invalid no matter which
+        # attribute bits survive in the descriptor.
+        memory = {0x200: 0x210, 0x210: PTE_AF}
+        assert walk_memory(memory, self._mmu(), 0, PTE_VALUE_MASK).is_fault
+
+    def test_default_mask_is_identity(self):
+        from repro.memory.semantics import PTE_AF
+        from repro.mmu.walker import walk_memory
+
+        # Pre-``had`` callers keep bit-identical raw-walk behavior.
+        memory = {0x200: 0x210, 0x210: 0x100 | PTE_AF}
+        result = walk_memory(memory, self._mmu(), 0)
+        assert result.ppage == 0x100 | PTE_AF
+
+
 class TestWalkerStaleness:
     def test_walker_reads_exclude_own_cpu_promises(self):
         """A CPU's own promised PT store is not visible to its walker."""
