@@ -59,6 +59,13 @@ def _add_parallel_flags(parser: argparse.ArgumentParser) -> None:
         "SAT, 'auto' routes each query by predicted cost "
         "(default: REPRO_BACKEND or 'explore')",
     )
+    parser.add_argument(
+        "--model", choices=("arm", "tso", "sc"), default=None,
+        help="target architecture for relaxed explorations (sets "
+        "REPRO_MODEL): 'arm' is the Promising Arm model, 'tso' the "
+        "store-buffer TSO model, 'sc' sequential consistency "
+        "(default: REPRO_MODEL or 'arm'; see docs/PORTABILITY.md)",
+    )
 
 
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
@@ -93,6 +100,8 @@ def _apply_cache_flag(args: argparse.Namespace) -> bool:
         os.environ["REPRO_SHARD"] = str(args.shard_jobs)
     if getattr(args, "backend", None) is not None:
         os.environ["REPRO_BACKEND"] = args.backend
+    if getattr(args, "model", None) is not None:
+        os.environ["REPRO_MODEL"] = args.model
     if getattr(args, "no_cache", False):
         os.environ["REPRO_EXPLORE_CACHE"] = "0"
         return False
@@ -114,7 +123,8 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
         "all": full_corpus,
     }[args.corpus]()
     cache = _apply_cache_flag(args)
-    outcomes = run_corpus(corpus, jobs=args.jobs, cache=cache)
+    outcomes = run_corpus(corpus, jobs=args.jobs, cache=cache,
+                          model=args.model)
     print(corpus_report(outcomes))
     return 0 if all(o.passed for o in outcomes) else 1
 
@@ -139,7 +149,12 @@ def _cmd_show(args: argparse.Namespace) -> int:
     print(format_program(test.program))
     condition = ", ".join(f"{k}={v}" for k, v in test.condition.items())
     print(f"postcondition: {condition}")
-    print(f"allowed on SC: {test.allowed_sc}; on relaxed Arm: {test.allowed_rm}")
+    tso = test.expected_tso
+    print(
+        f"allowed on SC: {test.allowed_sc}; on TSO: "
+        f"{'unpinned' if tso is None else tso}; "
+        f"on relaxed Arm: {test.allowed_rm}"
+    )
     return 0
 
 
@@ -460,6 +475,28 @@ def _cmd_repair(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_portability(args: argparse.Namespace) -> int:
+    """Re-verify the corpus under SC, TSO, and Arm; print the matrix."""
+    from repro.vrm.portability import build_matrix, render_matrix
+
+    cache = _apply_cache_flag(args)
+    matrix = build_matrix(cache=cache)
+    print(render_matrix(matrix))
+    if args.output:
+        import json
+
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(matrix, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    ok = all(
+        row["sc_subset_tso"] and row["tso_subset_arm"]
+        for section in ("litmus", "sekvm")
+        for row in matrix[section]
+    )
+    return 0 if ok else 1
+
+
 def _cmd_contention(args: argparse.Namespace) -> int:
     from repro.perf.contention import format_contention, run_contention_study
 
@@ -558,7 +595,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write the results as JSON (BENCH_exploration)")
     p.add_argument("--only", metavar="SECTION", default=None,
                    choices=("litmus_corpus", "promise_heavy", "wdrf",
-                            "verify_sekvm", "bmc", "serve", "vm"),
+                            "verify_sekvm", "bmc", "serve", "vm",
+                            "portability"),
                    help="measure a single section (the CI smoke path)")
     _add_parallel_flags(p)
     _add_obs_flags(p)
@@ -677,6 +715,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="emit machine-readable stats")
     p.set_defaults(fn=_cmd_cache)
+
+    p = sub.add_parser(
+        "portability",
+        help="certify the SC ⊆ TSO ⊆ Arm model-portfolio containment "
+        "over the litmus catalog and the SeKVM corpus",
+    )
+    p.add_argument("--output", "-o", metavar="FILE",
+                   help="also write the verdict matrix as JSON "
+                   "(the tests/corpus/portability_verdicts.json schema)")
+    _add_parallel_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(fn=_cmd_portability)
 
     p = sub.add_parser("contention", help="lock-contention study")
     p.set_defaults(fn=_cmd_contention)

@@ -3,8 +3,8 @@
 A conformance harness compares the engine against *itself* in different
 configurations; digests compare it against *its own past*.  For every
 program in the litmus catalog we record a SHA-256 of the complete
-behavior set under the SC and relaxed configurations the litmus runner
-uses (observing every initialized location, not just the
+behavior set under the SC, TSO, and relaxed configurations the litmus
+runner uses (observing every initialized location, not just the
 postcondition's, so drift anywhere in the outcome space is caught).
 ``tests/test_corpus_regression.py`` recomputes the digests on every
 run and fails — naming the offending program — if any differ from the
@@ -26,7 +26,7 @@ import sys
 from typing import Dict
 
 from repro.litmus.catalog import full_corpus
-from repro.litmus.runner import litmus_configs
+from repro.litmus.runner import litmus_configs, tso_config
 from repro.memory.cache import cached_explore
 from repro.memory.datatypes import ExplorationResult
 
@@ -49,7 +49,7 @@ def behavior_digest(result: ExplorationResult) -> str:
 
 
 def litmus_digests() -> Dict[str, Dict[str, str]]:
-    """``{test name: {"sc": digest, "rm": digest}}`` over the catalog."""
+    """``{test name: {"sc"|"tso"|"rm": digest}}`` over the catalog."""
     digests: Dict[str, Dict[str, str]] = {}
     for test in full_corpus():
         # Use the exact runner configs — tests carrying ``vm_features``
@@ -58,8 +58,12 @@ def litmus_digests() -> Dict[str, Dict[str, str]]:
         observe = sorted(test.program.initial_memory)
         sc = cached_explore(test.program, sc_cfg, observe_locs=observe)
         rm = cached_explore(test.program, rm_cfg, observe_locs=observe)
+        tso = cached_explore(
+            test.program, tso_config(test), observe_locs=observe
+        )
         digests[test.name] = {
             "sc": behavior_digest(sc),
+            "tso": behavior_digest(tso),
             "rm": behavior_digest(rm),
         }
     return digests

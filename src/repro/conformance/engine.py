@@ -124,9 +124,9 @@ class FuzzReport:
             lines.extend("  " + f.describe() for f in self.findings)
         else:
             lines.append(
-                "all oracles agreed: containment, equivalence, axiomatic "
-                "agreement, engine-config identity, monitor truth, "
-                "vm discipline"
+                "all oracles agreed: containment, portability, "
+                "equivalence, axiomatic agreement, engine-config "
+                "identity, monitor truth, vm discipline"
             )
         return "\n".join(lines)
 

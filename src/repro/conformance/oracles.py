@@ -12,6 +12,12 @@ bug, never on an expected relaxed-memory effect:
     reachable relaxed.  Holds for arbitrary programs (not under the
     push/pull models, whose barrier-fulfillment panics exist only on
     the relaxed side — hence skipped for ``sync`` genomes).
+``portability``
+    The model-portfolio refinement of ``containment``: SC ⊆ TSO and
+    TSO ⊆ Arm on the same program (:func:`repro.vrm.portability.
+    check_portability`).  Sound for the same reason containment is,
+    with the TSO model as the middle rung; kills the seeded
+    ``lost-flush`` and ``read-skips-own-buffer`` store-buffer mutants.
 ``equivalence``
     RM = SC on ``fenced`` genomes: a full barrier after every access
     makes the program data-race-free by construction, so by the
@@ -105,15 +111,21 @@ ORACLES: Tuple[str, ...] = (
     "vm",
     "por",
     "memo",
+    "portability",
     "fuse",
     "jobs",
 )
 
 #: The sound, always-on oracle subset per generation profile.
+#: ``portability`` runs after the single-model oracles so a mutant that
+#: breaks the default model keeps its historical attribution; only the
+#: TSO-specific mutants fall through to it.
 _PROFILE_ORACLES = {
-    "plain": ("containment", "axiomatic", "backend", "por", "memo"),
-    "fenced": ("containment", "equivalence", "backend", "por", "memo"),
-    "mmu": ("containment", "por", "memo"),
+    "plain": ("containment", "axiomatic", "backend", "por", "memo",
+              "portability"),
+    "fenced": ("containment", "equivalence", "backend", "por", "memo",
+               "portability"),
+    "mmu": ("containment", "por", "memo", "portability"),
     "sync": ("monitor",),
     "vm": ("vm",),
 }
@@ -211,6 +223,15 @@ def _check_containment(program: Program) -> List[Disagreement]:
         detail=f"SC ⊄ RM: {len(missing)} SC behavior(s) unreachable on "
         f"the relaxed model, e.g. {shown}",
     )]
+
+
+def _check_portability(program: Program) -> List[Disagreement]:
+    from repro.vrm.portability import check_portability
+
+    return [
+        Disagreement(oracle="portability", detail=problem)
+        for problem in check_portability(program)
+    ]
 
 
 def _check_equivalence(program: Program) -> List[Disagreement]:
@@ -450,6 +471,8 @@ def check_genome(
             continue
         if name == "containment":
             out.extend(_check_containment(program))
+        elif name == "portability":
+            out.extend(_check_portability(program))
         elif name == "equivalence":
             out.extend(_check_equivalence(program))
         elif name == "axiomatic":

@@ -42,6 +42,12 @@ class LitmusTest:
     condition: Dict[str, int]
     allowed_sc: bool
     allowed_rm: bool
+    #: Whether the outcome is observable on the TSO model.  ``None``
+    #: means "derive it": when SC and Promising Arm agree, the
+    #: containment sandwich SC ⊆ TSO ⊆ Arm pins TSO to the shared
+    #: verdict; when they diverge an explicit value is required for the
+    #: runner to check anything beyond containment.
+    allowed_tso: Optional[bool] = None
     description: str = ""
     paper_ref: str = ""
     max_promises: int = 1
@@ -58,6 +64,16 @@ class LitmusTest:
     def exposes_rm_bug(self) -> bool:
         """True when relaxed hardware admits an outcome SC forbids."""
         return self.allowed_rm and not self.allowed_sc
+
+    @property
+    def expected_tso(self) -> Optional[bool]:
+        """The TSO verdict, explicit or derived from the containment
+        sandwich; ``None`` when only SC ⊆ TSO ⊆ Arm can be checked."""
+        if self.allowed_tso is not None:
+            return self.allowed_tso
+        if self.allowed_sc == self.allowed_rm:
+            return self.allowed_sc
+        return None
 
 
 X, Y, Z = 0x100, 0x200, 0x300
@@ -92,6 +108,9 @@ def store_buffering(dmb: bool = False) -> LitmusTest:
         condition=dict(t0_r0=0, t1_r1=0),
         allowed_sc=False,
         allowed_rm=not dmb,
+        # SB is THE hallmark TSO relaxation: each store sits in its
+        # thread's buffer while the cross load reads the initial value.
+        allowed_tso=not dmb,
         description="store buffering: both loads read the initial value",
     )
 
@@ -129,6 +148,7 @@ def message_passing(variant: str = "plain") -> LitmusTest:
         condition=dict(t1_r0=1, t1_r1=0),
         allowed_sc=False,
         allowed_rm=(variant == "plain"),
+        allowed_tso=False,  # TSO keeps both store/store and load/load order
         description="message passing: flag observed but data stale",
     )
 
@@ -168,6 +188,7 @@ def load_buffering(variant: str = "plain") -> LitmusTest:
         condition=dict(t0_r0=1, t1_r1=1),
         allowed_sc=False,
         allowed_rm=(variant in ("plain", "one-data")),
+        allowed_tso=False,  # no load/store reordering under TSO
         description="load buffering / out-of-order writes",
         paper_ref="Example 1" if variant == "plain" else "",
     )
@@ -238,6 +259,7 @@ def write_to_read_causality(dependencies: bool = True) -> LitmusTest:
         condition=dict(t1_r0=1, t2_r1=1, t2_r2=0),
         allowed_sc=False,
         allowed_rm=not dependencies,
+        allowed_tso=False,  # TSO is multicopy-atomic and load/load ordered
         description="write-to-read causality (multicopy atomicity probe)",
     )
 
@@ -300,6 +322,7 @@ def example2(correct: bool) -> LitmusTest:
         condition=dict(t0_vmid=0, t1_vmid=0),
         allowed_sc=False,
         allowed_rm=not correct,
+        allowed_tso=False,  # the ticket RMW drains the buffer either way
         description="two CPUs booting VMs receive the same VMID",
         paper_ref="Example 2",
     )
@@ -341,6 +364,7 @@ def example3(correct: bool) -> LitmusTest:
         condition=dict(t1_restored=0),   # stale (pre-save) context restored
         allowed_sc=False,
         allowed_rm=not correct,
+        allowed_tso=False,  # FIFO drain publishes CTX before VCPU_STATE
         description="vCPU context restored before it was saved",
         paper_ref="Example 3",
     )
@@ -384,6 +408,7 @@ def example4() -> LitmusTest:
         condition=condition,
         allowed_sc=False,
         allowed_rm=True,
+        allowed_tso=False,  # reads stay ordered; no stale walker reads
         description="user observes second PT remap but not the first",
         paper_ref="Example 4",
     )
@@ -448,6 +473,7 @@ def example5(transactional: bool = False) -> LitmusTest:
         # is the legitimate post-state, observable on both models.
         allowed_sc=transactional,
         allowed_rm=True,
+        allowed_tso=transactional,  # the leak needs Arm's write reordering
         description="racing walk reaches a page through a half-applied update",
         paper_ref="Example 5",
     )
@@ -497,6 +523,7 @@ def example6(with_barrier: bool = False) -> LitmusTest:
         condition=dict(t1_r0=STALE_PAGE_VALUE),
         allowed_sc=False,
         allowed_rm=not with_barrier,
+        allowed_tso=False,  # TSO has no TLB-refill race to exploit
         description="stale translation survives a TLB invalidation",
         paper_ref="Example 6",
     )
@@ -551,6 +578,7 @@ def example7(use_oracle: bool = False) -> LitmusTest:
         condition=dict(t2_r2=0),
         allowed_sc=use_oracle,   # the oracle already admits z=2 on SC
         allowed_rm=True,
+        allowed_tso=use_oracle,  # LB's z=2 outcome needs Arm promises
         description="user RM behavior reaches kernel through memory reads",
         paper_ref="Example 7",
     )
@@ -565,6 +593,7 @@ def example1() -> LitmusTest:
         condition=test.condition,
         allowed_sc=False,
         allowed_rm=True,
+        allowed_tso=False,  # same shape as LB
         description="out-of-order write observed (paper Example 1)",
         paper_ref="Example 1",
     )
@@ -591,6 +620,7 @@ def shape_s(dmb_writer: bool = False) -> LitmusTest:
         memory_condition=((X, 2),),
         allowed_sc=False,
         allowed_rm=not dmb_writer,
+        allowed_tso=False,  # FIFO buffers keep T0's stores in order
         description="S shape (write-after-read coherence probe)",
     )
 
@@ -616,6 +646,7 @@ def two_plus_two_w(release: bool = False) -> LitmusTest:
         memory_condition=((X, 1), (Y, 1)),
         allowed_sc=False,
         allowed_rm=not release,
+        allowed_tso=False,  # store/store reordering is not a TSO relaxation
         description="2+2W write-write reordering probe",
         max_promises=1,
     )
@@ -666,6 +697,7 @@ def isa2_plain() -> LitmusTest:
         condition=dict(t1_r0=1, t2_r1=1, t2_r2=0),
         allowed_sc=False,
         allowed_rm=True,
+        allowed_tso=False,
         description="ISA2 shape with no barriers",
     )
 
@@ -696,7 +728,45 @@ def shape_r(dmb: bool = True) -> LitmusTest:
         memory_condition=((Y, 2),),
         allowed_sc=False,
         allowed_rm=not dmb,
+        # Like SB, R is TSO-observable: T1's store to Y can drain (and
+        # lose the coherence race) while its load of X ran early.
+        allowed_tso=not dmb,
         description="R shape (coherence + barrier interaction)",
+    )
+
+
+def iriw() -> LitmusTest:
+    """IRIW: two writers, two readers observing them in opposite orders.
+
+    The model separator of the portfolio: forbidden on SC (a single
+    interleaving orders the writes one way), forbidden on TSO (store
+    buffers drain into a *single* shared memory, so all threads agree on
+    the write order — TSO is multicopy-atomic and keeps load/load
+    order), yet allowed on pre-Armv8-style non-multicopy-atomic relaxed
+    models, which the Promising executor reproduces via early promises.
+    """
+    t0 = ThreadBuilder(0)
+    t0.store(X, 1)
+    t1 = ThreadBuilder(1)
+    t1.store(Y, 1)
+    t2 = ThreadBuilder(2)
+    t2.load("r0", X).load("r1", Y)
+    t3 = ThreadBuilder(3)
+    t3.load("r2", Y).load("r3", X)
+    program = build_program(
+        [t0, t1, t2, t3],
+        observed={2: ["r0", "r1"], 3: ["r2", "r3"]},
+        initial_memory={X: 0, Y: 0},
+        name="IRIW",
+    )
+    return LitmusTest(
+        name="IRIW",
+        program=program,
+        condition=dict(t2_r0=1, t2_r1=0, t3_r2=1, t3_r3=0),
+        allowed_sc=False,
+        allowed_rm=True,
+        allowed_tso=False,
+        description="independent readers disagree on the write order",
     )
 
 
@@ -714,6 +784,7 @@ def sb_rel_acq() -> LitmusTest:
         condition=dict(t0_r0=0, t1_r1=0),
         allowed_sc=False,
         allowed_rm=True,
+        allowed_tso=False,  # a TSO release store drains the buffer first
         description="release/acquire is not a full fence (SB stays allowed)",
     )
 
@@ -776,6 +847,7 @@ def vm_bbm(honest: bool) -> LitmusTest:
         condition=dict(t1_r=1),
         allowed_sc=False,
         allowed_rm=not honest,
+        allowed_tso=False,  # amalgamation is a walker relaxation, Arm-only
         description=(
             "break-before-make interposes an invalid entry; skipping the "
             "break leaves the old translation amalgamated forever"
@@ -827,6 +899,7 @@ def vm_walk_cache(leaf_only: bool) -> LitmusTest:
         condition=dict(t1_r=1),
         allowed_sc=False,
         allowed_rm=leaf_only,
+        allowed_tso=False,  # walk caching is a walker relaxation, Arm-only
         description=(
             "a leaf-only TLBI leaves stale intermediate walk entries "
             "cached; only a non-leaf invalidation expels them"
@@ -908,6 +981,7 @@ def vm_stage2_tlbi(stage: Optional[int]) -> LitmusTest:
         condition=dict(t1_r=10),
         allowed_sc=False,
         allowed_rm=stage == 1,
+        allowed_tso=False,  # per-stage TLB scoping is a walker relaxation
         description=(
             "a stage-1-scoped TLBI does not invalidate stage-2 "
             "translations; the stale intermediate-physical mapping "
@@ -943,6 +1017,7 @@ def extended_corpus() -> List[LitmusTest]:
         isa2_plain(),
         shape_r(True),
         shape_r(False),
+        iriw(),
         sb_rel_acq(),
     ]
 

@@ -1,10 +1,15 @@
-"""Run litmus tests against the SC and Promising Arm models.
+"""Run litmus tests against the SC, TSO, and Promising Arm models.
 
 The runner is the executable form of the claim that our Promising Arm
 implementation matches the architecture: for every test, the
 postcondition must be observable exactly on the models the catalog says
 it is.  A mismatch is either a bug in the executor or a mis-specified
 test, and the test suite treats both as failures.
+
+SC and Promising Arm always run.  The TSO column is opt-in
+(``model="tso"`` or ``REPRO_MODEL=tso``): when it runs, the verdict is
+checked against :attr:`LitmusTest.expected_tso` where the catalog pins
+one, and against the SC ⊆ TSO ⊆ Arm containment sandwich otherwise.
 
 Model configurations are shared across tests (one SC config, one
 relaxed config per promise bound) so exploration caching keys stay
@@ -24,11 +29,14 @@ from repro.litmus.catalog import LitmusTest, full_corpus
 from repro.memory.behaviors import parse_register_key
 from repro.memory.cache import cached_explore
 from repro.memory.datatypes import ExplorationResult
-from repro.memory.semantics import ModelConfig
+from repro.memory.semantics import ModelConfig, env_model
 from repro.parallel import parallel_map
 
 #: The one SC configuration every litmus test runs under.
 SC_CFG = ModelConfig(relaxed=False)
+
+#: The one TSO configuration (store buffers on, promises off).
+TSO_CFG = ModelConfig(relaxed=False, tso=True)
 
 
 @functools.lru_cache(maxsize=None)
@@ -54,6 +62,14 @@ def litmus_configs(test: LitmusTest) -> Tuple[ModelConfig, ModelConfig]:
     return sc_cfg, rm_cfg
 
 
+def tso_config(test: LitmusTest) -> ModelConfig:
+    """The TSO configuration *test* runs under (vm features applied)."""
+    cfg = TSO_CFG
+    if test.vm_features:
+        cfg = dataclasses.replace(cfg, vm_features=frozenset(test.vm_features))
+    return cfg
+
+
 @dataclass(frozen=True)
 class LitmusOutcome:
     """The observed result of one litmus test on both models."""
@@ -63,25 +79,77 @@ class LitmusOutcome:
     rm: ExplorationResult
     observed_sc: bool
     observed_rm: bool
+    #: Filled only when the TSO column ran (``model="tso"``).
+    tso: Optional[ExplorationResult] = None
+    observed_tso: Optional[bool] = None
+    #: The architecture the relaxed column actually ran: ``REPRO_MODEL``
+    #: re-targets relaxed configurations inside the explorer, so under
+    #: ``REPRO_MODEL=tso`` the "RM" exploration IS a TSO exploration and
+    #: its verdict must be checked against the TSO expectation.
+    rm_model: str = "arm"
+
+    def _rm_expectation(self) -> Optional[bool]:
+        """What the relaxed column should observe, per its model."""
+        if self.rm_model == "sc":
+            return self.test.allowed_sc
+        if self.rm_model == "tso":
+            return self.test.expected_tso
+        return self.test.allowed_rm
+
+    @property
+    def rm_passed(self) -> bool:
+        expected = self._rm_expectation()
+        if expected is not None:
+            return self.observed_rm == expected
+        # No pinned verdict for this model: fall back to the
+        # SC ⊆ model ⊆ Arm containment sandwich.
+        return (not self.observed_sc or self.observed_rm) and (
+            not self.observed_rm or self.test.allowed_rm
+        )
+
+    @property
+    def tso_passed(self) -> bool:
+        """The TSO column's verdict check (vacuously true when not run).
+
+        With an expectation (explicit or sandwich-derived) the observed
+        verdict must match it; without one, the observation must at
+        least respect SC ⊆ TSO ⊆ Arm.
+        """
+        if self.observed_tso is None:
+            return True
+        if self.tso is not None and not self.tso.complete:
+            return False
+        expected = self.test.expected_tso
+        if expected is not None:
+            return self.observed_tso == expected
+        return (not self.observed_sc or self.observed_tso) and (
+            not self.observed_tso or self.observed_rm
+        )
 
     @property
     def passed(self) -> bool:
         return (
             self.observed_sc == self.test.allowed_sc
-            and self.observed_rm == self.test.allowed_rm
+            and self.rm_passed
             and self.sc.complete
             and self.rm.complete
+            and self.tso_passed
         )
 
     def describe(self) -> str:
-        def fmt(observed: bool, expected: bool) -> str:
-            mark = "ok" if observed == expected else "MISMATCH"
+        def fmt(observed: bool, ok: bool) -> str:
+            mark = "ok" if ok else "MISMATCH"
             return f"{'observable' if observed else 'forbidden':>10} ({mark})"
 
-        return (
-            f"{self.test.name:<40} SC: {fmt(self.observed_sc, self.test.allowed_sc)}"
-            f"  RM: {fmt(self.observed_rm, self.test.allowed_rm)}"
+        rm_col = "RM" if self.rm_model == "arm" else f"RM={self.rm_model}"
+        line = (
+            f"{self.test.name:<40} SC: "
+            f"{fmt(self.observed_sc, self.observed_sc == self.test.allowed_sc)}"
+            f"  {rm_col}: {fmt(self.observed_rm, self.rm_passed)}"
         )
+        if self.observed_tso is not None:
+            line += f"  TSO: {fmt(self.observed_tso, self.tso_passed)}"
+        return line
 
 
 def _admits(test: LitmusTest, result: ExplorationResult) -> bool:
@@ -145,28 +213,49 @@ def _explore_one(
 
 
 def run_litmus(
-    test: LitmusTest, cache: bool = True, backend: Optional[str] = None
+    test: LitmusTest,
+    cache: bool = True,
+    backend: Optional[str] = None,
+    model: Optional[str] = None,
 ) -> LitmusOutcome:
     """Execute one test under both models and check its postcondition.
 
     ``backend`` selects the verification backend (``explore``, ``bmc``,
     or ``auto``; None reads ``REPRO_BACKEND``).  Tests outside the
     SAT-encodable fragment always run through exploration.
+
+    ``model`` (None reads ``REPRO_MODEL``) keeps the SC and Arm columns
+    but adds a third, TSO, exploration when set to ``"tso"`` — the
+    catalog's SC/Arm expectations stay meaningful under every selection,
+    so the litmus suite never silently weakens.
     """
     if backend is None:
         from repro.smt.router import backend_default
 
         backend = backend_default()
+    if model is None:
+        model = env_model()
     sc_cfg, rm_cfg = litmus_configs(test)
     observe = sorted(loc for loc, _ in test.memory_condition)
     sc = _explore_one(test, sc_cfg, observe, cache, backend)
     rm = _explore_one(test, rm_cfg, observe, cache, backend)
+    tso = (
+        _explore_one(test, tso_config(test), observe, cache, backend)
+        if model == "tso"
+        else None
+    )
     return LitmusOutcome(
         test=test,
         sc=sc,
         rm=rm,
         observed_sc=_admits(test, sc),
         observed_rm=_admits(test, rm),
+        tso=tso,
+        observed_tso=None if tso is None else _admits(test, tso),
+        # The explorer re-targets relaxed configs per REPRO_MODEL (the
+        # ``model`` argument only adds the TSO column), so record what
+        # the environment made the relaxed column mean.
+        rm_model=env_model(),
     )
 
 
@@ -174,6 +263,7 @@ def run_corpus(
     tests: Optional[Iterable[LitmusTest]] = None,
     jobs: Optional[int] = None,
     cache: bool = True,
+    model: Optional[str] = None,
 ) -> List[LitmusOutcome]:
     """Run a collection of litmus tests (default: the full corpus).
 
@@ -182,7 +272,7 @@ def run_corpus(
     """
     if tests is None:
         tests = full_corpus()
-    worker = functools.partial(run_litmus, cache=cache)
+    worker = functools.partial(run_litmus, cache=cache, model=model)
     return parallel_map(worker, tests, jobs=jobs)
 
 

@@ -1,4 +1,4 @@
-"""Memory-model substrate: SC, Promising Arm, and push/pull Promising.
+"""Memory-model substrate: SC, TSO, Promising Arm, and push/pull Promising.
 
 See DESIGN.md ("Memory-model fidelity notes") for how these relate to
 the models in the paper.
@@ -16,13 +16,19 @@ from repro.memory.datatypes import (
     value_at,
 )
 from repro.memory.semantics import (
+    MODEL_NAMES,
     PROMISING_ARM,
     PUSH_PULL_PROMISING,
     PUSH_PULL_SC,
     SC,
+    TSO,
     CertMemo,
     ModelConfig,
     cert_memo_enabled,
+    env_model,
+    model_config,
+    resolve_model,
+    tso_check_enabled,
 )
 from repro.memory.exploration import explore, explore_or_raise
 from repro.memory.cache import cached_explore, clear_memory_cache
@@ -36,6 +42,7 @@ from repro.memory.behaviors import (
 )
 from repro.memory.sc import explore_sc
 from repro.memory.promising import explore_promising
+from repro.memory.tso import explore_tso
 from repro.memory.pushpull import explore_pushpull, pushpull_config
 from repro.memory.trace import (
     ExecutionTrace,
@@ -56,12 +63,18 @@ __all__ = [
     "last_write_ts",
     "latest_write_ts",
     "value_at",
+    "MODEL_NAMES",
     "PROMISING_ARM",
     "PUSH_PULL_PROMISING",
     "PUSH_PULL_SC",
     "SC",
+    "TSO",
     "ModelConfig",
     "cert_memo_enabled",
+    "env_model",
+    "model_config",
+    "resolve_model",
+    "tso_check_enabled",
     "explore",
     "explore_or_raise",
     "cached_explore",
@@ -76,6 +89,7 @@ __all__ = [
     "parse_register_key",
     "explore_sc",
     "explore_promising",
+    "explore_tso",
     "explore_pushpull",
     "pushpull_config",
     "ExecutionTrace",

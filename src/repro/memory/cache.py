@@ -44,7 +44,11 @@ from repro.ir.program import Program
 from repro.memory import mutants
 from repro.memory.datatypes import ExplorationMonitor, ExplorationResult
 from repro.memory.exploration import explore, por_default_enabled
-from repro.memory.semantics import ModelConfig, resolve_vm_features
+from repro.memory.semantics import (
+    ModelConfig,
+    resolve_model,
+    resolve_vm_features,
+)
 from repro.obs import metrics, tracer
 
 
@@ -237,10 +241,10 @@ def exploration_key(
     or "bmc"); the axis keeps solver-derived answers from ever
     replaying as exploration results or vice versa.
     """
-    # Resolve VM features exactly like the explorer does, so a run under
-    # REPRO_VM_FEATURES can never share a key with (or replay) a
-    # default-model result.
-    cfg = resolve_vm_features(cfg)
+    # Resolve VM features and the architecture selection exactly like
+    # the explorer does, so a run under REPRO_VM_FEATURES or REPRO_MODEL
+    # can never share a key with (or replay) a default-model result.
+    cfg = resolve_model(resolve_vm_features(cfg))
     observed = None if observe_locs is None else tuple(observe_locs)
     text = "\x00".join(
         (

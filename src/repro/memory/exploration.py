@@ -57,7 +57,10 @@ from repro.memory.semantics import (
     ProgramCache,
     execute_instruction,
     promise_steps,
+    resolve_model,
     resolve_vm_features,
+    tso_check_enabled,
+    tso_flush_steps,
     vm_check_enabled,
     vm_neutral_program,
 )
@@ -104,7 +107,11 @@ def behavior_of(
 
 
 def _is_terminal(state: ExecState) -> bool:
-    return state.panic is not None or all(t.halted for t in state.threads)
+    # A TSO execution is only over once every store buffer has drained
+    # (``wbuf`` is always empty outside the TSO model).
+    return state.panic is not None or all(
+        t.halted and not t.wbuf for t in state.threads
+    )
 
 
 def _successors(
@@ -137,7 +144,13 @@ def _successors(
         successors = []
         threads = state.threads
         relaxed = cfg.relaxed
+        tso = cfg.tso
         for tidx in range(len(threads)):
+            if tso and threads[tidx].wbuf:
+                # The internal flush step — generated before the halted
+                # fast path, since a halted thread's leftover buffered
+                # writes must still drain into memory.
+                successors.extend(tso_flush_steps(cache, state, tidx, cfg))
             if threads[tidx].halted:
                 continue  # fast path: no steps, no promises
             successors.extend(execute_instruction(cache, state, tidx, cfg))
@@ -184,9 +197,43 @@ def explore(
     reduction only ever engages on programs passing the soundness gate,
     so behavior sets are identical either way.
     """
-    cfg = resolve_vm_features(cfg)
+    cfg = resolve_model(resolve_vm_features(cfg))
     if por is None:
         por = por_default_enabled()
+    if cfg.tso and tso_check_enabled() and vm_neutral_program(program):
+        # Model-strength cross-check (REPRO_TSO_CHECK=1): the TSO
+        # behavior set must sit between SC and Promising Arm.  Limited
+        # to MMU-free programs, where the three models share one walker
+        # story and the containment argument is unconditional.
+        # ``_explore`` is called directly so the derived configurations
+        # cannot be re-targeted from the environment.
+        from dataclasses import replace as _replace
+
+        tso_res = _explore(program, cfg, observe_locs, False, por)
+        sc_res = _explore(
+            program, _replace(cfg, tso=False, relaxed=False),
+            observe_locs, False, por,
+        )
+        arm_res = _explore(
+            program, _replace(cfg, tso=False, relaxed=True),
+            observe_locs, False, por,
+        )
+        if sc_res.complete and tso_res.complete:
+            missing = sc_res.behaviors - tso_res.behaviors
+            if missing:
+                raise VerificationError(
+                    f"TSO cross-check failed for {program.name!r}: "
+                    f"{len(missing)} SC behavior(s) are not TSO behaviors "
+                    f"(SC ⊆ TSO violated)"
+                )
+        if tso_res.complete and arm_res.complete:
+            extra = tso_res.behaviors - arm_res.behaviors
+            if extra:
+                raise VerificationError(
+                    f"TSO cross-check failed for {program.name!r}: "
+                    f"{len(extra)} TSO behavior(s) are not Arm behaviors "
+                    f"(TSO ⊆ Arm violated)"
+                )
     if cfg.vm_features and vm_check_enabled() and vm_neutral_program(program):
         # Bit-identity cross-check (REPRO_VM_CHECK=1): the VM feature
         # families may only change programs that actually exercise the

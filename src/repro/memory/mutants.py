@@ -47,6 +47,16 @@ mutant is active:
   the ``had`` VM feature's guarantee that a completed store through a
   mapping leaves its leaf entry dirty.  Killed by the ``vm`` oracle's
   final-state dirty-bit check.
+* ``lost-flush`` — :func:`repro.memory.semantics.tso_flush_steps` pops
+  the TSO store buffer's head without appending it to memory: the write
+  simply vanishes.  Killed by the ``portability`` oracle — the SC
+  behavior where the store lands becomes unreachable under TSO, so
+  SC ⊆ TSO fails (and the value-less final state violates TSO ⊆ Arm).
+* ``read-skips-own-buffer`` —
+  :func:`repro.memory.semantics._read_candidates` stops forwarding from
+  the thread's own store buffer, so a TSO thread can read a value *older
+  than its own latest store* — a behavior no Arm coherence order admits.
+  Killed by the ``portability`` oracle's TSO ⊆ Arm containment check.
 
 Active mutants are part of every exploration cache key (see
 :func:`repro.memory.cache.exploration_key`), so a mutated engine can
@@ -68,6 +78,8 @@ KNOWN_MUTANTS: Tuple[str, ...] = (
     "bbm-skipped",
     "stale-intermediate-walk",
     "lost-dirty-bit",
+    "lost-flush",
+    "read-skips-own-buffer",
 )
 
 _active: Set[str] = set()

@@ -110,6 +110,12 @@ def por_eligible(program, cfg) -> bool:
         return True
     if cfg.pushpull or cfg.owned_access_required:
         return False
+    if cfg.tso:
+        # Store buffers break the commutation facts: a plain store no
+        # longer appends to the timeline (it mutates only its own
+        # context), but its later *flush* races every other thread's
+        # reads, so neither fact covers it.
+        return False
     for thread in program.threads:
         for instr in thread.instrs:
             if not isinstance(instr, _SAFE_INSTRS):

@@ -91,10 +91,16 @@ class ModelConfig:
     ``vm_features`` enables the relaxed-virtual-memory behavior families
     of :data:`VM_FEATURES`; empty (the default) is the seed MMU model,
     bit-identical to every pre-feature result.
+    ``tso`` selects the x86/SPARC-style total-store-order model: the SC
+    step relation plus per-thread FIFO store buffers (see
+    :mod:`repro.memory.tso`).  Only meaningful with ``relaxed=False`` —
+    the promising machinery stays off and TSO's extra weakness comes
+    entirely from the buffers.
     """
 
     relaxed: bool = True
     pushpull: bool = False
+    tso: bool = False
     max_promises_per_thread: int = 1
     promise_depth: int = 3
     cert_max_states: int = 4000
@@ -115,6 +121,75 @@ SC = ModelConfig(relaxed=False)
 PROMISING_ARM = ModelConfig(relaxed=True)
 PUSH_PULL_SC = ModelConfig(relaxed=False, pushpull=True)
 PUSH_PULL_PROMISING = ModelConfig(relaxed=True, pushpull=True)
+#: x86/SPARC total store order: SC plus per-thread FIFO store buffers.
+TSO = ModelConfig(relaxed=False, tso=True)
+
+
+# ---------------------------------------------------------------------------
+# architecture selection (REPRO_MODEL)
+# ---------------------------------------------------------------------------
+
+#: The three selectable architectures, strongest-admitting first:
+#: ``arm`` (Promising Arm), ``tso`` (store-buffer TSO), ``sc``.  Every
+#: TSO behavior of a program is an Arm behavior, and every SC behavior
+#: is a TSO behavior — the containment :mod:`repro.vrm.portability`
+#: certifies.
+MODEL_NAMES: Tuple[str, ...] = ("arm", "tso", "sc")
+
+
+def model_config(name: str) -> ModelConfig:
+    """The shorthand configuration for one :data:`MODEL_NAMES` entry."""
+    if name == "arm":
+        return PROMISING_ARM
+    if name == "tso":
+        return TSO
+    if name == "sc":
+        return SC
+    raise ProgramError(
+        f"unknown model {name!r}; known: {', '.join(MODEL_NAMES)}"
+    )
+
+
+def env_model() -> str:
+    """The ``REPRO_MODEL`` environment selection (default ``arm``)."""
+    name = os.environ.get("REPRO_MODEL", "arm").strip() or "arm"
+    if name not in MODEL_NAMES:
+        raise ProgramError(
+            f"unknown REPRO_MODEL {name!r}; known: {', '.join(MODEL_NAMES)}"
+        )
+    return name
+
+
+def resolve_model(cfg: ModelConfig) -> ModelConfig:
+    """Re-target a *relaxed* configuration to the ``REPRO_MODEL`` choice.
+
+    The knob selects which architecture stands in for "the weak model"
+    everywhere a relaxed exploration is requested — litmus RM columns,
+    the fused wDRF monitor passes, conformance oracles, the serve job
+    server.  Explicitly strong configurations (SC, TSO) express a model
+    choice of their own and pass through untouched, so baselines and
+    containment checks keep their meaning; ``arm`` (the default) is a
+    no-op.  Applied identically by the explorer and by
+    :func:`repro.memory.cache.exploration_key`, so a re-targeted run can
+    never share a cache key with a default-model result.
+    """
+    if not cfg.relaxed or cfg.tso:
+        return cfg
+    name = env_model()
+    if name == "arm":
+        return cfg
+    if name == "tso":
+        return replace(cfg, relaxed=False, tso=True)
+    return replace(cfg, relaxed=False)
+
+
+def tso_check_enabled() -> bool:
+    """Cross-check mode (``REPRO_TSO_CHECK=1``): TSO explorations of
+    MMU-free programs are sandwiched between the other two models —
+    every SC behavior must be a TSO behavior and every TSO behavior an
+    Arm behavior — and any containment violation raises.  The executable
+    form of the model-strength hierarchy, continuously checked."""
+    return os.environ.get("REPRO_TSO_CHECK", "0") == "1"
 
 
 # ---------------------------------------------------------------------------
@@ -305,7 +380,7 @@ def _advance(cache: ProgramCache, tidx: int, ctx: ThreadCtx, pc: int) -> ThreadC
     return ThreadCtx(
         pc, pc >= cache.thread_len(tidx), ctx.regs, ctx.rv, ctx.coh,
         ctx.vrn, ctx.vwn, ctx.vro, ctx.vwo, ctx.vctrl, ctx.promises,
-        ctx.monitor,
+        ctx.monitor, ctx.wbuf,
     )
 
 
@@ -330,6 +405,17 @@ def _read_candidates(
     """
     init = cache.init_value(loc)
     own = ctx.promises  # tiny tuple: membership beats building a frozenset
+    if cfg.tso and ctx.wbuf and not mutants.enabled("read-skips-own-buffer"):
+        # TSO store forwarding: a read returns the youngest buffered
+        # write to the location when one exists — the thread sees its
+        # own stores early, before any other agent does.  Other threads
+        # never observe the buffer (the mandatory-forwarding rule of
+        # x86-TSO / SPARC TSO); the returned timestamp is the current
+        # memory-latest one, which under ``relaxed=False`` only feeds
+        # bookkeeping views, never read choice.
+        for bloc, bval in reversed(ctx.wbuf):
+            if bloc == loc:
+                return [(latest_write_ts(state.memory, loc), bval)]
     if not cfg.relaxed:
         ts = latest_write_ts(state.memory, loc)
         if ts in own:
@@ -487,6 +573,17 @@ def execute_instruction(
         return [state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
 
     if isinstance(instr, Barrier):
+        if (
+            cfg.tso
+            and ctx.wbuf
+            and instr.kind in (BarrierKind.FULL, BarrierKind.ST)
+        ):
+            # TSO fences order stores with later accesses by waiting for
+            # the buffer to drain (flush steps empty it one write at a
+            # time, so every interleaving with other threads' steps is
+            # still reachable).  Load-only barriers and ISB never
+            # interact with the buffer.
+            return []
         new = _apply_barrier(ctx, instr.kind)
         if tracer.SINK is not None:
             tracer.SINK.emit(
@@ -517,7 +614,7 @@ def execute_instruction(
             tset(ctx.regs, instr.dst, value),
             tset(ctx.rv, instr.dst, _dep_view(ctx, instr.src)),
             ctx.coh, ctx.vrn, ctx.vwn, ctx.vro, ctx.vwo, ctx.vctrl,
-            ctx.promises, ctx.monitor,
+            ctx.promises, ctx.monitor, ctx.wbuf,
         )
         return [state.with_thread(tidx, new)]
 
@@ -601,7 +698,7 @@ def _exec_load(cache, state, tidx, cfg, instr: Load, regs) -> List[ExecState]:
             tset(ctx.coh, loc, max(coh0, ts)),
             vrn, vwn,
             max(ctx.vro, ts),
-            ctx.vwo, ctx.vctrl, ctx.promises, ctx.monitor,
+            ctx.vwo, ctx.vctrl, ctx.promises, ctx.monitor, ctx.wbuf,
         )
         out.append(state.with_thread(tidx, new))
     return out
@@ -628,6 +725,38 @@ def _exec_store(cache, state, tidx, cfg, instr: Store, regs) -> List[ExecState]:
     halted = pc1 >= cache.thread_len(tidx)
     out: List[ExecState] = []
 
+    if cfg.tso:
+        if instr.release:
+            # A release store publishes: it waits for the buffer to
+            # drain (flush steps empty it) and then writes to memory
+            # directly — the x86 mapping of a releasing store followed
+            # by the buffer discipline, strictly stronger than a plain
+            # buffered store (stronger-is-safe for TSO ⊆ Arm).
+            if ctx.wbuf:
+                return []
+            ts = len(state.memory) + 1
+            new_state = state.append_message(
+                Message(ts, loc, val, thread.tid, False)
+            )
+            new_ctx = ThreadCtx(
+                pc1, halted, ctx.regs, ctx.rv,
+                tset(ctx.coh, loc, ts),
+                ctx.vrn, ctx.vwn, ctx.vro,
+                max(ctx.vwo, ts),
+                ctx.vctrl, ctx.promises, ctx.monitor, ctx.wbuf,
+            )
+            return [new_state.with_thread(tidx, new_ctx)]
+        # Plain TSO store: enqueue on the FIFO store buffer.  The write
+        # becomes globally visible only when a later flush step (see
+        # :func:`tso_flush_steps`) pops it into the timeline.
+        new_ctx = ThreadCtx(
+            pc1, halted, ctx.regs, ctx.rv, ctx.coh,
+            ctx.vrn, ctx.vwn, ctx.vro, ctx.vwo,
+            ctx.vctrl, ctx.promises, ctx.monitor,
+            ctx.wbuf + ((loc, val),),
+        )
+        return [state.with_thread(tidx, new_ctx)]
+
     # Option 1: append a fresh message at the end of the timeline.
     ts = len(state.memory) + 1
     new_state = state.append_message(Message(ts, loc, val, thread.tid, False))
@@ -636,7 +765,7 @@ def _exec_store(cache, state, tidx, cfg, instr: Store, regs) -> List[ExecState]:
         tset(ctx.coh, loc, ts),
         ctx.vrn, ctx.vwn, ctx.vro,
         max(ctx.vwo, ts),
-        ctx.vctrl, ctx.promises, ctx.monitor,
+        ctx.vctrl, ctx.promises, ctx.monitor, ctx.wbuf,
     )
     out.append(new_state.with_thread(tidx, new_ctx))
 
@@ -653,7 +782,7 @@ def _exec_store(cache, state, tidx, cfg, instr: Store, regs) -> List[ExecState]:
                     max(ctx.vwo, p),
                     ctx.vctrl,
                     tuple(q for q in ctx.promises if q != p),
-                    ctx.monitor,
+                    ctx.monitor, ctx.wbuf,
                 )
                 succ = fulfilled.with_thread(tidx, new_ctx)
                 if not (succ.threads[tidx].halted and succ.threads[tidx].promises):
@@ -674,6 +803,8 @@ def _exec_faa(cache, state, tidx, cfg, instr: FetchAndInc, regs) -> List[ExecSta
     reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=True)
     if reason is not None:
         return [_panic_state(state, reason)]
+    if cfg.tso and ctx.wbuf:
+        return []  # TSO: a locked RMW waits for the store buffer to drain
     adep = _dep_view(ctx, instr.addr)
     ts_last = latest_write_ts(state.memory, loc)
     if ts_last in ctx.promises:
@@ -711,6 +842,8 @@ def _exec_cas(
     reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=True)
     if reason is not None:
         return [_panic_state(state, reason)]
+    if cfg.tso and ctx.wbuf:
+        return []  # TSO: a locked RMW waits for the store buffer to drain
     adep = _dep_view(ctx, instr.addr)
     vdep = max(_dep_view(ctx, instr.expected), _dep_view(ctx, instr.desired))
     ts_last = latest_write_ts(state.memory, loc)
@@ -757,6 +890,11 @@ def _exec_ldxr(
     reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=False)
     if reason is not None:
         return [_panic_state(state, reason)]
+    if cfg.tso and ctx.wbuf:
+        # TSO has no native LL/SC; the exclusive pair is a locked
+        # primitive, so it too waits for the store buffer to drain —
+        # the monitor must be armed with a real memory timestamp.
+        return []
     adep = _dep_view(ctx, instr.addr)
     pc1 = ctx.pc + 1
     halted = pc1 >= cache.thread_len(tidx)
@@ -775,7 +913,7 @@ def _exec_ldxr(
             vrn, vwn,
             max(ctx.vro, ts),
             ctx.vwo, ctx.vctrl, ctx.promises,
-            (loc, ts),
+            (loc, ts), ctx.wbuf,
         )
         out.append(state.with_thread(tidx, new))
     return out
@@ -793,6 +931,8 @@ def _exec_stxr(
     reason = _ownership_check(state, cfg, thread, instr.space, loc, is_write=True)
     if reason is not None:
         return [_panic_state(state, reason)]
+    if cfg.tso and ctx.wbuf:
+        return []  # TSO: a locked RMW waits for the store buffer to drain
     val = instr.value.eval(regs)
     monitored = ctx.monitor if ctx.monitor and ctx.monitor[0] == loc else None
     success = (
@@ -837,6 +977,42 @@ def _apply_barrier(ctx: ThreadCtx, kind: BarrierKind) -> ThreadCtx:
     if kind is BarrierKind.ISB:
         return ctx._replace(vrn=max(ctx.vrn, ctx.vctrl))
     raise ExecutionError(f"unknown barrier kind {kind!r}")
+
+
+def tso_flush_steps(
+    cache: ProgramCache,
+    state: ExecState,
+    tidx: int,
+    cfg: ModelConfig,
+) -> List[ExecState]:
+    """The internal TSO step: thread *tidx*'s store buffer flushes its
+    oldest write into memory.
+
+    Flushes are nondeterministic hardware steps, so they are generated
+    alongside instruction steps by every search loop (the explorer's
+    ``_successors``, the shard workers, the traced search) — including
+    for *halted* threads, whose leftover buffered writes must still
+    reach memory before the execution can terminate.  One write per
+    step keeps every interleaving with other threads reachable.
+    """
+    if not cfg.tso or state.panic is not None:
+        return []
+    ctx = state.threads[tidx]
+    if not ctx.wbuf:
+        return []
+    (loc, val), rest = ctx.wbuf[0], ctx.wbuf[1:]
+    if mutants.enabled("lost-flush"):  # seeded bug class
+        return [state.with_thread(tidx, ctx._replace(wbuf=rest))]
+    ts = len(state.memory) + 1
+    new_state = state.append_message(
+        Message(ts, loc, val, cache.threads[tidx].tid, False)
+    )
+    new_ctx = ctx._replace(
+        wbuf=rest,
+        coh=tset(ctx.coh, loc, ts),
+        vwo=max(ctx.vwo, ts),
+    )
+    return [new_state.with_thread(tidx, new_ctx)]
 
 
 # ---------------------------------------------------------------------------
@@ -1171,6 +1347,11 @@ def _exec_push(cache, state, tidx, cfg, instr: Push, regs) -> List[ExecState]:
     thread = cache.threads[tidx]
     if not cfg.pushpull:
         return [state.with_thread(tidx, _advance(cache, tidx, ctx, ctx.pc + 1))]
+    if cfg.tso and ctx.wbuf:
+        # A push publishes the location to the next owner; under TSO it
+        # waits for the store buffer to drain so the owner's writes are
+        # in memory before the transfer.
+        return []
     ownership = state.ownership
     push_ts = state.push_ts
     pending = state.pending_release

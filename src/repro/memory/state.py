@@ -271,6 +271,8 @@ class ThreadCtx(NamedTuple):
     vctrl: int
     promises: Tuple[int, ...]  # timestamps of own unfulfilled promises
     monitor: Tuple = ()        # (loc, ts) armed by LoadExclusive, or ()
+    wbuf: Tuple[Tuple[int, int], ...] = ()  # TSO store buffer: FIFO of
+                                            # (loc, val) not yet in memory
 
 
 class ExecState(NamedTuple):
@@ -422,6 +424,7 @@ def initial_thread_ctx() -> ThreadCtx:
         vctrl=0,
         promises=(),
         monitor=(),
+        wbuf=(),
     )
 
 

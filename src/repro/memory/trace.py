@@ -28,7 +28,9 @@ from repro.memory.semantics import (
     ProgramCache,
     execute_instruction,
     promise_steps,
+    resolve_model,
     resolve_vm_features,
+    tso_flush_steps,
 )
 from repro.memory.state import ExecState, initial_state, tget
 
@@ -38,7 +40,7 @@ class TraceEvent:
     """One step of an execution, reconstructed from a state diff."""
 
     tid: int
-    kind: str            # "exec" | "promise" | "fulfill"
+    kind: str            # "exec" | "promise" | "fulfill" | "flush"
     instruction: str
     new_message: Optional[str] = None
     read_note: Optional[str] = None
@@ -96,6 +98,17 @@ def _diff_event(
         instr = format_instruction(cache.instr_at(tid_idx, ctx_before.pc))
     else:
         instr = "<halted>"
+
+    if len(ctx_after.wbuf) < len(ctx_before.wbuf):
+        # The internal TSO step: the store buffer's head hit memory
+        # (no instruction executed, the pc did not move).
+        loc, val = ctx_before.wbuf[0]
+        return TraceEvent(
+            tid=thread.tid,
+            kind="flush",
+            instruction="<flush store buffer>",
+            new_message=f"[{loc:#x}] := {val} (buffered write drains)",
+        )
 
     new_message = None
     kind = "exec"
@@ -155,7 +168,7 @@ def find_execution(
     :class:`ExecState` — used to search for executions identified by
     timeline properties (e.g. a BMC counterexample's write history)
     rather than by observable behavior alone."""
-    cfg = resolve_vm_features(cfg)
+    cfg = resolve_model(resolve_vm_features(cfg))
     cache = ProgramCache(program)
     if observe_locs is None:
         observe_locs = sorted(cache.initial_memory)
@@ -185,6 +198,11 @@ def find_execution(
                     )
             continue
         for tidx in range(len(program.threads)):
+            for succ in tso_flush_steps(cache, state, tidx, cfg):
+                if succ not in visited and len(succ.memory) <= cfg.max_memory:
+                    visited.add(succ)
+                    event = _diff_event(cache, state, succ, tidx)
+                    stack.append((succ, path + (event,), states + (succ,)))
             for succ in execute_instruction(cache, state, tidx, cfg):
                 if succ not in visited and len(succ.memory) <= cfg.max_memory:
                     visited.add(succ)

@@ -1,0 +1,53 @@
+"""The total-store-order hardware model (facade).
+
+TSO — the architecture of x86 and SPARC, after Owens/Sewell/Sarkar's
+x86-TSO and Hou et al.'s SPARC formalisation — is the middle rung of the
+model portfolio: strictly weaker than SC, strictly stronger than
+Promising Arm.  Operationally it is the SC step relation plus one piece
+of machinery, the per-thread FIFO store buffer:
+
+* a plain store enqueues ``(loc, val)`` on its thread's buffer instead
+  of appending to the global timeline;
+* an internal, nondeterministically scheduled *flush* step
+  (:func:`repro.memory.semantics.tso_flush_steps`) pops the buffer head
+  into memory — one write per step, so flushes interleave freely with
+  every other thread's steps;
+* a read returns the youngest buffered write to its location when one
+  exists (mandatory store forwarding) and the memory-latest write
+  otherwise — other threads never see the buffer;
+* fences (``dmb sy``/``dmb st``), RMWs, exclusives, release stores, and
+  ownership pushes wait for the buffer to drain before executing.
+
+That is exactly enough weakness to admit the store-buffering (SB)
+litmus outcome while forbidding load/load, store/store, and
+load/store reorderings — and it keeps every TSO behavior an Arm
+behavior and every SC behavior a TSO behavior, the containment
+:mod:`repro.vrm.portability` certifies.
+
+This module wraps the shared executor with the TSO configuration, the
+same way :mod:`repro.memory.sc` and :mod:`repro.memory.promising` wrap
+theirs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.ir.program import Program
+from repro.memory.cache import cached_explore
+from repro.memory.datatypes import ExplorationResult
+from repro.memory.semantics import TSO, ModelConfig
+
+
+def explore_tso(
+    program: Program,
+    observe_locs: Optional[Sequence[int]] = None,
+    **overrides,
+) -> ExplorationResult:
+    """All observable behaviors of *program* on the TSO model."""
+    cfg = (
+        TSO
+        if not overrides
+        else ModelConfig(relaxed=False, tso=True, **overrides)
+    )
+    return cached_explore(program, cfg, observe_locs)

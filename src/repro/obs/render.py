@@ -62,6 +62,9 @@ def _views_line(ctx) -> str:
         line += f"  coh: {coh}"
     if ctx.promises:
         line += f"  outstanding promises: {list(ctx.promises)}"
+    if ctx.wbuf:
+        buffered = ", ".join(f"[{loc:#x}]:={val}" for loc, val in ctx.wbuf)
+        line += f"  store buffer: {buffered}"
     return line
 
 
@@ -75,6 +78,7 @@ def _views_dict(ctx) -> Dict[str, Any]:
         "vctrl": ctx.vctrl,
         "coh": {f"{loc:#x}": ts for loc, ts in sorted(ctx.coh)},
         "outstanding_promises": list(ctx.promises),
+        "store_buffer": [[loc, val] for loc, val in ctx.wbuf],
     }
 
 
@@ -199,8 +203,13 @@ def render_explanation(
     holds for every generated program in this repo).  ``notes`` are
     context lines (oracle, detail) printed under the title.
     """
+    from repro.memory.semantics import env_model
+
     lines: List[str] = []
     lines.append(title or f"execution explanation: {trace.program_name!r}")
+    model = env_model()
+    if model != "arm":
+        lines.append(f"  model: {model} (REPRO_MODEL)")
     for note in notes:
         lines.append(f"  {note}")
     lines.append("")
@@ -264,6 +273,8 @@ def explanation_json(
     trace, program=None, notes: Sequence[str] = ()
 ) -> Dict[str, Any]:
     """The machine-readable form of :func:`render_explanation`."""
+    from repro.memory.semantics import env_model
+
     have_states = len(trace.states) == len(trace.events) + 1
     steps: List[Dict[str, Any]] = []
     for i, event in enumerate(trace.events):
@@ -294,6 +305,7 @@ def explanation_json(
     return {
         "schema": "repro.obs.explanation/v1",
         "program": trace.program_name,
+        "model": env_model(),
         "notes": list(notes),
         "steps": steps,
         "promises": _promise_ledger(trace),

@@ -222,6 +222,65 @@ def _time_wdrf(fuse: bool) -> Dict[str, float]:
     }
 
 
+def _time_portability() -> Dict:
+    """Per-model exploration cost of the litmus corpus (SC/TSO/Arm).
+
+    One pass over the catalog explores every test under all three
+    portfolio configurations with caching off, so the per-model totals
+    are directly comparable — same programs, same observation sets,
+    only the architecture differs.  The same pass certifies the
+    containment chain SC ⊆ TSO ⊆ Arm on the explored behavior sets
+    (the bench-time mirror of ``tests/corpus/portability_verdicts.json``).
+    """
+    from repro.litmus.catalog import full_corpus
+    from repro.litmus.runner import litmus_configs, tso_config
+    from repro.memory.cache import cached_explore
+
+    tests = list(full_corpus())
+    totals: Dict[str, Dict[str, float]] = {
+        m: {"wall_seconds": 0.0, "states": 0} for m in ("sc", "tso", "arm")
+    }
+    certified = True
+    _fresh()
+    with _env(REPRO_EXPLORE_CACHE="0", REPRO_SHARD="0"):
+        for test in tests:
+            sc_cfg, rm_cfg = litmus_configs(test)
+            configs = {
+                "sc": sc_cfg, "tso": tso_config(test), "arm": rm_cfg,
+            }
+            observe = sorted(test.program.initial_memory)
+            results = {}
+            for model, cfg in configs.items():
+                start = time.perf_counter()
+                results[model] = cached_explore(
+                    test.program, cfg, observe_locs=observe, cache=False
+                )
+                totals[model]["wall_seconds"] += time.perf_counter() - start
+                totals[model]["states"] += results[model].states_explored
+            certified = certified and not (
+                results["sc"].behaviors - results["tso"].behaviors
+            ) and not (
+                results["tso"].behaviors - results["arm"].behaviors
+            )
+    for record in totals.values():
+        record["states_per_second"] = _ratio(
+            record["states"], record["wall_seconds"]
+        )
+    return {
+        "tests": len(tests),
+        "models": totals,
+        "containment_certified": certified,
+        # What each step down the portfolio costs: TSO pays for the
+        # store-buffer interleavings, Arm for promise certification.
+        "tso_cost_vs_sc": _ratio(
+            totals["tso"]["wall_seconds"], totals["sc"]["wall_seconds"]
+        ),
+        "arm_cost_vs_tso": _ratio(
+            totals["arm"]["wall_seconds"], totals["tso"]["wall_seconds"]
+        ),
+    }
+
+
 def bmc_explosion_spec():
     """A wDRF spec whose exploration state space explodes but whose CNF
     stays tiny: two CPUs each initialize three private kernel PT entries
@@ -419,7 +478,7 @@ def bench_exploration(
 ) -> Dict:
     """Measure the exploration engine end to end.
 
-    Returns a JSON-ready dict (schema v7): litmus corpus serial vs.
+    Returns a JSON-ready dict (schema v8): litmus corpus serial vs.
     ``jobs``-way parallel, POR on vs. off (single-threaded),
     promise-heavy POR/memo effect plus ``shard_jobs``-way frontier
     sharding, ``verify_sekvm`` serial vs. parallel, the SAT/BMC
@@ -430,12 +489,15 @@ def bench_exploration(
     hit rate — :func:`_time_serve`), and the relaxed-virtual-memory
     section (the VM litmus families featured vs. gates-stripped plus
     one verdict-matrix build — :func:`_time_vm_corpus` /
-    :func:`_time_vm_matrix`).  Each parallel section records
-    its own ``cpu_count`` and its speedups are dicts
-    (:func:`_speedup`) so single-core numbers are annotated, not
-    misread as regressions.  ``only`` restricts the run to one section
-    (``litmus_corpus``/``promise_heavy``/``wdrf``/``verify_sekvm``/
-    ``bmc``/``serve``/``vm``) — the CI smoke path.
+    :func:`_time_vm_matrix`), and the model-portfolio section (the
+    litmus corpus explored under SC/TSO/Arm with the containment chain
+    certified in the same pass — :func:`_time_portability`).  Each
+    parallel section records its own ``cpu_count`` and its speedups
+    are dicts (:func:`_speedup`) so single-core numbers are annotated,
+    not misread as regressions.  ``only`` restricts the run to one
+    section (``litmus_corpus``/``promise_heavy``/``wdrf``/
+    ``verify_sekvm``/``bmc``/``serve``/``vm``/``portability``) — the
+    CI smoke path.
     """
     from repro.parallel.pool import plan_jobs, resolve_shard_jobs
 
@@ -449,7 +511,7 @@ def bench_exploration(
         # single-core results as degraded).
         shards = max(2, min(4, cpus))
     results: Dict = {
-        "schema": "BENCH_exploration/v7",
+        "schema": "BENCH_exploration/v8",
         "cpu_count": cpus,
         "jobs": jobs,
         "shard_jobs": shards,
@@ -562,6 +624,9 @@ def bench_exploration(
             ),
             "verdict_matrix": _time_vm_matrix(),
         }
+
+    if wanted("portability"):
+        results["portability"] = _time_portability()
 
     if wanted("verify_sekvm"):
         sekvm_serial = _time_sekvm(jobs=None)
@@ -684,6 +749,19 @@ def format_bench(results: Dict) -> str:
             f"({vm['feature_cost']:.2f}x cost); verdict matrix "
             f"{vm['verdict_matrix']['rows']} rows in "
             f"{vm['verdict_matrix']['wall_seconds']:.2f}s"
+        )
+    portability = results.get("portability")
+    if portability is not None:
+        models = portability["models"]
+        lines.append(
+            f"  portability     {portability['tests']} litmus tests: "
+            f"sc {models['sc']['wall_seconds']:.2f}s, "
+            f"tso {models['tso']['wall_seconds']:.2f}s "
+            f"({portability['tso_cost_vs_sc']:.2f}x sc), "
+            f"arm {models['arm']['wall_seconds']:.2f}s "
+            f"({portability['arm_cost_vs_tso']:.2f}x tso); "
+            f"SC ⊆ TSO ⊆ Arm certified: "
+            f"{portability['containment_certified']}"
         )
     sekvm = results.get("verify_sekvm")
     if corpus is not None and sekvm is not None:

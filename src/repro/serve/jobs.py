@@ -43,7 +43,7 @@ from repro.memory.exploration import por_default_enabled
 MAX_BEHAVIORS = 64
 
 _BACKENDS = ("explore", "bmc", "auto")
-_MODELS = ("sc", "rm")
+_MODELS = ("sc", "tso", "rm")
 
 
 class JobError(ValueError):
@@ -87,9 +87,13 @@ def _genome_of(data: Dict[str, Any], profiles: Optional[tuple] = None):
 
 
 def _explore_cfg(model: str, max_promises: int):
-    from repro.litmus.runner import SC_CFG, rm_config
+    from repro.litmus.runner import SC_CFG, TSO_CFG, rm_config
 
-    return SC_CFG if model == "sc" else rm_config(max_promises)
+    if model == "sc":
+        return SC_CFG
+    if model == "tso":
+        return TSO_CFG
+    return rm_config(max_promises)
 
 
 def _wdrf_spec(payload: Dict[str, Any]):

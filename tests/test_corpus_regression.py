@@ -16,6 +16,12 @@ The VM-feature verdict matrix (``tests/corpus/vm_features_verdicts.json``,
 regenerate with ``python -m repro.vrm.vm_matrix``) is pinned the same
 way: any change to where the wDRF conditions stop being sufficient under
 the ``REPRO_VM_FEATURES`` families fails here, not silently.
+
+So is the model-portability matrix
+(``tests/corpus/portability_verdicts.json``, regenerate with
+``python -m repro.vrm.portability``): the per-model litmus verdicts,
+the per-model SeKVM wDRF verdicts, and the containment chain
+SC ⊆ TSO ⊆ Arm on every row.
 """
 
 import json
@@ -30,6 +36,8 @@ _CORPUS = os.path.join(os.path.dirname(__file__), "corpus",
                        "litmus_digests.json")
 _VM_VERDICTS = os.path.join(os.path.dirname(__file__), "corpus",
                             "vm_features_verdicts.json")
+_PORTABILITY = os.path.join(os.path.dirname(__file__), "corpus",
+                            "portability_verdicts.json")
 
 
 def _expected():
@@ -130,3 +138,64 @@ class TestVMFeatureVerdicts:
             else:
                 expected = gated[row["scenario"]] in feats
                 assert row["stale_observed"] == expected, row
+
+
+class TestPortabilityVerdicts:
+    """The committed model-portfolio matrix must be reproducible and
+    certify SC ⊆ TSO ⊆ Arm on every row."""
+
+    def _committed(self):
+        with open(_PORTABILITY, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+
+    def test_matrix_matches_committed_verdicts(self):
+        from repro.vrm.portability import build_matrix
+
+        committed = self._committed()
+        recomputed = json.loads(json.dumps(build_matrix()))
+        assert recomputed["schema"] == committed["schema"]
+        assert recomputed == committed, (
+            "the portability matrix drifted from "
+            "tests/corpus/portability_verdicts.json — if the semantics "
+            "change is intentional, regenerate with "
+            "`python -m repro.vrm.portability tests/corpus/"
+            "portability_verdicts.json` and explain the moved verdicts"
+        )
+
+    def test_containment_certified_on_every_row(self):
+        committed = self._committed()
+        for section in ("litmus", "sekvm"):
+            for row in committed[section]:
+                assert row["sc_subset_tso"], row
+                assert row["tso_subset_arm"], row
+
+    def test_litmus_rows_cover_the_catalog_and_completed(self):
+        committed = self._committed()
+        catalog = {t.name for t in full_corpus()}
+        pinned = {row["name"] for row in committed["litmus"]}
+        assert pinned == catalog, (
+            "portability matrix out of sync with the catalog — "
+            "regenerate tests/corpus/portability_verdicts.json"
+        )
+        assert all(row["complete"] for row in committed["litmus"])
+
+    def test_litmus_verdicts_match_catalog_expectations(self):
+        """The observed columns are the catalog's pinned verdicts: the
+        matrix certifies the models *and* the expectations agree."""
+        expectations = {t.name: t for t in full_corpus()}
+        for row in self._committed()["litmus"]:
+            test = expectations[row["name"]]
+            observed = row["observed"]
+            assert observed["sc"] == test.allowed_sc, row
+            assert observed["arm"] == test.allowed_rm, row
+            if test.expected_tso is not None:
+                assert observed["tso"] == test.expected_tso, row
+
+    def test_sekvm_verdicts_match_expectations_under_every_model(self):
+        """A case the Arm verification accepts must verify under the
+        stronger models too — the anti-monotone face of containment."""
+        for row in self._committed()["sekvm"]:
+            assert row["verified"]["arm"] == row["expected"], row
+            if row["verified"]["arm"]:
+                assert row["verified"]["tso"], row
+                assert row["verified"]["sc"], row

@@ -22,6 +22,7 @@ DOCS = [
     ROOT / "docs" / "API.md",
     ROOT / "docs" / "OBSERVABILITY.md",
     ROOT / "docs" / "SERVING.md",
+    ROOT / "docs" / "PORTABILITY.md",
 ]
 
 MODULE_REF = re.compile(r"`(repro(?:\.[a-z_0-9]+)+)`")
@@ -58,6 +59,24 @@ class TestDocsConsistency:
         text = doc.read_text(encoding="utf-8")
         for ref in PATH_REF.findall(text):
             assert (ROOT / ref).exists(), f"{doc.name}: missing {ref}"
+
+    def test_docs_list_covers_the_docs_directory(self):
+        """Every ``docs/*.md`` file is in DOCS — new guides get their
+        references checked automatically, or this fails."""
+        listed = {doc for doc in DOCS if doc.parent.name == "docs"}
+        on_disk = set((ROOT / "docs").glob("*.md"))
+        assert listed == on_disk, (
+            f"DOCS out of sync with docs/: {sorted(p.name for p in listed ^ on_disk)}"
+        )
+
+    def test_readme_documentation_map_links_every_doc(self):
+        """The README's documentation map must mention every guide in
+        ``docs/`` — an unlinked guide is invisible."""
+        readme = (ROOT / "README.md").read_text(encoding="utf-8")
+        for doc in sorted((ROOT / "docs").glob("*.md")):
+            assert f"docs/{doc.name}" in readme, (
+                f"README documentation map does not link docs/{doc.name}"
+            )
 
     def test_readme_lists_every_example(self):
         readme = (ROOT / "README.md").read_text(encoding="utf-8")

@@ -81,7 +81,8 @@ class TestParseJob:
         with pytest.raises(JobError):
             parse_job({"kind": "explore", "genome": {"nope": 1}})
         with pytest.raises(JobError):
-            parse_job(_explore_body(model="tso"))    # unknown model
+            parse_job(_explore_body(model="ppc"))    # unknown model
+        parse_job(_explore_body(model="tso"))        # portfolio member: valid
         with pytest.raises(JobError):
             parse_job(_explore_body(backend="z3"))   # unknown backend
         with pytest.raises(JobError):
